@@ -1,0 +1,128 @@
+//! Calibrated strategy constructors.
+//!
+//! The cost constants here are the *only* knobs distinguishing the four
+//! disciplines in the simulator; they are derived from the systems'
+//! published designs (see module docs of [`crate::coordl`] and
+//! [`crate::dependent`]) and calibrated once against the paper's baseline
+//! numbers (see `EXPERIMENTS.md`). The TensorSocket path carries no hidden
+//! advantage: its only parameters are the paper's buffer size and a small
+//! ack-handling overhead.
+
+use ts_sim::Strategy;
+
+/// The conventional per-process loading baseline.
+pub fn nonshared_strategy() -> Strategy {
+    Strategy::NonShared
+}
+
+/// TensorSocket with the paper's defaults: buffer N = 2, producer on
+/// `producer_gpu`, no producer-side GPU stage.
+pub fn tensorsocket_strategy(producer_gpu: usize) -> Strategy {
+    Strategy::TensorSocket {
+        buffer: 2,
+        producer_gpu,
+        producer_gpu_ms_per_sample: 0.0,
+        // ZeroMQ ack handling + payload packing per batch per consumer —
+        // microseconds, but real (Figure 14a's slight slope).
+        producer_cpu_ms_per_batch_per_consumer: 0.05,
+        // payload packing + socket hop + transfer issue per batch; hidden
+        // by the N=2 buffer in steady state (§3.2.5)
+        publish_latency_ms: 1.0,
+    }
+}
+
+/// CoorDL-like coordination.
+///
+/// The distribution constant covers the per-consumer host-memory copy and
+/// DALI pipeline hand-off per sample; 1.5 ms/sample/consumer reproduces the
+/// ~1.6× CPU scaling at 4-way collocation in Figure 14a.
+pub fn coordl_strategy() -> Strategy {
+    Strategy::CoorDL {
+        dist_cpu_ms_per_sample_per_consumer: 1.5,
+    }
+}
+
+/// Joader-like shared server.
+///
+/// `per_job` covers dependent-sampling intersections plus per-job NumPy
+/// delivery (both scale with the number of jobs — see
+/// [`crate::dependent::DependentSampler::ops`]); `convert` is the
+/// consumer-side array→tensor conversion the paper works around in §4.7.
+/// Calibrated to Figure 15: 2.6 ms/sample/job server-side, 0.4 ms/sample
+/// conversion.
+pub fn joader_strategy() -> Strategy {
+    Strategy::Joader {
+        server_cpu_ms_per_sample_per_job: 2.6,
+        convert_cpu_ms_per_sample: 0.4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_sim::{ClusterSpec, GpuConfig, GpuSharing, LoaderSpec, SimConfig, WorkloadSpec};
+
+    fn h100_like() -> ClusterSpec {
+        ClusterSpec {
+            name: "h100".into(),
+            vcpus: 24.0,
+            gpus: vec![GpuConfig {
+                relative_throughput: 2.0,
+                vram_bytes: 80_000_000_000,
+            }],
+            gpu_sharing: GpuSharing::Mps,
+            disk_read_bps: 3.5e9,
+            nvlink: false,
+        }
+    }
+
+    fn imagenet_loader(workers: usize) -> LoaderSpec {
+        LoaderSpec {
+            cpu_ms_per_sample: 7.0,
+            disk_bytes_per_sample: 85_000,
+            h2d_bytes_per_sample: 150_528,
+            num_workers: workers,
+            prefetch_batches: 2,
+        }
+    }
+
+    fn run(n: usize, strategy: Strategy) -> ts_sim::SimResult {
+        let trainers: Vec<WorkloadSpec> = (0..n)
+            .map(|i| WorkloadSpec::new(&format!("mobilenet-s-{i}"), 0, 128, 0.26))
+            .collect();
+        let mut cfg = SimConfig::new(h100_like(), imagenet_loader(8), trainers, strategy);
+        cfg.samples_per_trainer = 60_000;
+        run_cfg(cfg)
+    }
+
+    fn run_cfg(cfg: SimConfig) -> ts_sim::SimResult {
+        ts_sim::cluster::run(cfg)
+    }
+
+    #[test]
+    fn fig15_ordering_holds_at_4way() {
+        // per-model throughput: TensorSocket > Joader > baseline
+        let ns = run(4, nonshared_strategy());
+        let ts = run(4, tensorsocket_strategy(0));
+        let jd = run(4, joader_strategy());
+        let ns_rate = ns.mean_samples_per_s();
+        let ts_rate = ts.mean_samples_per_s();
+        let jd_rate = jd.mean_samples_per_s();
+        assert!(
+            ts_rate > jd_rate && jd_rate > ns_rate,
+            "TS {ts_rate} vs Joader {jd_rate} vs baseline {ns_rate}"
+        );
+        // baseline splits 8 workers 4 ways: ~2 workers/model → ~286/s
+        assert!((ns_rate - 286.0).abs() < 30.0, "{ns_rate}");
+        // TensorSocket keeps close to the full-pipeline ~1143/s
+        assert!(ts_rate > 1000.0, "{ts_rate}");
+    }
+
+    #[test]
+    fn joader_degrades_smoothly_between_the_two() {
+        let j1 = run(1, joader_strategy()).mean_samples_per_s();
+        let j8 = run(8, joader_strategy()).mean_samples_per_s();
+        assert!(j1 > 750.0 && j1 < 900.0, "{j1}"); // ~8/(7+2.6+0.4 interplay)
+        assert!(j8 > 230.0 && j8 < 350.0, "{j8}");
+    }
+}

@@ -1,0 +1,86 @@
+//! CoorDL-style coordination: constraints and cost model.
+//!
+//! CoorDL (MinIO/DS-Analyzer) coordinates DALI pipelines across training
+//! processes at the cluster level. The paper identifies three structural
+//! properties that our cost model reproduces (§2, §4.7):
+//!
+//! 1. **Rigid lockstep** — a batch is released only when *all* processes
+//!    finished it, and there is no consumer-side buffer: the simulator runs
+//!    CoorDL with a publish window of 1.
+//! 2. **Per-consumer distribution cost** — each process receives its own
+//!    copy through host memory, costing CPU per consumer per batch; this is
+//!    why its CPU utilization scales with collocation degree (Figure 14a).
+//! 3. **No single-GPU collocation** — "CoorDL is designed for models
+//!    training on separate GPUs and cannot utilize leftover GPU compute
+//!    power to train multiple models on a single GPU";
+//!    [`validate_coordl_placement`] enforces exactly that.
+
+use ts_sim::WorkloadSpec;
+
+/// Why a workload placement is invalid for CoorDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordlPlacementError {
+    /// The GPU that two or more trainers were assigned to.
+    pub gpu: usize,
+    /// Names of the colliding trainers.
+    pub trainers: Vec<String>,
+}
+
+impl std::fmt::Display for CoordlPlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CoorDL cannot collocate {} on GPU {} (one process per GPU required)",
+            self.trainers.join(" and "),
+            self.gpu
+        )
+    }
+}
+
+impl std::error::Error for CoordlPlacementError {}
+
+/// Checks CoorDL's one-process-per-GPU constraint.
+pub fn validate_coordl_placement(
+    trainers: &[WorkloadSpec],
+) -> Result<(), CoordlPlacementError> {
+    let mut by_gpu: std::collections::BTreeMap<usize, Vec<String>> =
+        std::collections::BTreeMap::new();
+    for t in trainers {
+        by_gpu.entry(t.gpu).or_default().push(t.name.clone());
+    }
+    for (gpu, names) in by_gpu {
+        if names.len() > 1 {
+            return Err(CoordlPlacementError {
+                gpu,
+                trainers: names,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separate_gpus_are_fine() {
+        let trainers = vec![
+            WorkloadSpec::new("a", 0, 64, 1.0),
+            WorkloadSpec::new("b", 1, 64, 1.0),
+        ];
+        assert!(validate_coordl_placement(&trainers).is_ok());
+    }
+
+    #[test]
+    fn single_gpu_collocation_is_rejected() {
+        let trainers = vec![
+            WorkloadSpec::new("a", 1, 64, 1.0),
+            WorkloadSpec::new("b", 1, 64, 1.0),
+        ];
+        let err = validate_coordl_placement(&trainers).unwrap_err();
+        assert_eq!(err.gpu, 1);
+        assert_eq!(err.trainers, vec!["a".to_string(), "b".to_string()]);
+        assert!(err.to_string().contains("cannot collocate"));
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Baseline shared-data-loading systems the paper compares against (§4.7).
+//!
+//! Three pieces:
+//!
+//! * [`dependent`] — a working implementation of Joader's *dependent
+//!   sampling* algorithm: per-job pending sets, per-iteration intersection,
+//!   and operation counters that expose why it costs CPU per iteration per
+//!   job (the paper's §2 critique);
+//! * [`coordl`] — validation and cost model for CoorDL-style rigid
+//!   coordination (one batch outstanding, per-consumer CPU distribution,
+//!   per-consumer PCIe delivery, no single-GPU collocation);
+//! * [`builders`] — convenience constructors producing calibrated
+//!   [`ts_sim::SimConfig`] strategies for all four disciplines so the
+//!   experiment harness compares like against like.
+
+pub mod builders;
+pub mod coordl;
+pub mod dependent;
+
+pub use builders::{coordl_strategy, joader_strategy, nonshared_strategy, tensorsocket_strategy};
+pub use coordl::validate_coordl_placement;
+pub use dependent::DependentSampler;

@@ -1,0 +1,211 @@
+//! Microbenchmarks of the substrate hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+use tensorsocket::protocol::flex::plan_flex;
+use tensorsocket::protocol::messages::{AnnounceContent, BatchAnnounce, DataMsg};
+use ts_data::{codec, DataLoader, DataLoaderConfig, SyntheticImageDataset};
+use ts_device::DeviceId;
+use ts_sim::ps::{PsResource, Sharing};
+use ts_socket::{Context, Multipart, PubSocket, SubSocket};
+use ts_tensor::{collate, DType, MemoryPool, SharedRegistry, Tensor, TensorPayload};
+
+/// Payload pack + wire encode + decode + registry unpack — the entire
+/// per-batch sharing overhead (everything TensorSocket does *instead of*
+/// copying the batch).
+fn bench_payload_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload_path");
+    let batch = Tensor::rand_u8(&[128, 3, 224, 224], DeviceId::Gpu(0), 1);
+    let registry = SharedRegistry::new();
+    registry.register(batch.storage());
+    g.throughput(Throughput::Bytes(batch.view_bytes() as u64));
+    g.bench_function("pack_encode_decode_unpack_128x3x224x224", |b| {
+        b.iter(|| {
+            let payload = TensorPayload::pack(&batch);
+            let wire = payload.encode();
+            let decoded = TensorPayload::decode(&wire).unwrap();
+            std::hint::black_box(decoded.unpack(&registry).unwrap())
+        })
+    });
+    // compare: what copying the same batch would cost
+    g.bench_function("memcpy_equivalent_128x3x224x224", |b| {
+        b.iter(|| std::hint::black_box(batch.gather_bytes()))
+    });
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let announce = DataMsg::Batch(BatchAnnounce {
+        seq: 42,
+        epoch: 1,
+        index_in_epoch: 42,
+        last_in_epoch: false,
+        content: AnnounceContent::Shared {
+            fields: vec![TensorPayload::pack(&Tensor::zeros(
+                &[128, 3, 224, 224],
+                DType::U8,
+                DeviceId::Gpu(0),
+            ))],
+            labels: TensorPayload::pack(&Tensor::zeros(&[128], DType::I64, DeviceId::Gpu(0))),
+        },
+    });
+    g.bench_function("announce_encode", |b| b.iter(|| announce.encode()));
+    let wire = announce.encode();
+    g.bench_function("announce_decode", |b| {
+        b.iter(|| DataMsg::decode(&wire).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_pubsub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pubsub");
+    for subs in [1usize, 4, 8] {
+        let ctx = Context::new();
+        let publisher = PubSocket::bind(&ctx, "inproc://bench").unwrap();
+        let sockets: Vec<SubSocket> = (0..subs)
+            .map(|_| {
+                let s = SubSocket::connect(&ctx, "inproc://bench");
+                s.subscribe(b"");
+                s
+            })
+            .collect();
+        let msg = Multipart::single(bytes::Bytes::from(vec![0u8; 128]));
+        g.bench_with_input(BenchmarkId::new("fanout_drain", subs), &subs, |b, _| {
+            b.iter(|| {
+                publisher.send(b"t", msg.clone()).unwrap();
+                for s in &sockets {
+                    while let Ok(Some(_)) = s.try_recv() {}
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_collate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collate");
+    let samples: Vec<Tensor> = (0..128)
+        .map(|i| Tensor::rand_u8(&[3, 64, 64], DeviceId::Cpu, i))
+        .collect();
+    let bytes: u64 = samples.iter().map(|t| t.view_bytes() as u64).sum();
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("stack0_128x3x64x64", |b| {
+        b.iter(|| collate::stack0(&samples).unwrap())
+    });
+    let batches: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::rand_u8(&[32, 3, 64, 64], DeviceId::Cpu, i))
+        .collect();
+    g.bench_function("cat0_4x32x3x64x64", |b| {
+        b.iter(|| collate::cat0(&batches).unwrap())
+    });
+    let pool = MemoryPool::new(128 * 3 * 64 * 64, 4);
+    g.bench_function("cat0_pooled_4x32x3x64x64", |b| {
+        b.iter(|| collate::cat0_pooled(&batches, &pool, DeviceId::Gpu(0)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_flex_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flex_planning");
+    for (p, b_) in [(256usize, 96usize), (1024, 7), (4096, 224)] {
+        g.bench_with_input(
+            BenchmarkId::new("plan", format!("P{p}_b{b_}")),
+            &(p, b_),
+            |bench, &(p, b_)| bench.iter(|| plan_flex(p, b_, 17).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_codec_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let encoded = codec::encode_stub(1, 2, 110_000);
+    let out = 3 * 224 * 224;
+    g.throughput(Throughput::Bytes(out as u64));
+    g.bench_function("decode_imagenet_sample", |b| {
+        b.iter(|| codec::decode_bytes(&encoded, out))
+    });
+    g.finish();
+}
+
+fn bench_dataloader(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataloader");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+    for workers in [0usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("epoch_64x8_images", workers),
+            &workers,
+            |b, &workers| {
+                b.iter_batched(
+                    || {
+                        DataLoader::new(
+                            Arc::new(
+                                SyntheticImageDataset::new(64, 32, 32, 1).with_encoded_len(4_096),
+                            ),
+                            DataLoaderConfig {
+                                batch_size: 8,
+                                num_workers: workers,
+                                shuffle: false,
+                                ..Default::default()
+                            },
+                        )
+                    },
+                    |loader| loader.epoch(0).count(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_ps_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ps_engine");
+    g.bench_function("settle_64_jobs", |b| {
+        b.iter_batched(
+            || {
+                let mut r: PsResource<usize> = PsResource::new("cpu", 16.0, Sharing::Fair);
+                r.settle(0);
+                for i in 0..64 {
+                    r.add(0, (i + 1) as f64 * 0.001, 1.0, i);
+                }
+                r
+            },
+            |mut r| {
+                let mut t = 0u64;
+                loop {
+                    let Some(next) = r.next_completion(t) else { break };
+                    if next >= ts_sim::des::FOREVER {
+                        break;
+                    }
+                    t = next;
+                    if r.settle(t).is_empty() && r.active() == 0 {
+                        break;
+                    }
+                    if r.active() == 0 {
+                        break;
+                    }
+                }
+                r
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_payload_path,
+    bench_wire_codec,
+    bench_pubsub,
+    bench_collate,
+    bench_flex_planning,
+    bench_codec_decode,
+    bench_dataloader,
+    bench_ps_engine,
+);
+criterion_main!(micro);

@@ -1,0 +1,195 @@
+//! One benchmark group per table/figure of the paper's evaluation.
+//!
+//! Each group prints the regenerated paper-style rows once (stderr), then
+//! benchmarks representative underlying runs so regressions in simulator
+//! or protocol performance show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ts_baselines::{
+    coordl_strategy, joader_strategy, nonshared_strategy, tensorsocket_strategy,
+};
+use ts_sim::GpuSharing;
+
+fn print_report_once(id: &str) {
+    if let Some(report) = ts_experiments::run_by_id(id) {
+        eprintln!("\n{}", report.render());
+    }
+}
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_fig1_catalog(c: &mut Criterion) {
+    print_report_once("fig1");
+    let mut g = c.benchmark_group("fig1_catalog");
+    g.bench_function("heatmap_all_providers", |b| {
+        b.iter(|| {
+            for p in [
+                ts_cloud_provider::Aws,
+                ts_cloud_provider::Azure,
+                ts_cloud_provider::Gcp,
+            ] {
+                std::hint::black_box(ts_cloud::figure1_matrix(p));
+            }
+        })
+    });
+    g.finish();
+}
+
+use ts_cloud::Provider as ts_cloud_provider;
+
+fn bench_fig8_image_classification(c: &mut Criterion) {
+    print_report_once("fig8");
+    let mut g = c.benchmark_group("fig8_image_classification");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("mobilenet_s_nonshared_4way", |b| {
+        b.iter(|| ts_experiments::fig8::run_config("MobileNet S", nonshared_strategy()))
+    });
+    g.bench_function("mobilenet_s_shared_4way", |b| {
+        b.iter(|| ts_experiments::fig8::run_config("MobileNet S", tensorsocket_strategy(0)))
+    });
+    g.finish();
+}
+
+fn bench_table3_data_movement(c: &mut Criterion) {
+    print_report_once("table3");
+    let mut g = c.benchmark_group("table3_data_movement");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("mobilenet_l_shared_traffic", |b| {
+        b.iter(|| ts_experiments::fig8::run_config("MobileNet L", tensorsocket_strategy(0)))
+    });
+    g.finish();
+}
+
+fn bench_fig9_collocation(c: &mut Criterion) {
+    print_report_once("fig9");
+    let mut g = c.benchmark_group("fig9_collocation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    for degree in [1usize, 4] {
+        g.bench_function(format!("mobilenet_s_shared_{degree}way"), |b| {
+            b.iter(|| ts_experiments::fig9::run_config("MobileNet S", degree, tensorsocket_strategy(0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_flexible(c: &mut Criterion) {
+    print_report_once("fig10");
+    let mut g = c.benchmark_group("fig10_flexible");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("default_mode", |b| {
+        b.iter(|| ts_experiments::fig10::run_config(0.05))
+    });
+    g.bench_function("flexible_mode", |b| {
+        b.iter(|| ts_experiments::fig10::run_config(0.35))
+    });
+    g.finish();
+}
+
+fn bench_fig11_audio(c: &mut Criterion) {
+    print_report_once("fig11");
+    let mut g = c.benchmark_group("fig11_audio");
+    g.sample_size(10);
+    for vcpus in [8u32, 32] {
+        g.bench_function(format!("clmr_shared_mps_{vcpus}vcpu"), |b| {
+            b.iter(|| {
+                ts_experiments::fig11::run_config(vcpus, GpuSharing::Mps, tensorsocket_strategy(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig12_dalle(c: &mut Criterion) {
+    print_report_once("fig12");
+    let mut g = c.benchmark_group("fig12_dalle");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("dalle_4way_shared_clip", |b| {
+        b.iter(|| ts_experiments::fig12::run_config(4, true))
+    });
+    g.bench_function("dalle_4way_private_clip", |b| {
+        b.iter(|| ts_experiments::fig12::run_config(4, false))
+    });
+    g.finish();
+}
+
+fn bench_fig13_mixed(c: &mut Criterion) {
+    print_report_once("fig13");
+    let mut g = c.benchmark_group("fig13_mixed");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+    g.bench_function("regnet_pair_g5_2xl_shared", |b| {
+        b.iter(|| ts_experiments::fig13::run_config(8, tensorsocket_strategy(0)))
+    });
+    g.finish();
+}
+
+fn bench_table4_llm(c: &mut Criterion) {
+    print_report_once("table4");
+    let mut g = c.benchmark_group("table4_llm");
+    g.sample_size(10);
+    g.bench_function("qwen_shared", |b| {
+        b.iter(|| ts_experiments::table4::run_config(true))
+    });
+    g.finish();
+}
+
+fn bench_fig14_coordl(c: &mut Criterion) {
+    print_report_once("fig14");
+    let mut g = c.benchmark_group("fig14_coordl");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("resnet18_4way_tensorsocket", |b| {
+        b.iter(|| ts_experiments::fig14::run_config(4, tensorsocket_strategy(0)))
+    });
+    g.bench_function("resnet18_4way_coordl", |b| {
+        b.iter(|| ts_experiments::fig14::run_config(4, coordl_strategy()))
+    });
+    g.finish();
+}
+
+fn bench_fig15_joader(c: &mut Criterion) {
+    print_report_once("fig15");
+    let mut g = c.benchmark_group("fig15_joader");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("mobilenet_8way_tensorsocket", |b| {
+        b.iter(|| ts_experiments::fig15::run_config(8, tensorsocket_strategy(0)))
+    });
+    g.bench_function("mobilenet_8way_joader", |b| {
+        b.iter(|| ts_experiments::fig15::run_config(8, joader_strategy()))
+    });
+    g.bench_function("mobilenet_8way_baseline", |b| {
+        b.iter(|| ts_experiments::fig15::run_config(8, nonshared_strategy()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = artifacts;
+    config = {
+        let mut c = Criterion::default().configure_from_args();
+        configure(&mut c);
+        c
+    };
+    targets =
+        bench_fig1_catalog,
+        bench_fig8_image_classification,
+        bench_table3_data_movement,
+        bench_fig9_collocation,
+        bench_fig10_flexible,
+        bench_fig11_audio,
+        bench_fig12_dalle,
+        bench_fig13_mixed,
+        bench_table4_llm,
+        bench_fig14_coordl,
+        bench_fig15_joader,
+}
+criterion_main!(artifacts);

@@ -1,0 +1,18 @@
+//! Criterion benchmark harness for the TensorSocket reproduction.
+//!
+//! Two targets:
+//!
+//! * `paper_artifacts` — regenerates every table and figure of the paper's
+//!   evaluation (printing the rows once) and benchmarks the underlying
+//!   simulation configurations, so `cargo bench` doubles as the
+//!   reproduction run;
+//! * `micro` — microbenchmarks of the substrate hot paths: payload
+//!   pack/encode/unpack, PUB/SUB fan-out, collation into pooled slabs,
+//!   flexible-batch planning, codec decode, the multi-worker loader, and
+//!   the processor-sharing engine.
+//!
+//! Run with `cargo bench --workspace`.
+
+/// Marker so the crate has a library target; all content lives in the
+/// `benches/` directory.
+pub const ABOUT: &str = "see benches/paper_artifacts.rs and benches/micro.rs";

@@ -1,0 +1,210 @@
+//! The instance catalog.
+//!
+//! One row per GPU instance type. The list covers the GPU families the
+//! paper's Figure 1 heatmap aggregates (AWS G/P families, Azure NC/ND/NV
+//! v-series, GCP A2/G2 and N1+accelerator shapes). Prices are on-demand
+//! USD/hour where the paper reports them (Table 2); other prices are
+//! representative of the same snapshot and only used for relative
+//! comparisons.
+
+/// Cloud provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Provider {
+    /// Amazon Web Services.
+    Aws,
+    /// Microsoft Azure.
+    Azure,
+    /// Google Cloud Platform.
+    Gcp,
+}
+
+impl std::fmt::Display for Provider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provider::Aws => write!(f, "AWS"),
+            Provider::Azure => write!(f, "Azure"),
+            Provider::Gcp => write!(f, "GCP"),
+        }
+    }
+}
+
+/// One rentable instance shape.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Provider.
+    pub provider: Provider,
+    /// Instance type name.
+    pub name: &'static str,
+    /// vCPUs.
+    pub vcpus: u32,
+    /// GPU count.
+    pub gpus: u32,
+    /// GPU model.
+    pub gpu_model: &'static str,
+    /// VRAM per GPU in GB.
+    pub vram_gb: u32,
+    /// On-demand hourly price in USD.
+    pub hourly_usd: f64,
+}
+
+impl Instance {
+    /// vCPUs per GPU.
+    pub fn vcpu_per_gpu(&self) -> f64 {
+        self.vcpus as f64 / self.gpus as f64
+    }
+}
+
+macro_rules! inst {
+    ($prov:ident, $name:literal, $vcpus:literal, $gpus:literal, $model:literal, $vram:literal, $usd:literal) => {
+        Instance {
+            provider: Provider::$prov,
+            name: $name,
+            vcpus: $vcpus,
+            gpus: $gpus,
+            gpu_model: $model,
+            vram_gb: $vram,
+            hourly_usd: $usd,
+        }
+    };
+}
+
+/// The full catalog.
+pub fn all_instances() -> Vec<Instance> {
+    vec![
+        // ---- AWS G4dn (T4) ----
+        inst!(Aws, "g4dn.xlarge", 4, 1, "T4", 16, 0.526),
+        inst!(Aws, "g4dn.2xlarge", 8, 1, "T4", 16, 0.752),
+        inst!(Aws, "g4dn.4xlarge", 16, 1, "T4", 16, 1.204),
+        inst!(Aws, "g4dn.8xlarge", 32, 1, "T4", 16, 2.176),
+        inst!(Aws, "g4dn.16xlarge", 64, 1, "T4", 16, 4.352),
+        inst!(Aws, "g4dn.12xlarge", 48, 4, "T4", 16, 3.912),
+        inst!(Aws, "g4dn.metal", 96, 8, "T4", 16, 7.824),
+        // ---- AWS G5 (A10G) — Table 2 pricing ----
+        inst!(Aws, "g5.xlarge", 4, 1, "A10G", 24, 1.006),
+        inst!(Aws, "g5.2xlarge", 8, 1, "A10G", 24, 1.212),
+        inst!(Aws, "g5.4xlarge", 16, 1, "A10G", 24, 1.624),
+        inst!(Aws, "g5.8xlarge", 32, 1, "A10G", 24, 2.448),
+        inst!(Aws, "g5.16xlarge", 64, 1, "A10G", 24, 4.096),
+        inst!(Aws, "g5.12xlarge", 48, 4, "A10G", 24, 5.672),
+        inst!(Aws, "g5.24xlarge", 96, 4, "A10G", 24, 8.144),
+        inst!(Aws, "g5.48xlarge", 192, 8, "A10G", 24, 16.288),
+        // ---- AWS P3 (V100) ----
+        inst!(Aws, "p3.2xlarge", 8, 1, "V100", 16, 3.06),
+        inst!(Aws, "p3.8xlarge", 32, 4, "V100", 16, 12.24),
+        inst!(Aws, "p3.16xlarge", 64, 8, "V100", 16, 24.48),
+        inst!(Aws, "p3dn.24xlarge", 96, 8, "V100", 32, 31.212),
+        // ---- AWS P4/P5 ----
+        inst!(Aws, "p4d.24xlarge", 96, 8, "A100", 40, 32.77),
+        inst!(Aws, "p4de.24xlarge", 96, 8, "A100", 80, 40.96),
+        inst!(Aws, "p5.48xlarge", 192, 8, "H100", 80, 98.32),
+        // ---- Azure NC (K80/T4/V100/A100) ----
+        inst!(Azure, "NC6s_v3", 6, 1, "V100", 16, 3.06),
+        inst!(Azure, "NC12s_v3", 12, 2, "V100", 16, 6.12),
+        inst!(Azure, "NC24s_v3", 24, 4, "V100", 16, 12.24),
+        inst!(Azure, "NC4as_T4_v3", 4, 1, "T4", 16, 0.526),
+        inst!(Azure, "NC8as_T4_v3", 8, 1, "T4", 16, 0.752),
+        inst!(Azure, "NC16as_T4_v3", 16, 1, "T4", 16, 1.204),
+        inst!(Azure, "NC64as_T4_v3", 64, 4, "T4", 16, 4.352),
+        inst!(Azure, "NC24ads_A100_v4", 24, 1, "A100", 80, 3.673),
+        inst!(Azure, "NC48ads_A100_v4", 48, 2, "A100", 80, 7.346),
+        inst!(Azure, "NC96ads_A100_v4", 96, 4, "A100", 80, 14.692),
+        // ---- Azure ND (A100 clusters) ----
+        inst!(Azure, "ND96asr_v4", 96, 8, "A100", 40, 27.197),
+        inst!(Azure, "ND96amsr_A100_v4", 96, 8, "A100", 80, 32.77),
+        // ---- GCP G2 (L4) ----
+        inst!(Gcp, "g2-standard-4", 4, 1, "L4", 24, 0.71),
+        inst!(Gcp, "g2-standard-8", 8, 1, "L4", 24, 0.85),
+        inst!(Gcp, "g2-standard-12", 12, 1, "L4", 24, 1.00),
+        inst!(Gcp, "g2-standard-16", 16, 1, "L4", 24, 1.15),
+        inst!(Gcp, "g2-standard-32", 32, 1, "L4", 24, 1.73),
+        inst!(Gcp, "g2-standard-24", 24, 2, "L4", 24, 2.00),
+        inst!(Gcp, "g2-standard-48", 48, 4, "L4", 24, 4.00),
+        inst!(Gcp, "g2-standard-96", 96, 8, "L4", 24, 8.00),
+        // ---- GCP A2 (A100) ----
+        inst!(Gcp, "a2-highgpu-1g", 12, 1, "A100", 40, 3.67),
+        inst!(Gcp, "a2-highgpu-2g", 24, 2, "A100", 40, 7.35),
+        inst!(Gcp, "a2-highgpu-4g", 48, 4, "A100", 40, 14.69),
+        inst!(Gcp, "a2-highgpu-8g", 96, 8, "A100", 40, 29.39),
+        inst!(Gcp, "a2-ultragpu-1g", 12, 1, "A100", 80, 5.07),
+        inst!(Gcp, "a2-ultragpu-2g", 24, 2, "A100", 80, 10.14),
+        inst!(Gcp, "a2-ultragpu-4g", 48, 4, "A100", 80, 20.27),
+        inst!(Gcp, "a2-ultragpu-8g", 96, 8, "A100", 80, 40.55),
+        // ---- GCP N1 + T4/V100 attachments (selected shapes) ----
+        inst!(Gcp, "n1-standard-4+T4", 4, 1, "T4", 16, 0.54),
+        inst!(Gcp, "n1-standard-8+T4", 8, 1, "T4", 16, 0.73),
+        inst!(Gcp, "n1-standard-16+T4", 16, 1, "T4", 16, 1.11),
+        inst!(Gcp, "n1-standard-32+T4", 32, 1, "T4", 16, 1.87),
+        inst!(Gcp, "n1-standard-16+2xT4", 16, 2, "T4", 16, 1.46),
+        inst!(Gcp, "n1-standard-32+4xT4", 32, 4, "T4", 16, 2.92),
+        inst!(Gcp, "n1-standard-64+4xT4", 64, 4, "T4", 16, 4.44),
+        inst!(Gcp, "n1-standard-8+V100", 8, 1, "V100", 16, 2.86),
+        inst!(Gcp, "n1-standard-16+2xV100", 16, 2, "V100", 16, 5.72),
+        inst!(Gcp, "n1-standard-32+4xV100", 32, 4, "V100", 16, 11.44),
+        inst!(Gcp, "n1-standard-64+8xV100", 64, 8, "V100", 16, 22.88),
+        inst!(Gcp, "n1-standard-96+8xV100", 96, 8, "V100", 16, 24.40),
+    ]
+}
+
+/// Instances of one provider.
+pub fn by_provider(p: Provider) -> Vec<Instance> {
+    all_instances()
+        .into_iter()
+        .filter(|i| i.provider == p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_prices_match_paper() {
+        let cat = all_instances();
+        let price = |name: &str| {
+            cat.iter()
+                .find(|i| i.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .hourly_usd
+        };
+        assert_eq!(price("g5.2xlarge"), 1.212);
+        assert_eq!(price("g5.4xlarge"), 1.624);
+        assert_eq!(price("g5.8xlarge"), 2.448);
+    }
+
+    #[test]
+    fn catalog_covers_all_providers() {
+        for p in [Provider::Aws, Provider::Azure, Provider::Gcp] {
+            assert!(by_provider(p).len() >= 10, "{p} under-represented");
+        }
+    }
+
+    #[test]
+    fn more_vcpus_cost_more_within_a_family() {
+        // the paper's point: same GPU, more vCPUs, much higher price
+        let cat = all_instances();
+        let g5: Vec<&Instance> = cat
+            .iter()
+            .filter(|i| i.name.starts_with("g5.") && i.gpus == 1)
+            .collect();
+        for w in g5.windows(2) {
+            if w[0].vcpus < w[1].vcpus {
+                assert!(w[0].hourly_usd < w[1].hourly_usd);
+            }
+        }
+        // highest single-GPU g5 costs ~4x the smallest
+        let min = g5.iter().map(|i| i.hourly_usd).fold(f64::MAX, f64::min);
+        let max = g5.iter().map(|i| i.hourly_usd).fold(0.0, f64::max);
+        assert!(max / min > 3.5);
+    }
+
+    #[test]
+    fn vcpu_per_gpu_ratios_are_coarse() {
+        // few distinct ratios per provider — Figure 1's observation
+        use std::collections::BTreeSet;
+        let ratios: BTreeSet<u32> = by_provider(Provider::Aws)
+            .iter()
+            .map(|i| i.vcpu_per_gpu().round() as u32)
+            .collect();
+        assert!(ratios.len() <= 10);
+    }
+}

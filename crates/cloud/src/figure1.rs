@@ -1,0 +1,111 @@
+//! The Figure-1 heatmap: instance counts by (vCPU, GPU count) per provider.
+
+use crate::catalog::{all_instances, Provider};
+
+/// The vCPU buckets on the figure's y-axis (ascending).
+pub const VCPU_AXIS: [u32; 8] = [4, 8, 16, 24, 32, 48, 64, 96];
+
+/// The GPU-count buckets on the figure's x-axis.
+pub const GPU_AXIS: [u32; 6] = [1, 2, 4, 6, 8, 16];
+
+/// One cell of the heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Figure1Cell {
+    /// vCPU bucket.
+    pub vcpus: u32,
+    /// GPU-count bucket.
+    pub gpus: u32,
+    /// Number of catalog instances in the cell.
+    pub count: u32,
+}
+
+fn bucket(value: u32, axis: &[u32]) -> Option<u32> {
+    // Snap to the nearest axis value; values beyond the axis are clamped to
+    // the last bucket (192 vCPUs → 96 bucket, as the figure caps its axis).
+    axis.iter()
+        .copied()
+        .min_by_key(|a| a.abs_diff(value))
+        .filter(|a| {
+            // reject values wildly off-axis (none in the catalog)
+            a.abs_diff(value) <= value
+        })
+}
+
+/// Computes the (vCPU, GPU) heatmap for `provider`.
+pub fn figure1_matrix(provider: Provider) -> Vec<Figure1Cell> {
+    let mut cells: Vec<Figure1Cell> = Vec::new();
+    for &v in &VCPU_AXIS {
+        for &g in &GPU_AXIS {
+            cells.push(Figure1Cell {
+                vcpus: v,
+                gpus: g,
+                count: 0,
+            });
+        }
+    }
+    for inst in all_instances().iter().filter(|i| i.provider == provider) {
+        let (Some(v), Some(g)) = (bucket(inst.vcpus, &VCPU_AXIS), bucket(inst.gpus, &GPU_AXIS))
+        else {
+            continue;
+        };
+        if let Some(cell) = cells.iter_mut().find(|c| c.vcpus == v && c.gpus == g) {
+            cell.count += 1;
+        }
+    }
+    cells
+}
+
+/// Total instances a provider contributes to the heatmap.
+pub fn provider_total(provider: Provider) -> u32 {
+    figure1_matrix(provider).iter().map(|c| c.count).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape_is_axis_product() {
+        let m = figure1_matrix(Provider::Aws);
+        assert_eq!(m.len(), VCPU_AXIS.len() * GPU_AXIS.len());
+    }
+
+    #[test]
+    fn counts_add_up_to_catalog() {
+        for p in [Provider::Aws, Provider::Azure, Provider::Gcp] {
+            let catalog_n = crate::catalog::by_provider(p).len() as u32;
+            assert_eq!(provider_total(p), catalog_n, "{p}");
+        }
+    }
+
+    #[test]
+    fn single_gpu_low_vcpu_cells_are_dense() {
+        // the figure's observation: most offerings sit at few vCPUs per GPU
+        let m = figure1_matrix(Provider::Aws);
+        let single_gpu: u32 = m.iter().filter(|c| c.gpus == 1).map(|c| c.count).sum();
+        let many_gpu: u32 = m.iter().filter(|c| c.gpus >= 8).map(|c| c.count).sum();
+        assert!(single_gpu > many_gpu);
+    }
+
+    #[test]
+    fn high_ratio_cells_are_sparse() {
+        // ≥ 64 vCPUs with a single GPU is rare on every provider
+        for p in [Provider::Aws, Provider::Azure, Provider::Gcp] {
+            let m = figure1_matrix(p);
+            let high: u32 = m
+                .iter()
+                .filter(|c| c.gpus == 1 && c.vcpus >= 64)
+                .map(|c| c.count)
+                .sum();
+            assert!(high <= 2, "{p}: {high}");
+        }
+    }
+
+    #[test]
+    fn bucketing_snaps_sensibly() {
+        assert_eq!(bucket(6, &VCPU_AXIS), Some(4)); // NC6s_v3 → 4-bucket (nearest)
+        assert_eq!(bucket(12, &VCPU_AXIS), Some(8)); // 12 is closer to 8? no: |12-8|=4, |12-16|=4 → min_by_key picks first=8
+        assert_eq!(bucket(192, &VCPU_AXIS), Some(96));
+        assert_eq!(bucket(96, &VCPU_AXIS), Some(96));
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Cloud GPU instance catalog, the Figure-1 vCPU:GPU matrix, and the cost
+//! planner behind the paper's "halve the cloud costs" claim.
+//!
+//! Figure 1 motivates TensorSocket: cloud providers offer few distinct
+//! vCPU-per-GPU ratios, and buying more vCPUs for the same GPU multiplies
+//! the price. The catalog below encodes the GPU instance families of AWS,
+//! Azure and GCP as of the paper's snapshot (late 2023 pricing for the g5
+//! family matches Table 2 exactly); [`figure1_matrix`] derives the heatmap
+//! and [`planner`] answers "which instance sustains this workload, and
+//! what does sharing save?".
+
+pub mod catalog;
+pub mod figure1;
+pub mod planner;
+
+pub use catalog::{all_instances, Instance, Provider};
+pub use figure1::{figure1_matrix, Figure1Cell, GPU_AXIS, VCPU_AXIS};
+pub use planner::{cheapest_sustaining, savings_with_sharing, Requirement};

@@ -1,0 +1,131 @@
+//! Cost planning: which instance sustains a workload, and what does
+//! sharing save?
+//!
+//! The §4.3 claim: CLMR training needs ~32 vCPUs per A10G without sharing
+//! but only ~8 with TensorSocket, so the g5.2xlarge replaces the
+//! g5.8xlarge at ~half the cost. [`savings_with_sharing`] computes exactly
+//! that ratio from the catalog.
+
+use crate::catalog::{all_instances, Instance};
+
+/// Resources a workload needs from one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Requirement {
+    /// Minimum vCPUs (data loading + training scripts).
+    pub vcpus: u32,
+    /// Minimum GPU count.
+    pub gpus: u32,
+    /// Minimum VRAM per GPU in GB.
+    pub vram_gb: u32,
+    /// Required GPU model (`None` = any).
+    pub gpu_model: Option<&'static str>,
+}
+
+impl Requirement {
+    fn satisfied_by(&self, i: &Instance) -> bool {
+        i.vcpus >= self.vcpus
+            && i.gpus >= self.gpus
+            && i.vram_gb >= self.vram_gb
+            && self.gpu_model.is_none_or(|m| i.gpu_model == m)
+    }
+}
+
+/// The cheapest catalog instance satisfying `req`.
+pub fn cheapest_sustaining(req: Requirement) -> Option<Instance> {
+    all_instances()
+        .into_iter()
+        .filter(|i| req.satisfied_by(i))
+        .min_by(|a, b| {
+            a.hourly_usd
+                .partial_cmp(&b.hourly_usd)
+                .expect("prices are finite")
+        })
+}
+
+/// Cost comparison of running a workload with and without shared loading.
+#[derive(Debug, Clone)]
+pub struct SharingSavings {
+    /// Cheapest instance without sharing.
+    pub without: Instance,
+    /// Cheapest instance with sharing.
+    pub with: Instance,
+    /// `1 - with/without` as a fraction.
+    pub saving_fraction: f64,
+}
+
+/// Computes the cost saving from reducing the vCPU requirement via shared
+/// loading (`vcpus_without` → `vcpus_with`), all else equal.
+pub fn savings_with_sharing(
+    mut req: Requirement,
+    vcpus_without: u32,
+    vcpus_with: u32,
+) -> Option<SharingSavings> {
+    req.vcpus = vcpus_without;
+    let without = cheapest_sustaining(req)?;
+    req.vcpus = vcpus_with;
+    let with = cheapest_sustaining(req)?;
+    let saving_fraction = 1.0 - with.hourly_usd / without.hourly_usd;
+    Some(SharingSavings {
+        without,
+        with,
+        saving_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmr_case_from_section_4_3() {
+        // 4-way CLMR on one A10G: 32 vCPUs without sharing, 8 with.
+        let req = Requirement {
+            vcpus: 0,
+            gpus: 1,
+            vram_gb: 24,
+            gpu_model: Some("A10G"),
+        };
+        let s = savings_with_sharing(req, 32, 8).unwrap();
+        assert_eq!(s.without.name, "g5.8xlarge");
+        assert_eq!(s.with.name, "g5.2xlarge");
+        // 1 - 1.212/2.448 ≈ 50.5%
+        assert!((s.saving_fraction - 0.505).abs() < 0.01, "{}", s.saving_fraction);
+    }
+
+    #[test]
+    fn cheapest_respects_all_constraints() {
+        let i = cheapest_sustaining(Requirement {
+            vcpus: 40,
+            gpus: 4,
+            vram_gb: 40,
+            gpu_model: Some("A100"),
+        })
+        .unwrap();
+        assert!(i.vcpus >= 40 && i.gpus >= 4 && i.vram_gb >= 40);
+        assert_eq!(i.gpu_model, "A100");
+    }
+
+    #[test]
+    fn impossible_requirements_yield_none() {
+        assert!(cheapest_sustaining(Requirement {
+            vcpus: 10_000,
+            gpus: 1,
+            vram_gb: 24,
+            gpu_model: None,
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn any_model_picks_cheapest_overall() {
+        let i = cheapest_sustaining(Requirement {
+            vcpus: 4,
+            gpus: 1,
+            vram_gb: 16,
+            gpu_model: None,
+        })
+        .unwrap();
+        // cheapest 1-GPU/16GB+ box in the catalog (T4 class)
+        assert!(i.hourly_usd <= 0.55, "{} at {}", i.name, i.hourly_usd);
+    }
+}

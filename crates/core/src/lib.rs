@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+
+//! # TensorSocket — shared data loading for deep-learning training
+//!
+//! A from-scratch Rust reproduction of *TensorSocket: Shared Data Loading
+//! for Deep Learning Training* (SIGMOD 2025). One **producer** owns the
+//! data-loading pipeline; any number of collocated **consumers** (training
+//! processes) iterate over the batches it prepares. Batches are shared as
+//! *pointers* ([`ts_tensor::TensorPayload`]) rather than bytes, so adding a
+//! consumer adds no loading work and no data duplication.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tensorsocket::{ProducerConfig, ConsumerConfig, TensorProducer, TensorConsumer, TsContext};
+//! use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+//!
+//! let ctx = TsContext::host_only();
+//! let dataset = Arc::new(SyntheticImageDataset::imagenet_like(1024, 0));
+//! let loader = DataLoader::new(dataset, DataLoaderConfig::default());
+//!
+//! // producer.py
+//! let producer = TensorProducer::spawn(loader, &ctx, ProducerConfig::default()).unwrap();
+//!
+//! // consumer.py (normally another thread / logical process)
+//! let consumer = TensorConsumer::connect(&ctx, ConsumerConfig::default()).unwrap();
+//! for batch in consumer {
+//!     // ... model training iteration ...
+//!     let _ = batch.fields[0].shape();
+//! }
+//! producer.join().unwrap();
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`protocol`] — pure, time-injected state machines: publish window
+//!   ([`protocol::buffer::BatchWindow`]), release tracking
+//!   ([`protocol::acks::AckTracker`]), liveness ([`protocol::heartbeat::HeartbeatMonitor`]),
+//!   late-join admission ([`protocol::rubberband::RubberbandPolicy`]), flexible batch
+//!   planning ([`protocol::flex`]) and batch-order variation
+//!   ([`protocol::order`]). The virtual-time simulator (`ts-sim`) drives
+//!   these same state machines, so the evaluated protocol and the shipped
+//!   protocol cannot diverge.
+//! * [`runtime`] — the threaded runtime: [`TensorProducer`] /
+//!   [`TensorConsumer`] over `ts-socket` PUB/SUB + PUSH/PULL with real
+//!   payload sharing through the [`ts_tensor::SharedRegistry`].
+
+pub mod protocol;
+pub mod runtime;
+
+pub use protocol::acks::AckTracker;
+pub use protocol::buffer::BatchWindow;
+pub use protocol::flex::{plan_flex, FlexPlan, Segment};
+pub use protocol::heartbeat::HeartbeatMonitor;
+pub use protocol::messages::{AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision};
+pub use protocol::rubberband::RubberbandPolicy;
+pub use runtime::consumer::{ConsumerBatch, TensorConsumer};
+pub use runtime::context::TsContext;
+pub use runtime::producer::{EpochSource, ProducerStats, TensorProducer};
+pub use runtime::{ConsumerConfig, FlexibleConfig, ProducerConfig};
+
+/// Errors from the TensorSocket runtime and protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsError {
+    /// Tensor-level failure (dangling payload, OOM, shape).
+    Tensor(ts_tensor::TensorError),
+    /// Messaging failure.
+    Socket(String),
+    /// Wire decode failure.
+    Wire(String),
+    /// Join handshake failed or was rejected.
+    Join(String),
+    /// The producer detached this consumer (missed heartbeats).
+    Detached,
+    /// Timed out waiting for the peer.
+    Timeout(&'static str),
+    /// Invalid configuration.
+    Config(String),
+    /// A consumer-local transform failed.
+    Transform(String),
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::Tensor(e) => write!(f, "tensor error: {e}"),
+            TsError::Socket(m) => write!(f, "socket error: {m}"),
+            TsError::Wire(m) => write!(f, "wire error: {m}"),
+            TsError::Join(m) => write!(f, "join failed: {m}"),
+            TsError::Detached => write!(f, "detached by producer (missed heartbeats)"),
+            TsError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            TsError::Config(m) => write!(f, "invalid config: {m}"),
+            TsError::Transform(m) => write!(f, "local transform failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+impl From<ts_tensor::TensorError> for TsError {
+    fn from(e: ts_tensor::TensorError) -> Self {
+        TsError::Tensor(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, TsError>;

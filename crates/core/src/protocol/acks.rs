@@ -1,0 +1,164 @@
+//! Release tracking: when may the producer free a batch's memory?
+//!
+//! "Whenever data is shared with a consumer, the producer will store a
+//! reference to that data. […] The producer will release the associated
+//! memory when all consumers are finished with it." (§3.2.3)
+
+use std::collections::{BTreeMap, HashSet};
+
+/// Tracks which consumers still owe an acknowledgement per batch.
+#[derive(Debug, Clone, Default)]
+pub struct AckTracker {
+    pending: BTreeMap<u64, HashSet<u64>>,
+}
+
+impl AckTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that batch `seq` was shared with `consumers`.
+    ///
+    /// A batch shared with nobody is immediately releasable and is *not*
+    /// stored.
+    pub fn published(&mut self, seq: u64, consumers: impl IntoIterator<Item = u64>) {
+        let set: HashSet<u64> = consumers.into_iter().collect();
+        if !set.is_empty() {
+            self.pending.insert(seq, set);
+        }
+    }
+
+    /// Adds a late consumer (rubberband replay) to existing pending batches
+    /// in `[from_seq, to_seq)` — it must ack the replayed batches too.
+    pub fn add_consumer_to_range(&mut self, consumer: u64, from_seq: u64, to_seq: u64) {
+        for (_, owers) in self.pending.range_mut(from_seq..to_seq) {
+            owers.insert(consumer);
+        }
+    }
+
+    /// Records an acknowledgement. Returns `true` when batch `seq` became
+    /// fully acknowledged (releasable) by this ack.
+    pub fn on_ack(&mut self, consumer: u64, seq: u64) -> bool {
+        if let Some(owers) = self.pending.get_mut(&seq) {
+            owers.remove(&consumer);
+            if owers.is_empty() {
+                self.pending.remove(&seq);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes a consumer from every pending batch (detach / leave),
+    /// returning the batches that became releasable.
+    pub fn remove_consumer(&mut self, consumer: u64) -> Vec<u64> {
+        let mut released = Vec::new();
+        self.pending.retain(|&seq, owers| {
+            owers.remove(&consumer);
+            if owers.is_empty() {
+                released.push(seq);
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+
+    /// Batches still awaiting acknowledgements.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Consumers still owing an ack for `seq`, if any.
+    pub fn owers(&self, seq: u64) -> Option<&HashSet<u64>> {
+        self.pending.get(&seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_after_all_acks() {
+        let mut t = AckTracker::new();
+        t.published(0, [1, 2, 3]);
+        assert!(!t.on_ack(1, 0));
+        assert!(!t.on_ack(2, 0));
+        assert!(t.on_ack(3, 0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_acks_are_harmless() {
+        let mut t = AckTracker::new();
+        t.published(0, [1, 2]);
+        assert!(!t.on_ack(1, 0));
+        assert!(!t.on_ack(1, 0)); // duplicate
+        assert!(!t.on_ack(9, 0)); // never shared with 9
+        assert!(!t.on_ack(1, 5)); // unknown seq
+        assert!(t.on_ack(2, 0));
+    }
+
+    #[test]
+    fn detach_releases_batches_waiting_only_on_that_consumer() {
+        let mut t = AckTracker::new();
+        t.published(0, [1, 2]);
+        t.published(1, [1, 2]);
+        t.published(2, [2]);
+        t.on_ack(1, 0);
+        t.on_ack(1, 1);
+        // consumer 2 vanishes: everything it was holding up releases
+        let mut released = t.remove_consumer(2);
+        released.sort_unstable();
+        assert_eq!(released, vec![0, 1, 2]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn empty_consumer_set_is_immediately_releasable() {
+        let mut t = AckTracker::new();
+        t.published(7, []);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rubberband_adds_consumer_to_pending_range() {
+        let mut t = AckTracker::new();
+        t.published(0, [1]);
+        t.published(1, [1]);
+        t.published(2, [1]);
+        t.on_ack(1, 0); // seq 0 already released
+        t.add_consumer_to_range(2, 0, 3);
+        assert_eq!(t.owers(1).unwrap().len(), 2);
+        assert!(!t.on_ack(1, 1));
+        assert!(!t.on_ack(1, 2));
+        assert!(t.on_ack(2, 1));
+        assert!(t.on_ack(2, 2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pending_count_tracks_outstanding() {
+        let mut t = AckTracker::new();
+        for seq in 0..5 {
+            t.published(seq, [1, 2]);
+        }
+        assert_eq!(t.pending_count(), 5);
+        for seq in 0..5 {
+            t.on_ack(1, seq);
+        }
+        assert_eq!(t.pending_count(), 5);
+        for seq in 0..5 {
+            t.on_ack(2, seq);
+        }
+        assert_eq!(t.pending_count(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The publish window: TensorSocket's consumer-side batch buffer, seen from
+//! the producer.
+//!
+//! "Instead of actively requesting the next batch on iteration, consumers
+//! can hold up to N batches (i.e., pointers to the tensors of batches) in
+//! their buffer. This allows for the producer to actively pre-fetch data,
+//! and for the consumers to drift at most N batches apart." (§3.2.5)
+//!
+//! The window tracks, per consumer, how many batches it has finished
+//! (acknowledged). The producer may publish batch `seq` only while every
+//! consumer satisfies `seq - acked < N`. With no consumers connected the
+//! window is closed — "there is no need for any data loading" (§3.2.1).
+
+use std::collections::HashMap;
+
+/// Producer-side gate implementing the bounded drift invariant.
+#[derive(Debug, Clone)]
+pub struct BatchWindow {
+    capacity: u64,
+    next_seq: u64,
+    /// Per-consumer count of batches fully processed (cursor into the global
+    /// sequence). A consumer admitted at seq `s` starts with cursor `s`.
+    cursors: HashMap<u64, u64>,
+}
+
+impl BatchWindow {
+    /// A window allowing consumers to hold up to `capacity` batches.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1) as u64,
+            next_seq: 0,
+            cursors: HashMap::new(),
+        }
+    }
+
+    /// The buffer capacity N.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Sequence number the next published batch will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Registered consumer ids.
+    pub fn consumers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cursors.keys().copied()
+    }
+
+    /// Number of registered consumers.
+    pub fn consumer_count(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Registers a consumer whose first unprocessed batch is `at_seq`.
+    pub fn add_consumer(&mut self, id: u64, at_seq: u64) {
+        self.cursors.insert(id, at_seq);
+    }
+
+    /// Removes a consumer (left or detached).
+    pub fn remove_consumer(&mut self, id: u64) {
+        self.cursors.remove(&id);
+    }
+
+    /// True when the producer may publish the next batch: at least one
+    /// consumer is connected and none would exceed its buffer.
+    pub fn can_publish(&self) -> bool {
+        if self.cursors.is_empty() {
+            return false;
+        }
+        self.cursors
+            .values()
+            .all(|&acked| self.next_seq - acked < self.capacity)
+    }
+
+    /// Records that the next batch was published, returning its sequence
+    /// number.
+    pub fn published(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Records that `consumer` finished batch `seq`. Cursors only move
+    /// forward; re-acks and out-of-order acks are tolerated.
+    pub fn on_ack(&mut self, consumer: u64, seq: u64) {
+        if let Some(cursor) = self.cursors.get_mut(&consumer) {
+            let done = seq + 1;
+            if done > *cursor {
+                *cursor = done;
+            }
+        }
+    }
+
+    /// Largest number of batches any two consumers are apart.
+    pub fn drift(&self) -> u64 {
+        let min = self.cursors.values().min().copied().unwrap_or(0);
+        let max = self.cursors.values().max().copied().unwrap_or(0);
+        max - min
+    }
+
+    /// Batches published but not yet finished by the slowest consumer.
+    pub fn outstanding(&self) -> u64 {
+        match self.cursors.values().min() {
+            Some(&min) => self.next_seq - min,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_without_consumers() {
+        let w = BatchWindow::new(2);
+        assert!(!w.can_publish());
+        assert_eq!(w.outstanding(), 0);
+    }
+
+    #[test]
+    fn basic_publish_ack_cycle() {
+        let mut w = BatchWindow::new(2);
+        w.add_consumer(1, 0);
+        assert!(w.can_publish());
+        assert_eq!(w.published(), 0);
+        assert!(w.can_publish());
+        assert_eq!(w.published(), 1);
+        // buffer full (N=2, nothing acked)
+        assert!(!w.can_publish());
+        w.on_ack(1, 0);
+        assert!(w.can_publish());
+        assert_eq!(w.outstanding(), 1);
+    }
+
+    #[test]
+    fn slowest_consumer_gates_publishing() {
+        let mut w = BatchWindow::new(2);
+        w.add_consumer(1, 0);
+        w.add_consumer(2, 0);
+        w.published();
+        w.published();
+        w.on_ack(1, 0);
+        w.on_ack(1, 1);
+        // consumer 2 has acked nothing
+        assert!(!w.can_publish());
+        assert_eq!(w.drift(), 2);
+        w.on_ack(2, 0);
+        assert!(w.can_publish());
+        assert_eq!(w.drift(), 1);
+    }
+
+    #[test]
+    fn drift_never_exceeds_capacity_under_random_acks() {
+        // Simulate: publish whenever allowed, ack consumers unevenly, and
+        // assert the invariant that outstanding <= N at all times.
+        let n = 3;
+        let mut w = BatchWindow::new(n);
+        w.add_consumer(1, 0);
+        w.add_consumer(2, 0);
+        let mut acked1 = 0u64;
+        let mut acked2 = 0u64;
+        for round in 0..1000u64 {
+            while w.can_publish() {
+                w.published();
+            }
+            assert!(w.outstanding() <= n as u64);
+            // consumer 1 acks aggressively, consumer 2 lags
+            if acked1 < w.next_seq() {
+                w.on_ack(1, acked1);
+                acked1 += 1;
+            }
+            if round % 3 == 0 && acked2 < w.next_seq() {
+                w.on_ack(2, acked2);
+                acked2 += 1;
+            }
+            assert!(w.drift() <= n as u64);
+        }
+    }
+
+    #[test]
+    fn late_consumer_starts_at_given_seq() {
+        let mut w = BatchWindow::new(2);
+        w.add_consumer(1, 0);
+        for _ in 0..10 {
+            while w.can_publish() {
+                w.published();
+            }
+            w.on_ack(1, w.next_seq() - 1); // instantly acks everything
+        }
+        let seq = w.next_seq();
+        w.add_consumer(2, seq);
+        assert!(w.can_publish());
+        // newcomer replaying from an earlier seq halts the window until it
+        // catches up (rubberbanding)
+        w.add_consumer(3, seq.saturating_sub(5));
+        assert!(!w.can_publish());
+        w.on_ack(3, seq - 1);
+        assert!(w.can_publish());
+    }
+
+    #[test]
+    fn remove_consumer_reopens_window() {
+        let mut w = BatchWindow::new(1);
+        w.add_consumer(1, 0);
+        w.add_consumer(2, 0);
+        w.published();
+        w.on_ack(1, 0);
+        assert!(!w.can_publish());
+        w.remove_consumer(2);
+        assert!(w.can_publish());
+        w.remove_consumer(1);
+        assert!(!w.can_publish()); // empty again
+    }
+
+    #[test]
+    fn reacks_and_stale_acks_ignored() {
+        let mut w = BatchWindow::new(4);
+        w.add_consumer(1, 0);
+        for _ in 0..4 {
+            w.published();
+        }
+        w.on_ack(1, 2); // jumps cursor to 3
+        w.on_ack(1, 0); // stale, ignored
+        assert_eq!(w.outstanding(), 1);
+        w.on_ack(9, 3); // unknown consumer, ignored
+        assert_eq!(w.consumer_count(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Consumer liveness tracking.
+//!
+//! "In order to be continuously aware of consumers, producers send and
+//! receive heartbeat messages from their consumers over a different socket.
+//! The producer will detach from consumers that it has not received a
+//! heartbeat from in a while." (§3.2.3)
+//!
+//! Time is injected as nanoseconds so the same monitor runs under the
+//! threaded runtime (wall clock) and the simulator (virtual clock).
+
+use std::collections::HashMap;
+
+/// Tracks the last heartbeat per consumer and expires the silent ones.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    timeout_ns: u64,
+    last_seen: HashMap<u64, u64>,
+}
+
+impl HeartbeatMonitor {
+    /// A monitor that detaches consumers silent for `timeout_ns`.
+    pub fn new(timeout_ns: u64) -> Self {
+        Self {
+            timeout_ns: timeout_ns.max(1),
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout_ns(&self) -> u64 {
+        self.timeout_ns
+    }
+
+    /// Records a heartbeat (or any sign of life — acks count too).
+    pub fn beat(&mut self, consumer: u64, now_ns: u64) {
+        self.last_seen
+            .entry(consumer)
+            .and_modify(|t| *t = (*t).max(now_ns))
+            .or_insert(now_ns);
+    }
+
+    /// Stops tracking a consumer (clean leave or detach).
+    pub fn remove(&mut self, consumer: u64) {
+        self.last_seen.remove(&consumer);
+    }
+
+    /// Returns (and stops tracking) every consumer whose last sign of life
+    /// is older than the timeout.
+    pub fn expire(&mut self, now_ns: u64) -> Vec<u64> {
+        let timeout = self.timeout_ns;
+        let mut dead: Vec<u64> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &t)| now_ns.saturating_sub(t) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        dead.sort_unstable();
+        for id in &dead {
+            self.last_seen.remove(id);
+        }
+        dead
+    }
+
+    /// Consumers currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// True when `consumer` is tracked and fresh at `now_ns`.
+    pub fn is_alive(&self, consumer: u64, now_ns: u64) -> bool {
+        self.last_seen
+            .get(&consumer)
+            .is_some_and(|&t| now_ns.saturating_sub(t) <= self.timeout_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_consumers_stay_alive() {
+        let mut hb = HeartbeatMonitor::new(100);
+        hb.beat(1, 0);
+        hb.beat(1, 50);
+        assert!(hb.is_alive(1, 120));
+        assert!(hb.expire(120).is_empty());
+        assert_eq!(hb.tracked(), 1);
+    }
+
+    #[test]
+    fn silent_consumers_expire_once() {
+        let mut hb = HeartbeatMonitor::new(100);
+        hb.beat(1, 0);
+        hb.beat(2, 90);
+        assert_eq!(hb.expire(150), vec![1]);
+        // already expired; not reported again
+        assert!(hb.expire(160).is_empty());
+        assert_eq!(hb.expire(300), vec![2]);
+        assert_eq!(hb.tracked(), 0);
+    }
+
+    #[test]
+    fn beat_never_moves_backwards() {
+        let mut hb = HeartbeatMonitor::new(100);
+        hb.beat(1, 500);
+        hb.beat(1, 100); // stale beat, ignored
+        assert!(hb.is_alive(1, 550));
+    }
+
+    #[test]
+    fn remove_stops_tracking() {
+        let mut hb = HeartbeatMonitor::new(100);
+        hb.beat(1, 0);
+        hb.remove(1);
+        assert!(!hb.is_alive(1, 1));
+        assert!(hb.expire(1000).is_empty());
+    }
+
+    #[test]
+    fn multiple_expiries_sorted() {
+        let mut hb = HeartbeatMonitor::new(10);
+        hb.beat(5, 0);
+        hb.beat(1, 0);
+        hb.beat(3, 100);
+        assert_eq!(hb.expire(50), vec![1, 5]);
+    }
+}

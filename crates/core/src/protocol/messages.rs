@@ -1,0 +1,628 @@
+//! Wire messages and their binary codec.
+//!
+//! Two channels, as in the paper (§3.2.3):
+//!
+//! * **data** (PUB → SUB): [`DataMsg`] — epoch markers, batch announcements
+//!   carrying [`ts_tensor::TensorPayload`]s (pointers, not data), join
+//!   replies and detach notices;
+//! * **control** (PUSH → PULL): [`CtrlMsg`] — joins, readiness, acks,
+//!   heartbeats and leaves from consumers.
+//!
+//! The codec is a hand-rolled little-endian format: fixed header tag byte,
+//! length-prefixed repeated sections. No serde — messages are small and the
+//! layout is part of the reproduction (payload size must not scale with
+//! batch size).
+
+use crate::{Result, TsError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ts_tensor::TensorPayload;
+
+/// Topic names used on the data socket.
+pub mod topics {
+    /// Shared batch announcements (default mode).
+    pub const BATCH: &[u8] = b"batch";
+    /// Broadcast control notices (epoch start, end, detach).
+    pub const CTRL: &[u8] = b"ctrl";
+
+    /// Per-consumer topic (join replies, replays, flexible-mode batches).
+    pub fn consumer(id: u64) -> Vec<u8> {
+        format!("cons/{id}").into_bytes()
+    }
+}
+
+/// Messages consumers push to the producer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Request to join with the desired consumer batch size.
+    Join {
+        /// Self-assigned consumer id (random u64).
+        consumer_id: u64,
+        /// Desired batch size (only meaningful under flexible sizing).
+        batch_size: u32,
+    },
+    /// The consumer subscribed to the batch topic and is ready to receive.
+    Ready {
+        /// Consumer id.
+        consumer_id: u64,
+    },
+    /// The consumer finished batch `seq` (global sequence number).
+    Ack {
+        /// Consumer id.
+        consumer_id: u64,
+        /// Global batch sequence number.
+        seq: u64,
+    },
+    /// Liveness signal.
+    Heartbeat {
+        /// Consumer id.
+        consumer_id: u64,
+    },
+    /// Clean departure.
+    Leave {
+        /// Consumer id.
+        consumer_id: u64,
+    },
+}
+
+/// The producer's decision on a join request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinDecision {
+    /// Admitted into the running epoch; batches `replay_from..` of `epoch`
+    /// will be (re)sent on the consumer's private topic (rubberbanding).
+    AdmitReplay {
+        /// Epoch being joined.
+        epoch: u64,
+        /// First epoch-batch index that will be replayed.
+        replay_from: u64,
+        /// Batches in this epoch.
+        num_batches: u64,
+        /// Global sequence number of the epoch's first batch; the consumer
+        /// starts expecting this and deduplicates replays against live
+        /// announcements with it.
+        start_seq: u64,
+    },
+    /// Admission deferred to the start of `epoch`.
+    WaitEpoch {
+        /// Epoch at which the consumer will be admitted.
+        epoch: u64,
+    },
+    /// Join rejected (e.g. batch-size mismatch in default mode).
+    Reject {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// One consumer batch under flexible sizing: per-field segment payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlexBatchPayload {
+    /// For each tensor field, the segments composing this batch.
+    pub fields: Vec<Vec<TensorPayload>>,
+    /// Label segments.
+    pub labels: Vec<TensorPayload>,
+}
+
+/// What a batch announcement carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnounceContent {
+    /// Default mode: every consumer trains on the same tensors.
+    Shared {
+        /// Collated tensor fields.
+        fields: Vec<TensorPayload>,
+        /// Labels.
+        labels: TensorPayload,
+    },
+    /// Flexible mode: this consumer's carved batches for one producer batch.
+    Flex {
+        /// The consumer batches, in visit order.
+        batches: Vec<FlexBatchPayload>,
+    },
+}
+
+/// A batch announcement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchAnnounce {
+    /// Global (cross-epoch) sequence number; acks reference this.
+    pub seq: u64,
+    /// Epoch the batch belongs to.
+    pub epoch: u64,
+    /// Batch index within the epoch.
+    pub index_in_epoch: u64,
+    /// True for the epoch's final batch.
+    pub last_in_epoch: bool,
+    /// Payload content.
+    pub content: AnnounceContent,
+}
+
+/// Messages the producer publishes on the data socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataMsg {
+    /// A new epoch begins.
+    EpochStart {
+        /// Epoch number.
+        epoch: u64,
+        /// Batches the epoch will publish.
+        num_batches: u64,
+    },
+    /// A batch announcement.
+    Batch(BatchAnnounce),
+    /// Reply to a join request (sent on the consumer's private topic).
+    JoinReply {
+        /// The consumer being answered.
+        consumer_id: u64,
+        /// The decision.
+        decision: JoinDecision,
+    },
+    /// The producer detached a consumer (missed heartbeats).
+    Detached {
+        /// The detached consumer.
+        consumer_id: u64,
+    },
+    /// All epochs complete; the producer is shutting down.
+    End,
+}
+
+// ---------------------------------------------------------------------------
+// codec helpers
+// ---------------------------------------------------------------------------
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>> {
+    if buf.len() < 4 {
+        return Err(TsError::Wire("truncated length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.len() < len {
+        return Err(TsError::Wire("truncated bytes".into()));
+    }
+    let out = buf[..len].to_vec();
+    buf.advance(len);
+    Ok(out)
+}
+
+fn put_payload(buf: &mut BytesMut, p: &TensorPayload) {
+    put_bytes(buf, &p.encode());
+}
+
+fn get_payload(buf: &mut &[u8]) -> Result<TensorPayload> {
+    let raw = get_bytes(buf)?;
+    TensorPayload::decode(&raw).map_err(|e| TsError::Wire(format!("payload: {e}")))
+}
+
+fn put_payload_vec(buf: &mut BytesMut, v: &[TensorPayload]) {
+    buf.put_u32_le(v.len() as u32);
+    for p in v {
+        put_payload(buf, p);
+    }
+}
+
+fn get_payload_vec(buf: &mut &[u8]) -> Result<Vec<TensorPayload>> {
+    if buf.len() < 4 {
+        return Err(TsError::Wire("truncated vec length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if n > 1 << 20 {
+        return Err(TsError::Wire("implausible vec length".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_payload(buf)?);
+    }
+    Ok(out)
+}
+
+fn need(buf: &[u8], n: usize) -> Result<()> {
+    if buf.len() < n {
+        return Err(TsError::Wire(format!("need {n} bytes, have {}", buf.len())));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// CtrlMsg codec
+// ---------------------------------------------------------------------------
+
+impl CtrlMsg {
+    /// The consumer id carried by any control message.
+    pub fn consumer_id(&self) -> u64 {
+        match self {
+            CtrlMsg::Join { consumer_id, .. }
+            | CtrlMsg::Ready { consumer_id }
+            | CtrlMsg::Ack { consumer_id, .. }
+            | CtrlMsg::Heartbeat { consumer_id }
+            | CtrlMsg::Leave { consumer_id } => *consumer_id,
+        }
+    }
+
+    /// Encodes to a single frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(24);
+        match self {
+            CtrlMsg::Join {
+                consumer_id,
+                batch_size,
+            } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*consumer_id);
+                buf.put_u32_le(*batch_size);
+            }
+            CtrlMsg::Ready { consumer_id } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*consumer_id);
+            }
+            CtrlMsg::Ack { consumer_id, seq } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*consumer_id);
+                buf.put_u64_le(*seq);
+            }
+            CtrlMsg::Heartbeat { consumer_id } => {
+                buf.put_u8(3);
+                buf.put_u64_le(*consumer_id);
+            }
+            CtrlMsg::Leave { consumer_id } => {
+                buf.put_u8(4);
+                buf.put_u64_le(*consumer_id);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame.
+    pub fn decode(mut buf: &[u8]) -> Result<Self> {
+        need(buf, 9)?;
+        let tag = buf.get_u8();
+        let consumer_id = buf.get_u64_le();
+        Ok(match tag {
+            0 => {
+                need(buf, 4)?;
+                CtrlMsg::Join {
+                    consumer_id,
+                    batch_size: buf.get_u32_le(),
+                }
+            }
+            1 => CtrlMsg::Ready { consumer_id },
+            2 => {
+                need(buf, 8)?;
+                CtrlMsg::Ack {
+                    consumer_id,
+                    seq: buf.get_u64_le(),
+                }
+            }
+            3 => CtrlMsg::Heartbeat { consumer_id },
+            4 => CtrlMsg::Leave { consumer_id },
+            t => return Err(TsError::Wire(format!("bad ctrl tag {t}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DataMsg codec
+// ---------------------------------------------------------------------------
+
+impl DataMsg {
+    /// Encodes to a single frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            DataMsg::EpochStart { epoch, num_batches } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*num_batches);
+            }
+            DataMsg::Batch(b) => {
+                buf.put_u8(1);
+                buf.put_u64_le(b.seq);
+                buf.put_u64_le(b.epoch);
+                buf.put_u64_le(b.index_in_epoch);
+                buf.put_u8(b.last_in_epoch as u8);
+                match &b.content {
+                    AnnounceContent::Shared { fields, labels } => {
+                        buf.put_u8(0);
+                        put_payload_vec(&mut buf, fields);
+                        put_payload(&mut buf, labels);
+                    }
+                    AnnounceContent::Flex { batches } => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(batches.len() as u32);
+                        for fb in batches {
+                            buf.put_u32_le(fb.fields.len() as u32);
+                            for segs in &fb.fields {
+                                put_payload_vec(&mut buf, segs);
+                            }
+                            put_payload_vec(&mut buf, &fb.labels);
+                        }
+                    }
+                }
+            }
+            DataMsg::JoinReply {
+                consumer_id,
+                decision,
+            } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*consumer_id);
+                match decision {
+                    JoinDecision::AdmitReplay {
+                        epoch,
+                        replay_from,
+                        num_batches,
+                        start_seq,
+                    } => {
+                        buf.put_u8(0);
+                        buf.put_u64_le(*epoch);
+                        buf.put_u64_le(*replay_from);
+                        buf.put_u64_le(*num_batches);
+                        buf.put_u64_le(*start_seq);
+                    }
+                    JoinDecision::WaitEpoch { epoch } => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(*epoch);
+                    }
+                    JoinDecision::Reject { reason } => {
+                        buf.put_u8(2);
+                        put_bytes(&mut buf, reason.as_bytes());
+                    }
+                }
+            }
+            DataMsg::Detached { consumer_id } => {
+                buf.put_u8(3);
+                buf.put_u64_le(*consumer_id);
+            }
+            DataMsg::End => {
+                buf.put_u8(4);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame.
+    pub fn decode(mut buf: &[u8]) -> Result<Self> {
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        Ok(match tag {
+            0 => {
+                need(buf, 16)?;
+                DataMsg::EpochStart {
+                    epoch: buf.get_u64_le(),
+                    num_batches: buf.get_u64_le(),
+                }
+            }
+            1 => {
+                need(buf, 26)?;
+                let seq = buf.get_u64_le();
+                let epoch = buf.get_u64_le();
+                let index_in_epoch = buf.get_u64_le();
+                let last_in_epoch = buf.get_u8() != 0;
+                let kind = buf.get_u8();
+                let content = match kind {
+                    0 => {
+                        let fields = get_payload_vec(&mut buf)?;
+                        let labels = get_payload(&mut buf)?;
+                        AnnounceContent::Shared { fields, labels }
+                    }
+                    1 => {
+                        need(buf, 4)?;
+                        let n = buf.get_u32_le() as usize;
+                        if n > 1 << 20 {
+                            return Err(TsError::Wire("implausible flex batch count".into()));
+                        }
+                        let mut batches = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            need(buf, 4)?;
+                            let nf = buf.get_u32_le() as usize;
+                            if nf > 1 << 16 {
+                                return Err(TsError::Wire("implausible field count".into()));
+                            }
+                            let mut fields = Vec::with_capacity(nf);
+                            for _ in 0..nf {
+                                fields.push(get_payload_vec(&mut buf)?);
+                            }
+                            let labels = get_payload_vec(&mut buf)?;
+                            batches.push(FlexBatchPayload { fields, labels });
+                        }
+                        AnnounceContent::Flex { batches }
+                    }
+                    k => return Err(TsError::Wire(format!("bad content kind {k}"))),
+                };
+                DataMsg::Batch(BatchAnnounce {
+                    seq,
+                    epoch,
+                    index_in_epoch,
+                    last_in_epoch,
+                    content,
+                })
+            }
+            2 => {
+                need(buf, 9)?;
+                let consumer_id = buf.get_u64_le();
+                let dtag = buf.get_u8();
+                let decision = match dtag {
+                    0 => {
+                        need(buf, 32)?;
+                        JoinDecision::AdmitReplay {
+                            epoch: buf.get_u64_le(),
+                            replay_from: buf.get_u64_le(),
+                            num_batches: buf.get_u64_le(),
+                            start_seq: buf.get_u64_le(),
+                        }
+                    }
+                    1 => {
+                        need(buf, 8)?;
+                        JoinDecision::WaitEpoch {
+                            epoch: buf.get_u64_le(),
+                        }
+                    }
+                    2 => JoinDecision::Reject {
+                        reason: String::from_utf8_lossy(&get_bytes(&mut buf)?).into_owned(),
+                    },
+                    t => return Err(TsError::Wire(format!("bad decision tag {t}"))),
+                };
+                DataMsg::JoinReply {
+                    consumer_id,
+                    decision,
+                }
+            }
+            3 => {
+                need(buf, 8)?;
+                DataMsg::Detached {
+                    consumer_id: buf.get_u64_le(),
+                }
+            }
+            4 => DataMsg::End,
+            t => return Err(TsError::Wire(format!("bad data tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_device::DeviceId;
+    use ts_tensor::{DType, Tensor};
+
+    fn payload(shape: &[usize]) -> TensorPayload {
+        TensorPayload::pack(&Tensor::zeros(shape, DType::U8, DeviceId::Gpu(0)))
+    }
+
+    #[test]
+    fn ctrl_round_trips() {
+        let msgs = [
+            CtrlMsg::Join {
+                consumer_id: 7,
+                batch_size: 128,
+            },
+            CtrlMsg::Ready { consumer_id: 7 },
+            CtrlMsg::Ack {
+                consumer_id: 7,
+                seq: 42,
+            },
+            CtrlMsg::Heartbeat { consumer_id: 7 },
+            CtrlMsg::Leave { consumer_id: 7 },
+        ];
+        for m in msgs {
+            assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+            assert_eq!(m.consumer_id(), 7);
+        }
+    }
+
+    #[test]
+    fn data_msgs_round_trip() {
+        let msgs = [
+            DataMsg::EpochStart {
+                epoch: 3,
+                num_batches: 1000,
+            },
+            DataMsg::Batch(BatchAnnounce {
+                seq: 99,
+                epoch: 3,
+                index_in_epoch: 9,
+                last_in_epoch: true,
+                content: AnnounceContent::Shared {
+                    fields: vec![payload(&[128, 3, 224, 224]), payload(&[128, 77])],
+                    labels: payload(&[128]),
+                },
+            }),
+            DataMsg::JoinReply {
+                consumer_id: 5,
+                decision: JoinDecision::AdmitReplay {
+                    epoch: 0,
+                    replay_from: 0,
+                    num_batches: 100,
+                    start_seq: 300,
+                },
+            },
+            DataMsg::JoinReply {
+                consumer_id: 5,
+                decision: JoinDecision::WaitEpoch { epoch: 1 },
+            },
+            DataMsg::JoinReply {
+                consumer_id: 5,
+                decision: JoinDecision::Reject {
+                    reason: "batch size mismatch".to_string(),
+                },
+            },
+            DataMsg::Detached { consumer_id: 5 },
+            DataMsg::End,
+        ];
+        for m in msgs {
+            assert_eq!(DataMsg::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn flex_announce_round_trips() {
+        let m = DataMsg::Batch(BatchAnnounce {
+            seq: 1,
+            epoch: 0,
+            index_in_epoch: 1,
+            last_in_epoch: false,
+            content: AnnounceContent::Flex {
+                batches: vec![
+                    FlexBatchPayload {
+                        fields: vec![vec![payload(&[7, 3, 8, 8])], vec![payload(&[7, 77])]],
+                        labels: vec![payload(&[7])],
+                    },
+                    FlexBatchPayload {
+                        fields: vec![
+                            vec![payload(&[2, 3, 8, 8]), payload(&[5, 3, 8, 8])],
+                            vec![payload(&[2, 77]), payload(&[5, 77])],
+                        ],
+                        labels: vec![payload(&[2]), payload(&[5])],
+                    },
+                ],
+            },
+        });
+        assert_eq!(DataMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn announce_size_is_independent_of_batch_size(){
+        let small = DataMsg::Batch(BatchAnnounce {
+            seq: 0,
+            epoch: 0,
+            index_in_epoch: 0,
+            last_in_epoch: false,
+            content: AnnounceContent::Shared {
+                fields: vec![payload(&[2, 3, 8, 8])],
+                labels: payload(&[2]),
+            },
+        });
+        let huge = DataMsg::Batch(BatchAnnounce {
+            seq: 0,
+            epoch: 0,
+            index_in_epoch: 0,
+            last_in_epoch: false,
+            content: AnnounceContent::Shared {
+                fields: vec![payload(&[512, 3, 224, 224])],
+                labels: payload(&[512]),
+            },
+        });
+        assert_eq!(small.encode().len(), huge.encode().len());
+        assert!(huge.encode().len() < 256);
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_rejected() {
+        assert!(CtrlMsg::decode(&[]).is_err());
+        assert!(CtrlMsg::decode(&[0, 1, 2]).is_err());
+        assert!(CtrlMsg::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(DataMsg::decode(&[]).is_err());
+        assert!(DataMsg::decode(&[77]).is_err());
+        let good = DataMsg::EpochStart {
+            epoch: 0,
+            num_batches: 1,
+        }
+        .encode();
+        assert!(DataMsg::decode(&good[..good.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn topics_are_prefix_disjoint() {
+        assert!(!topics::consumer(1).starts_with(topics::BATCH));
+        assert!(!topics::BATCH.starts_with(b"cons"));
+        assert_eq!(topics::consumer(42), b"cons/42".to_vec());
+    }
+}

@@ -1,0 +1,170 @@
+//! Runtime configuration.
+
+use crate::protocol::order::OrderConfig;
+use std::sync::Arc;
+use std::time::Duration;
+use ts_data::Batch;
+use ts_device::DeviceId;
+
+/// A producer-side batch transformation (§3.3.4, Figure 7): runs once per
+/// batch in the producer before sharing, e.g. a frozen encoder generating
+/// embeddings. Receives the collated batch and returns the batch to share.
+pub type ProducerMap = Arc<dyn Fn(Batch) -> Batch + Send + Sync>;
+
+/// Flexible batch sizing configuration (§3.2.6–3.2.7).
+#[derive(Debug, Clone)]
+pub struct FlexibleConfig {
+    /// Producer batch size. The paper recommends at least twice the largest
+    /// consumer batch so the repeated share never exceeds 50%.
+    pub producer_batch: usize,
+    /// Batch-order variation (offsets / shuffling).
+    pub order: OrderConfig,
+}
+
+impl FlexibleConfig {
+    /// Flexible sizing with the given producer batch and no order variation.
+    pub fn new(producer_batch: usize) -> Self {
+        Self {
+            producer_batch,
+            order: OrderConfig::default(),
+        }
+    }
+}
+
+/// Producer configuration.
+#[derive(Clone)]
+pub struct ProducerConfig {
+    /// Endpoint base name; data goes on `<endpoint>/data`, control on
+    /// `<endpoint>/ctrl`.
+    pub endpoint: String,
+    /// Consumer-side batch buffer size N (paper default: 2 is enough for
+    /// similar tasks, §3.2.5).
+    pub buffer_size: usize,
+    /// Rubberband join window as a fraction of the epoch (paper: 0.02).
+    pub rubberband_cutoff: f64,
+    /// Consumers silent for longer than this are detached.
+    pub heartbeat_timeout: Duration,
+    /// Epochs to run.
+    pub epochs: u64,
+    /// Device batches are staged on before being shared (the paper puts the
+    /// producer on GPU 0). `DeviceId::Cpu` skips the device hop.
+    pub device: DeviceId,
+    /// Flexible batch sizing; `None` means default (identical batches).
+    pub flexible: Option<FlexibleConfig>,
+    /// Producer-side batch stage applied before sharing (e.g. frozen CLIP
+    /// inference for DALL-E training, Figure 7). Runs once per batch no
+    /// matter how many consumers attach.
+    pub producer_map: Option<ProducerMap>,
+    /// How long the producer waits in one control-poll round.
+    pub poll_interval: Duration,
+    /// Stop waiting for the first consumer after this long (None = forever).
+    pub first_consumer_timeout: Option<Duration>,
+}
+
+impl std::fmt::Debug for ProducerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProducerConfig")
+            .field("endpoint", &self.endpoint)
+            .field("buffer_size", &self.buffer_size)
+            .field("rubberband_cutoff", &self.rubberband_cutoff)
+            .field("epochs", &self.epochs)
+            .field("device", &self.device)
+            .field("flexible", &self.flexible)
+            .field("producer_map", &self.producer_map.as_ref().map(|_| "<fn>"))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ProducerConfig {
+    fn default() -> Self {
+        Self {
+            endpoint: "inproc://tensorsocket".to_string(),
+            buffer_size: 2,
+            rubberband_cutoff: 0.02,
+            heartbeat_timeout: Duration::from_secs(2),
+            epochs: 1,
+            device: DeviceId::Cpu,
+            flexible: None,
+            producer_map: None,
+            poll_interval: Duration::from_millis(1),
+            first_consumer_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ProducerConfig {
+    /// The data (PUB/SUB) endpoint name.
+    pub fn data_endpoint(&self) -> String {
+        format!("{}/data", self.endpoint)
+    }
+
+    /// The control (PUSH/PULL) endpoint name.
+    pub fn ctrl_endpoint(&self) -> String {
+        format!("{}/ctrl", self.endpoint)
+    }
+}
+
+/// Consumer configuration.
+#[derive(Debug, Clone)]
+pub struct ConsumerConfig {
+    /// Endpoint base name; must match the producer's.
+    pub endpoint: String,
+    /// Desired batch size (flexible mode only; ignored in default mode).
+    pub batch_size: Option<usize>,
+    /// Interval between heartbeats. Must be well below the producer's
+    /// timeout.
+    pub heartbeat_interval: Duration,
+    /// How long `connect` waits for the join reply, and how long `next`
+    /// waits for data before giving up.
+    pub recv_timeout: Duration,
+    /// Fixed consumer id; `None` picks a random one.
+    pub consumer_id: Option<u64>,
+    /// Consumer-local augmentation applied to the primary tensor field of
+    /// every received batch (finer-grained sharing, §5: decode once in the
+    /// producer, augment per training process). The transform output is a
+    /// private copy; the shared storage is untouched, so other consumers
+    /// still see the original bytes.
+    pub local_pipeline: Option<std::sync::Arc<ts_data::Pipeline>>,
+}
+
+impl Default for ConsumerConfig {
+    fn default() -> Self {
+        Self {
+            endpoint: "inproc://tensorsocket".to_string(),
+            batch_size: None,
+            heartbeat_interval: Duration::from_millis(200),
+            recv_timeout: Duration::from_secs(30),
+            consumer_id: None,
+            local_pipeline: None,
+        }
+    }
+}
+
+impl ConsumerConfig {
+    /// The data (PUB/SUB) endpoint name.
+    pub fn data_endpoint(&self) -> String {
+        format!("{}/data", self.endpoint)
+    }
+
+    /// The control (PUSH/PULL) endpoint name.
+    pub fn ctrl_endpoint(&self) -> String {
+        format!("{}/ctrl", self.endpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ProducerConfig::default();
+        assert_eq!(p.buffer_size, 2);
+        assert!((p.rubberband_cutoff - 0.02).abs() < 1e-9);
+        assert_eq!(p.data_endpoint(), "inproc://tensorsocket/data");
+        assert_eq!(p.ctrl_endpoint(), "inproc://tensorsocket/ctrl");
+        let c = ConsumerConfig::default();
+        assert_eq!(c.data_endpoint(), p.data_endpoint());
+        assert!(c.heartbeat_interval < p.heartbeat_timeout);
+    }
+}

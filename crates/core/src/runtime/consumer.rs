@@ -1,0 +1,486 @@
+//! The [`TensorConsumer`]: the lightweight iterator a training script swaps
+//! in for its data loader (§3.2.2, Figure 3c).
+//!
+//! `connect` performs the join handshake (rubberband admission or
+//! wait-for-epoch), spawns a heartbeat thread, and subscribes to the data
+//! stream. Iteration yields [`ConsumerBatch`]es rebuilt zero-copy from
+//! payloads; finishing a batch (calling `next` again, or dropping the
+//! consumer) acknowledges it to the producer, which releases the memory
+//! once every consumer has done so.
+
+use crate::protocol::messages::{topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision};
+use crate::runtime::config::ConsumerConfig;
+use crate::runtime::context::TsContext;
+use crate::{Result, TsError};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ts_socket::{Multipart, PushSocket, RecvError, SubSocket};
+use ts_tensor::{collate, Tensor, TensorPayload};
+
+/// A batch as seen by one consumer.
+#[derive(Debug, Clone)]
+pub struct ConsumerBatch {
+    /// Epoch the batch belongs to.
+    pub epoch: u64,
+    /// Global sequence number of the announcement it came from.
+    pub seq: u64,
+    /// Batch index within the epoch (producer-batch index under flexible
+    /// sizing).
+    pub index_in_epoch: u64,
+    /// Position within the producer batch under flexible sizing (0 in
+    /// default mode).
+    pub sub_index: usize,
+    /// Tensor fields (zero-copy views of producer memory when contiguous).
+    pub fields: Vec<Tensor>,
+    /// Labels.
+    pub labels: Tensor,
+    /// True when this came from the final announcement of the epoch.
+    pub last_in_epoch: bool,
+}
+
+impl ConsumerBatch {
+    /// Number of samples in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.labels.shape().first().copied().unwrap_or(0)
+    }
+}
+
+/// Why iteration stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The producer published `End` (all epochs done).
+    End,
+    /// The producer detached this consumer (missed heartbeats).
+    Detached,
+    /// No message arrived within `recv_timeout`.
+    Timeout,
+    /// The producer's socket vanished.
+    ProducerGone,
+    /// A payload could not be rebuilt (protocol violation).
+    Protocol,
+}
+
+/// The consuming end of a TensorSocket.
+///
+/// Iterate it like a data loader; it ends when the producer publishes
+/// `End`. Check [`TensorConsumer::stop_reason`] to distinguish clean
+/// completion from detachment or timeouts.
+pub struct TensorConsumer {
+    ctx: TsContext,
+    cfg: ConsumerConfig,
+    id: u64,
+    sub: SubSocket,
+    ctrl: PushSocket,
+    hb_stop: Arc<AtomicBool>,
+    hb_thread: Option<std::thread::JoinHandle<()>>,
+    /// Next global seq this consumer expects.
+    next_expected: u64,
+    /// Epoch joined at admission.
+    joined_epoch: u64,
+    /// Announcements that arrived ahead of order (replay interleaving).
+    reorder: BTreeMap<u64, BatchAnnounce>,
+    /// Decoded batches awaiting delivery (flexible mode yields several per
+    /// announcement).
+    queue: VecDeque<ConsumerBatch>,
+    /// Ack to send when the current batch is finished.
+    pending_ack: Option<u64>,
+    /// Set when iteration stopped.
+    stopped: Option<StopReason>,
+    last_error: Option<TsError>,
+    batches_consumed: u64,
+    samples_consumed: u64,
+}
+
+impl std::fmt::Debug for TensorConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TensorConsumer")
+            .field("id", &self.id)
+            .field("next_expected", &self.next_expected)
+            .field("stopped", &self.stopped)
+            .finish()
+    }
+}
+
+impl TensorConsumer {
+    /// Connects to a producer and completes the join handshake.
+    ///
+    /// Blocks until admitted — which may span an epoch boundary when the
+    /// join arrives too late for rubberbanding — or until `recv_timeout`
+    /// passes without any producer activity.
+    pub fn connect(ctx: &TsContext, cfg: ConsumerConfig) -> Result<TensorConsumer> {
+        let id = cfg.consumer_id.unwrap_or_else(rand_id);
+        let sub = SubSocket::connect(&ctx.sockets, &cfg.data_endpoint());
+        sub.subscribe(&topics::consumer(id));
+        sub.subscribe(topics::CTRL);
+        let ctrl = PushSocket::connect(&ctx.sockets, &cfg.ctrl_endpoint());
+        let hb_stop = Arc::new(AtomicBool::new(false));
+        let hb_thread = spawn_heartbeat(ctx, &cfg, id, hb_stop.clone());
+
+        let handshake = Self::handshake(&sub, &ctrl, &cfg, id);
+        let (joined_epoch, start_seq) = match handshake {
+            Ok(v) => v,
+            Err(e) => {
+                hb_stop.store(true, Ordering::Relaxed);
+                let _ = hb_thread.join();
+                return Err(e);
+            }
+        };
+        Ok(TensorConsumer {
+            ctx: ctx.clone(),
+            cfg,
+            id,
+            sub,
+            ctrl,
+            hb_stop,
+            hb_thread: Some(hb_thread),
+            next_expected: start_seq,
+            joined_epoch,
+            reorder: BTreeMap::new(),
+            queue: VecDeque::new(),
+            pending_ack: None,
+            stopped: None,
+            last_error: None,
+            batches_consumed: 0,
+            samples_consumed: 0,
+        })
+    }
+
+    fn handshake(
+        sub: &SubSocket,
+        ctrl: &PushSocket,
+        cfg: &ConsumerConfig,
+        id: u64,
+    ) -> Result<(u64, u64)> {
+        ctrl.send(Multipart::single(
+            CtrlMsg::Join {
+                consumer_id: id,
+                batch_size: cfg.batch_size.unwrap_or(0) as u32,
+            }
+            .encode(),
+        ))
+        .map_err(|e| TsError::Socket(format!("join send: {e}")))?;
+        // The deadline is refreshed on every producer message so waiting out
+        // a long epoch after a WaitEpoch reply does not trip the timeout as
+        // long as the producer shows signs of life.
+        let mut deadline = Instant::now() + cfg.recv_timeout;
+        loop {
+            if Instant::now() > deadline {
+                return Err(TsError::Timeout("join reply"));
+            }
+            let msg = match sub.recv_timeout(cfg.recv_timeout.min(std::time::Duration::from_millis(50))) {
+                Ok((_, m)) => m,
+                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Closed) => {
+                    return Err(TsError::Socket("producer disconnected".into()))
+                }
+            };
+            deadline = Instant::now() + cfg.recv_timeout;
+            let Some(frame) = msg.frames().first() else {
+                continue;
+            };
+            let Ok(data) = DataMsg::decode(frame) else {
+                continue;
+            };
+            match data {
+                DataMsg::JoinReply {
+                    consumer_id,
+                    decision,
+                } if consumer_id == id => match decision {
+                    JoinDecision::AdmitReplay {
+                        epoch, start_seq, ..
+                    } => {
+                        // Only now subscribe to the shared stream, then tell
+                        // the producer we will not miss anything.
+                        sub.subscribe(topics::BATCH);
+                        ctrl.send(Multipart::single(
+                            CtrlMsg::Ready { consumer_id: id }.encode(),
+                        ))
+                        .map_err(|e| TsError::Socket(format!("ready send: {e}")))?;
+                        return Ok((epoch, start_seq));
+                    }
+                    JoinDecision::WaitEpoch { .. } => {
+                        // keep waiting; the producer will send AdmitReplay
+                        // at the epoch boundary
+                    }
+                    JoinDecision::Reject { reason } => return Err(TsError::Join(reason)),
+                },
+                DataMsg::End => return Err(TsError::Join("producer already ended".into())),
+                _ => {}
+            }
+        }
+    }
+
+    /// The consumer's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Epoch this consumer was admitted into.
+    pub fn joined_epoch(&self) -> u64 {
+        self.joined_epoch
+    }
+
+    /// Why iteration stopped, once it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    /// The error behind a [`StopReason::Protocol`] stop, if any.
+    pub fn last_error(&self) -> Option<&TsError> {
+        self.last_error.as_ref()
+    }
+
+    /// Batches consumed so far.
+    pub fn batches_consumed(&self) -> u64 {
+        self.batches_consumed
+    }
+
+    /// Samples consumed so far.
+    pub fn samples_consumed(&self) -> u64 {
+        self.samples_consumed
+    }
+
+    /// Batch pointers currently buffered locally (the consumer-side batch
+    /// buffer of §3.2.5).
+    pub fn buffered(&self) -> usize {
+        self.queue.len() + self.sub.queued()
+    }
+
+    fn unpack(&self, p: &TensorPayload) -> Result<Tensor> {
+        Ok(p.unpack(&self.ctx.registry)?)
+    }
+
+    fn unpack_segments(&self, segs: &[TensorPayload]) -> Result<Tensor> {
+        let tensors: Result<Vec<Tensor>> = segs.iter().map(|p| self.unpack(p)).collect();
+        let tensors = tensors?;
+        match tensors.len() {
+            0 => Err(TsError::Wire("empty segment list".into())),
+            1 => Ok(tensors.into_iter().next().expect("len 1")),
+            // A wrapped (repeating) batch: materialize the concatenation.
+            _ => Ok(collate::cat0(&tensors)?),
+        }
+    }
+
+    /// Applies the consumer-local augmentation pipeline (if configured) to
+    /// the primary field, sample by sample. The result is a private copy;
+    /// the shared storage stays untouched for other consumers (§5,
+    /// finer-grained sharing).
+    fn apply_local(&self, batch: &mut ConsumerBatch) -> Result<()> {
+        let Some(pipeline) = &self.cfg.local_pipeline else {
+            return Ok(());
+        };
+        let Some(field) = batch.fields.first() else {
+            return Ok(());
+        };
+        if field.ndim() < 2 {
+            return Ok(());
+        }
+        let b = field.shape()[0];
+        let mut transformed = Vec::with_capacity(b);
+        for i in 0..b {
+            let sample = field.select(0, i)?;
+            // unique per (announce, position) so augmentations vary per
+            // sample but stay reproducible
+            let virtual_index = (batch.seq as usize)
+                .wrapping_mul(1_000_003)
+                .wrapping_add(batch.sub_index * 4_099 + i);
+            let out = pipeline
+                .apply(&sample, batch.epoch, virtual_index)
+                .map_err(|e| TsError::Transform(e.to_string()))?;
+            transformed.push(out);
+        }
+        batch.fields[0] = collate::stack0(&transformed)?;
+        Ok(())
+    }
+
+    fn enqueue(&mut self, mut batch: ConsumerBatch) -> Result<()> {
+        self.apply_local(&mut batch)?;
+        self.queue.push_back(batch);
+        Ok(())
+    }
+
+    fn ingest(&mut self, a: BatchAnnounce) -> Result<()> {
+        self.next_expected = a.seq + 1;
+        match a.content {
+            AnnounceContent::Shared { fields, labels } => {
+                let fields: Result<Vec<Tensor>> = fields.iter().map(|p| self.unpack(p)).collect();
+                let labels = self.unpack(&labels)?;
+                self.enqueue(ConsumerBatch {
+                    epoch: a.epoch,
+                    seq: a.seq,
+                    index_in_epoch: a.index_in_epoch,
+                    sub_index: 0,
+                    fields: fields?,
+                    labels,
+                    last_in_epoch: a.last_in_epoch,
+                })?;
+            }
+            AnnounceContent::Flex { batches } => {
+                for (k, fb) in batches.iter().enumerate() {
+                    let fields: Result<Vec<Tensor>> = fb
+                        .fields
+                        .iter()
+                        .map(|segs| self.unpack_segments(segs))
+                        .collect();
+                    let labels = self.unpack_segments(&fb.labels)?;
+                    self.enqueue(ConsumerBatch {
+                        epoch: a.epoch,
+                        seq: a.seq,
+                        index_in_epoch: a.index_in_epoch,
+                        sub_index: k,
+                        fields: fields?,
+                        labels,
+                        last_in_epoch: a.last_in_epoch,
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pulls messages until the queue has something to yield or iteration
+    /// stops.
+    fn pump(&mut self) {
+        while self.queue.is_empty() && self.stopped.is_none() {
+            // Serve the reorder buffer first.
+            if let Some(a) = self.reorder.remove(&self.next_expected) {
+                if let Err(e) = self.ingest(a) {
+                    self.last_error = Some(e);
+                    self.stopped = Some(StopReason::Protocol);
+                }
+                continue;
+            }
+            let msg = match self.sub.recv_timeout(self.cfg.recv_timeout) {
+                Ok((_, m)) => m,
+                Err(RecvError::Timeout) => {
+                    self.stopped = Some(StopReason::Timeout);
+                    return;
+                }
+                Err(RecvError::Closed) => {
+                    self.stopped = Some(StopReason::ProducerGone);
+                    return;
+                }
+            };
+            let Some(frame) = msg.frames().first() else {
+                continue;
+            };
+            let Ok(data) = DataMsg::decode(frame) else {
+                continue;
+            };
+            match data {
+                DataMsg::Batch(a) => {
+                    if a.seq < self.next_expected {
+                        continue; // duplicate of a replayed batch
+                    }
+                    if a.seq == self.next_expected {
+                        if let Err(e) = self.ingest(a) {
+                            self.last_error = Some(e);
+                            self.stopped = Some(StopReason::Protocol);
+                        }
+                    } else {
+                        self.reorder.insert(a.seq, a);
+                    }
+                }
+                DataMsg::Detached { consumer_id } if consumer_id == self.id => {
+                    self.stopped = Some(StopReason::Detached);
+                }
+                DataMsg::End => {
+                    self.stopped = Some(StopReason::End);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn send_pending_ack(&mut self) {
+        if let Some(seq) = self.pending_ack.take() {
+            let _ = self.ctrl.send(Multipart::single(
+                CtrlMsg::Ack {
+                    consumer_id: self.id,
+                    seq,
+                }
+                .encode(),
+            ));
+            self.ctx.metrics.counter("consumer.acks").inc();
+        }
+    }
+}
+
+impl Iterator for TensorConsumer {
+    type Item = ConsumerBatch;
+
+    fn next(&mut self) -> Option<ConsumerBatch> {
+        // Finishing the previous batch: acknowledge it (§3.2.3 — "once a
+        // consumer has finished a batch and moves on to the next, it will
+        // notify the producer").
+        self.send_pending_ack();
+        if self.stopped.is_some() && self.queue.is_empty() {
+            return None;
+        }
+        if self.queue.is_empty() {
+            self.pump();
+        }
+        let batch = self.queue.pop_front()?;
+        if self.queue.iter().all(|b| b.seq != batch.seq) {
+            // Last carved batch of this announcement: ack when finished.
+            self.pending_ack = Some(batch.seq);
+        }
+        self.batches_consumed += 1;
+        self.samples_consumed += batch.batch_size() as u64;
+        self.ctx.metrics.counter("consumer.batches").inc();
+        self.ctx
+            .metrics
+            .counter("consumer.samples")
+            .add(batch.batch_size() as u64);
+        Some(batch)
+    }
+}
+
+impl Drop for TensorConsumer {
+    fn drop(&mut self) {
+        self.send_pending_ack();
+        let _ = self.ctrl.send(Multipart::single(
+            CtrlMsg::Leave {
+                consumer_id: self.id,
+            }
+            .encode(),
+        ));
+        self.hb_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.hb_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn rand_id() -> u64 {
+    use rand::RngCore;
+    rand::thread_rng().next_u64() | 1
+}
+
+fn spawn_heartbeat(
+    ctx: &TsContext,
+    cfg: &ConsumerConfig,
+    id: u64,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    let push = PushSocket::connect(&ctx.sockets, &cfg.ctrl_endpoint());
+    let interval = cfg.heartbeat_interval;
+    std::thread::Builder::new()
+        .name(format!("ts-heartbeat-{id}"))
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if push
+                    .send(Multipart::single(
+                        CtrlMsg::Heartbeat { consumer_id: id }.encode(),
+                    ))
+                    .is_err()
+                {
+                    return; // producer gone
+                }
+                std::thread::sleep(interval);
+            }
+        })
+        .expect("spawn heartbeat thread")
+}

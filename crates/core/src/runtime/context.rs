@@ -1,0 +1,71 @@
+//! The shared runtime context.
+
+use std::sync::Arc;
+use ts_device::Topology;
+use ts_metrics::Registry;
+use ts_socket::Context as SocketContext;
+use ts_tensor::{DeviceCtx, SharedRegistry};
+
+/// Everything producer and consumers share within one node:
+/// the message broker, the storage handle table, and the device books.
+///
+/// Cloning is cheap and shares state — one `TsContext` models one machine.
+#[derive(Debug, Clone)]
+pub struct TsContext {
+    /// Message broker (ZeroMQ context equivalent).
+    pub sockets: SocketContext,
+    /// Storage handle table (CUDA IPC handle equivalent).
+    pub registry: SharedRegistry,
+    /// Device topology, memory and traffic books.
+    pub devices: Arc<DeviceCtx>,
+    /// Shared counters: `producer.batches`, `producer.replays`,
+    /// `producer.bytes_staged`, `producer.detached`, `consumer.batches`,
+    /// `consumer.samples`, `consumer.acks`.
+    pub metrics: Registry,
+}
+
+impl TsContext {
+    /// A context over an explicit device configuration.
+    pub fn new(devices: DeviceCtx) -> Self {
+        Self {
+            sockets: SocketContext::new(),
+            registry: SharedRegistry::new(),
+            devices: Arc::new(devices),
+            metrics: Registry::new(),
+        }
+    }
+
+    /// A host-only context (no GPUs); the default for tests and examples.
+    pub fn host_only() -> Self {
+        Self::new(DeviceCtx::host_only())
+    }
+
+    /// A context with `gpus` GPUs of `vram_bytes` each, NVLink-connected
+    /// when `nvlink` is set.
+    pub fn with_gpus(gpus: u8, vram_bytes: u64, nvlink: bool) -> Self {
+        let vram: Vec<u64> = (0..gpus).map(|_| vram_bytes).collect();
+        Self::new(DeviceCtx::new(Topology::new(gpus, nvlink), &vram))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_device::DeviceId;
+
+    #[test]
+    fn contexts_share_registry_across_clones() {
+        let ctx = TsContext::host_only();
+        let view = ctx.clone();
+        let t = ts_tensor::Tensor::zeros(&[4], ts_tensor::DType::U8, DeviceId::Cpu);
+        ctx.registry.register(t.storage());
+        assert!(view.registry.lookup(t.storage_id()).is_ok());
+    }
+
+    #[test]
+    fn gpu_context_has_books() {
+        let ctx = TsContext::with_gpus(2, 1_000, true);
+        assert!(ctx.devices.memory(DeviceId::Gpu(1)).is_ok());
+        assert!(ctx.devices.memory(DeviceId::Gpu(2)).is_err());
+    }
+}

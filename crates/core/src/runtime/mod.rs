@@ -1,0 +1,11 @@
+//! The threaded TensorSocket runtime.
+
+pub mod config;
+pub mod consumer;
+pub mod context;
+pub mod producer;
+
+pub use config::{ConsumerConfig, FlexibleConfig, ProducerConfig};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,868 @@
+//! The [`TensorProducer`]: a server owning the data-loading pipeline and
+//! multicasting batch payloads to consumers (§3.2.1).
+//!
+//! One thread runs the whole producer: it iterates the wrapped loader,
+//! stages batches on the configured device (accounting PCIe/NVLink/VRAM),
+//! registers storages in the shared registry, publishes pointer payloads,
+//! and processes the control stream (joins, readiness, acks, heartbeats,
+//! leaves). Publishing is gated by the [`BatchWindow`]; memory release by
+//! the [`AckTracker`]; admission by the [`RubberbandPolicy`]; liveness by
+//! the [`HeartbeatMonitor`].
+
+use crate::protocol::acks::AckTracker;
+use crate::protocol::buffer::BatchWindow;
+use crate::protocol::flex::plan_flex;
+use crate::protocol::heartbeat::HeartbeatMonitor;
+use crate::protocol::messages::{
+    topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload, JoinDecision,
+};
+use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
+use crate::runtime::config::ProducerConfig;
+use crate::runtime::context::TsContext;
+use crate::{Result, TsError};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ts_data::{Batch, DataLoader};
+use ts_socket::{Multipart, PubSocket, PullSocket};
+use ts_tensor::{collate, Tensor, TensorPayload};
+
+/// A source of epochs of batches — the loader the producer wraps.
+///
+/// Implemented by [`ts_data::DataLoader`]; implement it for custom loaders
+/// (e.g. a Hugging-Face-style loader) to share them the same way, matching
+/// the paper's "wrapper around data loaders" design (§3.2).
+pub trait EpochSource: Send + 'static {
+    /// Batches one epoch yields.
+    fn batches_per_epoch(&self) -> usize;
+
+    /// Samples per batch (used to size flexible producer batches).
+    fn batch_size(&self) -> usize;
+
+    /// Iterate one epoch.
+    fn epoch(&self, epoch: u64) -> Box<dyn Iterator<Item = Batch> + Send + '_>;
+}
+
+impl EpochSource for DataLoader {
+    fn batches_per_epoch(&self) -> usize {
+        DataLoader::batches_per_epoch(self)
+    }
+
+    fn batch_size(&self) -> usize {
+        self.config().batch_size
+    }
+
+    fn epoch(&self, epoch: u64) -> Box<dyn Iterator<Item = Batch> + Send + '_> {
+        Box::new(DataLoader::epoch(self, epoch))
+    }
+}
+
+/// An in-memory epoch source: serves the same pre-built batches every
+/// epoch.
+///
+/// This is the adapter for loaders this crate does not know about — e.g.
+/// a Hugging-Face-style loader (the Table 4 scenario wraps one): build the
+/// batches with whatever pipeline you have, hand them to a `VecSource`,
+/// and the producer shares them like any other loader.
+pub struct VecSource {
+    batches: Vec<Batch>,
+    batch_size: usize,
+}
+
+impl VecSource {
+    /// Wraps pre-built batches. All batches must have the same size;
+    /// returns an error otherwise (flexible sizing depends on it).
+    pub fn new(batches: Vec<Batch>) -> Result<Self> {
+        let batch_size = batches
+            .first()
+            .map(|b| b.batch_size())
+            .ok_or_else(|| TsError::Config("VecSource needs at least one batch".into()))?;
+        if let Some(bad) = batches.iter().find(|b| b.batch_size() != batch_size) {
+            return Err(TsError::Config(format!(
+                "VecSource batches must be uniform: found {} and {}",
+                batch_size,
+                bad.batch_size()
+            )));
+        }
+        Ok(Self {
+            batches,
+            batch_size,
+        })
+    }
+}
+
+impl EpochSource for VecSource {
+    fn batches_per_epoch(&self) -> usize {
+        self.batches.len()
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    fn epoch(&self, epoch: u64) -> Box<dyn Iterator<Item = Batch> + Send + '_> {
+        let n = self.batches.len();
+        Box::new(self.batches.iter().enumerate().map(move |(i, b)| {
+            let mut batch = b.clone();
+            batch.epoch = epoch;
+            batch.index = i;
+            batch.last_in_epoch = i + 1 == n;
+            batch
+        }))
+    }
+}
+
+/// Counters reported by [`TensorProducer::join`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProducerStats {
+    /// Epochs fully published.
+    pub epochs_completed: u64,
+    /// Announcements published (loader batches in default mode, producer
+    /// batches in flexible mode).
+    pub batches_published: u64,
+    /// Batches replayed to rubberband joiners.
+    pub batches_replayed: u64,
+    /// Bytes staged onto the producer device.
+    pub bytes_staged: u64,
+    /// Peak number of simultaneously admitted consumers.
+    pub peak_consumers: usize,
+    /// Consumers detached for missing heartbeats.
+    pub consumers_detached: u64,
+    /// Joins rejected.
+    pub joins_rejected: u64,
+}
+
+/// Handle to a running producer.
+///
+/// Mirrors the paper's `producer.join()` clean-up call (Figure 3b): the
+/// producer thread runs every epoch, then waits for outstanding acks and
+/// publishes `End`.
+pub struct TensorProducer {
+    handle: Option<std::thread::JoinHandle<ProducerStats>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for TensorProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TensorProducer")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl TensorProducer {
+    /// Spawns the producer thread over `source`.
+    pub fn spawn(
+        source: impl EpochSource,
+        ctx: &TsContext,
+        cfg: ProducerConfig,
+    ) -> Result<TensorProducer> {
+        if cfg.buffer_size == 0 {
+            return Err(TsError::Config("buffer_size must be >= 1".into()));
+        }
+        if let Some(flex) = &cfg.flexible {
+            if flex.producer_batch == 0 {
+                return Err(TsError::Config("producer_batch must be >= 1".into()));
+            }
+        }
+        let publisher = PubSocket::bind(&ctx.sockets, &cfg.data_endpoint())
+            .map_err(|e| TsError::Socket(e.to_string()))?;
+        let ctrl = PullSocket::bind(&ctx.sockets, &cfg.ctrl_endpoint())
+            .map_err(|e| TsError::Socket(e.to_string()))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = ProducerLoop {
+            ctx: ctx.clone(),
+            cfg,
+            publisher,
+            ctrl,
+            stop: stop.clone(),
+            window: BatchWindow::new(0), // re-created in run() with real capacity
+            acks: AckTracker::new(),
+            hb: HeartbeatMonitor::new(1),
+            consumers: HashMap::new(),
+            awaiting_ready: HashSet::new(),
+            pending_join: Vec::new(),
+            live: BTreeMap::new(),
+            pinned: Vec::new(),
+            epoch_start_seq: 0,
+            published_in_epoch: 0,
+            expected_announces: 0,
+            epoch: 0,
+            started: Instant::now(),
+            stats: ProducerStats::default(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("tensorsocket-producer".to_string())
+            .spawn(move || state.run(source))
+            .map_err(|e| TsError::Socket(format!("spawn failed: {e}")))?;
+        Ok(TensorProducer {
+            handle: Some(handle),
+            stop,
+        })
+    }
+
+    /// Requests the producer to stop after the batch in flight.
+    pub fn abort(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the producer to finish all epochs and shut down cleanly.
+    pub fn join(mut self) -> Result<ProducerStats> {
+        let handle = self.handle.take().expect("join called once");
+        handle
+            .join()
+            .map_err(|_| TsError::Socket("producer thread panicked".into()))
+    }
+}
+
+impl Drop for TensorProducer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct ConsumerInfo {
+    batch_size: u32,
+    /// Stable index used for flexible-mode offsets.
+    index: usize,
+}
+
+/// A published batch whose tensors are still registered.
+struct LiveBatch {
+    epoch: u64,
+    index_in_epoch: u64,
+    last_in_epoch: bool,
+    fields: Vec<Tensor>,
+    labels: Tensor,
+    /// Fully acked, release deferred because the rubberband window is open.
+    releasable: bool,
+}
+
+struct ProducerLoop {
+    ctx: TsContext,
+    cfg: ProducerConfig,
+    publisher: PubSocket,
+    ctrl: PullSocket,
+    stop: Arc<AtomicBool>,
+    window: BatchWindow,
+    acks: AckTracker,
+    hb: HeartbeatMonitor,
+    consumers: HashMap<u64, ConsumerInfo>,
+    awaiting_ready: HashSet<u64>,
+    pending_join: Vec<(u64, u32)>,
+    live: BTreeMap<u64, LiveBatch>,
+    /// Seqs pinned for rubberband replay (current epoch, window open).
+    pinned: Vec<u64>,
+    epoch_start_seq: u64,
+    published_in_epoch: u64,
+    expected_announces: u64,
+    epoch: u64,
+    started: Instant,
+    stats: ProducerStats,
+}
+
+impl ProducerLoop {
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    fn run(mut self, source: impl EpochSource) -> ProducerStats {
+        self.window = BatchWindow::new(self.cfg.buffer_size);
+        self.hb = HeartbeatMonitor::new(self.cfg.heartbeat_timeout.as_nanos() as u64);
+        let policy = RubberbandPolicy {
+            cutoff: self.cfg.rubberband_cutoff,
+        };
+
+        'epochs: for epoch in 0..self.cfg.epochs {
+            self.epoch = epoch;
+            self.expected_announces = self.expected_announces_for(&source);
+            if !self.begin_epoch() {
+                break 'epochs; // stopped or no consumer ever arrived
+            }
+            let mut accumulator: Vec<Batch> = Vec::new();
+            let mut acc_samples = 0usize;
+            let mut pb_index = 0u64;
+            let epoch_iter = source.epoch(epoch);
+            let total = source.batches_per_epoch();
+            for (i, batch) in epoch_iter.enumerate() {
+                if self.stop.load(Ordering::Relaxed) {
+                    break 'epochs;
+                }
+                let last_loader_batch = i + 1 == total;
+                match &self.cfg.flexible {
+                    None => {
+                        if !self.publish_shared(batch, &policy, last_loader_batch) {
+                            break 'epochs;
+                        }
+                    }
+                    Some(flex) => {
+                        acc_samples += batch.batch_size();
+                        accumulator.push(batch);
+                        if acc_samples >= flex.producer_batch || last_loader_batch {
+                            let pb = std::mem::take(&mut accumulator);
+                            acc_samples = 0;
+                            if !self.publish_flex(pb, pb_index, &policy, last_loader_batch) {
+                                break 'epochs;
+                            }
+                            pb_index += 1;
+                        }
+                    }
+                }
+            }
+            // Epoch complete: close the join window, flush deferred releases.
+            self.close_join_window();
+            self.stats.epochs_completed += 1;
+        }
+        self.drain_outstanding();
+        let _ = self
+            .publisher
+            .send(topics::CTRL, Multipart::single(DataMsg::End.encode()));
+        self.stats
+    }
+
+    fn expected_announces_for(&self, source: &impl EpochSource) -> u64 {
+        let loader_batches = source.batches_per_epoch() as u64;
+        match &self.cfg.flexible {
+            None => loader_batches,
+            Some(flex) => {
+                let samples = loader_batches * source.batch_size() as u64;
+                samples.div_ceil(flex.producer_batch as u64)
+            }
+        }
+    }
+
+    /// Waits for at least one admitted consumer, admits pending boundary
+    /// joiners, and announces the epoch. Returns false to stop.
+    fn begin_epoch(&mut self) -> bool {
+        self.published_in_epoch = 0;
+        self.epoch_start_seq = self.window.next_seq();
+        // Admit everyone who was told to wait for this epoch.
+        let pending = std::mem::take(&mut self.pending_join);
+        for (id, bs) in pending {
+            self.admit(id, bs, /*replay=*/ false);
+        }
+        let deadline = self.cfg.first_consumer_timeout.map(|d| Instant::now() + d);
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            self.poll_ctrl_once();
+            if !self.consumers.is_empty() && self.awaiting_ready.is_empty() {
+                break;
+            }
+            if self.consumers.is_empty() {
+                if let Some(d) = deadline {
+                    if Instant::now() > d {
+                        return false;
+                    }
+                }
+            }
+            std::thread::sleep(self.cfg.poll_interval);
+        }
+        let msg = DataMsg::EpochStart {
+            epoch: self.epoch,
+            num_batches: self.expected_announces,
+        };
+        let _ = self
+            .publisher
+            .send(topics::CTRL, Multipart::single(msg.encode()));
+        true
+    }
+
+    /// Stages a tensor on the producer device, accounting traffic and VRAM.
+    fn stage(&mut self, t: &Tensor) -> Result<Tensor> {
+        if t.device() == self.cfg.device {
+            return Ok(t.clone());
+        }
+        let staged = self.ctx.devices.transfer(t, self.cfg.device)?;
+        self.stats.bytes_staged += staged.view_bytes() as u64;
+        self.ctx
+            .metrics
+            .counter("producer.bytes_staged")
+            .add(staged.view_bytes() as u64);
+        Ok(staged)
+    }
+
+    fn register_live(&mut self, seq: u64, batch: LiveBatch) {
+        for t in batch.fields.iter().chain(std::iter::once(&batch.labels)) {
+            self.ctx.registry.register(t.storage());
+        }
+        self.live.insert(seq, batch);
+    }
+
+    fn release(&mut self, seq: u64) {
+        let Some(batch) = self.live.remove(&seq) else {
+            return;
+        };
+        for t in batch.fields.iter().chain(std::iter::once(&batch.labels)) {
+            self.ctx.registry.release(t.storage_id());
+            if t.device().is_gpu() {
+                let _ = self
+                    .ctx
+                    .devices
+                    .account_free(t.device(), t.view_bytes() as u64);
+            }
+        }
+    }
+
+    fn on_fully_acked(&mut self, seq: u64) {
+        if self.pinned.contains(&seq) {
+            if let Some(b) = self.live.get_mut(&seq) {
+                b.releasable = true; // defer: rubberband window still open
+            }
+        } else {
+            self.release(seq);
+        }
+    }
+
+    fn join_window_open(&self, policy: &RubberbandPolicy) -> bool {
+        self.published_in_epoch <= policy.pinned_batches(self.expected_announces)
+            && self.published_in_epoch > 0
+    }
+
+    fn close_join_window(&mut self) {
+        let pinned = std::mem::take(&mut self.pinned);
+        for seq in pinned {
+            let releasable = self.live.get(&seq).map(|b| b.releasable).unwrap_or(false);
+            if releasable {
+                self.release(seq);
+            }
+        }
+    }
+
+    /// Blocks until the window admits the next publish. Returns false to
+    /// stop.
+    fn wait_for_window(&mut self) -> bool {
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            self.poll_ctrl_once();
+            if !self.consumers.is_empty()
+                && self.awaiting_ready.is_empty()
+                && self.window.can_publish()
+            {
+                return true;
+            }
+            std::thread::sleep(self.cfg.poll_interval);
+        }
+    }
+
+    fn publish_shared(
+        &mut self,
+        batch: Batch,
+        policy: &RubberbandPolicy,
+        last: bool,
+    ) -> bool {
+        if !self.wait_for_window() {
+            return false;
+        }
+        let batch = match &self.cfg.producer_map {
+            Some(map) => map(batch),
+            None => batch,
+        };
+        let staged: Result<Vec<Tensor>> = batch.fields.iter().map(|t| self.stage(t)).collect();
+        let (fields, labels) = match (staged, self.stage(&batch.labels)) {
+            (Ok(f), Ok(l)) => (f, l),
+            _ => return false, // device OOM: stop producing
+        };
+        let seq = self.window.published();
+        self.published_in_epoch += 1;
+        let announce = BatchAnnounce {
+            seq,
+            epoch: self.epoch,
+            index_in_epoch: batch.index as u64,
+            last_in_epoch: last,
+            content: AnnounceContent::Shared {
+                fields: fields.iter().map(TensorPayload::pack).collect(),
+                labels: TensorPayload::pack(&labels),
+            },
+        };
+        self.register_live(
+            seq,
+            LiveBatch {
+                epoch: self.epoch,
+                index_in_epoch: batch.index as u64,
+                last_in_epoch: last,
+                fields,
+                labels,
+                releasable: false,
+            },
+        );
+        self.acks.published(seq, self.consumers.keys().copied());
+        let _ = self.publisher.send(
+            topics::BATCH,
+            Multipart::single(DataMsg::Batch(announce).encode()),
+        );
+        if self.join_window_open(policy) || self.published_in_epoch == 1 {
+            self.pinned.push(seq);
+        } else {
+            self.close_join_window();
+        }
+        self.stats.batches_published += 1;
+        self.ctx.metrics.counter("producer.batches").inc();
+        true
+    }
+
+    fn publish_flex(
+        &mut self,
+        loader_batches: Vec<Batch>,
+        pb_index: u64,
+        policy: &RubberbandPolicy,
+        last: bool,
+    ) -> bool {
+        if loader_batches.is_empty() {
+            return true;
+        }
+        if !self.wait_for_window() {
+            return false;
+        }
+        let loader_batches: Vec<Batch> = match &self.cfg.producer_map {
+            Some(map) => loader_batches.into_iter().map(|b| map(b)).collect(),
+            None => loader_batches,
+        };
+        // Build the contiguous producer batch per field.
+        let num_fields = loader_batches[0].fields.len();
+        let mut fields = Vec::with_capacity(num_fields);
+        for f in 0..num_fields {
+            let parts: Vec<Tensor> = loader_batches.iter().map(|b| b.fields[f].clone()).collect();
+            match collate::cat0(&parts) {
+                Ok(t) => fields.push(t),
+                Err(_) => return false,
+            }
+        }
+        let label_parts: Vec<Tensor> = loader_batches.iter().map(|b| b.labels.clone()).collect();
+        let Ok(labels) = collate::cat0(&label_parts) else {
+            return false;
+        };
+        let staged: Result<Vec<Tensor>> = fields.iter().map(|t| self.stage(t)).collect();
+        let (fields, labels) = match (staged, self.stage(&labels)) {
+            (Ok(f), Ok(l)) => (f, l),
+            _ => return false,
+        };
+        let seq = self.window.published();
+        self.published_in_epoch += 1;
+        self.register_live(
+            seq,
+            LiveBatch {
+                epoch: self.epoch,
+                index_in_epoch: pb_index,
+                last_in_epoch: last,
+                fields,
+                labels,
+                releasable: false,
+            },
+        );
+        self.acks.published(seq, self.consumers.keys().copied());
+        // Send each consumer its own carved view of the producer batch.
+        let consumer_ids: Vec<u64> = self.consumers.keys().copied().collect();
+        for id in consumer_ids {
+            if self.send_flex_to(id, seq).is_err() {
+                return false;
+            }
+        }
+        if self.join_window_open(policy) || self.published_in_epoch == 1 {
+            self.pinned.push(seq);
+        } else {
+            self.close_join_window();
+        }
+        self.stats.batches_published += 1;
+        self.ctx.metrics.counter("producer.batches").inc();
+        true
+    }
+
+    /// Builds and sends consumer `id`'s flexible announce for producer batch
+    /// `seq` from the live record.
+    fn send_flex_to(&mut self, id: u64, seq: u64) -> Result<()> {
+        let flex = self.cfg.flexible.clone().expect("flex mode");
+        let info = self
+            .consumers
+            .get(&id)
+            .ok_or_else(|| TsError::Join("unknown consumer".into()))?;
+        let consumer_bs = info.batch_size as usize;
+        let consumer_index = info.index;
+        let live = self
+            .live
+            .get(&seq)
+            .ok_or_else(|| TsError::Socket("live batch missing".into()))?;
+        let p = live.labels.shape()[0];
+        let bs = consumer_bs.min(p).max(1);
+        let offset = flex
+            .order
+            .offset_for(consumer_index, self.consumers.len().max(1), p);
+        let plan = plan_flex(p, bs, offset)?;
+        let order = flex.order.visit_order(id, seq, plan.batches.len());
+        let mut batches = Vec::with_capacity(plan.batches.len());
+        for &k in &order {
+            let planned = &plan.batches[k];
+            let mut field_segs = Vec::with_capacity(live.fields.len());
+            for field in &live.fields {
+                let segs: Result<Vec<TensorPayload>> = planned
+                    .segments
+                    .iter()
+                    .map(|s| Ok(TensorPayload::pack(&field.narrow(0, s.start, s.len)?)))
+                    .collect();
+                field_segs.push(segs?);
+            }
+            let label_segs: Result<Vec<TensorPayload>> = planned
+                .segments
+                .iter()
+                .map(|s| Ok(TensorPayload::pack(&live.labels.narrow(0, s.start, s.len)?)))
+                .collect();
+            batches.push(FlexBatchPayload {
+                fields: field_segs,
+                labels: label_segs?,
+            });
+        }
+        let announce = BatchAnnounce {
+            seq,
+            epoch: live.epoch,
+            index_in_epoch: live.index_in_epoch,
+            last_in_epoch: live.last_in_epoch,
+            content: AnnounceContent::Flex { batches },
+        };
+        self.publisher
+            .send(
+                &topics::consumer(id),
+                Multipart::single(DataMsg::Batch(announce).encode()),
+            )
+            .map_err(|e| TsError::Socket(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Replays the pinned epoch prefix to a rubberband joiner.
+    fn replay_to(&mut self, id: u64) {
+        let pinned = self.pinned.clone();
+        for seq in pinned {
+            if self.cfg.flexible.is_some() {
+                let _ = self.send_flex_to(id, seq);
+            } else if let Some(live) = self.live.get(&seq) {
+                let announce = BatchAnnounce {
+                    seq,
+                    epoch: live.epoch,
+                    index_in_epoch: live.index_in_epoch,
+                    last_in_epoch: live.last_in_epoch,
+                    content: AnnounceContent::Shared {
+                        fields: live.fields.iter().map(TensorPayload::pack).collect(),
+                        labels: TensorPayload::pack(&live.labels),
+                    },
+                };
+                let _ = self.publisher.send(
+                    &topics::consumer(id),
+                    Multipart::single(DataMsg::Batch(announce).encode()),
+                );
+            }
+            self.stats.batches_replayed += 1;
+            self.ctx.metrics.counter("producer.replays").inc();
+        }
+    }
+
+    /// Admits a consumer: reply, track, and (on `replay`) schedule catch-up.
+    fn admit(&mut self, id: u64, batch_size: u32, replay: bool) {
+        let index = self.consumers.len();
+        self.consumers.insert(
+            id,
+            ConsumerInfo {
+                batch_size,
+                index,
+            },
+        );
+        self.stats.peak_consumers = self.stats.peak_consumers.max(self.consumers.len());
+        self.awaiting_ready.insert(id);
+        // Joining the window immediately halts publishing until the joiner
+        // catches up — the rubberband "halt all other consumers".
+        self.window.add_consumer(id, self.epoch_start_seq);
+        if replay {
+            self.acks
+                .add_consumer_to_range(id, self.epoch_start_seq, self.window.next_seq());
+            // Batches whose release was deferred (fully acked by the old
+            // consumers while pinned) must be re-armed: the newcomer will
+            // consume the replay, so the memory may only go once it acks.
+            let pinned = self.pinned.clone();
+            for seq in pinned {
+                if let Some(b) = self.live.get_mut(&seq) {
+                    if b.releasable {
+                        b.releasable = false;
+                        self.acks.published(seq, [id]);
+                    }
+                }
+            }
+        }
+        let reply = DataMsg::JoinReply {
+            consumer_id: id,
+            decision: JoinDecision::AdmitReplay {
+                epoch: self.epoch,
+                replay_from: 0,
+                num_batches: self.expected_announces,
+                start_seq: self.epoch_start_seq,
+            },
+        };
+        let _ = self
+            .publisher
+            .send(&topics::consumer(id), Multipart::single(reply.encode()));
+    }
+
+    /// Admits a consumer mid-epoch at the current stream position (used when
+    /// no other consumer is active, so there is nobody to halt and nothing
+    /// pinned to replay).
+    fn admit_at_current(&mut self, id: u64, batch_size: u32) {
+        let start_seq = self.window.next_seq();
+        let index = self.consumers.len();
+        self.consumers.insert(id, ConsumerInfo { batch_size, index });
+        self.stats.peak_consumers = self.stats.peak_consumers.max(self.consumers.len());
+        self.awaiting_ready.insert(id);
+        self.window.add_consumer(id, start_seq);
+        let reply = DataMsg::JoinReply {
+            consumer_id: id,
+            decision: JoinDecision::AdmitReplay {
+                epoch: self.epoch,
+                replay_from: self.published_in_epoch,
+                num_batches: self.expected_announces,
+                start_seq,
+            },
+        };
+        let _ = self
+            .publisher
+            .send(&topics::consumer(id), Multipart::single(reply.encode()));
+    }
+
+    fn remove_consumer(&mut self, id: u64, notify: bool) {
+        self.consumers.remove(&id);
+        self.awaiting_ready.remove(&id);
+        self.window.remove_consumer(id);
+        self.hb.remove(id);
+        for seq in self.acks.remove_consumer(id) {
+            self.on_fully_acked(seq);
+        }
+        if notify {
+            let msg = DataMsg::Detached { consumer_id: id };
+            let _ = self
+                .publisher
+                .send(&topics::consumer(id), Multipart::single(msg.encode()));
+        }
+    }
+
+    fn poll_ctrl_once(&mut self) {
+        let policy = RubberbandPolicy {
+            cutoff: self.cfg.rubberband_cutoff,
+        };
+        while let Ok(Some(msg)) = self.ctrl.try_recv() {
+            let Some(frame) = msg.frames().first() else {
+                continue;
+            };
+            let Ok(ctrl) = CtrlMsg::decode(frame) else {
+                continue;
+            };
+            let now = self.now_ns();
+            self.hb.beat(ctrl.consumer_id(), now);
+            match ctrl {
+                CtrlMsg::Join {
+                    consumer_id,
+                    batch_size,
+                } => self.handle_join(consumer_id, batch_size, &policy),
+                CtrlMsg::Ready { consumer_id } => {
+                    if self.awaiting_ready.remove(&consumer_id) {
+                        self.replay_needed(consumer_id);
+                    }
+                }
+                CtrlMsg::Ack { consumer_id, seq } => {
+                    self.window.on_ack(consumer_id, seq);
+                    if self.acks.on_ack(consumer_id, seq) {
+                        self.on_fully_acked(seq);
+                    }
+                }
+                CtrlMsg::Heartbeat { .. } => {}
+                CtrlMsg::Leave { consumer_id } => {
+                    self.remove_consumer(consumer_id, false);
+                }
+            }
+        }
+        // Expire silent consumers.
+        let now = self.now_ns();
+        for dead in self.hb.expire(now) {
+            if self.consumers.contains_key(&dead) || self.awaiting_ready.contains(&dead) {
+                self.remove_consumer(dead, true);
+                self.stats.consumers_detached += 1;
+                self.ctx.metrics.counter("producer.detached").inc();
+            }
+            self.pending_join.retain(|(id, _)| *id != dead);
+        }
+    }
+
+    fn replay_needed(&mut self, id: u64) {
+        // Replay whatever of this epoch is already out (pinned prefix).
+        if self.published_in_epoch > 0 {
+            self.replay_to(id);
+        }
+    }
+
+    fn handle_join(&mut self, id: u64, batch_size: u32, policy: &RubberbandPolicy) {
+        if self.consumers.contains_key(&id) {
+            return; // duplicate join
+        }
+        if let Some(flex) = &self.cfg.flexible {
+            if batch_size == 0 || batch_size as usize > flex.producer_batch {
+                let reply = DataMsg::JoinReply {
+                    consumer_id: id,
+                    decision: JoinDecision::Reject {
+                        reason: format!(
+                            "batch size {batch_size} exceeds producer batch {}",
+                            flex.producer_batch
+                        ),
+                    },
+                };
+                let _ = self
+                    .publisher
+                    .send(&topics::consumer(id), Multipart::single(reply.encode()));
+                self.stats.joins_rejected += 1;
+                return;
+            }
+        }
+        if self.consumers.is_empty() && self.published_in_epoch > 0 {
+            // Mid-epoch with no active consumers ("consumers may join
+            // training at any point in an epoch", §3.3.1): admit at the
+            // current position without replay.
+            self.admit_at_current(id, batch_size);
+            return;
+        }
+        match policy.decide(self.published_in_epoch, self.expected_announces) {
+            JoinOutcome::AdmitReplay { .. } => {
+                self.admit(id, batch_size, self.published_in_epoch > 0);
+            }
+            JoinOutcome::WaitNextEpoch => {
+                self.pending_join.push((id, batch_size));
+                let reply = DataMsg::JoinReply {
+                    consumer_id: id,
+                    decision: JoinDecision::WaitEpoch {
+                        epoch: self.epoch + 1,
+                    },
+                };
+                let _ = self
+                    .publisher
+                    .send(&topics::consumer(id), Multipart::single(reply.encode()));
+            }
+        }
+    }
+
+    /// After the final epoch: wait (bounded) for outstanding acks so
+    /// consumers finish cleanly, then release everything.
+    fn drain_outstanding(&mut self) {
+        let deadline = Instant::now() + self.cfg.heartbeat_timeout;
+        while !self.acks.is_empty() && Instant::now() < deadline {
+            self.poll_ctrl_once();
+            if self.consumers.is_empty() {
+                break;
+            }
+            std::thread::sleep(self.cfg.poll_interval);
+        }
+        let seqs: Vec<u64> = self.live.keys().copied().collect();
+        for seq in seqs {
+            self.release(seq);
+        }
+        self.pinned.clear();
+    }
+}

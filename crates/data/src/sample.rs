@@ -1,0 +1,110 @@
+//! Dataset and sample abstractions.
+
+use crate::Result;
+use bytes::Bytes;
+use ts_tensor::Tensor;
+
+/// An undecoded sample as it comes off storage: encoded bytes plus label.
+#[derive(Debug, Clone)]
+pub struct RawSample {
+    /// Position in the dataset.
+    pub index: usize,
+    /// Encoded payload (what would sit in the file on disk).
+    pub bytes: Bytes,
+    /// Supervised label (class id / token count / caption id).
+    pub label: i64,
+}
+
+/// A decoded sample: one or more tensor fields plus the label.
+///
+/// Field conventions per modality:
+/// * image: `fields[0]` = `U8 [3, H, W]`
+/// * audio: `fields[0]` = `F32 [samples]`
+/// * caption pair: `fields[0]` = image, `fields[1]` = `I64 [tokens]`
+/// * text: `fields[0]` = `I64 [tokens]` (fixed length, padded)
+#[derive(Debug, Clone)]
+pub struct DecodedSample {
+    /// Position in the dataset.
+    pub index: usize,
+    /// Tensor fields.
+    pub fields: Vec<Tensor>,
+    /// Supervised label.
+    pub label: i64,
+}
+
+/// A map-style dataset: random access to raw samples.
+///
+/// Implementations must be cheap to `get` relative to decoding; the decode
+/// cost belongs to the pipeline so that `num_workers` scales it, as in
+/// PyTorch.
+pub trait Dataset: Send + Sync {
+    /// Number of samples.
+    fn len(&self) -> usize;
+
+    /// True when the dataset is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetches the raw (encoded) sample at `index`.
+    fn get(&self, index: usize) -> Result<RawSample>;
+
+    /// Bytes a single encoded sample occupies on storage (used by the
+    /// simulator's disk model and by I/O accounting).
+    fn encoded_sample_bytes(&self) -> usize;
+
+    /// Decodes a raw sample into tensor fields. This is where the real CPU
+    /// work happens.
+    fn decode(&self, raw: &RawSample) -> Result<DecodedSample>;
+
+    /// Short human-readable name.
+    fn name(&self) -> &str {
+        "dataset"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_device::DeviceId;
+
+    struct TinyDataset;
+
+    impl Dataset for TinyDataset {
+        fn len(&self) -> usize {
+            3
+        }
+        fn get(&self, index: usize) -> Result<RawSample> {
+            if index >= 3 {
+                return Err(crate::DataError::IndexOutOfRange { index, len: 3 });
+            }
+            Ok(RawSample {
+                index,
+                bytes: Bytes::from(vec![index as u8; 4]),
+                label: index as i64,
+            })
+        }
+        fn encoded_sample_bytes(&self) -> usize {
+            4
+        }
+        fn decode(&self, raw: &RawSample) -> Result<DecodedSample> {
+            let t = Tensor::from_u8(raw.bytes.to_vec(), &[4], DeviceId::Cpu)?;
+            Ok(DecodedSample {
+                index: raw.index,
+                fields: vec![t],
+                label: raw.label,
+            })
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let ds: Box<dyn Dataset> = Box::new(TinyDataset);
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        let raw = ds.get(1).unwrap();
+        let dec = ds.decode(&raw).unwrap();
+        assert_eq!(dec.fields[0].to_vec_u8().unwrap(), vec![1, 1, 1, 1]);
+        assert!(ds.get(5).is_err());
+    }
+}

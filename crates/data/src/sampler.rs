@@ -1,0 +1,71 @@
+//! Epoch samplers: the order in which samples are visited.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Produces the visit order for each epoch.
+pub trait Sampler: Send + Sync {
+    /// The indices for `epoch`, covering `len` samples exactly once.
+    fn epoch_indices(&self, epoch: u64, len: usize) -> Vec<usize>;
+}
+
+/// Visits samples in dataset order every epoch.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialSampler;
+
+impl Sampler for SequentialSampler {
+    fn epoch_indices(&self, _epoch: u64, len: usize) -> Vec<usize> {
+        (0..len).collect()
+    }
+}
+
+/// Reshuffles every epoch with a seed, like PyTorch's seeded `RandomSampler`:
+/// the permutation depends on `(seed, epoch)` only.
+#[derive(Debug, Clone)]
+pub struct ShuffleSampler {
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Sampler for ShuffleSampler {
+    fn epoch_indices(&self, epoch: u64, len: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..len).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E3779B97F4A7C15));
+        idx.shuffle(&mut rng);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_identity() {
+        assert_eq!(SequentialSampler.epoch_indices(3, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let s = ShuffleSampler { seed: 1 };
+        let idx = s.epoch_indices(0, 100);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_depends_on_epoch_and_seed_only() {
+        let s = ShuffleSampler { seed: 9 };
+        assert_eq!(s.epoch_indices(2, 50), s.epoch_indices(2, 50));
+        assert_ne!(s.epoch_indices(2, 50), s.epoch_indices(3, 50));
+        let s2 = ShuffleSampler { seed: 10 };
+        assert_ne!(s.epoch_indices(2, 50), s2.epoch_indices(2, 50));
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        assert!(ShuffleSampler { seed: 0 }.epoch_indices(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+#![warn(missing_docs)]
+
+//! Simulated device topology for the TensorSocket reproduction.
+//!
+//! The paper's hardware (Table 2) spans an H100 server, a 4×A100 NVLink
+//! server, and AWS `g5` instances with a single A10G. This crate models the
+//! parts of that hardware the evaluation observes:
+//!
+//! * [`DeviceId`]/[`DeviceKind`] — host CPU and GPUs as placement targets,
+//! * [`GpuSpec`] — per-GPU VRAM capacity and a relative compute throughput,
+//! * [`Topology`] — which devices exist and which links (PCIe, NVLink)
+//!   connect them, including path resolution for GPU↔GPU transfers,
+//! * [`MemoryBook`] — VRAM allocation accounting with peak tracking
+//!   (`nvidia-smi` in the paper),
+//! * [`TrafficBook`] — per-link byte counters (`dcgm`/`iostat` in the paper).
+//!
+//! Data never actually moves between physical devices here — tensors always
+//! live in host RAM — but every allocation and transfer is *accounted* as it
+//! would be on the real machine, which is what Tables 3 and 4 report.
+
+pub mod memory;
+pub mod servers;
+pub mod topology;
+pub mod traffic;
+
+pub use memory::{MemoryBook, OutOfMemory};
+pub use servers::{a100_server, g5_instance, h100_server, ServerSpec};
+pub use topology::{Link, LinkKind, Topology, TransferPath};
+pub use traffic::TrafficBook;
+
+/// Identifies a device within one node.
+///
+/// `Cpu` is the host (one logical device regardless of core count);
+/// `Gpu(i)` is the i-th accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceId {
+    /// The host CPU / system memory.
+    Cpu,
+    /// GPU with the given index.
+    Gpu(u8),
+}
+
+impl DeviceId {
+    /// True for GPU devices.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, DeviceId::Gpu(_))
+    }
+
+    /// GPU index, if this is a GPU.
+    pub fn gpu_index(&self) -> Option<u8> {
+        match self {
+            DeviceId::Gpu(i) => Some(*i),
+            DeviceId::Cpu => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceId::Cpu => write!(f, "cpu"),
+            DeviceId::Gpu(i) => write!(f, "cuda:{i}"),
+        }
+    }
+}
+
+/// The broad class of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host CPU.
+    Cpu,
+    /// Accelerator.
+    Gpu,
+}
+
+/// Static description of a GPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"A100-40GB"`.
+    pub name: &'static str,
+    /// VRAM capacity in bytes.
+    pub vram_bytes: u64,
+    /// Relative streaming-multiprocessor throughput; 1.0 = A100 baseline.
+    /// Model GPU-time costs are expressed per A100 and scaled by this.
+    pub relative_throughput: f64,
+    /// Whether the part has NVLink connectivity.
+    pub has_nvlink: bool,
+}
+
+/// Catalog of GPU models used in the paper's evaluation.
+pub mod gpus {
+    use super::GpuSpec;
+
+    /// NVIDIA A100 40 GB (the 4-GPU on-prem server).
+    pub const A100_40GB: GpuSpec = GpuSpec {
+        name: "A100-40GB",
+        vram_bytes: 40_000_000_000,
+        relative_throughput: 1.0,
+        has_nvlink: true,
+    };
+
+    /// NVIDIA H100 80 GB (the single-GPU on-prem server).
+    pub const H100_80GB: GpuSpec = GpuSpec {
+        name: "H100-80GB",
+        vram_bytes: 80_000_000_000,
+        relative_throughput: 2.0,
+        has_nvlink: true,
+    };
+
+    /// NVIDIA A10G 24 GB (AWS g5 instances).
+    pub const A10G_24GB: GpuSpec = GpuSpec {
+        name: "A10G-24GB",
+        vram_bytes: 24_000_000_000,
+        relative_throughput: 0.4,
+        has_nvlink: false,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_id_display() {
+        assert_eq!(DeviceId::Cpu.to_string(), "cpu");
+        assert_eq!(DeviceId::Gpu(2).to_string(), "cuda:2");
+    }
+
+    #[test]
+    fn device_id_helpers() {
+        assert!(DeviceId::Gpu(0).is_gpu());
+        assert!(!DeviceId::Cpu.is_gpu());
+        assert_eq!(DeviceId::Gpu(3).gpu_index(), Some(3));
+        assert_eq!(DeviceId::Cpu.gpu_index(), None);
+    }
+
+    #[test]
+    fn gpu_catalog_sane() {
+        assert!(gpus::H100_80GB.relative_throughput > gpus::A100_40GB.relative_throughput);
+        assert!(gpus::A100_40GB.relative_throughput > gpus::A10G_24GB.relative_throughput);
+        assert!(!gpus::A10G_24GB.has_nvlink);
+    }
+}

@@ -1,0 +1,160 @@
+//! VRAM allocation accounting.
+//!
+//! The paper reports GPU memory via `nvidia-smi` (Tables 3 and 4). The
+//! [`MemoryBook`] tracks live and peak allocation per device and rejects
+//! allocations beyond capacity, so out-of-memory configurations (e.g.
+//! collocating too many DALL-E consumers) fail the same way they would on
+//! real hardware.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Error returned when an allocation would exceed device capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes in use at the time of the failure.
+    pub in_use: u64,
+    /// Device capacity in bytes.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} B with {} B in use of {} B",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+}
+
+/// Tracks allocations against a fixed capacity, with peak watermarking.
+///
+/// Cloning shares the underlying book (it models one physical device).
+#[derive(Debug, Clone)]
+pub struct MemoryBook {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MemoryBook {
+    /// Creates a book for a device with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                capacity,
+                in_use: 0,
+                peak: 0,
+            })),
+        }
+    }
+
+    /// Creates an unbounded book (used for host memory, which the paper
+    /// never exhausts in its single-node experiments).
+    pub fn unbounded() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Records an allocation of `bytes`, failing if capacity would be
+    /// exceeded.
+    pub fn alloc(&self, bytes: u64) -> Result<(), OutOfMemory> {
+        let mut inner = self.inner.lock();
+        let new_use = inner.in_use.saturating_add(bytes);
+        if new_use > inner.capacity {
+            return Err(OutOfMemory {
+                requested: bytes,
+                in_use: inner.in_use,
+                capacity: inner.capacity,
+            });
+        }
+        inner.in_use = new_use;
+        if new_use > inner.peak {
+            inner.peak = new_use;
+        }
+        Ok(())
+    }
+
+    /// Records a free of `bytes`. Saturates at zero: freeing more than was
+    /// allocated is a logic error upstream but must not wrap.
+    pub fn free(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.in_use = inner.in_use.saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.inner.lock().in_use
+    }
+
+    /// Highest number of bytes ever simultaneously allocated.
+    pub fn peak(&self) -> u64 {
+        self.inner.lock().peak
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_and_peak() {
+        let book = MemoryBook::new(100);
+        book.alloc(60).unwrap();
+        book.alloc(30).unwrap();
+        assert_eq!(book.in_use(), 90);
+        book.free(50);
+        assert_eq!(book.in_use(), 40);
+        assert_eq!(book.peak(), 90);
+    }
+
+    #[test]
+    fn oom_is_reported_with_context() {
+        let book = MemoryBook::new(100);
+        book.alloc(80).unwrap();
+        let err = book.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("out of device memory"));
+        // failed alloc must not change accounting
+        assert_eq!(book.in_use(), 80);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let book = MemoryBook::new(10);
+        book.alloc(5).unwrap();
+        book.free(50);
+        assert_eq!(book.in_use(), 0);
+    }
+
+    #[test]
+    fn clone_shares_device() {
+        let book = MemoryBook::new(100);
+        let view = book.clone();
+        book.alloc(10).unwrap();
+        assert_eq!(view.in_use(), 10);
+    }
+
+    #[test]
+    fn unbounded_accepts_large_allocs() {
+        let book = MemoryBook::unbounded();
+        book.alloc(u64::MAX / 2).unwrap();
+        assert!(book.in_use() > 0);
+    }
+}

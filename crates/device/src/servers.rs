@@ -1,0 +1,115 @@
+//! Predefined server configurations matching Table 2 of the paper.
+
+use crate::topology::Topology;
+use crate::{gpus, GpuSpec};
+
+/// A node configuration: CPU core count, GPUs and their topology, plus
+/// storage characteristics used by the simulator's disk model.
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// Human-readable name as used in Table 2.
+    pub name: &'static str,
+    /// Number of (v)CPUs available to data loading and training.
+    pub vcpus: u32,
+    /// One spec per GPU (homogeneous in all paper configurations).
+    pub gpu: GpuSpec,
+    /// Number of GPUs.
+    pub gpu_count: u8,
+    /// Sequential read bandwidth of local storage in bytes/second.
+    pub disk_read_bps: f64,
+    /// On-demand hourly price in USD (cloud instances only).
+    pub hourly_usd: Option<f64>,
+}
+
+impl ServerSpec {
+    /// Builds the link topology for this server.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.gpu_count, self.gpu.has_nvlink && self.gpu_count > 1)
+    }
+}
+
+/// The H100 server: 24 CPUs, one H100 80 GB (Table 2 row 1).
+pub fn h100_server() -> ServerSpec {
+    ServerSpec {
+        name: "H100 Server",
+        vcpus: 24,
+        gpu: gpus::H100_80GB,
+        gpu_count: 1,
+        disk_read_bps: 3.5e9, // local NVMe
+        hourly_usd: None,
+    }
+}
+
+/// The A100 server limited to 48 cores as in the paper (Table 2 row 2):
+/// 48 usable CPUs, 4× A100 40 GB with NVLink.
+pub fn a100_server() -> ServerSpec {
+    ServerSpec {
+        name: "A100 Server (48 cores)",
+        vcpus: 48,
+        gpu: gpus::A100_40GB,
+        gpu_count: 4,
+        disk_read_bps: 3.5e9,
+        hourly_usd: None,
+    }
+}
+
+/// AWS g5 instances (Table 2 rows 3–5): one A10G 24 GB and 8/16/32 vCPUs.
+///
+/// Panics for vCPU counts the paper does not use.
+pub fn g5_instance(vcpus: u32) -> ServerSpec {
+    let (name, hourly) = match vcpus {
+        8 => ("AWS g5.2xlarge", 1.212),
+        16 => ("AWS g5.4xlarge", 1.624),
+        32 => ("AWS g5.8xlarge", 2.448),
+        other => panic!("no g5 instance with {other} vCPUs in the paper's Table 2"),
+    };
+    ServerSpec {
+        name,
+        vcpus,
+        gpu: gpus::A10G_24GB,
+        gpu_count: 1,
+        disk_read_bps: 1.25e9, // gp3-backed EBS / instance store class
+        hourly_usd: Some(hourly),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let h = h100_server();
+        assert_eq!(h.vcpus, 24);
+        assert_eq!(h.gpu_count, 1);
+        assert_eq!(h.gpu.name, "H100-80GB");
+
+        let a = a100_server();
+        assert_eq!(a.vcpus, 48);
+        assert_eq!(a.gpu_count, 4);
+
+        let g = g5_instance(8);
+        assert_eq!(g.hourly_usd, Some(1.212));
+        assert_eq!(g5_instance(16).hourly_usd, Some(1.624));
+        assert_eq!(g5_instance(32).hourly_usd, Some(2.448));
+    }
+
+    #[test]
+    fn a100_topology_has_nvlink() {
+        let t = a100_server().topology();
+        // 4 PCIe + 6 NVLink links
+        assert_eq!(t.links().len(), 10);
+    }
+
+    #[test]
+    fn g5_topology_has_no_nvlink() {
+        let t = g5_instance(8).topology();
+        assert_eq!(t.links().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no g5 instance")]
+    fn unknown_g5_size_panics() {
+        g5_instance(64);
+    }
+}

@@ -1,0 +1,233 @@
+//! Link topology between devices: which pairs are connected by PCIe or
+//! NVLink, and how a transfer between two devices is routed.
+//!
+//! TensorSocket's producer loads data onto one GPU; consumers on other GPUs
+//! receive it over NVLink when available (Section 3.2.4 of the paper),
+//! falling back to a bounce through host PCIe otherwise. [`Topology::path`]
+//! resolves exactly that decision.
+
+use crate::DeviceId;
+
+/// Interconnect class of a [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Host ↔ GPU over PCIe.
+    Pcie,
+    /// GPU ↔ GPU over NVLink.
+    NvLink,
+}
+
+/// A bidirectional link between two devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// One endpoint.
+    pub a: DeviceId,
+    /// Other endpoint.
+    pub b: DeviceId,
+    /// Link class.
+    pub kind: LinkKind,
+    /// Peak bandwidth in bytes per second (one direction).
+    pub bandwidth_bps: f64,
+}
+
+impl Link {
+    /// True if the link connects `x` and `y` in either orientation.
+    pub fn connects(&self, x: DeviceId, y: DeviceId) -> bool {
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
+    }
+}
+
+/// One hop of a transfer route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Source of the hop.
+    pub from: DeviceId,
+    /// Destination of the hop.
+    pub to: DeviceId,
+    /// Which interconnect carries the hop.
+    pub kind: LinkKind,
+}
+
+/// The resolved route of a device-to-device transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferPath {
+    /// Source and destination are the same device; no bytes move.
+    Local,
+    /// One or two hops over concrete links.
+    Hops(Vec<Hop>),
+}
+
+impl TransferPath {
+    /// The hops of the path (empty for [`TransferPath::Local`]).
+    pub fn hops(&self) -> &[Hop] {
+        match self {
+            TransferPath::Local => &[],
+            TransferPath::Hops(h) => h,
+        }
+    }
+}
+
+/// The set of devices in one node together with their links.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    gpu_count: u8,
+    links: Vec<Link>,
+}
+
+/// Default PCIe gen4 x16 bandwidth used when building topologies.
+pub const PCIE_GEN4_X16_BPS: f64 = 25.0e9;
+/// Default NVLink (per-pair effective) bandwidth.
+pub const NVLINK_BPS: f64 = 250.0e9;
+
+impl Topology {
+    /// Builds a topology with `gpu_count` GPUs, each connected to the host
+    /// over PCIe; if `nvlink_all_pairs` is set, every GPU pair also gets a
+    /// direct NVLink link.
+    pub fn new(gpu_count: u8, nvlink_all_pairs: bool) -> Self {
+        let mut links = Vec::new();
+        for g in 0..gpu_count {
+            links.push(Link {
+                a: DeviceId::Cpu,
+                b: DeviceId::Gpu(g),
+                kind: LinkKind::Pcie,
+                bandwidth_bps: PCIE_GEN4_X16_BPS,
+            });
+        }
+        if nvlink_all_pairs {
+            for i in 0..gpu_count {
+                for j in (i + 1)..gpu_count {
+                    links.push(Link {
+                        a: DeviceId::Gpu(i),
+                        b: DeviceId::Gpu(j),
+                        kind: LinkKind::NvLink,
+                        bandwidth_bps: NVLINK_BPS,
+                    });
+                }
+            }
+        }
+        Self { gpu_count, links }
+    }
+
+    /// Number of GPUs in the node.
+    pub fn gpu_count(&self) -> u8 {
+        self.gpu_count
+    }
+
+    /// All devices in the node: the host plus each GPU.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut v = vec![DeviceId::Cpu];
+        v.extend((0..self.gpu_count).map(DeviceId::Gpu));
+        v
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The direct link between two devices, if one exists.
+    pub fn direct_link(&self, a: DeviceId, b: DeviceId) -> Option<&Link> {
+        self.links.iter().find(|l| l.connects(a, b))
+    }
+
+    /// Resolves how a transfer from `from` to `to` is routed:
+    ///
+    /// * same device → [`TransferPath::Local`],
+    /// * direct link (PCIe or NVLink) → one hop,
+    /// * GPU→GPU without NVLink → two hops bounced through the host
+    ///   (device-to-host then host-to-device over PCIe), which is how
+    ///   peer transfers behave without peer access.
+    ///
+    /// Returns `None` when an endpoint does not exist in the topology.
+    pub fn path(&self, from: DeviceId, to: DeviceId) -> Option<TransferPath> {
+        let exists = |d: DeviceId| match d {
+            DeviceId::Cpu => true,
+            DeviceId::Gpu(i) => i < self.gpu_count,
+        };
+        if !exists(from) || !exists(to) {
+            return None;
+        }
+        if from == to {
+            return Some(TransferPath::Local);
+        }
+        if let Some(link) = self.direct_link(from, to) {
+            return Some(TransferPath::Hops(vec![Hop {
+                from,
+                to,
+                kind: link.kind,
+            }]));
+        }
+        // GPU → GPU without a direct link: bounce through the host.
+        if from.is_gpu() && to.is_gpu() {
+            return Some(TransferPath::Hops(vec![
+                Hop {
+                    from,
+                    to: DeviceId::Cpu,
+                    kind: LinkKind::Pcie,
+                },
+                Hop {
+                    from: DeviceId::Cpu,
+                    to,
+                    kind: LinkKind::Pcie,
+                },
+            ]));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_links_for_all_gpus() {
+        let t = Topology::new(4, true);
+        assert_eq!(t.gpu_count(), 4);
+        // 4 PCIe + C(4,2)=6 NVLink
+        assert_eq!(t.links().len(), 10);
+        assert_eq!(t.devices().len(), 5);
+    }
+
+    #[test]
+    fn local_path_is_empty() {
+        let t = Topology::new(2, true);
+        assert_eq!(
+            t.path(DeviceId::Gpu(1), DeviceId::Gpu(1)),
+            Some(TransferPath::Local)
+        );
+    }
+
+    #[test]
+    fn host_to_gpu_uses_pcie() {
+        let t = Topology::new(2, false);
+        let p = t.path(DeviceId::Cpu, DeviceId::Gpu(0)).unwrap();
+        assert_eq!(p.hops().len(), 1);
+        assert_eq!(p.hops()[0].kind, LinkKind::Pcie);
+    }
+
+    #[test]
+    fn gpu_to_gpu_prefers_nvlink() {
+        let t = Topology::new(4, true);
+        let p = t.path(DeviceId::Gpu(0), DeviceId::Gpu(3)).unwrap();
+        assert_eq!(p.hops().len(), 1);
+        assert_eq!(p.hops()[0].kind, LinkKind::NvLink);
+    }
+
+    #[test]
+    fn gpu_to_gpu_without_nvlink_bounces_through_host() {
+        let t = Topology::new(2, false);
+        let p = t.path(DeviceId::Gpu(0), DeviceId::Gpu(1)).unwrap();
+        let hops = p.hops();
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].to, DeviceId::Cpu);
+        assert_eq!(hops[1].from, DeviceId::Cpu);
+        assert!(hops.iter().all(|h| h.kind == LinkKind::Pcie));
+    }
+
+    #[test]
+    fn unknown_device_yields_none() {
+        let t = Topology::new(1, false);
+        assert!(t.path(DeviceId::Gpu(0), DeviceId::Gpu(7)).is_none());
+    }
+}

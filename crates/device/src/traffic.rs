@@ -1,0 +1,145 @@
+//! Per-link traffic accounting.
+//!
+//! Tables 3 and 4 of the paper report *average* MB/s over a training run for
+//! disk, PCIe (per GPU) and NVLink (per GPU). The [`TrafficBook`] counts
+//! bytes per channel; average rates are derived by dividing by the observed
+//! duration, exactly like `iostat`/`dcgm` averages.
+
+use crate::topology::LinkKind;
+use crate::DeviceId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A traffic channel: which pipe carried the bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Channel {
+    /// Storage → host reads.
+    Disk,
+    /// Host ↔ GPU over PCIe, attributed to the GPU endpoint.
+    Pcie(u8),
+    /// GPU ↔ GPU over NVLink, attributed to the *receiving* GPU, matching
+    /// how the paper reports per-GPU NVLink traffic.
+    NvLink(u8),
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Channel::Disk => write!(f, "disk"),
+            Channel::Pcie(g) => write!(f, "pcie[gpu{g}]"),
+            Channel::NvLink(g) => write!(f, "nvlink[gpu{g}]"),
+        }
+    }
+}
+
+/// Byte counters per [`Channel`]. Cloning shares the book.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficBook {
+    inner: Arc<Mutex<BTreeMap<Channel, u64>>>,
+}
+
+impl TrafficBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `bytes` to a channel.
+    pub fn record(&self, ch: Channel, bytes: u64) {
+        *self.inner.lock().entry(ch).or_insert(0) += bytes;
+    }
+
+    /// Records a transfer hop, attributing bytes to the proper channel.
+    ///
+    /// PCIe hops are attributed to the GPU endpoint; NVLink hops to the
+    /// receiving GPU.
+    pub fn record_hop(&self, from: DeviceId, to: DeviceId, kind: LinkKind, bytes: u64) {
+        let ch = match kind {
+            LinkKind::Pcie => {
+                let gpu = to
+                    .gpu_index()
+                    .or_else(|| from.gpu_index())
+                    .expect("PCIe hop must touch a GPU");
+                Channel::Pcie(gpu)
+            }
+            LinkKind::NvLink => {
+                let gpu = to.gpu_index().expect("NVLink hop must end at a GPU");
+                Channel::NvLink(gpu)
+            }
+        };
+        self.record(ch, bytes);
+    }
+
+    /// Total bytes seen on a channel.
+    pub fn bytes(&self, ch: Channel) -> u64 {
+        self.inner.lock().get(&ch).copied().unwrap_or(0)
+    }
+
+    /// Average rate in bytes/second for a channel over `duration_ns`.
+    pub fn rate_bps(&self, ch: Channel, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.bytes(ch) as f64 / (duration_ns as f64 / 1e9)
+    }
+
+    /// Snapshot of all channels and byte totals.
+    pub fn snapshot(&self) -> Vec<(Channel, u64)> {
+        self.inner.lock().iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Clears every counter.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_channels() {
+        let t = TrafficBook::new();
+        t.record(Channel::Disk, 100);
+        t.record(Channel::Disk, 50);
+        t.record(Channel::Pcie(0), 10);
+        assert_eq!(t.bytes(Channel::Disk), 150);
+        assert_eq!(t.bytes(Channel::Pcie(0)), 10);
+        assert_eq!(t.bytes(Channel::Pcie(1)), 0);
+    }
+
+    #[test]
+    fn rate_is_bytes_over_seconds() {
+        let t = TrafficBook::new();
+        t.record(Channel::NvLink(2), 2_000_000);
+        // 2 MB over 2 seconds = 1 MB/s
+        assert_eq!(t.rate_bps(Channel::NvLink(2), 2_000_000_000), 1.0e6);
+        assert_eq!(t.rate_bps(Channel::NvLink(2), 0), 0.0);
+    }
+
+    #[test]
+    fn hop_attribution() {
+        let t = TrafficBook::new();
+        // host → gpu0 over PCIe
+        t.record_hop(DeviceId::Cpu, DeviceId::Gpu(0), LinkKind::Pcie, 7);
+        // gpu0 → host over PCIe (still attributed to gpu0)
+        t.record_hop(DeviceId::Gpu(0), DeviceId::Cpu, LinkKind::Pcie, 3);
+        // gpu0 → gpu2 over NVLink (attributed to receiver gpu2)
+        t.record_hop(DeviceId::Gpu(0), DeviceId::Gpu(2), LinkKind::NvLink, 11);
+        assert_eq!(t.bytes(Channel::Pcie(0)), 10);
+        assert_eq!(t.bytes(Channel::NvLink(2)), 11);
+        assert_eq!(t.bytes(Channel::NvLink(0)), 0);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let t = TrafficBook::new();
+        t.record(Channel::Disk, 1);
+        t.record(Channel::Pcie(1), 2);
+        assert_eq!(t.snapshot().len(), 2);
+        t.reset();
+        assert!(t.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Reproduces the paper's evaluation tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ts-experiments --bin repro            # everything
+//! cargo run --release -p ts-experiments --bin repro -- fig8    # one artifact
+//! cargo run --release -p ts-experiments --bin repro -- --markdown > results.md
+//! ```
+
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let experiments = ts_experiments::all_experiments();
+
+    let to_run: Vec<_> = if selected.is_empty() {
+        experiments
+    } else {
+        let known: Vec<&str> = experiments.iter().map(|(id, _, _)| *id).collect();
+        for s in &selected {
+            if !known.contains(&s.as_str()) {
+                eprintln!("unknown experiment id {s:?}; known: {known:?}");
+                std::process::exit(2);
+            }
+        }
+        experiments
+            .into_iter()
+            .filter(|(id, _, _)| selected.iter().any(|s| s.as_str() == *id))
+            .collect()
+    };
+
+    for (id, title, runner) in to_run {
+        eprintln!("running {id} — {title} ...");
+        let started = std::time::Instant::now();
+        let report = runner();
+        let elapsed = started.elapsed();
+        let rendered = if markdown {
+            report.render_markdown()
+        } else {
+            report.render()
+        };
+        writeln!(out, "{rendered}").expect("stdout");
+        eprintln!("  done in {:.2?}", elapsed);
+    }
+}

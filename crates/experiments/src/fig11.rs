@@ -1,0 +1,113 @@
+//! Figure 11: CLMR audio classification, 4-way collocated on one A10G,
+//! across AWS g5 instance sizes (8/16/32 vCPUs), multi-streams vs MPS,
+//! shared vs non-shared.
+
+use crate::profiles::{clmr, g5, librispeech_loader};
+use crate::report::ExperimentReport;
+use ts_baselines::{nonshared_strategy, tensorsocket_strategy};
+use ts_metrics::table::fmt_num;
+use ts_metrics::Table;
+use ts_sim::{GpuSharing, SimConfig, SimResult, Strategy, WorkloadSpec};
+
+/// Runs 4-way CLMR on a g5 instance.
+pub fn run_config(vcpus: u32, sharing: GpuSharing, strategy: Strategy) -> SimResult {
+    let trainers: Vec<WorkloadSpec> = (0..4).map(|_| clmr(0)).collect();
+    let mut cluster = g5(vcpus);
+    cluster.gpu_sharing = sharing;
+    let mut cfg = SimConfig::new(
+        cluster,
+        librispeech_loader(vcpus as usize),
+        trainers,
+        strategy,
+    );
+    cfg.samples_per_trainer = 3_000;
+    ts_sim::run(cfg)
+}
+
+/// The stream-sharing penalty reproducing the MPS-over-streams gap.
+pub const STREAM_PENALTY: f64 = 0.10;
+
+/// Regenerates Figure 11.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig11",
+        "CLMR 4-way collocation on AWS g5: vCPU scaling, MPS vs streams",
+    );
+    let mut t = Table::new(
+        "Fig 11: per-model samples/s",
+        &[
+            "Instance",
+            "Non-shared (streams)",
+            "Shared (streams)",
+            "Non-shared (MPS)",
+            "Shared (MPS)",
+        ],
+    );
+    for vcpus in [8u32, 16, 32] {
+        let streams = GpuSharing::Streams {
+            penalty: STREAM_PENALTY,
+        };
+        let ns_streams = run_config(vcpus, streams, nonshared_strategy());
+        let ts_streams = run_config(vcpus, streams, tensorsocket_strategy(0));
+        let ns_mps = run_config(vcpus, GpuSharing::Mps, nonshared_strategy());
+        let ts_mps = run_config(vcpus, GpuSharing::Mps, tensorsocket_strategy(0));
+        t.row(&[
+            format!("{vcpus} vCPUs"),
+            fmt_num(ns_streams.mean_samples_per_s()),
+            fmt_num(ts_streams.mean_samples_per_s()),
+            fmt_num(ns_mps.mean_samples_per_s()),
+            fmt_num(ts_mps.mean_samples_per_s()),
+        ]);
+    }
+    report.table(t);
+    report.note(
+        "Paper: without sharing the 8-vCPU instance performs drastically worse than the \
+         32-vCPU one; with TensorSocket all three sizes reach the same (GPU-bound) \
+         throughput — a 75% vCPU reduction and ~50% cost saving (g5.2xlarge at $1.212/h vs \
+         g5.8xlarge at $2.448/h).",
+    );
+    report.note("MPS adds throughput over multi-stream sharing at every size (blurred bars).");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_instance_catastrophic_without_sharing() {
+        let ns8 = run_config(8, GpuSharing::Mps, nonshared_strategy()).mean_samples_per_s();
+        let ns32 = run_config(32, GpuSharing::Mps, nonshared_strategy()).mean_samples_per_s();
+        assert!(ns8 < ns32 * 0.4, "8 vCPU {ns8} vs 32 vCPU {ns32}");
+    }
+
+    #[test]
+    fn sharing_equalizes_instance_sizes() {
+        let ts8 = run_config(8, GpuSharing::Mps, tensorsocket_strategy(0)).mean_samples_per_s();
+        let ts32 = run_config(32, GpuSharing::Mps, tensorsocket_strategy(0)).mean_samples_per_s();
+        assert!(
+            (ts8 - ts32).abs() / ts32 < 0.1,
+            "shared 8 vCPU {ts8} vs 32 vCPU {ts32}"
+        );
+        // and matches the big instance's non-shared throughput
+        let ns32 = run_config(32, GpuSharing::Mps, nonshared_strategy()).mean_samples_per_s();
+        assert!(ts8 > ns32 * 0.9, "{ts8} vs {ns32}");
+    }
+
+    #[test]
+    fn mps_beats_streams() {
+        let streams = GpuSharing::Streams {
+            penalty: STREAM_PENALTY,
+        };
+        let ts_mps = run_config(32, GpuSharing::Mps, tensorsocket_strategy(0)).mean_samples_per_s();
+        let ts_str = run_config(32, streams, tensorsocket_strategy(0)).mean_samples_per_s();
+        assert!(ts_mps > ts_str * 1.05, "mps {ts_mps} vs streams {ts_str}");
+    }
+
+    #[test]
+    fn absolute_rates_near_paper() {
+        // paper: ~60 samples/s per model when not CPU-bound
+        let ts8 = run_config(8, GpuSharing::Mps, tensorsocket_strategy(0)).mean_samples_per_s();
+        assert!((45.0..75.0).contains(&ts8), "{ts8}");
+    }
+}

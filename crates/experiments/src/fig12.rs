@@ -1,0 +1,117 @@
+//! Figure 12: DALL-E 2 online training on the H100 — sharing the frozen
+//! CLIP inference stage on the GPU (§3.3.4, Figure 7).
+//!
+//! Without sharing, every diffusion-prior trainer runs its own CLIP
+//! forward pass per batch; with TensorSocket the producer runs CLIP once
+//! and shares the embeddings, cutting redundant *GPU* work.
+
+use crate::profiles::{cc3m_loader, dalle_prior, h100_server, CLIP_GPU_MS_PER_SAMPLE};
+use crate::report::ExperimentReport;
+use ts_metrics::table::fmt_num;
+use ts_metrics::Table;
+use ts_sim::{SimConfig, SimResult, Strategy, WorkloadSpec};
+
+/// Runs `degree` collocated DALL-E trainings, shared or not.
+pub fn run_config(degree: usize, shared: bool) -> SimResult {
+    let trainers: Vec<WorkloadSpec> = (0..degree)
+        .map(|_| {
+            let mut t = dalle_prior(0);
+            if !shared {
+                // each training runs its own CLIP forward per sample
+                t.gpu_ms_per_sample += CLIP_GPU_MS_PER_SAMPLE;
+            }
+            t
+        })
+        .collect();
+    let strategy = if shared {
+        Strategy::TensorSocket {
+            buffer: 2,
+            producer_gpu: 0,
+            producer_gpu_ms_per_sample: CLIP_GPU_MS_PER_SAMPLE,
+            producer_cpu_ms_per_batch_per_consumer: 0.05,
+            publish_latency_ms: 1.0,
+        }
+    } else {
+        Strategy::NonShared
+    };
+    let mut cfg = SimConfig::new(h100_server(), cc3m_loader(24), trainers, strategy);
+    cfg.samples_per_trainer = 30_000;
+    ts_sim::run(cfg)
+}
+
+/// Regenerates Figure 12.
+pub fn run() -> ExperimentReport {
+    let mut report =
+        ExperimentReport::new("fig12", "DALL-E 2 online training with a shared CLIP stage");
+    let mut t = Table::new(
+        "Fig 12: DALL-E 2 on the H100",
+        &[
+            "Collocation",
+            "Non-shared per-model",
+            "Shared per-model",
+            "Non-shared aggregate",
+            "Shared aggregate",
+            "Aggregate gain",
+        ],
+    );
+    for degree in [1usize, 2, 4] {
+        let ns = run_config(degree, false);
+        let ts = run_config(degree, true);
+        let gain = ts.aggregate_samples_per_s() / ns.aggregate_samples_per_s() - 1.0;
+        t.row(&[
+            format!("{degree}x"),
+            fmt_num(ns.mean_samples_per_s()),
+            fmt_num(ts.mean_samples_per_s()),
+            fmt_num(ns.aggregate_samples_per_s()),
+            fmt_num(ts.aggregate_samples_per_s()),
+            format!("{:+.0}%", gain * 100.0),
+        ]);
+    }
+    report.table(t);
+    report.note(
+        "Paper: 10-15% aggregate speedup at 2- and 4-way collocation from running CLIP once; \
+         per-model throughput drops with collocation since the GPU is saturated even alone.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_training_sees_no_benefit() {
+        // at 1x the CLIP work happens once either way
+        let ns = run_config(1, false).aggregate_samples_per_s();
+        let ts = run_config(1, true).aggregate_samples_per_s();
+        assert!((ns - ts).abs() / ns < 0.05, "1x ns {ns} vs ts {ts}");
+    }
+
+    #[test]
+    fn aggregate_gain_grows_with_collocation() {
+        let gain = |d: usize| {
+            run_config(d, true).aggregate_samples_per_s()
+                / run_config(d, false).aggregate_samples_per_s()
+        };
+        let g2 = gain(2);
+        let g4 = gain(4);
+        assert!((1.05..1.20).contains(&g2), "2x gain {g2}");
+        assert!((1.08..1.25).contains(&g4), "4x gain {g4}");
+        assert!(g4 > g2);
+    }
+
+    #[test]
+    fn per_model_throughput_halves_with_collocation() {
+        // GPU-bound workload: collocation divides the GPU
+        let p1 = run_config(1, false).mean_samples_per_s();
+        let p2 = run_config(2, false).mean_samples_per_s();
+        assert!((p2 - p1 / 2.0).abs() / p1 < 0.1, "1x {p1} vs 2x {p2}");
+    }
+
+    #[test]
+    fn absolute_rate_near_paper() {
+        // paper Fig 12: ~600 samples/s per model at 1x
+        let p1 = run_config(1, false).mean_samples_per_s();
+        assert!((500.0..700.0).contains(&p1), "{p1}");
+    }
+}

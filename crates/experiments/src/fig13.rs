@@ -1,0 +1,153 @@
+//! Figure 13: mixed workload (RegNetX 2 + RegNetX 4 collocated on one
+//! A10G) across g5 instance sizes — runtime and aggregate throughput over
+//! time, with and without sharing.
+
+use crate::profiles::{g5, imagenet_loader, regnet_a10g};
+use crate::report::ExperimentReport;
+use ts_baselines::{nonshared_strategy, tensorsocket_strategy};
+use ts_metrics::table::fmt_num;
+use ts_metrics::Table;
+use ts_sim::{SimConfig, SimResult, Strategy};
+
+/// Runs the mixed pair on a g5 instance.
+pub fn run_config(vcpus: u32, strategy: Strategy) -> SimResult {
+    let trainers = vec![regnet_a10g("RegNetX 2", 0), regnet_a10g("RegNetX 4", 0)];
+    let mut cfg = SimConfig::new(
+        g5(vcpus),
+        imagenet_loader(vcpus as usize),
+        trainers,
+        strategy,
+    );
+    cfg.samples_per_trainer = 500_000;
+    cfg.series_interval_s = 50.0;
+    ts_sim::run(cfg)
+}
+
+fn aggregate_series(r: &SimResult) -> Vec<(f64, f64)> {
+    // windowed aggregate throughput from the cumulative per-trainer series
+    let a = &r.trainers[0].series;
+    let b = &r.trainers[1].series;
+    let n = a.len().min(b.len());
+    let mut out = Vec::new();
+    for i in 1..n {
+        let dt = a[i].0 - a[i - 1].0;
+        if dt <= 0.0 {
+            continue;
+        }
+        let d = (a[i].1 - a[i - 1].1) + (b[i].1 - b[i - 1].1);
+        out.push((a[i].0, d / dt));
+    }
+    out
+}
+
+/// Regenerates Figure 13.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig13",
+        "Mixed workload (RegNetX 2 + RegNetX 4) on AWS g5 instances",
+    );
+    let mut summary = Table::new(
+        "Fig 13: aggregate throughput and runtime",
+        &[
+            "Instance",
+            "Mode",
+            "Aggregate samples/s",
+            "Runtime (s)",
+            "Hourly cost",
+            "Cost per 1M samples",
+        ],
+    );
+    let price = |v: u32| match v {
+        8 => 1.212,
+        16 => 1.624,
+        _ => 2.448,
+    };
+    let mut series_tables = Vec::new();
+    for vcpus in [8u32, 16, 32] {
+        for (mode, strategy) in [
+            ("Non-shared", nonshared_strategy()),
+            ("Shared", tensorsocket_strategy(0)),
+        ] {
+            let r = run_config(vcpus, strategy);
+            let agg = r.aggregate_samples_per_s();
+            let usd_per_m = price(vcpus) / 3600.0 / agg * 1e6;
+            summary.row(&[
+                format!("g5 {vcpus} vCPU"),
+                mode.to_string(),
+                fmt_num(agg),
+                fmt_num(r.duration_s),
+                format!("${:.3}", price(vcpus)),
+                format!("${usd_per_m:.3}"),
+            ]);
+            if vcpus == 8 {
+                let mut st = Table::new(
+                    format!("g5.2xlarge {mode}: aggregate samples/s over time"),
+                    &["t (s)", "samples/s"],
+                );
+                for (t, v) in aggregate_series(&r).iter().take(8) {
+                    st.row(&[format!("{t:.0}"), fmt_num(*v)]);
+                }
+                series_tables.push(st);
+            }
+        }
+    }
+    report.table(summary);
+    for t in series_tables {
+        report.table(t);
+    }
+    report.note(
+        "Paper: the larger instances are not CPU-bound, so sharing changes little there; the \
+         g5.2xlarge throttles heavily without sharing but nearly matches the big instances \
+         with it — the same throughput at half the instance cost.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_instance_throttles_without_sharing() {
+        let ns8 = run_config(8, nonshared_strategy()).aggregate_samples_per_s();
+        let ns32 = run_config(32, nonshared_strategy()).aggregate_samples_per_s();
+        assert!(ns8 < ns32 * 0.65, "8 vCPU {ns8} vs 32 vCPU {ns32}");
+    }
+
+    #[test]
+    fn sharing_lets_the_small_instance_match_the_large_ones() {
+        let ts8 = run_config(8, tensorsocket_strategy(0)).aggregate_samples_per_s();
+        let ns32 = run_config(32, nonshared_strategy()).aggregate_samples_per_s();
+        // paper: "almost the same throughput at half the instance cost" —
+        // the shared small instance lands within ~20% of the large one
+        // (lockstep trades a little RegNetX-2 headroom for balance)
+        assert!(
+            ts8 > ns32 * 0.8,
+            "shared g5.2xlarge {ts8} vs non-shared g5.8xlarge {ns32}"
+        );
+    }
+
+    #[test]
+    fn lockstep_equalizes_the_mixed_pair() {
+        let r = run_config(8, tensorsocket_strategy(0));
+        let a = r.trainers[0].samples_per_s;
+        let b = r.trainers[1].samples_per_s;
+        assert!((a - b).abs() / b < 0.05, "RegNet2 {a} vs RegNet4 {b}");
+    }
+
+    #[test]
+    fn cost_per_sample_halves_with_sharing() {
+        let ns32 = run_config(32, nonshared_strategy()).aggregate_samples_per_s();
+        let ts8 = run_config(8, tensorsocket_strategy(0)).aggregate_samples_per_s();
+        let cost_ns32 = 2.448 / ns32;
+        let cost_ts8 = 1.212 / ts8;
+        let saving = 1.0 - cost_ts8 / cost_ns32;
+        assert!(saving > 0.4, "cost saving {saving}");
+    }
+
+    #[test]
+    fn series_is_recorded() {
+        let r = run_config(8, tensorsocket_strategy(0));
+        assert!(r.trainers[0].series.len() >= 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 8: image classification on the A100 server, 4-way collocation
+//! (one instance of the same model per GPU), with and without sharing.
+//!
+//! Reported per model: training throughput (samples/s per model), CPU
+//! utilization, and mean GPU utilization — Figures 8a–8c.
+
+use crate::profiles::{a100_server, imagenet_loader, timm_model};
+use crate::report::{fmt_x, ExperimentReport};
+use ts_baselines::{nonshared_strategy, tensorsocket_strategy};
+use ts_metrics::table::fmt_num;
+use ts_metrics::Table;
+use ts_sim::{SimConfig, SimResult, Strategy, WorkloadSpec};
+
+/// The five evaluated models in the figure's order.
+pub const MODELS: [&str; 5] = [
+    "ResNet18",
+    "RegNetX 2",
+    "RegNetX 4",
+    "MobileNet S",
+    "MobileNet L",
+];
+
+/// Runs one 4-way collocation configuration.
+pub fn run_config(model: &str, strategy: Strategy) -> SimResult {
+    let trainers: Vec<WorkloadSpec> = (0..4).map(|g| timm_model(model, g)).collect();
+    let mut cfg = SimConfig::new(a100_server(), imagenet_loader(48), trainers, strategy);
+    cfg.samples_per_trainer = 120_000;
+    ts_sim::run(cfg)
+}
+
+/// Paper reference: shared-over-baseline speedup per model (§4.2 text).
+fn paper_speedup(model: &str) -> &'static str {
+    match model {
+        "MobileNet S" => "~2.0x",
+        "ResNet18" | "MobileNet L" => "1.05-1.10x",
+        _ => "1.1x-2.0x",
+    }
+}
+
+/// Regenerates Figure 8.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig8",
+        "Image classification, 4-way collocation on the A100 server",
+    );
+    let mut thr = Table::new(
+        "Fig 8a: per-model training throughput (samples/s)",
+        &["Model", "Non-shared", "Shared", "Speedup", "Paper speedup"],
+    );
+    let mut cpu = Table::new(
+        "Fig 8b: CPU utilization (48 cores)",
+        &["Model", "Non-shared %", "Shared %", "CPU freed"],
+    );
+    let mut gpu = Table::new(
+        "Fig 8c: mean GPU utilization",
+        &["Model", "Non-shared %", "Shared %"],
+    );
+    for model in MODELS {
+        let ns = run_config(model, nonshared_strategy());
+        let ts = run_config(model, tensorsocket_strategy(0));
+        let ns_rate = ns.mean_samples_per_s();
+        let ts_rate = ts.mean_samples_per_s();
+        thr.row(&[
+            model.to_string(),
+            fmt_num(ns_rate),
+            fmt_num(ts_rate),
+            fmt_x(ts_rate / ns_rate),
+            paper_speedup(model).to_string(),
+        ]);
+        cpu.row(&[
+            model.to_string(),
+            format!("{:.0}", ns.cpu_util * 100.0),
+            format!("{:.0}", ts.cpu_util * 100.0),
+            format!("{:.0}%", (1.0 - ts.cpu_busy_cores / ns.cpu_busy_cores) * 100.0),
+        ]);
+        let mean_gpu = |r: &SimResult| r.gpu_util.iter().sum::<f64>() / r.gpu_util.len() as f64;
+        gpu.row(&[
+            model.to_string(),
+            format!("{:.0}", mean_gpu(&ns) * 100.0),
+            format!("{:.0}", mean_gpu(&ts) * 100.0),
+        ]);
+    }
+    report.table(thr);
+    report.table(cpu);
+    report.table(gpu);
+    report.note(
+        "Paper: sharing raises throughput for every workload; MobileNet S nearly doubles; \
+         GPU-bound models (MobileNet L) gain little throughput but free ~70% of CPU.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_baselines::{nonshared_strategy, tensorsocket_strategy};
+
+    #[test]
+    fn mobilenet_s_roughly_doubles_with_sharing() {
+        let ns = run_config("MobileNet S", nonshared_strategy());
+        let ts = run_config("MobileNet S", tensorsocket_strategy(0));
+        let speedup = ts.mean_samples_per_s() / ns.mean_samples_per_s();
+        assert!(
+            (1.7..=2.3).contains(&speedup),
+            "MobileNet S speedup {speedup}"
+        );
+        // baseline is CPU-bound, shared is not
+        assert!(ns.cpu_util > 0.9);
+        assert!(ts.cpu_util < 0.7);
+    }
+
+    #[test]
+    fn mobilenet_l_frees_cpu_without_throughput_regression() {
+        let ns = run_config("MobileNet L", nonshared_strategy());
+        let ts = run_config("MobileNet L", tensorsocket_strategy(0));
+        assert!(ts.mean_samples_per_s() >= ns.mean_samples_per_s() * 0.98);
+        let freed = 1.0 - ts.cpu_busy_cores / ns.cpu_busy_cores;
+        assert!(freed > 0.6, "freed {freed}");
+    }
+
+    #[test]
+    fn sharing_never_hurts_any_model() {
+        for model in MODELS {
+            let ns = run_config(model, nonshared_strategy());
+            let ts = run_config(model, tensorsocket_strategy(0));
+            assert!(
+                ts.mean_samples_per_s() >= ns.mean_samples_per_s() * 0.98,
+                "{model}: {} vs {}",
+                ts.mean_samples_per_s(),
+                ns.mean_samples_per_s()
+            );
+        }
+    }
+
+    #[test]
+    fn report_covers_all_models() {
+        let r = run();
+        assert_eq!(r.tables.len(), 3);
+        assert_eq!(r.tables[0].num_rows(), 5);
+    }
+}

@@ -1,0 +1,108 @@
+#![warn(missing_docs)]
+
+//! The evaluation harness: one runner per table/figure of the paper.
+//!
+//! Every experiment produces an [`report::ExperimentReport`] with the same
+//! rows/series the paper plots, alongside the paper's reference values so
+//! deviations are visible at a glance. Run them all with
+//! `cargo run -p ts-experiments --bin repro` (or a single one by id, e.g.
+//! `-- fig8`).
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `fig1` | cloud instances by vCPU:GPU ratio |
+//! | `fig8` | image classification, 4-way collocation on the A100 server |
+//! | `table3` | disk/PCIe/NVLink/VRAM for 4× MobileNet L |
+//! | `fig9` | throughput vs collocation degree (MobileNet S/L) |
+//! | `fig10` | default vs flexible batch sizing |
+//! | `fig11` | CLMR audio on AWS g5, MPS vs streams |
+//! | `fig12` | DALL-E 2 online training, shared CLIP stage |
+//! | `fig13` | mixed RegNetX workload time series on g5 |
+//! | `table4` | Qwen2.5 fine-tuning traffic/VRAM |
+//! | `fig14` | comparison with CoorDL |
+//! | `fig15` | comparison with Joader |
+//! | `ablation-*` | design-choice studies beyond the paper (buffer size, producer batch, MPS vs streams, worker budget, GPU offload) |
+//! | `runtime-validation` | the threaded runtime measured live on this machine |
+//!
+//! Calibration constants live in [`profiles`] and are set against the
+//! *baseline* (non-shared) runs only; the shared/CoorDL/Joader behaviours
+//! emerge from the simulator (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig8;
+pub mod fig9;
+pub mod profiles;
+pub mod report;
+pub mod runtime_check;
+pub mod table3;
+pub mod table4;
+
+pub use report::ExperimentReport;
+
+/// An experiment entry: `(id, title, runner)`.
+pub type ExperimentEntry = (&'static str, &'static str, fn() -> ExperimentReport);
+
+/// All experiments in paper order.
+pub fn all_experiments() -> Vec<ExperimentEntry> {
+    vec![
+        ("fig1", "Cloud instances by vCPU:GPU ratio", fig1::run as fn() -> ExperimentReport),
+        ("fig8", "Image classification, 4-way collocation (A100 server)", fig8::run),
+        ("table3", "Data movement for 4x MobileNet L (A100 server)", table3::run),
+        ("fig9", "Throughput vs collocation degree (MobileNet S/L)", fig9::run),
+        ("fig10", "Default vs flexible batch sizing (H100)", fig10::run),
+        ("fig11", "CLMR audio on AWS g5 (MPS vs streams)", fig11::run),
+        ("fig12", "DALL-E 2 online training (H100)", fig12::run),
+        ("fig13", "Mixed RegNetX workload on AWS g5 (time series)", fig13::run),
+        ("table4", "Qwen2.5 0.5B fine-tuning (A100 server)", table4::run),
+        ("fig14", "Comparison with CoorDL (A100 server)", fig14::run),
+        ("fig15", "Comparison with Joader (H100)", fig15::run),
+        // design-choice ablations beyond the paper's figures
+        ("ablation-buffer", "ABLATION: batch buffer size under jitter", ablations::buffer_sweep),
+        ("ablation-flex", "ABLATION: producer batch size vs repetition", ablations::flex_repetition_sweep),
+        ("ablation-streams", "ABLATION: MPS vs multi-stream sharing", ablations::stream_penalty_sweep),
+        ("ablation-workers", "ABLATION: producer worker budget", ablations::worker_sweep),
+        ("ablation-gpu-offload", "ABLATION: GPU-offloaded pre-processing", ablations::gpu_offload_sweep),
+        // the threaded runtime measured live on this machine
+        ("runtime-validation", "REAL RUNTIME: shared vs non-shared", runtime_check::run),
+    ]
+}
+
+/// Runs one experiment by id.
+pub fn run_by_id(id: &str) -> Option<ExperimentReport> {
+    all_experiments()
+        .into_iter()
+        .find(|(eid, _, _)| *eid == id)
+        .map(|(_, _, f)| f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_paper_artifacts_and_ablations() {
+        let ids: Vec<&str> = all_experiments().iter().map(|(id, _, _)| *id).collect();
+        assert_eq!(
+            &ids[..11],
+            &[
+                "fig1", "fig8", "table3", "fig9", "fig10", "fig11", "fig12", "fig13", "table4",
+                "fig14", "fig15"
+            ]
+        );
+        assert!(ids[11..16].iter().all(|id| id.starts_with("ablation-")));
+        assert_eq!(ids.last(), Some(&"runtime-validation"));
+        assert_eq!(ids.len(), 17);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("fig99").is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! Calibration constants: hardware, dataset and model cost profiles.
+//!
+//! Calibration rule (DESIGN.md §4): constants are fitted against the
+//! paper's *non-shared baseline* measurements only — loader CPU cost from
+//! baseline throughput at a known worker count, GPU cost from the
+//! GPU-bound plateau, byte sizes from the reported PCIe/disk rates. The
+//! shared/CoorDL/Joader behaviours are then *predictions* of the simulator,
+//! compared against the paper in EXPERIMENTS.md.
+//!
+//! Two deliberate deviations from naive datasheet numbers, both documented
+//! in EXPERIMENTS.md:
+//!
+//! * `disk_bytes_per_sample` for ImageNet is 85 KB (not the ~110 KB average
+//!   JPEG): Table 3's 613 MB/s baseline disk rate at 4×1800 samples/s
+//!   implies the OS page cache absorbs part of the re-read traffic.
+//! * Small CNNs do not scale linearly with SM count across GPU
+//!   generations; where the paper pins a workload to a specific GPU
+//!   (Figures 13 and 15), the GPU cost is calibrated on that GPU.
+
+use ts_sim::{ClusterSpec, GpuConfig, GpuSharing, LoaderSpec, WorkloadSpec};
+
+// ---------------------------------------------------------------------------
+// hardware (Table 2)
+// ---------------------------------------------------------------------------
+
+/// The 4×A100 server capped at 48 usable cores.
+pub fn a100_server() -> ClusterSpec {
+    ClusterSpec {
+        name: "A100 Server (48 cores)".into(),
+        vcpus: 48.0,
+        gpus: vec![
+            GpuConfig {
+                relative_throughput: 1.0,
+                vram_bytes: 40_000_000_000,
+            };
+            4
+        ],
+        gpu_sharing: GpuSharing::Mps,
+        disk_read_bps: 3.5e9,
+        nvlink: true,
+    }
+}
+
+/// The 24-core single-H100 server.
+pub fn h100_server() -> ClusterSpec {
+    ClusterSpec {
+        name: "H100 Server".into(),
+        vcpus: 24.0,
+        gpus: vec![GpuConfig {
+            relative_throughput: 2.0,
+            vram_bytes: 80_000_000_000,
+        }],
+        gpu_sharing: GpuSharing::Mps,
+        disk_read_bps: 3.5e9,
+        nvlink: false,
+    }
+}
+
+/// AWS g5 instance with one A10G and the given vCPU count (8/16/32).
+pub fn g5(vcpus: u32) -> ClusterSpec {
+    ClusterSpec {
+        name: format!("AWS g5 ({vcpus} vCPU)"),
+        vcpus: vcpus as f64,
+        gpus: vec![GpuConfig {
+            relative_throughput: 0.4,
+            vram_bytes: 24_000_000_000,
+        }],
+        gpu_sharing: GpuSharing::Mps,
+        disk_read_bps: 1.25e9,
+        nvlink: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// datasets → loader profiles
+// ---------------------------------------------------------------------------
+
+/// ImageNet through the TIMM training pipeline (decode + crop + flip).
+///
+/// CPU cost: the A100-server baselines run 12 workers per model and top
+/// out near 1900 samples/s → ≈ 6.3 worker-ms/sample. Decoded uint8
+/// 3×224×224 → 150 528 B over PCIe (Table 3's 267 MB/s at ~1800/s).
+pub fn imagenet_loader(num_workers: usize) -> LoaderSpec {
+    LoaderSpec {
+        cpu_ms_per_sample: 6.3,
+        disk_bytes_per_sample: 85_000,
+        h2d_bytes_per_sample: 150_528,
+        num_workers,
+        prefetch_batches: 2,
+    }
+}
+
+/// ImageNet through Joader's hardcoded (lighter) Rust pipeline — no
+/// augmentation, which is why its base cost is below TIMM's (§4.7).
+pub fn imagenet_loader_light(num_workers: usize) -> LoaderSpec {
+    LoaderSpec {
+        cpu_ms_per_sample: 7.0, // H100-server TIMM pipeline (Fig 15 baseline)
+        disk_bytes_per_sample: 85_000,
+        h2d_bytes_per_sample: 150_528,
+        num_workers,
+        prefetch_batches: 2,
+    }
+}
+
+/// LibriSpeech raw-waveform windows for CLMR: very expensive host-side
+/// augmentation chain (~120 ms/sample), 59 049-sample f32 clips.
+pub fn librispeech_loader(num_workers: usize) -> LoaderSpec {
+    LoaderSpec {
+        cpu_ms_per_sample: 120.0,
+        disk_bytes_per_sample: 118_098, // ~2:1 FLAC over 16-bit PCM
+        h2d_bytes_per_sample: 236_196,  // f32 waveform
+        num_workers,
+        prefetch_batches: 2,
+    }
+}
+
+/// Conceptual Captions (CC3M) for DALL-E 2 prior training.
+pub fn cc3m_loader(num_workers: usize) -> LoaderSpec {
+    LoaderSpec {
+        cpu_ms_per_sample: 8.0,
+        disk_bytes_per_sample: 90_000,
+        h2d_bytes_per_sample: 3 * 224 * 224 + 77 * 8, // image + token ids
+        num_workers,
+        prefetch_batches: 2,
+    }
+}
+
+/// Alpaca for Qwen2.5 fine-tuning: tokenized text, nearly free to load.
+pub fn alpaca_loader(num_workers: usize) -> LoaderSpec {
+    LoaderSpec {
+        cpu_ms_per_sample: 2.0,
+        disk_bytes_per_sample: 1_024,
+        h2d_bytes_per_sample: 20_480, // padded token tensor per sample
+        num_workers,
+        prefetch_batches: 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// models (Table 1)
+// ---------------------------------------------------------------------------
+
+/// The five TIMM image classifiers of Figure 8, with GPU-bound plateau
+/// rates calibrated on the A100 (samples/s at batch 128):
+/// MobileNet S ≈ 3900, RegNetX-002 ≈ 3000, RegNetX-004 ≈ 2200,
+/// ResNet18 ≈ 2000, MobileNet L ≈ 1820.
+pub fn timm_model(name: &str, gpu: usize) -> WorkloadSpec {
+    let (gpu_ms, vram): (f64, u64) = match name {
+        "MobileNet S" => (1.0 / 3.9, 5_000_000_000),
+        "RegNetX 2" => (1.0 / 3.0, 5_500_000_000),
+        "RegNetX 4" => (1.0 / 2.2, 6_500_000_000),
+        "ResNet18" => (1.0 / 2.0, 7_000_000_000),
+        "MobileNet L" => (1.0 / 1.82, 8_000_000_000),
+        other => panic!("unknown TIMM model {other}"),
+    };
+    WorkloadSpec {
+        name: name.to_string(),
+        gpu,
+        batch_size: 128,
+        gpu_ms_per_sample: gpu_ms,
+        pre_gpu_cpu_ms_per_sample: 0.0,
+        model_vram: vram,
+        extra_pcie_bytes_per_sample: 0,
+        gpu_jitter_frac: 0.0,
+    }
+}
+
+/// MobileNetV3-Small calibrated on the H100 for Figure 15 (plateau ≈ 7700
+/// samples/s aggregate under MPS).
+pub fn mobilenet_s_h100(gpu: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "MobileNet S".into(),
+        gpu,
+        batch_size: 128,
+        gpu_ms_per_sample: 0.26, // ×2.0 H100 → 0.13 ms/sample
+        pre_gpu_cpu_ms_per_sample: 0.0,
+        model_vram: 5_000_000_000,
+        extra_pcie_bytes_per_sample: 0,
+        gpu_jitter_frac: 0.0,
+    }
+}
+
+/// CLMR audio model on the A10G (4-way MPS plateau ≈ 240 samples/s
+/// aggregate).
+pub fn clmr(gpu: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "CLMR".into(),
+        gpu,
+        batch_size: 16,
+        gpu_ms_per_sample: 1.0 / 0.6, // ×0.4 A10G → 240/s aggregate
+        pre_gpu_cpu_ms_per_sample: 0.0,
+        model_vram: 4_000_000_000,
+        extra_pcie_bytes_per_sample: 0,
+        gpu_jitter_frac: 0.0,
+    }
+}
+
+/// DALL-E 2 diffusion-prior training step (excluding CLIP), calibrated on
+/// the H100 (§4.4): CLIP ≈ 0.25 ms/sample and prior ≈ 1.35 ms/sample on
+/// the H100.
+pub fn dalle_prior(gpu: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "DALL-E 2 prior".into(),
+        gpu,
+        batch_size: 64,
+        gpu_ms_per_sample: 2.7, // ×2.0 H100 → 1.35 ms/sample
+        pre_gpu_cpu_ms_per_sample: 0.0,
+        model_vram: 15_000_000_000,
+        extra_pcie_bytes_per_sample: 0,
+        gpu_jitter_frac: 0.0,
+    }
+}
+
+/// CLIP inference cost per sample (A100-reference ms) for the DALL-E
+/// pipeline — run by every trainer when not shared, by the producer once
+/// when shared.
+pub const CLIP_GPU_MS_PER_SAMPLE: f64 = 0.5;
+
+/// RegNetX models calibrated on the A10G for the Figure 13 mixed workload
+/// (small CNNs do not scale with SM count; see module docs).
+pub fn regnet_a10g(name: &str, gpu: usize) -> WorkloadSpec {
+    let gpu_ms = match name {
+        "RegNetX 2" => 0.4 / 2.8, // A10G plateau ≈ 2800 samples/s
+        "RegNetX 4" => 0.4 / 1.6, // A10G plateau ≈ 1600 samples/s
+        other => panic!("unknown A10G model {other}"),
+    };
+    WorkloadSpec {
+        name: name.to_string(),
+        gpu,
+        batch_size: 128,
+        gpu_ms_per_sample: gpu_ms,
+        pre_gpu_cpu_ms_per_sample: 0.0,
+        model_vram: 6_000_000_000,
+        extra_pcie_bytes_per_sample: 0,
+        gpu_jitter_frac: 0.0,
+    }
+}
+
+/// ResNet18 under the CoorDL comparison settings (batch 512, no AMP, 4
+/// workers — §4.7): GPU plateau ≈ 650 samples/s on the A100.
+pub fn resnet18_coordl(gpu: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "ResNet18 (bs 512)".into(),
+        gpu,
+        batch_size: 512,
+        gpu_ms_per_sample: 1.0 / 0.65,
+        pre_gpu_cpu_ms_per_sample: 0.0,
+        model_vram: 9_000_000_000,
+        extra_pcie_bytes_per_sample: 0,
+        gpu_jitter_frac: 0.0,
+    }
+}
+
+/// Qwen2.5-0.5B fine-tuning on Alpaca at batch 8 (Table 4): ≈ 7500
+/// tokens/s ≈ 14.6 samples/s per A100 at 512 tokens/sample; the 48 MB/s
+/// baseline PCIe is optimizer/activation traffic, not data loading.
+pub fn qwen25(gpu: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Qwen2.5 0.5B".into(),
+        gpu,
+        batch_size: 8,
+        gpu_ms_per_sample: 1000.0 / 14.6,
+        pre_gpu_cpu_ms_per_sample: 0.0,
+        model_vram: 6_800_000_000,
+        extra_pcie_bytes_per_sample: 3_300_000,
+        gpu_jitter_frac: 0.0,
+    }
+}
+
+/// Tokens per sample for the Qwen fine-tuning workload.
+pub const QWEN_TOKENS_PER_SAMPLE: u64 = 512;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_matches_table2() {
+        assert_eq!(a100_server().vcpus, 48.0);
+        assert_eq!(a100_server().gpus.len(), 4);
+        assert_eq!(h100_server().vcpus, 24.0);
+        assert_eq!(g5(8).vcpus, 8.0);
+        assert!(g5(32).gpus[0].relative_throughput < 1.0);
+    }
+
+    #[test]
+    fn timm_models_ordered_by_cost() {
+        let s = timm_model("MobileNet S", 0).gpu_ms_per_sample;
+        let r2 = timm_model("RegNetX 2", 0).gpu_ms_per_sample;
+        let r4 = timm_model("RegNetX 4", 0).gpu_ms_per_sample;
+        let r18 = timm_model("ResNet18", 0).gpu_ms_per_sample;
+        let l = timm_model("MobileNet L", 0).gpu_ms_per_sample;
+        assert!(s < r2 && r2 < r4 && r4 < r18 && r18 < l);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown TIMM model")]
+    fn unknown_model_panics() {
+        timm_model("AlexNet", 0);
+    }
+
+    #[test]
+    fn qwen_rate_implies_7500_tokens_per_s() {
+        let q = qwen25(0);
+        let samples_per_s = 1000.0 / q.gpu_ms_per_sample;
+        let tokens = samples_per_s * QWEN_TOKENS_PER_SAMPLE as f64;
+        assert!((tokens - 7475.0).abs() < 25.0, "{tokens}");
+    }
+
+    #[test]
+    fn imagenet_h2d_matches_uint8_224() {
+        assert_eq!(imagenet_loader(8).h2d_bytes_per_sample, 3 * 224 * 224);
+    }
+}

@@ -1,0 +1,104 @@
+//! Experiment reports: paper-style tables plus notes.
+
+use ts_metrics::Table;
+
+/// The output of one experiment runner.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Stable id (`fig8`, `table3`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// One or more tables of rows (throughput, utilization, traffic …).
+    pub tables: Vec<Table>,
+    /// Free-form observations: what the paper claims, what we measured.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, t: Table) -> &mut Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Renders the report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("################ {} — {}\n\n", self.id, self.title));
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Renders the report as Markdown (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        for t in &self.tables {
+            out.push_str(&t.render_markdown());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("*{n}*\n\n"));
+        }
+        out
+    }
+}
+
+/// Formats a ratio like `1.94x`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage like `48%`.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.0}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_tables_and_notes() {
+        let mut r = ExperimentReport::new("figX", "demo");
+        let mut t = Table::new("tbl", &["a", "b"]);
+        t.row_display(&[1, 2]);
+        r.table(t);
+        r.note("shape holds");
+        let s = r.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("tbl"));
+        assert!(s.contains("shape holds"));
+        let md = r.render_markdown();
+        assert!(md.contains("## figX"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_x(1.944), "1.94x");
+        assert_eq!(fmt_pct(0.485), "48%");
+    }
+}

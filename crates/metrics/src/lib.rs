@@ -1,0 +1,165 @@
+#![warn(missing_docs)]
+
+//! Metrics substrate for the TensorSocket reproduction.
+//!
+//! The paper reports training speed (samples/s), CPU utilization (`top`),
+//! GPU utilization (`dcgm` SM activity), GPU memory (`nvidia-smi`), and data
+//! movement rates for disk (`iostat`), PCIe and NVLink (`dcgm`). This crate
+//! provides the corresponding primitives:
+//!
+//! * [`Counter`] — monotonically increasing event/byte counters,
+//! * [`Gauge`] — instantaneous values (e.g. VRAM in use),
+//! * [`TimeWeighted`] — time-weighted integrals of piecewise-constant
+//!   signals, used for utilization percentages exactly the way `top`/`dcgm`
+//!   average a busy fraction over a window,
+//! * [`TimeSeries`] — timestamped samples with windowed-rate helpers (used
+//!   for the throughput-over-time series of Figure 13),
+//! * [`Registry`] — a named collection of the above,
+//! * [`table`] — plain-text table rendering used by the experiment harness
+//!   to print paper-style rows.
+
+pub mod registry;
+pub mod series;
+pub mod stats;
+pub mod table;
+pub mod timeweighted;
+
+pub use registry::Registry;
+pub use series::TimeSeries;
+pub use stats::{mean, percentile, stddev};
+pub use table::Table;
+pub use timeweighted::TimeWeighted;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+///
+/// Thread-safe; suitable both for the threaded runtime (incremented from
+/// worker threads) and for the single-threaded simulator.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value expressed as an `f64`.
+///
+/// Stored as bit-cast `u64` so updates are lock-free.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge initialized to `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Reads the gauge.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Sets the gauge to `max(current, v)`; used for peak tracking.
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_get_reset() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.reset(), 42);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(3.25);
+        assert_eq!(g.get(), 3.25);
+    }
+
+    #[test]
+    fn gauge_set_max_tracks_peak() {
+        let g = Gauge::new();
+        g.set_max(1.0);
+        g.set_max(0.5);
+        assert_eq!(g.get(), 1.0);
+        g.set_max(2.0);
+        assert_eq!(g.get(), 2.0);
+    }
+
+    #[test]
+    fn counter_concurrent_increments() {
+        let c = std::sync::Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+}

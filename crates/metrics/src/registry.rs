@@ -1,0 +1,100 @@
+//! A named registry of counters and gauges.
+//!
+//! The threaded runtime and data loader register their counters here so
+//! tests and examples can inspect them by name without plumbing references
+//! through every layer.
+
+use crate::{Counter, Gauge};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared, named collection of [`Counter`]s and [`Gauge`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock();
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock();
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// Snapshot of all counter values, sorted by name.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauge values, sorted by name.
+    pub fn gauge_snapshot(&self) -> Vec<(String, f64)> {
+        let inner = self.inner.lock();
+        inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_shared_by_name() {
+        let r = Registry::new();
+        r.counter("batches").add(3);
+        r.counter("batches").add(4);
+        assert_eq!(r.counter("batches").get(), 7);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("z").inc();
+        r.counter("a").inc();
+        let snap = r.counter_snapshot();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[1].0, "z");
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r2.gauge("vram").set(1.5);
+        assert_eq!(r.gauge("vram").get(), 1.5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Timestamped sample series with windowed-rate helpers.
+//!
+//! Figure 13 of the paper plots aggregate training throughput against
+//! elapsed wall-clock time. The simulator records cumulative sample counts
+//! at a fixed sampling interval; [`TimeSeries::windowed_rate`] converts those
+//! into the per-interval rates the figure shows.
+
+/// A series of `(time, value)` samples with non-decreasing time.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Panics if `t` is older than the last sample.
+    pub fn push(&mut self, t: u64, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "TimeSeries::push out of order: {t} < {last}");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Interprets the series as a cumulative counter and returns per-window
+    /// rates: `(window_end_time, delta_value / delta_time_in_ticks * scale)`.
+    ///
+    /// `scale` converts per-tick rates to the desired unit (e.g. with
+    /// nanosecond ticks, `scale = 1e9` yields a per-second rate).
+    pub fn windowed_rate(&self, scale: f64) -> Vec<(u64, f64)> {
+        self.points
+            .windows(2)
+            .filter_map(|w| {
+                let (t0, v0) = w[0];
+                let (t1, v1) = w[1];
+                if t1 == t0 {
+                    None
+                } else {
+                    Some((t1, (v1 - v0) / (t1 - t0) as f64 * scale))
+                }
+            })
+            .collect()
+    }
+
+    /// Mean of the windowed rate over the whole series (first to last point).
+    pub fn overall_rate(&self, scale: f64) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(&(t0, v0)), Some(&(t1, v1))) if t1 > t0 => {
+                (v1 - v0) / (t1 - t0) as f64 * scale
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_rate_from_cumulative_counts() {
+        let mut s = TimeSeries::new();
+        s.push(0, 0.0);
+        s.push(10, 50.0);
+        s.push(20, 150.0);
+        let rates = s.windowed_rate(1.0);
+        assert_eq!(rates, vec![(10, 5.0), (20, 10.0)]);
+    }
+
+    #[test]
+    fn overall_rate_spans_whole_series() {
+        let mut s = TimeSeries::new();
+        s.push(0, 0.0);
+        s.push(5, 10.0);
+        s.push(20, 40.0);
+        assert_eq!(s.overall_rate(1.0), 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_series_rate_zero() {
+        let s = TimeSeries::new();
+        assert_eq!(s.overall_rate(1.0), 0.0);
+        let mut s2 = TimeSeries::new();
+        s2.push(3, 1.0);
+        assert_eq!(s2.overall_rate(1.0), 0.0);
+        assert!(s2.windowed_rate(1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn push_rejects_time_travel() {
+        let mut s = TimeSeries::new();
+        s.push(10, 1.0);
+        s.push(5, 2.0);
+    }
+
+    #[test]
+    fn scale_converts_units() {
+        let mut s = TimeSeries::new();
+        s.push(0, 0.0);
+        s.push(1_000_000_000, 100.0); // 100 samples in 1e9 ns
+        let rates = s.windowed_rate(1e9);
+        assert_eq!(rates[0].1, 100.0); // samples per second
+    }
+}

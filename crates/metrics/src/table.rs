@@ -1,0 +1,199 @@
+//! Plain-text table rendering for paper-style experiment output.
+//!
+//! Experiments print their rows in the same arrangement as the paper's
+//! tables/figures; this module provides aligned ASCII and Markdown output
+//! without any external dependency.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the row is padded/truncated to the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience for rows of displayable values.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the rows (for assertions in tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        widths
+    }
+
+    /// Renders as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:width$}", c, width = widths[i]));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut out, &sep);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a Markdown table (used when generating EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}\n", self.title);
+        }
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let sep: Vec<&str> = self.headers.iter().map(|_| "---").collect();
+        let _ = writeln!(out, "| {} |", sep.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else if a == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a byte rate as a human-readable `X MB/s` / `X KB/s` string,
+/// mirroring the units used in Tables 3 and 4 of the paper.
+pub fn fmt_rate(bytes_per_sec: f64) -> String {
+    let b = bytes_per_sec;
+    if b >= 1e6 {
+        format!("{:.0} MB/s", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.0} KB/s", b / 1e3)
+    } else if b > 0.0 {
+        format!("{b:.0} B/s")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Formats bytes as GB with one decimal, as used for VRAM columns.
+pub fn fmt_gb(bytes: f64) -> String {
+    format!("{:.1} GB", bytes / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["Model", "Samples/s"]);
+        t.row(&["ResNet18".to_string(), "1024".to_string()]);
+        t.row(&["MobileNet".to_string(), "2".to_string()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| ResNet18  | 1024      |"));
+        assert!(s.contains("| MobileNet | 2         |"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new("x", &["a", "b", "c"]);
+        t.row(&["1".to_string()]);
+        assert_eq!(t.rows()[0].len(), 3);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row_display(&[1, 2]);
+        let md = t.render_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn num_formatting_bands() {
+        assert_eq!(fmt_num(12345.6), "12346");
+        assert_eq!(fmt_num(123.45), "123.5");
+        assert_eq!(fmt_num(12.345), "12.35");
+        assert_eq!(fmt_num(0.1234), "0.123");
+        assert_eq!(fmt_num(0.0), "0");
+    }
+
+    #[test]
+    fn rate_formatting_units() {
+        assert_eq!(fmt_rate(613e6), "613 MB/s");
+        assert_eq!(fmt_rate(152e3), "152 KB/s");
+        assert_eq!(fmt_rate(12.0), "12 B/s");
+        assert_eq!(fmt_rate(0.0), "-");
+    }
+
+    #[test]
+    fn gb_formatting() {
+        assert_eq!(fmt_gb(8.5e9), "8.5 GB");
+    }
+}

@@ -1,0 +1,129 @@
+//! Time-weighted integration of piecewise-constant signals.
+//!
+//! Utilization metrics in the paper (`top` CPU%, `dcgm` SM activity) are
+//! averages of a busy fraction over a measurement window. The simulator
+//! produces exact piecewise-constant signals (e.g. "3.5 cores busy from
+//! t=10ms to t=14ms"), so the faithful reproduction is an exact integral
+//! rather than sampling.
+
+/// Integrates a piecewise-constant `f64` signal over time.
+///
+/// Time is a `u64` in arbitrary ticks (the simulator uses nanoseconds; the
+/// threaded runtime uses `Instant` deltas converted to nanoseconds).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: u64,
+    last_t: u64,
+    last_v: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Creates an integrator starting at time `t0` with initial value `v0`.
+    pub fn new(t0: u64, v0: f64) -> Self {
+        Self {
+            start: t0,
+            last_t: t0,
+            last_v: v0,
+            integral: 0.0,
+            peak: v0,
+        }
+    }
+
+    /// Records that the signal changed to `v` at time `t`.
+    ///
+    /// `t` must be monotonically non-decreasing; out-of-order updates are
+    /// clamped to the last seen time (they contribute zero width).
+    pub fn set(&mut self, t: u64, v: f64) {
+        let t = t.max(self.last_t);
+        self.integral += self.last_v * (t - self.last_t) as f64;
+        self.last_t = t;
+        self.last_v = v;
+        if v > self.peak {
+            self.peak = v;
+        }
+    }
+
+    /// Adds `dv` to the current value at time `t`.
+    pub fn add(&mut self, t: u64, dv: f64) {
+        let v = self.last_v + dv;
+        self.set(t, v);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Peak value observed so far.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The integral of the signal from the start time up to `t`.
+    pub fn integral_until(&self, t: u64) -> f64 {
+        let t = t.max(self.last_t);
+        self.integral + self.last_v * (t - self.last_t) as f64
+    }
+
+    /// The time-weighted mean of the signal between the start time and `t`.
+    ///
+    /// Returns the current value if no time has elapsed.
+    pub fn mean_until(&self, t: u64) -> f64 {
+        let span = t.saturating_sub(self.start);
+        if span == 0 {
+            return self.last_v;
+        }
+        self.integral_until(t) / span as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_means_itself() {
+        let tw = TimeWeighted::new(0, 2.0);
+        assert_eq!(tw.mean_until(100), 2.0);
+        assert_eq!(tw.integral_until(100), 200.0);
+    }
+
+    #[test]
+    fn step_signal_integrates_exactly() {
+        let mut tw = TimeWeighted::new(0, 0.0);
+        tw.set(10, 4.0); // 0 for [0,10)
+        tw.set(30, 1.0); // 4 for [10,30)
+        // 1 for [30,40)
+        assert_eq!(tw.integral_until(40), 0.0 * 10.0 + 4.0 * 20.0 + 1.0 * 10.0);
+        assert_eq!(tw.mean_until(40), 90.0 / 40.0);
+        assert_eq!(tw.peak(), 4.0);
+    }
+
+    #[test]
+    fn add_is_relative() {
+        let mut tw = TimeWeighted::new(0, 1.0);
+        tw.add(10, 2.0);
+        assert_eq!(tw.current(), 3.0);
+        tw.add(20, -1.5);
+        assert_eq!(tw.current(), 1.5);
+        // integral: 1*10 + 3*10 = 40
+        assert_eq!(tw.integral_until(20), 40.0);
+    }
+
+    #[test]
+    fn out_of_order_updates_clamped() {
+        let mut tw = TimeWeighted::new(0, 1.0);
+        tw.set(20, 5.0);
+        tw.set(10, 2.0); // clamped to t=20, zero width
+        assert_eq!(tw.integral_until(20), 20.0);
+        assert_eq!(tw.current(), 2.0);
+    }
+
+    #[test]
+    fn zero_span_mean_is_current() {
+        let tw = TimeWeighted::new(5, 7.0);
+        assert_eq!(tw.mean_until(5), 7.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests for the time-weighted integrator and time series.
+
+use proptest::prelude::*;
+use ts_metrics::{TimeSeries, TimeWeighted};
+
+proptest! {
+    /// The integral equals the sum of rectangle areas for any step signal.
+    #[test]
+    fn integral_matches_rectangles(steps in prop::collection::vec((1u64..1_000, 0.0f64..100.0), 1..50)) {
+        let mut tw = TimeWeighted::new(0, 0.0);
+        let mut expected = 0.0;
+        let mut t = 0u64;
+        let mut v = 0.0;
+        for (dt, nv) in steps {
+            expected += v * dt as f64;
+            t += dt;
+            tw.set(t, nv);
+            v = nv;
+        }
+        let got = tw.integral_until(t);
+        prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0), "{got} vs {expected}");
+        // mean is integral / span
+        let mean = tw.mean_until(t);
+        prop_assert!((mean - expected / t as f64).abs() < 1e-9 * mean.abs().max(1.0));
+        // peak is the max value ever set
+        prop_assert!(tw.peak() >= v);
+    }
+
+    /// Windowed rates of a cumulative counter sum back to the total delta.
+    #[test]
+    fn windowed_rates_sum_to_total(points in prop::collection::vec((1u64..1_000, 0.0f64..50.0), 1..50)) {
+        let mut s = TimeSeries::new();
+        let mut t = 0u64;
+        let mut total = 0.0;
+        s.push(0, 0.0);
+        for (dt, dv) in points {
+            t += dt;
+            total += dv;
+            s.push(t, total);
+        }
+        let rates = s.windowed_rate(1.0);
+        let reconstructed: f64 = s
+            .points()
+            .windows(2)
+            .zip(&rates)
+            .map(|(w, &(_, rate))| rate * (w[1].0 - w[0].0) as f64)
+            .sum();
+        prop_assert!((reconstructed - total).abs() < 1e-6 * total.max(1.0));
+        // and the overall rate agrees with total/span
+        prop_assert!((s.overall_rate(1.0) - total / t as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! The discrete-event scheduler.
+//!
+//! Time is `u64` nanoseconds. Events are plain values; the world pops them
+//! one at a time and mutates itself. Ties break by insertion order, which
+//! makes runs fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds.
+pub type Time = u64;
+
+/// One nanosecond shy of forever; used as a guard horizon.
+pub const FOREVER: Time = u64::MAX - 1;
+
+/// A deterministic event queue.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(Time, u64)>>,
+    payloads: std::collections::HashMap<u64, E>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `ev` at absolute time `t` (clamped to now), returning a
+    /// token usable with [`Scheduler::cancel`].
+    pub fn schedule_at(&mut self, t: Time, ev: E) -> u64 {
+        let t = t.max(self.now);
+        let token = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((t, token)));
+        self.payloads.insert(token, ev);
+        token
+    }
+
+    /// Schedules `ev` after `dt` nanoseconds.
+    pub fn schedule_after(&mut self, dt: Time, ev: E) -> u64 {
+        self.schedule_at(self.now.saturating_add(dt), ev)
+    }
+
+    /// Cancels a scheduled event. Cancelling an already-fired or unknown
+    /// token is a no-op.
+    pub fn cancel(&mut self, token: u64) {
+        self.payloads.remove(&token);
+    }
+
+    /// Pops the next event, advancing time to it. Returns `None` when the
+    /// queue is exhausted.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(Reverse((t, token))) = self.heap.pop() {
+            if let Some(ev) = self.payloads.remove(&token) {
+                debug_assert!(t >= self.now, "time went backwards");
+                self.now = t;
+                return Some((t, ev));
+            }
+            // cancelled; skip
+        }
+        None
+    }
+
+    /// Events currently pending (excluding cancelled).
+    pub fn pending(&self) -> usize {
+        self.payloads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(10, "b");
+        s.schedule_at(5, "a");
+        s.schedule_at(10, "c");
+        assert_eq!(s.pop().unwrap(), (5, "a"));
+        assert_eq!(s.pop().unwrap(), (10, "b"));
+        assert_eq!(s.pop().unwrap(), (10, "c"));
+        assert!(s.pop().is_none());
+        assert_eq!(s.now(), 10);
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t1 = s.schedule_at(1, 1);
+        s.schedule_at(2, 2);
+        s.cancel(t1);
+        assert_eq!(s.pop().unwrap(), (2, 2));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(100, 1);
+        s.pop();
+        s.schedule_at(50, 2); // clamped to 100
+        assert_eq!(s.pop().unwrap(), (100, 2));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(10, 1);
+        s.pop();
+        s.schedule_after(5, 2);
+        assert_eq!(s.pop().unwrap(), (15, 2));
+    }
+}

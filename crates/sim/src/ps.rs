@@ -1,0 +1,308 @@
+//! Processor-sharing resources.
+//!
+//! CPU core pools, GPUs under MPS, and disk bandwidth all behave as
+//! processor-sharing servers at the timescales the paper measures: `k`
+//! concurrent jobs each demanding up to one unit share `min(1, C/k)` of a
+//! capacity-`C` resource. NVIDIA MPS explicitly time/space-shares SMs this
+//! way (§3.2.5); `top`'s busy% is the CPU pool's utilization integral.
+//!
+//! Jobs carry a `remaining` amount of *work* (resource-seconds). Rates are
+//! recomputed whenever the job set changes ("settling"), which makes the
+//! model exact for piecewise-constant multiprogramming levels.
+
+use crate::des::Time;
+
+/// Sharing efficiency as a function of the number of active jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sharing {
+    /// Perfect sharing (MPS, CPU pools, disk).
+    Fair,
+    /// Degraded sharing: effective capacity is `C · 1/(1 + penalty·(n-1))`.
+    /// Models multi-stream GPU sharing, which the paper finds inferior to
+    /// MPS (Figure 11's blurred bars).
+    Penalized {
+        /// Per-extra-job efficiency penalty (e.g. `0.08`).
+        penalty: f64,
+    },
+}
+
+impl Sharing {
+    fn efficiency(&self, n: usize) -> f64 {
+        match self {
+            Sharing::Fair => 1.0,
+            Sharing::Penalized { penalty } => {
+                if n <= 1 {
+                    1.0
+                } else {
+                    1.0 / (1.0 + penalty * (n as f64 - 1.0))
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Job<T> {
+    remaining: f64, // resource-seconds
+    weight: f64,    // max share (1.0 = one core / one full process)
+    tag: T,
+}
+
+/// A processor-sharing resource with tagged jobs.
+#[derive(Debug, Clone)]
+pub struct PsResource<T> {
+    name: String,
+    capacity: f64,
+    sharing: Sharing,
+    jobs: Vec<(u64, Job<T>)>,
+    next_id: u64,
+    last_settle: Time,
+    /// ∫ busy-units dt, in resource-unit–seconds.
+    busy_integral: f64,
+    /// Total work completed, in resource-seconds (for conservation checks).
+    work_done: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+impl<T> PsResource<T> {
+    /// A resource with `capacity` units (cores, GPUs, bytes/s).
+    pub fn new(name: impl Into<String>, capacity: f64, sharing: Sharing) -> Self {
+        Self {
+            name: name.into(),
+            capacity: capacity.max(EPS),
+            sharing,
+            jobs: Vec::new(),
+            next_id: 0,
+            last_settle: 0,
+            busy_integral: 0.0,
+            work_done: 0.0,
+        }
+    }
+
+    /// Resource name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in resource units.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of active jobs.
+    pub fn active(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Per-job service rate with the current job set.
+    fn rate_of(&self, weight: f64) -> f64 {
+        let total_weight: f64 = self.jobs.iter().map(|(_, j)| j.weight).sum();
+        if total_weight <= EPS {
+            return 0.0;
+        }
+        let eff_capacity = self.capacity * self.sharing.efficiency(self.jobs.len());
+        if total_weight <= eff_capacity {
+            weight
+        } else {
+            weight * eff_capacity / total_weight
+        }
+    }
+
+    /// Total consumption rate right now (for utilization).
+    fn busy_rate(&self) -> f64 {
+        let total_weight: f64 = self.jobs.iter().map(|(_, j)| j.weight).sum();
+        let eff_capacity = self.capacity * self.sharing.efficiency(self.jobs.len());
+        total_weight.min(eff_capacity)
+    }
+
+    /// Advances all jobs to `now`, returning the tags of jobs that finished.
+    pub fn settle(&mut self, now: Time) -> Vec<T> {
+        let dt = (now.saturating_sub(self.last_settle)) as f64 / 1e9;
+        if dt > 0.0 {
+            self.busy_integral += self.busy_rate() * dt;
+            let rates: Vec<f64> = self
+                .jobs
+                .iter()
+                .map(|(_, j)| self.rate_of(j.weight))
+                .collect();
+            for ((_, job), rate) in self.jobs.iter_mut().zip(&rates) {
+                let done = rate * dt;
+                self.work_done += done.min(job.remaining);
+                job.remaining -= done;
+            }
+            self.last_settle = now;
+        } else {
+            self.last_settle = self.last_settle.max(now);
+        }
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < self.jobs.len() {
+            if self.jobs[i].1.remaining <= EPS {
+                let (_, job) = self.jobs.remove(i);
+                finished.push(job.tag);
+            } else {
+                i += 1;
+            }
+        }
+        finished
+    }
+
+    /// Adds a job of `work` resource-seconds with `weight` max share.
+    ///
+    /// The caller must have settled to `now` first (debug-asserted).
+    pub fn add(&mut self, now: Time, work: f64, weight: f64, tag: T) -> u64 {
+        debug_assert_eq!(self.last_settle, now, "settle before add");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.push((
+            id,
+            Job {
+                remaining: work.max(0.0),
+                weight: weight.max(EPS),
+                tag,
+            },
+        ));
+        id
+    }
+
+    /// Absolute time of the next job completion under current rates.
+    pub fn next_completion(&self, now: Time) -> Option<Time> {
+        debug_assert_eq!(self.last_settle, now, "settle before querying");
+        self.jobs
+            .iter()
+            .map(|(_, j)| {
+                let rate = self.rate_of(j.weight);
+                if rate <= EPS {
+                    crate::des::FOREVER
+                } else {
+                    let dt_ns = (j.remaining / rate * 1e9).ceil().max(1.0);
+                    now.saturating_add(dt_ns as Time)
+                }
+            })
+            .min()
+    }
+
+    /// Mean busy units over `[0, until]` divided by capacity ∈ `[0, 1]`.
+    pub fn utilization(&self, until: Time) -> f64 {
+        if until == 0 {
+            return 0.0;
+        }
+        let tail = (until.saturating_sub(self.last_settle)) as f64 / 1e9 * self.busy_rate();
+        (self.busy_integral + tail) / (until as f64 / 1e9) / self.capacity
+    }
+
+    /// Mean busy units over `[0, until]` (e.g. busy cores).
+    pub fn mean_busy(&self, until: Time) -> f64 {
+        self.utilization(until) * self.capacity
+    }
+
+    /// Total completed work in resource-seconds.
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle_all<T>(r: &mut PsResource<T>, t: Time) -> Vec<T> {
+        r.settle(t)
+    }
+
+    #[test]
+    fn single_job_runs_at_weight_speed() {
+        let mut r: PsResource<&str> = PsResource::new("cpu", 4.0, Sharing::Fair);
+        r.settle(0);
+        r.add(0, 2.0, 1.0, "a"); // 2 core-seconds at 1 core
+        assert_eq!(r.next_completion(0), Some(2_000_000_000));
+        let done = settle_all(&mut r, 2_000_000_000);
+        assert_eq!(done, vec!["a"]);
+        // resource was 1/4 busy for 2s
+        assert!((r.utilization(2_000_000_000) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscription_shares_fairly() {
+        let mut r: PsResource<u32> = PsResource::new("cpu", 2.0, Sharing::Fair);
+        r.settle(0);
+        for i in 0..4 {
+            r.add(0, 1.0, 1.0, i); // 4 jobs, 2 cores → rate 0.5 each
+        }
+        assert_eq!(r.next_completion(0), Some(2_000_000_000));
+        let mut done = settle_all(&mut r, 2_000_000_000);
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1, 2, 3]);
+        assert!((r.utilization(2_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_rebalance_when_jobs_leave() {
+        let mut r: PsResource<&str> = PsResource::new("gpu", 1.0, Sharing::Fair);
+        r.settle(0);
+        r.add(0, 1.0, 1.0, "short");
+        r.add(0, 2.0, 1.0, "long");
+        // both at 0.5: short finishes at t=2
+        assert_eq!(r.next_completion(0), Some(2_000_000_000));
+        assert_eq!(settle_all(&mut r, 2_000_000_000), vec!["short"]);
+        // long has 1.0 left, now at full rate: finishes at t=3
+        assert_eq!(r.next_completion(2_000_000_000), Some(3_000_000_000));
+        assert_eq!(settle_all(&mut r, 3_000_000_000), vec!["long"]);
+        // conservation: 3 resource-seconds of work done
+        assert!((r.work_done() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn penalized_sharing_slows_everyone() {
+        let mut fair: PsResource<u32> = PsResource::new("mps", 1.0, Sharing::Fair);
+        let mut streams: PsResource<u32> =
+            PsResource::new("streams", 1.0, Sharing::Penalized { penalty: 0.1 });
+        for r in [&mut fair, &mut streams] {
+            r.settle(0);
+            r.add(0, 1.0, 1.0, 0);
+            r.add(0, 1.0, 1.0, 1);
+        }
+        let t_fair = fair.next_completion(0).unwrap();
+        let t_streams = streams.next_completion(0).unwrap();
+        // two jobs of 1 unit each at rate 0.5 → both done at t = 2 s
+        assert_eq!(t_fair, 2_000_000_000);
+        assert!(t_streams > t_fair);
+        // 10% penalty at n=2 → per-job rate (1/1.1)/2 → 2.2 s
+        assert!((t_streams as f64 - 2.2e9).abs() < 10.0, "{t_streams}");
+    }
+
+    #[test]
+    fn weights_cap_individual_rates() {
+        let mut r: PsResource<&str> = PsResource::new("cpu", 8.0, Sharing::Fair);
+        r.settle(0);
+        // one worker thread can use at most one core even on an idle pool
+        r.add(0, 1.0, 1.0, "w");
+        assert_eq!(r.next_completion(0), Some(1_000_000_000));
+    }
+
+    #[test]
+    fn utilization_integrates_piecewise() {
+        let mut r: PsResource<u32> = PsResource::new("cpu", 2.0, Sharing::Fair);
+        r.settle(0);
+        r.add(0, 1.0, 1.0, 0); // busy 1 core for 1s
+        r.settle(1_000_000_000);
+        // idle until t=3
+        r.settle(3_000_000_000);
+        // busy 2 cores for 1s
+        r.add(3_000_000_000, 1.0, 1.0, 1);
+        r.add(3_000_000_000, 1.0, 1.0, 2);
+        r.settle(4_000_000_000);
+        // total: (1 + 0 + 2) core-seconds over 4s of 2 cores = 3/8
+        assert!((r.utilization(4_000_000_000) - 3.0 / 8.0).abs() < 1e-9);
+        assert!((r.mean_busy(4_000_000_000) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_job_finishes_immediately() {
+        let mut r: PsResource<&str> = PsResource::new("cpu", 1.0, Sharing::Fair);
+        r.settle(0);
+        r.add(0, 0.0, 1.0, "instant");
+        assert_eq!(settle_all(&mut r, 0), vec!["instant"]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests of the processor-sharing engine: work conservation and
+//! capacity limits under arbitrary job mixes.
+
+use proptest::prelude::*;
+use ts_sim::ps::{PsResource, Sharing};
+
+proptest! {
+    /// Running arbitrary job sets to completion conserves work exactly and
+    /// never exceeds capacity in the utilization integral.
+    #[test]
+    fn ps_conserves_work(
+        capacity in 1.0f64..32.0,
+        jobs in prop::collection::vec(0.001f64..2.0, 1..40)
+    ) {
+        let mut r: PsResource<usize> = PsResource::new("cpu", capacity, Sharing::Fair);
+        r.settle(0);
+        let total_work: f64 = jobs.iter().sum();
+        for (i, w) in jobs.iter().enumerate() {
+            r.add(0, *w, 1.0, i);
+        }
+        let mut now = 0u64;
+        let mut done = 0usize;
+        let mut guard = 0;
+        while r.active() > 0 {
+            guard += 1;
+            prop_assert!(guard < 10_000, "no progress");
+            let next = r.next_completion(now).unwrap();
+            prop_assert!(next > now || guard < 3);
+            now = next;
+            done += r.settle(now).len();
+        }
+        prop_assert_eq!(done, jobs.len());
+        let err = (r.work_done() - total_work).abs() / total_work;
+        prop_assert!(err < 1e-6, "work drift {}", err);
+        // utilization never implies more than capacity
+        prop_assert!(r.utilization(now) <= 1.0 + 1e-9);
+        // total busy time ≥ work/capacity (can't finish faster than capacity)
+        let elapsed_s = now as f64 / 1e9;
+        prop_assert!(elapsed_s * capacity + 1e-6 >= total_work);
+    }
+
+    /// Completion order respects remaining work for equal weights: a
+    /// strictly smaller job never finishes after a strictly larger one
+    /// that arrived at the same time.
+    #[test]
+    fn ps_completion_order_matches_work(
+        works in prop::collection::vec(0.01f64..5.0, 2..20)
+    ) {
+        let mut r: PsResource<usize> = PsResource::new("gpu", 1.0, Sharing::Fair);
+        r.settle(0);
+        for (i, w) in works.iter().enumerate() {
+            r.add(0, *w, 1.0, i);
+        }
+        let mut finished: Vec<usize> = Vec::new();
+        let mut now = 0u64;
+        while r.active() > 0 {
+            now = r.next_completion(now).unwrap();
+            finished.extend(r.settle(now));
+        }
+        for pair in finished.windows(2) {
+            prop_assert!(
+                works[pair[0]] <= works[pair[1]] + 1e-9,
+                "{} (w={}) finished before {} (w={})",
+                pair[0], works[pair[0]], pair[1], works[pair[1]]
+            );
+        }
+    }
+}

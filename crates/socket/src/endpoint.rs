@@ -1,0 +1,130 @@
+//! The in-process broker: named endpoints shared by all sockets of a
+//! [`Context`].
+
+use crate::frame::Multipart;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default per-queue high-water mark (messages).
+pub const DEFAULT_HWM: usize = 1024;
+
+/// Prefix list shared between the broker entry and the `SubSocket` handle.
+pub(crate) type SharedPrefixes = Arc<Mutex<Vec<Vec<u8>>>>;
+
+pub(crate) struct SubEntry {
+    pub(crate) id: u64,
+    pub(crate) prefixes: SharedPrefixes,
+    pub(crate) tx: Sender<(Bytes, Multipart)>,
+}
+
+impl SubEntry {
+    pub(crate) fn matches(&self, topic: &[u8]) -> bool {
+        self.prefixes
+            .lock()
+            .iter()
+            .any(|p| topic.starts_with(p.as_slice()))
+    }
+}
+
+pub(crate) struct PubSubEndpoint {
+    pub(crate) bound: bool,
+    pub(crate) hwm: usize,
+    pub(crate) next_sub_id: u64,
+    pub(crate) subs: Vec<Arc<SubEntry>>,
+}
+
+pub(crate) struct PushPullEndpoint {
+    pub(crate) bound: bool,
+    pub(crate) tx: Sender<Multipart>,
+    /// Present until a `PullSocket` binds and takes it.
+    pub(crate) rx: Option<Receiver<Multipart>>,
+}
+
+pub(crate) enum Endpoint {
+    PubSub(PubSubEndpoint),
+    PushPull(PushPullEndpoint),
+}
+
+pub(crate) struct Broker {
+    pub(crate) endpoints: Mutex<HashMap<String, Endpoint>>,
+    pub(crate) default_hwm: usize,
+}
+
+/// A socket context: the namespace in which endpoints live.
+///
+/// Mirrors a ZeroMQ context. All sockets created from clones of the same
+/// context can talk to each other; separate contexts are fully isolated.
+#[derive(Clone)]
+pub struct Context {
+    pub(crate) broker: Arc<Broker>,
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let eps = self.broker.endpoints.lock();
+        f.debug_struct("Context")
+            .field("endpoints", &eps.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Context {
+    /// A context with the default high-water mark.
+    pub fn new() -> Self {
+        Self::with_hwm(DEFAULT_HWM)
+    }
+
+    /// A context whose queues hold at most `hwm` messages.
+    pub fn with_hwm(hwm: usize) -> Self {
+        Self {
+            broker: Arc::new(Broker {
+                endpoints: Mutex::new(HashMap::new()),
+                default_hwm: hwm.max(1),
+            }),
+        }
+    }
+
+    /// Names of currently registered endpoints (diagnostics).
+    pub fn endpoint_names(&self) -> Vec<String> {
+        self.broker.endpoints.lock().keys().cloned().collect()
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_are_isolated() {
+        let a = Context::new();
+        let b = Context::new();
+        let _p = crate::PubSocket::bind(&a, "inproc://x").unwrap();
+        assert!(a.endpoint_names().contains(&"inproc://x".to_string()));
+        assert!(b.endpoint_names().is_empty());
+        // binding the same name in the other context succeeds
+        let _p2 = crate::PubSocket::bind(&b, "inproc://x").unwrap();
+    }
+
+    #[test]
+    fn sub_entry_prefix_matching() {
+        let (tx, _rx) = crossbeam::channel::bounded(1);
+        let e = SubEntry {
+            id: 0,
+            prefixes: Arc::new(Mutex::new(vec![b"batch".to_vec()])),
+            tx,
+        };
+        assert!(e.matches(b"batch/17"));
+        assert!(!e.matches(b"ctrl/17"));
+        e.prefixes.lock().push(Vec::new()); // empty prefix = everything
+        assert!(e.matches(b"ctrl/17"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Multipart message frames.
+
+use bytes::Bytes;
+
+/// A multi-frame message, mirroring ZeroMQ multipart messages.
+///
+/// TensorSocket messages put the routing information in the topic and the
+/// encoded payload(s) in the frames; frames are cheap reference-counted
+/// byte slices.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Multipart {
+    frames: Vec<Bytes>,
+}
+
+impl Multipart {
+    /// An empty message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A message with one frame.
+    pub fn single(frame: Bytes) -> Self {
+        Self { frames: vec![frame] }
+    }
+
+    /// A message from multiple frames.
+    pub fn from_frames(frames: Vec<Bytes>) -> Self {
+        Self { frames }
+    }
+
+    /// Appends a frame.
+    pub fn push(&mut self, frame: Bytes) -> &mut Self {
+        self.frames.push(frame);
+        self
+    }
+
+    /// The frames.
+    pub fn frames(&self) -> &[Bytes] {
+        &self.frames
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when there are no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total payload bytes across frames.
+    pub fn byte_len(&self) -> usize {
+        self.frames.iter().map(|f| f.len()).sum()
+    }
+}
+
+impl From<Bytes> for Multipart {
+    fn from(b: Bytes) -> Self {
+        Multipart::single(b)
+    }
+}
+
+impl From<Vec<u8>> for Multipart {
+    fn from(v: Vec<u8>) -> Self {
+        Multipart::single(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Multipart::new();
+        assert!(m.is_empty());
+        m.push(Bytes::from_static(b"ab"));
+        m.push(Bytes::from_static(b"cde"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.byte_len(), 5);
+        assert_eq!(&m.frames()[1][..], b"cde");
+    }
+
+    #[test]
+    fn conversions() {
+        let m: Multipart = vec![1u8, 2].into();
+        assert_eq!(m.len(), 1);
+        let m2: Multipart = Bytes::from_static(b"x").into();
+        assert_eq!(m2.byte_len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! ZeroMQ-style in-process messaging for the TensorSocket reproduction.
+//!
+//! The paper uses ZeroMQ sockets (§3.2.3): a PUB/SUB pair multicasts batch
+//! payloads from the producer to all consumers, and separate channels carry
+//! acknowledgements and heartbeats back. The evaluation is single-node, so
+//! ZeroMQ there is an in-memory transport; this crate reproduces the subset
+//! TensorSocket relies on:
+//!
+//! * [`PubSocket`]/[`SubSocket`] — one-to-many multicast with per-subscriber
+//!   bounded queues (high-water mark), prefix subscriptions, and ZeroMQ's
+//!   "slow joiner" semantics (a subscriber only sees messages published
+//!   after it connected);
+//! * [`PushSocket`]/[`PullSocket`] — many-to-one fan-in used for ACKs,
+//!   heartbeats and join requests;
+//! * [`Multipart`] — multi-frame messages (`topic` + payload frames).
+//!
+//! Endpoints are named (`"inproc://data"`); bind/connect order does not
+//! matter. Sockets unregister on drop, and peers observe disconnection as
+//! pruned deliveries rather than errors, like ZeroMQ.
+
+pub mod endpoint;
+pub mod error;
+pub mod frame;
+pub mod pubsub;
+pub mod pushpull;
+
+pub use endpoint::Context;
+pub use error::{RecvError, SendError};
+pub use frame::Multipart;
+pub use pubsub::{PubSocket, SendPolicy, SubSocket};
+pub use pushpull::{PullSocket, PushSocket};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::time::Duration;
+
+    #[test]
+    fn end_to_end_pub_sub_push_pull() {
+        let ctx = Context::new();
+        let publisher = PubSocket::bind(&ctx, "inproc://data").unwrap();
+        let sub = SubSocket::connect(&ctx, "inproc://data");
+        sub.subscribe(b"batch");
+
+        let pull = PullSocket::bind(&ctx, "inproc://acks").unwrap();
+        let push = PushSocket::connect(&ctx, "inproc://acks");
+
+        publisher
+            .send(b"batch/0", Multipart::single(Bytes::from_static(b"payload")))
+            .unwrap();
+        let (topic, msg) = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&topic[..], b"batch/0");
+        assert_eq!(&msg.frames()[0][..], b"payload");
+
+        push.send(Multipart::single(Bytes::from_static(b"ack"))).unwrap();
+        let ack = pull.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&ack.frames()[0][..], b"ack");
+    }
+}

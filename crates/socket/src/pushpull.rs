@@ -1,0 +1,218 @@
+//! PUSH/PULL: many-to-one fan-in, used for ACKs, heartbeats and joins.
+
+use crate::endpoint::{Context, Endpoint, PushPullEndpoint};
+use crate::error::{RecvError, SendError};
+use crate::frame::Multipart;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use std::time::Duration;
+
+fn ensure_endpoint(ctx: &Context, name: &str) -> Result<Sender<Multipart>, SendError> {
+    let mut eps = ctx.broker.endpoints.lock();
+    match eps.get(name) {
+        Some(Endpoint::PushPull(pp)) => Ok(pp.tx.clone()),
+        Some(Endpoint::PubSub(_)) => Err(SendError::AddrInUse(name.to_string())),
+        None => {
+            let (tx, rx) = channel::bounded(ctx.broker.default_hwm);
+            eps.insert(
+                name.to_string(),
+                Endpoint::PushPull(PushPullEndpoint {
+                    bound: false,
+                    tx: tx.clone(),
+                    rx: Some(rx),
+                }),
+            );
+            Ok(tx)
+        }
+    }
+}
+
+/// The receiving side of a PUSH/PULL endpoint. One binder per endpoint.
+pub struct PullSocket {
+    ctx: Context,
+    name: String,
+    rx: Receiver<Multipart>,
+}
+
+impl std::fmt::Debug for PullSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PullSocket")
+            .field("endpoint", &self.name)
+            .field("queued", &self.rx.len())
+            .finish()
+    }
+}
+
+impl PullSocket {
+    /// Binds the receiver. Pushers may have connected first; anything they
+    /// already queued is delivered.
+    pub fn bind(ctx: &Context, name: &str) -> Result<Self, SendError> {
+        ensure_endpoint(ctx, name)?;
+        let mut eps = ctx.broker.endpoints.lock();
+        match eps.get_mut(name) {
+            Some(Endpoint::PushPull(pp)) => {
+                if pp.bound || pp.rx.is_none() {
+                    return Err(SendError::AddrInUse(name.to_string()));
+                }
+                pp.bound = true;
+                let rx = pp.rx.take().expect("checked above");
+                Ok(Self {
+                    ctx: ctx.clone(),
+                    name: name.to_string(),
+                    rx,
+                })
+            }
+            _ => Err(SendError::AddrInUse(name.to_string())),
+        }
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Multipart, RecvError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when nothing is queued.
+    pub fn try_recv(&self) -> Result<Option<Multipart>, RecvError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<Multipart> {
+        let mut out = Vec::new();
+        while let Ok(Some(m)) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Messages currently queued.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for PullSocket {
+    fn drop(&mut self) {
+        // Remove the endpoint: connected pushers observe `Disconnected`.
+        self.ctx.broker.endpoints.lock().remove(&self.name);
+    }
+}
+
+/// The sending side of a PUSH/PULL endpoint. Many pushers may connect.
+pub struct PushSocket {
+    tx: Sender<Multipart>,
+}
+
+impl std::fmt::Debug for PushSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PushSocket").finish_non_exhaustive()
+    }
+}
+
+impl PushSocket {
+    /// Connects a pusher; creates the endpoint if it does not exist yet.
+    ///
+    /// # Panics
+    /// Panics if the endpoint name is used by a PUB/SUB pair (wiring bug).
+    pub fn connect(ctx: &Context, name: &str) -> Self {
+        let tx = ensure_endpoint(ctx, name)
+            .unwrap_or_else(|_| panic!("endpoint {name} is a PUB/SUB endpoint"));
+        Self { tx }
+    }
+
+    /// Sends a message, blocking while the queue is full.
+    pub fn send(&self, msg: Multipart) -> Result<(), SendError> {
+        self.tx.send(msg).map_err(|_| SendError::Disconnected)
+    }
+
+    /// Non-blocking send.
+    pub fn try_send(&self, msg: Multipart) -> Result<(), SendError> {
+        match self.tx.try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(SendError::Full),
+            Err(TrySendError::Disconnected(_)) => Err(SendError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn msg(s: &'static [u8]) -> Multipart {
+        Multipart::single(Bytes::from_static(s))
+    }
+
+    #[test]
+    fn many_pushers_one_puller() {
+        let ctx = Context::new();
+        let pull = PullSocket::bind(&ctx, "inproc://acks").unwrap();
+        let p1 = PushSocket::connect(&ctx, "inproc://acks");
+        let p2 = PushSocket::connect(&ctx, "inproc://acks");
+        p1.send(msg(b"a")).unwrap();
+        p2.send(msg(b"b")).unwrap();
+        let got = pull.drain();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn connect_before_bind_preserves_messages() {
+        let ctx = Context::new();
+        let push = PushSocket::connect(&ctx, "inproc://acks");
+        push.send(msg(b"early")).unwrap();
+        let pull = PullSocket::bind(&ctx, "inproc://acks").unwrap();
+        let m = pull.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(&m.frames()[0][..], b"early");
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let ctx = Context::new();
+        let _pull = PullSocket::bind(&ctx, "inproc://acks").unwrap();
+        assert!(PullSocket::bind(&ctx, "inproc://acks").is_err());
+    }
+
+    #[test]
+    fn push_to_dropped_puller_errors() {
+        let ctx = Context::new();
+        let pull = PullSocket::bind(&ctx, "inproc://acks").unwrap();
+        let push = PushSocket::connect(&ctx, "inproc://acks");
+        drop(pull);
+        assert_eq!(push.send(msg(b"x")).unwrap_err(), SendError::Disconnected);
+    }
+
+    #[test]
+    fn try_send_reports_full() {
+        let ctx = Context::with_hwm(1);
+        let _pull = PullSocket::bind(&ctx, "inproc://acks").unwrap();
+        let push = PushSocket::connect(&ctx, "inproc://acks");
+        push.try_send(msg(b"1")).unwrap();
+        assert_eq!(push.try_send(msg(b"2")).unwrap_err(), SendError::Full);
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let ctx = Context::new();
+        let _p = crate::PubSocket::bind(&ctx, "inproc://x").unwrap();
+        assert!(PullSocket::bind(&ctx, "inproc://x").is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let ctx = Context::new();
+        let pull = PullSocket::bind(&ctx, "inproc://acks").unwrap();
+        let _push = PushSocket::connect(&ctx, "inproc://acks");
+        assert_eq!(
+            pull.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Collation: building batches (and producer batches) from samples.
+//!
+//! The producer "collates the data it receives from the data loader into
+//! producer batch sizes" (§3.2.6, step 1 in Figure 5). [`stack0`] stacks
+//! equally shaped samples into a batch with a new leading dimension;
+//! [`cat0`] concatenates batches along the existing leading dimension —
+//! that is how several loader batches fuse into one contiguous producer
+//! batch slab (optionally in a pooled buffer via [`cat0_pooled`]).
+
+use crate::pool::MemoryPool;
+use crate::shape::contiguous_strides;
+use crate::storage::Storage;
+use crate::{Result, Tensor, TensorError};
+use std::sync::Arc;
+use ts_device::DeviceId;
+
+fn check_same_meta(tensors: &[Tensor], same_all_dims: bool) -> Result<()> {
+    let first = &tensors[0];
+    for t in &tensors[1..] {
+        if t.dtype() != first.dtype() {
+            return Err(TensorError::DType {
+                expected: first.dtype(),
+                got: t.dtype(),
+            });
+        }
+        let (a, b) = if same_all_dims {
+            (t.shape(), first.shape())
+        } else {
+            (&t.shape()[1..], &first.shape()[1..])
+        };
+        if a != b {
+            return Err(TensorError::Shape(format!(
+                "collate shape mismatch: {:?} vs {:?}",
+                t.shape(),
+                first.shape()
+            )));
+        }
+        if t.device() != first.device() {
+            return Err(TensorError::Device(format!(
+                "collate device mismatch: {} vs {}",
+                t.device(),
+                first.device()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Stacks equally shaped tensors into a new leading dimension.
+pub fn stack0(tensors: &[Tensor]) -> Result<Tensor> {
+    if tensors.is_empty() {
+        return Err(TensorError::Shape("stack0 of zero tensors".to_string()));
+    }
+    check_same_meta(tensors, true)?;
+    let first = &tensors[0];
+    let mut shape = Vec::with_capacity(first.ndim() + 1);
+    shape.push(tensors.len());
+    shape.extend_from_slice(first.shape());
+    let mut data = Vec::with_capacity(tensors.len() * first.view_bytes());
+    for t in tensors {
+        data.extend_from_slice(&t.gather_bytes());
+    }
+    Tensor::from_bytes(data, first.dtype(), &shape, first.device())
+}
+
+/// Concatenates tensors along dimension 0.
+pub fn cat0(tensors: &[Tensor]) -> Result<Tensor> {
+    if tensors.is_empty() {
+        return Err(TensorError::Shape("cat0 of zero tensors".to_string()));
+    }
+    check_same_meta(tensors, false)?;
+    let first = &tensors[0];
+    let rows: usize = tensors.iter().map(|t| t.shape()[0]).sum();
+    let mut shape = first.shape().to_vec();
+    shape[0] = rows;
+    let mut data = Vec::with_capacity(rows * first.view_bytes() / first.shape()[0].max(1));
+    for t in tensors {
+        data.extend_from_slice(&t.gather_bytes());
+    }
+    Tensor::from_bytes(data, first.dtype(), &shape, first.device())
+}
+
+/// [`cat0`] into a buffer checked out from `pool`; the slab returns to the
+/// pool when the last view over it drops. The pool's buffer length must be
+/// at least the concatenated byte size (excess bytes stay unused).
+pub fn cat0_pooled(tensors: &[Tensor], pool: &MemoryPool, device: DeviceId) -> Result<Tensor> {
+    if tensors.is_empty() {
+        return Err(TensorError::Shape("cat0_pooled of zero tensors".to_string()));
+    }
+    check_same_meta(tensors, false)?;
+    let first = &tensors[0];
+    let rows: usize = tensors.iter().map(|t| t.shape()[0]).sum();
+    let mut shape = first.shape().to_vec();
+    shape[0] = rows;
+    let total_bytes: usize = tensors.iter().map(|t| t.view_bytes()).sum();
+    if pool.buf_len() < total_bytes {
+        return Err(TensorError::Shape(format!(
+            "pool slab of {} B too small for producer batch of {} B",
+            pool.buf_len(),
+            total_bytes
+        )));
+    }
+    let mut buf = pool.checkout();
+    let mut cursor = 0;
+    for t in tensors {
+        let bytes = t.gather_bytes();
+        buf[cursor..cursor + bytes.len()].copy_from_slice(&bytes);
+        cursor += bytes.len();
+    }
+    let storage = Arc::new(Storage::new_pooled(buf, device, pool.return_handle()));
+    Tensor::from_parts(
+        storage,
+        first.dtype(),
+        shape.clone(),
+        contiguous_strides(&shape),
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[u8], shape: &[usize]) -> Tensor {
+        Tensor::from_u8(vals.to_vec(), shape, DeviceId::Cpu).unwrap()
+    }
+
+    #[test]
+    fn stack_adds_leading_dim() {
+        let s = stack0(&[t(&[1, 2], &[2]), t(&[3, 4], &[2]), t(&[5, 6], &[2])]).unwrap();
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.to_vec_u8().unwrap(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn cat_extends_leading_dim() {
+        let c = cat0(&[t(&[1, 2, 3, 4], &[2, 2]), t(&[5, 6], &[1, 2])]).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.to_vec_u8().unwrap(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn mismatched_inner_dims_rejected() {
+        assert!(cat0(&[t(&[1, 2], &[1, 2]), t(&[1, 2, 3], &[1, 3])]).is_err());
+        assert!(stack0(&[t(&[1, 2], &[2]), t(&[1, 2, 3], &[3])]).is_err());
+    }
+
+    #[test]
+    fn mismatched_dtype_rejected() {
+        let a = t(&[1, 2], &[2]);
+        let b = Tensor::from_f32(&[1.0, 2.0], &[2], DeviceId::Cpu).unwrap();
+        assert!(matches!(
+            stack0(&[a, b]).unwrap_err(),
+            TensorError::DType { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(stack0(&[]).is_err());
+        assert!(cat0(&[]).is_err());
+    }
+
+    #[test]
+    fn pooled_cat_reuses_slab() {
+        let pool = MemoryPool::new(16, 2);
+        let parts = [t(&[1, 2, 3, 4], &[2, 2]), t(&[5, 6, 7, 8], &[2, 2])];
+        {
+            let producer_batch = cat0_pooled(&parts, &pool, DeviceId::Gpu(0)).unwrap();
+            assert_eq!(producer_batch.shape(), &[4, 2]);
+            assert_eq!(producer_batch.device(), DeviceId::Gpu(0));
+            assert_eq!(
+                producer_batch.to_vec_u8().unwrap(),
+                vec![1, 2, 3, 4, 5, 6, 7, 8]
+            );
+            // slices keep the slab alive
+            let slice = producer_batch.narrow(0, 1, 2).unwrap();
+            drop(producer_batch);
+            assert_eq!(slice.to_vec_u8().unwrap(), vec![3, 4, 5, 6]);
+        }
+        // slab returned once all views dropped
+        assert_eq!(pool.free_count(), 1);
+        let (_, misses, returned) = pool.stats();
+        assert_eq!((misses, returned), (1, 1));
+    }
+
+    #[test]
+    fn pooled_cat_checks_slab_size() {
+        let pool = MemoryPool::new(4, 2);
+        let parts = [t(&[1, 2, 3, 4], &[2, 2]), t(&[5, 6, 7, 8], &[2, 2])];
+        assert!(cat0_pooled(&parts, &pool, DeviceId::Cpu).is_err());
+    }
+}

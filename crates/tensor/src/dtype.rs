@@ -1,0 +1,80 @@
+//! Element types.
+
+/// Element type of a [`crate::Tensor`].
+///
+/// The evaluation only needs the types that appear in the paper's
+/// pipelines: `U8` for decoded images shipped host→device (normalization
+/// happens on-GPU), `F32` for embeddings/audio, `F16` for mixed-precision
+/// activations, `I64` for token ids and index tensors, and `Bool` for masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Unsigned 8-bit integer.
+    U8,
+    /// 16-bit float (storage only; host math is done in f32).
+    F16,
+    /// 32-bit float.
+    F32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean stored as one byte.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::U8 | DType::Bool => 1,
+            DType::F16 => 2,
+            DType::F32 => 4,
+            DType::I64 => 8,
+        }
+    }
+
+    /// Stable numeric tag used by the wire codec.
+    pub const fn tag(self) -> u8 {
+        match self {
+            DType::U8 => 0,
+            DType::F16 => 1,
+            DType::F32 => 2,
+            DType::I64 => 3,
+            DType::Bool => 4,
+        }
+    }
+
+    /// Inverse of [`DType::tag`].
+    pub const fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(DType::U8),
+            1 => Some(DType::F16),
+            2 => Some(DType::F32),
+            3 => Some(DType::I64),
+            4 => Some(DType::Bool),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [DType; 5] = [DType::U8, DType::F16, DType::F32, DType::I64, DType::Bool];
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::U8.size_bytes(), 1);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn tag_round_trips() {
+        for dt in ALL {
+            assert_eq!(DType::from_tag(dt.tag()), Some(dt));
+        }
+        assert_eq!(DType::from_tag(250), None);
+    }
+}

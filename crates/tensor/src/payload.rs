@@ -1,0 +1,205 @@
+//! Tensor payloads: the pointer-plus-metadata packets TensorSocket ships
+//! instead of data (§3.2.4).
+//!
+//! A [`TensorPayload`] is everything a consumer needs to rebuild a tensor
+//! view with zero copies: the storage id (the "pointer"), device, dtype,
+//! shape, strides and offset. The wire encoding is a tiny fixed-layout
+//! little-endian format; the whole payload for a typical image batch is
+//! under 100 bytes regardless of batch size — that is the entire point of
+//! pointer sharing.
+
+use crate::shape::contiguous_strides;
+use crate::{DType, Result, SharedRegistry, Tensor, TensorError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ts_device::DeviceId;
+
+/// A packed description of a tensor view over a shared storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorPayload {
+    /// Id of the shared storage ("device pointer").
+    pub storage_id: u64,
+    /// Device the storage lives on.
+    pub device: DeviceId,
+    /// Element type.
+    pub dtype: DType,
+    /// Dimension extents.
+    pub shape: Vec<usize>,
+    /// Strides in elements.
+    pub strides: Vec<usize>,
+    /// Offset into the storage in elements.
+    pub offset: usize,
+}
+
+impl TensorPayload {
+    /// Packs a tensor into a payload. The caller must have registered the
+    /// tensor's storage in the [`SharedRegistry`] for unpacking to succeed.
+    pub fn pack(tensor: &Tensor) -> Self {
+        Self {
+            storage_id: tensor.storage_id(),
+            device: tensor.device(),
+            dtype: tensor.dtype(),
+            shape: tensor.shape().to_vec(),
+            strides: tensor.strides().to_vec(),
+            offset: tensor.offset(),
+        }
+    }
+
+    /// Rebuilds the tensor view by resolving the storage id.
+    pub fn unpack(&self, registry: &SharedRegistry) -> Result<Tensor> {
+        let storage = registry.lookup(self.storage_id)?;
+        Tensor::from_parts(
+            storage,
+            self.dtype,
+            self.shape.clone(),
+            self.strides.clone(),
+            self.offset,
+        )
+    }
+
+    /// Number of elements described by the payload.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Bytes described by the payload view.
+    pub fn view_bytes(&self) -> usize {
+        self.numel() * self.dtype.size_bytes()
+    }
+
+    /// True when the strides describe a dense row-major view.
+    pub fn is_contiguous(&self) -> bool {
+        self.strides == contiguous_strides(&self.shape)
+    }
+
+    /// Encodes the payload into a compact little-endian frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + 16 * self.shape.len());
+        buf.put_u64_le(self.storage_id);
+        match self.device {
+            DeviceId::Cpu => buf.put_u8(0xFF),
+            DeviceId::Gpu(i) => buf.put_u8(i),
+        }
+        buf.put_u8(self.dtype.tag());
+        buf.put_u64_le(self.offset as u64);
+        buf.put_u16_le(self.shape.len() as u16);
+        for (&d, &s) in self.shape.iter().zip(&self.strides) {
+            buf.put_u64_le(d as u64);
+            buf.put_u64_le(s as u64);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a payload previously produced by [`TensorPayload::encode`].
+    pub fn decode(mut buf: &[u8]) -> Result<Self> {
+        let err = |m: &str| TensorError::Shape(format!("payload decode: {m}"));
+        if buf.len() < 20 {
+            return Err(err("truncated header"));
+        }
+        let storage_id = buf.get_u64_le();
+        let device = match buf.get_u8() {
+            0xFF => DeviceId::Cpu,
+            i => DeviceId::Gpu(i),
+        };
+        let dtype = DType::from_tag(buf.get_u8()).ok_or_else(|| err("bad dtype tag"))?;
+        let offset = buf.get_u64_le() as usize;
+        let ndim = buf.get_u16_le() as usize;
+        if buf.len() < ndim * 16 {
+            return Err(err("truncated dims"));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        let mut strides = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(buf.get_u64_le() as usize);
+            strides.push(buf.get_u64_le() as usize);
+        }
+        Ok(Self {
+            storage_id,
+            device,
+            dtype,
+            shape,
+            strides,
+            offset,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with(t: &Tensor) -> SharedRegistry {
+        let reg = SharedRegistry::new();
+        reg.register(t.storage());
+        reg
+    }
+
+    #[test]
+    fn pack_unpack_zero_copy() {
+        let t = Tensor::rand_u8(&[4, 8], DeviceId::Gpu(0), 3);
+        let reg = registry_with(&t);
+        let p = TensorPayload::pack(&t);
+        let rebuilt = p.unpack(&reg).unwrap();
+        assert_eq!(rebuilt.storage_id(), t.storage_id());
+        assert!(rebuilt.data_eq(&t));
+    }
+
+    #[test]
+    fn pack_unpack_of_sliced_view() {
+        let t = Tensor::rand_u8(&[16, 4], DeviceId::Gpu(1), 11);
+        let slice = t.narrow(0, 5, 7).unwrap();
+        let reg = registry_with(&t);
+        let p = TensorPayload::pack(&slice);
+        assert_eq!(p.offset, 20);
+        let rebuilt = p.unpack(&reg).unwrap();
+        assert!(rebuilt.data_eq(&slice));
+        assert_eq!(rebuilt.storage_id(), t.storage_id());
+    }
+
+    #[test]
+    fn unpack_released_storage_fails() {
+        let t = Tensor::rand_u8(&[4], DeviceId::Cpu, 0);
+        let reg = registry_with(&t);
+        let p = TensorPayload::pack(&t);
+        reg.release(t.storage_id());
+        assert!(matches!(
+            p.unpack(&reg).unwrap_err(),
+            TensorError::DanglingPayload { .. }
+        ));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = Tensor::rand_u8(&[3, 224, 224], DeviceId::Gpu(2), 1);
+        let view = t.narrow(1, 10, 100).unwrap();
+        let p = TensorPayload::pack(&view);
+        let decoded = TensorPayload::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn encoded_payload_is_small_and_size_independent() {
+        let small = TensorPayload::pack(&Tensor::zeros(&[2, 2], DType::U8, DeviceId::Cpu));
+        let huge = TensorPayload::pack(&Tensor::zeros(&[512, 3, 224, 224], DType::U8, DeviceId::Cpu));
+        assert_eq!(small.encode().len() + 32, huge.encode().len());
+        assert!(huge.encode().len() < 100);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TensorPayload::decode(&[1, 2, 3]).is_err());
+        let t = Tensor::zeros(&[2], DType::U8, DeviceId::Cpu);
+        let mut bytes = TensorPayload::pack(&t).encode().to_vec();
+        bytes[9] = 99; // bad dtype tag
+        assert!(TensorPayload::decode(&bytes).is_err());
+        bytes.truncate(bytes.len() - 4); // truncated dims
+        assert!(TensorPayload::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn cpu_device_round_trips() {
+        let t = Tensor::zeros(&[1], DType::I64, DeviceId::Cpu);
+        let p = TensorPayload::pack(&t);
+        let d = TensorPayload::decode(&p.encode()).unwrap();
+        assert_eq!(d.device, DeviceId::Cpu);
+    }
+}

@@ -1,0 +1,129 @@
+//! The shared storage registry.
+//!
+//! In the real TensorSocket, the producer shares CUDA/shared-memory handles
+//! and PyTorch's tensor-rebuilding machinery resolves them in the consumer
+//! process. The [`SharedRegistry`] is that handle table: the producer
+//! registers a storage before publishing a payload referencing it, and
+//! consumers resolve the payload's storage id to an `Arc<Storage>` without
+//! copying data. Releasing a storage (after all consumers acknowledged the
+//! batch, §3.2.3) removes it from the table; late lookups fail with
+//! [`crate::TensorError::DanglingPayload`] —
+//! the equivalent of a use-after-free on a real device pointer, surfaced
+//! as an error instead of UB.
+
+use crate::storage::Storage;
+use crate::{Result, TensorError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A process-wide table mapping storage ids to live storages.
+///
+/// Cloning shares the table.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry {
+    inner: Arc<Mutex<HashMap<u64, Arc<Storage>>>>,
+}
+
+impl SharedRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a storage, making it resolvable by id. Re-registering the
+    /// same storage is a no-op.
+    pub fn register(&self, storage: &Arc<Storage>) {
+        self.inner
+            .lock()
+            .insert(storage.id(), Arc::clone(storage));
+    }
+
+    /// Resolves a storage id to the live storage.
+    pub fn lookup(&self, storage_id: u64) -> Result<Arc<Storage>> {
+        self.inner
+            .lock()
+            .get(&storage_id)
+            .cloned()
+            .ok_or(TensorError::DanglingPayload { storage_id })
+    }
+
+    /// Releases a storage id. Returns true when the id was present.
+    ///
+    /// Consumers that already resolved the storage keep their `Arc`; the
+    /// bytes are freed only when the last reference drops (the paper's
+    /// "tensors are kept in memory as long as any of the producers or
+    /// consumers hold a reference").
+    pub fn release(&self, storage_id: u64) -> bool {
+        self.inner.lock().remove(&storage_id).is_some()
+    }
+
+    /// Number of registered storages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no storages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of registered storages (producer-side bookkeeping).
+    pub fn registered_bytes(&self) -> usize {
+        self.inner.lock().values().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_device::DeviceId;
+
+    #[test]
+    fn register_lookup_release() {
+        let reg = SharedRegistry::new();
+        let s = Arc::new(Storage::new(vec![1, 2, 3], DeviceId::Gpu(0)));
+        reg.register(&s);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.registered_bytes(), 3);
+        let got = reg.lookup(s.id()).unwrap();
+        assert_eq!(got.bytes(), &[1, 2, 3]);
+        assert!(reg.release(s.id()));
+        assert!(!reg.release(s.id()));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn lookup_after_release_is_dangling() {
+        let reg = SharedRegistry::new();
+        let s = Arc::new(Storage::new(vec![0u8; 8], DeviceId::Cpu));
+        let id = s.id();
+        reg.register(&s);
+        reg.release(id);
+        assert!(matches!(
+            reg.lookup(id).unwrap_err(),
+            TensorError::DanglingPayload { storage_id } if storage_id == id
+        ));
+    }
+
+    #[test]
+    fn consumer_keeps_data_alive_after_release() {
+        let reg = SharedRegistry::new();
+        let s = Arc::new(Storage::new(vec![7u8; 4], DeviceId::Gpu(1)));
+        reg.register(&s);
+        let consumer_ref = reg.lookup(s.id()).unwrap();
+        reg.release(s.id());
+        drop(s);
+        // consumer still holds valid bytes
+        assert_eq!(consumer_ref.bytes(), &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn clone_shares_table() {
+        let reg = SharedRegistry::new();
+        let view = reg.clone();
+        let s = Arc::new(Storage::new(vec![1], DeviceId::Cpu));
+        reg.register(&s);
+        assert!(view.lookup(s.id()).is_ok());
+    }
+}

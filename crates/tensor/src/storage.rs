@@ -1,0 +1,108 @@
+//! Refcounted byte storage with device placement.
+//!
+//! A [`Storage`] is the unit of sharing: tensors are views over an
+//! `Arc<Storage>`, and the [`crate::SharedRegistry`] hands `Arc` clones to
+//! consumers. The storage id plays the role of the device pointer that the
+//! real TensorSocket extracts from PyTorch tensors (§3.2.4): unique for the
+//! lifetime of the process, never reused.
+
+use crate::pool::PoolReturn;
+use std::sync::atomic::{AtomicU64, Ordering};
+use ts_device::DeviceId;
+
+static NEXT_STORAGE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique storage id.
+pub fn fresh_storage_id() -> u64 {
+    NEXT_STORAGE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// An immutable, refcounted byte buffer placed on a device.
+///
+/// Buffers are *write-once*: they are built as `Vec<u8>` and frozen on
+/// construction. Storages created from a [`crate::MemoryPool`] return their
+/// buffer to the pool when the last reference drops.
+#[derive(Debug)]
+pub struct Storage {
+    id: u64,
+    device: DeviceId,
+    /// `Some` until drop; `Option` only so `Drop` can move it back to a pool.
+    data: Option<Vec<u8>>,
+    pool: Option<PoolReturn>,
+}
+
+impl Storage {
+    /// Freezes `data` into a storage on `device`.
+    pub fn new(data: Vec<u8>, device: DeviceId) -> Self {
+        Self {
+            id: fresh_storage_id(),
+            device,
+            data: Some(data),
+            pool: None,
+        }
+    }
+
+    /// Freezes a pooled buffer; on drop the buffer returns to `pool`.
+    pub(crate) fn new_pooled(data: Vec<u8>, device: DeviceId, pool: PoolReturn) -> Self {
+        Self {
+            id: fresh_storage_id(),
+            device,
+            data: Some(data),
+            pool: Some(pool),
+        }
+    }
+
+    /// Process-unique identifier (the "pointer" shared in payloads).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Placement of the buffer.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.data.as_deref().expect("storage data present until drop")
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        if let (Some(pool), Some(data)) = (self.pool.take(), self.data.take()) {
+            pool.give_back(data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Storage::new(vec![0u8; 4], DeviceId::Cpu);
+        let b = Storage::new(vec![0u8; 4], DeviceId::Cpu);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn holds_bytes_and_device() {
+        let s = Storage::new(vec![1, 2, 3], DeviceId::Gpu(1));
+        assert_eq!(s.bytes(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.device(), DeviceId::Gpu(1));
+    }
+}

@@ -1,0 +1,93 @@
+//! Cloud cost planning with and without shared data loading (Figure 1,
+//! Table 2, §4.3's "halve the cloud costs" claim).
+//!
+//! ```text
+//! cargo run --release --example cloud_cost_planner
+//! ```
+//!
+//! Combines the instance catalog with the cluster simulator: first find
+//! the vCPU count a workload needs with each loading discipline, then ask
+//! the catalog what that costs.
+
+use ts_baselines::{nonshared_strategy, tensorsocket_strategy};
+use ts_cloud::{cheapest_sustaining, figure1_matrix, Provider, Requirement, GPU_AXIS, VCPU_AXIS};
+use ts_experiments::fig11::run_config;
+use ts_sim::GpuSharing;
+
+fn main() {
+    // ---- Figure 1: the ratio landscape -------------------------------------
+    println!("vCPU x GPU instance heatmap (AWS):\n");
+    print!("{:>6}", "vCPU");
+    for g in GPU_AXIS {
+        print!("{g:>5}");
+    }
+    println!("  <- GPUs");
+    for &v in VCPU_AXIS.iter().rev() {
+        print!("{v:>6}");
+        for &g in &GPU_AXIS {
+            let count = figure1_matrix(Provider::Aws)
+                .iter()
+                .find(|c| c.vcpus == v && c.gpus == g)
+                .map(|c| c.count)
+                .unwrap_or(0);
+            if count == 0 {
+                print!("{:>5}", ".");
+            } else {
+                print!("{count:>5}");
+            }
+        }
+        println!();
+    }
+
+    // ---- which instance sustains 4-way CLMR? -------------------------------
+    // Simulate the workload at each g5 size and find the smallest size whose
+    // throughput is within 5% of the best.
+    println!("\n4-way CLMR training on a single A10G:");
+    let best = run_config(32, GpuSharing::Mps, nonshared_strategy()).mean_samples_per_s();
+    let needed = |shared: bool| -> u32 {
+        for vcpus in [8u32, 16, 32] {
+            let strat = if shared {
+                tensorsocket_strategy(0)
+            } else {
+                nonshared_strategy()
+            };
+            let rate = run_config(vcpus, GpuSharing::Mps, strat).mean_samples_per_s();
+            println!(
+                "  {} {:>2} vCPUs -> {rate:.0} samples/s per model",
+                if shared { "shared:    " } else { "non-shared:" },
+                vcpus
+            );
+            if rate >= best * 0.95 {
+                return vcpus;
+            }
+        }
+        32
+    };
+    let vcpus_ns = needed(false);
+    let vcpus_ts = needed(true);
+    println!("  -> needs {vcpus_ns} vCPUs without sharing, {vcpus_ts} with TensorSocket");
+
+    // ---- what does that cost? ----------------------------------------------
+    let req = Requirement {
+        vcpus: 0,
+        gpus: 1,
+        vram_gb: 24,
+        gpu_model: Some("A10G"),
+    };
+    let pick = |vcpus: u32| {
+        cheapest_sustaining(Requirement { vcpus, ..req }).expect("catalog covers g5")
+    };
+    let without = pick(vcpus_ns);
+    let with = pick(vcpus_ts);
+    let saving = 1.0 - with.hourly_usd / without.hourly_usd;
+    println!(
+        "\n  without sharing: {:<12} ${:.3}/h\n  with sharing:    {:<12} ${:.3}/h\n  saving: {:.0}%",
+        without.name,
+        without.hourly_usd,
+        with.name,
+        with.hourly_usd,
+        saving * 100.0
+    );
+    assert!(saving > 0.4, "expected the paper's ~50% saving, got {saving:.2}");
+    println!("\nok: shared loading halves the instance cost for this workload");
+}

@@ -1,0 +1,96 @@
+//! Mixed-workload collocation (§3.3.3): a light and a heavy model share
+//! one TensorSocket; the batch buffer keeps them within N batches of each
+//! other, so the light model yields time to the heavy one instead of
+//! racing ahead.
+//!
+//! ```text
+//! cargo run --release --example mixed_models
+//! ```
+//!
+//! "Training" here is real CPU work per batch (deliberately asymmetric),
+//! standing in for GPU kernels.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
+use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+use ts_tensor::ops;
+
+fn main() {
+    let ctx = TsContext::host_only();
+    let dataset = Arc::new(SyntheticImageDataset::new(768, 48, 48, 5).with_encoded_len(2_048));
+    let loader = DataLoader::new(
+        dataset,
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 3,
+            shuffle: false,
+            ..Default::default()
+        },
+    );
+    let producer = TensorProducer::spawn(
+        loader,
+        &ctx,
+        ProducerConfig {
+            epochs: 1,
+            rubberband_cutoff: 1.0,
+            buffer_size: 2, // the paper's default N
+            ..Default::default()
+        },
+    )
+    .expect("spawn producer");
+
+    // model complexity ≈ busy-work units per sample
+    let train = |name: &'static str, work_units: u64| {
+        let ctx = ctx.clone();
+        std::thread::spawn(move || {
+            let mut consumer =
+                TensorConsumer::connect(&ctx, ConsumerConfig::default()).expect("connect");
+            let started = Instant::now();
+            let mut max_lag: i64 = 0;
+            let mut steps = Vec::new();
+            for batch in consumer.by_ref() {
+                let step_start = Instant::now();
+                // "forward/backward pass": real work proportional to model size
+                let mut acc = 0u64;
+                for _ in 0..batch.batch_size() {
+                    acc = acc.wrapping_add(ops::busy_work(batch.seq, work_units));
+                }
+                std::hint::black_box(acc);
+                steps.push(step_start.elapsed());
+                max_lag = max_lag.max(consumer_lag(&batch.seq));
+            }
+            let total = started.elapsed().as_secs_f64();
+            let mean_step =
+                steps.iter().map(|d| d.as_secs_f64()).sum::<f64>() / steps.len().max(1) as f64;
+            println!(
+                "[{name}] {} batches in {total:.2}s (mean step {:.1} ms) → {:.0} samples/s",
+                steps.len(),
+                mean_step * 1e3,
+                consumer.samples_consumed() as f64 / total,
+            );
+            (consumer.samples_consumed(), total)
+        })
+    };
+
+    let light = train("light model", 2_000);
+    let heavy = train("heavy model", 40_000);
+    let (n_light, t_light) = light.join().expect("light");
+    let (n_heavy, t_heavy) = heavy.join().expect("heavy");
+    producer.join().expect("producer");
+
+    assert_eq!(n_light, n_heavy, "lockstep: same samples for both");
+    // The buffer bounds the drift: the light model cannot finish the epoch
+    // long before the heavy one — both end within ~a batch of each other.
+    let gap = (t_light - t_heavy).abs();
+    println!("epoch end gap between models: {gap:.3}s");
+    assert!(
+        gap < t_heavy * 0.25,
+        "light model should be held to the heavy model's pace (gap {gap:.2}s)"
+    );
+    println!("ok: the batch buffer balanced a light and a heavy model on one socket");
+}
+
+fn consumer_lag(_seq: &u64) -> i64 {
+    0 // placeholder for richer lag diagnostics; drift is enforced by the producer
+}

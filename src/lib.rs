@@ -1,0 +1,26 @@
+//! Umbrella crate for the TensorSocket reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so that examples and
+//! downstream users can depend on a single crate. See the individual crates
+//! for detailed documentation:
+//!
+//! * [`tensorsocket`] — the shared data loader (the paper's contribution)
+//! * [`ts_tensor`] — tensor substrate (storage, views, payloads)
+//! * [`ts_socket`] — in-process PUB/SUB + PUSH/PULL messaging
+//! * [`ts_data`] — datasets, transforms, multi-worker `DataLoader`
+//! * [`ts_device`] — simulated device topology and traffic accounting
+//! * [`ts_sim`] — virtual-time cluster simulator used by the evaluation
+//! * [`ts_baselines`] — NonShared / CoorDL-like / Joader-like comparators
+//! * [`ts_cloud`] — cloud instance catalog and cost planner
+//! * [`ts_experiments`] — the per-figure/per-table evaluation harness
+
+pub use tensorsocket;
+pub use ts_baselines;
+pub use ts_cloud;
+pub use ts_data;
+pub use ts_device;
+pub use ts_experiments;
+pub use ts_metrics;
+pub use ts_sim;
+pub use ts_socket;
+pub use ts_tensor;

@@ -1,0 +1,97 @@
+//! Smoke + shape tests over the whole evaluation harness: every artifact
+//! runs, produces non-empty tables, and preserves the paper's headline
+//! claims.
+
+use ts_experiments::{all_experiments, run_by_id};
+
+#[test]
+fn every_artifact_renders_nonempty_tables() {
+    for (id, title, runner) in all_experiments() {
+        let report = runner();
+        assert_eq!(report.id, id);
+        assert!(!report.tables.is_empty(), "{id} has no tables");
+        for t in &report.tables {
+            assert!(t.num_rows() > 0, "{id}/{title}: empty table");
+        }
+        let text = report.render();
+        assert!(text.contains(id));
+        let md = report.render_markdown();
+        assert!(md.contains("|"), "{id}: markdown table missing");
+    }
+}
+
+#[test]
+fn run_by_id_matches_registry() {
+    assert!(run_by_id("table3").is_some());
+    assert!(run_by_id("nope").is_none());
+}
+
+#[test]
+fn headline_throughput_doubling_holds() {
+    // "increases training throughput by up to 100%" (abstract): the
+    // MobileNet S 4-way case roughly doubles.
+    use ts_baselines::{nonshared_strategy, tensorsocket_strategy};
+    let ns = ts_experiments::fig8::run_config("MobileNet S", nonshared_strategy());
+    let ts = ts_experiments::fig8::run_config("MobileNet S", tensorsocket_strategy(0));
+    let speedup = ts.mean_samples_per_s() / ns.mean_samples_per_s();
+    assert!(speedup > 1.7, "headline doubling regressed: {speedup}");
+}
+
+#[test]
+fn headline_cost_halving_holds() {
+    // "achieves cost savings of 50% by reducing the hardware resource
+    // needs on the CPU side" (abstract), via the Fig 11/13 g5 cases.
+    use ts_cloud::{savings_with_sharing, Requirement};
+    let s = savings_with_sharing(
+        Requirement {
+            vcpus: 0,
+            gpus: 1,
+            vram_gb: 24,
+            gpu_model: Some("A10G"),
+        },
+        32,
+        8,
+    )
+    .unwrap();
+    assert!(s.saving_fraction > 0.45, "{}", s.saving_fraction);
+}
+
+#[test]
+fn headline_beats_or_matches_both_comparators() {
+    // "either achieves higher or matches their throughput while requiring
+    // fewer CPU resources" (abstract).
+    use ts_baselines::{coordl_strategy, joader_strategy, tensorsocket_strategy};
+    // vs CoorDL at 4-way (Fig 14)
+    let ts = ts_experiments::fig14::run_config(4, tensorsocket_strategy(0));
+    let co = ts_experiments::fig14::run_config(4, coordl_strategy());
+    assert!(ts.mean_samples_per_s() >= co.mean_samples_per_s() * 0.97);
+    assert!(ts.cpu_busy_cores < co.cpu_busy_cores);
+    // vs Joader at 4-way (Fig 15)
+    let ts15 = ts_experiments::fig15::run_config(4, tensorsocket_strategy(0));
+    let jd15 = ts_experiments::fig15::run_config(4, joader_strategy());
+    assert!(ts15.mean_samples_per_s() > jd15.mean_samples_per_s());
+}
+
+#[test]
+fn simulator_is_deterministic_across_full_experiments() {
+    let a = ts_experiments::fig12::run_config(2, true);
+    let b = ts_experiments::fig12::run_config(2, true);
+    assert_eq!(a.duration_s, b.duration_s);
+    assert_eq!(a.cpu_busy_cores, b.cpu_busy_cores);
+    for (x, y) in a.trainers.iter().zip(&b.trainers) {
+        assert_eq!(x.samples, y.samples);
+        assert_eq!(x.samples_per_s, y.samples_per_s);
+    }
+}
+
+#[test]
+fn infeasible_scenario_becomes_feasible_with_sharing() {
+    // "enables scenarios that are infeasible without data sharing":
+    // 4-way CLMR on the 8-vCPU instance runs at <30% of GPU speed without
+    // sharing and at full speed with it (Fig 11).
+    use ts_baselines::{nonshared_strategy, tensorsocket_strategy};
+    use ts_sim::GpuSharing;
+    let ns = ts_experiments::fig11::run_config(8, GpuSharing::Mps, nonshared_strategy());
+    let ts = ts_experiments::fig11::run_config(8, GpuSharing::Mps, tensorsocket_strategy(0));
+    assert!(ts.mean_samples_per_s() > 3.0 * ns.mean_samples_per_s());
+}
