@@ -40,9 +40,7 @@ impl std::fmt::Display for CoordlPlacementError {
 impl std::error::Error for CoordlPlacementError {}
 
 /// Checks CoorDL's one-process-per-GPU constraint.
-pub fn validate_coordl_placement(
-    trainers: &[WorkloadSpec],
-) -> Result<(), CoordlPlacementError> {
+pub fn validate_coordl_placement(trainers: &[WorkloadSpec]) -> Result<(), CoordlPlacementError> {
     let mut by_gpu: std::collections::BTreeMap<usize, Vec<String>> =
         std::collections::BTreeMap::new();
     for t in trainers {

@@ -166,10 +166,7 @@ impl DependentSampler {
         }
         self.loads += 1;
         self.deliveries += jobs.len() as u64;
-        Some(Delivery {
-            sample,
-            jobs,
-        })
+        Some(Delivery { sample, jobs })
     }
 }
 

@@ -176,8 +176,7 @@ fn bench_ps_engine(c: &mut Criterion) {
             },
             |mut r| {
                 let mut t = 0u64;
-                loop {
-                    let Some(next) = r.next_completion(t) else { break };
+                while let Some(next) = r.next_completion(t) {
                     if next >= ts_sim::des::FOREVER {
                         break;
                     }
@@ -197,6 +196,159 @@ fn bench_ps_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// Transport comparison (the new cross-process subsystem):
+///
+/// * announce (metadata) round-trip throughput, `inproc://` broker vs a
+///   real `ipc://` Unix socket;
+/// * payload delivery, pointer-passing (tiny announce + shared-memory
+///   arena read) vs copying the batch bytes through the socket.
+///
+/// Results also land in `BENCH_transport.json` at the repo root.
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport");
+    let announce = DataMsg::Batch(BatchAnnounce {
+        seq: 42,
+        epoch: 1,
+        index_in_epoch: 42,
+        last_in_epoch: false,
+        content: AnnounceContent::Shared {
+            fields: vec![TensorPayload::pack(&Tensor::zeros(
+                &[128, 3, 64, 64],
+                DType::U8,
+                DeviceId::Cpu,
+            ))],
+            labels: TensorPayload::pack(&Tensor::zeros(&[128], DType::I64, DeviceId::Cpu)),
+        },
+    })
+    .encode();
+
+    // --- announce throughput: inproc vs ipc --------------------------------
+    {
+        let ctx = Context::new();
+        let publisher = PubSocket::bind(&ctx, "inproc://bench-transport").unwrap();
+        let sub = SubSocket::connect(&ctx, "inproc://bench-transport");
+        sub.subscribe(b"");
+        let wire = announce.clone();
+        g.bench_function("announce_inproc", |b| {
+            b.iter(|| {
+                publisher
+                    .send(b"batch", Multipart::single(wire.clone()))
+                    .unwrap();
+                std::hint::black_box(sub.recv_timeout(Duration::from_secs(5)).unwrap())
+            })
+        });
+    }
+    {
+        let ctx = Context::new();
+        let endpoint = format!(
+            "ipc://{}",
+            std::env::temp_dir()
+                .join(format!("ts-bench-{}.sock", std::process::id()))
+                .display()
+        );
+        let publisher = PubSocket::bind(&ctx, &endpoint).unwrap();
+        let sub = SubSocket::connect(&ctx, &endpoint);
+        sub.subscribe(b"");
+        let wire = announce.clone();
+        g.bench_function("announce_ipc", |b| {
+            b.iter(|| {
+                publisher
+                    .send(b"batch", Multipart::single(wire.clone()))
+                    .unwrap();
+                std::hint::black_box(sub.recv_timeout(Duration::from_secs(5)).unwrap())
+            })
+        });
+    }
+
+    // --- payload delivery: arena pointer-passing vs socket byte-copy -------
+    let batch = Tensor::rand_u8(&[128, 3, 64, 64], DeviceId::Cpu, 3);
+    let batch_bytes = batch.gather_bytes();
+    g.throughput(Throughput::Bytes(batch_bytes.len() as u64));
+    {
+        let ctx = Context::new();
+        let endpoint = format!(
+            "ipc://{}",
+            std::env::temp_dir()
+                .join(format!("ts-bench-ptr-{}.sock", std::process::id()))
+                .display()
+        );
+        let arena = ts_shm::ShmArena::create(
+            std::env::temp_dir().join(format!("ts-bench-{}.arena", std::process::id())),
+            4,
+            batch_bytes.len(),
+        )
+        .unwrap();
+        let handle = arena.alloc(&batch_bytes).unwrap();
+        let registry = SharedRegistry::new();
+        registry.bind_arena(arena.clone());
+        let mut payload = TensorPayload::pack(&batch);
+        payload.shm = Some(handle);
+        let wire = payload.encode();
+        let publisher = PubSocket::bind(&ctx, &endpoint).unwrap();
+        let sub = SubSocket::connect(&ctx, &endpoint);
+        sub.subscribe(b"");
+        g.bench_function("payload_pointer_ipc", |b| {
+            b.iter(|| {
+                publisher
+                    .send(b"batch", Multipart::single(wire.clone()))
+                    .unwrap();
+                let (_, msg) = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+                let decoded = TensorPayload::decode(&msg.frames()[0]).unwrap();
+                let view = arena.attach(decoded.shm.unwrap()).unwrap();
+                // the consumer's "training step" reads every byte
+                std::hint::black_box(view.iter().map(|&b| b as u64).sum::<u64>())
+            })
+        });
+    }
+    {
+        let ctx = Context::new();
+        let endpoint = format!(
+            "ipc://{}",
+            std::env::temp_dir()
+                .join(format!("ts-bench-cp-{}.sock", std::process::id()))
+                .display()
+        );
+        let publisher = PubSocket::bind(&ctx, &endpoint).unwrap();
+        let sub = SubSocket::connect(&ctx, &endpoint);
+        sub.subscribe(b"");
+        let wire = bytes::Bytes::from(batch_bytes.clone());
+        g.bench_function("payload_bytecopy_ipc", |b| {
+            b.iter(|| {
+                publisher
+                    .send(b"batch", Multipart::single(wire.clone()))
+                    .unwrap();
+                let (_, msg) = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+                std::hint::black_box(msg.frames()[0].iter().map(|&b| b as u64).sum::<u64>())
+            })
+        });
+    }
+    g.finish();
+
+    // Persist the transport numbers for tracking across PRs.
+    let rows: Vec<String> = c
+        .measurements()
+        .iter()
+        .filter(|m| m.id.starts_with("transport/"))
+        .map(|m| {
+            format!(
+                "  {{\"bench\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}",
+                m.id, m.mean_ns, m.iters
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"suite\": \"transport\",\n\"payload_bytes\": {},\n\"results\": [\n{}\n]\n}}\n",
+        batch_bytes.len(),
+        rows.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_transport.json");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("could not write {}: {e}", out.display());
+    }
+}
+
 criterion_group!(
     micro,
     bench_payload_path,
@@ -207,5 +359,6 @@ criterion_group!(
     bench_codec_decode,
     bench_dataloader,
     bench_ps_engine,
+    bench_transport,
 );
 criterion_main!(micro);

@@ -6,9 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
-use ts_baselines::{
-    coordl_strategy, joader_strategy, nonshared_strategy, tensorsocket_strategy,
-};
+use ts_baselines::{coordl_strategy, joader_strategy, nonshared_strategy, tensorsocket_strategy};
 use ts_sim::GpuSharing;
 
 fn print_report_once(id: &str) {
@@ -72,7 +70,9 @@ fn bench_fig9_collocation(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(8));
     for degree in [1usize, 4] {
         g.bench_function(format!("mobilenet_s_shared_{degree}way"), |b| {
-            b.iter(|| ts_experiments::fig9::run_config("MobileNet S", degree, tensorsocket_strategy(0)))
+            b.iter(|| {
+                ts_experiments::fig9::run_config("MobileNet S", degree, tensorsocket_strategy(0))
+            })
         });
     }
     g.finish();

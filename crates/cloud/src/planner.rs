@@ -89,7 +89,11 @@ mod tests {
         assert_eq!(s.without.name, "g5.8xlarge");
         assert_eq!(s.with.name, "g5.2xlarge");
         // 1 - 1.212/2.448 ≈ 50.5%
-        assert!((s.saving_fraction - 0.505).abs() < 0.01, "{}", s.saving_fraction);
+        assert!(
+            (s.saving_fraction - 0.505).abs() < 0.01,
+            "{}",
+            s.saving_fraction
+        );
     }
 
     #[test]

@@ -30,6 +30,19 @@
 //! producer.join().unwrap();
 //! ```
 //!
+//! ## Endpoint URIs and cross-process sharing
+//!
+//! The `endpoint` in [`ProducerConfig`]/[`ConsumerConfig`] selects the
+//! transport: `inproc://name` (threads in one process, the default),
+//! `ipc:///path.sock` (collocated OS processes over Unix sockets) and
+//! `tcp://host:port`. For separate processes, bind a shared-memory arena
+//! ([`TsContext::create_arena`] producer-side,
+//! [`TsContext::open_arena`] consumer-side): batch tensors are then
+//! placed in the arena and consumers map them zero-copy, so the sockets
+//! carry only announce/ack metadata — the paper's split between a
+//! metadata channel and a bulk payload path. See
+//! `examples/multi_process.rs` for the full topology.
+//!
 //! ## Crate layout
 //!
 //! * [`protocol`] — pure, time-injected state machines: publish window
@@ -77,6 +90,8 @@ pub enum TsError {
     Config(String),
     /// A consumer-local transform failed.
     Transform(String),
+    /// Shared-memory arena failure (create/open/alloc).
+    Arena(String),
 }
 
 impl std::fmt::Display for TsError {
@@ -90,6 +105,7 @@ impl std::fmt::Display for TsError {
             TsError::Timeout(what) => write!(f, "timed out waiting for {what}"),
             TsError::Config(m) => write!(f, "invalid config: {m}"),
             TsError::Transform(m) => write!(f, "local transform failed: {m}"),
+            TsError::Arena(m) => write!(f, "shared-memory arena: {m}"),
         }
     }
 }

@@ -579,7 +579,7 @@ mod tests {
     }
 
     #[test]
-    fn announce_size_is_independent_of_batch_size(){
+    fn announce_size_is_independent_of_batch_size() {
         let small = DataMsg::Batch(BatchAnnounce {
             seq: 0,
             epoch: 0,

@@ -34,7 +34,12 @@ impl OrderConfig {
     ///
     /// Offsets spread consumers evenly across the producer batch, which
     /// maximizes content divergence between any two consumers.
-    pub fn offset_for(&self, consumer_index: usize, num_consumers: usize, producer_batch: usize) -> usize {
+    pub fn offset_for(
+        &self,
+        consumer_index: usize,
+        num_consumers: usize,
+        producer_batch: usize,
+    ) -> usize {
         if !self.offsets || num_consumers == 0 || producer_batch == 0 {
             return 0;
         }

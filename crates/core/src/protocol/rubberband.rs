@@ -53,8 +53,7 @@ impl RubberbandPolicy {
     /// A join at the exact epoch boundary (`published_in_epoch == 0`) is
     /// always admitted.
     pub fn decide(&self, published_in_epoch: u64, batches_per_epoch: u64) -> JoinOutcome {
-        if published_in_epoch == 0 || published_in_epoch <= self.pinned_batches(batches_per_epoch)
-        {
+        if published_in_epoch == 0 || published_in_epoch <= self.pinned_batches(batches_per_epoch) {
             JoinOutcome::AdmitReplay { replay_from: 0 }
         } else {
             JoinOutcome::WaitNextEpoch
@@ -69,7 +68,10 @@ mod tests {
     #[test]
     fn epoch_boundary_always_admits() {
         let p = RubberbandPolicy { cutoff: 0.0 };
-        assert_eq!(p.decide(0, 1000), JoinOutcome::AdmitReplay { replay_from: 0 });
+        assert_eq!(
+            p.decide(0, 1000),
+            JoinOutcome::AdmitReplay { replay_from: 0 }
+        );
     }
 
     #[test]
@@ -77,7 +79,10 @@ mod tests {
         let p = RubberbandPolicy::default();
         // 2% of 1000 batches = 20 pinned batches
         assert_eq!(p.pinned_batches(1000), 20);
-        assert_eq!(p.decide(20, 1000), JoinOutcome::AdmitReplay { replay_from: 0 });
+        assert_eq!(
+            p.decide(20, 1000),
+            JoinOutcome::AdmitReplay { replay_from: 0 }
+        );
         assert_eq!(p.decide(21, 1000), JoinOutcome::WaitNextEpoch);
     }
 
@@ -100,7 +105,10 @@ mod tests {
     #[test]
     fn generous_cutoff_admits_late() {
         let p = RubberbandPolicy { cutoff: 0.5 };
-        assert_eq!(p.decide(499, 1000), JoinOutcome::AdmitReplay { replay_from: 0 });
+        assert_eq!(
+            p.decide(499, 1000),
+            JoinOutcome::AdmitReplay { replay_from: 0 }
+        );
         assert_eq!(p.decide(501, 1000), JoinOutcome::WaitNextEpoch);
     }
 }

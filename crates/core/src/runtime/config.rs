@@ -92,15 +92,44 @@ impl Default for ProducerConfig {
     }
 }
 
+/// Derives the per-channel endpoint from a base endpoint URI, respecting
+/// the transport scheme:
+///
+/// * `inproc://base` (and bare names) → `inproc://base/data|ctrl` — broker
+///   keys, unchanged from the in-process-only design;
+/// * `ipc:///path/to.sock` → `ipc:///path/to.sock.data|ctrl` — two Unix
+///   socket files next to each other;
+/// * `tcp://host:port` → data on `port`, control on `port + 1`. Both
+///   channels need known ports, so ephemeral binds (`tcp://host:0`) are
+///   not supported through the runtime configs — pick explicit ports
+///   below 65535.
+pub fn channel_endpoint(base: &str, channel: &str) -> String {
+    if base.starts_with("ipc://") {
+        return format!("{base}.{channel}");
+    }
+    if let Some(hostport) = base.strip_prefix("tcp://") {
+        if let Some((host, port)) = hostport.rsplit_once(':') {
+            if let Ok(port) = port.parse::<u16>() {
+                let offset: u32 = if channel == "ctrl" { 1 } else { 0 };
+                // Widened arithmetic: a base of 65535 derives the
+                // out-of-range "65536", which bind rejects as an invalid
+                // endpoint instead of this function panicking/wrapping.
+                return format!("tcp://{host}:{}", port as u32 + offset);
+            }
+        }
+    }
+    format!("{base}/{channel}")
+}
+
 impl ProducerConfig {
     /// The data (PUB/SUB) endpoint name.
     pub fn data_endpoint(&self) -> String {
-        format!("{}/data", self.endpoint)
+        channel_endpoint(&self.endpoint, "data")
     }
 
     /// The control (PUSH/PULL) endpoint name.
     pub fn ctrl_endpoint(&self) -> String {
-        format!("{}/ctrl", self.endpoint)
+        channel_endpoint(&self.endpoint, "ctrl")
     }
 }
 
@@ -143,12 +172,12 @@ impl Default for ConsumerConfig {
 impl ConsumerConfig {
     /// The data (PUB/SUB) endpoint name.
     pub fn data_endpoint(&self) -> String {
-        format!("{}/data", self.endpoint)
+        channel_endpoint(&self.endpoint, "data")
     }
 
     /// The control (PUSH/PULL) endpoint name.
     pub fn ctrl_endpoint(&self) -> String {
-        format!("{}/ctrl", self.endpoint)
+        channel_endpoint(&self.endpoint, "ctrl")
     }
 }
 
@@ -166,5 +195,30 @@ mod tests {
         let c = ConsumerConfig::default();
         assert_eq!(c.data_endpoint(), p.data_endpoint());
         assert!(c.heartbeat_interval < p.heartbeat_timeout);
+    }
+
+    #[test]
+    fn endpoint_derivation_follows_scheme() {
+        assert_eq!(
+            channel_endpoint("ipc:///tmp/ts.sock", "data"),
+            "ipc:///tmp/ts.sock.data"
+        );
+        assert_eq!(
+            channel_endpoint("ipc:///tmp/ts.sock", "ctrl"),
+            "ipc:///tmp/ts.sock.ctrl"
+        );
+        assert_eq!(
+            channel_endpoint("tcp://127.0.0.1:6000", "data"),
+            "tcp://127.0.0.1:6000"
+        );
+        assert_eq!(
+            channel_endpoint("tcp://127.0.0.1:6000", "ctrl"),
+            "tcp://127.0.0.1:6001"
+        );
+        assert_eq!(channel_endpoint("inproc://ts", "data"), "inproc://ts/data");
+        // Top-of-range base must not overflow; the derived out-of-range
+        // ctrl port is rejected later by endpoint parsing, not here.
+        assert_eq!(channel_endpoint("tcp://h:65535", "ctrl"), "tcp://h:65536");
+        assert!(ts_socket::EndpointAddr::parse("tcp://h:65536").is_err());
     }
 }

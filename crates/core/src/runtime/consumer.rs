@@ -8,7 +8,9 @@
 //! consumer) acknowledges it to the producer, which releases the memory
 //! once every consumer has done so.
 
-use crate::protocol::messages::{topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision};
+use crate::protocol::messages::{
+    topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision,
+};
 use crate::runtime::config::ConsumerConfig;
 use crate::runtime::context::TsContext;
 use crate::{Result, TsError};
@@ -169,7 +171,9 @@ impl TensorConsumer {
             if Instant::now() > deadline {
                 return Err(TsError::Timeout("join reply"));
             }
-            let msg = match sub.recv_timeout(cfg.recv_timeout.min(std::time::Duration::from_millis(50))) {
+            let msg = match sub
+                .recv_timeout(cfg.recv_timeout.min(std::time::Duration::from_millis(50)))
+            {
                 Ok((_, m)) => m,
                 Err(RecvError::Timeout) => continue,
                 Err(RecvError::Closed) => {

@@ -1,15 +1,30 @@
 //! The shared runtime context.
 
+use crate::{Result, TsError};
+use std::path::Path;
 use std::sync::Arc;
 use ts_device::Topology;
 use ts_metrics::Registry;
+use ts_shm::ShmArena;
 use ts_socket::Context as SocketContext;
 use ts_tensor::{DeviceCtx, SharedRegistry};
 
 /// Everything producer and consumers share within one node:
 /// the message broker, the storage handle table, and the device books.
 ///
-/// Cloning is cheap and shares state — one `TsContext` models one machine.
+/// Cloning is cheap and shares state — one `TsContext` models one machine
+/// **within one process**. For the paper's real deployment model —
+/// independent training *processes* collocated on a machine — each process
+/// builds its own context, the endpoints use `ipc://` (or `tcp://`)
+/// URIs, and batch bytes travel through a shared-memory arena:
+///
+/// * the producer process calls [`TsContext::create_arena`] before
+///   spawning its [`crate::TensorProducer`];
+/// * each consumer process calls [`TsContext::open_arena`] on the same
+///   path before [`crate::TensorConsumer::connect`].
+///
+/// Only announce/ack metadata then crosses the sockets; payload bytes are
+/// written once into the arena and mapped zero-copy by every consumer.
 #[derive(Debug, Clone)]
 pub struct TsContext {
     /// Message broker (ZeroMQ context equivalent).
@@ -45,6 +60,39 @@ impl TsContext {
     pub fn with_gpus(gpus: u8, vram_bytes: u64, nvlink: bool) -> Self {
         let vram: Vec<u64> = (0..gpus).map(|_| vram_bytes).collect();
         Self::new(DeviceCtx::new(Topology::new(gpus, nvlink), &vram))
+    }
+
+    /// Creates a shared-memory payload arena backing this context's
+    /// registry (producer-process side). `nslots` bounds how many storages
+    /// can be live at once — size it to
+    /// `buffer_size × (fields + labels) × consumers` plus rubberband
+    /// headroom; `slot_size` must hold the largest staged tensor.
+    ///
+    /// The file is unlinked when the arena (last `Arc`) drops.
+    pub fn create_arena(
+        &self,
+        path: impl AsRef<Path>,
+        nslots: usize,
+        slot_size: usize,
+    ) -> Result<Arc<ShmArena>> {
+        let arena =
+            ShmArena::create(path, nslots, slot_size).map_err(|e| TsError::Arena(e.to_string()))?;
+        self.registry.bind_arena(arena.clone());
+        Ok(arena)
+    }
+
+    /// Opens the producer's arena file (consumer-process side) and binds
+    /// it to this context's registry, so payloads announcing arena
+    /// placements rebuild zero-copy.
+    pub fn open_arena(&self, path: impl AsRef<Path>) -> Result<Arc<ShmArena>> {
+        let arena = ShmArena::open(path).map_err(|e| TsError::Arena(e.to_string()))?;
+        self.registry.bind_arena(arena.clone());
+        Ok(arena)
+    }
+
+    /// The shared-memory arena bound to this context's registry, if any.
+    pub fn arena(&self) -> Option<Arc<ShmArena>> {
+        self.registry.arena()
     }
 }
 

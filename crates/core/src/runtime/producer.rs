@@ -182,6 +182,8 @@ impl TensorProducer {
             hb: HeartbeatMonitor::new(1),
             consumers: HashMap::new(),
             awaiting_ready: HashSet::new(),
+            join_replies: HashMap::new(),
+            last_reply_nudge: Instant::now(),
             pending_join: Vec::new(),
             live: BTreeMap::new(),
             pinned: Vec::new(),
@@ -253,6 +255,12 @@ struct ProducerLoop {
     hb: HeartbeatMonitor,
     consumers: HashMap<u64, ConsumerInfo>,
     awaiting_ready: HashSet<u64>,
+    /// Encoded `JoinReply` per consumer still awaiting `Ready`, re-sent
+    /// periodically: on remote transports the reply can be published while
+    /// the joiner's subscription is still propagating, and a lost reply
+    /// would otherwise deadlock the handshake.
+    join_replies: HashMap<u64, bytes::Bytes>,
+    last_reply_nudge: Instant,
     pending_join: Vec<(u64, u32)>,
     live: BTreeMap<u64, LiveBatch>,
     /// Seqs pinned for rubberband replay (current epoch, window open).
@@ -452,12 +460,7 @@ impl ProducerLoop {
         }
     }
 
-    fn publish_shared(
-        &mut self,
-        batch: Batch,
-        policy: &RubberbandPolicy,
-        last: bool,
-    ) -> bool {
+    fn publish_shared(&mut self, batch: Batch, policy: &RubberbandPolicy, last: bool) -> bool {
         if !self.wait_for_window() {
             return false;
         }
@@ -472,16 +475,8 @@ impl ProducerLoop {
         };
         let seq = self.window.published();
         self.published_in_epoch += 1;
-        let announce = BatchAnnounce {
-            seq,
-            epoch: self.epoch,
-            index_in_epoch: batch.index as u64,
-            last_in_epoch: last,
-            content: AnnounceContent::Shared {
-                fields: fields.iter().map(TensorPayload::pack).collect(),
-                labels: TensorPayload::pack(&labels),
-            },
-        };
+        // Register first: with an arena bound this is what places the
+        // bytes in shared memory, and packing then embeds the placement.
         self.register_live(
             seq,
             LiveBatch {
@@ -493,6 +488,21 @@ impl ProducerLoop {
                 releasable: false,
             },
         );
+        let live = self.live.get(&seq).expect("just inserted");
+        let announce = BatchAnnounce {
+            seq,
+            epoch: self.epoch,
+            index_in_epoch: live.index_in_epoch,
+            last_in_epoch: last,
+            content: AnnounceContent::Shared {
+                fields: live
+                    .fields
+                    .iter()
+                    .map(|t| TensorPayload::pack_shared(t, &self.ctx.registry))
+                    .collect(),
+                labels: TensorPayload::pack_shared(&live.labels, &self.ctx.registry),
+            },
+        };
         self.acks.published(seq, self.consumers.keys().copied());
         let _ = self.publisher.send(
             topics::BATCH,
@@ -604,14 +614,24 @@ impl ProducerLoop {
                 let segs: Result<Vec<TensorPayload>> = planned
                     .segments
                     .iter()
-                    .map(|s| Ok(TensorPayload::pack(&field.narrow(0, s.start, s.len)?)))
+                    .map(|s| {
+                        Ok(TensorPayload::pack_shared(
+                            &field.narrow(0, s.start, s.len)?,
+                            &self.ctx.registry,
+                        ))
+                    })
                     .collect();
                 field_segs.push(segs?);
             }
             let label_segs: Result<Vec<TensorPayload>> = planned
                 .segments
                 .iter()
-                .map(|s| Ok(TensorPayload::pack(&live.labels.narrow(0, s.start, s.len)?)))
+                .map(|s| {
+                    Ok(TensorPayload::pack_shared(
+                        &live.labels.narrow(0, s.start, s.len)?,
+                        &self.ctx.registry,
+                    ))
+                })
                 .collect();
             batches.push(FlexBatchPayload {
                 fields: field_segs,
@@ -647,8 +667,12 @@ impl ProducerLoop {
                     index_in_epoch: live.index_in_epoch,
                     last_in_epoch: live.last_in_epoch,
                     content: AnnounceContent::Shared {
-                        fields: live.fields.iter().map(TensorPayload::pack).collect(),
-                        labels: TensorPayload::pack(&live.labels),
+                        fields: live
+                            .fields
+                            .iter()
+                            .map(|t| TensorPayload::pack_shared(t, &self.ctx.registry))
+                            .collect(),
+                        labels: TensorPayload::pack_shared(&live.labels, &self.ctx.registry),
                     },
                 };
                 let _ = self.publisher.send(
@@ -664,13 +688,8 @@ impl ProducerLoop {
     /// Admits a consumer: reply, track, and (on `replay`) schedule catch-up.
     fn admit(&mut self, id: u64, batch_size: u32, replay: bool) {
         let index = self.consumers.len();
-        self.consumers.insert(
-            id,
-            ConsumerInfo {
-                batch_size,
-                index,
-            },
-        );
+        self.consumers
+            .insert(id, ConsumerInfo { batch_size, index });
         self.stats.peak_consumers = self.stats.peak_consumers.max(self.consumers.len());
         self.awaiting_ready.insert(id);
         // Joining the window immediately halts publishing until the joiner
@@ -701,9 +720,11 @@ impl ProducerLoop {
                 start_seq: self.epoch_start_seq,
             },
         };
+        let encoded = reply.encode();
+        self.join_replies.insert(id, encoded.clone());
         let _ = self
             .publisher
-            .send(&topics::consumer(id), Multipart::single(reply.encode()));
+            .send(&topics::consumer(id), Multipart::single(encoded));
     }
 
     /// Admits a consumer mid-epoch at the current stream position (used when
@@ -712,7 +733,8 @@ impl ProducerLoop {
     fn admit_at_current(&mut self, id: u64, batch_size: u32) {
         let start_seq = self.window.next_seq();
         let index = self.consumers.len();
-        self.consumers.insert(id, ConsumerInfo { batch_size, index });
+        self.consumers
+            .insert(id, ConsumerInfo { batch_size, index });
         self.stats.peak_consumers = self.stats.peak_consumers.max(self.consumers.len());
         self.awaiting_ready.insert(id);
         self.window.add_consumer(id, start_seq);
@@ -725,14 +747,17 @@ impl ProducerLoop {
                 start_seq,
             },
         };
+        let encoded = reply.encode();
+        self.join_replies.insert(id, encoded.clone());
         let _ = self
             .publisher
-            .send(&topics::consumer(id), Multipart::single(reply.encode()));
+            .send(&topics::consumer(id), Multipart::single(encoded));
     }
 
     fn remove_consumer(&mut self, id: u64, notify: bool) {
         self.consumers.remove(&id);
         self.awaiting_ready.remove(&id);
+        self.join_replies.remove(&id);
         self.window.remove_consumer(id);
         self.hb.remove(id);
         for seq in self.acks.remove_consumer(id) {
@@ -766,6 +791,7 @@ impl ProducerLoop {
                 } => self.handle_join(consumer_id, batch_size, &policy),
                 CtrlMsg::Ready { consumer_id } => {
                     if self.awaiting_ready.remove(&consumer_id) {
+                        self.join_replies.remove(&consumer_id);
                         self.replay_needed(consumer_id);
                     }
                 }
@@ -778,6 +804,20 @@ impl ProducerLoop {
                 CtrlMsg::Heartbeat { .. } => {}
                 CtrlMsg::Leave { consumer_id } => {
                     self.remove_consumer(consumer_id, false);
+                }
+            }
+        }
+        // Nudge joiners that have not said Ready: their JoinReply may have
+        // been published before their subscription reached us.
+        if !self.awaiting_ready.is_empty()
+            && self.last_reply_nudge.elapsed() > std::time::Duration::from_millis(25)
+        {
+            self.last_reply_nudge = Instant::now();
+            for (&id, encoded) in &self.join_replies {
+                if self.awaiting_ready.contains(&id) {
+                    let _ = self
+                        .publisher
+                        .send(&topics::consumer(id), Multipart::single(encoded.clone()));
                 }
             }
         }

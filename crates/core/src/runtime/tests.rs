@@ -521,9 +521,8 @@ fn local_pipeline_transforms_privately() {
     // dataset instead.
     let ctx = TsContext::host_only();
     let ep = "inproc://t15";
-    let dataset = Arc::new(
-        ts_data::SyntheticImageDataset::new(32, 16, 16, 3).with_encoded_len(256),
-    );
+    let dataset =
+        Arc::new(ts_data::SyntheticImageDataset::new(32, 16, 16, 3).with_encoded_len(256));
     let image_loader = ts_data::DataLoader::new(
         dataset,
         ts_data::DataLoaderConfig {
@@ -579,10 +578,7 @@ fn local_pipeline_transforms_privately() {
     assert!(crop_shapes.iter().all(|s| s == &[8, 3, 8, 8]));
     // ...while the raw consumer keeps the shared 16x16 storage
     assert!(raw_shapes.iter().all(|s| s == &[8, 3, 16, 16]));
-    assert!(crop_storages
-        .iter()
-        .zip(&raw_storages)
-        .all(|(a, b)| a != b));
+    assert!(crop_storages.iter().zip(&raw_storages).all(|(a, b)| a != b));
     // same samples in the same order underneath
     assert_eq!(crop_labels, raw_labels);
 }
@@ -714,7 +710,10 @@ fn consumer_times_out_when_admitted_but_starved() {
                     },
                 };
                 publisher
-                    .send(&topics::consumer(consumer_id), Multipart::single(reply.encode()))
+                    .send(
+                        &topics::consumer(consumer_id),
+                        Multipart::single(reply.encode()),
+                    )
                     .unwrap();
                 // ...and never publish any batch
             }
@@ -801,7 +800,10 @@ fn socket_teardown_mid_stream_is_producer_gone() {
                     },
                 };
                 publisher
-                    .send(&topics::consumer(consumer_id), Multipart::single(reply.encode()))
+                    .send(
+                        &topics::consumer(consumer_id),
+                        Multipart::single(reply.encode()),
+                    )
                     .unwrap();
                 // wait for the Ready confirmation, then "crash"
                 loop {
@@ -837,7 +839,8 @@ fn producer_map_runs_once_per_batch() {
     // field with an embedding, computed once per batch in the producer.
     cfg.producer_map = Some(Arc::new(move |mut batch: ts_data::Batch| {
         calls_in_map.fetch_add(1, Ordering::Relaxed);
-        let values: Vec<f32> = batch.labels
+        let values: Vec<f32> = batch
+            .labels
             .to_vec_i64()
             .unwrap()
             .iter()
@@ -865,7 +868,10 @@ fn producer_map_runs_once_per_batch() {
     }
     let embeddings2 = h.join().unwrap();
     producer.join().unwrap();
-    assert_eq!(embeddings1, embeddings2, "both trained on the same embeddings");
+    assert_eq!(
+        embeddings1, embeddings2,
+        "both trained on the same embeddings"
+    );
     assert_eq!(embeddings1[0], vec![0.0, 0.5, 1.0, 1.5]);
     // once per batch — NOT once per batch per consumer
     assert_eq!(calls.load(Ordering::Relaxed), 4);

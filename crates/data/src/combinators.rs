@@ -126,13 +126,10 @@ impl Dataset for SubsetDataset {
     }
 
     fn get(&self, index: usize) -> Result<RawSample> {
-        let &base_index = self
-            .indices
-            .get(index)
-            .ok_or(DataError::IndexOutOfRange {
-                index,
-                len: self.indices.len(),
-            })?;
+        let &base_index = self.indices.get(index).ok_or(DataError::IndexOutOfRange {
+            index,
+            len: self.indices.len(),
+        })?;
         let mut raw = self.base.get(base_index)?;
         raw.index = index;
         Ok(raw)

@@ -21,18 +21,18 @@
 pub mod codec;
 pub mod combinators;
 pub mod loader;
-pub mod sampler;
 pub mod sample;
+pub mod sampler;
 pub mod synthetic;
 pub mod transforms;
 
+pub use combinators::{ConcatDataset, SubsetDataset};
 pub use loader::{Batch, DataLoader, DataLoaderConfig, EpochIter};
 pub use sample::{Dataset, DecodedSample, RawSample};
 pub use sampler::{Sampler, SequentialSampler, ShuffleSampler};
 pub use synthetic::{
     SyntheticAudioDataset, SyntheticCaptionDataset, SyntheticImageDataset, SyntheticTextDataset,
 };
-pub use combinators::{ConcatDataset, SubsetDataset};
 pub use transforms::{Normalize, Pipeline, RandomCrop, RandomHFlip, Resize, Transform};
 
 /// Errors from the data substrate.

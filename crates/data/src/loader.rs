@@ -302,7 +302,10 @@ impl Iterator for EpochIter {
             IterMode::Sync { worker, batches } => worker.build(index, &batches[index]),
             IterMode::Workers { rxs, .. } => {
                 let w = index % rxs.len();
-                rxs[w].recv().map_err(|_| DataError::WorkersGone).flatten_err()
+                rxs[w]
+                    .recv()
+                    .map_err(|_| DataError::WorkersGone)
+                    .flatten_err()
             }
         };
         match result {
@@ -405,14 +408,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        let e0: Vec<usize> = loader
-            .epoch(0)
-            .flat_map(|b| b.sample_indices)
-            .collect();
-        let e1: Vec<usize> = loader
-            .epoch(1)
-            .flat_map(|b| b.sample_indices)
-            .collect();
+        let e0: Vec<usize> = loader.epoch(0).flat_map(|b| b.sample_indices).collect();
+        let e1: Vec<usize> = loader.epoch(1).flat_map(|b| b.sample_indices).collect();
         assert_ne!(e0, e1);
         let mut sorted = e0.clone();
         sorted.sort_unstable();
@@ -473,10 +470,8 @@ mod tests {
     #[test]
     fn augmentation_applies_in_workers() {
         let ds = Arc::new(SyntheticImageDataset::new(8, 16, 16, 1).with_encoded_len(64));
-        let pipeline = Arc::new(Pipeline::new(3).with(crate::transforms::RandomCrop {
-            out_h: 8,
-            out_w: 8,
-        }));
+        let pipeline =
+            Arc::new(Pipeline::new(3).with(crate::transforms::RandomCrop { out_h: 8, out_w: 8 }));
         let loader = DataLoader::with_pipeline(
             ds,
             pipeline,

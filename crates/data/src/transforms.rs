@@ -44,8 +44,16 @@ impl Transform for RandomCrop {
                 self.out_h, self.out_w
             )));
         }
-        let top = if h == self.out_h { 0 } else { rng.gen_range(0..=h - self.out_h) };
-        let left = if w == self.out_w { 0 } else { rng.gen_range(0..=w - self.out_w) };
+        let top = if h == self.out_h {
+            0
+        } else {
+            rng.gen_range(0..=h - self.out_h)
+        };
+        let left = if w == self.out_w {
+            0
+        } else {
+            rng.gen_range(0..=w - self.out_w)
+        };
         let cropped = input
             .narrow(1, top, self.out_h)?
             .narrow(2, left, self.out_w)?;
@@ -133,8 +141,7 @@ impl Transform for Resize {
                 let sy = oy * h / self.out_h;
                 for ox in 0..self.out_w {
                     let sx = ox * w / self.out_w;
-                    dst[(ci * self.out_h + oy) * self.out_w + ox] =
-                        src[(ci * h + sy) * w + sx];
+                    dst[(ci * self.out_h + oy) * self.out_w + ox] = src[(ci * h + sy) * w + sx];
                 }
             }
         }
@@ -349,7 +356,12 @@ mod resize_tests {
         let down = Resize { out_h: 8, out_w: 6 }.apply(&img, &mut rng).unwrap();
         assert_eq!(down.shape(), &[3, 8, 6]);
         // identity resize keeps every pixel
-        let same = Resize { out_h: 16, out_w: 12 }.apply(&img, &mut rng).unwrap();
+        let same = Resize {
+            out_h: 16,
+            out_w: 12,
+        }
+        .apply(&img, &mut rng)
+        .unwrap();
         assert!(same.data_eq(&img));
     }
 
@@ -368,18 +380,28 @@ mod resize_tests {
     fn resize_validates_input() {
         let mut rng = StdRng::seed_from_u64(0);
         let flat = Tensor::rand_u8(&[16], DeviceId::Cpu, 1);
-        assert!(Resize { out_h: 4, out_w: 4 }.apply(&flat, &mut rng).is_err());
+        assert!(Resize { out_h: 4, out_w: 4 }
+            .apply(&flat, &mut rng)
+            .is_err());
         let img = Tensor::rand_u8(&[3, 4, 4], DeviceId::Cpu, 1);
         assert!(Resize { out_h: 0, out_w: 4 }.apply(&img, &mut rng).is_err());
         let f32img = Tensor::rand_f32(&[3, 4, 4], DeviceId::Cpu, 1);
-        assert!(Resize { out_h: 2, out_w: 2 }.apply(&f32img, &mut rng).is_err());
+        assert!(Resize { out_h: 2, out_w: 2 }
+            .apply(&f32img, &mut rng)
+            .is_err());
     }
 
     #[test]
     fn resize_then_crop_pipeline() {
         let p = Pipeline::new(3)
-            .with(Resize { out_h: 32, out_w: 32 })
-            .with(RandomCrop { out_h: 24, out_w: 24 });
+            .with(Resize {
+                out_h: 32,
+                out_w: 32,
+            })
+            .with(RandomCrop {
+                out_h: 24,
+                out_w: 24,
+            });
         let img = Tensor::rand_u8(&[3, 80, 60], DeviceId::Cpu, 2);
         let out = p.apply(&img, 0, 0).unwrap();
         assert_eq!(out.shape(), &[3, 24, 24]);

@@ -135,6 +135,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn gpu_catalog_sane() {
         assert!(gpus::H100_80GB.relative_throughput > gpus::A100_40GB.relative_throughput);
         assert!(gpus::A100_40GB.relative_throughput > gpus::A10G_24GB.relative_throughput);

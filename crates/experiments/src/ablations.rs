@@ -83,7 +83,13 @@ pub fn flex_repetition_sweep() -> ExperimentReport {
     );
     let mut t = Table::new(
         "repeated share per producer batch (consumer batch b = 96)",
-        &["Producer batch P", "P / b", "Repeated samples", "Share", "Bound (b-1)/P"],
+        &[
+            "Producer batch P",
+            "P / b",
+            "Repeated samples",
+            "Share",
+            "Bound (b-1)/P",
+        ],
     );
     let b = 96usize;
     for p in [96usize, 128, 192, 256, 384, 512, 1024] {
@@ -236,7 +242,12 @@ pub fn gpu_offload_sweep() -> ExperimentReport {
     };
     let mut t = Table::new(
         "4x MobileNet S on the H100, 8 CPU workers",
-        &["Pre-processing", "Sharing", "Per-model samples/s", "CPU busy cores"],
+        &[
+            "Pre-processing",
+            "Sharing",
+            "Per-model samples/s",
+            "CPU busy cores",
+        ],
     );
     for (offload, shared) in [(false, false), (false, true), (true, false), (true, true)] {
         let r = run_with(offload, shared);
@@ -276,7 +287,10 @@ mod tests {
         let n1 = run_buffer_config(1, 0.4).mean_samples_per_s();
         let n2 = run_buffer_config(2, 0.4).mean_samples_per_s();
         let n8 = run_buffer_config(8, 0.4).mean_samples_per_s();
-        assert!(n2 > n1 * 1.05, "buffering absorbs jitter: N=1 {n1} vs N=2 {n2}");
+        assert!(
+            n2 > n1 * 1.05,
+            "buffering absorbs jitter: N=1 {n1} vs N=2 {n2}"
+        );
         assert!(n2 > n8 * 0.95, "N=2 recovers most of it: {n2} vs {n8}");
     }
 

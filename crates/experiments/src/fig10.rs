@@ -37,8 +37,10 @@ pub fn run_config(share_ms: f64) -> SimResult {
 
 /// Regenerates Figure 10.
 pub fn run() -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("fig10", "Default vs flexible batch sizing (3x MobileNet S, H100)");
+    let mut report = ExperimentReport::new(
+        "fig10",
+        "Default vs flexible batch sizing (3x MobileNet S, H100)",
+    );
     let default = run_config(DEFAULT_SHARE_MS);
     let flexible = run_config(FLEX_SHARE_MS);
     let mut t = Table::new(

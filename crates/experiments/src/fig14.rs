@@ -4,7 +4,9 @@
 
 use crate::profiles::{a100_server, resnet18_coordl};
 use crate::report::ExperimentReport;
-use ts_baselines::{coordl_strategy, nonshared_strategy, tensorsocket_strategy, validate_coordl_placement};
+use ts_baselines::{
+    coordl_strategy, nonshared_strategy, tensorsocket_strategy, validate_coordl_placement,
+};
 use ts_metrics::Table;
 use ts_sim::{LoaderSpec, SimConfig, SimResult, Strategy, WorkloadSpec};
 
@@ -105,7 +107,10 @@ mod tests {
         let ts_scale = ts4 / ts1;
         let co_scale = co4 / co1;
         assert!(ts_scale < 1.1, "TensorSocket CPU scale {ts_scale}");
-        assert!((1.4..1.9).contains(&co_scale), "CoorDL CPU scale {co_scale}");
+        assert!(
+            (1.4..1.9).contains(&co_scale),
+            "CoorDL CPU scale {co_scale}"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use ts_sim::{SimConfig, SimResult, Strategy, WorkloadSpec};
 /// Paper's measured per-model samples/s, for reference columns.
 pub const PAPER_BASELINE: [f64; 8] = [1128.0, 577.0, 391.0, 295.0, 222.0, 187.0, 159.0, 137.0];
 /// Paper TensorSocket row.
-pub const PAPER_TS: [f64; 8] = [1141.0, 1116.0, 1099.0, 1113.0, 1104.0, 1112.0, 1075.0, 965.0];
+pub const PAPER_TS: [f64; 8] = [
+    1141.0, 1116.0, 1099.0, 1113.0, 1104.0, 1112.0, 1075.0, 965.0,
+];
 /// Paper Joader row.
 pub const PAPER_JOADER: [f64; 8] = [983.0, 733.0, 557.0, 437.0, 414.0, 374.0, 324.0, 287.0];
 
@@ -78,7 +80,11 @@ mod tests {
         for n in [1usize, 2, 4, 8] {
             let m = run_config(n, nonshared_strategy()).mean_samples_per_s();
             let err = relative_error(m, PAPER_BASELINE[n - 1]);
-            assert!(err < 0.15, "n={n}: measured {m} vs paper {}", PAPER_BASELINE[n - 1]);
+            assert!(
+                err < 0.15,
+                "n={n}: measured {m} vs paper {}",
+                PAPER_BASELINE[n - 1]
+            );
         }
     }
 
@@ -107,7 +113,11 @@ mod tests {
         for n in [1usize, 2, 4, 8] {
             let m = run_config(n, joader_strategy()).mean_samples_per_s();
             let err = relative_error(m, PAPER_JOADER[n - 1]);
-            assert!(err < 0.25, "n={n}: measured {m} vs paper {}", PAPER_JOADER[n - 1]);
+            assert!(
+                err < 0.25,
+                "n={n}: measured {m} vs paper {}",
+                PAPER_JOADER[n - 1]
+            );
         }
     }
 

@@ -71,7 +71,10 @@ pub fn run() -> ExperimentReport {
             model.to_string(),
             format!("{:.0}", ns.cpu_util * 100.0),
             format!("{:.0}", ts.cpu_util * 100.0),
-            format!("{:.0}%", (1.0 - ts.cpu_busy_cores / ns.cpu_busy_cores) * 100.0),
+            format!(
+                "{:.0}%",
+                (1.0 - ts.cpu_busy_cores / ns.cpu_busy_cores) * 100.0
+            ),
         ]);
         let mean_gpu = |r: &SimResult| r.gpu_util.iter().sum::<f64>() / r.gpu_util.len() as f64;
         gpu.row(&[

@@ -52,25 +52,77 @@ pub type ExperimentEntry = (&'static str, &'static str, fn() -> ExperimentReport
 /// All experiments in paper order.
 pub fn all_experiments() -> Vec<ExperimentEntry> {
     vec![
-        ("fig1", "Cloud instances by vCPU:GPU ratio", fig1::run as fn() -> ExperimentReport),
-        ("fig8", "Image classification, 4-way collocation (A100 server)", fig8::run),
-        ("table3", "Data movement for 4x MobileNet L (A100 server)", table3::run),
-        ("fig9", "Throughput vs collocation degree (MobileNet S/L)", fig9::run),
-        ("fig10", "Default vs flexible batch sizing (H100)", fig10::run),
+        (
+            "fig1",
+            "Cloud instances by vCPU:GPU ratio",
+            fig1::run as fn() -> ExperimentReport,
+        ),
+        (
+            "fig8",
+            "Image classification, 4-way collocation (A100 server)",
+            fig8::run,
+        ),
+        (
+            "table3",
+            "Data movement for 4x MobileNet L (A100 server)",
+            table3::run,
+        ),
+        (
+            "fig9",
+            "Throughput vs collocation degree (MobileNet S/L)",
+            fig9::run,
+        ),
+        (
+            "fig10",
+            "Default vs flexible batch sizing (H100)",
+            fig10::run,
+        ),
         ("fig11", "CLMR audio on AWS g5 (MPS vs streams)", fig11::run),
         ("fig12", "DALL-E 2 online training (H100)", fig12::run),
-        ("fig13", "Mixed RegNetX workload on AWS g5 (time series)", fig13::run),
-        ("table4", "Qwen2.5 0.5B fine-tuning (A100 server)", table4::run),
+        (
+            "fig13",
+            "Mixed RegNetX workload on AWS g5 (time series)",
+            fig13::run,
+        ),
+        (
+            "table4",
+            "Qwen2.5 0.5B fine-tuning (A100 server)",
+            table4::run,
+        ),
         ("fig14", "Comparison with CoorDL (A100 server)", fig14::run),
         ("fig15", "Comparison with Joader (H100)", fig15::run),
         // design-choice ablations beyond the paper's figures
-        ("ablation-buffer", "ABLATION: batch buffer size under jitter", ablations::buffer_sweep),
-        ("ablation-flex", "ABLATION: producer batch size vs repetition", ablations::flex_repetition_sweep),
-        ("ablation-streams", "ABLATION: MPS vs multi-stream sharing", ablations::stream_penalty_sweep),
-        ("ablation-workers", "ABLATION: producer worker budget", ablations::worker_sweep),
-        ("ablation-gpu-offload", "ABLATION: GPU-offloaded pre-processing", ablations::gpu_offload_sweep),
+        (
+            "ablation-buffer",
+            "ABLATION: batch buffer size under jitter",
+            ablations::buffer_sweep,
+        ),
+        (
+            "ablation-flex",
+            "ABLATION: producer batch size vs repetition",
+            ablations::flex_repetition_sweep,
+        ),
+        (
+            "ablation-streams",
+            "ABLATION: MPS vs multi-stream sharing",
+            ablations::stream_penalty_sweep,
+        ),
+        (
+            "ablation-workers",
+            "ABLATION: producer worker budget",
+            ablations::worker_sweep,
+        ),
+        (
+            "ablation-gpu-offload",
+            "ABLATION: GPU-offloaded pre-processing",
+            ablations::gpu_offload_sweep,
+        ),
         // the threaded runtime measured live on this machine
-        ("runtime-validation", "REAL RUNTIME: shared vs non-shared", runtime_check::run),
+        (
+            "runtime-validation",
+            "REAL RUNTIME: shared vs non-shared",
+            runtime_check::run,
+        ),
     ]
 }
 

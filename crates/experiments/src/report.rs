@@ -41,7 +41,10 @@ impl ExperimentReport {
     /// Renders the report as plain text.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("################ {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!(
+            "################ {} — {}\n\n",
+            self.id, self.title
+        ));
         for t in &self.tables {
             out.push_str(&t.render());
             out.push('\n');

@@ -52,7 +52,10 @@ fn loader(workers: usize, seed: u64) -> DataLoader {
 
 fn train_step(seq: u64, field: &ts_tensor::Tensor) -> u64 {
     // touch a slice of the batch + burn fixed work
-    let probe = field.narrow(0, 0, 1).map(|t| ops::checksum(&t)).unwrap_or(0);
+    let probe = field
+        .narrow(0, 0, 1)
+        .map(|t| ops::checksum(&t))
+        .unwrap_or(0);
     probe ^ ops::busy_work(seq, TRAIN_WORK_UNITS)
 }
 
@@ -72,7 +75,10 @@ pub fn measure_nonshared() -> f64 {
             })
         })
         .collect();
-    let rates: Vec<f64> = handles.into_iter().map(|h| h.join().expect("trainer")).collect();
+    let rates: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("trainer"))
+        .collect();
     rates.iter().sum::<f64>() / rates.len() as f64
 }
 
@@ -114,7 +120,10 @@ pub fn measure_shared() -> f64 {
             })
         })
         .collect();
-    let rates: Vec<f64> = handles.into_iter().map(|h| h.join().expect("trainer")).collect();
+    let rates: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("trainer"))
+        .collect();
     producer.join().expect("producer");
     rates.iter().sum::<f64>() / rates.len() as f64
 }
@@ -131,8 +140,16 @@ pub fn run() -> ExperimentReport {
         "per-model samples/s over real threads",
         &["Mode", "Samples/s per model", "Speedup"],
     );
-    t.row(&["Non-shared (1 worker each)".into(), fmt_num(ns), "1.00x".into()]);
-    t.row(&["TensorSocket (3 shared workers)".into(), fmt_num(ts), fmt_x(ts / ns)]);
+    t.row(&[
+        "Non-shared (1 worker each)".into(),
+        fmt_num(ns),
+        "1.00x".into(),
+    ]);
+    t.row(&[
+        "TensorSocket (3 shared workers)".into(),
+        fmt_num(ts),
+        fmt_x(ts / ns),
+    ]);
     report.table(t);
     report.note(
         "This is the threaded runtime itself, not the simulator: real decode work, real \

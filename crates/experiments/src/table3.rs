@@ -102,7 +102,11 @@ mod tests {
         // Shared: producer GPU carries PCIe; consumers use NVLink.
         assert!(ts.pcie_bps[0] > 200e6, "{}", ts.pcie_bps[0]);
         for g in 1..4 {
-            assert!(ts.pcie_bps[g] < 20e6, "shared pcie[{g}] = {}", ts.pcie_bps[g]);
+            assert!(
+                ts.pcie_bps[g] < 20e6,
+                "shared pcie[{g}] = {}",
+                ts.pcie_bps[g]
+            );
             assert!(
                 (200e6..350e6).contains(&ts.nvlink_bps[g]),
                 "shared nvlink[{g}] = {}",

@@ -16,10 +16,7 @@ use ts_sim::{SimConfig, SimResult};
 /// Runs the two-trainer fine-tune.
 pub fn run_config(shared: bool) -> SimResult {
     let (trainers, strategy) = if shared {
-        (
-            vec![qwen25(1), qwen25(2)],
-            tensorsocket_strategy(0),
-        )
+        (vec![qwen25(1), qwen25(2)], tensorsocket_strategy(0))
     } else {
         (vec![qwen25(0), qwen25(1)], nonshared_strategy())
     };
@@ -41,7 +38,10 @@ pub fn run() -> ExperimentReport {
         t.row(&[
             "Baseline".to_string(),
             format!("{}", tr.gpu),
-            format!("{:.1}k/s", tr.samples_per_s * QWEN_TOKENS_PER_SAMPLE as f64 / 1e3),
+            format!(
+                "{:.1}k/s",
+                tr.samples_per_s * QWEN_TOKENS_PER_SAMPLE as f64 / 1e3
+            ),
             fmt_rate(ns.pcie_bps[tr.gpu]),
             fmt_rate(ns.nvlink_bps[tr.gpu]),
             fmt_gb(ns.vram_peak[tr.gpu] as f64),
@@ -60,7 +60,10 @@ pub fn run() -> ExperimentReport {
         t.row(&[
             "Shared".to_string(),
             format!("{} (Cons)", tr.gpu),
-            format!("{:.1}k/s", tr.samples_per_s * QWEN_TOKENS_PER_SAMPLE as f64 / 1e3),
+            format!(
+                "{:.1}k/s",
+                tr.samples_per_s * QWEN_TOKENS_PER_SAMPLE as f64 / 1e3
+            ),
             fmt_rate(ts.pcie_bps[tr.gpu]),
             fmt_rate(ts.nvlink_bps[tr.gpu]),
             fmt_gb(ts.vram_peak[tr.gpu] as f64),
@@ -76,8 +79,12 @@ pub fn run() -> ExperimentReport {
         ["Baseline", "1", "7.5k/s", "48 MB/s", "-", "7.3 GB"],
         ["Baseline", "2", "7.4k/s", "48 MB/s", "-", "7.3 GB"],
         ["Shared", "0 (Prod)", "-", "0.3 MB/s", "-", "1.5 GB"],
-        ["Shared", "1 (Cons)", "7.5k/s", "48 MB/s", "152 KB/s", "7.3 GB"],
-        ["Shared", "2 (Cons)", "7.6k/s", "48 MB/s", "153 KB/s", "7.3 GB"],
+        [
+            "Shared", "1 (Cons)", "7.5k/s", "48 MB/s", "152 KB/s", "7.3 GB",
+        ],
+        [
+            "Shared", "2 (Cons)", "7.6k/s", "48 MB/s", "153 KB/s", "7.3 GB",
+        ],
     ] {
         p.row(&row.map(|s| s.to_string()));
     }
@@ -116,7 +123,11 @@ mod tests {
         // producer PCIe well under 1 MB/s (paper: 0.3 MB/s)
         assert!(ts.pcie_bps[0] < 1e6, "{}", ts.pcie_bps[0]);
         // consumer NVLink in the hundreds of KB/s (paper: ~150 KB/s)
-        assert!(ts.nvlink_bps[1] > 50e3 && ts.nvlink_bps[1] < 1e6, "{}", ts.nvlink_bps[1]);
+        assert!(
+            ts.nvlink_bps[1] > 50e3 && ts.nvlink_bps[1] < 1e6,
+            "{}",
+            ts.nvlink_bps[1]
+        );
         // consumers' PCIe dominated by non-dataloading traffic (~48 MB/s)
         assert!((30e6..60e6).contains(&ts.pcie_bps[1]), "{}", ts.pcie_bps[1]);
     }

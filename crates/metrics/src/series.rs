@@ -68,9 +68,7 @@ impl TimeSeries {
     /// Mean of the windowed rate over the whole series (first to last point).
     pub fn overall_rate(&self, scale: f64) -> f64 {
         match (self.points.first(), self.points.last()) {
-            (Some(&(t0, v0)), Some(&(t1, v1))) if t1 > t0 => {
-                (v1 - v0) / (t1 - t0) as f64 * scale
-            }
+            (Some(&(t0, v0)), Some(&(t1, v1))) if t1 > t0 => (v1 - v0) / (t1 - t0) as f64 * scale,
             _ => 0.0,
         }
     }

@@ -95,7 +95,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0, 0.0);
         tw.set(10, 4.0); // 0 for [0,10)
         tw.set(30, 1.0); // 4 for [10,30)
-        // 1 for [30,40)
+                         // 1 for [30,40)
         assert_eq!(tw.integral_until(40), 0.0 * 10.0 + 4.0 * 20.0 + 1.0 * 10.0);
         assert_eq!(tw.mean_until(40), 90.0 / 40.0);
         assert_eq!(tw.peak(), 4.0);

@@ -1,0 +1,114 @@
+//! Property tests of arena slot reuse: arbitrary alloc/attach/release
+//! interleavings never confuse generations — a handle either reads exactly
+//! the bytes written for it or fails `Stale`, never another occupant's
+//! data.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use ts_shm::{ShmArena, ShmError, ShmHandle};
+
+fn temp_arena(nslots: usize, slot_size: usize) -> std::sync::Arc<ShmArena> {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "ts-shm-prop-{}-{}.arena",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    ShmArena::create(path, nslots, slot_size).unwrap()
+}
+
+/// Deterministic, distinctive content for the `k`-th allocation.
+fn content(k: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (k.wrapping_mul(31).wrapping_add(i as u64) % 251) as u8)
+        .collect()
+}
+
+proptest! {
+    /// Model-checked slot reuse. Ops: 0 = alloc, 1 = release a live
+    /// handle, 2 = attach+verify a live handle, 3 = attach a released
+    /// (stale) handle and expect failure.
+    #[test]
+    fn no_generation_confusion(
+        nslots in 1usize..6,
+        ops in prop::collection::vec((0u8..4, 0usize..32, 1usize..48), 1..120)
+    ) {
+        let arena = temp_arena(nslots, 64);
+        let mut live: Vec<(ShmHandle, Vec<u8>)> = Vec::new();
+        let mut released: Vec<ShmHandle> = Vec::new();
+        let mut counter = 0u64;
+        for (op, pick, len) in ops {
+            match op {
+                0 => {
+                    counter += 1;
+                    let bytes = content(counter, len);
+                    match arena.alloc(&bytes) {
+                        Ok(h) => {
+                            prop_assert_eq!(h.len as usize, len);
+                            live.push((h, bytes));
+                        }
+                        Err(ShmError::Full) => {
+                            // Full is only legal when every slot is held.
+                            prop_assert_eq!(live.len(), nslots);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected alloc error {e:?}"),
+                    }
+                }
+                1 if !live.is_empty() => {
+                    let (h, _) = live.remove(pick % live.len());
+                    prop_assert!(arena.release(h), "releasing a live handle frees it");
+                    released.push(h);
+                }
+                2 if !live.is_empty() => {
+                    let (h, expected) = &live[pick % live.len()];
+                    let view = arena.attach(*h).expect("live handle attaches");
+                    prop_assert_eq!(&view[..], &expected[..]);
+                }
+                3 if !released.is_empty() => {
+                    let h = released[pick % released.len()];
+                    // A released handle must never resolve — even after its
+                    // slot was reallocated to different bytes.
+                    prop_assert!(matches!(arena.attach(h), Err(ShmError::Stale { .. })));
+                    prop_assert!(!arena.release(h), "double release is a no-op");
+                }
+                _ => {}
+            }
+            prop_assert_eq!(arena.slots_in_use(), live.len());
+        }
+        // Drain: every slot frees, every stale handle stays dead.
+        for (h, _) in live.drain(..) {
+            arena.release(h);
+        }
+        prop_assert_eq!(arena.slots_in_use(), 0);
+        for h in released {
+            prop_assert!(arena.attach(h).is_err());
+        }
+    }
+
+    /// Attach pins: released-while-attached slots keep their bytes until
+    /// the view drops, then recycle.
+    #[test]
+    fn attach_pins_bytes_across_release(len in 1usize..48, reuse in 1usize..6) {
+        let arena = temp_arena(1, 64); // single slot: maximal reuse pressure
+        let bytes = content(7, len);
+        let h = arena.alloc(&bytes).unwrap();
+        let view = arena.attach(h).unwrap();
+        arena.release(h);
+        // The consumer still pins the only slot: allocation must fail Full,
+        // and the bytes must be intact.
+        prop_assert_eq!(arena.alloc(&[1]).unwrap_err(), ShmError::Full);
+        prop_assert_eq!(&view[..], &bytes[..]);
+        drop(view);
+        // Now the slot recycles as many times as we like.
+        for k in 0..reuse {
+            let fresh = content(100 + k as u64, len);
+            let h2 = arena.alloc(&fresh).unwrap();
+            prop_assert!(matches!(arena.attach(h), Err(ShmError::Stale { .. })));
+            let v2 = arena.attach(h2).unwrap();
+            prop_assert_eq!(&v2[..], &fresh[..]);
+            drop(v2);
+            arena.release(h2);
+        }
+        prop_assert_eq!(arena.slots_in_use(), 0);
+    }
+}

@@ -615,16 +615,30 @@ impl World {
         let bytes = self.cfg.loader.disk_bytes_per_sample * loader.batch_size as u64;
         self.disk_bytes += bytes;
         let read_s = bytes as f64 / self.cfg.cluster.disk_read_bps;
-        self.disk
-            .add(now, read_s, 1.0, DiskTag::WorkerRead { loader: l, worker: w });
+        self.disk.add(
+            now,
+            read_s,
+            1.0,
+            DiskTag::WorkerRead {
+                loader: l,
+                worker: w,
+            },
+        );
     }
 
     fn on_worker_read_done(&mut self, l: usize, w: usize) {
         let now = self.sched.now();
         let loader = &self.loaders[l];
         let work_s = loader.cpu_ms_per_sample * loader.batch_size as f64 / 1e3;
-        self.cpu
-            .add(now, work_s, 1.0, CpuTag::WorkerPre { loader: l, worker: w });
+        self.cpu.add(
+            now,
+            work_s,
+            1.0,
+            CpuTag::WorkerPre {
+                loader: l,
+                worker: w,
+            },
+        );
     }
 
     fn on_worker_pre_done(&mut self, l: usize, w: usize) {
@@ -750,8 +764,7 @@ impl World {
         let hub = self.hub.as_mut().expect("publish requires a hub");
         let seq = hub.window.published();
         hub.published += 1;
-        hub.acks
-            .published(seq, (0..n as u64).collect::<Vec<_>>());
+        hub.acks.published(seq, (0..n as u64).collect::<Vec<_>>());
         match &strategy {
             Strategy::TensorSocket {
                 producer_gpu,
@@ -763,8 +776,7 @@ impl World {
                 self.pcie_bytes[producer_gpu] += h2d;
                 self.alloc_vram(producer_gpu, h2d);
                 // ...fan out over NVLink to each distinct consumer GPU.
-                let consumer_gpus: Vec<usize> =
-                    self.cfg.trainers.iter().map(|t| t.gpu).collect();
+                let consumer_gpus: Vec<usize> = self.cfg.trainers.iter().map(|t| t.gpu).collect();
                 let mut seen = vec![false; self.cfg.cluster.gpus.len()];
                 for g in consumer_gpus {
                     if g != producer_gpu && !seen[g] {
@@ -942,11 +954,7 @@ impl World {
         if self.hub.is_some() {
             self.producer_try();
         }
-        if self
-            .trainers
-            .iter()
-            .all(|x| x.state == TrainerState::Done)
-        {
+        if self.trainers.iter().all(|x| x.state == TrainerState::Done) {
             self.end_time = Some(self.sched.now());
         }
     }
@@ -1267,7 +1275,11 @@ mod tests {
         quick(&mut cfg);
         let r = run(cfg);
         for t in &r.trainers {
-            assert!((t.samples_per_s - 500.0).abs() < 40.0, "{}", t.samples_per_s);
+            assert!(
+                (t.samples_per_s - 500.0).abs() < 40.0,
+                "{}",
+                t.samples_per_s
+            );
         }
         assert!(r.gpu_util[0] > 0.95);
     }
@@ -1456,7 +1468,13 @@ mod tests {
     fn vram_accounting_flags_oversubscription() {
         let mut spec = WorkloadSpec::new("big", 0, 64, 1.0);
         spec.model_vram = 39_000_000_000;
-        let trainers = vec![spec.clone(), WorkloadSpec { name: "big2".into(), ..spec }];
+        let trainers = vec![
+            spec.clone(),
+            WorkloadSpec {
+                name: "big2".into(),
+                ..spec
+            },
+        ];
         let mut cfg = SimConfig::new(
             cluster(8.0, 1, 1.0),
             loader(1.0, 8),
@@ -1550,12 +1568,7 @@ mod latency_tests {
         let run_with = |jitter: f64| {
             let mut spec = WorkloadSpec::new("m", 0, 64, 1.0);
             spec.gpu_jitter_frac = jitter;
-            let mut cfg = SimConfig::new(
-                one_gpu_cluster(),
-                loader(),
-                vec![spec],
-                ts_with(4, 0.0),
-            );
+            let mut cfg = SimConfig::new(one_gpu_cluster(), loader(), vec![spec], ts_with(4, 0.0));
             cfg.samples_per_trainer = 64 * 1000;
             run(cfg).mean_samples_per_s()
         };
@@ -1570,12 +1583,7 @@ mod latency_tests {
         let run_once = || {
             let mut spec = WorkloadSpec::new("m", 0, 32, 1.0);
             spec.gpu_jitter_frac = 0.5;
-            let mut cfg = SimConfig::new(
-                one_gpu_cluster(),
-                loader(),
-                vec![spec],
-                ts_with(2, 1.0),
-            );
+            let mut cfg = SimConfig::new(one_gpu_cluster(), loader(), vec![spec], ts_with(2, 1.0));
             cfg.samples_per_trainer = 32 * 100;
             run(cfg)
         };

@@ -9,6 +9,10 @@ pub enum SendError {
     Disconnected,
     /// A non-blocking send found the peer queue full.
     Full,
+    /// The endpoint URI is malformed (bad scheme syntax, missing port...).
+    InvalidEndpoint(String),
+    /// An OS-level socket error on an `ipc://`/`tcp://` endpoint.
+    Io(String),
 }
 
 impl std::fmt::Display for SendError {
@@ -17,6 +21,8 @@ impl std::fmt::Display for SendError {
             SendError::AddrInUse(ep) => write!(f, "endpoint already bound: {ep}"),
             SendError::Disconnected => write!(f, "peer disconnected"),
             SendError::Full => write!(f, "peer queue full"),
+            SendError::InvalidEndpoint(ep) => write!(f, "invalid endpoint: {ep}"),
+            SendError::Io(e) => write!(f, "socket io: {e}"),
         }
     }
 }

@@ -20,7 +20,9 @@ impl Multipart {
 
     /// A message with one frame.
     pub fn single(frame: Bytes) -> Self {
-        Self { frames: vec![frame] }
+        Self {
+            frames: vec![frame],
+        }
     }
 
     /// A message from multiple frames.

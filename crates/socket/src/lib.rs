@@ -1,11 +1,10 @@
 #![warn(missing_docs)]
 
-//! ZeroMQ-style in-process messaging for the TensorSocket reproduction.
+//! ZeroMQ-style messaging for the TensorSocket reproduction.
 //!
 //! The paper uses ZeroMQ sockets (§3.2.3): a PUB/SUB pair multicasts batch
 //! payloads from the producer to all consumers, and separate channels carry
-//! acknowledgements and heartbeats back. The evaluation is single-node, so
-//! ZeroMQ there is an in-memory transport; this crate reproduces the subset
+//! acknowledgements and heartbeats back. This crate reproduces the subset
 //! TensorSocket relies on:
 //!
 //! * [`PubSocket`]/[`SubSocket`] — one-to-many multicast with per-subscriber
@@ -16,21 +15,43 @@
 //!   heartbeats and join requests;
 //! * [`Multipart`] — multi-frame messages (`topic` + payload frames).
 //!
-//! Endpoints are named (`"inproc://data"`); bind/connect order does not
-//! matter. Sockets unregister on drop, and peers observe disconnection as
-//! pruned deliveries rather than errors, like ZeroMQ.
+//! ## Endpoint URIs
+//!
+//! The endpoint scheme picks the transport; the socket API is identical
+//! across all three:
+//!
+//! * `inproc://name` — the in-process broker ([`endpoint`]): crossbeam
+//!   queues inside one [`Context`], zero syscalls. What the paper's
+//!   single-node evaluation effectively measures.
+//! * `ipc:///path/to.sock` — Unix domain sockets, for *collocated
+//!   processes* (the paper's deployment model: independent training
+//!   processes on one machine share one loader).
+//! * `tcp://host:port` — TCP, for crossing machines. `tcp://127.0.0.1:0`
+//!   binds an ephemeral port; read it back from
+//!   [`PubSocket::endpoint`]/[`PullSocket::endpoint`].
+//!
+//! Remote messages use the length-prefixed multipart framing of [`wire`];
+//! background reader/writer threads bridge each connection onto the same
+//! bounded queues the broker uses ([`transport`]), so HWM backpressure,
+//! prefix filtering and disconnect-as-[`RecvError::Closed`] behave the
+//! same everywhere. Bind/connect order does not matter on any transport.
+//! Sockets unregister on drop, and peers observe disconnection as pruned
+//! deliveries rather than errors, like ZeroMQ.
 
 pub mod endpoint;
 pub mod error;
 pub mod frame;
 pub mod pubsub;
 pub mod pushpull;
+pub mod transport;
+pub mod wire;
 
 pub use endpoint::Context;
 pub use error::{RecvError, SendError};
 pub use frame::Multipart;
 pub use pubsub::{PubSocket, SendPolicy, SubSocket};
 pub use pushpull::{PullSocket, PushSocket};
+pub use transport::EndpointAddr;
 
 #[cfg(test)]
 mod tests {
@@ -49,13 +70,17 @@ mod tests {
         let push = PushSocket::connect(&ctx, "inproc://acks");
 
         publisher
-            .send(b"batch/0", Multipart::single(Bytes::from_static(b"payload")))
+            .send(
+                b"batch/0",
+                Multipart::single(Bytes::from_static(b"payload")),
+            )
             .unwrap();
         let (topic, msg) = sub.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(&topic[..], b"batch/0");
         assert_eq!(&msg.frames()[0][..], b"payload");
 
-        push.send(Multipart::single(Bytes::from_static(b"ack"))).unwrap();
+        push.send(Multipart::single(Bytes::from_static(b"ack")))
+            .unwrap();
         let ack = pull.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(&ack.frames()[0][..], b"ack");
     }

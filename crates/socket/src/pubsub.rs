@@ -1,8 +1,14 @@
 //! PUB/SUB: one-to-many multicast with per-subscriber bounded queues.
+//!
+//! The endpoint URI picks the transport: `inproc://` stays on the
+//! in-process broker; `ipc://` and `tcp://` run over real sockets with the
+//! same semantics (see [`crate::transport`]).
 
 use crate::endpoint::{Context, Endpoint, PubSubEndpoint, SubEntry};
 use crate::error::{RecvError, SendError};
 use crate::frame::Multipart;
+use crate::transport::pubsub::{StreamPub, StreamSub};
+use crate::transport::EndpointAddr;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, TryRecvError, TrySendError};
 use std::sync::Arc;
@@ -18,76 +24,16 @@ pub enum SendPolicy {
     DropNewest,
 }
 
-/// The publishing side of a PUB/SUB endpoint. One binder per endpoint.
-pub struct PubSocket {
+/// Broker-backed publisher state; removing the endpoint on drop closes all
+/// subscriber queues.
+struct BrokerPub {
     ctx: Context,
     name: String,
     policy: SendPolicy,
 }
 
-impl std::fmt::Debug for PubSocket {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PubSocket")
-            .field("endpoint", &self.name)
-            .field("policy", &self.policy)
-            .finish()
-    }
-}
-
-impl PubSocket {
-    /// Binds a publisher with the [`SendPolicy::Block`] policy and the
-    /// context's default high-water mark.
-    pub fn bind(ctx: &Context, name: &str) -> Result<Self, SendError> {
-        Self::bind_with(ctx, name, SendPolicy::Block, None)
-    }
-
-    /// Binds a publisher with an explicit policy and per-subscriber queue
-    /// capacity.
-    pub fn bind_with(
-        ctx: &Context,
-        name: &str,
-        policy: SendPolicy,
-        hwm: Option<usize>,
-    ) -> Result<Self, SendError> {
-        let mut eps = ctx.broker.endpoints.lock();
-        let hwm = hwm.unwrap_or(ctx.broker.default_hwm).max(1);
-        match eps.get_mut(name) {
-            None => {
-                eps.insert(
-                    name.to_string(),
-                    Endpoint::PubSub(PubSubEndpoint {
-                        bound: true,
-                        hwm,
-                        next_sub_id: 0,
-                        subs: Vec::new(),
-                    }),
-                );
-            }
-            Some(Endpoint::PubSub(ps)) => {
-                if ps.bound {
-                    return Err(SendError::AddrInUse(name.to_string()));
-                }
-                ps.bound = true;
-                ps.hwm = hwm;
-            }
-            Some(Endpoint::PushPull(_)) => {
-                return Err(SendError::AddrInUse(name.to_string()));
-            }
-        }
-        Ok(Self {
-            ctx: ctx.clone(),
-            name: name.to_string(),
-            policy,
-        })
-    }
-
-    /// Publishes a message under `topic`, returning the number of
-    /// subscribers it was delivered to.
-    ///
-    /// Subscribers whose receiving half is gone are pruned. With
-    /// [`SendPolicy::DropNewest`], subscribers with full queues miss the
-    /// message (not an error).
-    pub fn send(&self, topic: &[u8], msg: Multipart) -> Result<usize, SendError> {
+impl BrokerPub {
+    fn send(&self, topic: &[u8], msg: Multipart) -> Result<usize, SendError> {
         // Snapshot the subscriber list so the broker lock is not held while
         // (potentially) blocking on a full queue.
         let subs: Vec<Arc<SubEntry>> = {
@@ -126,22 +72,16 @@ impl PubSocket {
         Ok(delivered)
     }
 
-    /// Number of currently connected subscribers.
-    pub fn subscriber_count(&self) -> usize {
+    fn subscriber_count(&self) -> usize {
         let eps = self.ctx.broker.endpoints.lock();
         match eps.get(&self.name) {
             Some(Endpoint::PubSub(ps)) => ps.subs.len(),
             _ => 0,
         }
     }
-
-    /// The endpoint name.
-    pub fn endpoint(&self) -> &str {
-        &self.name
-    }
 }
 
-impl Drop for PubSocket {
+impl Drop for BrokerPub {
     fn drop(&mut self) {
         // Removing the endpoint drops all subscriber senders: subscribers
         // drain whatever is queued and then observe `Closed`.
@@ -149,8 +89,114 @@ impl Drop for PubSocket {
     }
 }
 
-/// The subscribing side of a PUB/SUB endpoint.
-pub struct SubSocket {
+enum PubInner {
+    Broker(BrokerPub),
+    Stream(StreamPub),
+}
+
+/// The publishing side of a PUB/SUB endpoint. One binder per endpoint.
+pub struct PubSocket {
+    inner: PubInner,
+    name: String,
+}
+
+impl std::fmt::Debug for PubSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PubSocket")
+            .field("endpoint", &self.endpoint())
+            .finish()
+    }
+}
+
+impl PubSocket {
+    /// Binds a publisher with the [`SendPolicy::Block`] policy and the
+    /// context's default high-water mark.
+    pub fn bind(ctx: &Context, name: &str) -> Result<Self, SendError> {
+        Self::bind_with(ctx, name, SendPolicy::Block, None)
+    }
+
+    /// Binds a publisher with an explicit policy and per-subscriber queue
+    /// capacity.
+    pub fn bind_with(
+        ctx: &Context,
+        name: &str,
+        policy: SendPolicy,
+        hwm: Option<usize>,
+    ) -> Result<Self, SendError> {
+        let hwm = hwm.unwrap_or(ctx.broker.default_hwm).max(1);
+        let addr = EndpointAddr::parse(name)?;
+        if !addr.is_inproc() {
+            let stream = StreamPub::bind(&addr, name, policy, hwm)?;
+            let name = stream.endpoint().to_string();
+            return Ok(Self {
+                inner: PubInner::Stream(stream),
+                name,
+            });
+        }
+        let mut eps = ctx.broker.endpoints.lock();
+        match eps.get_mut(name) {
+            None => {
+                eps.insert(
+                    name.to_string(),
+                    Endpoint::PubSub(PubSubEndpoint {
+                        bound: true,
+                        hwm,
+                        next_sub_id: 0,
+                        subs: Vec::new(),
+                    }),
+                );
+            }
+            Some(Endpoint::PubSub(ps)) => {
+                if ps.bound {
+                    return Err(SendError::AddrInUse(name.to_string()));
+                }
+                ps.bound = true;
+                ps.hwm = hwm;
+            }
+            Some(Endpoint::PushPull(_)) => {
+                return Err(SendError::AddrInUse(name.to_string()));
+            }
+        }
+        Ok(Self {
+            inner: PubInner::Broker(BrokerPub {
+                ctx: ctx.clone(),
+                name: name.to_string(),
+                policy,
+            }),
+            name: name.to_string(),
+        })
+    }
+
+    /// Publishes a message under `topic`, returning the number of
+    /// subscribers it was delivered to.
+    ///
+    /// Subscribers whose receiving half is gone are pruned. With
+    /// [`SendPolicy::DropNewest`], subscribers with full queues miss the
+    /// message (not an error).
+    pub fn send(&self, topic: &[u8], msg: Multipart) -> Result<usize, SendError> {
+        match &self.inner {
+            PubInner::Broker(b) => b.send(topic, msg),
+            PubInner::Stream(s) => s.send(topic, msg),
+        }
+    }
+
+    /// Number of currently connected subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        match &self.inner {
+            PubInner::Broker(b) => b.subscriber_count(),
+            PubInner::Stream(s) => s.subscriber_count(),
+        }
+    }
+
+    /// The endpoint name. For `tcp://host:0` binds this is the resolved
+    /// address with the real port.
+    pub fn endpoint(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Broker-backed subscriber state.
+struct BrokerSub {
     ctx: Context,
     name: String,
     id: u64,
@@ -158,11 +204,30 @@ pub struct SubSocket {
     rx: Receiver<(Bytes, Multipart)>,
 }
 
+impl Drop for BrokerSub {
+    fn drop(&mut self) {
+        let mut eps = self.ctx.broker.endpoints.lock();
+        if let Some(Endpoint::PubSub(ps)) = eps.get_mut(&self.name) {
+            let id = self.id;
+            ps.subs.retain(|s| s.id != id);
+        }
+    }
+}
+
+enum SubInner {
+    Broker(BrokerSub),
+    Stream(StreamSub),
+}
+
+/// The subscribing side of a PUB/SUB endpoint.
+pub struct SubSocket {
+    inner: SubInner,
+}
+
 impl std::fmt::Debug for SubSocket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SubSocket")
-            .field("endpoint", &self.name)
-            .field("queued", &self.rx.len())
+            .field("queued", &self.queued())
             .finish()
     }
 }
@@ -170,12 +235,21 @@ impl std::fmt::Debug for SubSocket {
 impl SubSocket {
     /// Connects a subscriber. Connecting before the publisher binds is fine;
     /// messages published before connecting are not seen (slow-joiner
-    /// semantics, which is why TensorSocket needs rubberbanding).
+    /// semantics, which is why TensorSocket needs rubberbanding). Remote
+    /// (`ipc://`/`tcp://`) connects retry in the background until the
+    /// publisher appears.
     ///
     /// # Panics
-    /// Panics if the endpoint name is already used by a PUSH/PULL pair —
-    /// that is a wiring bug, not a runtime condition.
+    /// Panics if the endpoint name is malformed, or already used by a
+    /// PUSH/PULL pair — those are wiring bugs, not runtime conditions.
     pub fn connect(ctx: &Context, name: &str) -> Self {
+        let addr =
+            EndpointAddr::parse(name).unwrap_or_else(|e| panic!("invalid endpoint {name}: {e}"));
+        if !addr.is_inproc() {
+            return Self {
+                inner: SubInner::Stream(StreamSub::connect(addr, name, ctx.broker.default_hwm)),
+            };
+        }
         let mut eps = ctx.broker.endpoints.lock();
         let ps = match eps.entry(name.to_string()).or_insert_with(|| {
             Endpoint::PubSub(PubSubEndpoint {
@@ -200,58 +274,79 @@ impl SubSocket {
         }));
         drop(eps);
         Self {
-            ctx: ctx.clone(),
-            name: name.to_string(),
-            id,
-            prefixes,
-            rx,
+            inner: SubInner::Broker(BrokerSub {
+                ctx: ctx.clone(),
+                name: name.to_string(),
+                id,
+                prefixes,
+                rx,
+            }),
         }
     }
 
     /// Subscribes to every topic starting with `prefix`. An empty prefix
     /// subscribes to everything.
+    ///
+    /// On remote transports this blocks (bounded) until the publisher has
+    /// acknowledged the subscription, so a message sent on another
+    /// connection after `subscribe` returns cannot overtake it.
     pub fn subscribe(&self, prefix: &[u8]) {
-        self.prefixes.lock().push(prefix.to_vec());
+        match &self.inner {
+            SubInner::Broker(b) => b.prefixes.lock().push(prefix.to_vec()),
+            SubInner::Stream(s) => s.subscribe(prefix),
+        }
     }
 
     /// Removes a previously added prefix.
     pub fn unsubscribe(&self, prefix: &[u8]) {
-        let mut p = self.prefixes.lock();
-        if let Some(pos) = p.iter().position(|x| x == prefix) {
-            p.remove(pos);
+        match &self.inner {
+            SubInner::Broker(b) => {
+                let mut p = b.prefixes.lock();
+                if let Some(pos) = p.iter().position(|x| x == prefix) {
+                    p.remove(pos);
+                }
+            }
+            SubInner::Stream(s) => s.unsubscribe(prefix),
         }
     }
 
     /// Receives the next matching message, waiting up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<(Bytes, Multipart), RecvError> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(m) => Ok(m),
-            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        match &self.inner {
+            SubInner::Broker(b) => match b.rx.recv_timeout(timeout) {
+                Ok(m) => Ok(m),
+                Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+            },
+            SubInner::Stream(s) => s.recv_timeout(timeout),
         }
     }
 
     /// Non-blocking receive; `Ok(None)` when no message is queued.
     pub fn try_recv(&self) -> Result<Option<(Bytes, Multipart)>, RecvError> {
-        match self.rx.try_recv() {
-            Ok(m) => Ok(Some(m)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(RecvError::Closed),
+        match &self.inner {
+            SubInner::Broker(b) => match b.rx.try_recv() {
+                Ok(m) => Ok(Some(m)),
+                Err(TryRecvError::Empty) => Ok(None),
+                Err(TryRecvError::Disconnected) => Err(RecvError::Closed),
+            },
+            SubInner::Stream(s) => s.try_recv(),
         }
     }
 
     /// Messages currently queued for this subscriber.
     pub fn queued(&self) -> usize {
-        self.rx.len()
+        match &self.inner {
+            SubInner::Broker(b) => b.rx.len(),
+            SubInner::Stream(s) => s.queued(),
+        }
     }
-}
 
-impl Drop for SubSocket {
-    fn drop(&mut self) {
-        let mut eps = self.ctx.broker.endpoints.lock();
-        if let Some(Endpoint::PubSub(ps)) = eps.get_mut(&self.name) {
-            let id = self.id;
-            ps.subs.retain(|s| s.id != id);
+    /// The endpoint this subscriber connected to.
+    pub fn endpoint(&self) -> &str {
+        match &self.inner {
+            SubInner::Broker(b) => &b.name,
+            SubInner::Stream(s) => s.endpoint(),
         }
     }
 }
@@ -376,7 +471,10 @@ mod tests {
         assert!(!t.is_finished(), "send should block on the full queue");
         sub.recv_timeout(Duration::from_secs(1)).unwrap();
         let _publisher = t.join().unwrap();
-        assert_eq!(&sub.recv_timeout(Duration::from_secs(1)).unwrap().1.frames()[0][..], b"2");
+        assert_eq!(
+            &sub.recv_timeout(Duration::from_secs(1)).unwrap().1.frames()[0][..],
+            b"2"
+        );
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! PUSH/PULL: many-to-one fan-in, used for ACKs, heartbeats and joins.
+//!
+//! The endpoint URI picks the transport: `inproc://` stays on the
+//! in-process broker; `ipc://` and `tcp://` run over real sockets (see
+//! [`crate::transport`]).
 
 use crate::endpoint::{Context, Endpoint, PushPullEndpoint};
 use crate::error::{RecvError, SendError};
 use crate::frame::Multipart;
+use crate::transport::pushpull::{StreamPull, StreamPush};
+use crate::transport::EndpointAddr;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use std::time::Duration;
 
@@ -26,18 +32,36 @@ fn ensure_endpoint(ctx: &Context, name: &str) -> Result<Sender<Multipart>, SendE
     }
 }
 
-/// The receiving side of a PUSH/PULL endpoint. One binder per endpoint.
-pub struct PullSocket {
+/// Broker-backed puller; removing the endpoint on drop disconnects
+/// pushers.
+struct BrokerPull {
     ctx: Context,
     name: String,
     rx: Receiver<Multipart>,
 }
 
+impl Drop for BrokerPull {
+    fn drop(&mut self) {
+        // Remove the endpoint: connected pushers observe `Disconnected`.
+        self.ctx.broker.endpoints.lock().remove(&self.name);
+    }
+}
+
+enum PullInner {
+    Broker(BrokerPull),
+    Stream(StreamPull),
+}
+
+/// The receiving side of a PUSH/PULL endpoint. One binder per endpoint.
+pub struct PullSocket {
+    inner: PullInner,
+}
+
 impl std::fmt::Debug for PullSocket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PullSocket")
-            .field("endpoint", &self.name)
-            .field("queued", &self.rx.len())
+            .field("endpoint", &self.endpoint())
+            .field("queued", &self.queued())
             .finish()
     }
 }
@@ -46,6 +70,12 @@ impl PullSocket {
     /// Binds the receiver. Pushers may have connected first; anything they
     /// already queued is delivered.
     pub fn bind(ctx: &Context, name: &str) -> Result<Self, SendError> {
+        let addr = EndpointAddr::parse(name)?;
+        if !addr.is_inproc() {
+            return Ok(Self {
+                inner: PullInner::Stream(StreamPull::bind(&addr, name, ctx.broker.default_hwm)?),
+            });
+        }
         ensure_endpoint(ctx, name)?;
         let mut eps = ctx.broker.endpoints.lock();
         match eps.get_mut(name) {
@@ -56,9 +86,11 @@ impl PullSocket {
                 pp.bound = true;
                 let rx = pp.rx.take().expect("checked above");
                 Ok(Self {
-                    ctx: ctx.clone(),
-                    name: name.to_string(),
-                    rx,
+                    inner: PullInner::Broker(BrokerPull {
+                        ctx: ctx.clone(),
+                        name: name.to_string(),
+                        rx,
+                    }),
                 })
             }
             _ => Err(SendError::AddrInUse(name.to_string())),
@@ -67,19 +99,25 @@ impl PullSocket {
 
     /// Receives the next message, waiting up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Multipart, RecvError> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(m) => Ok(m),
-            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        match &self.inner {
+            PullInner::Broker(b) => match b.rx.recv_timeout(timeout) {
+                Ok(m) => Ok(m),
+                Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+            },
+            PullInner::Stream(s) => s.recv_timeout(timeout),
         }
     }
 
     /// Non-blocking receive; `Ok(None)` when nothing is queued.
     pub fn try_recv(&self) -> Result<Option<Multipart>, RecvError> {
-        match self.rx.try_recv() {
-            Ok(m) => Ok(Some(m)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(RecvError::Closed),
+        match &self.inner {
+            PullInner::Broker(b) => match b.rx.try_recv() {
+                Ok(m) => Ok(Some(m)),
+                Err(TryRecvError::Empty) => Ok(None),
+                Err(TryRecvError::Disconnected) => Err(RecvError::Closed),
+            },
+            PullInner::Stream(s) => s.try_recv(),
         }
     }
 
@@ -94,20 +132,30 @@ impl PullSocket {
 
     /// Messages currently queued.
     pub fn queued(&self) -> usize {
-        self.rx.len()
+        match &self.inner {
+            PullInner::Broker(b) => b.rx.len(),
+            PullInner::Stream(s) => s.queued(),
+        }
+    }
+
+    /// The endpoint this socket is bound to. For `tcp://host:0` binds this
+    /// is the resolved address with the real port.
+    pub fn endpoint(&self) -> &str {
+        match &self.inner {
+            PullInner::Broker(b) => &b.name,
+            PullInner::Stream(s) => s.endpoint(),
+        }
     }
 }
 
-impl Drop for PullSocket {
-    fn drop(&mut self) {
-        // Remove the endpoint: connected pushers observe `Disconnected`.
-        self.ctx.broker.endpoints.lock().remove(&self.name);
-    }
+enum PushInner {
+    Broker(Sender<Multipart>),
+    Stream(StreamPush),
 }
 
 /// The sending side of a PUSH/PULL endpoint. Many pushers may connect.
 pub struct PushSocket {
-    tx: Sender<Multipart>,
+    inner: PushInner,
 }
 
 impl std::fmt::Debug for PushSocket {
@@ -118,26 +166,44 @@ impl std::fmt::Debug for PushSocket {
 
 impl PushSocket {
     /// Connects a pusher; creates the endpoint if it does not exist yet.
+    /// Remote (`ipc://`/`tcp://`) connects retry in the background until
+    /// the puller binds; messages queue locally meanwhile.
     ///
     /// # Panics
-    /// Panics if the endpoint name is used by a PUB/SUB pair (wiring bug).
+    /// Panics if the endpoint name is malformed or used by a PUB/SUB pair
+    /// (wiring bug).
     pub fn connect(ctx: &Context, name: &str) -> Self {
+        let addr =
+            EndpointAddr::parse(name).unwrap_or_else(|e| panic!("invalid endpoint {name}: {e}"));
+        if !addr.is_inproc() {
+            return Self {
+                inner: PushInner::Stream(StreamPush::connect(addr, ctx.broker.default_hwm)),
+            };
+        }
         let tx = ensure_endpoint(ctx, name)
             .unwrap_or_else(|_| panic!("endpoint {name} is a PUB/SUB endpoint"));
-        Self { tx }
+        Self {
+            inner: PushInner::Broker(tx),
+        }
     }
 
     /// Sends a message, blocking while the queue is full.
     pub fn send(&self, msg: Multipart) -> Result<(), SendError> {
-        self.tx.send(msg).map_err(|_| SendError::Disconnected)
+        match &self.inner {
+            PushInner::Broker(tx) => tx.send(msg).map_err(|_| SendError::Disconnected),
+            PushInner::Stream(s) => s.send(msg),
+        }
     }
 
     /// Non-blocking send.
     pub fn try_send(&self, msg: Multipart) -> Result<(), SendError> {
-        match self.tx.try_send(msg) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(SendError::Full),
-            Err(TrySendError::Disconnected(_)) => Err(SendError::Disconnected),
+        match &self.inner {
+            PushInner::Broker(tx) => match tx.try_send(msg) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(SendError::Full),
+                Err(TrySendError::Disconnected(_)) => Err(SendError::Disconnected),
+            },
+            PushInner::Stream(s) => s.try_send(msg),
         }
     }
 }

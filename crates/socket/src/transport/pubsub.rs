@@ -1,0 +1,523 @@
+//! PUB/SUB over `ipc://`/`tcp://` streams.
+//!
+//! The publisher accepts connections; each connected subscriber gets a
+//! bounded queue (the socket HWM) drained by a dedicated writer thread,
+//! and a reader thread that processes `SUB`/`UNSUB` control messages.
+//! Prefix filtering happens publisher-side, so only matching topics cross
+//! the wire. Subscribes are acknowledged (`SUBACK`) so a subscriber can
+//! order a subscription strictly before its next control-plane message.
+
+use crate::error::{RecvError, SendError};
+use crate::frame::Multipart;
+use crate::pubsub::SendPolicy;
+use crate::transport::{AnyListener, AnyStream, EndpointAddr, CONNECT_RETRY_FOR, POLL_EVERY};
+use crate::wire;
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use std::io::BufReader;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a blocking subscribe waits for its `SUBACK`.
+const SUBSCRIBE_ACK_TIMEOUT: Duration = Duration::from_secs(10);
+
+enum PeerItem {
+    Data(Bytes, Multipart),
+    SubAck(u64),
+}
+
+struct Peer {
+    id: u64,
+    alive: AtomicBool,
+    prefixes: Mutex<Vec<Vec<u8>>>,
+    tx: Sender<PeerItem>,
+    stream: AnyStream,
+    /// Messages accepted into the queue / flushed to the socket. Drop
+    /// uses the pair to linger until queued messages reach the wire.
+    queued: AtomicU64,
+    written: AtomicU64,
+}
+
+impl Peer {
+    fn matches(&self, topic: &[u8]) -> bool {
+        self.prefixes
+            .lock()
+            .expect("peer prefixes")
+            .iter()
+            .any(|p| topic.starts_with(p.as_slice()))
+    }
+
+    fn retire(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+        self.stream.shutdown();
+    }
+}
+
+struct PubShared {
+    stop: AtomicBool,
+    hwm: usize,
+    peers: Mutex<Vec<Arc<Peer>>>,
+    next_id: AtomicU64,
+}
+
+/// The stream-transport publishing side.
+pub(crate) struct StreamPub {
+    shared: Arc<PubShared>,
+    policy: SendPolicy,
+    endpoint: String,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StreamPub {
+    pub(crate) fn bind(
+        addr: &EndpointAddr,
+        endpoint: &str,
+        policy: SendPolicy,
+        hwm: usize,
+    ) -> Result<StreamPub, SendError> {
+        let listener = AnyListener::bind(addr)?;
+        let endpoint = listener
+            .local_endpoint()
+            .unwrap_or_else(|| endpoint.to_string());
+        let shared = Arc::new(PubShared {
+            stop: AtomicBool::new(false),
+            hwm,
+            peers: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("ts-pub-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| SendError::Io(format!("spawn accept: {e}")))?;
+        Ok(StreamPub {
+            shared,
+            policy,
+            endpoint,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub(crate) fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    pub(crate) fn subscriber_count(&self) -> usize {
+        self.shared
+            .peers
+            .lock()
+            .expect("peers")
+            .iter()
+            .filter(|p| p.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    pub(crate) fn send(&self, topic: &[u8], msg: Multipart) -> Result<usize, SendError> {
+        let peers: Vec<Arc<Peer>> = self.shared.peers.lock().expect("peers").clone();
+        let topic_bytes = Bytes::copy_from_slice(topic);
+        let mut delivered = 0usize;
+        let mut dead = Vec::new();
+        for peer in &peers {
+            if !peer.alive.load(Ordering::SeqCst) {
+                dead.push(peer.id);
+                continue;
+            }
+            if !peer.matches(topic) {
+                continue;
+            }
+            let item = PeerItem::Data(topic_bytes.clone(), msg.clone());
+            match self.policy {
+                SendPolicy::Block => match peer.tx.send(item) {
+                    Ok(()) => {
+                        peer.queued.fetch_add(1, Ordering::SeqCst);
+                        delivered += 1;
+                    }
+                    Err(_) => dead.push(peer.id),
+                },
+                SendPolicy::DropNewest => match peer.tx.try_send(item) {
+                    Ok(()) => {
+                        peer.queued.fetch_add(1, Ordering::SeqCst);
+                        delivered += 1;
+                    }
+                    Err(TrySendError::Full(_)) => {}
+                    Err(TrySendError::Disconnected(_)) => dead.push(peer.id),
+                },
+            }
+        }
+        if !dead.is_empty() {
+            let mut peers = self.shared.peers.lock().expect("peers");
+            peers.retain(|p| {
+                if dead.contains(&p.id) {
+                    p.retire();
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        Ok(delivered)
+    }
+}
+
+impl Drop for StreamPub {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Linger: let each peer's writer flush what is already queued (a
+        // just-published `End`, say) before tearing the connection down —
+        // the broker transport equally delivers queued messages to
+        // subscribers after the publisher drops.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let unflushed = {
+                let peers = self.shared.peers.lock().expect("peers");
+                peers.iter().any(|p| {
+                    p.alive.load(Ordering::SeqCst)
+                        && p.written.load(Ordering::SeqCst) < p.queued.load(Ordering::SeqCst)
+                })
+            };
+            if !unflushed || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for peer in self.shared.peers.lock().expect("peers").drain(..) {
+            peer.retire();
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: AnyListener, shared: Arc<PubShared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(Some(stream)) => {
+                if let Err(e) = add_peer(&shared, stream) {
+                    // Peer setup failed (fd exhaustion, ...): drop the
+                    // connection, keep accepting.
+                    let _ = e;
+                }
+            }
+            Ok(None) => std::thread::sleep(POLL_EVERY),
+            Err(_) => break,
+        }
+    }
+}
+
+fn add_peer(shared: &Arc<PubShared>, stream: AnyStream) -> std::io::Result<()> {
+    let write_half = stream.try_clone()?;
+    let read_half = stream.try_clone()?;
+    let (tx, rx) = channel::bounded::<PeerItem>(shared.hwm);
+    let peer = Arc::new(Peer {
+        id: shared.next_id.fetch_add(1, Ordering::SeqCst),
+        alive: AtomicBool::new(true),
+        prefixes: Mutex::new(Vec::new()),
+        tx,
+        stream,
+        queued: AtomicU64::new(0),
+        written: AtomicU64::new(0),
+    });
+    shared.peers.lock().expect("peers").push(peer.clone());
+
+    let writer_peer = peer.clone();
+    std::thread::Builder::new()
+        .name("ts-pub-writer".into())
+        .spawn(move || peer_writer(write_half, rx, writer_peer))?;
+
+    let reader_shared = shared.clone();
+    std::thread::Builder::new()
+        .name("ts-pub-reader".into())
+        .spawn(move || peer_reader(read_half, peer, reader_shared))?;
+    Ok(())
+}
+
+fn peer_writer(mut stream: AnyStream, rx: Receiver<PeerItem>, peer: Arc<Peer>) {
+    loop {
+        let item = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => {
+                if peer.alive.load(Ordering::SeqCst) {
+                    continue;
+                }
+                break;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let result = match item {
+            PeerItem::Data(topic, msg) => wire::write_topic_data(&mut stream, &topic, &msg),
+            PeerItem::SubAck(req) => {
+                wire::write_message(&mut stream, wire::KIND_SUBACK, &[&req.to_le_bytes()])
+            }
+        };
+        if result.is_err() {
+            break;
+        }
+        peer.written.fetch_add(1, Ordering::SeqCst);
+    }
+    peer.retire();
+}
+
+fn peer_reader(read_half: AnyStream, peer: Arc<Peer>, shared: Arc<PubShared>) {
+    let mut reader = BufReader::new(read_half);
+    while peer.alive.load(Ordering::SeqCst) && !shared.stop.load(Ordering::SeqCst) {
+        let msg = match wire::read_message(&mut reader) {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        match msg.kind {
+            wire::KIND_SUB if msg.frames.len() == 2 && msg.frames[1].len() == 8 => {
+                let req = u64::from_le_bytes(msg.frames[1][..].try_into().expect("8 bytes"));
+                peer.prefixes
+                    .lock()
+                    .expect("peer prefixes")
+                    .push(msg.frames[0].to_vec());
+                // Ack once the prefix is visible to `send`.
+                if peer.tx.send(PeerItem::SubAck(req)).is_err() {
+                    break;
+                }
+                peer.queued.fetch_add(1, Ordering::SeqCst);
+            }
+            wire::KIND_UNSUB if msg.frames.len() == 1 => {
+                let mut prefixes = peer.prefixes.lock().expect("peer prefixes");
+                if let Some(pos) = prefixes.iter().position(|p| p[..] == msg.frames[0][..]) {
+                    prefixes.remove(pos);
+                }
+            }
+            _ => {} // unknown control: ignore, stay compatible forward
+        }
+    }
+    peer.retire();
+    shared
+        .peers
+        .lock()
+        .expect("peers")
+        .retain(|p| p.id != peer.id);
+}
+
+// ---------------------------------------------------------------------------
+// subscriber side
+// ---------------------------------------------------------------------------
+
+struct SubState {
+    /// Write half once connected.
+    writer: Option<AnyStream>,
+    /// Locally recorded prefixes (flushed on connect).
+    prefixes: Vec<Vec<u8>>,
+    /// Highest `SUBACK` request id seen.
+    acked: u64,
+    /// Highest request id of the connector's connect-time prefix flush;
+    /// a subscribe that recorded its prefix pre-connection waits for this
+    /// instead of re-sending (re-sending would register a duplicate).
+    flushed_req: u64,
+    /// True after the connector gave up (never connected).
+    failed: bool,
+}
+
+struct SubShared {
+    stop: AtomicBool,
+    state: Mutex<SubState>,
+    cond: Condvar,
+    next_req: AtomicU64,
+}
+
+/// The stream-transport subscribing side.
+pub(crate) struct StreamSub {
+    shared: Arc<SubShared>,
+    rx: Receiver<(Bytes, Multipart)>,
+    endpoint: String,
+}
+
+impl StreamSub {
+    pub(crate) fn connect(addr: EndpointAddr, endpoint: &str, hwm: usize) -> StreamSub {
+        let (tx, rx) = channel::bounded(hwm);
+        let shared = Arc::new(SubShared {
+            stop: AtomicBool::new(false),
+            state: Mutex::new(SubState {
+                writer: None,
+                prefixes: Vec::new(),
+                acked: 0,
+                flushed_req: 0,
+                failed: false,
+            }),
+            cond: Condvar::new(),
+            next_req: AtomicU64::new(1),
+        });
+        let conn_shared = shared.clone();
+        std::thread::Builder::new()
+            .name("ts-sub-conn".into())
+            .spawn(move || sub_connection(addr, conn_shared, tx))
+            .expect("spawn subscriber connector");
+        StreamSub {
+            shared,
+            rx,
+            endpoint: endpoint.to_string(),
+        }
+    }
+
+    pub(crate) fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Registers a prefix. Blocks (bounded) until the publisher has
+    /// acknowledged it, so anything sent on another connection *after*
+    /// this returns cannot race ahead of the subscription.
+    pub(crate) fn subscribe(&self, prefix: &[u8]) {
+        let deadline = Instant::now() + SUBSCRIBE_ACK_TIMEOUT;
+        let mut state = self.shared.state.lock().expect("sub state");
+        state.prefixes.push(prefix.to_vec());
+        // Whether the connector will register this prefix for us in its
+        // connect-time flush (it flushes everything recorded while the
+        // connection did not exist yet).
+        let flushed_by_connector = state.writer.is_none();
+        // Wait for the connection (the connector flushes recorded
+        // prefixes itself on connect, which covers us if we time out
+        // here).
+        while state.writer.is_none() && !state.failed {
+            let now = Instant::now();
+            if now >= deadline || self.shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let (guard, _) = self
+                .shared
+                .cond
+                .wait_timeout(state, deadline - now)
+                .expect("sub state");
+            state = guard;
+        }
+        if state.failed {
+            return;
+        }
+        let req = if flushed_by_connector {
+            // The connector already sent our prefix; just await its ack.
+            state.flushed_req
+        } else {
+            let req = self.shared.next_req.fetch_add(1, Ordering::SeqCst);
+            let writer = state.writer.as_mut().expect("connected");
+            if wire::write_message(writer, wire::KIND_SUB, &[prefix, &req.to_le_bytes()]).is_err() {
+                return;
+            }
+            req
+        };
+        while state.acked < req {
+            let now = Instant::now();
+            if now >= deadline || self.shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let (guard, _) = self
+                .shared
+                .cond
+                .wait_timeout(state, deadline - now)
+                .expect("sub state");
+            state = guard;
+        }
+    }
+
+    pub(crate) fn unsubscribe(&self, prefix: &[u8]) {
+        let mut state = self.shared.state.lock().expect("sub state");
+        if let Some(pos) = state.prefixes.iter().position(|p| p == prefix) {
+            state.prefixes.remove(pos);
+        }
+        if let Some(writer) = state.writer.as_mut() {
+            let _ = wire::write_message(writer, wire::KIND_UNSUB, &[prefix]);
+        }
+    }
+
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Result<(Bytes, Multipart), RecvError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    pub(crate) fn try_recv(&self) -> Result<Option<(Bytes, Multipart)>, RecvError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    pub(crate) fn queued(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for StreamSub {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let mut state = self.shared.state.lock().expect("sub state");
+        if let Some(writer) = state.writer.take() {
+            writer.shutdown();
+        }
+        self.shared.cond.notify_all();
+    }
+}
+
+fn sub_connection(addr: EndpointAddr, shared: Arc<SubShared>, tx: Sender<(Bytes, Multipart)>) {
+    let give_up = {
+        let shared = shared.clone();
+        move || shared.stop.load(Ordering::SeqCst)
+    };
+    let stream = match AnyStream::connect_retry(&addr, CONNECT_RETRY_FOR, give_up) {
+        Ok(s) => s,
+        Err(_) => {
+            let mut state = shared.state.lock().expect("sub state");
+            state.failed = true;
+            shared.cond.notify_all();
+            return; // tx drops: receiver observes Closed
+        }
+    };
+    let read_half = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    // Flush prefixes recorded before the connection existed, then expose
+    // the writer.
+    {
+        let mut state = shared.state.lock().expect("sub state");
+        let mut writer = stream;
+        let mut last_req = 0;
+        for prefix in state.prefixes.clone() {
+            let req = shared.next_req.fetch_add(1, Ordering::SeqCst);
+            let _ =
+                wire::write_message(&mut writer, wire::KIND_SUB, &[&prefix, &req.to_le_bytes()]);
+            last_req = req;
+        }
+        state.flushed_req = last_req;
+        state.writer = Some(writer);
+        shared.cond.notify_all();
+    }
+    let mut reader = BufReader::new(read_half);
+    while !shared.stop.load(Ordering::SeqCst) {
+        let msg = match wire::read_message(&mut reader) {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        match msg.kind {
+            wire::KIND_DATA => {
+                if let Some((topic, payload)) = msg.into_topic_and_payload() {
+                    if tx.send((topic, payload)).is_err() {
+                        break; // subscriber dropped
+                    }
+                }
+            }
+            wire::KIND_SUBACK if msg.frames.len() == 1 && msg.frames[0].len() == 8 => {
+                let req = u64::from_le_bytes(msg.frames[0][..].try_into().expect("8 bytes"));
+                let mut state = shared.state.lock().expect("sub state");
+                state.acked = state.acked.max(req);
+                shared.cond.notify_all();
+            }
+            _ => {}
+        }
+    }
+    // Reader gone: future subscribe calls must not wait forever.
+    let mut state = shared.state.lock().expect("sub state");
+    state.failed = true;
+    if let Some(writer) = state.writer.take() {
+        writer.shutdown();
+    }
+    shared.cond.notify_all();
+}

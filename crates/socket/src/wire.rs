@@ -1,0 +1,207 @@
+//! Length-prefixed multipart wire framing for `ipc://` and `tcp://`
+//! endpoints.
+//!
+//! Every message on a stream is
+//!
+//! ```text
+//! [kind: u8] [nframes: u32le] ( [len: u32le] [bytes...] )*
+//! ```
+//!
+//! Frame boundaries are preserved exactly — a [`crate::Multipart`] arrives
+//! with the same frame count it was sent with, like ZeroMQ multipart
+//! messages. The `kind` byte multiplexes data and subscription control on
+//! one connection:
+//!
+//! * [`KIND_DATA`] — a payload message. On PUB/SUB connections frame 0 is
+//!   the topic; on PUSH/PULL connections all frames are payload.
+//! * [`KIND_SUB`] / [`KIND_UNSUB`] — subscriber → publisher prefix
+//!   (un)registration. `SUB` carries `[prefix, req_id: u64le]` and is
+//!   acknowledged.
+//! * [`KIND_SUBACK`] — publisher → subscriber: `[req_id: u64le]`, sent
+//!   once the prefix is registered. `SubSocket::subscribe` blocks on this
+//!   so a subsequent control-plane message (e.g. TensorSocket's `Ready`)
+//!   can never overtake the subscription it depends on.
+
+use crate::frame::Multipart;
+use bytes::Bytes;
+use std::io::{self, Read, Write};
+
+/// Payload message.
+pub const KIND_DATA: u8 = 0;
+/// Subscribe request (prefix + request id).
+pub const KIND_SUB: u8 = 1;
+/// Unsubscribe request (prefix).
+pub const KIND_UNSUB: u8 = 2;
+/// Subscribe acknowledgement (request id).
+pub const KIND_SUBACK: u8 = 3;
+
+/// Upper bound on a single frame; protects a reader from a corrupt or
+/// hostile length prefix. Payloads ride in shared memory, so real frames
+/// are tiny metadata — 256 MiB is beyond generous.
+pub const MAX_FRAME_BYTES: u32 = 256 << 20;
+
+/// Upper bound on frames per message.
+pub const MAX_FRAMES: u32 = 4096;
+
+/// A message as read off a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMessage {
+    /// Message kind ([`KIND_DATA`], [`KIND_SUB`], ...).
+    pub kind: u8,
+    /// The frames, boundaries preserved.
+    pub frames: Vec<Bytes>,
+}
+
+impl WireMessage {
+    /// Interprets a PUB/SUB data message as `(topic, payload frames)`.
+    pub fn into_topic_and_payload(self) -> Option<(Bytes, Multipart)> {
+        if self.kind != KIND_DATA || self.frames.is_empty() {
+            return None;
+        }
+        let mut frames = self.frames;
+        let topic = frames.remove(0);
+        Some((topic, Multipart::from_frames(frames)))
+    }
+
+    /// Interprets a PUSH/PULL data message as payload frames.
+    pub fn into_payload(self) -> Option<Multipart> {
+        if self.kind != KIND_DATA {
+            return None;
+        }
+        Some(Multipart::from_frames(self.frames))
+    }
+}
+
+/// Serializes one message into a single buffer (one `write_all`, so
+/// concurrent writers on a shared stream can't interleave frames).
+pub fn encode_message(kind: u8, frames: &[&[u8]]) -> Vec<u8> {
+    let payload: usize = frames.iter().map(|f| f.len() + 4).sum();
+    let mut out = Vec::with_capacity(5 + payload);
+    out.push(kind);
+    out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+    for f in frames {
+        out.extend_from_slice(&(f.len() as u32).to_le_bytes());
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+/// Writes one message to `w` (flushes).
+pub fn write_message(w: &mut impl Write, kind: u8, frames: &[&[u8]]) -> io::Result<()> {
+    w.write_all(&encode_message(kind, frames))?;
+    w.flush()
+}
+
+/// Writes a PUB/SUB data message: topic frame + payload frames.
+pub fn write_topic_data(w: &mut impl Write, topic: &[u8], msg: &Multipart) -> io::Result<()> {
+    let mut frames: Vec<&[u8]> = Vec::with_capacity(1 + msg.len());
+    frames.push(topic);
+    frames.extend(msg.frames().iter().map(|b| &b[..]));
+    write_message(w, KIND_DATA, &frames)
+}
+
+/// Writes a PUSH/PULL data message: payload frames only.
+pub fn write_data(w: &mut impl Write, msg: &Multipart) -> io::Result<()> {
+    let frames: Vec<&[u8]> = msg.frames().iter().map(|b| &b[..]).collect();
+    write_message(w, KIND_DATA, &frames)
+}
+
+fn read_exact_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Reads one message from `r`. `Err(UnexpectedEof)` on a cleanly closed
+/// peer (between messages) and `Err(InvalidData)` on malformed framing.
+pub fn read_message(r: &mut impl Read) -> io::Result<WireMessage> {
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let nframes = read_exact_u32(r)?;
+    if nframes > MAX_FRAMES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame count {nframes} exceeds limit"),
+        ));
+    }
+    let mut frames = Vec::with_capacity(nframes as usize);
+    for _ in 0..nframes {
+        let len = read_exact_u32(r)?;
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds limit"),
+            ));
+        }
+        let mut buf = vec![0u8; len as usize];
+        r.read_exact(&mut buf)?;
+        frames.push(Bytes::from(buf));
+    }
+    Ok(WireMessage {
+        kind: kind[0],
+        frames,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_frame_boundaries() {
+        let msg = Multipart::from_frames(vec![
+            Bytes::from_static(b"alpha"),
+            Bytes::new(),
+            Bytes::from_static(b"c"),
+        ]);
+        let mut buf = Vec::new();
+        write_topic_data(&mut buf, b"topic/1", &msg).unwrap();
+        let mut cursor: &[u8] = &buf;
+        let wire = read_message(&mut cursor).unwrap();
+        assert_eq!(wire.kind, KIND_DATA);
+        let (topic, got) = wire.into_topic_and_payload().unwrap();
+        assert_eq!(&topic[..], b"topic/1");
+        assert_eq!(got.len(), 3);
+        assert_eq!(&got.frames()[0][..], b"alpha");
+        assert!(got.frames()[1].is_empty());
+        assert_eq!(&got.frames()[2][..], b"c");
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn back_to_back_messages() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, KIND_SUB, &[b"prefix", &7u64.to_le_bytes()]).unwrap();
+        write_data(&mut buf, &Multipart::single(Bytes::from_static(b"x"))).unwrap();
+        let mut cursor: &[u8] = &buf;
+        let first = read_message(&mut cursor).unwrap();
+        assert_eq!(first.kind, KIND_SUB);
+        assert_eq!(&first.frames[0][..], b"prefix");
+        let second = read_message(&mut cursor).unwrap();
+        assert_eq!(second.into_payload().unwrap().byte_len(), 1);
+    }
+
+    #[test]
+    fn truncation_is_eof() {
+        let mut buf = Vec::new();
+        write_data(&mut buf, &Multipart::single(Bytes::from_static(b"hello"))).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(
+            read_message(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_frames_rejected() {
+        let mut buf = vec![KIND_DATA];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(
+            read_message(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

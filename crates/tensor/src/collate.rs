@@ -85,7 +85,9 @@ pub fn cat0(tensors: &[Tensor]) -> Result<Tensor> {
 /// at least the concatenated byte size (excess bytes stay unused).
 pub fn cat0_pooled(tensors: &[Tensor], pool: &MemoryPool, device: DeviceId) -> Result<Tensor> {
     if tensors.is_empty() {
-        return Err(TensorError::Shape("cat0_pooled of zero tensors".to_string()));
+        return Err(TensorError::Shape(
+            "cat0_pooled of zero tensors".to_string(),
+        ));
     }
     check_same_meta(tensors, false)?;
     let first = &tensors[0];

@@ -24,10 +24,7 @@ impl DeviceCtx {
         let mut memory = HashMap::new();
         memory.insert(DeviceId::Cpu, MemoryBook::unbounded());
         for g in 0..topology.gpu_count() {
-            let cap = gpu_vram_bytes
-                .get(g as usize)
-                .copied()
-                .unwrap_or(u64::MAX);
+            let cap = gpu_vram_bytes.get(g as usize).copied().unwrap_or(u64::MAX);
             memory.insert(DeviceId::Gpu(g), MemoryBook::new(cap));
         }
         Self {
@@ -76,15 +73,9 @@ impl DeviceCtx {
     /// and the bytes moved on every hop of the route (NVLink preferred for
     /// GPU↔GPU, PCIe bounce otherwise — §3.2.4).
     pub fn transfer(&self, tensor: &Tensor, device: DeviceId) -> Result<Tensor> {
-        let path = self
-            .topology
-            .path(tensor.device(), device)
-            .ok_or_else(|| {
-                TensorError::Device(format!(
-                    "no path from {} to {device}",
-                    tensor.device()
-                ))
-            })?;
+        let path = self.topology.path(tensor.device(), device).ok_or_else(|| {
+            TensorError::Device(format!("no path from {} to {device}", tensor.device()))
+        })?;
         if matches!(path, TransferPath::Local) {
             return Ok(tensor.clone());
         }

@@ -37,7 +37,11 @@ pub fn saxpy(a: f32, x: &Tensor, y: &Tensor) -> Result<Tensor> {
     if x.dtype() != DType::F32 || y.dtype() != DType::F32 {
         return Err(TensorError::DType {
             expected: DType::F32,
-            got: if x.dtype() != DType::F32 { x.dtype() } else { y.dtype() },
+            got: if x.dtype() != DType::F32 {
+                x.dtype()
+            } else {
+                y.dtype()
+            },
         });
     }
     if x.shape() != y.shape() {

@@ -12,6 +12,7 @@ use crate::shape::contiguous_strides;
 use crate::{DType, Result, SharedRegistry, Tensor, TensorError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ts_device::DeviceId;
+use ts_shm::ShmHandle;
 
 /// A packed description of a tensor view over a shared storage.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,9 @@ pub struct TensorPayload {
     pub strides: Vec<usize>,
     /// Offset into the storage in elements.
     pub offset: usize,
+    /// Shared-memory arena placement of the storage, for consumers in
+    /// other OS processes (`None` for in-process sharing).
+    pub shm: Option<ShmHandle>,
 }
 
 impl TensorPayload {
@@ -41,12 +45,25 @@ impl TensorPayload {
             shape: tensor.shape().to_vec(),
             strides: tensor.strides().to_vec(),
             offset: tensor.offset(),
+            shm: None,
         }
     }
 
-    /// Rebuilds the tensor view by resolving the storage id.
+    /// Packs a tensor, embedding the registry's shared-memory placement of
+    /// its storage (if any) so consumers in *other OS processes* can
+    /// rebuild it from the arena. Falls back to [`TensorPayload::pack`]
+    /// semantics when no arena is bound.
+    pub fn pack_shared(tensor: &Tensor, registry: &SharedRegistry) -> Self {
+        let mut payload = Self::pack(tensor);
+        payload.shm = registry.shm_handle(tensor.storage_id());
+        payload
+    }
+
+    /// Rebuilds the tensor view by resolving the storage id — from the
+    /// local registry table, or zero-copy from the bound shared-memory
+    /// arena when the payload carries a placement from another process.
     pub fn unpack(&self, registry: &SharedRegistry) -> Result<Tensor> {
-        let storage = registry.lookup(self.storage_id)?;
+        let storage = registry.resolve(self.storage_id, self.shm, self.device)?;
         Tensor::from_parts(
             storage,
             self.dtype,
@@ -73,7 +90,7 @@ impl TensorPayload {
 
     /// Encodes the payload into a compact little-endian frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(32 + 16 * self.shape.len());
+        let mut buf = BytesMut::with_capacity(49 + 16 * self.shape.len());
         buf.put_u64_le(self.storage_id);
         match self.device {
             DeviceId::Cpu => buf.put_u8(0xFF),
@@ -85,6 +102,13 @@ impl TensorPayload {
         for (&d, &s) in self.shape.iter().zip(&self.strides) {
             buf.put_u64_le(d as u64);
             buf.put_u64_le(s as u64);
+        }
+        match &self.shm {
+            None => buf.put_u8(0),
+            Some(h) => {
+                buf.put_u8(1);
+                buf.put_slice(&h.encode());
+            }
         }
         buf.freeze()
     }
@@ -112,6 +136,24 @@ impl TensorPayload {
             shape.push(buf.get_u64_le() as usize);
             strides.push(buf.get_u64_le() as usize);
         }
+        // Shared-memory placement (absent in frames from pre-arena
+        // encoders; tolerated for compatibility).
+        let shm = if buf.is_empty() {
+            None
+        } else {
+            match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.len() < ts_shm::HANDLE_BYTES {
+                        return Err(err("truncated shm handle"));
+                    }
+                    let handle = ShmHandle::decode(buf).ok_or_else(|| err("bad shm handle"))?;
+                    buf.advance(ts_shm::HANDLE_BYTES);
+                    handle.into()
+                }
+                _ => return Err(err("bad shm flag")),
+            }
+        };
         Ok(Self {
             storage_id,
             device,
@@ -119,6 +161,7 @@ impl TensorPayload {
             shape,
             strides,
             offset,
+            shm,
         })
     }
 }
@@ -179,7 +222,11 @@ mod tests {
     #[test]
     fn encoded_payload_is_small_and_size_independent() {
         let small = TensorPayload::pack(&Tensor::zeros(&[2, 2], DType::U8, DeviceId::Cpu));
-        let huge = TensorPayload::pack(&Tensor::zeros(&[512, 3, 224, 224], DType::U8, DeviceId::Cpu));
+        let huge = TensorPayload::pack(&Tensor::zeros(
+            &[512, 3, 224, 224],
+            DType::U8,
+            DeviceId::Cpu,
+        ));
         assert_eq!(small.encode().len() + 32, huge.encode().len());
         assert!(huge.encode().len() < 100);
     }
@@ -193,6 +240,42 @@ mod tests {
         assert!(TensorPayload::decode(&bytes).is_err());
         bytes.truncate(bytes.len() - 4); // truncated dims
         assert!(TensorPayload::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn shm_handle_round_trips_on_the_wire() {
+        let t = Tensor::zeros(&[4, 4], DType::U8, DeviceId::Cpu);
+        let mut p = TensorPayload::pack(&t);
+        p.shm = Some(ts_shm::ShmHandle {
+            slot: 3,
+            generation: 17,
+            len: 16,
+        });
+        let decoded = TensorPayload::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+        assert_eq!(decoded.shm.unwrap().generation, 17);
+    }
+
+    #[test]
+    fn pack_shared_embeds_arena_placement() {
+        let arena_path =
+            std::env::temp_dir().join(format!("ts-payload-test-{}.arena", std::process::id()));
+        let arena = ts_shm::ShmArena::create(arena_path, 2, 64).unwrap();
+        let reg = SharedRegistry::new();
+        reg.bind_arena(arena);
+        let t = Tensor::rand_u8(&[2, 4], DeviceId::Cpu, 5);
+        reg.register(t.storage());
+        let p = TensorPayload::pack_shared(&t, &reg);
+        let handle = p.shm.expect("arena placement");
+        assert_eq!(handle.len as usize, t.view_bytes());
+        // A consumer-side registry with no local entry resolves through
+        // the arena, bit-exactly and zero-copy.
+        let consumer = SharedRegistry::new();
+        consumer.bind_arena(reg.arena().unwrap());
+        let decoded = TensorPayload::decode(&p.encode()).unwrap();
+        let rebuilt = decoded.unpack(&consumer).unwrap();
+        assert!(rebuilt.storage().is_shared_memory());
+        assert!(rebuilt.data_eq(&t));
     }
 
     #[test]

@@ -10,19 +10,49 @@
 //! [`crate::TensorError::DanglingPayload`] —
 //! the equivalent of a use-after-free on a real device pointer, surfaced
 //! as an error instead of UB.
+//!
+//! ## Cross-process sharing
+//!
+//! Within one process the table alone suffices. To share across OS
+//! processes, bind a [`ts_shm::ShmArena`] with
+//! [`SharedRegistry::bind_arena`]:
+//!
+//! * the **producer** side then mirrors every registered storage into an
+//!   arena slot and exposes its [`ShmHandle`] via
+//!   [`SharedRegistry::shm_handle`], which
+//!   [`crate::TensorPayload::pack_shared`] embeds in the payload metadata;
+//! * the **consumer** side (a different process that opened the same
+//!   arena file) resolves payloads it has no local storage for by
+//!   attaching the handle's slot — a zero-copy mmap view, wrapped as a
+//!   [`Storage`] ([`SharedRegistry::resolve`]).
+//!
+//! Releases flow through too: [`SharedRegistry::release`] drops the
+//! producer's arena reference, and a consumer's view drops its reference
+//! when the rebuilt tensor goes away, so slots recycle exactly when nobody
+//! reads them.
 
 use crate::storage::Storage;
 use crate::{Result, TensorError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use ts_shm::{ShmArena, ShmHandle};
 
-/// A process-wide table mapping storage ids to live storages.
+#[derive(Debug, Default)]
+struct Inner {
+    storages: HashMap<u64, Arc<Storage>>,
+    /// Producer side: arena placement of registered storages.
+    handles: HashMap<u64, ShmHandle>,
+}
+
+/// A process-wide table mapping storage ids to live storages, optionally
+/// mirrored into a shared-memory arena for cross-process consumers.
 ///
 /// Cloning shares the table.
 #[derive(Debug, Clone, Default)]
 pub struct SharedRegistry {
-    inner: Arc<Mutex<HashMap<u64, Arc<Storage>>>>,
+    inner: Arc<Mutex<Inner>>,
+    arena: Arc<Mutex<Option<Arc<ShmArena>>>>,
 }
 
 impl SharedRegistry {
@@ -31,21 +61,97 @@ impl SharedRegistry {
         Self::default()
     }
 
+    /// Binds a shared-memory arena. On the producer side every subsequent
+    /// [`SharedRegistry::register`] also places the bytes in the arena; on
+    /// the consumer side [`SharedRegistry::resolve`] can attach handles
+    /// from payloads.
+    pub fn bind_arena(&self, arena: Arc<ShmArena>) {
+        *self.arena.lock() = Some(arena);
+    }
+
+    /// The bound arena, if any.
+    pub fn arena(&self) -> Option<Arc<ShmArena>> {
+        self.arena.lock().clone()
+    }
+
     /// Registers a storage, making it resolvable by id. Re-registering the
     /// same storage is a no-op.
+    ///
+    /// With an arena bound, the bytes are also copied into an arena slot so
+    /// consumers in other processes can map them. If the arena is full the
+    /// storage is still registered locally — in-process consumers are
+    /// unaffected and cross-process consumers surface a dangling-payload
+    /// error rather than stalling. (Waiting would be futile: producer-held
+    /// slot references are only released by this same thread processing
+    /// acks, so fullness cannot clear while `register` blocks.)
     pub fn register(&self, storage: &Arc<Storage>) {
-        self.inner
-            .lock()
-            .insert(storage.id(), Arc::clone(storage));
+        let arena = self.arena.lock().clone();
+        {
+            let mut inner = self.inner.lock();
+            if inner.storages.contains_key(&storage.id()) {
+                return;
+            }
+            inner.storages.insert(storage.id(), Arc::clone(storage));
+        }
+        // The arena copy happens outside the table lock so concurrent
+        // lookups/releases never stall behind a large memcpy.
+        let Some(arena) = arena else { return };
+        // Never re-copy a storage that is itself an arena view (a
+        // producer re-sharing a consumer-side tensor).
+        if storage.is_shared_memory() {
+            return;
+        }
+        if let Ok(handle) = arena.alloc(storage.bytes()) {
+            let mut inner = self.inner.lock();
+            if inner.storages.contains_key(&storage.id()) {
+                inner.handles.insert(storage.id(), handle);
+            } else {
+                // Racing release already removed the storage: give the
+                // slot straight back instead of leaking it.
+                drop(inner);
+                arena.release(handle);
+            }
+        }
+    }
+
+    /// The arena placement of a registered storage (producer side, arena
+    /// bound, allocation succeeded).
+    pub fn shm_handle(&self, storage_id: u64) -> Option<ShmHandle> {
+        self.inner.lock().handles.get(&storage_id).copied()
     }
 
     /// Resolves a storage id to the live storage.
     pub fn lookup(&self, storage_id: u64) -> Result<Arc<Storage>> {
         self.inner
             .lock()
+            .storages
             .get(&storage_id)
             .cloned()
             .ok_or(TensorError::DanglingPayload { storage_id })
+    }
+
+    /// Resolves a payload's storage: the local table first (producer
+    /// process, or in-process consumers), then the shared-memory arena via
+    /// the payload's handle (consumers in other processes). The arena path
+    /// returns a fresh zero-copy [`Storage`] holding a slot reference that
+    /// drops with it — deliberately *not* cached in the table, so consumer
+    /// references never outlive the tensors built from them.
+    pub fn resolve(
+        &self,
+        storage_id: u64,
+        shm: Option<ShmHandle>,
+        device: ts_device::DeviceId,
+    ) -> Result<Arc<Storage>> {
+        if let Ok(local) = self.lookup(storage_id) {
+            return Ok(local);
+        }
+        let (Some(handle), Some(arena)) = (shm, self.arena.lock().clone()) else {
+            return Err(TensorError::DanglingPayload { storage_id });
+        };
+        let view = arena
+            .attach(handle)
+            .map_err(|_| TensorError::DanglingPayload { storage_id })?;
+        Ok(Arc::new(Storage::from_shm_view(storage_id, view, device)))
     }
 
     /// Releases a storage id. Returns true when the id was present.
@@ -53,14 +159,22 @@ impl SharedRegistry {
     /// Consumers that already resolved the storage keep their `Arc`; the
     /// bytes are freed only when the last reference drops (the paper's
     /// "tensors are kept in memory as long as any of the producers or
-    /// consumers hold a reference").
+    /// consumers hold a reference"). The arena slot likewise keeps its
+    /// bytes until every cross-process view lets go.
     pub fn release(&self, storage_id: u64) -> bool {
-        self.inner.lock().remove(&storage_id).is_some()
+        let arena = self.arena.lock().clone();
+        let mut inner = self.inner.lock();
+        if let Some(handle) = inner.handles.remove(&storage_id) {
+            if let Some(arena) = arena {
+                arena.release(handle);
+            }
+        }
+        inner.storages.remove(&storage_id).is_some()
     }
 
     /// Number of registered storages.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().storages.len()
     }
 
     /// True when no storages are registered.
@@ -70,7 +184,7 @@ impl SharedRegistry {
 
     /// Total bytes of registered storages (producer-side bookkeeping).
     pub fn registered_bytes(&self) -> usize {
-        self.inner.lock().values().map(|s| s.len()).sum()
+        self.inner.lock().storages.values().map(|s| s.len()).sum()
     }
 }
 
@@ -125,5 +239,62 @@ mod tests {
         let s = Arc::new(Storage::new(vec![1], DeviceId::Cpu));
         reg.register(&s);
         assert!(view.lookup(s.id()).is_ok());
+    }
+
+    fn test_arena(tag: &str, nslots: usize, slot: usize) -> Arc<ShmArena> {
+        let path = std::env::temp_dir().join(format!(
+            "ts-registry-test-{}-{tag}.arena",
+            std::process::id()
+        ));
+        ShmArena::create(path, nslots, slot).unwrap()
+    }
+
+    #[test]
+    fn arena_bound_register_places_bytes() {
+        let reg = SharedRegistry::new();
+        reg.bind_arena(test_arena("place", 4, 64));
+        let s = Arc::new(Storage::new(vec![9u8; 16], DeviceId::Cpu));
+        reg.register(&s);
+        let handle = reg.shm_handle(s.id()).expect("placed in arena");
+        assert_eq!(handle.len, 16);
+        // A "consumer" registry over the same arena resolves it without a
+        // local table entry.
+        let consumer = SharedRegistry::new();
+        consumer.bind_arena(reg.arena().unwrap());
+        let resolved = consumer
+            .resolve(s.id(), Some(handle), DeviceId::Cpu)
+            .unwrap();
+        assert!(resolved.is_shared_memory());
+        assert_eq!(resolved.bytes(), &[9u8; 16]);
+        assert_eq!(resolved.id(), s.id());
+        // Release drops the producer reference; the consumer view still
+        // pins the slot.
+        drop(resolved);
+        reg.release(s.id());
+        assert_eq!(reg.arena().unwrap().slots_in_use(), 0);
+    }
+
+    #[test]
+    fn resolve_without_handle_or_arena_is_dangling() {
+        let reg = SharedRegistry::new();
+        assert!(matches!(
+            reg.resolve(42, None, DeviceId::Cpu).unwrap_err(),
+            TensorError::DanglingPayload { storage_id: 42 }
+        ));
+    }
+
+    #[test]
+    fn release_after_consumer_detach_frees_slot() {
+        let reg = SharedRegistry::new();
+        reg.bind_arena(test_arena("free", 2, 32));
+        let s = Arc::new(Storage::new(vec![1u8; 8], DeviceId::Cpu));
+        reg.register(&s);
+        let handle = reg.shm_handle(s.id()).unwrap();
+        let arena = reg.arena().unwrap();
+        assert_eq!(arena.slots_in_use(), 1);
+        reg.release(s.id());
+        assert_eq!(arena.slots_in_use(), 0);
+        // Stale handle can no longer be attached.
+        assert!(arena.attach(handle).is_err());
     }
 }

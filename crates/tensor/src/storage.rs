@@ -17,17 +17,38 @@ pub fn fresh_storage_id() -> u64 {
     NEXT_STORAGE_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Where a storage's bytes live.
+enum Backing {
+    /// Process-private heap buffer; `Some` until drop (`Option` only so
+    /// `Drop` can move it back to a pool).
+    Owned(Option<Vec<u8>>),
+    /// A pinned view into a cross-process shared-memory arena
+    /// ([`ts_shm::ShmView`]): zero-copy, and the view's drop releases the
+    /// consumer's slot reference.
+    Shm(ts_shm::ShmView),
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Owned(_) => f.write_str("Owned"),
+            Backing::Shm(_) => f.write_str("Shm"),
+        }
+    }
+}
+
 /// An immutable, refcounted byte buffer placed on a device.
 ///
 /// Buffers are *write-once*: they are built as `Vec<u8>` and frozen on
 /// construction. Storages created from a [`crate::MemoryPool`] return their
-/// buffer to the pool when the last reference drops.
+/// buffer to the pool when the last reference drops. Storages rebuilt by a
+/// consumer in another OS process wrap a shared-memory view instead
+/// ([`Storage::from_shm_view`]) — same API, no copy.
 #[derive(Debug)]
 pub struct Storage {
     id: u64,
     device: DeviceId,
-    /// `Some` until drop; `Option` only so `Drop` can move it back to a pool.
-    data: Option<Vec<u8>>,
+    data: Backing,
     pool: Option<PoolReturn>,
 }
 
@@ -37,7 +58,7 @@ impl Storage {
         Self {
             id: fresh_storage_id(),
             device,
-            data: Some(data),
+            data: Backing::Owned(Some(data)),
             pool: None,
         }
     }
@@ -47,8 +68,21 @@ impl Storage {
         Self {
             id: fresh_storage_id(),
             device,
-            data: Some(data),
+            data: Backing::Owned(Some(data)),
             pool: Some(pool),
+        }
+    }
+
+    /// Wraps a shared-memory view as a storage carrying the *producer's*
+    /// storage id, so a rebuilt tensor reports the same identity in both
+    /// processes. The view's slot reference is held until the last
+    /// `Arc<Storage>` clone drops.
+    pub fn from_shm_view(id: u64, view: ts_shm::ShmView, device: DeviceId) -> Self {
+        Self {
+            id,
+            device,
+            data: Backing::Shm(view),
+            pool: None,
         }
     }
 
@@ -62,9 +96,18 @@ impl Storage {
         self.device
     }
 
+    /// True when the bytes live in a shared-memory arena rather than this
+    /// process's heap.
+    pub fn is_shared_memory(&self) -> bool {
+        matches!(self.data, Backing::Shm(_))
+    }
+
     /// The raw bytes.
     pub fn bytes(&self) -> &[u8] {
-        self.data.as_deref().expect("storage data present until drop")
+        match &self.data {
+            Backing::Owned(d) => d.as_deref().expect("storage data present until drop"),
+            Backing::Shm(view) => view,
+        }
     }
 
     /// Length in bytes.
@@ -80,8 +123,10 @@ impl Storage {
 
 impl Drop for Storage {
     fn drop(&mut self) {
-        if let (Some(pool), Some(data)) = (self.pool.take(), self.data.take()) {
-            pool.give_back(data);
+        if let (Some(pool), Backing::Owned(data)) = (self.pool.take(), &mut self.data) {
+            if let Some(data) = data.take() {
+                pool.give_back(data);
+            }
         }
     }
 }

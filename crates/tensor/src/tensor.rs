@@ -68,7 +68,12 @@ impl Tensor {
     }
 
     /// A contiguous tensor over a fresh storage built from `data` bytes.
-    pub fn from_bytes(data: Vec<u8>, dtype: DType, shape: &[usize], device: DeviceId) -> Result<Self> {
+    pub fn from_bytes(
+        data: Vec<u8>,
+        dtype: DType,
+        shape: &[usize],
+        device: DeviceId,
+    ) -> Result<Self> {
         let numel: usize = shape.iter().product();
         if data.len() != numel * dtype.size_bytes() {
             return Err(TensorError::Shape(format!(
@@ -80,13 +85,7 @@ impl Tensor {
             )));
         }
         let storage = Arc::new(Storage::new(data, device));
-        Self::from_parts(
-            storage,
-            dtype,
-            shape.to_vec(),
-            contiguous_strides(shape),
-            0,
-        )
+        Self::from_parts(storage, dtype, shape.to_vec(), contiguous_strides(shape), 0)
     }
 
     /// Zero-filled contiguous tensor.
@@ -370,7 +369,12 @@ mod tests {
     use super::*;
 
     fn seq_u8(n: usize, shape: &[usize]) -> Tensor {
-        Tensor::from_u8((0..n as u32).map(|i| i as u8).collect(), shape, DeviceId::Cpu).unwrap()
+        Tensor::from_u8(
+            (0..n as u32).map(|i| i as u8).collect(),
+            shape,
+            DeviceId::Cpu,
+        )
+        .unwrap()
     }
 
     #[test]

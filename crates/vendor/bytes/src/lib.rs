@@ -1,0 +1,316 @@
+//! Minimal, offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! Implements exactly the subset this workspace uses: [`Bytes`] (cheap
+//! reference-counted byte slices), [`BytesMut`] (an append buffer), and the
+//! [`Buf`]/[`BufMut`] cursor traits with the little-endian accessors the
+//! wire codecs rely on. API-compatible with the real crate for those calls,
+//! so swapping the real dependency back in is a one-line manifest change.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable slice of bytes.
+///
+/// Internally an `Arc<[u8]>` plus a window; `clone` is O(1) and never
+/// copies the underlying buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty `Bytes`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static slice. (The vendored version copies once; semantics
+    /// are identical.)
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Self::copy_from_slice(b)
+    }
+
+    /// Copies a slice into a new reference-counted buffer.
+    pub fn copy_from_slice(b: &[u8]) -> Self {
+        let data: Arc<[u8]> = Arc::from(b);
+        Self {
+            start: 0,
+            end: data.len(),
+            data,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view sharing the same buffer (no copy).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+        Self {
+            start: 0,
+            end: data.len(),
+            data,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Self {
+        Self::copy_from_slice(b)
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read cursor over a byte source. Implemented for `&[u8]`, advancing the
+/// slice in place exactly like the real crate.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// The current readable chunk.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut v = [0u8; 2];
+        v.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(v)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut v = [0u8; 4];
+        v.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(v)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut v = [0u8; 8];
+        v.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(v)
+    }
+
+    /// Copies `dst.len()` bytes out and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor over a growable byte sink. Implemented for [`BytesMut`]
+/// and `Vec<u8>`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.clone(), b);
+    }
+
+    #[test]
+    fn buf_cursors() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(7);
+        m.put_u16_le(300);
+        m.put_u32_le(70_000);
+        m.put_u64_le(1 << 40);
+        let frozen = m.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 300);
+        assert_eq!(cur.get_u32_le(), 70_000);
+        assert_eq!(cur.get_u64_le(), 1 << 40);
+        assert_eq!(cur.remaining(), 0);
+    }
+}

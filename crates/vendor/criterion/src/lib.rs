@@ -1,0 +1,307 @@
+//! Minimal, offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! Benchmarks compile and run with the same source as the real crate for
+//! the subset used here (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`, throughput annotations).
+//! Measurement is a simple calibrated loop reporting mean wall-clock time
+//! per iteration — adequate for relative comparisons, with none of
+//! criterion's statistics.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; ignored by this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier of the form `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id (mirrors criterion's
+/// `IntoBenchmarkId` so call sites can pass `&str`, `String`, or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// One timed result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` of the benchmark.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Group throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    target_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Keep bench binaries quick; accuracy needs are relative only.
+            target_time: Duration::from_millis(200),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// CLI-argument configuration; accepted and ignored (API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sample-count hint; accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; shortens or lengthens the calibrated loop.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        // The real crate spends `t` per benchmark; cap it so full paper
+        // suites stay runnable in CI.
+        self.criterion.target_time = t.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            target_time: self.criterion.target_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let m = Measurement {
+            id: full,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+            throughput: self.throughput,
+        };
+        report(&m);
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (drop also suffices; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn report(m: &Measurement) {
+    let per = format_ns(m.mean_ns);
+    match m.throughput {
+        Some(Throughput::Bytes(bytes)) if m.mean_ns > 0.0 => {
+            let gib_s = bytes as f64 / m.mean_ns * 1e9 / (1u64 << 30) as f64;
+            println!("{:<56} {:>12}/iter {:>10.3} GiB/s", m.id, per, gib_s);
+        }
+        Some(Throughput::Elements(n)) if m.mean_ns > 0.0 => {
+            let elem_s = n as f64 / m.mean_ns * 1e9;
+            println!("{:<56} {:>12}/iter {:>10.0} elem/s", m.id, per, elem_s);
+        }
+        _ => println!("{:<56} {:>12}/iter", m.id, per),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    target_time: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate cost.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_time.as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_time.as_nanos() / one.as_nanos()).clamp(1, 10_000) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(routine(input));
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group. Supports both the
+/// positional form and the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+            b.iter_batched(|| vec![0u8; x], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements().iter().all(|m| m.mean_ns >= 0.0));
+    }
+}

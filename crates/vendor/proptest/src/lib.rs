@@ -1,0 +1,328 @@
+//! Minimal, offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, [`any`],
+//! integer/float range strategies, tuple strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, simple `".{m,n}"` string patterns and
+//! [`Strategy::prop_map`]. Cases are generated from a deterministic
+//! per-test seed (no shrinking); a failing case prints its seed so it can
+//! be replayed by rerunning the test.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Number of cases each property runs.
+pub const CASES: u64 = 64;
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Bias ~1/8 of draws to the boundaries, like proptest's
+                // edge-case emphasis.
+                match rng.gen_range(0u32..16) {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => rng.gen_range(self.start..self.end),
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty => $draw:ident),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                match rng.gen_range(0u32..16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    _ => rng.$draw() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// String patterns like `".{0,40}"` act as strategies producing ASCII
+/// strings whose length is drawn from the `{min,max}` quantifier; any other
+/// pattern falls back to lengths 0..=16.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_len_quantifier(self).unwrap_or((0, 16));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| rng.gen_range(b' '..=b'~') as char)
+            .collect()
+    }
+}
+
+fn parse_len_quantifier(pat: &str) -> Option<(usize, usize)> {
+    let open = pat.find('{')?;
+    let close = pat.rfind('}')?;
+    let (lo, hi) = pat.get(open + 1..close)?.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// The `prop::` namespace mirrored from the real crate.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+        use rand::RngCore;
+
+        /// Strategy producing arbitrary booleans.
+        pub struct BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u32() & 1 == 1
+            }
+        }
+
+        /// Any boolean.
+        pub const ANY: BoolAny = BoolAny;
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for vectors with lengths drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.min..self.max_exclusive);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A vector of values from `element` with a length in `lens`.
+        pub fn vec<S: Strategy>(element: S, lens: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(lens.start < lens.end, "empty length range");
+            VecStrategy {
+                element,
+                min: lens.start,
+                max_exclusive: lens.end,
+            }
+        }
+    }
+}
+
+/// Runs `body` for [`CASES`] deterministic cases. Used by [`proptest!`];
+/// not part of the public proptest API.
+pub fn run_cases<F: FnMut(&mut TestRng)>(test_name: &str, mut body: F) {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    let base = h.finish();
+    for case in 0..CASES {
+        let seed = base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("proptest case {case}/{CASES} of `{test_name}` failed (seed {seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 1usize..10, v in prop::collection::vec(0u8..5, 0..8), b in prop::bool::ANY) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            let _ = b;
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (1u64..4, 0.0f64..1.0).prop_map(|(a, f)| (a * 2, f)) ) {
+            prop_assert!(pair.0 >= 2 && pair.0 <= 6);
+            prop_assert!((0.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn string_pattern(s in ".{0,40}") {
+            prop_assert!(s.len() <= 40, "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn any_hits_boundaries_eventually() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let mut saw_zero = false;
+        for _ in 0..1000 {
+            if <u64 as crate::Arbitrary>::arbitrary(&mut rng) == 0 {
+                saw_zero = true;
+            }
+        }
+        assert!(saw_zero);
+    }
+
+    use rand::SeedableRng;
+}

@@ -74,9 +74,8 @@ fn main() {
         vram_gb: 24,
         gpu_model: Some("A10G"),
     };
-    let pick = |vcpus: u32| {
-        cheapest_sustaining(Requirement { vcpus, ..req }).expect("catalog covers g5")
-    };
+    let pick =
+        |vcpus: u32| cheapest_sustaining(Requirement { vcpus, ..req }).expect("catalog covers g5");
     let without = pick(vcpus_ns);
     let with = pick(vcpus_ts);
     let saving = 1.0 - with.hourly_usd / without.hourly_usd;
@@ -88,6 +87,9 @@ fn main() {
         with.hourly_usd,
         saving * 100.0
     );
-    assert!(saving > 0.4, "expected the paper's ~50% saving, got {saving:.2}");
+    assert!(
+        saving > 0.4,
+        "expected the paper's ~50% saving, got {saving:.2}"
+    );
     println!("\nok: shared loading halves the instance cost for this workload");
 }

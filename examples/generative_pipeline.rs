@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
 use ts_data::{
-    Dataset, DataLoader, DataLoaderConfig, DecodedSample, RawSample, SyntheticCaptionDataset,
+    DataLoader, DataLoaderConfig, Dataset, DecodedSample, RawSample, SyntheticCaptionDataset,
 };
 use ts_device::DeviceId;
 use ts_tensor::{ops, Tensor};
@@ -114,7 +114,10 @@ fn main() {
             })
         })
         .collect();
-    let consumed: Vec<u64> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+    let consumed: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
     producer.join().expect("producer");
 
     let calls = CLIP_CALLS.load(Ordering::Relaxed);

@@ -103,8 +103,10 @@ fn main() {
         trial("trial-c", 128, Duration::from_millis(0)),
         trial("trial-d (late)", 64, Duration::from_millis(40)),
     ];
-    let results: Vec<(Vec<i64>, BTreeSet<i64>)> =
-        handles.into_iter().map(|h| h.join().expect("trial")).collect();
+    let results: Vec<(Vec<i64>, BTreeSet<i64>)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("trial"))
+        .collect();
     let stats = producer.join().expect("producer");
 
     // Every trial covered the full dataset despite different batch sizes

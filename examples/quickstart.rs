@@ -8,6 +8,49 @@
 //! The conventional script iterates a `DataLoader` directly; with
 //! TensorSocket the loader moves into a producer and each training process
 //! swaps its loop source for a `TensorConsumer` — one line each way.
+//!
+//! # Endpoint URIs
+//!
+//! The `endpoint` field of `ProducerConfig`/`ConsumerConfig` selects the
+//! transport; nothing else in the code changes:
+//!
+//! | scheme                  | reaches                | data / ctrl channels      |
+//! |-------------------------|------------------------|---------------------------|
+//! | `inproc://name`         | threads in one process | `name/data`, `name/ctrl`  |
+//! | `ipc:///path/to.sock`   | processes on one host  | `….sock.data`, `….sock.ctrl` |
+//! | `tcp://host:port`       | other machines         | `port`, `port + 1`        |
+//!
+//! This example uses the default `inproc://tensorsocket` endpoint and runs
+//! consumers as threads, which is the cheapest way to try the API.
+//!
+//! # Running producer and consumers as separate processes
+//!
+//! The paper's actual deployment is independent training *processes*. For
+//! that, give each process its own `TsContext`, use an `ipc://` (or
+//! `tcp://`) endpoint, and share batch bytes through the shared-memory
+//! arena so only announce/ack metadata crosses the socket:
+//!
+//! ```no_run
+//! # use tensorsocket::*;
+//! // producer process
+//! let ctx = TsContext::host_only();
+//! ctx.create_arena("/dev/shm/ts.arena", 16, 8 << 20).unwrap();
+//! let cfg = ProducerConfig {
+//!     endpoint: "ipc:///tmp/ts.sock".into(),
+//!     ..Default::default()
+//! };
+//!
+//! // each consumer process
+//! let ctx = TsContext::host_only();
+//! ctx.open_arena("/dev/shm/ts.arena").unwrap();
+//! let cfg = ConsumerConfig {
+//!     endpoint: "ipc:///tmp/ts.sock".into(),
+//!     ..Default::default()
+//! };
+//! ```
+//!
+//! See `examples/multi_process.rs` for the complete working topology
+//! (`cargo run --release --example multi_process -- 4`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -75,7 +118,10 @@ fn main() {
 
     println!(
         "[producer] published {} batches over {} epochs, replayed {}, peak consumers {}",
-        stats.batches_published, stats.epochs_completed, stats.batches_replayed, stats.peak_consumers
+        stats.batches_published,
+        stats.epochs_completed,
+        stats.batches_replayed,
+        stats.peak_consumers
     );
     assert_eq!(n1, n2, "both consumers trained on every sample");
     assert_eq!(sum1, sum2, "and on identical bytes — shared, not copied");

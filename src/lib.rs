@@ -6,7 +6,10 @@
 //!
 //! * [`tensorsocket`] — the shared data loader (the paper's contribution)
 //! * [`ts_tensor`] — tensor substrate (storage, views, payloads)
-//! * [`ts_socket`] — in-process PUB/SUB + PUSH/PULL messaging
+//! * [`ts_socket`] — PUB/SUB + PUSH/PULL messaging over `inproc://`,
+//!   `ipc://` and `tcp://` endpoints
+//! * [`ts_shm`] — file-backed shared-memory payload arena for
+//!   cross-process zero-copy batches
 //! * [`ts_data`] — datasets, transforms, multi-worker `DataLoader`
 //! * [`ts_device`] — simulated device topology and traffic accounting
 //! * [`ts_sim`] — virtual-time cluster simulator used by the evaluation
@@ -21,6 +24,7 @@ pub use ts_data;
 pub use ts_device;
 pub use ts_experiments;
 pub use ts_metrics;
+pub use ts_shm;
 pub use ts_sim;
 pub use ts_socket;
 pub use ts_tensor;

@@ -14,7 +14,10 @@ use ts_tensor::ops;
 
 fn image_loader(n: usize, batch: usize, workers: usize) -> DataLoader {
     let dataset = Arc::new(SyntheticImageDataset::new(n, 40, 40, 77).with_encoded_len(2_048));
-    let pipeline = Arc::new(Pipeline::new(5).with(RandomCrop { out_h: 32, out_w: 32 }));
+    let pipeline = Arc::new(Pipeline::new(5).with(RandomCrop {
+        out_h: 32,
+        out_w: 32,
+    }));
     DataLoader::with_pipeline(
         dataset,
         pipeline,
@@ -51,8 +54,7 @@ fn consumer_cfg(endpoint: &str) -> ConsumerConfig {
 fn three_consumers_train_on_identical_augmented_batches() {
     let ctx = TsContext::host_only();
     let ep = "inproc://e2e-1";
-    let producer =
-        TensorProducer::spawn(image_loader(96, 8, 3), &ctx, producer_cfg(ep)).unwrap();
+    let producer = TensorProducer::spawn(image_loader(96, 8, 3), &ctx, producer_cfg(ep)).unwrap();
     // connect all three before any consumption so nobody misses epoch 0
     let consumers: Vec<TensorConsumer> = (0..3)
         .map(|_| TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap())
@@ -113,8 +115,10 @@ fn gpu_staged_pipeline_accounts_pcie_and_releases_vram() {
 #[test]
 fn two_independent_sockets_coexist_in_one_context() {
     let ctx = TsContext::host_only();
-    let p1 = TensorProducer::spawn(image_loader(32, 8, 2), &ctx, producer_cfg("inproc://a")).unwrap();
-    let p2 = TensorProducer::spawn(image_loader(48, 8, 2), &ctx, producer_cfg("inproc://b")).unwrap();
+    let p1 =
+        TensorProducer::spawn(image_loader(32, 8, 2), &ctx, producer_cfg("inproc://a")).unwrap();
+    let p2 =
+        TensorProducer::spawn(image_loader(48, 8, 2), &ctx, producer_cfg("inproc://b")).unwrap();
     let c1 = {
         let ctx = ctx.clone();
         std::thread::spawn(move || {
@@ -194,5 +198,9 @@ fn dropped_consumer_does_not_leak_memory() {
     }
     assert_eq!(survivor.join().unwrap(), 8);
     producer.join().unwrap();
-    assert!(ctx.registry.is_empty(), "{} leaked storages", ctx.registry.len());
+    assert!(
+        ctx.registry.is_empty(),
+        "{} leaked storages",
+        ctx.registry.len()
+    );
 }

@@ -97,11 +97,25 @@ fn arb_payload() -> impl Strategy<Value = TensorPayload> {
             let strides = ts_tensor::contiguous_strides(&shape);
             TensorPayload {
                 storage_id,
-                device: if gpu == 0 { DeviceId::Cpu } else { DeviceId::Gpu(gpu) },
+                device: if gpu == 0 {
+                    DeviceId::Cpu
+                } else {
+                    DeviceId::Gpu(gpu)
+                },
                 dtype: DType::U8,
                 shape,
                 strides,
                 offset: offset as usize,
+                // exercise both in-process and cross-process payloads
+                shm: if storage_id % 2 == 0 {
+                    Some(ts_shm::ShmHandle {
+                        slot: gpu as u32,
+                        generation: storage_id as u32 | 1,
+                        len: offset as u64,
+                    })
+                } else {
+                    None
+                },
             }
         })
 }
