@@ -324,29 +324,20 @@ fn bench_transport(c: &mut Criterion) {
     }
     g.finish();
 
-    // Persist the transport numbers for tracking across PRs.
-    let rows: Vec<String> = c
-        .measurements()
-        .iter()
-        .filter(|m| m.id.starts_with("transport/"))
-        .map(|m| {
-            format!(
-                "  {{\"bench\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}",
-                m.id, m.mean_ns, m.iters
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n\"suite\": \"transport\",\n\"payload_bytes\": {},\n\"results\": [\n{}\n]\n}}\n",
-        batch_bytes.len(),
-        rows.join(",\n")
+    // Persist the transport numbers for tracking across PRs, in the
+    // shared suite schema the CI bench gate compares against the
+    // committed baseline.
+    ts_bench::report::BenchReport::from_measurements(
+        "transport",
+        batch_bytes.len() as u64,
+        c.measurements(),
+        "transport/",
+    )
+    .write(
+        &std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_transport.json"),
     );
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_transport.json");
-    if let Err(e) = std::fs::write(&out, json) {
-        eprintln!("could not write {}: {e}", out.display());
-    }
 }
 
 criterion_group!(

@@ -1,0 +1,146 @@
+//! End-to-end producer throughput: serial vs pipelined.
+//!
+//! One producer + one consumer over `inproc://`, a synthetic image
+//! dataset with the real two-part loading cost — per-sample fetch latency
+//! (the disk/NFS read stand-in) plus decode CPU ∝ pixels (the JPEG
+//! stand-in) — full epochs consumed to completion. The only knob that
+//! varies is the loader's `num_workers`:
+//!
+//! * `workers/0` — the serial producer: decode, collate and publish all
+//!   on the publish thread;
+//! * `workers/1`, `workers/4` — the pipelined producer: a feeder stage
+//!   (backed by 1 or 4 loader workers) prepares batches ahead of the
+//!   publish cursor while the publish loop stages and announces.
+//!
+//! The suite asserts nothing itself; `BENCH_producer_pipeline.json` lands
+//! at the repo root in the shared report schema, the CI gate compares it
+//! against the committed baseline, and the committed numbers document the
+//! pipelining win (≥1.5× at 4 workers on this dataset).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
+use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+
+const SAMPLES: usize = 512;
+const BATCH: usize = 32;
+const SIDE: usize = 64; // 3×64×64 images
+const ENCODED_LEN: usize = 16_384;
+/// Per-sample storage fetch latency (conservative local-SSD ballpark).
+const FETCH_LATENCY: Duration = Duration::from_micros(100);
+
+fn make_loader(workers: usize) -> DataLoader {
+    DataLoader::new(
+        Arc::new(
+            SyntheticImageDataset::new(SAMPLES, SIDE, SIDE, 11)
+                .with_encoded_len(ENCODED_LEN)
+                .with_fetch_latency(FETCH_LATENCY),
+        ),
+        DataLoaderConfig {
+            batch_size: BATCH,
+            num_workers: workers,
+            prefetch_factor: 2,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+    )
+}
+
+/// Runs one full epoch through producer + consumer; returns batches seen.
+fn run_epoch(workers: usize, endpoint: &str) -> u64 {
+    let ctx = TsContext::host_only();
+    let producer = TensorProducer::spawn(
+        make_loader(workers),
+        &ctx,
+        ProducerConfig {
+            endpoint: endpoint.to_string(),
+            epochs: 1,
+            poll_interval: Duration::from_micros(200),
+            first_consumer_timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .expect("spawn producer");
+    let mut consumer = TensorConsumer::connect(
+        &ctx,
+        ConsumerConfig {
+            endpoint: endpoint.to_string(),
+            recv_timeout: Duration::from_secs(30),
+            // The default 200 ms tick would dominate the measurement: the
+            // consumer's drop joins the heartbeat thread mid-sleep.
+            heartbeat_interval: Duration::from_millis(5),
+            ..Default::default()
+        },
+    )
+    .expect("connect consumer");
+    let mut batches = 0u64;
+    for batch in consumer.by_ref() {
+        // The "training step": read one byte per sample so the batch is
+        // touched but consumption stays far cheaper than loading.
+        std::hint::black_box(batch.labels.view_bytes());
+        batches += 1;
+    }
+    producer.join().expect("producer join");
+    batches
+}
+
+fn bench_producer_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("producer_pipeline");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    let epoch_bytes = (SAMPLES / BATCH * BATCH) as u64 * (3 * SIDE * SIDE) as u64;
+    g.throughput(Throughput::Bytes(epoch_bytes));
+    let mut round = 0u32;
+    for workers in [0usize, 1, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("epoch", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    round += 1;
+                    let endpoint = format!("inproc://bench-pipeline-{workers}-{round}");
+                    let batches = run_epoch(workers, &endpoint);
+                    assert_eq!(batches as usize, SAMPLES / BATCH);
+                    batches
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // Persist in the shared schema for the CI bench gate.
+    let report = ts_bench::report::BenchReport::from_measurements(
+        "producer_pipeline",
+        epoch_bytes,
+        c.measurements(),
+        "producer_pipeline/",
+    );
+    let serial = report
+        .results
+        .iter()
+        .find(|r| r.bench.ends_with("/epoch/0"))
+        .map(|r| r.mean_ns);
+    let piped = report
+        .results
+        .iter()
+        .find(|r| r.bench.ends_with("/epoch/4"))
+        .map(|r| r.mean_ns);
+    if let (Some(serial), Some(piped)) = (serial, piped) {
+        println!(
+            "pipelined producer speedup at 4 workers: {:.2}x (serial {:.1} ms -> pipelined {:.1} ms)",
+            serial / piped,
+            serial / 1e6,
+            piped / 1e6
+        );
+    }
+    report.write(
+        &std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_producer_pipeline.json"),
+    );
+}
+
+criterion_group!(producer_pipeline, bench_producer_pipeline);
+criterion_main!(producer_pipeline);

@@ -1,0 +1,112 @@
+//! The CI benchmark-regression gate.
+//!
+//! ```text
+//! bench-gate <baseline.json> <current.json> [--threshold 0.25]
+//! ```
+//!
+//! Compares a freshly generated suite report against the committed
+//! baseline (both in the `BENCH_*.json` schema of `ts_bench::report`) and
+//! exits non-zero when any benchmark's mean regressed by more than the
+//! threshold (default 25%), or when a baseline benchmark disappeared from
+//! the current run. Improvements and new benchmarks pass; a low iteration
+//! floor is called out so noisy means are visible in the log.
+
+use std::process::ExitCode;
+use ts_bench::report::{compare, BenchReport, Delta};
+
+/// Iteration floors below this are flagged as noisy in the output.
+const NOISY_ITER_FLOOR: u64 = 20;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut paths = Vec::new();
+    let mut threshold = 0.25f64;
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("--threshold needs a fractional value (e.g. 0.25)");
+                return ExitCode::from(2);
+            };
+            threshold = v;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench-gate <baseline.json> <current.json> [--threshold 0.25]");
+        return ExitCode::from(2);
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.suite != current.suite {
+        eprintln!(
+            "bench-gate: suite mismatch: baseline \"{}\" vs current \"{}\"",
+            baseline.suite, current.suite
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "suite {:<20} baseline schema v{} ({} B payload), current schema v{} ({} B payload)",
+        current.suite,
+        baseline.schema_version,
+        baseline.payload_bytes,
+        current.schema_version,
+        current.payload_bytes
+    );
+    if current.iter_floor < NOISY_ITER_FLOOR {
+        println!(
+            "note: current iteration floor is {} (<{NOISY_ITER_FLOOR}); means may be noisy",
+            current.iter_floor
+        );
+    }
+    let deltas = compare(&baseline, &current);
+    let mut failures = 0usize;
+    for delta in &deltas {
+        match delta {
+            Delta::Compared {
+                bench,
+                baseline_ns,
+                current_ns,
+                ratio,
+            } => {
+                let regressed = delta.regressed(threshold);
+                let verdict = if regressed { "REGRESSED" } else { "ok" };
+                println!(
+                    "{verdict:<10} {bench:<48} {baseline_ns:>14.1} ns -> {current_ns:>14.1} ns  ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+                if regressed {
+                    failures += 1;
+                }
+            }
+            Delta::Missing { bench } => {
+                println!("MISSING    {bench:<48} (in baseline, absent from current run)");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench-gate: {failures} benchmark(s) regressed more than {:.0}% (or went missing) \
+             against {baseline_path}",
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-gate: {} benchmark(s) within the {:.0}% budget",
+        deltas.len(),
+        threshold * 100.0
+    );
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,6 @@
 //! Criterion benchmark harness for the TensorSocket reproduction.
 //!
-//! Two targets:
+//! Three targets:
 //!
 //! * `paper_artifacts` — regenerates every table and figure of the paper's
 //!   evaluation (printing the rows once) and benchmarks the underlying
@@ -8,11 +8,17 @@
 //!   reproduction run;
 //! * `micro` — microbenchmarks of the substrate hot paths: payload
 //!   pack/encode/unpack, PUB/SUB fan-out, collation into pooled slabs,
-//!   flexible-batch planning, codec decode, the multi-worker loader, and
-//!   the processor-sharing engine.
+//!   flexible-batch planning, codec decode, the multi-worker loader, the
+//!   processor-sharing engine, and the cross-process transport (which
+//!   persists `BENCH_transport.json`);
+//! * `producer_pipeline` — end-to-end producer throughput, serial vs
+//!   pipelined, persisting `BENCH_producer_pipeline.json`.
+//!
+//! The [`report`] module is the shared suite-report format (schema
+//! version, payload size, iteration floor) and the comparison logic
+//! behind the `bench-gate` binary, which CI runs to fail the build when a
+//! committed `BENCH_*.json` baseline regresses.
 //!
 //! Run with `cargo bench --workspace`.
 
-/// Marker so the crate has a library target; all content lives in the
-/// `benches/` directory.
-pub const ABOUT: &str = "see benches/paper_artifacts.rs and benches/micro.rs";
+pub mod report;

@@ -1,0 +1,517 @@
+//! The shared benchmark-report format: one schema for every `BENCH_*.json`
+//! suite the repo commits, plus the comparison logic the CI regression
+//! gate runs.
+//!
+//! Each suite (transport, producer pipeline, …) writes a [`BenchReport`]
+//! carrying the schema version, the payload size the suite moved per
+//! iteration, and the iteration floor (the smallest iteration count among
+//! its rows — a low floor means a noisy mean, which the gate reports
+//! rather than silently trusting). Using one helper keeps the suites'
+//! JSON comparable across PRs and lets [`compare`] diff any two reports.
+
+use criterion::Measurement;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Version of the on-disk JSON schema; bump when fields change meaning.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// One benchmark's result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Fully qualified benchmark id (`group/name`).
+    pub bench: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// A suite's results plus the metadata needed to compare runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Suite name (e.g. `transport`, `producer_pipeline`).
+    pub suite: String,
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u64,
+    /// Bytes the suite's throughput-annotated benchmarks move per
+    /// iteration (0 when not applicable).
+    pub payload_bytes: u64,
+    /// Smallest iteration count among the rows — the confidence floor.
+    pub iter_floor: u64,
+    /// The rows.
+    pub results: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Builds a report from criterion measurements whose id starts with
+    /// `prefix` (e.g. `"transport/"`).
+    pub fn from_measurements(
+        suite: &str,
+        payload_bytes: u64,
+        measurements: &[Measurement],
+        prefix: &str,
+    ) -> Self {
+        let results: Vec<BenchRow> = measurements
+            .iter()
+            .filter(|m| m.id.starts_with(prefix))
+            .map(|m| BenchRow {
+                bench: m.id.clone(),
+                mean_ns: m.mean_ns,
+                iters: m.iters,
+            })
+            .collect();
+        let iter_floor = results.iter().map(|r| r.iters).min().unwrap_or(0);
+        Self {
+            suite: suite.to_string(),
+            schema_version: SCHEMA_VERSION,
+            payload_bytes,
+            iter_floor,
+            results,
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"suite\": \"{}\",", escape(&self.suite));
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"payload_bytes\": {},", self.payload_bytes);
+        let _ = writeln!(out, "  \"iter_floor\": {},", self.iter_floor);
+        let _ = writeln!(out, "  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"bench\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{comma}",
+                escape(&r.bench),
+                r.mean_ns,
+                r.iters
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes the report next to the workspace root (or wherever `path`
+    /// points), logging instead of failing on IO errors so a read-only
+    /// checkout never breaks a bench run.
+    pub fn write(&self, path: &Path) {
+        if let Err(e) = std::fs::write(path, self.to_json()) {
+            eprintln!("could not write {}: {e}", path.display());
+        }
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`]
+    /// (or the pre-schema `v1` files, which lacked the metadata fields).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let suite = obj
+            .get("suite")
+            .and_then(|v| v.as_str())
+            .ok_or("missing \"suite\"")?
+            .to_string();
+        let schema_version = obj
+            .get("schema_version")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(1);
+        let payload_bytes = obj
+            .get("payload_bytes")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        let results_val = obj.get("results").ok_or("missing \"results\"")?;
+        let rows = results_val.as_array().ok_or("\"results\" is not a list")?;
+        let mut results = Vec::with_capacity(rows.len());
+        for row in rows {
+            let row_obj = row.as_object().ok_or("result row is not an object")?;
+            results.push(BenchRow {
+                bench: row_obj
+                    .get("bench")
+                    .and_then(|v| v.as_str())
+                    .ok_or("row missing \"bench\"")?
+                    .to_string(),
+                mean_ns: row_obj
+                    .get("mean_ns")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("row missing \"mean_ns\"")?,
+                iters: row_obj.get("iters").and_then(|v| v.as_u64()).unwrap_or(0),
+            });
+        }
+        let iter_floor = obj
+            .get("iter_floor")
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| results.iter().map(|r| r.iters).min().unwrap_or(0));
+        Ok(Self {
+            suite,
+            schema_version,
+            payload_bytes,
+            iter_floor,
+            results,
+        })
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Outcome of comparing one benchmark across two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    /// Present in both; `ratio` = current mean / baseline mean.
+    Compared {
+        /// Benchmark id.
+        bench: String,
+        /// Baseline mean ns.
+        baseline_ns: f64,
+        /// Current mean ns.
+        current_ns: f64,
+        /// current / baseline.
+        ratio: f64,
+    },
+    /// In the baseline but missing from the current run (coverage loss).
+    Missing {
+        /// Benchmark id.
+        bench: String,
+    },
+}
+
+impl Delta {
+    /// True when this delta regresses beyond `threshold` (fractional; 0.25
+    /// = 25% slower) — a missing benchmark always counts as a regression.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        match self {
+            Delta::Compared { ratio, .. } => *ratio > 1.0 + threshold,
+            Delta::Missing { .. } => true,
+        }
+    }
+}
+
+/// Compares `current` against `baseline` row by row (benchmarks only in
+/// `current` are new coverage and not reported).
+pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Vec<Delta> {
+    baseline
+        .results
+        .iter()
+        .map(|base| {
+            match current.results.iter().find(|r| r.bench == base.bench) {
+                Some(cur) if base.mean_ns > 0.0 => Delta::Compared {
+                    bench: base.bench.clone(),
+                    baseline_ns: base.mean_ns,
+                    current_ns: cur.mean_ns,
+                    ratio: cur.mean_ns / base.mean_ns,
+                },
+                // A zero-mean baseline row cannot be ratioed; treat as new.
+                Some(cur) => Delta::Compared {
+                    bench: base.bench.clone(),
+                    baseline_ns: base.mean_ns,
+                    current_ns: cur.mean_ns,
+                    ratio: 1.0,
+                },
+                None => Delta::Missing {
+                    bench: base.bench.clone(),
+                },
+            }
+        })
+        .collect()
+}
+
+/// A minimal recursive-descent JSON parser — the vendored dependency set
+/// has no serde, and the gate must parse the reports it compares.
+mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {pos}"))
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            expect(b, pos, b':')?;
+            let value = parse_value(b, pos)?;
+            map.insert(key, value);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at offset {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, f64, u64)]) -> BenchReport {
+        let results: Vec<BenchRow> = rows
+            .iter()
+            .map(|(b, m, i)| BenchRow {
+                bench: b.to_string(),
+                mean_ns: *m,
+                iters: *i,
+            })
+            .collect();
+        let iter_floor = results.iter().map(|r| r.iters).min().unwrap_or(0);
+        BenchReport {
+            suite: "test".into(),
+            schema_version: SCHEMA_VERSION,
+            payload_bytes: 1024,
+            iter_floor,
+            results,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = report(&[("t/a", 123.4, 1000), ("t/b", 5.0e6, 37)]);
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.suite, "test");
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert_eq!(parsed.payload_bytes, 1024);
+        assert_eq!(parsed.iter_floor, 37);
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(parsed.results[0].bench, "t/a");
+        assert!((parsed.results[0].mean_ns - 123.4).abs() < 1e-6);
+        assert_eq!(parsed.results[1].iters, 37);
+    }
+
+    #[test]
+    fn parses_pre_schema_v1_files() {
+        // The format PR 1 wrote: no schema_version/iter_floor fields.
+        let v1 = "{\n\"suite\": \"transport\",\n\"payload_bytes\": 64,\n\"results\": [\n  \
+                  {\"bench\": \"transport/x\", \"mean_ns\": 10.0, \"iters\": 5}\n]\n}\n";
+        let parsed = BenchReport::parse(v1).unwrap();
+        assert_eq!(parsed.schema_version, 1);
+        assert_eq!(parsed.iter_floor, 5);
+        assert_eq!(parsed.results.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{\"suite\": \"x\"}").is_err());
+        assert!(BenchReport::parse("{\"suite\": \"x\", \"results\": [1]} trailing").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_missing_rows() {
+        let base = report(&[("t/a", 100.0, 10), ("t/b", 100.0, 10), ("t/c", 100.0, 10)]);
+        let cur = report(&[("t/a", 110.0, 10), ("t/b", 200.0, 10)]);
+        let deltas = compare(&base, &cur);
+        assert_eq!(deltas.len(), 3);
+        assert!(!deltas[0].regressed(0.25), "10% slower is within budget");
+        assert!(deltas[1].regressed(0.25), "2x slower must fail");
+        assert!(deltas[2].regressed(0.25), "missing bench must fail");
+        match &deltas[1] {
+            Delta::Compared { ratio, .. } => assert!((ratio - 2.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_benchmarks_in_current_are_not_deltas() {
+        let base = report(&[("t/a", 100.0, 10)]);
+        let cur = report(&[("t/a", 90.0, 10), ("t/new", 1.0, 10)]);
+        assert_eq!(compare(&base, &cur).len(), 1);
+    }
+
+    #[test]
+    fn from_measurements_filters_and_floors() {
+        let ms = vec![
+            Measurement {
+                id: "transport/a".into(),
+                mean_ns: 10.0,
+                iters: 100,
+                throughput: None,
+            },
+            Measurement {
+                id: "other/b".into(),
+                mean_ns: 20.0,
+                iters: 2,
+                throughput: None,
+            },
+            Measurement {
+                id: "transport/c".into(),
+                mean_ns: 30.0,
+                iters: 7,
+                throughput: None,
+            },
+        ];
+        let r = BenchReport::from_measurements("transport", 64, &ms, "transport/");
+        assert_eq!(r.results.len(), 2);
+        assert_eq!(r.iter_floor, 7);
+        assert_eq!(r.payload_bytes, 64);
+    }
+}

@@ -43,6 +43,29 @@
 //! metadata channel and a bulk payload path. See
 //! `examples/multi_process.rs` for the full topology.
 //!
+//! ## The producer pipeline and its tuning knobs
+//!
+//! The producer is a two-stage pipeline. A **feeder** stage prepares
+//! batches ahead of the publish cursor — the loader's worker threads
+//! decode and collate samples, the feeder applies the producer map and
+//! (under flexible sizing) fuses loader batches into producer batches —
+//! while the **publish** stage stages batches on the device, registers
+//! them and announces pointers. The publish loop never sleeps on a fixed
+//! poll: it parks on the control channel and wakes the moment an
+//! ack/join/leave arrives. Knobs, in the order they usually matter:
+//!
+//! * `DataLoaderConfig::num_workers` — loader worker threads; `0` runs
+//!   the whole pipeline serially on the publish thread, `>= 1` enables
+//!   the feeder stage. Batch order is bit-identical either way.
+//! * `DataLoaderConfig::prefetch_factor` — in-flight batches per worker;
+//!   with `num_workers` it also sizes the feeder's hand-off queue.
+//! * [`ProducerConfig::pipeline_depth`] — explicit hand-off queue
+//!   capacity, when `num_workers × prefetch_factor` is not what you want.
+//! * [`TsContext::enable_slot_recycling`] — the shared-memory slot pool
+//!   depth: cross-process deployments recycle acked arena slots in place,
+//!   so steady-state publishing performs zero arena allocations
+//!   (observable via the pool's stats).
+//!
 //! ## Crate layout
 //!
 //! * [`protocol`] — pure, time-injected state machines: publish window

@@ -56,9 +56,19 @@ pub struct ProducerConfig {
     /// matter how many consumers attach.
     pub producer_map: Option<ProducerMap>,
     /// How long the producer waits in one control-poll round.
+    ///
+    /// Since the publish loop parks on the control channel (waking
+    /// immediately on acks/joins), this only bounds how long stop-flag and
+    /// heartbeat-expiry checks can be deferred — not publish latency.
     pub poll_interval: Duration,
     /// Stop waiting for the first consumer after this long (None = forever).
     pub first_consumer_timeout: Option<Duration>,
+    /// Capacity of the feeder→publish hand-off queue (prepared batches
+    /// loaded ahead of the publish cursor). `None` sizes it from the
+    /// source's pipeline hint: `num_workers × prefetch_factor`. Only used
+    /// when the source reports `num_workers >= 1`; a serial source loads
+    /// inline.
+    pub pipeline_depth: Option<usize>,
 }
 
 impl std::fmt::Debug for ProducerConfig {
@@ -71,6 +81,7 @@ impl std::fmt::Debug for ProducerConfig {
             .field("device", &self.device)
             .field("flexible", &self.flexible)
             .field("producer_map", &self.producer_map.as_ref().map(|_| "<fn>"))
+            .field("pipeline_depth", &self.pipeline_depth)
             .finish_non_exhaustive()
     }
 }
@@ -88,6 +99,7 @@ impl Default for ProducerConfig {
             producer_map: None,
             poll_interval: Duration::from_millis(1),
             first_consumer_timeout: Some(Duration::from_secs(30)),
+            pipeline_depth: None,
         }
     }
 }

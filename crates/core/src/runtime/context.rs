@@ -94,6 +94,26 @@ impl TsContext {
     pub fn arena(&self) -> Option<Arc<ShmArena>> {
         self.registry.arena()
     }
+
+    /// Wraps the bound arena in a recycling [`ts_tensor::SlotPool`] of at
+    /// most `depth` idle slots (producer-process side, after
+    /// [`TsContext::create_arena`]): slots whose batch was fully acked are
+    /// rewritten in place for the next batch, so steady-state publishing
+    /// performs zero arena allocations. Returns the pool; its
+    /// [`ts_tensor::SlotPool::stats`] expose the hit/miss counters and
+    /// [`ts_tensor::SlotPool::drain`] releases idle slots back to the
+    /// arena (e.g. after the producer joins, so `slots_in_use` reaches 0).
+    ///
+    /// Size `depth` like the in-flight set: `buffer_size × (fields per
+    /// batch + 1 label tensor)` plus rubberband headroom.
+    pub fn enable_slot_recycling(&self, depth: usize) -> Result<ts_tensor::SlotPool> {
+        let arena = self.registry.arena().ok_or_else(|| {
+            TsError::Arena("no arena bound: call create_arena before enabling recycling".into())
+        })?;
+        let pool = ts_tensor::SlotPool::new(arena, depth);
+        self.registry.bind_slot_pool(pool.clone());
+        Ok(pool)
+    }
 }
 
 #[cfg(test)]

@@ -1,13 +1,31 @@
 //! The [`TensorProducer`]: a server owning the data-loading pipeline and
 //! multicasting batch payloads to consumers (§3.2.1).
 //!
-//! One thread runs the whole producer: it iterates the wrapped loader,
-//! stages batches on the configured device (accounting PCIe/NVLink/VRAM),
-//! registers storages in the shared registry, publishes pointer payloads,
-//! and processes the control stream (joins, readiness, acks, heartbeats,
-//! leaves). Publishing is gated by the [`BatchWindow`]; memory release by
-//! the [`AckTracker`]; admission by the [`RubberbandPolicy`]; liveness by
-//! the [`HeartbeatMonitor`].
+//! The producer is a two-stage pipeline:
+//!
+//! 1. a **feeder** stage prepares batches *ahead of the publish cursor*:
+//!    it iterates the wrapped loader (whose own `num_workers` threads
+//!    decode and collate samples), applies the producer map, fuses loader
+//!    batches into producer batches under flexible sizing, and hands the
+//!    prepared batches over a bounded queue sized by the loader's
+//!    `num_workers × prefetch_factor` ([`EpochSource::pipeline_hint`]);
+//! 2. the **publish** stage stages each prepared batch on the configured
+//!    device (accounting PCIe/NVLink/VRAM), registers storages in the
+//!    shared registry (placing bytes in the shared-memory arena — through
+//!    the recycling slot pool when one is bound), publishes pointer
+//!    payloads, and processes the control stream (joins, readiness, acks,
+//!    heartbeats, leaves).
+//!
+//! With `num_workers == 0` the feeder stage collapses into the publish
+//! thread and batches are loaded inline (the serial producer). In both
+//! shapes the publish loop never sleeps on a fixed poll: every wait parks
+//! on the control channel and wakes the moment an ack/join/leave arrives,
+//! with `poll_interval` only bounding stop-flag and liveness checks.
+//!
+//! Publishing is gated by the [`BatchWindow`]; memory release by the
+//! [`AckTracker`]; admission by the [`RubberbandPolicy`]; liveness by the
+//! [`HeartbeatMonitor`]. Batch order is identical across pipeline shapes:
+//! the feeder queue is FIFO and sequence numbers are assigned at publish.
 
 use crate::protocol::acks::AckTracker;
 use crate::protocol::buffer::BatchWindow;
@@ -17,15 +35,16 @@ use crate::protocol::messages::{
     topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload, JoinDecision,
 };
 use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
-use crate::runtime::config::ProducerConfig;
+use crate::runtime::config::{ProducerConfig, ProducerMap};
 use crate::runtime::context::TsContext;
 use crate::{Result, TsError};
+use crossbeam::channel::{self, RecvTimeoutError, Sender};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use ts_data::{Batch, DataLoader};
-use ts_socket::{Multipart, PubSocket, PullSocket};
+use ts_socket::{Multipart, PubSocket, PullSocket, RecvError};
 use ts_tensor::{collate, Tensor, TensorPayload};
 
 /// A source of epochs of batches — the loader the producer wraps.
@@ -42,6 +61,17 @@ pub trait EpochSource: Send + 'static {
 
     /// Iterate one epoch.
     fn epoch(&self, epoch: u64) -> Box<dyn Iterator<Item = Batch> + Send + '_>;
+
+    /// Pipeline sizing hint, `(num_workers, prefetch_factor)`.
+    ///
+    /// With `num_workers == 0` the producer loads inline on the publish
+    /// thread (the serial shape); otherwise it spawns a feeder stage that
+    /// prepares batches ahead of the publish cursor, with a hand-off queue
+    /// of `num_workers × prefetch_factor` prepared batches (overridable
+    /// via [`ProducerConfig::pipeline_depth`]).
+    fn pipeline_hint(&self) -> (usize, usize) {
+        (0, 2)
+    }
 }
 
 impl EpochSource for DataLoader {
@@ -55,6 +85,10 @@ impl EpochSource for DataLoader {
 
     fn epoch(&self, epoch: u64) -> Box<dyn Iterator<Item = Batch> + Send + '_> {
         Box::new(DataLoader::epoch(self, epoch))
+    }
+
+    fn pipeline_hint(&self) -> (usize, usize) {
+        DataLoader::pipeline_hint(self)
     }
 }
 
@@ -110,6 +144,144 @@ impl EpochSource for VecSource {
             batch.last_in_epoch = i + 1 == n;
             batch
         }))
+    }
+}
+
+/// A batch the feeder stage finished preparing: producer map applied and
+/// (under flexible sizing) loader batches fused into one producer batch.
+/// Everything left for the publish stage is device staging, registration
+/// and the announce.
+struct PreparedItem {
+    /// Loader-batch index (default mode) or producer-batch index (flex).
+    index_in_epoch: u64,
+    /// True when this is the epoch's final announcement.
+    last_in_epoch: bool,
+    fields: Vec<Tensor>,
+    labels: Tensor,
+}
+
+/// Feeder → publish-stage messages.
+enum FeederMsg {
+    Item(PreparedItem),
+    /// All of this epoch's items were sent.
+    EpochDone(u64),
+    /// Preparation failed (collation error); the producer stops.
+    Failed,
+}
+
+/// Turns raw loader batches into [`PreparedItem`]s: applies the producer
+/// map and, under flexible sizing, accumulates loader batches until a
+/// producer batch is full and collates it. Used by both pipeline shapes so
+/// serial and pipelined producers publish byte-identical streams.
+struct Preparer {
+    /// Flexible producer batch size; `None` passes loader batches through.
+    producer_batch: Option<usize>,
+    map: Option<ProducerMap>,
+    acc: Vec<Batch>,
+    acc_samples: usize,
+    pb_index: u64,
+}
+
+impl Preparer {
+    fn new(cfg: &ProducerConfig) -> Self {
+        Self {
+            producer_batch: cfg.flexible.as_ref().map(|f| f.producer_batch),
+            map: cfg.producer_map.clone(),
+            acc: Vec::new(),
+            acc_samples: 0,
+            pb_index: 0,
+        }
+    }
+
+    /// Feeds one loader batch; returns a prepared item when one is ready
+    /// (always, in default mode; on producer-batch boundaries under
+    /// flexible sizing) and `Err(())` when collation fails.
+    fn push(&mut self, batch: Batch, last: bool) -> std::result::Result<Option<PreparedItem>, ()> {
+        let Some(producer_batch) = self.producer_batch else {
+            let batch = match &self.map {
+                Some(map) => map(batch),
+                None => batch,
+            };
+            return Ok(Some(PreparedItem {
+                index_in_epoch: batch.index as u64,
+                last_in_epoch: last,
+                fields: batch.fields,
+                labels: batch.labels,
+            }));
+        };
+        // Flexible sizing accumulates *raw* loader batches and applies the
+        // map only at flush: boundary decisions must count raw sample
+        // sizes, because `expected_announces` is computed from raw loader
+        // geometry — a size-changing map would otherwise desynchronize
+        // the two.
+        self.acc_samples += batch.batch_size();
+        self.acc.push(batch);
+        if self.acc_samples < producer_batch && !last {
+            return Ok(None);
+        }
+        let parts = std::mem::take(&mut self.acc);
+        self.acc_samples = 0;
+        let parts: Vec<Batch> = match &self.map {
+            Some(map) => parts.into_iter().map(|b| map(b)).collect(),
+            None => parts,
+        };
+        // Build the contiguous producer batch per field.
+        let num_fields = parts[0].fields.len();
+        let mut fields = Vec::with_capacity(num_fields);
+        for f in 0..num_fields {
+            let per_part: Vec<Tensor> = parts.iter().map(|b| b.fields[f].clone()).collect();
+            fields.push(collate::cat0(&per_part).map_err(|_| ())?);
+        }
+        let label_parts: Vec<Tensor> = parts.iter().map(|b| b.labels.clone()).collect();
+        let labels = collate::cat0(&label_parts).map_err(|_| ())?;
+        let item = PreparedItem {
+            index_in_epoch: self.pb_index,
+            last_in_epoch: last,
+            fields,
+            labels,
+        };
+        self.pb_index += 1;
+        Ok(Some(item))
+    }
+}
+
+/// The feeder stage: owns the epoch source for the whole run and prepares
+/// every epoch's batches ahead of the publish cursor — it rolls straight
+/// from one epoch into the next, so the publish tail of epoch `e`
+/// overlaps the preparation of `e + 1` with no refill bubble at the
+/// boundary. The bounded item channel is both the backpressure (the
+/// feeder parks once `depth` prepared batches are waiting) and the pacing
+/// (the publish stage does not read epoch `e + 1` items before its
+/// `EpochDone(e)` marker).
+fn feeder_main(
+    source: impl EpochSource,
+    cfg: ProducerConfig,
+    item_tx: Sender<FeederMsg>,
+    stop: Arc<AtomicBool>,
+) {
+    for epoch in 0..cfg.epochs {
+        let mut preparer = Preparer::new(&cfg);
+        let total = source.batches_per_epoch();
+        for (i, batch) in source.epoch(epoch).enumerate() {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match preparer.push(batch, i + 1 == total) {
+                Ok(Some(item)) => {
+                    if item_tx.send(FeederMsg::Item(item)).is_err() {
+                        return; // publish stage went away
+                    }
+                }
+                Ok(None) => {}
+                Err(()) => {
+                    let _ = item_tx.send(FeederMsg::Failed);
+                    return;
+                }
+            }
+        }
+        if item_tx.send(FeederMsg::EpochDone(epoch)).is_err() {
+            return;
+        }
     }
 }
 
@@ -191,6 +363,8 @@ impl TensorProducer {
             published_in_epoch: 0,
             expected_announces: 0,
             epoch: 0,
+            loader_batches: 0,
+            loader_batch_size: 0,
             started: Instant::now(),
             stats: ProducerStats::default(),
         };
@@ -269,6 +443,9 @@ struct ProducerLoop {
     published_in_epoch: u64,
     expected_announces: u64,
     epoch: u64,
+    /// Loader geometry, captured before the source moves into the feeder.
+    loader_batches: u64,
+    loader_batch_size: u64,
     started: Instant,
     stats: ProducerStats,
 }
@@ -284,46 +461,14 @@ impl ProducerLoop {
         let policy = RubberbandPolicy {
             cutoff: self.cfg.rubberband_cutoff,
         };
-
-        'epochs: for epoch in 0..self.cfg.epochs {
-            self.epoch = epoch;
-            self.expected_announces = self.expected_announces_for(&source);
-            if !self.begin_epoch() {
-                break 'epochs; // stopped or no consumer ever arrived
-            }
-            let mut accumulator: Vec<Batch> = Vec::new();
-            let mut acc_samples = 0usize;
-            let mut pb_index = 0u64;
-            let epoch_iter = source.epoch(epoch);
-            let total = source.batches_per_epoch();
-            for (i, batch) in epoch_iter.enumerate() {
-                if self.stop.load(Ordering::Relaxed) {
-                    break 'epochs;
-                }
-                let last_loader_batch = i + 1 == total;
-                match &self.cfg.flexible {
-                    None => {
-                        if !self.publish_shared(batch, &policy, last_loader_batch) {
-                            break 'epochs;
-                        }
-                    }
-                    Some(flex) => {
-                        acc_samples += batch.batch_size();
-                        accumulator.push(batch);
-                        if acc_samples >= flex.producer_batch || last_loader_batch {
-                            let pb = std::mem::take(&mut accumulator);
-                            acc_samples = 0;
-                            if !self.publish_flex(pb, pb_index, &policy, last_loader_batch) {
-                                break 'epochs;
-                            }
-                            pb_index += 1;
-                        }
-                    }
-                }
-            }
-            // Epoch complete: close the join window, flush deferred releases.
-            self.close_join_window();
-            self.stats.epochs_completed += 1;
+        self.loader_batches = source.batches_per_epoch() as u64;
+        self.loader_batch_size = source.batch_size() as u64;
+        let (workers, prefetch) = source.pipeline_hint();
+        if workers == 0 {
+            self.epochs_inline(source, &policy);
+        } else {
+            let depth = self.cfg.pipeline_depth.unwrap_or(workers * prefetch).max(1);
+            self.epochs_pipelined(source, depth, &policy);
         }
         self.drain_outstanding();
         let _ = self
@@ -332,12 +477,99 @@ impl ProducerLoop {
         self.stats
     }
 
-    fn expected_announces_for(&self, source: &impl EpochSource) -> u64 {
-        let loader_batches = source.batches_per_epoch() as u64;
+    /// The serial shape: load, prepare and publish on this thread.
+    fn epochs_inline(&mut self, source: impl EpochSource, policy: &RubberbandPolicy) {
+        for epoch in 0..self.cfg.epochs {
+            // Flush the previous epoch's deferred releases only now: the
+            // pin set stays alive across the epoch boundary, so a join
+            // landing between its last publish and this point can still
+            // rubberband into it (after the final epoch, during drain).
+            self.close_join_window();
+            self.epoch = epoch;
+            self.expected_announces = self.expected_announces();
+            if !self.begin_epoch() {
+                return; // stopped or no consumer ever arrived
+            }
+            let mut preparer = Preparer::new(&self.cfg);
+            let total = source.batches_per_epoch();
+            for (i, batch) in source.epoch(epoch).enumerate() {
+                if self.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match preparer.push(batch, i + 1 == total) {
+                    Ok(Some(item)) => {
+                        if !self.publish_prepared(item, policy) {
+                            return;
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(()) => return, // collation failed: stop producing
+                }
+            }
+            self.stats.epochs_completed += 1;
+        }
+    }
+
+    /// The pipelined shape: a feeder thread owns the source and prepares
+    /// batches ahead of the publish cursor; this thread publishes them in
+    /// arrival (= loader) order.
+    fn epochs_pipelined(
+        &mut self,
+        source: impl EpochSource,
+        depth: usize,
+        policy: &RubberbandPolicy,
+    ) {
+        let (item_tx, item_rx) = channel::bounded::<FeederMsg>(depth);
+        let feeder_cfg = self.cfg.clone();
+        let feeder_stop = self.stop.clone();
+        let feeder = std::thread::Builder::new()
+            .name("tensorsocket-feeder".to_string())
+            .spawn(move || feeder_main(source, feeder_cfg, item_tx, feeder_stop))
+            .expect("spawn feeder thread");
+        'epochs: for epoch in 0..self.cfg.epochs {
+            // As in the serial shape: the previous epoch's pin set stays
+            // alive across the boundary for rubberband joins.
+            self.close_join_window();
+            self.epoch = epoch;
+            self.expected_announces = self.expected_announces();
+            // The feeder is already loading this epoch (it rolls across
+            // epoch boundaries on its own): by the time the first consumer
+            // is admitted, `depth` batches are ready.
+            if !self.begin_epoch() {
+                break;
+            }
+            loop {
+                if self.stop.load(Ordering::Relaxed) {
+                    break 'epochs;
+                }
+                match item_rx.recv_timeout(self.cfg.poll_interval) {
+                    Ok(FeederMsg::Item(item)) => {
+                        if !self.publish_prepared(item, policy) {
+                            break 'epochs;
+                        }
+                    }
+                    Ok(FeederMsg::EpochDone(e)) if e == epoch => break,
+                    Ok(FeederMsg::EpochDone(_)) => {}
+                    Ok(FeederMsg::Failed) | Err(RecvTimeoutError::Disconnected) => break 'epochs,
+                    // No item ready yet (loader-bound): stay responsive to
+                    // joins/acks/heartbeats while the feeder catches up.
+                    Err(RecvTimeoutError::Timeout) => self.poll_ctrl_once(),
+                }
+            }
+            self.stats.epochs_completed += 1;
+        }
+        // Disconnect the item channel: the feeder observes the hangup even
+        // mid-`send` and exits; nothing it prepared was registered, so
+        // undelivered items just drop.
+        drop(item_rx);
+        let _ = feeder.join();
+    }
+
+    fn expected_announces(&self) -> u64 {
         match &self.cfg.flexible {
-            None => loader_batches,
+            None => self.loader_batches,
             Some(flex) => {
-                let samples = loader_batches * source.batch_size() as u64;
+                let samples = self.loader_batches * self.loader_batch_size;
                 samples.div_ceil(flex.producer_batch as u64)
             }
         }
@@ -369,7 +601,11 @@ impl ProducerLoop {
                     }
                 }
             }
-            std::thread::sleep(self.cfg.poll_interval);
+            // Park until the next control message (a join/ready, normally)
+            // rather than sleeping a fixed interval.
+            if !self.wait_ctrl() {
+                return false;
+            }
         }
         let msg = DataMsg::EpochStart {
             epoch: self.epoch,
@@ -442,34 +678,36 @@ impl ProducerLoop {
         }
     }
 
-    /// Blocks until the window admits the next publish. Returns false to
-    /// stop.
+    /// Blocks until the window admits the next publish, parking on the
+    /// control channel between checks (an ack is what reopens the window,
+    /// so the wake is immediate). Returns false to stop.
     fn wait_for_window(&mut self) -> bool {
+        self.poll_ctrl_once();
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 return false;
             }
-            self.poll_ctrl_once();
             if !self.consumers.is_empty()
                 && self.awaiting_ready.is_empty()
                 && self.window.can_publish()
             {
                 return true;
             }
-            std::thread::sleep(self.cfg.poll_interval);
+            if !self.wait_ctrl() {
+                return false;
+            }
         }
     }
 
-    fn publish_shared(&mut self, batch: Batch, policy: &RubberbandPolicy, last: bool) -> bool {
+    /// Publishes one prepared batch: wait for the window, stage on the
+    /// device, register (placing bytes in the arena — recycled slots when
+    /// a pool is bound), announce, and maintain the rubberband pin set.
+    fn publish_prepared(&mut self, item: PreparedItem, policy: &RubberbandPolicy) -> bool {
         if !self.wait_for_window() {
             return false;
         }
-        let batch = match &self.cfg.producer_map {
-            Some(map) => map(batch),
-            None => batch,
-        };
-        let staged: Result<Vec<Tensor>> = batch.fields.iter().map(|t| self.stage(t)).collect();
-        let (fields, labels) = match (staged, self.stage(&batch.labels)) {
+        let staged: Result<Vec<Tensor>> = item.fields.iter().map(|t| self.stage(t)).collect();
+        let (fields, labels) = match (staged, self.stage(&item.labels)) {
             (Ok(f), Ok(l)) => (f, l),
             _ => return false, // device OOM: stop producing
         };
@@ -481,99 +719,42 @@ impl ProducerLoop {
             seq,
             LiveBatch {
                 epoch: self.epoch,
-                index_in_epoch: batch.index as u64,
-                last_in_epoch: last,
+                index_in_epoch: item.index_in_epoch,
+                last_in_epoch: item.last_in_epoch,
                 fields,
                 labels,
                 releasable: false,
             },
         );
-        let live = self.live.get(&seq).expect("just inserted");
-        let announce = BatchAnnounce {
-            seq,
-            epoch: self.epoch,
-            index_in_epoch: live.index_in_epoch,
-            last_in_epoch: last,
-            content: AnnounceContent::Shared {
-                fields: live
-                    .fields
-                    .iter()
-                    .map(|t| TensorPayload::pack_shared(t, &self.ctx.registry))
-                    .collect(),
-                labels: TensorPayload::pack_shared(&live.labels, &self.ctx.registry),
-            },
-        };
         self.acks.published(seq, self.consumers.keys().copied());
-        let _ = self.publisher.send(
-            topics::BATCH,
-            Multipart::single(DataMsg::Batch(announce).encode()),
-        );
-        if self.join_window_open(policy) || self.published_in_epoch == 1 {
-            self.pinned.push(seq);
+        if self.cfg.flexible.is_some() {
+            // Send each consumer its own carved view of the producer batch.
+            let consumer_ids: Vec<u64> = self.consumers.keys().copied().collect();
+            for id in consumer_ids {
+                if self.send_flex_to(id, seq).is_err() {
+                    return false;
+                }
+            }
         } else {
-            self.close_join_window();
-        }
-        self.stats.batches_published += 1;
-        self.ctx.metrics.counter("producer.batches").inc();
-        true
-    }
-
-    fn publish_flex(
-        &mut self,
-        loader_batches: Vec<Batch>,
-        pb_index: u64,
-        policy: &RubberbandPolicy,
-        last: bool,
-    ) -> bool {
-        if loader_batches.is_empty() {
-            return true;
-        }
-        if !self.wait_for_window() {
-            return false;
-        }
-        let loader_batches: Vec<Batch> = match &self.cfg.producer_map {
-            Some(map) => loader_batches.into_iter().map(|b| map(b)).collect(),
-            None => loader_batches,
-        };
-        // Build the contiguous producer batch per field.
-        let num_fields = loader_batches[0].fields.len();
-        let mut fields = Vec::with_capacity(num_fields);
-        for f in 0..num_fields {
-            let parts: Vec<Tensor> = loader_batches.iter().map(|b| b.fields[f].clone()).collect();
-            match collate::cat0(&parts) {
-                Ok(t) => fields.push(t),
-                Err(_) => return false,
-            }
-        }
-        let label_parts: Vec<Tensor> = loader_batches.iter().map(|b| b.labels.clone()).collect();
-        let Ok(labels) = collate::cat0(&label_parts) else {
-            return false;
-        };
-        let staged: Result<Vec<Tensor>> = fields.iter().map(|t| self.stage(t)).collect();
-        let (fields, labels) = match (staged, self.stage(&labels)) {
-            (Ok(f), Ok(l)) => (f, l),
-            _ => return false,
-        };
-        let seq = self.window.published();
-        self.published_in_epoch += 1;
-        self.register_live(
-            seq,
-            LiveBatch {
+            let live = self.live.get(&seq).expect("just inserted");
+            let announce = BatchAnnounce {
+                seq,
                 epoch: self.epoch,
-                index_in_epoch: pb_index,
-                last_in_epoch: last,
-                fields,
-                labels,
-                releasable: false,
-            },
-        );
-        self.acks.published(seq, self.consumers.keys().copied());
-        // Send each consumer its own carved view of the producer batch.
-        let consumer_ids: Vec<u64> = self.consumers.keys().copied().collect();
-        for id in consumer_ids {
-            if self.send_flex_to(id, seq).is_err() {
-                return false;
-            }
+                index_in_epoch: live.index_in_epoch,
+                last_in_epoch: live.last_in_epoch,
+                content: AnnounceContent::Shared {
+                    fields: live
+                        .fields
+                        .iter()
+                        .map(|t| TensorPayload::pack_shared(t, &self.ctx.registry))
+                        .collect(),
+                    labels: TensorPayload::pack_shared(&live.labels, &self.ctx.registry),
+                },
+            };
+            let _ = self.publisher.send(
+                topics::BATCH,
+                Multipart::single(DataMsg::Batch(announce).encode()),
+            );
         }
         if self.join_window_open(policy) || self.published_in_epoch == 1 {
             self.pinned.push(seq);
@@ -771,42 +952,45 @@ impl ProducerLoop {
         }
     }
 
-    fn poll_ctrl_once(&mut self) {
+    /// Dispatches one control message.
+    fn handle_ctrl_frame(&mut self, msg: Multipart) {
         let policy = RubberbandPolicy {
             cutoff: self.cfg.rubberband_cutoff,
         };
-        while let Ok(Some(msg)) = self.ctrl.try_recv() {
-            let Some(frame) = msg.frames().first() else {
-                continue;
-            };
-            let Ok(ctrl) = CtrlMsg::decode(frame) else {
-                continue;
-            };
-            let now = self.now_ns();
-            self.hb.beat(ctrl.consumer_id(), now);
-            match ctrl {
-                CtrlMsg::Join {
-                    consumer_id,
-                    batch_size,
-                } => self.handle_join(consumer_id, batch_size, &policy),
-                CtrlMsg::Ready { consumer_id } => {
-                    if self.awaiting_ready.remove(&consumer_id) {
-                        self.join_replies.remove(&consumer_id);
-                        self.replay_needed(consumer_id);
-                    }
-                }
-                CtrlMsg::Ack { consumer_id, seq } => {
-                    self.window.on_ack(consumer_id, seq);
-                    if self.acks.on_ack(consumer_id, seq) {
-                        self.on_fully_acked(seq);
-                    }
-                }
-                CtrlMsg::Heartbeat { .. } => {}
-                CtrlMsg::Leave { consumer_id } => {
-                    self.remove_consumer(consumer_id, false);
+        let Some(frame) = msg.frames().first() else {
+            return;
+        };
+        let Ok(ctrl) = CtrlMsg::decode(frame) else {
+            return;
+        };
+        let now = self.now_ns();
+        self.hb.beat(ctrl.consumer_id(), now);
+        match ctrl {
+            CtrlMsg::Join {
+                consumer_id,
+                batch_size,
+            } => self.handle_join(consumer_id, batch_size, &policy),
+            CtrlMsg::Ready { consumer_id } => {
+                if self.awaiting_ready.remove(&consumer_id) {
+                    self.join_replies.remove(&consumer_id);
+                    self.replay_needed(consumer_id);
                 }
             }
+            CtrlMsg::Ack { consumer_id, seq } => {
+                self.window.on_ack(consumer_id, seq);
+                if self.acks.on_ack(consumer_id, seq) {
+                    self.on_fully_acked(seq);
+                }
+            }
+            CtrlMsg::Heartbeat { .. } => {}
+            CtrlMsg::Leave { consumer_id } => {
+                self.remove_consumer(consumer_id, false);
+            }
         }
+    }
+
+    /// Periodic duties that are not reactions to a specific message.
+    fn ctrl_housekeeping(&mut self) {
         // Nudge joiners that have not said Ready: their JoinReply may have
         // been published before their subscription reached us.
         if !self.awaiting_ready.is_empty()
@@ -830,6 +1014,36 @@ impl ProducerLoop {
                 self.ctx.metrics.counter("producer.detached").inc();
             }
             self.pending_join.retain(|(id, _)| *id != dead);
+        }
+    }
+
+    /// Drains every queued control message, then does housekeeping. Never
+    /// blocks.
+    fn poll_ctrl_once(&mut self) {
+        while let Ok(Some(msg)) = self.ctrl.try_recv() {
+            self.handle_ctrl_frame(msg);
+        }
+        self.ctrl_housekeeping();
+    }
+
+    /// One *blocking* control round: parks on the control channel until a
+    /// message arrives — waking immediately on acks/joins/leaves instead
+    /// of sleeping a fixed interval — with `poll_interval` bounding how
+    /// long stop-flag and liveness checks can starve. Returns false when
+    /// the control socket is gone.
+    fn wait_ctrl(&mut self) -> bool {
+        match self.ctrl.recv_timeout(self.cfg.poll_interval) {
+            Ok(msg) => {
+                self.handle_ctrl_frame(msg);
+                // Whatever arrived together with it is ready too.
+                self.poll_ctrl_once();
+                true
+            }
+            Err(RecvError::Timeout) => {
+                self.ctrl_housekeeping();
+                true
+            }
+            Err(RecvError::Closed) => false,
         }
     }
 
@@ -889,15 +1103,15 @@ impl ProducerLoop {
     }
 
     /// After the final epoch: wait (bounded) for outstanding acks so
-    /// consumers finish cleanly, then release everything.
+    /// consumers finish cleanly, then release everything. Parks on the
+    /// control channel so each ack is processed the moment it arrives.
     fn drain_outstanding(&mut self) {
         let deadline = Instant::now() + self.cfg.heartbeat_timeout;
+        self.poll_ctrl_once();
         while !self.acks.is_empty() && Instant::now() < deadline {
-            self.poll_ctrl_once();
-            if self.consumers.is_empty() {
+            if self.consumers.is_empty() || !self.wait_ctrl() {
                 break;
             }
-            std::thread::sleep(self.cfg.poll_interval);
         }
         let seqs: Vec<u64> = self.live.keys().copied().collect();
         for seq in seqs {

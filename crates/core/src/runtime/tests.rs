@@ -89,6 +89,132 @@ fn consumer_cfg(endpoint: &str) -> ConsumerConfig {
     }
 }
 
+/// A loader over `IndexDataset` with an explicit pipeline shape.
+fn loader_with_workers(n: usize, batch: usize, workers: usize) -> DataLoader {
+    DataLoader::new(
+        Arc::new(IndexDataset { len: n }),
+        DataLoaderConfig {
+            batch_size: batch,
+            num_workers: workers,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+    )
+}
+
+/// (epoch, index_in_epoch, labels, last_in_epoch) per received batch.
+type BatchTrace = Vec<(u64, u64, Vec<i64>, bool)>;
+
+#[test]
+fn pipelined_producer_preserves_batch_order_across_worker_counts() {
+    // The pipelined producer (num_workers >= 1, feeder thread + hand-off
+    // queue) must publish the exact same batch stream as the serial one
+    // (num_workers == 0, inline loading).
+    let mut streams: Vec<BatchTrace> = Vec::new();
+    for workers in [0usize, 1, 4] {
+        let ctx = TsContext::host_only();
+        let ep = format!("inproc://order-w{workers}");
+        let producer = TensorProducer::spawn(
+            loader_with_workers(64, 4, workers),
+            &ctx,
+            producer_cfg(&ep, 2),
+        )
+        .unwrap();
+        let mut consumer = TensorConsumer::connect(&ctx, consumer_cfg(&ep)).unwrap();
+        let mut stream = Vec::new();
+        for b in consumer.by_ref() {
+            stream.push((
+                b.epoch,
+                b.index_in_epoch,
+                b.labels.to_vec_i64().unwrap(),
+                b.last_in_epoch,
+            ));
+        }
+        assert_eq!(consumer.stop_reason(), Some(StopReason::End));
+        let stats = producer.join().unwrap();
+        assert_eq!(stats.batches_published, 32, "workers={workers}");
+        streams.push(stream);
+    }
+    assert_eq!(streams[0].len(), 32);
+    assert_eq!(streams[0], streams[1], "1 worker must match serial");
+    assert_eq!(streams[0], streams[2], "4 workers must match serial");
+}
+
+#[test]
+fn pipelined_flexible_mode_matches_serial_stream() {
+    // Same invariance under flexible sizing, where the feeder also fuses
+    // loader batches into producer batches.
+    let mut streams: Vec<Vec<(u64, u64, Vec<i64>)>> = Vec::new();
+    for workers in [0usize, 3] {
+        let ctx = TsContext::host_only();
+        let ep = format!("inproc://order-flex-w{workers}");
+        let mut cfg = producer_cfg(&ep, 1);
+        cfg.flexible = Some(FlexibleConfig::new(16));
+        let producer =
+            TensorProducer::spawn(loader_with_workers(64, 8, workers), &ctx, cfg).unwrap();
+        let mut cc = consumer_cfg(&ep);
+        cc.batch_size = Some(4);
+        let mut consumer = TensorConsumer::connect(&ctx, cc).unwrap();
+        let mut stream = Vec::new();
+        for b in consumer.by_ref() {
+            stream.push((b.epoch, b.index_in_epoch, b.labels.to_vec_i64().unwrap()));
+        }
+        producer.join().unwrap();
+        streams.push(stream);
+    }
+    assert_eq!(streams[0].len(), 16); // 4 producer batches × 4 carved
+    assert_eq!(streams[0], streams[1]);
+}
+
+#[test]
+fn steady_state_publish_recycles_arena_slots_without_allocating() {
+    // With an arena + slot pool bound, the warmed-up publish path must
+    // perform zero arena allocations: every placement after warmup is a
+    // recycled slot (pool hit), asserted via the pool counters.
+    let ctx = TsContext::host_only();
+    let arena_path = std::env::temp_dir().join(format!(
+        "ts-producer-pool-steady-{}.arena",
+        std::process::id()
+    ));
+    ctx.create_arena(&arena_path, 16, 4096).unwrap();
+    let pool = ctx.enable_slot_recycling(12).unwrap();
+    let ep = "inproc://pool-steady";
+    let mut cfg = producer_cfg(ep, 2);
+    // Small join window: pins (and their slots) return to the pool early.
+    cfg.rubberband_cutoff = 0.02;
+    let producer = TensorProducer::spawn(loader_with_workers(64, 4, 2), &ctx, cfg).unwrap();
+    let mut consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+    let mut consumed = 0u64;
+    let mut warmed_misses = None;
+    for _ in consumer.by_ref() {
+        consumed += 1;
+        if consumed == 8 {
+            // Warmup over: window-depth many slots have cycled through.
+            warmed_misses = Some(pool.stats().misses);
+        }
+    }
+    assert_eq!(consumed, 32, "2 epochs × 16 batches");
+    let stats = producer.join().unwrap();
+    assert_eq!(stats.batches_published, 32);
+    let end = pool.stats();
+    let warmed = warmed_misses.unwrap();
+    assert_eq!(
+        end.misses, warmed,
+        "steady-state publishing allocated arena slots: {warmed} misses at warmup, {} at end \
+         (hits {}, busy discards {})",
+        end.misses, end.hits, end.busy_discards
+    );
+    // Each announce places 2 storages (field + labels); everything beyond
+    // the warmup set was a recycled slot.
+    assert!(end.hits >= 2 * 32 - warmed, "hits {} too low", end.hits);
+    // After the run every slot is back in the pool; draining it empties
+    // the arena completely.
+    assert!(ctx.registry.is_empty());
+    pool.drain();
+    assert_eq!(ctx.arena().unwrap().slots_in_use(), 0);
+}
+
 #[test]
 fn single_consumer_sees_all_batches_in_order() {
     let ctx = TsContext::host_only();

@@ -138,6 +138,15 @@ impl DataLoader {
         &self.dataset
     }
 
+    /// Pipeline sizing hint `(num_workers, prefetch_factor)` for engines
+    /// that hand prepared batches off a stage boundary (the
+    /// `TensorProducer` reuses it to size its feeder stage and hand-off
+    /// queue): how many worker threads this loader prepares batches on,
+    /// and how many batches each keeps in flight.
+    pub fn pipeline_hint(&self) -> (usize, usize) {
+        (self.cfg.num_workers, self.cfg.prefetch_factor)
+    }
+
     /// Batches per epoch.
     pub fn batches_per_epoch(&self) -> usize {
         let n = self.dataset.len();

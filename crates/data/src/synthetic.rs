@@ -26,6 +26,7 @@ pub struct SyntheticImageDataset {
     encoded_len: usize,
     classes: i64,
     seed: u64,
+    fetch_latency: std::time::Duration,
 }
 
 impl SyntheticImageDataset {
@@ -38,6 +39,7 @@ impl SyntheticImageDataset {
             encoded_len: 110_000,
             classes: 1000,
             seed,
+            fetch_latency: std::time::Duration::ZERO,
         }
     }
 
@@ -50,6 +52,16 @@ impl SyntheticImageDataset {
     /// Overrides the encoded sample size.
     pub fn with_encoded_len(mut self, encoded_len: usize) -> Self {
         self.encoded_len = encoded_len;
+        self
+    }
+
+    /// Models per-sample storage fetch latency: `get` blocks this long
+    /// before returning the encoded bytes, the way a disk/NFS read would.
+    /// Loading then has the real two-part cost profile — I/O wait (hidden
+    /// by parallel loader workers) plus decode CPU — which is what
+    /// `num_workers` exists to overlap.
+    pub fn with_fetch_latency(mut self, fetch_latency: std::time::Duration) -> Self {
+        self.fetch_latency = fetch_latency;
         self
     }
 
@@ -71,6 +83,9 @@ impl Dataset for SyntheticImageDataset {
 
     fn get(&self, index: usize) -> Result<RawSample> {
         check_index(index, self.len)?;
+        if !self.fetch_latency.is_zero() {
+            std::thread::sleep(self.fetch_latency);
+        }
         Ok(RawSample {
             index,
             bytes: encode_stub(self.seed, index as u64, self.encoded_len),

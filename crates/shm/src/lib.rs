@@ -83,6 +83,14 @@ pub enum ShmError {
         /// Generation the handle carried.
         generation: u32,
     },
+    /// The slot cannot be recycled in place because readers other than the
+    /// producer still reference it.
+    Busy {
+        /// Slot index of the handle.
+        slot: u32,
+        /// References currently held (including the producer's).
+        refs: u32,
+    },
     /// The handle's slot index is out of range for this arena.
     BadSlot(u32),
     /// Underlying file/mapping error.
@@ -102,6 +110,9 @@ impl std::fmt::Display for ShmError {
             ),
             ShmError::Stale { slot, generation } => {
                 write!(f, "stale handle: slot {slot} generation {generation}")
+            }
+            ShmError::Busy { slot, refs } => {
+                write!(f, "slot {slot} still referenced by {refs} readers")
             }
             ShmError::BadSlot(slot) => write!(f, "slot {slot} out of range"),
             ShmError::Io(e) => write!(f, "arena io: {e}"),
@@ -327,9 +338,33 @@ impl ShmArena {
     /// Fails with [`ShmError::Full`] when every slot is referenced and
     /// [`ShmError::TooLarge`] when the payload exceeds the slot size.
     pub fn alloc(&self, bytes: &[u8]) -> Result<ShmHandle, ShmError> {
-        if bytes.len() > self.slot_size {
+        let handle = self.reserve(bytes.len())?;
+        // Safety: the reservation's claim CAS (free -> new generation,
+        // refs = 1) gave us exclusive access to the slot body.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                self.slot_data_ptr(handle.slot as usize),
+                bytes.len(),
+            );
+        }
+        Ok(handle)
+    }
+
+    /// Claims a free slot for `len` bytes without writing anything — the
+    /// reservation half of the recycling protocol. The caller holds the
+    /// producer reference and exclusive write access; fill the slot later
+    /// with [`ShmArena::try_recycle`] (which also stamps a fresh
+    /// generation, so a reserved-but-never-written slot can never serve a
+    /// forged read).
+    ///
+    /// The slot contents are unspecified until written; the handle is
+    /// attachable (it reads `len` bytes of whatever the slot held before),
+    /// so only hand it out after writing.
+    pub fn reserve(&self, len: usize) -> Result<ShmHandle, ShmError> {
+        if len > self.slot_size {
             return Err(ShmError::TooLarge {
-                requested: bytes.len(),
+                requested: len,
                 slot_size: self.slot_size,
             });
         }
@@ -341,14 +376,10 @@ impl ShmArena {
             if state_refs(current) != 0 {
                 continue;
             }
-            // New generation; skip 0 so zeroed (never-allocated) slots can
-            // never satisfy a forged zero-generation handle.
             let mut generation = state_generation(current).wrapping_add(1);
             if generation == 0 {
                 generation = 1;
             }
-            // Claim: free -> (new generation, refs = 1) in one CAS gives
-            // exclusive write access.
             if hdr
                 .state
                 .compare_exchange(
@@ -362,18 +393,105 @@ impl ShmArena {
                 continue;
             }
             self.next_slot.store(i + 1, Ordering::Relaxed);
-            hdr.len.store(bytes.len() as u64, Ordering::SeqCst);
-            // Safety: refs CAS gave us exclusive access to the slot body.
-            unsafe {
-                std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.slot_data_ptr(i), bytes.len());
-            }
+            hdr.len.store(len as u64, Ordering::SeqCst);
             return Ok(ShmHandle {
                 slot: i as u32,
                 generation,
-                len: bytes.len() as u64,
+                len: len as u64,
             });
         }
         Err(ShmError::Full)
+    }
+
+    /// Rewrites a slot the caller already owns (sole producer reference)
+    /// with new `bytes`, bumping the generation so every previously issued
+    /// handle to the slot goes stale. Returns the slot's new handle; the
+    /// caller's reference carries over — no release/alloc pair, no probe
+    /// loop, no free-list race.
+    ///
+    /// This is the steady-state path of the producer's slot pool: a batch
+    /// slot whose consumers have all acked is recycled in place for the
+    /// next batch.
+    ///
+    /// Fails with [`ShmError::Busy`] while consumers still hold views on
+    /// the old contents (the caller should release the slot and take a
+    /// fresh one instead), [`ShmError::Stale`] when `handle` is not the
+    /// slot's live generation, and [`ShmError::TooLarge`] when `bytes`
+    /// exceeds the slot size (the slot is left untouched and still owned).
+    pub fn try_recycle(&self, handle: ShmHandle, bytes: &[u8]) -> Result<ShmHandle, ShmError> {
+        let i = handle.slot as usize;
+        if i >= self.nslots {
+            return Err(ShmError::BadSlot(handle.slot));
+        }
+        if bytes.len() > self.slot_size {
+            return Err(ShmError::TooLarge {
+                requested: bytes.len(),
+                slot_size: self.slot_size,
+            });
+        }
+        let hdr = self.slot(i);
+        let current = hdr.state.load(Ordering::SeqCst);
+        if state_generation(current) != handle.generation || state_refs(current) == 0 {
+            return Err(ShmError::Stale {
+                slot: handle.slot,
+                generation: handle.generation,
+            });
+        }
+        if state_refs(current) != 1 {
+            return Err(ShmError::Busy {
+                slot: handle.slot,
+                refs: state_refs(current),
+            });
+        }
+        let mut generation = handle.generation.wrapping_add(1);
+        if generation == 0 {
+            generation = 1;
+        }
+        // (gen, 1) -> (gen+1, 1) in one CAS: readers racing `attach` with
+        // the old handle either increment before us (we observe refs == 2
+        // and fail Busy above or here) or fail their generation check
+        // after us. Either way nobody reads half-written bytes.
+        if hdr
+            .state
+            .compare_exchange(
+                current,
+                make_state(generation, 1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            let raced = hdr.state.load(Ordering::SeqCst);
+            return Err(ShmError::Busy {
+                slot: handle.slot,
+                refs: state_refs(raced),
+            });
+        }
+        hdr.len.store(bytes.len() as u64, Ordering::SeqCst);
+        // Safety: refs == 1 under the new generation — we are the only
+        // writer and no view can attach the old generation any more.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.slot_data_ptr(i), bytes.len());
+        }
+        Ok(ShmHandle {
+            slot: handle.slot,
+            generation,
+            len: bytes.len() as u64,
+        })
+    }
+
+    /// References currently held on the slot behind `handle`, or `None`
+    /// when the handle is stale or out of range.
+    pub fn ref_count(&self, handle: ShmHandle) -> Option<u32> {
+        let i = handle.slot as usize;
+        if i >= self.nslots {
+            return None;
+        }
+        let state = self.slot(i).state.load(Ordering::SeqCst);
+        if state_generation(state) != handle.generation || state_refs(state) == 0 {
+            return None;
+        }
+        Some(state_refs(state))
     }
 
     /// [`ShmArena::alloc`], retrying while the arena is full for up to
@@ -603,6 +721,71 @@ mod tests {
         ));
         h.len = 64; // at the slot boundary is fine
         assert!(arena.attach(h).is_ok());
+    }
+
+    #[test]
+    fn reserve_then_recycle_round_trip() {
+        let arena = ShmArena::create(temp_path("reserve"), 2, 64).unwrap();
+        let h = arena.reserve(16).unwrap();
+        assert_eq!(h.len, 16);
+        assert_eq!(arena.ref_count(h), Some(1));
+        assert_eq!(arena.slots_in_use(), 1);
+        // Filling the reserved slot stamps a fresh generation: the bare
+        // reservation handle goes stale, the returned one reads the bytes.
+        let filled = arena.try_recycle(h, b"first").unwrap();
+        assert_eq!(filled.slot, h.slot);
+        assert_ne!(filled.generation, h.generation);
+        assert!(matches!(arena.attach(h), Err(ShmError::Stale { .. })));
+        assert_eq!(&arena.attach(filled).unwrap()[..], b"first");
+    }
+
+    #[test]
+    fn recycle_in_place_invalidates_old_handle() {
+        let arena = ShmArena::create(temp_path("recycle"), 2, 64).unwrap();
+        let first = arena.alloc(b"aaaa").unwrap();
+        let second = arena.try_recycle(first, b"bb").unwrap();
+        assert_eq!(second.slot, first.slot);
+        assert_eq!(second.len, 2);
+        assert!(matches!(arena.attach(first), Err(ShmError::Stale { .. })));
+        assert_eq!(&arena.attach(second).unwrap()[..], b"bb");
+        // Only one slot was ever used; the producer reference carried over.
+        assert_eq!(arena.slots_in_use(), 1);
+        assert!(arena.release(second));
+    }
+
+    #[test]
+    fn recycle_refuses_while_reader_attached() {
+        let arena = ShmArena::create(temp_path("busy"), 2, 64).unwrap();
+        let h = arena.alloc(b"shared").unwrap();
+        let view = arena.attach(h).unwrap();
+        assert_eq!(arena.ref_count(h), Some(2));
+        assert!(matches!(
+            arena.try_recycle(h, b"next"),
+            Err(ShmError::Busy { refs: 2, .. })
+        ));
+        // The reader's bytes were never touched.
+        assert_eq!(&view[..], b"shared");
+        drop(view);
+        assert!(arena.try_recycle(h, b"next").is_ok());
+    }
+
+    #[test]
+    fn recycle_rejects_stale_and_oversized() {
+        let arena = ShmArena::create(temp_path("recycle-err"), 2, 16).unwrap();
+        let h = arena.alloc(b"x").unwrap();
+        assert!(matches!(
+            arena.try_recycle(h, &[0u8; 17]),
+            Err(ShmError::TooLarge { .. })
+        ));
+        // A failed oversized recycle leaves the slot owned and readable.
+        assert_eq!(&arena.attach(h).unwrap()[..], b"x");
+        let newer = arena.try_recycle(h, b"y").unwrap();
+        assert!(matches!(
+            arena.try_recycle(h, b"z"),
+            Err(ShmError::Stale { .. })
+        ));
+        assert!(arena.release(newer));
+        assert_eq!(arena.ref_count(newer), None);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use collate::{cat0, stack0};
 pub use context::DeviceCtx;
 pub use dtype::DType;
 pub use payload::TensorPayload;
-pub use pool::MemoryPool;
+pub use pool::{MemoryPool, SlotPool, SlotPoolStats};
 pub use registry::SharedRegistry;
 pub use shape::{contiguous_strides, Shape};
 pub use storage::Storage;

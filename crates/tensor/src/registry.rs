@@ -31,6 +31,7 @@
 //! when the rebuilt tensor goes away, so slots recycle exactly when nobody
 //! reads them.
 
+use crate::pool::SlotPool;
 use crate::storage::Storage;
 use crate::{Result, TensorError};
 use parking_lot::Mutex;
@@ -53,6 +54,9 @@ struct Inner {
 pub struct SharedRegistry {
     inner: Arc<Mutex<Inner>>,
     arena: Arc<Mutex<Option<Arc<ShmArena>>>>,
+    /// Optional recycling pool: placements go through it instead of raw
+    /// arena allocations, and releases return slots to it.
+    slot_pool: Arc<Mutex<Option<SlotPool>>>,
 }
 
 impl SharedRegistry {
@@ -72,6 +76,23 @@ impl SharedRegistry {
     /// The bound arena, if any.
     pub fn arena(&self) -> Option<Arc<ShmArena>> {
         self.arena.lock().clone()
+    }
+
+    /// Binds a recycling [`SlotPool`] (and its arena, if none is bound
+    /// yet). Subsequent placements recycle acked slots in place instead of
+    /// allocating fresh ones, so a steady-state producer performs zero
+    /// arena allocations — see the pool docs.
+    pub fn bind_slot_pool(&self, pool: SlotPool) {
+        let mut arena = self.arena.lock();
+        if arena.is_none() {
+            *arena = Some(pool.arena().clone());
+        }
+        *self.slot_pool.lock() = Some(pool);
+    }
+
+    /// The bound recycling pool, if any.
+    pub fn slot_pool(&self) -> Option<SlotPool> {
+        self.slot_pool.lock().clone()
     }
 
     /// Registers a storage, making it resolvable by id. Re-registering the
@@ -101,7 +122,12 @@ impl SharedRegistry {
         if storage.is_shared_memory() {
             return;
         }
-        if let Ok(handle) = arena.alloc(storage.bytes()) {
+        let pool = self.slot_pool.lock().clone();
+        let placed = match &pool {
+            Some(pool) => pool.place(storage.bytes()),
+            None => arena.alloc(storage.bytes()),
+        };
+        if let Ok(handle) = placed {
             let mut inner = self.inner.lock();
             if inner.storages.contains_key(&storage.id()) {
                 inner.handles.insert(storage.id(), handle);
@@ -109,7 +135,12 @@ impl SharedRegistry {
                 // Racing release already removed the storage: give the
                 // slot straight back instead of leaking it.
                 drop(inner);
-                arena.release(handle);
+                match &pool {
+                    Some(pool) => pool.reclaim(handle),
+                    None => {
+                        arena.release(handle);
+                    }
+                }
             }
         }
     }
@@ -163,10 +194,16 @@ impl SharedRegistry {
     /// bytes until every cross-process view lets go.
     pub fn release(&self, storage_id: u64) -> bool {
         let arena = self.arena.lock().clone();
+        let pool = self.slot_pool.lock().clone();
         let mut inner = self.inner.lock();
         if let Some(handle) = inner.handles.remove(&storage_id) {
-            if let Some(arena) = arena {
-                arena.release(handle);
+            match (&pool, arena) {
+                // Recycling: keep the producer reference, rewrite later.
+                (Some(pool), _) => pool.reclaim(handle),
+                (None, Some(arena)) => {
+                    arena.release(handle);
+                }
+                (None, None) => {}
             }
         }
         inner.storages.remove(&storage_id).is_some()
@@ -281,6 +318,29 @@ mod tests {
             reg.resolve(42, None, DeviceId::Cpu).unwrap_err(),
             TensorError::DanglingPayload { storage_id: 42 }
         ));
+    }
+
+    #[test]
+    fn slot_pool_bound_registry_recycles_placements() {
+        let reg = SharedRegistry::new();
+        let arena = test_arena("pooled", 8, 64);
+        reg.bind_slot_pool(SlotPool::new(arena.clone(), 4));
+        assert!(reg.arena().is_some(), "pool binding also binds its arena");
+        // A publish/ack cycle per storage: register places, release
+        // reclaims, the next register recycles the same slot.
+        for i in 0..20 {
+            let s = Arc::new(Storage::new(vec![i as u8; 16], DeviceId::Cpu));
+            reg.register(&s);
+            let handle = reg.shm_handle(s.id()).expect("placed");
+            assert_eq!(&arena.attach(handle).unwrap()[..], &[i as u8; 16]);
+            reg.release(s.id());
+        }
+        let stats = reg.slot_pool().unwrap().stats();
+        assert_eq!(stats.misses, 1, "only the first placement allocates");
+        assert_eq!(stats.hits, 19);
+        assert_eq!(stats.returned, 20);
+        reg.slot_pool().unwrap().drain();
+        assert_eq!(arena.slots_in_use(), 0);
     }
 
     #[test]

@@ -23,6 +23,23 @@
 //! This example uses the default `inproc://tensorsocket` endpoint and runs
 //! consumers as threads, which is the cheapest way to try the API.
 //!
+//! # Pipeline tuning
+//!
+//! The producer runs as a two-stage pipeline: a feeder stage loads,
+//! decodes and collates batches *ahead of the publish cursor* while the
+//! publish stage stages, registers and announces them. Three knobs:
+//!
+//! * `DataLoaderConfig::num_workers` — loader worker threads (this
+//!   example uses 4). `0` collapses the pipeline into a serial producer;
+//!   either way consumers see the identical batch stream.
+//! * `DataLoaderConfig::prefetch_factor` — batches each worker keeps in
+//!   flight; with `num_workers` it sizes the feeder's hand-off queue
+//!   (override with `ProducerConfig::pipeline_depth`).
+//! * `TsContext::enable_slot_recycling(depth)` — cross-process only:
+//!   recycle fully-acked shared-memory slots in place so steady-state
+//!   publishing allocates nothing from the arena. `depth` ≈ `buffer_size
+//!   × tensors per batch` plus rubberband headroom.
+//!
 //! # Running producer and consumers as separate processes
 //!
 //! The paper's actual deployment is independent training *processes*. For

@@ -301,6 +301,54 @@ proptest! {
             }
         }
     }
+
+    /// The exact window boundary: a join arriving when `published ==
+    /// pinned_batches` is the *last* one admitted — one batch later is
+    /// deferred to the next epoch.
+    #[test]
+    fn rubberband_boundary_is_inclusive(cutoff in 0.0001f64..1.0, batches in 1u64..10_000) {
+        use tensorsocket::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
+        let p = RubberbandPolicy { cutoff };
+        let pinned = p.pinned_batches(batches);
+        prop_assert!(pinned >= 1, "positive cutoff pins at least one batch");
+        prop_assert_eq!(
+            p.decide(pinned, batches),
+            JoinOutcome::AdmitReplay { replay_from: 0 },
+            "join at the boundary (published == pinned == {}) must be admitted", pinned
+        );
+        if pinned < batches {
+            prop_assert_eq!(
+                p.decide(pinned + 1, batches),
+                JoinOutcome::WaitNextEpoch,
+                "one past the boundary must wait"
+            );
+        }
+    }
+
+    /// Cutoffs at or above 1.0 keep the join window open for the whole
+    /// epoch: every mid-epoch join is admitted with a full replay, and the
+    /// pin set covers the entire epoch.
+    #[test]
+    fn rubberband_cutoff_at_least_one_admits_all_epoch(
+        cutoff in 1.0f64..4.0,
+        batches in 1u64..10_000,
+        published_frac in 0.0f64..1.0,
+    ) {
+        use tensorsocket::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
+        let p = RubberbandPolicy { cutoff };
+        prop_assert!(p.pinned_batches(batches) >= batches, "whole epoch stays pinned");
+        let published = ((batches as f64) * published_frac) as u64;
+        prop_assert_eq!(
+            p.decide(published, batches),
+            JoinOutcome::AdmitReplay { replay_from: 0 },
+            "cutoff {} must admit a join at {}/{} batches", cutoff, published, batches
+        );
+        // ...including one arriving exactly at the last published batch.
+        prop_assert_eq!(
+            p.decide(batches, batches),
+            JoinOutcome::AdmitReplay { replay_from: 0 }
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
