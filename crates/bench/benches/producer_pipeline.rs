@@ -12,6 +12,14 @@
 //!   (backed by 1 or 4 loader workers) prepares batches ahead of the
 //!   publish cursor while the publish loop stages and announces.
 //!
+//! The `sharded/<n>` variants run the same epoch through an n-shard
+//! [`ShardedProducerGroup`] (each shard a feeder+publish pipeline over
+//! its disjoint dataset partition, in lockstep under the epoch
+//! coordinator) consumed through one interleaving consumer — the
+//! multi-producer scaling axis: on multi-core runners `sharded/2`
+//! should beat `sharded/1` because the shards' loader workers and
+//! publish stages run concurrently.
+//!
 //! The suite asserts nothing itself; `BENCH_producer_pipeline.json` lands
 //! at the repo root in the shared report schema, the CI gate compares it
 //! against the committed baseline, and the committed numbers document the
@@ -20,7 +28,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 use std::time::Duration;
-use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
+use tensorsocket::{
+    ConsumerConfig, ProducerConfig, ShardedProducerGroup, TensorConsumer, TensorProducer, TsContext,
+};
 use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 
 const SAMPLES: usize = 512;
@@ -86,6 +96,58 @@ fn run_epoch(workers: usize, endpoint: &str) -> u64 {
     batches
 }
 
+/// Runs one full epoch through an n-shard producer group + one
+/// interleaving consumer; returns batches seen.
+fn run_sharded_epoch(shards: usize, endpoint: &str) -> u64 {
+    let ctx = TsContext::host_only();
+    let loaders = DataLoader::sharded(
+        Arc::new(
+            SyntheticImageDataset::new(SAMPLES, SIDE, SIDE, 11)
+                .with_encoded_len(ENCODED_LEN)
+                .with_fetch_latency(FETCH_LATENCY),
+        ),
+        DataLoaderConfig {
+            batch_size: BATCH,
+            num_workers: 2,
+            prefetch_factor: 2,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+        shards,
+    );
+    let group = ShardedProducerGroup::spawn(
+        loaders,
+        &ctx,
+        ProducerConfig {
+            endpoint: endpoint.to_string(),
+            epochs: 1,
+            poll_interval: Duration::from_micros(200),
+            first_consumer_timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .expect("spawn sharded group");
+    let mut consumer = TensorConsumer::connect(
+        &ctx,
+        ConsumerConfig {
+            endpoint: endpoint.to_string(),
+            shards,
+            recv_timeout: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(5),
+            ..Default::default()
+        },
+    )
+    .expect("connect consumer");
+    let mut batches = 0u64;
+    for batch in consumer.by_ref() {
+        std::hint::black_box(batch.labels.view_bytes());
+        batches += 1;
+    }
+    group.join().expect("group join");
+    batches
+}
+
 fn bench_producer_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("producer_pipeline");
     g.sample_size(10);
@@ -102,6 +164,23 @@ fn bench_producer_pipeline(c: &mut Criterion) {
                     round += 1;
                     let endpoint = format!("inproc://bench-pipeline-{workers}-{round}");
                     let batches = run_epoch(workers, &endpoint);
+                    assert_eq!(batches as usize, SAMPLES / BATCH);
+                    batches
+                })
+            },
+        );
+    }
+    // Multi-producer sharding: same epoch, 1 vs 2 shard pipelines.
+    let mut sharded_round = 0u32;
+    for shards in [1usize, 2] {
+        g.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    sharded_round += 1;
+                    let endpoint = format!("inproc://bench-sharded-{shards}-{sharded_round}");
+                    let batches = run_sharded_epoch(shards, &endpoint);
                     assert_eq!(batches as usize, SAMPLES / BATCH);
                     batches
                 })
@@ -133,6 +212,24 @@ fn bench_producer_pipeline(c: &mut Criterion) {
             serial / piped,
             serial / 1e6,
             piped / 1e6
+        );
+    }
+    let one_shard = report
+        .results
+        .iter()
+        .find(|r| r.bench.ends_with("/sharded/1"))
+        .map(|r| r.mean_ns);
+    let two_shards = report
+        .results
+        .iter()
+        .find(|r| r.bench.ends_with("/sharded/2"))
+        .map(|r| r.mean_ns);
+    if let (Some(one), Some(two)) = (one_shard, two_shards) {
+        println!(
+            "sharded producer scaling at 2 shards: {:.2}x (1 shard {:.1} ms -> 2 shards {:.1} ms)",
+            one / two,
+            one / 1e6,
+            two / 1e6
         );
     }
     report.write(

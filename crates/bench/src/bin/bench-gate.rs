@@ -5,17 +5,19 @@
 //! ```
 //!
 //! Compares a freshly generated suite report against the committed
-//! baseline (both in the `BENCH_*.json` schema of `ts_bench::report`) and
-//! exits non-zero when any benchmark's mean regressed by more than the
-//! threshold (default 25%), or when a baseline benchmark disappeared from
-//! the current run. Improvements and new benchmarks pass; a low iteration
-//! floor is called out so noisy means are visible in the log.
+//! baseline (both in the `BENCH_*.json` schema of `ts_bench::report`)
+//! with the **variance-aware normalized min-of-k test**: each
+//! benchmark's minimum per-round mean is compared, with the allowance
+//! widened by the observed relative spread (capped at one extra
+//! threshold) so noisy benchmarks do not flap while tight ones are held
+//! close to the budget. Exits non-zero when any benchmark regresses
+//! beyond its allowance or a baseline benchmark disappeared from the
+//! current run. Rows with too few measurement rounds for the order
+//! statistic (or pre-v3 baselines without one) are printed as `LOW-CONF`
+//! and never fail the gate; improvements and new benchmarks pass.
 
 use std::process::ExitCode;
-use ts_bench::report::{compare, BenchReport, Delta};
-
-/// Iteration floors below this are flagged as noisy in the output.
-const NOISY_ITER_FLOOR: u64 = 20;
+use ts_bench::report::{gate, BenchReport, GateOutcome, GateVerdict};
 
 fn load(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -63,49 +65,54 @@ fn main() -> ExitCode {
         current.schema_version,
         current.payload_bytes
     );
-    if current.iter_floor < NOISY_ITER_FLOOR {
-        println!(
-            "note: current iteration floor is {} (<{NOISY_ITER_FLOOR}); means may be noisy",
-            current.iter_floor
-        );
-    }
-    let deltas = compare(&baseline, &current);
+    let outcomes = gate(&baseline, &current, threshold);
     let mut failures = 0usize;
-    for delta in &deltas {
-        match delta {
-            Delta::Compared {
-                bench,
-                baseline_ns,
-                current_ns,
-                ratio,
-            } => {
-                let regressed = delta.regressed(threshold);
-                let verdict = if regressed { "REGRESSED" } else { "ok" };
+    let mut low_conf = 0usize;
+    for outcome in &outcomes {
+        match outcome {
+            GateOutcome::Checked(c) => {
+                let verdict = match c.verdict {
+                    GateVerdict::Pass => "ok",
+                    GateVerdict::Regressed => {
+                        failures += 1;
+                        "REGRESSED"
+                    }
+                    GateVerdict::LowConfidence => {
+                        low_conf += 1;
+                        "LOW-CONF"
+                    }
+                };
                 println!(
-                    "{verdict:<10} {bench:<48} {baseline_ns:>14.1} ns -> {current_ns:>14.1} ns  ({:+.1}%)",
-                    (ratio - 1.0) * 100.0
+                    "{verdict:<10} {:<48} {:>14.1} ns -> {:>14.1} ns  ({:+.1}%, allowed {:+.1}%)",
+                    c.bench,
+                    c.baseline_ns,
+                    c.current_ns,
+                    (c.ratio - 1.0) * 100.0,
+                    c.allowance * 100.0
                 );
-                if regressed {
-                    failures += 1;
-                }
             }
-            Delta::Missing { bench } => {
+            GateOutcome::Missing { bench } => {
                 println!("MISSING    {bench:<48} (in baseline, absent from current run)");
                 failures += 1;
             }
         }
     }
+    if low_conf > 0 {
+        println!(
+            "note: {low_conf} benchmark(s) had too few measurement rounds for the min-of-k \
+             test (reported, not failed)"
+        );
+    }
     if failures > 0 {
         eprintln!(
-            "bench-gate: {failures} benchmark(s) regressed more than {:.0}% (or went missing) \
-             against {baseline_path}",
-            threshold * 100.0
+            "bench-gate: {failures} benchmark(s) regressed beyond the min-of-k allowance \
+             (or went missing) against {baseline_path}"
         );
         return ExitCode::FAILURE;
     }
     println!(
-        "bench-gate: {} benchmark(s) within the {:.0}% budget",
-        deltas.len(),
+        "bench-gate: {} benchmark(s) within the {:.0}% (+noise) budget",
+        outcomes.len(),
         threshold * 100.0
     );
     ExitCode::SUCCESS

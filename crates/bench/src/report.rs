@@ -7,24 +7,48 @@
 //! iteration, and the iteration floor (the smallest iteration count among
 //! its rows — a low floor means a noisy mean, which the gate reports
 //! rather than silently trusting). Using one helper keeps the suites'
-//! JSON comparable across PRs and lets [`compare`] diff any two reports.
+//! JSON comparable across PRs and lets [`gate`] diff any two reports.
+//!
+//! ## The normalized min-of-k regression test
+//!
+//! Each benchmark's measurement loop is split into `k` timed rounds
+//! (`criterion::SAMPLE_ROUNDS`), and the row records the **minimum**
+//! per-round mean next to the global mean. Timing noise on shared CI
+//! runners is one-sided — interference only ever makes code *slower* —
+//! so the min of k rounds estimates the true cost far more robustly
+//! than a single mean. The gate compares minima, **normalized** by the
+//! observed dispersion: a run's relative spread `(mean − min) / min`
+//! widens the allowance (up to one extra threshold), so a benchmark
+//! that is inherently noisy does not flap, while a tight benchmark is
+//! held close to the threshold. Rows with fewer than
+//! [`MIN_SAMPLES_FOR_MIN_TEST`] rounds (very slow benchmarks) carry too
+//! little information for the order statistic: they are reported as
+//! low-confidence instead of failing the gate.
 
 use criterion::Measurement;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// Version of the on-disk JSON schema; bump when fields change meaning.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Fewest measurement rounds (per side) for the min-of-k verdict to be
+/// trusted; below it the gate reports low confidence instead of failing.
+pub const MIN_SAMPLES_FOR_MIN_TEST: u64 = 3;
 
 /// One benchmark's result row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
     /// Fully qualified benchmark id (`group/name`).
     pub bench: String,
-    /// Mean wall-clock nanoseconds per iteration.
+    /// Mean wall-clock nanoseconds per iteration (all rounds).
     pub mean_ns: f64,
-    /// Iterations measured.
+    /// Minimum per-round mean nanoseconds — the min-of-k statistic.
+    pub min_ns: f64,
+    /// Iterations measured (total).
     pub iters: u64,
+    /// Measurement rounds behind `min_ns` (the `k` of min-of-k).
+    pub samples: u64,
 }
 
 /// A suite's results plus the metadata needed to compare runs.
@@ -58,7 +82,9 @@ impl BenchReport {
             .map(|m| BenchRow {
                 bench: m.id.clone(),
                 mean_ns: m.mean_ns,
+                min_ns: m.min_ns(),
                 iters: m.iters,
+                samples: (m.sample_means_ns.len() as u64).max(1),
             })
             .collect();
         let iter_floor = results.iter().map(|r| r.iters).min().unwrap_or(0);
@@ -84,10 +110,13 @@ impl BenchReport {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
             let _ = writeln!(
                 out,
-                "    {{\"bench\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{comma}",
+                "    {{\"bench\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"iters\": {}, \"samples\": {}}}{comma}",
                 escape(&r.bench),
                 r.mean_ns,
-                r.iters
+                r.min_ns,
+                r.iters,
+                r.samples
             );
         }
         let _ = writeln!(out, "  ]");
@@ -127,17 +156,26 @@ impl BenchReport {
         let mut results = Vec::with_capacity(rows.len());
         for row in rows {
             let row_obj = row.as_object().ok_or("result row is not an object")?;
+            let mean_ns = row_obj
+                .get("mean_ns")
+                .and_then(|v| v.as_f64())
+                .ok_or("row missing \"mean_ns\"")?;
             results.push(BenchRow {
                 bench: row_obj
                     .get("bench")
                     .and_then(|v| v.as_str())
                     .ok_or("row missing \"bench\"")?
                     .to_string(),
-                mean_ns: row_obj
-                    .get("mean_ns")
+                mean_ns,
+                // Pre-v3 rows carry no order statistics: fall back to the
+                // mean with a single sample, which the gate treats as
+                // low-confidence for the min test.
+                min_ns: row_obj
+                    .get("min_ns")
                     .and_then(|v| v.as_f64())
-                    .ok_or("row missing \"mean_ns\"")?,
+                    .unwrap_or(mean_ns),
                 iters: row_obj.get("iters").and_then(|v| v.as_u64()).unwrap_or(0),
+                samples: row_obj.get("samples").and_then(|v| v.as_u64()).unwrap_or(1),
             });
         }
         let iter_floor = obj
@@ -158,64 +196,130 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Outcome of comparing one benchmark across two reports.
+/// How one benchmark fared under the normalized min-of-k test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// Within the (noise-widened) budget.
+    Pass,
+    /// Slower than the budget allows — fails the gate.
+    Regressed,
+    /// Too few measurement rounds on one side for the min statistic
+    /// (below [`MIN_SAMPLES_FOR_MIN_TEST`]): reported, never failed.
+    LowConfidence,
+}
+
+/// One benchmark's comparison under the normalized min-of-k test.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Delta {
-    /// Present in both; `ratio` = current mean / baseline mean.
-    Compared {
-        /// Benchmark id.
-        bench: String,
-        /// Baseline mean ns.
-        baseline_ns: f64,
-        /// Current mean ns.
-        current_ns: f64,
-        /// current / baseline.
-        ratio: f64,
-    },
-    /// In the baseline but missing from the current run (coverage loss).
+pub struct GateCheck {
+    /// Benchmark id.
+    pub bench: String,
+    /// Baseline statistic (min ns; mean for low-confidence rows).
+    pub baseline_ns: f64,
+    /// Current statistic (min ns; mean for low-confidence rows).
+    pub current_ns: f64,
+    /// current / baseline of the statistic.
+    pub ratio: f64,
+    /// Total allowed fractional slowdown: the base threshold plus the
+    /// noise term (larger relative spread of the two runs, capped at one
+    /// extra threshold).
+    pub allowance: f64,
+    /// The verdict.
+    pub verdict: GateVerdict,
+}
+
+/// Outcome of gating one baseline row against the current report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// Present in both reports: compared.
+    Checked(GateCheck),
+    /// In the baseline but missing from the current run (coverage loss —
+    /// always fails the gate).
     Missing {
         /// Benchmark id.
         bench: String,
     },
 }
 
-impl Delta {
-    /// True when this delta regresses beyond `threshold` (fractional; 0.25
-    /// = 25% slower) — a missing benchmark always counts as a regression.
-    pub fn regressed(&self, threshold: f64) -> bool {
+impl GateOutcome {
+    /// True when this outcome fails the gate.
+    pub fn fails(&self) -> bool {
         match self {
-            Delta::Compared { ratio, .. } => *ratio > 1.0 + threshold,
-            Delta::Missing { .. } => true,
+            GateOutcome::Checked(c) => c.verdict == GateVerdict::Regressed,
+            GateOutcome::Missing { .. } => true,
         }
     }
 }
 
-/// Compares `current` against `baseline` row by row (benchmarks only in
+/// The relative one-sided dispersion of a row: how far the mean sits
+/// above the min, in units of the min. Interference inflates the mean
+/// but not the min, so this is a direct noise estimate.
+fn relative_spread(row: &BenchRow) -> f64 {
+    if row.min_ns <= 0.0 {
+        return 0.0;
+    }
+    ((row.mean_ns - row.min_ns) / row.min_ns).max(0.0)
+}
+
+/// Compares one benchmark across two reports with the variance-aware
+/// normalized min-of-k test (see the module docs): minima are compared,
+/// the allowance is `threshold + min(noise, threshold)` where `noise` is
+/// the larger relative spread of the two rows, and rows with fewer than
+/// [`MIN_SAMPLES_FOR_MIN_TEST`] rounds downgrade to a low-confidence
+/// mean comparison that never fails.
+pub fn min_of_k_check(base: &BenchRow, cur: &BenchRow, threshold: f64) -> GateCheck {
+    let confident =
+        base.samples >= MIN_SAMPLES_FOR_MIN_TEST && cur.samples >= MIN_SAMPLES_FOR_MIN_TEST;
+    if !confident {
+        let ratio = if base.mean_ns > 0.0 {
+            cur.mean_ns / base.mean_ns
+        } else {
+            1.0
+        };
+        return GateCheck {
+            bench: base.bench.clone(),
+            baseline_ns: base.mean_ns,
+            current_ns: cur.mean_ns,
+            ratio,
+            allowance: threshold,
+            verdict: GateVerdict::LowConfidence,
+        };
+    }
+    let ratio = if base.min_ns > 0.0 {
+        cur.min_ns / base.min_ns
+    } else {
+        1.0
+    };
+    let noise = relative_spread(base).max(relative_spread(cur));
+    let allowance = threshold + noise.min(threshold);
+    let verdict = if ratio > 1.0 + allowance {
+        GateVerdict::Regressed
+    } else {
+        GateVerdict::Pass
+    };
+    GateCheck {
+        bench: base.bench.clone(),
+        baseline_ns: base.min_ns,
+        current_ns: cur.min_ns,
+        ratio,
+        allowance,
+        verdict,
+    }
+}
+
+/// Gates `current` against `baseline` row by row (benchmarks only in
 /// `current` are new coverage and not reported).
-pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Vec<Delta> {
+pub fn gate(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<GateOutcome> {
     baseline
         .results
         .iter()
-        .map(|base| {
-            match current.results.iter().find(|r| r.bench == base.bench) {
-                Some(cur) if base.mean_ns > 0.0 => Delta::Compared {
-                    bench: base.bench.clone(),
-                    baseline_ns: base.mean_ns,
-                    current_ns: cur.mean_ns,
-                    ratio: cur.mean_ns / base.mean_ns,
-                },
-                // A zero-mean baseline row cannot be ratioed; treat as new.
-                Some(cur) => Delta::Compared {
-                    bench: base.bench.clone(),
-                    baseline_ns: base.mean_ns,
-                    current_ns: cur.mean_ns,
-                    ratio: 1.0,
-                },
-                None => Delta::Missing {
+        .map(
+            |base| match current.results.iter().find(|r| r.bench == base.bench) {
+                Some(cur) => GateOutcome::Checked(min_of_k_check(base, cur, threshold)),
+                None => GateOutcome::Missing {
                     bench: base.bench.clone(),
                 },
-            }
-        })
+            },
+        )
         .collect()
 }
 
@@ -414,15 +518,18 @@ mod json {
 mod tests {
     use super::*;
 
-    fn report(rows: &[(&str, f64, u64)]) -> BenchReport {
-        let results: Vec<BenchRow> = rows
-            .iter()
-            .map(|(b, m, i)| BenchRow {
-                bench: b.to_string(),
-                mean_ns: *m,
-                iters: *i,
-            })
-            .collect();
+    /// Row with explicit statistics: (bench, mean, min, iters, samples).
+    fn row(bench: &str, mean: f64, min: f64, iters: u64, samples: u64) -> BenchRow {
+        BenchRow {
+            bench: bench.to_string(),
+            mean_ns: mean,
+            min_ns: min,
+            iters,
+            samples,
+        }
+    }
+
+    fn report(results: Vec<BenchRow>) -> BenchReport {
         let iter_floor = results.iter().map(|r| r.iters).min().unwrap_or(0);
         BenchReport {
             suite: "test".into(),
@@ -435,7 +542,10 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let r = report(&[("t/a", 123.4, 1000), ("t/b", 5.0e6, 37)]);
+        let r = report(vec![
+            row("t/a", 123.4, 120.0, 1000, 5),
+            row("t/b", 5.0e6, 4.5e6, 37, 5),
+        ]);
         let parsed = BenchReport::parse(&r.to_json()).unwrap();
         assert_eq!(parsed.suite, "test");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION);
@@ -444,6 +554,8 @@ mod tests {
         assert_eq!(parsed.results.len(), 2);
         assert_eq!(parsed.results[0].bench, "t/a");
         assert!((parsed.results[0].mean_ns - 123.4).abs() < 1e-6);
+        assert!((parsed.results[0].min_ns - 120.0).abs() < 1e-6);
+        assert_eq!(parsed.results[0].samples, 5);
         assert_eq!(parsed.results[1].iters, 37);
     }
 
@@ -456,6 +568,10 @@ mod tests {
         assert_eq!(parsed.schema_version, 1);
         assert_eq!(parsed.iter_floor, 5);
         assert_eq!(parsed.results.len(), 1);
+        // Order statistics backfill: min = mean, one sample (= the gate
+        // treats it as low-confidence).
+        assert!((parsed.results[0].min_ns - 10.0).abs() < 1e-9);
+        assert_eq!(parsed.results[0].samples, 1);
     }
 
     #[test]
@@ -466,52 +582,111 @@ mod tests {
     }
 
     #[test]
-    fn compare_flags_regressions_and_missing_rows() {
-        let base = report(&[("t/a", 100.0, 10), ("t/b", 100.0, 10), ("t/c", 100.0, 10)]);
-        let cur = report(&[("t/a", 110.0, 10), ("t/b", 200.0, 10)]);
-        let deltas = compare(&base, &cur);
-        assert_eq!(deltas.len(), 3);
-        assert!(!deltas[0].regressed(0.25), "10% slower is within budget");
-        assert!(deltas[1].regressed(0.25), "2x slower must fail");
-        assert!(deltas[2].regressed(0.25), "missing bench must fail");
-        match &deltas[1] {
-            Delta::Compared { ratio, .. } => assert!((ratio - 2.0).abs() < 1e-9),
-            other => panic!("unexpected {other:?}"),
-        }
+    fn min_of_k_passes_within_budget() {
+        // 10% slower min with tight spreads: inside the 25% budget.
+        let c = min_of_k_check(
+            &row("t/a", 102.0, 100.0, 100, 5),
+            &row("t/a", 112.0, 110.0, 100, 5),
+            0.25,
+        );
+        assert_eq!(c.verdict, GateVerdict::Pass);
+        assert!((c.ratio - 1.1).abs() < 1e-9);
+        // Tight runs (2% spread) barely widen the allowance.
+        assert!(c.allowance < 0.28, "allowance {}", c.allowance);
     }
 
     #[test]
-    fn new_benchmarks_in_current_are_not_deltas() {
-        let base = report(&[("t/a", 100.0, 10)]);
-        let cur = report(&[("t/a", 90.0, 10), ("t/new", 1.0, 10)]);
-        assert_eq!(compare(&base, &cur).len(), 1);
+    fn min_of_k_fails_clear_regressions() {
+        // 2x slower min, tight spreads on both sides: must fail.
+        let c = min_of_k_check(
+            &row("t/a", 102.0, 100.0, 100, 5),
+            &row("t/a", 205.0, 200.0, 100, 5),
+            0.25,
+        );
+        assert_eq!(c.verdict, GateVerdict::Regressed);
+        assert!((c.ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_widens_allowance_but_is_capped() {
+        // A very noisy current run (mean 2x its min) widens the allowance
+        // by at most one extra threshold: 28% slower min passes at 25%…
+        let noisy_pass = min_of_k_check(
+            &row("t/a", 101.0, 100.0, 100, 5),
+            &row("t/a", 256.0, 128.0, 100, 5),
+            0.25,
+        );
+        assert!((noisy_pass.allowance - 0.5).abs() < 1e-9, "noise capped");
+        assert_eq!(noisy_pass.verdict, GateVerdict::Pass, "1.28 <= 1.5");
+        // …but a 60% slower min fails even with maximal noise allowance.
+        let noisy_fail = min_of_k_check(
+            &row("t/a", 101.0, 100.0, 100, 5),
+            &row("t/a", 320.0, 160.0, 100, 5),
+            0.25,
+        );
+        assert_eq!(noisy_fail.verdict, GateVerdict::Regressed);
+    }
+
+    #[test]
+    fn low_iteration_rows_never_hard_fail() {
+        // One round per side (a very slow benchmark): even a huge ratio
+        // is reported as low-confidence, not failed — a single sample
+        // cannot distinguish regression from interference.
+        let c = min_of_k_check(
+            &row("t/slow", 100.0, 100.0, 1, 1),
+            &row("t/slow", 300.0, 300.0, 1, 1),
+            0.25,
+        );
+        assert_eq!(c.verdict, GateVerdict::LowConfidence);
+        assert!((c.ratio - 3.0).abs() < 1e-9);
+        let outcome = GateOutcome::Checked(c);
+        assert!(!outcome.fails(), "low-confidence must not fail the gate");
+        // The same ratio with enough rounds fails.
+        let confident = min_of_k_check(
+            &row("t/slow", 100.0, 100.0, 10, 5),
+            &row("t/slow", 300.0, 300.0, 10, 5),
+            0.25,
+        );
+        assert_eq!(confident.verdict, GateVerdict::Regressed);
+    }
+
+    #[test]
+    fn gate_flags_missing_rows_and_skips_new_coverage() {
+        let base = report(vec![
+            row("t/a", 100.0, 98.0, 10, 5),
+            row("t/gone", 100.0, 98.0, 10, 5),
+        ]);
+        let cur = report(vec![
+            row("t/a", 101.0, 99.0, 10, 5),
+            row("t/new", 1.0, 1.0, 10, 5),
+        ]);
+        let outcomes = gate(&base, &cur, 0.25);
+        assert_eq!(outcomes.len(), 2, "new coverage is not an outcome");
+        assert!(!outcomes[0].fails());
+        assert!(outcomes[1].fails(), "missing bench fails");
+        assert!(matches!(&outcomes[1], GateOutcome::Missing { bench } if bench == "t/gone"));
     }
 
     #[test]
     fn from_measurements_filters_and_floors() {
+        let m = |id: &str, mean: f64, iters: u64, samples: &[f64]| Measurement {
+            id: id.into(),
+            mean_ns: mean,
+            iters,
+            sample_means_ns: samples.to_vec(),
+            throughput: None,
+        };
         let ms = vec![
-            Measurement {
-                id: "transport/a".into(),
-                mean_ns: 10.0,
-                iters: 100,
-                throughput: None,
-            },
-            Measurement {
-                id: "other/b".into(),
-                mean_ns: 20.0,
-                iters: 2,
-                throughput: None,
-            },
-            Measurement {
-                id: "transport/c".into(),
-                mean_ns: 30.0,
-                iters: 7,
-                throughput: None,
-            },
+            m("transport/a", 10.0, 100, &[11.0, 9.5, 10.5]),
+            m("other/b", 20.0, 2, &[]),
+            m("transport/c", 30.0, 7, &[31.0, 29.0]),
         ];
         let r = BenchReport::from_measurements("transport", 64, &ms, "transport/");
         assert_eq!(r.results.len(), 2);
         assert_eq!(r.iter_floor, 7);
         assert_eq!(r.payload_bytes, 64);
+        assert!((r.results[0].min_ns - 9.5).abs() < 1e-9);
+        assert_eq!(r.results[0].samples, 3);
+        assert_eq!(r.results[1].samples, 2);
     }
 }

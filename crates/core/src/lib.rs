@@ -43,6 +43,55 @@
 //! metadata channel and a bulk payload path. See
 //! `examples/multi_process.rs` for the full topology.
 //!
+//! ## Multi-producer sharding and the `(epoch, shard, seq)` contract
+//!
+//! On many-GPU nodes one producer pipeline saturates one NUMA domain;
+//! a [`ShardedProducerGroup`] runs `N` feeder+publish pipelines, each
+//! owning a **disjoint partition** of the dataset (build the per-shard
+//! loaders with `ts_data::DataLoader::sharded`), in lockstep under an
+//! [`EpochCoordinator`] that keeps epoch boundaries aligned and join
+//! admission consistent — a consumer joining mid-epoch replays the
+//! epoch prefix from *every* shard, not just one.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tensorsocket::{ProducerConfig, ConsumerConfig, ShardedProducerGroup, TensorConsumer, TsContext};
+//! use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+//!
+//! let ctx = TsContext::host_only();
+//! let dataset = Arc::new(SyntheticImageDataset::imagenet_like(1024, 0));
+//! // One loader per shard, each owning a disjoint slice of every epoch.
+//! let loaders = DataLoader::sharded(dataset, DataLoaderConfig::default(), 2);
+//! let group = ShardedProducerGroup::spawn(loaders, &ctx, ProducerConfig::default()).unwrap();
+//!
+//! // One consumer subscribed to BOTH shard streams.
+//! let consumer = TensorConsumer::connect(
+//!     &ctx,
+//!     ConsumerConfig { shards: 2, ..Default::default() },
+//! ).unwrap();
+//! for batch in consumer {
+//!     // batches arrive in (epoch, shard, seq) order: one bit-stable
+//!     // stream regardless of shard count or socket timing
+//!     let _ = (batch.epoch, batch.shard, batch.seq);
+//! }
+//! group.join().unwrap();
+//! ```
+//!
+//! **The ordering contract.** Each shard's stream is totally ordered by
+//! its per-shard sequence numbers; the consumer merges the streams by
+//! delivering announcements sorted by `(epoch, index_in_epoch, shard)`
+//! ([`ShardInterleave`]). For shards aligned at an epoch boundary that
+//! is a round-robin (`s0[0], s1[0], …, s0[1], s1[1], …`); a shard with
+//! fewer batches (uneven `dataset_len % shards` tail) simply drops out
+//! of the rotation once exhausted. Because the shard partition, each
+//! shard's batch order, and the merge rule are all deterministic
+//! functions of `(seed, epoch, shard count)`, training sees the same
+//! batch sequence on every run and on every consumer — and with
+//! `shards == 1` the group degenerates byte-for-byte to a plain
+//! [`TensorProducer`]. Shard endpoints derive from the group base
+//! endpoint (`ts_socket::shard_endpoint`): shard 0 *is* the base, so a
+//! one-shard group is wire-compatible with an unsharded deployment.
+//!
 //! ## The producer pipeline and its tuning knobs
 //!
 //! The producer is a two-stage pipeline. A **feeder** stage prepares
@@ -78,7 +127,8 @@
 //!   protocol cannot diverge.
 //! * [`runtime`] — the threaded runtime: [`TensorProducer`] /
 //!   [`TensorConsumer`] over `ts-socket` PUB/SUB + PUSH/PULL with real
-//!   payload sharing through the [`ts_tensor::SharedRegistry`].
+//!   payload sharing through the [`ts_tensor::SharedRegistry`], plus the
+//!   sharded-group layer ([`ShardedProducerGroup`], [`EpochCoordinator`]).
 
 pub mod protocol;
 pub mod runtime;
@@ -88,9 +138,11 @@ pub use protocol::buffer::BatchWindow;
 pub use protocol::flex::{plan_flex, FlexPlan, Segment};
 pub use protocol::heartbeat::HeartbeatMonitor;
 pub use protocol::messages::{AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision};
+pub use protocol::order::ShardInterleave;
 pub use protocol::rubberband::RubberbandPolicy;
 pub use runtime::consumer::{ConsumerBatch, TensorConsumer};
 pub use runtime::context::TsContext;
+pub use runtime::coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
 pub use runtime::producer::{EpochSource, ProducerStats, TensorProducer};
 pub use runtime::{ConsumerConfig, FlexibleConfig, ProducerConfig};
 

@@ -1,4 +1,4 @@
-//! Batch-order variation (§3.2.7).
+//! Batch-order variation (§3.2.7) and the sharded-stream interleave.
 //!
 //! With a single shared loader all consumers would see identical batches in
 //! identical order. For hyper-parameter tuning it can help to decorrelate
@@ -12,6 +12,12 @@
 //!    differs between consumers.
 //!
 //! Both are deterministic given the seed, so runs remain reproducible.
+//!
+//! The third mechanism here is the opposite of decorrelation:
+//! [`ShardInterleave`] is the deterministic merge order a consumer applies
+//! to the streams of a sharded producer group, so that *every* consumer of
+//! the group sees one bit-stable batch sequence regardless of shard count
+//! or network timing — the `(epoch, shard, seq)` ordering contract.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -59,6 +65,85 @@ impl OrderConfig {
             order.shuffle(&mut rng);
         }
         order
+    }
+}
+
+/// The deterministic merge cursor over a sharded producer group's streams.
+///
+/// Each shard publishes an ordered sequence of announcements, positioned
+/// by `(epoch, index_in_epoch)`. A consumer subscribed to all shards must
+/// deliver them in one global order so training is reproducible: the
+/// **`(epoch, shard, seq)` contract** — announcements are delivered
+/// sorted by `(epoch, index_in_epoch, shard)`, which for shards aligned
+/// at an epoch boundary is a plain round-robin (`s0[0], s1[0], …, s0[1],
+/// s1[1], …`) that naturally skips exhausted shards on uneven tails.
+///
+/// The cursor is pure bookkeeping: [`ShardInterleave::next_shard`] names
+/// the shard whose announcement must be delivered next, and
+/// [`ShardInterleave::advance`] moves that shard's position after the
+/// delivery (rolling into its next epoch on `last_in_epoch`). A shard
+/// whose stream ended is removed with [`ShardInterleave::end_shard`];
+/// when all shards ended, `next_shard` returns `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInterleave {
+    /// Per shard: `Some((epoch, index))` of the next expected
+    /// announcement, `None` once the shard's stream ended.
+    cursors: Vec<Option<(u64, u64)>>,
+}
+
+impl ShardInterleave {
+    /// A cursor over `starts.len()` shards, shard `s` positioned at
+    /// `starts[s] = (epoch, index_in_epoch)` (as told by its join reply —
+    /// `(joined_epoch, replay_from)`).
+    pub fn new(starts: Vec<(u64, u64)>) -> Self {
+        Self {
+            cursors: starts.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Number of shards (ended ones included).
+    pub fn num_shards(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// The next expected `(epoch, index)` of a shard, `None` once ended.
+    pub fn cursor(&self, shard: usize) -> Option<(u64, u64)> {
+        self.cursors[shard]
+    }
+
+    /// The shard whose announcement is globally next — the live shard with
+    /// the minimal `(epoch, index, shard)` cursor — or `None` when every
+    /// shard has ended.
+    pub fn next_shard(&self) -> Option<usize> {
+        self.cursors
+            .iter()
+            .enumerate()
+            .filter_map(|(s, c)| c.map(|(e, i)| (e, i, s)))
+            .min()
+            .map(|(_, _, s)| s)
+    }
+
+    /// Records that `shard`'s current announcement was delivered: its
+    /// cursor moves to the next index, or to `(epoch + 1, 0)` when the
+    /// delivered announcement closed the shard's epoch.
+    pub fn advance(&mut self, shard: usize, last_in_epoch: bool) {
+        if let Some((epoch, index)) = self.cursors[shard] {
+            self.cursors[shard] = Some(if last_in_epoch {
+                (epoch + 1, 0)
+            } else {
+                (epoch, index + 1)
+            });
+        }
+    }
+
+    /// Marks `shard`'s stream as ended (its producer published `End`).
+    pub fn end_shard(&mut self, shard: usize) {
+        self.cursors[shard] = None;
+    }
+
+    /// True when every shard's stream has ended.
+    pub fn all_ended(&self) -> bool {
+        self.cursors.iter().all(|c| c.is_none())
     }
 }
 
@@ -123,5 +208,77 @@ mod tests {
         assert_eq!(c.offset_for(1, 4, 0), 0);
         assert_eq!(c.visit_order(0, 0, 0), Vec::<usize>::new());
         assert_eq!(c.visit_order(0, 0, 1), vec![0]);
+    }
+
+    /// Drives an interleave over shards with the given per-epoch batch
+    /// counts; returns the delivered (shard, epoch, index) sequence.
+    fn drive(counts: &[u64], epochs: u64) -> Vec<(usize, u64, u64)> {
+        let mut il = ShardInterleave::new(vec![(0, 0); counts.len()]);
+        let mut out = Vec::new();
+        while let Some(s) = il.next_shard() {
+            let (epoch, index) = il.cursor(s).unwrap();
+            if epoch == epochs {
+                il.end_shard(s);
+                continue;
+            }
+            out.push((s, epoch, index));
+            il.advance(s, index + 1 == counts[s]);
+        }
+        assert!(il.all_ended());
+        out
+    }
+
+    #[test]
+    fn aligned_shards_round_robin() {
+        let seq = drive(&[2, 2], 1);
+        assert_eq!(seq, vec![(0, 0, 0), (1, 0, 0), (0, 0, 1), (1, 0, 1)]);
+    }
+
+    #[test]
+    fn uneven_tails_drop_out_of_rotation() {
+        // shard 0 has 3 batches, shard 1 has 2: shard 0 finishes alone.
+        let seq = drive(&[3, 2], 2);
+        assert_eq!(
+            seq,
+            vec![
+                (0, 0, 0),
+                (1, 0, 0),
+                (0, 0, 1),
+                (1, 0, 1),
+                (0, 0, 2), // shard 1 exhausted: tail delivered from shard 0
+                (0, 1, 0),
+                (1, 1, 0),
+                (0, 1, 1),
+                (1, 1, 1),
+                (0, 1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn interleave_is_sorted_by_epoch_index_shard() {
+        let seq = drive(&[4, 2, 3], 2);
+        let mut sorted = seq.clone();
+        sorted.sort_by_key(|&(s, e, i)| (e, i, s));
+        assert_eq!(
+            seq, sorted,
+            "delivery order is the (epoch, index, shard) sort"
+        );
+        assert_eq!(seq.len(), 2 * (4 + 2 + 3));
+    }
+
+    #[test]
+    fn single_shard_is_a_plain_sequence() {
+        let seq = drive(&[3], 1);
+        assert_eq!(seq, vec![(0, 0, 0), (0, 0, 1), (0, 0, 2)]);
+    }
+
+    #[test]
+    fn mid_epoch_starts_order_consistently() {
+        // A mid-epoch joiner's cursors start at each shard's replay_from.
+        let mut il = ShardInterleave::new(vec![(0, 2), (0, 1)]);
+        assert_eq!(il.next_shard(), Some(1), "lowest index first");
+        il.advance(1, false);
+        assert_eq!(il.next_shard(), Some(0));
     }
 }

@@ -47,13 +47,22 @@ impl RubberbandPolicy {
         ((batches_per_epoch as f64) * self.cutoff).ceil() as u64
     }
 
+    /// True while the join window of an epoch is still open after
+    /// `published_in_epoch` of `batches_per_epoch` batches: a join landing
+    /// now would be admitted with a full replay. This is also the pinning
+    /// predicate — a producer (or every shard of a coordinated group) must
+    /// keep the epoch prefix pinned exactly as long as this holds.
+    pub fn window_open(&self, published_in_epoch: u64, batches_per_epoch: u64) -> bool {
+        published_in_epoch == 0 || published_in_epoch <= self.pinned_batches(batches_per_epoch)
+    }
+
     /// Decides a join that arrives after `published_in_epoch` batches of an
     /// epoch with `batches_per_epoch` total have been published.
     ///
     /// A join at the exact epoch boundary (`published_in_epoch == 0`) is
     /// always admitted.
     pub fn decide(&self, published_in_epoch: u64, batches_per_epoch: u64) -> JoinOutcome {
-        if published_in_epoch == 0 || published_in_epoch <= self.pinned_batches(batches_per_epoch) {
+        if self.window_open(published_in_epoch, batches_per_epoch) {
             JoinOutcome::AdmitReplay { replay_from: 0 }
         } else {
             JoinOutcome::WaitNextEpoch

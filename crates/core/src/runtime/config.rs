@@ -148,8 +148,15 @@ impl ProducerConfig {
 /// Consumer configuration.
 #[derive(Debug, Clone)]
 pub struct ConsumerConfig {
-    /// Endpoint base name; must match the producer's.
+    /// Endpoint base name; must match the producer's (the *group* base
+    /// endpoint when consuming from a sharded producer group).
     pub endpoint: String,
+    /// Number of producer shards to subscribe to (a
+    /// [`crate::ShardedProducerGroup`]'s shard count). The consumer joins
+    /// every shard and interleaves their streams deterministically by
+    /// `(epoch, shard, seq)`. The default `1` consumes a plain single
+    /// producer, byte-identically to the unsharded code path.
+    pub shards: usize,
     /// Desired batch size (flexible mode only; ignored in default mode).
     pub batch_size: Option<usize>,
     /// Interval between heartbeats. Must be well below the producer's
@@ -172,6 +179,7 @@ impl Default for ConsumerConfig {
     fn default() -> Self {
         Self {
             endpoint: "inproc://tensorsocket".to_string(),
+            shards: 1,
             batch_size: None,
             heartbeat_interval: Duration::from_millis(200),
             recv_timeout: Duration::from_secs(30),
@@ -190,6 +198,17 @@ impl ConsumerConfig {
     /// The control (PUSH/PULL) endpoint name.
     pub fn ctrl_endpoint(&self) -> String {
         channel_endpoint(&self.endpoint, "ctrl")
+    }
+
+    /// Shard `shard`'s data endpoint (shard 0 is the base endpoint, so a
+    /// one-shard config degenerates to [`ConsumerConfig::data_endpoint`]).
+    pub fn shard_data_endpoint(&self, shard: usize) -> String {
+        channel_endpoint(&ts_socket::shard_endpoint(&self.endpoint, shard), "data")
+    }
+
+    /// Shard `shard`'s control endpoint.
+    pub fn shard_ctrl_endpoint(&self, shard: usize) -> String {
+        channel_endpoint(&ts_socket::shard_endpoint(&self.endpoint, shard), "ctrl")
     }
 }
 
@@ -232,5 +251,22 @@ mod tests {
         // ctrl port is rejected later by endpoint parsing, not here.
         assert_eq!(channel_endpoint("tcp://h:65535", "ctrl"), "tcp://h:65536");
         assert!(ts_socket::EndpointAddr::parse("tcp://h:65536").is_err());
+    }
+
+    #[test]
+    fn shard_zero_endpoints_match_unsharded() {
+        let c = ConsumerConfig::default();
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.shard_data_endpoint(0), c.data_endpoint());
+        assert_eq!(c.shard_ctrl_endpoint(0), c.ctrl_endpoint());
+        assert_eq!(c.shard_data_endpoint(1), "inproc://tensorsocket/s1/data");
+        let tcp = ConsumerConfig {
+            endpoint: "tcp://127.0.0.1:7000".into(),
+            ..Default::default()
+        };
+        // shard 1 claims ports 7002 (data) / 7003 (ctrl): disjoint from
+        // shard 0's 7000/7001.
+        assert_eq!(tcp.shard_data_endpoint(1), "tcp://127.0.0.1:7002");
+        assert_eq!(tcp.shard_ctrl_endpoint(1), "tcp://127.0.0.1:7003");
     }
 }

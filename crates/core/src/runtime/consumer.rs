@@ -7,10 +7,28 @@
 //! payloads; finishing a batch (calling `next` again, or dropping the
 //! consumer) acknowledges it to the producer, which releases the memory
 //! once every consumer has done so.
+//!
+//! ## Sharded producer groups and the `(epoch, shard, seq)` contract
+//!
+//! With [`ConsumerConfig::shards`] `> 1` the consumer joins every shard of
+//! a [`crate::ShardedProducerGroup`] and merges their streams through a
+//! [`ShardInterleave`]: announcements are delivered sorted by
+//! `(epoch, index_in_epoch, shard)` — round-robin across shards aligned
+//! at an epoch boundary, with exhausted shards dropping out of the
+//! rotation on uneven tails. Because each shard's stream is itself
+//! totally ordered by its sequence numbers, the merged stream is
+//! **bit-stable**: the same dataset, seed and shard count produce the
+//! same batch sequence on every run and for every consumer, regardless
+//! of socket timing. With `shards == 1` the code path is byte-identical
+//! to consuming a plain producer. Acks, heartbeats and leaves flow to
+//! each shard's own control endpoint; the epoch ends for the consumer
+//! when every shard published its last batch, and the stream ends when
+//! every shard published `End`.
 
 use crate::protocol::messages::{
     topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision,
 };
+use crate::protocol::order::ShardInterleave;
 use crate::runtime::config::ConsumerConfig;
 use crate::runtime::context::TsContext;
 use crate::{Result, TsError};
@@ -26,10 +44,13 @@ use ts_tensor::{collate, Tensor, TensorPayload};
 pub struct ConsumerBatch {
     /// Epoch the batch belongs to.
     pub epoch: u64,
-    /// Global sequence number of the announcement it came from.
+    /// Producer shard the batch came from (0 for a plain producer).
+    pub shard: usize,
+    /// Global sequence number of the announcement it came from (per
+    /// shard).
     pub seq: u64,
     /// Batch index within the epoch (producer-batch index under flexible
-    /// sizing).
+    /// sizing; per shard for a sharded group).
     pub index_in_epoch: u64,
     /// Position within the producer batch under flexible sizing (0 in
     /// default mode).
@@ -38,7 +59,8 @@ pub struct ConsumerBatch {
     pub fields: Vec<Tensor>,
     /// Labels.
     pub labels: Tensor,
-    /// True when this came from the final announcement of the epoch.
+    /// True when this came from the final announcement of the epoch (of
+    /// its shard, for a sharded group).
     pub last_in_epoch: bool,
 }
 
@@ -52,7 +74,7 @@ impl ConsumerBatch {
 /// Why iteration stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
-    /// The producer published `End` (all epochs done).
+    /// The producer published `End` (all epochs done, on every shard).
     End,
     /// The producer detached this consumer (missed heartbeats).
     Detached,
@@ -64,30 +86,39 @@ pub enum StopReason {
     Protocol,
 }
 
+/// One shard's connection state: its sockets plus the in-order delivery
+/// bookkeeping (expected sequence number and reorder buffer).
+struct ShardLink {
+    sub: SubSocket,
+    ctrl: PushSocket,
+    /// Next global seq expected from this shard.
+    next_expected: u64,
+    /// Announcements that arrived ahead of order (replay interleaving).
+    reorder: BTreeMap<u64, BatchAnnounce>,
+}
+
 /// The consuming end of a TensorSocket.
 ///
 /// Iterate it like a data loader; it ends when the producer publishes
-/// `End`. Check [`TensorConsumer::stop_reason`] to distinguish clean
-/// completion from detachment or timeouts.
+/// `End` (every shard of a sharded group). Check
+/// [`TensorConsumer::stop_reason`] to distinguish clean completion from
+/// detachment or timeouts.
 pub struct TensorConsumer {
     ctx: TsContext,
     cfg: ConsumerConfig,
     id: u64,
-    sub: SubSocket,
-    ctrl: PushSocket,
+    links: Vec<ShardLink>,
+    /// The deterministic merge cursor over the shard streams.
+    interleave: ShardInterleave,
     hb_stop: Arc<AtomicBool>,
     hb_thread: Option<std::thread::JoinHandle<()>>,
-    /// Next global seq this consumer expects.
-    next_expected: u64,
     /// Epoch joined at admission.
     joined_epoch: u64,
-    /// Announcements that arrived ahead of order (replay interleaving).
-    reorder: BTreeMap<u64, BatchAnnounce>,
     /// Decoded batches awaiting delivery (flexible mode yields several per
     /// announcement).
     queue: VecDeque<ConsumerBatch>,
-    /// Ack to send when the current batch is finished.
-    pending_ack: Option<u64>,
+    /// `(shard, seq)` to acknowledge when the current batch is finished.
+    pending_ack: Option<(usize, u64)>,
     /// Set when iteration stopped.
     stopped: Option<StopReason>,
     last_error: Option<TsError>,
@@ -99,29 +130,41 @@ impl std::fmt::Debug for TensorConsumer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TensorConsumer")
             .field("id", &self.id)
-            .field("next_expected", &self.next_expected)
+            .field("shards", &self.links.len())
             .field("stopped", &self.stopped)
             .finish()
     }
 }
 
 impl TensorConsumer {
-    /// Connects to a producer and completes the join handshake.
+    /// Connects to a producer (or every shard of a sharded producer
+    /// group, per [`ConsumerConfig::shards`]) and completes the join
+    /// handshake with each.
     ///
-    /// Blocks until admitted — which may span an epoch boundary when the
-    /// join arrives too late for rubberbanding — or until `recv_timeout`
-    /// passes without any producer activity.
+    /// Blocks until admitted everywhere — which may span an epoch boundary
+    /// when the join arrives too late for rubberbanding — or until
+    /// `recv_timeout` passes without any producer activity.
     pub fn connect(ctx: &TsContext, cfg: ConsumerConfig) -> Result<TensorConsumer> {
+        let shards = cfg.shards.max(1);
         let id = cfg.consumer_id.unwrap_or_else(rand_id);
-        let sub = SubSocket::connect(&ctx.sockets, &cfg.data_endpoint());
-        sub.subscribe(&topics::consumer(id));
-        sub.subscribe(topics::CTRL);
-        let ctrl = PushSocket::connect(&ctx.sockets, &cfg.ctrl_endpoint());
+        let mut links = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let sub = SubSocket::connect(&ctx.sockets, &cfg.shard_data_endpoint(shard));
+            sub.subscribe(&topics::consumer(id));
+            sub.subscribe(topics::CTRL);
+            let ctrl = PushSocket::connect(&ctx.sockets, &cfg.shard_ctrl_endpoint(shard));
+            links.push(ShardLink {
+                sub,
+                ctrl,
+                next_expected: 0,
+                reorder: BTreeMap::new(),
+            });
+        }
         let hb_stop = Arc::new(AtomicBool::new(false));
-        let hb_thread = spawn_heartbeat(ctx, &cfg, id, hb_stop.clone());
+        let hb_thread = spawn_heartbeat(ctx, &cfg, shards, id, hb_stop.clone());
 
-        let handshake = Self::handshake(&sub, &ctrl, &cfg, id);
-        let (joined_epoch, start_seq) = match handshake {
+        let handshake = Self::handshake_all(&links, &cfg, id);
+        let (joined_epoch, starts) = match handshake {
             Ok(v) => v,
             Err(e) => {
                 hb_stop.store(true, Ordering::Relaxed);
@@ -129,17 +172,20 @@ impl TensorConsumer {
                 return Err(e);
             }
         };
+        let mut cursors = Vec::with_capacity(shards);
+        for (link, (epoch, start_seq, replay_from)) in links.iter_mut().zip(&starts) {
+            link.next_expected = *start_seq;
+            cursors.push((*epoch, *replay_from));
+        }
         Ok(TensorConsumer {
             ctx: ctx.clone(),
             cfg,
             id,
-            sub,
-            ctrl,
+            links,
+            interleave: ShardInterleave::new(cursors),
             hb_stop,
             hb_thread: Some(hb_thread),
-            next_expected: start_seq,
             joined_epoch,
-            reorder: BTreeMap::new(),
             queue: VecDeque::new(),
             pending_ack: None,
             stopped: None,
@@ -149,20 +195,43 @@ impl TensorConsumer {
         })
     }
 
-    fn handshake(
+    /// Sends `Join` to every shard up front (so the group coordinator
+    /// decides one admission for all of them), then completes each
+    /// shard's handshake in shard order. Returns the joined epoch and the
+    /// per-shard `(epoch, start_seq, replay_from)` admission positions.
+    #[allow(clippy::type_complexity)]
+    fn handshake_all(
+        links: &[ShardLink],
+        cfg: &ConsumerConfig,
+        id: u64,
+    ) -> Result<(u64, Vec<(u64, u64, u64)>)> {
+        for link in links {
+            link.ctrl
+                .send(Multipart::single(
+                    CtrlMsg::Join {
+                        consumer_id: id,
+                        batch_size: cfg.batch_size.unwrap_or(0) as u32,
+                    }
+                    .encode(),
+                ))
+                .map_err(|e| TsError::Socket(format!("join send: {e}")))?;
+        }
+        let mut starts = Vec::with_capacity(links.len());
+        for link in links {
+            starts.push(Self::await_admit(&link.sub, &link.ctrl, cfg, id)?);
+        }
+        let joined_epoch = starts.first().map(|s| s.0).unwrap_or(0);
+        Ok((joined_epoch, starts))
+    }
+
+    /// Waits for one shard's `AdmitReplay`, subscribes its batch topic and
+    /// confirms readiness. Returns `(epoch, start_seq, replay_from)`.
+    fn await_admit(
         sub: &SubSocket,
         ctrl: &PushSocket,
         cfg: &ConsumerConfig,
         id: u64,
-    ) -> Result<(u64, u64)> {
-        ctrl.send(Multipart::single(
-            CtrlMsg::Join {
-                consumer_id: id,
-                batch_size: cfg.batch_size.unwrap_or(0) as u32,
-            }
-            .encode(),
-        ))
-        .map_err(|e| TsError::Socket(format!("join send: {e}")))?;
+    ) -> Result<(u64, u64, u64)> {
         // The deadline is refreshed on every producer message so waiting out
         // a long epoch after a WaitEpoch reply does not trip the timeout as
         // long as the producer shows signs of life.
@@ -193,7 +262,10 @@ impl TensorConsumer {
                     decision,
                 } if consumer_id == id => match decision {
                     JoinDecision::AdmitReplay {
-                        epoch, start_seq, ..
+                        epoch,
+                        replay_from,
+                        start_seq,
+                        ..
                     } => {
                         // Only now subscribe to the shared stream, then tell
                         // the producer we will not miss anything.
@@ -202,7 +274,7 @@ impl TensorConsumer {
                             CtrlMsg::Ready { consumer_id: id }.encode(),
                         ))
                         .map_err(|e| TsError::Socket(format!("ready send: {e}")))?;
-                        return Ok((epoch, start_seq));
+                        return Ok((epoch, start_seq, replay_from));
                     }
                     JoinDecision::WaitEpoch { .. } => {
                         // keep waiting; the producer will send AdmitReplay
@@ -226,6 +298,11 @@ impl TensorConsumer {
         self.joined_epoch
     }
 
+    /// Number of producer shards this consumer is subscribed to.
+    pub fn num_shards(&self) -> usize {
+        self.links.len()
+    }
+
     /// Why iteration stopped, once it has.
     pub fn stop_reason(&self) -> Option<StopReason> {
         self.stopped
@@ -247,9 +324,9 @@ impl TensorConsumer {
     }
 
     /// Batch pointers currently buffered locally (the consumer-side batch
-    /// buffer of §3.2.5).
+    /// buffer of §3.2.5), summed over shard subscriptions.
     pub fn buffered(&self) -> usize {
-        self.queue.len() + self.sub.queued()
+        self.queue.len() + self.links.iter().map(|l| l.sub.queued()).sum::<usize>()
     }
 
     fn unpack(&self, p: &TensorPayload) -> Result<Tensor> {
@@ -305,14 +382,16 @@ impl TensorConsumer {
         Ok(())
     }
 
-    fn ingest(&mut self, a: BatchAnnounce) -> Result<()> {
-        self.next_expected = a.seq + 1;
+    fn ingest(&mut self, shard: usize, a: BatchAnnounce) -> Result<()> {
+        self.links[shard].next_expected = a.seq + 1;
+        self.interleave.advance(shard, a.last_in_epoch);
         match a.content {
             AnnounceContent::Shared { fields, labels } => {
                 let fields: Result<Vec<Tensor>> = fields.iter().map(|p| self.unpack(p)).collect();
                 let labels = self.unpack(&labels)?;
                 self.enqueue(ConsumerBatch {
                     epoch: a.epoch,
+                    shard,
                     seq: a.seq,
                     index_in_epoch: a.index_in_epoch,
                     sub_index: 0,
@@ -331,6 +410,7 @@ impl TensorConsumer {
                     let labels = self.unpack_segments(&fb.labels)?;
                     self.enqueue(ConsumerBatch {
                         epoch: a.epoch,
+                        shard,
                         seq: a.seq,
                         index_in_epoch: a.index_in_epoch,
                         sub_index: k,
@@ -345,18 +425,27 @@ impl TensorConsumer {
     }
 
     /// Pulls messages until the queue has something to yield or iteration
-    /// stops.
+    /// stops. With several shards, always drains the shard whose
+    /// announcement is globally next per the `(epoch, shard, seq)`
+    /// contract — blocking on *that* shard's socket, since nothing else
+    /// may be delivered first.
     fn pump(&mut self) {
         while self.queue.is_empty() && self.stopped.is_none() {
+            let Some(target) = self.interleave.next_shard() else {
+                // Every shard published End: clean end of stream.
+                self.stopped = Some(StopReason::End);
+                return;
+            };
             // Serve the reorder buffer first.
-            if let Some(a) = self.reorder.remove(&self.next_expected) {
-                if let Err(e) = self.ingest(a) {
+            let next_expected = self.links[target].next_expected;
+            if let Some(a) = self.links[target].reorder.remove(&next_expected) {
+                if let Err(e) = self.ingest(target, a) {
                     self.last_error = Some(e);
                     self.stopped = Some(StopReason::Protocol);
                 }
                 continue;
             }
-            let msg = match self.sub.recv_timeout(self.cfg.recv_timeout) {
+            let msg = match self.links[target].sub.recv_timeout(self.cfg.recv_timeout) {
                 Ok((_, m)) => m,
                 Err(RecvError::Timeout) => {
                     self.stopped = Some(StopReason::Timeout);
@@ -375,23 +464,24 @@ impl TensorConsumer {
             };
             match data {
                 DataMsg::Batch(a) => {
-                    if a.seq < self.next_expected {
+                    let link = &mut self.links[target];
+                    if a.seq < link.next_expected {
                         continue; // duplicate of a replayed batch
                     }
-                    if a.seq == self.next_expected {
-                        if let Err(e) = self.ingest(a) {
+                    if a.seq == link.next_expected {
+                        if let Err(e) = self.ingest(target, a) {
                             self.last_error = Some(e);
                             self.stopped = Some(StopReason::Protocol);
                         }
                     } else {
-                        self.reorder.insert(a.seq, a);
+                        link.reorder.insert(a.seq, a);
                     }
                 }
                 DataMsg::Detached { consumer_id } if consumer_id == self.id => {
                     self.stopped = Some(StopReason::Detached);
                 }
                 DataMsg::End => {
-                    self.stopped = Some(StopReason::End);
+                    self.interleave.end_shard(target);
                 }
                 _ => {}
             }
@@ -399,8 +489,8 @@ impl TensorConsumer {
     }
 
     fn send_pending_ack(&mut self) {
-        if let Some(seq) = self.pending_ack.take() {
-            let _ = self.ctrl.send(Multipart::single(
+        if let Some((shard, seq)) = self.pending_ack.take() {
+            let _ = self.links[shard].ctrl.send(Multipart::single(
                 CtrlMsg::Ack {
                     consumer_id: self.id,
                     seq,
@@ -427,9 +517,13 @@ impl Iterator for TensorConsumer {
             self.pump();
         }
         let batch = self.queue.pop_front()?;
-        if self.queue.iter().all(|b| b.seq != batch.seq) {
+        if self
+            .queue
+            .iter()
+            .all(|b| b.seq != batch.seq || b.shard != batch.shard)
+        {
             // Last carved batch of this announcement: ack when finished.
-            self.pending_ack = Some(batch.seq);
+            self.pending_ack = Some((batch.shard, batch.seq));
         }
         self.batches_consumed += 1;
         self.samples_consumed += batch.batch_size() as u64;
@@ -445,12 +539,14 @@ impl Iterator for TensorConsumer {
 impl Drop for TensorConsumer {
     fn drop(&mut self) {
         self.send_pending_ack();
-        let _ = self.ctrl.send(Multipart::single(
-            CtrlMsg::Leave {
-                consumer_id: self.id,
-            }
-            .encode(),
-        ));
+        for link in &self.links {
+            let _ = link.ctrl.send(Multipart::single(
+                CtrlMsg::Leave {
+                    consumer_id: self.id,
+                }
+                .encode(),
+            ));
+        }
         self.hb_stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.hb_thread.take() {
             let _ = h.join();
@@ -466,22 +562,39 @@ fn rand_id() -> u64 {
 fn spawn_heartbeat(
     ctx: &TsContext,
     cfg: &ConsumerConfig,
+    shards: usize,
     id: u64,
     stop: Arc<AtomicBool>,
 ) -> std::thread::JoinHandle<()> {
-    let push = PushSocket::connect(&ctx.sockets, &cfg.ctrl_endpoint());
+    let mut pushes: Vec<Option<PushSocket>> = (0..shards)
+        .map(|s| {
+            Some(PushSocket::connect(
+                &ctx.sockets,
+                &cfg.shard_ctrl_endpoint(s),
+            ))
+        })
+        .collect();
     let interval = cfg.heartbeat_interval;
     std::thread::Builder::new()
         .name(format!("ts-heartbeat-{id}"))
         .spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                if push
-                    .send(Multipart::single(
-                        CtrlMsg::Heartbeat { consumer_id: id }.encode(),
-                    ))
-                    .is_err()
-                {
-                    return; // producer gone
+                // A dead shard stops receiving heartbeats; the SURVIVING
+                // shards must keep getting them, or they would expire a
+                // perfectly healthy consumer mid-stream.
+                for push in pushes.iter_mut() {
+                    let Some(socket) = push else { continue };
+                    if socket
+                        .send(Multipart::single(
+                            CtrlMsg::Heartbeat { consumer_id: id }.encode(),
+                        ))
+                        .is_err()
+                    {
+                        *push = None; // this shard's producer is gone
+                    }
+                }
+                if pushes.iter().all(|p| p.is_none()) {
+                    return; // every producer gone
                 }
                 std::thread::sleep(interval);
             }

@@ -114,6 +114,28 @@ impl TsContext {
         self.registry.bind_slot_pool(pool.clone());
         Ok(pool)
     }
+
+    /// Per-shard slot recycling for a [`crate::ShardedProducerGroup`]:
+    /// binds one recycling pool of `depth` idle slots for shard `shard`,
+    /// over the same arena. Each shard's publish pipeline then recycles
+    /// its own slots — no cross-shard contention on one free list, and
+    /// per-shard [`ts_tensor::SlotPool::stats`] stay attributable. Call
+    /// once per shard after [`TsContext::create_arena`]; shards without
+    /// their own pool fall back to the default pool (if
+    /// [`TsContext::enable_slot_recycling`] was called) or raw arena
+    /// allocation.
+    pub fn enable_shard_slot_recycling(
+        &self,
+        shard: u32,
+        depth: usize,
+    ) -> Result<ts_tensor::SlotPool> {
+        let arena = self.registry.arena().ok_or_else(|| {
+            TsError::Arena("no arena bound: call create_arena before enabling recycling".into())
+        })?;
+        let pool = ts_tensor::SlotPool::new(arena, depth);
+        self.registry.bind_shard_slot_pool(shard, pool.clone());
+        Ok(pool)
+    }
 }
 
 #[cfg(test)]

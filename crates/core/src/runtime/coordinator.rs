@@ -1,0 +1,510 @@
+//! The epoch coordinator for sharded producer groups.
+//!
+//! One feeder+publisher pair per node is the paper's shape; on many-GPU
+//! nodes a single producer saturates one NUMA domain, so the dataset is
+//! sharded across `N` producer pipelines — one [`crate::TensorProducer`]
+//! per shard, each owning a disjoint partition of the epoch (see
+//! `ts_data::ShardedSampler`). Sharding only pays off if epoch and shard
+//! boundaries stay consistent under worker skew; the
+//! [`EpochCoordinator`] is the in-process authority that keeps them so:
+//!
+//! * **Lockstep epoch boundaries** — a generation barrier: no shard
+//!   starts publishing epoch `e + 1` until every live shard finished `e`.
+//!   Shards keep servicing their control channels (acks, heartbeats,
+//!   joins) while parked at the barrier, so consumers never starve.
+//! * **One admission decision per consumer** — each shard receives its
+//!   own copy of a consumer's `Join`, at slightly different times. The
+//!   first shard to ask decides — against the *group* state (every
+//!   shard's publish progress vs. its rubberband pin window) — and the
+//!   decision is memoized, so every shard answers the same consumer the
+//!   same way. A joiner admitted mid-epoch therefore replays a consistent
+//!   epoch prefix from **every** shard, not just the one that processed
+//!   its join first.
+//! * **A shared rubberband pin set** — a shard may only release its
+//!   pinned epoch prefix once no shard can admit a joiner anymore *and*
+//!   no decided admission is still waiting to be applied on it. This
+//!   closes the race where shard `B` publishes past its pin boundary in
+//!   the instant between shard `A` admitting a consumer and `B`
+//!   processing that consumer's join: the batches `B` published in that
+//!   window stay pinned and are replayed.
+//!
+//! The coordinator is deliberately poll-based (no condvars): producer
+//! loops already park on their control channels with a bounded wait, and
+//! the barrier piggybacks on that rhythm.
+
+use crate::runtime::config::ProducerConfig;
+use crate::runtime::context::TsContext;
+use crate::runtime::producer::{EpochSource, ProducerStats, TensorProducer};
+use crate::{Result, TsError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The group-level outcome of a consumer's join, shared by every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupJoin {
+    /// Admit now; each shard replays its pinned epoch prefix.
+    AdmitReplay,
+    /// Admit at each shard's current position (no consumer was active, so
+    /// there is nothing to halt and nothing that must be replayed).
+    AdmitAtCurrent,
+    /// Defer to the next coordinated epoch boundary.
+    WaitNextEpoch,
+}
+
+#[derive(Debug)]
+struct CoordInner {
+    /// Completed barrier count; shards wait for a target generation.
+    generation: u64,
+    /// Shards arrived at the pending barrier.
+    arrived: u32,
+    /// Epoch the pending barrier opens.
+    pending_epoch: u64,
+    /// Epoch the group currently publishes (set when a barrier opens);
+    /// every join decision is stamped with it, so a shard still parked
+    /// at an already-open barrier can tell the decision belongs to an
+    /// epoch it has not begun yet and defer instead of applying its
+    /// stale pre-boundary state.
+    epoch: u64,
+    /// Live shards (a retired shard no longer counts toward the barrier).
+    active: Vec<bool>,
+    /// Per-shard publish progress within the current epoch.
+    published: Vec<u64>,
+    /// Per-shard rubberband pin boundary for the current epoch.
+    pin_limit: Vec<u64>,
+    /// Memoized join decisions for the current epoch, by consumer id.
+    decisions: HashMap<u64, GroupJoin>,
+    /// Per shard: admissions decided but not yet applied locally
+    /// (consumer id → decision time, for expiry).
+    unapplied: Vec<HashMap<u64, Instant>>,
+    stopped: bool,
+}
+
+/// Coordinates `N` shard producers: lockstep epoch boundaries, memoized
+/// group join decisions, and the shared rubberband pin set. See the
+/// module docs for the invariants.
+#[derive(Debug)]
+pub struct EpochCoordinator {
+    shards: usize,
+    /// An unapplied admission older than this is abandoned (the consumer
+    /// died, or its join never reached the shard) so it cannot wedge the
+    /// barrier or pin memory forever.
+    apply_timeout: Duration,
+    inner: Mutex<CoordInner>,
+}
+
+impl EpochCoordinator {
+    /// A coordinator for `shards` producer pipelines. `apply_timeout`
+    /// bounds how long a decided admission may stay unapplied (use the
+    /// producer's heartbeat timeout).
+    pub fn new(shards: usize, apply_timeout: Duration) -> Self {
+        assert!(shards >= 1, "coordinator needs at least one shard");
+        Self {
+            shards,
+            apply_timeout,
+            inner: Mutex::new(CoordInner {
+                generation: 0,
+                arrived: 0,
+                pending_epoch: 0,
+                epoch: 0,
+                active: vec![true; shards],
+                published: vec![0; shards],
+                pin_limit: vec![0; shards],
+                decisions: HashMap::new(),
+                unapplied: vec![HashMap::new(); shards],
+                stopped: false,
+            }),
+        }
+    }
+
+    /// Number of shards the coordinator was built for.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The epoch most recently announced to the barrier (diagnostics).
+    pub fn pending_epoch(&self) -> u64 {
+        self.inner.lock().pending_epoch
+    }
+
+    fn try_open(&self, inner: &mut CoordInner) {
+        let now = Instant::now();
+        for shard_unapplied in &mut inner.unapplied {
+            shard_unapplied.retain(|_, decided| now.duration_since(*decided) < self.apply_timeout);
+        }
+        let active = inner.active.iter().filter(|a| **a).count() as u32;
+        let applied_everywhere = inner
+            .unapplied
+            .iter()
+            .zip(&inner.active)
+            .all(|(u, active)| !active || u.is_empty());
+        if active > 0 && inner.arrived >= active && applied_everywhere {
+            inner.generation += 1;
+            inner.arrived = 0;
+            inner.epoch = inner.pending_epoch;
+            inner.published.iter_mut().for_each(|p| *p = 0);
+            inner.decisions.clear();
+        }
+    }
+
+    /// A shard announces it finished the previous epoch and is ready to
+    /// publish `epoch` (expecting `pin_limit` pinned batches under the
+    /// rubberband policy). Returns the barrier generation to wait for via
+    /// [`EpochCoordinator::reached`].
+    pub fn arrive(&self, shard: u32, epoch: u64, pin_limit: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.pin_limit[shard as usize] = pin_limit;
+        inner.published[shard as usize] = 0;
+        inner.pending_epoch = epoch;
+        inner.arrived += 1;
+        let target = inner.generation + 1;
+        self.try_open(&mut inner);
+        target
+    }
+
+    /// True once barrier generation `target` has opened. Re-evaluates the
+    /// barrier so expired unapplied admissions cannot wedge it.
+    pub fn reached(&self, target: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.generation < target {
+            self.try_open(&mut inner);
+        }
+        inner.generation >= target
+    }
+
+    /// A shard reports its publish progress within the current epoch.
+    pub fn note_published(&self, shard: u32, published_in_epoch: u64) {
+        self.inner.lock().published[shard as usize] = published_in_epoch;
+    }
+
+    fn group_window_open(inner: &CoordInner) -> bool {
+        inner.arrived == 0
+            && inner
+                .published
+                .iter()
+                .zip(&inner.pin_limit)
+                .zip(&inner.active)
+                .all(|((p, limit), active)| !active || *p <= *limit)
+    }
+
+    /// True while shard `shard` must keep its epoch prefix pinned: either
+    /// the group join window is still open (a consumer admitted by any
+    /// shard would replay from all of them), or an already-decided
+    /// admission has not been applied on this shard yet.
+    pub fn pin_window_open(&self, shard: u32) -> bool {
+        let inner = self.inner.lock();
+        Self::group_window_open(&inner) || !inner.unapplied[shard as usize].is_empty()
+    }
+
+    /// Decides (or recalls) the group outcome for consumer `id`'s join,
+    /// returning the decision and the **epoch it was made for** (the
+    /// group's current epoch). A caller whose own admission state
+    /// (`pin_epoch`) lags the decision epoch — it is still parked at a
+    /// barrier that already opened — must not apply the admission with
+    /// its stale pre-boundary state; it defers to its next
+    /// `begin_epoch`, which admits with the decision epoch's state.
+    ///
+    /// `no_consumers_locally` is the calling shard's "nobody is training"
+    /// hint, which selects the admit-at-current-position path the paper
+    /// allows mid-epoch. The first shard to ask decides against global
+    /// state; everyone else gets the memo.
+    pub fn decide_join(&self, id: u64, no_consumers_locally: bool) -> (GroupJoin, u64) {
+        let mut inner = self.inner.lock();
+        if let Some(d) = inner.decisions.get(&id) {
+            return (*d, inner.epoch);
+        }
+        let decision = if inner.stopped || inner.arrived > 0 {
+            // A shard already crossed into the next epoch boundary: defer
+            // everyone to the boundary so no shard admits into an epoch
+            // another shard has finished.
+            GroupJoin::WaitNextEpoch
+        } else if inner
+            .published
+            .iter()
+            .zip(&inner.active)
+            .all(|(p, active)| !active || *p == 0)
+        {
+            GroupJoin::AdmitReplay
+        } else if no_consumers_locally {
+            GroupJoin::AdmitAtCurrent
+        } else if Self::group_window_open(&inner) {
+            GroupJoin::AdmitReplay
+        } else {
+            GroupJoin::WaitNextEpoch
+        };
+        inner.decisions.insert(id, decision);
+        if matches!(decision, GroupJoin::AdmitReplay | GroupJoin::AdmitAtCurrent) {
+            let now = Instant::now();
+            let active = inner.active.clone();
+            for (unapplied, active) in inner.unapplied.iter_mut().zip(active) {
+                if active {
+                    unapplied.insert(id, now);
+                }
+            }
+        }
+        (decision, inner.epoch)
+    }
+
+    /// Shard `shard` applied consumer `id`'s admission (replayed its pins
+    /// and armed its window).
+    pub fn applied(&self, shard: u32, id: u64) {
+        let mut inner = self.inner.lock();
+        inner.unapplied[shard as usize].remove(&id);
+        self.try_open(&mut inner);
+    }
+
+    /// Consumer `id` left or was detached: forget any admission still
+    /// waiting to be applied for it.
+    pub fn abandon(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        for unapplied in &mut inner.unapplied {
+            unapplied.remove(&id);
+        }
+        self.try_open(&mut inner);
+    }
+
+    /// Shard `shard`'s producer loop exited; it no longer counts toward
+    /// barriers or admission decisions.
+    pub fn retire(&self, shard: u32) {
+        let mut inner = self.inner.lock();
+        if std::mem::replace(&mut inner.active[shard as usize], false) {
+            inner.unapplied[shard as usize].clear();
+            self.try_open(&mut inner);
+        }
+    }
+
+    /// Asks every shard to wind down (set on group abort / spawn failure).
+    pub fn stop(&self) {
+        self.inner.lock().stopped = true;
+    }
+
+    /// True once [`EpochCoordinator::stop`] was called.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.lock().stopped
+    }
+}
+
+/// A sharded producer group: `N` feeder+publish pipelines, one per
+/// disjoint dataset shard, in lockstep under one [`EpochCoordinator`].
+///
+/// Shard `i` publishes on `shard_endpoint(base, i)` (shard 0 *is* the
+/// base endpoint); a [`crate::TensorConsumer`] with
+/// [`crate::ConsumerConfig::shards`] set subscribes to all of them and
+/// interleaves the streams deterministically by `(epoch, shard, seq)`,
+/// so training sees one bit-stable stream regardless of shard count —
+/// and with one shard, a byte-identical stream to a plain
+/// [`TensorProducer`].
+///
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use tensorsocket::{ProducerConfig, ConsumerConfig, ShardedProducerGroup, TensorConsumer, TsContext};
+/// # use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+/// let ctx = TsContext::host_only();
+/// let dataset = Arc::new(SyntheticImageDataset::imagenet_like(1024, 0));
+/// let loaders = DataLoader::sharded(dataset, DataLoaderConfig::default(), 2);
+/// let group = ShardedProducerGroup::spawn(loaders, &ctx, ProducerConfig::default()).unwrap();
+/// let consumer = TensorConsumer::connect(
+///     &ctx,
+///     ConsumerConfig { shards: 2, ..Default::default() },
+/// )
+/// .unwrap();
+/// for batch in consumer { /* one interleaved, bit-stable stream */ }
+/// group.join().unwrap();
+/// ```
+pub struct ShardedProducerGroup {
+    producers: Vec<TensorProducer>,
+    coordinator: Arc<EpochCoordinator>,
+}
+
+impl std::fmt::Debug for ShardedProducerGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedProducerGroup")
+            .field("shards", &self.producers.len())
+            .finish()
+    }
+}
+
+impl ShardedProducerGroup {
+    /// Spawns one producer pipeline per source (source `i` must own shard
+    /// `i`'s partition — e.g. `DataLoader::sharded(dataset, cfg, n)`),
+    /// publishing on per-shard endpoints derived from `cfg.endpoint`.
+    pub fn spawn<S: EpochSource>(
+        sources: Vec<S>,
+        ctx: &TsContext,
+        cfg: ProducerConfig,
+    ) -> Result<ShardedProducerGroup> {
+        if sources.is_empty() {
+            return Err(TsError::Config(
+                "sharded group needs at least one source".into(),
+            ));
+        }
+        let coordinator = Arc::new(EpochCoordinator::new(sources.len(), cfg.heartbeat_timeout));
+        let mut producers = Vec::with_capacity(sources.len());
+        for (shard, source) in sources.into_iter().enumerate() {
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.endpoint = ts_socket::shard_endpoint(&cfg.endpoint, shard);
+            match TensorProducer::spawn_sharded(
+                source,
+                ctx,
+                shard_cfg,
+                coordinator.clone(),
+                shard as u32,
+            ) {
+                Ok(p) => producers.push(p),
+                Err(e) => {
+                    // Unwind the shards already running.
+                    coordinator.stop();
+                    for p in &producers {
+                        p.abort();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ShardedProducerGroup {
+            producers,
+            coordinator,
+        })
+    }
+
+    /// Number of shard pipelines in the group.
+    pub fn num_shards(&self) -> usize {
+        self.producers.len()
+    }
+
+    /// The group's coordinator (inspection and tests).
+    pub fn coordinator(&self) -> &Arc<EpochCoordinator> {
+        &self.coordinator
+    }
+
+    /// Requests every shard to stop after the batch in flight.
+    pub fn abort(&self) {
+        self.coordinator.stop();
+        for p in &self.producers {
+            p.abort();
+        }
+    }
+
+    /// Waits for every shard to finish; returns per-shard stats (index =
+    /// shard). Like [`TensorProducer::join`], an aborted group still
+    /// returns the partial stats of each shard.
+    pub fn join(self) -> Result<Vec<ProducerStats>> {
+        self.producers.into_iter().map(|p| p.join()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn barrier_opens_only_when_all_shards_arrive() {
+        let c = EpochCoordinator::new(3, T);
+        let g0 = c.arrive(0, 0, 1);
+        assert!(!c.reached(g0));
+        let g1 = c.arrive(1, 0, 1);
+        assert_eq!(g0, g1);
+        assert!(!c.reached(g0));
+        let _ = c.arrive(2, 0, 1);
+        assert!(c.reached(g0), "all shards arrived");
+        // Next epoch needs a fresh round of arrivals.
+        let g_next = c.arrive(0, 1, 1);
+        assert!(!c.reached(g_next));
+    }
+
+    #[test]
+    fn retired_shards_stop_counting_toward_the_barrier() {
+        let c = EpochCoordinator::new(2, T);
+        let g = c.arrive(0, 0, 1);
+        assert!(!c.reached(g));
+        c.retire(1);
+        assert!(c.reached(g), "lone survivor proceeds");
+    }
+
+    #[test]
+    fn join_decisions_are_memoized_per_consumer() {
+        let c = EpochCoordinator::new(2, T);
+        let g = c.arrive(0, 0, 2);
+        let _ = c.arrive(1, 0, 2);
+        assert!(c.reached(g));
+        c.note_published(0, 1);
+        c.note_published(1, 1);
+        // Within every shard's pin window: admit, and the memo repeats it.
+        assert_eq!(c.decide_join(7, false).0, GroupJoin::AdmitReplay);
+        // Shard 1 races past its pin boundary before applying…
+        c.note_published(1, 5);
+        // …but must still answer consumer 7 the same way,
+        assert_eq!(c.decide_join(7, false).0, GroupJoin::AdmitReplay);
+        // …and keep pinning until it applies the admission.
+        assert!(c.pin_window_open(1));
+        c.applied(0, 7);
+        c.applied(1, 7);
+        assert!(!c.pin_window_open(1), "window closed once applied");
+        // A fresh consumer now waits: shard 1 is past its pin window.
+        assert_eq!(c.decide_join(8, false).0, GroupJoin::WaitNextEpoch);
+    }
+
+    #[test]
+    fn joins_defer_once_any_shard_reaches_the_boundary() {
+        let c = EpochCoordinator::new(2, T);
+        let g = c.arrive(0, 0, 10);
+        let _ = c.arrive(1, 0, 10);
+        assert!(c.reached(g));
+        c.note_published(0, 1);
+        c.note_published(1, 1);
+        // Shard 0 finishes the epoch and arrives for the next one.
+        let _ = c.arrive(0, 1, 10);
+        // Even though shard 1 is still inside its pin window, the group
+        // defers: admitting now would straddle the epoch boundary.
+        assert_eq!(c.decide_join(9, false).0, GroupJoin::WaitNextEpoch);
+    }
+
+    #[test]
+    fn unapplied_admissions_block_and_then_release_the_barrier() {
+        let c = EpochCoordinator::new(2, Duration::from_millis(40));
+        let g = c.arrive(0, 0, 5);
+        let _ = c.arrive(1, 0, 5);
+        assert!(c.reached(g));
+        c.note_published(0, 1);
+        assert_eq!(c.decide_join(3, false).0, GroupJoin::AdmitReplay);
+        c.applied(0, 3); // shard 1 never applies (consumer vanished)
+        let g2 = c.arrive(0, 1, 5);
+        let _ = c.arrive(1, 1, 5);
+        assert!(
+            !c.reached(g2),
+            "barrier waits for shard 1's unapplied admission"
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(c.reached(g2), "expired admission is abandoned");
+    }
+
+    #[test]
+    fn no_consumer_hint_admits_at_current_position() {
+        let c = EpochCoordinator::new(2, T);
+        let g = c.arrive(0, 0, 1);
+        let _ = c.arrive(1, 0, 1);
+        assert!(c.reached(g));
+        c.note_published(0, 3);
+        c.note_published(1, 3);
+        assert_eq!(c.decide_join(4, true).0, GroupJoin::AdmitAtCurrent);
+        // The memo answers the other shard identically.
+        assert_eq!(c.decide_join(4, false).0, GroupJoin::AdmitAtCurrent);
+    }
+
+    #[test]
+    fn abandon_clears_unapplied_everywhere() {
+        let c = EpochCoordinator::new(2, T);
+        let g = c.arrive(0, 0, 5);
+        let _ = c.arrive(1, 0, 5);
+        assert!(c.reached(g));
+        c.note_published(0, 1);
+        assert_eq!(c.decide_join(11, false).0, GroupJoin::AdmitReplay);
+        assert!(c.pin_window_open(1));
+        c.abandon(11);
+        c.note_published(1, 6); // past the pin limit, nothing unapplied
+        assert!(!c.pin_window_open(1));
+    }
+}

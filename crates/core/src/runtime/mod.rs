@@ -3,9 +3,11 @@
 pub mod config;
 pub mod consumer;
 pub mod context;
+pub mod coordinator;
 pub mod producer;
 
 pub use config::{ConsumerConfig, FlexibleConfig, ProducerConfig};
+pub use coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
 
 #[cfg(test)]
 mod tests;

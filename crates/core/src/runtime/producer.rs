@@ -37,6 +37,7 @@ use crate::protocol::messages::{
 use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
 use crate::runtime::config::{ProducerConfig, ProducerMap};
 use crate::runtime::context::TsContext;
+use crate::runtime::coordinator::{EpochCoordinator, GroupJoin};
 use crate::{Result, TsError};
 use crossbeam::channel::{self, RecvTimeoutError, Sender};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -330,6 +331,29 @@ impl TensorProducer {
         ctx: &TsContext,
         cfg: ProducerConfig,
     ) -> Result<TensorProducer> {
+        Self::spawn_inner(source, ctx, cfg, None, 0)
+    }
+
+    /// Spawns one shard of a coordinated group (see
+    /// [`crate::ShardedProducerGroup`]): epoch boundaries, join admission
+    /// and pin release go through the coordinator.
+    pub(crate) fn spawn_sharded(
+        source: impl EpochSource,
+        ctx: &TsContext,
+        cfg: ProducerConfig,
+        coordinator: Arc<EpochCoordinator>,
+        shard: u32,
+    ) -> Result<TensorProducer> {
+        Self::spawn_inner(source, ctx, cfg, Some(coordinator), shard)
+    }
+
+    fn spawn_inner(
+        source: impl EpochSource,
+        ctx: &TsContext,
+        cfg: ProducerConfig,
+        coord: Option<Arc<EpochCoordinator>>,
+        shard: u32,
+    ) -> Result<TensorProducer> {
         if cfg.buffer_size == 0 {
             return Err(TsError::Config("buffer_size must be >= 1".into()));
         }
@@ -346,6 +370,8 @@ impl TensorProducer {
         let state = ProducerLoop {
             ctx: ctx.clone(),
             cfg,
+            coord,
+            shard,
             publisher,
             ctrl,
             stop: stop.clone(),
@@ -359,6 +385,7 @@ impl TensorProducer {
             pending_join: Vec::new(),
             live: BTreeMap::new(),
             pinned: Vec::new(),
+            pin_epoch: 0,
             epoch_start_seq: 0,
             published_in_epoch: 0,
             expected_announces: 0,
@@ -368,8 +395,12 @@ impl TensorProducer {
             started: Instant::now(),
             stats: ProducerStats::default(),
         };
+        let name = match &state.coord {
+            Some(_) => format!("tensorsocket-producer-s{shard}"),
+            None => "tensorsocket-producer".to_string(),
+        };
         let handle = std::thread::Builder::new()
-            .name("tensorsocket-producer".to_string())
+            .name(name)
             .spawn(move || state.run(source))
             .map_err(|e| TsError::Socket(format!("spawn failed: {e}")))?;
         Ok(TensorProducer {
@@ -384,6 +415,12 @@ impl TensorProducer {
     }
 
     /// Waits for the producer to finish all epochs and shut down cleanly.
+    ///
+    /// Joining an [`TensorProducer::abort`]ed producer is not an error: the
+    /// partial [`ProducerStats`] accumulated up to the abort are returned
+    /// (with `epochs_completed` short of the configured count), and the
+    /// producer skips the outstanding-ack drain so the join returns
+    /// promptly. `Err` is reserved for a panicked producer thread.
     pub fn join(mut self) -> Result<ProducerStats> {
         let handle = self.handle.take().expect("join called once");
         handle
@@ -421,6 +458,11 @@ struct LiveBatch {
 struct ProducerLoop {
     ctx: TsContext,
     cfg: ProducerConfig,
+    /// Group coordinator when this loop is one shard of a
+    /// [`crate::ShardedProducerGroup`].
+    coord: Option<Arc<EpochCoordinator>>,
+    /// Shard index within the group (0 when uncoordinated).
+    shard: u32,
     publisher: PubSocket,
     ctrl: PullSocket,
     stop: Arc<AtomicBool>,
@@ -439,6 +481,13 @@ struct ProducerLoop {
     live: BTreeMap<u64, LiveBatch>,
     /// Seqs pinned for rubberband replay (current epoch, window open).
     pinned: Vec<u64>,
+    /// The epoch the current admission state (`epoch_start_seq`, pin set)
+    /// belongs to. Usually equals `epoch`; it lags by one while a
+    /// coordinated shard is parked at the epoch barrier — `epoch` already
+    /// names the next epoch, but a join admitted there replays the
+    /// PREVIOUS epoch's pins, and its reply must say so or the consumer's
+    /// shard-interleave cursors desynchronize.
+    pin_epoch: u64,
     epoch_start_seq: u64,
     published_in_epoch: u64,
     expected_announces: u64,
@@ -474,19 +523,52 @@ impl ProducerLoop {
         let _ = self
             .publisher
             .send(topics::CTRL, Multipart::single(DataMsg::End.encode()));
+        // Leave the group: barriers must not wait for a finished shard.
+        if let Some(coord) = &self.coord {
+            coord.retire(self.shard);
+        }
         self.stats
+    }
+
+    /// Coordinated mode: parks at the group's epoch barrier until every
+    /// shard finished the previous epoch, while staying responsive on the
+    /// control channel (acks, heartbeats and joins keep flowing — a join
+    /// landing here is deferred to the boundary by the coordinator).
+    /// Uncoordinated producers pass straight through. Returns false to
+    /// stop.
+    fn sync_epoch_barrier(&mut self, policy: &RubberbandPolicy) -> bool {
+        let Some(coord) = self.coord.clone() else {
+            return true;
+        };
+        let pin_limit = policy.pinned_batches(self.expected_announces);
+        let target = coord.arrive(self.shard, self.epoch, pin_limit);
+        while !coord.reached(target) {
+            if self.stop.load(Ordering::Relaxed) || coord.is_stopped() {
+                return false;
+            }
+            if !self.wait_ctrl() {
+                return false;
+            }
+        }
+        !coord.is_stopped()
     }
 
     /// The serial shape: load, prepare and publish on this thread.
     fn epochs_inline(&mut self, source: impl EpochSource, policy: &RubberbandPolicy) {
         for epoch in 0..self.cfg.epochs {
+            self.epoch = epoch;
+            self.expected_announces = self.expected_announces();
+            // In a group, align with the other shards BEFORE flushing the
+            // pin set: pins survive the coordinated boundary, so a join
+            // racing the boundary still replays from every shard.
+            if !self.sync_epoch_barrier(policy) {
+                return;
+            }
             // Flush the previous epoch's deferred releases only now: the
             // pin set stays alive across the epoch boundary, so a join
             // landing between its last publish and this point can still
             // rubberband into it (after the final epoch, during drain).
             self.close_join_window();
-            self.epoch = epoch;
-            self.expected_announces = self.expected_announces();
             if !self.begin_epoch() {
                 return; // stopped or no consumer ever arrived
             }
@@ -527,11 +609,14 @@ impl ProducerLoop {
             .spawn(move || feeder_main(source, feeder_cfg, item_tx, feeder_stop))
             .expect("spawn feeder thread");
         'epochs: for epoch in 0..self.cfg.epochs {
+            self.epoch = epoch;
+            self.expected_announces = self.expected_announces();
+            if !self.sync_epoch_barrier(policy) {
+                break;
+            }
             // As in the serial shape: the previous epoch's pin set stays
             // alive across the boundary for rubberband joins.
             self.close_join_window();
-            self.epoch = epoch;
-            self.expected_announces = self.expected_announces();
             // The feeder is already loading this epoch (it rolls across
             // epoch boundaries on its own): by the time the first consumer
             // is admitted, `depth` batches are ready.
@@ -579,11 +664,17 @@ impl ProducerLoop {
     /// joiners, and announces the epoch. Returns false to stop.
     fn begin_epoch(&mut self) -> bool {
         self.published_in_epoch = 0;
+        self.pin_epoch = self.epoch;
         self.epoch_start_seq = self.window.next_seq();
-        // Admit everyone who was told to wait for this epoch.
+        // Admit everyone who was told to wait for this epoch (including
+        // joins deferred because their group decision was stamped with an
+        // epoch this shard had not begun yet — now it has).
         let pending = std::mem::take(&mut self.pending_join);
         for (id, bs) in pending {
             self.admit(id, bs, /*replay=*/ false);
+            if let Some(coord) = &self.coord {
+                coord.applied(self.shard, id);
+            }
         }
         let deadline = self.cfg.first_consumer_timeout.map(|d| Instant::now() + d);
         loop {
@@ -632,8 +723,11 @@ impl ProducerLoop {
     }
 
     fn register_live(&mut self, seq: u64, batch: LiveBatch) {
+        // In a group, placements go through this shard's own slot pool
+        // when one is bound (TsContext::enable_shard_slot_recycling).
+        let pool_key = self.coord.as_ref().map(|_| self.shard);
         for t in batch.fields.iter().chain(std::iter::once(&batch.labels)) {
-            self.ctx.registry.register(t.storage());
+            self.ctx.registry.register_for_shard(t.storage(), pool_key);
         }
         self.live.insert(seq, batch);
     }
@@ -713,6 +807,9 @@ impl ProducerLoop {
         };
         let seq = self.window.published();
         self.published_in_epoch += 1;
+        if let Some(coord) = &self.coord {
+            coord.note_published(self.shard, self.published_in_epoch);
+        }
         // Register first: with an arena bound this is what places the
         // bytes in shared memory, and packing then embeds the placement.
         self.register_live(
@@ -756,7 +853,16 @@ impl ProducerLoop {
                 Multipart::single(DataMsg::Batch(announce).encode()),
             );
         }
-        if self.join_window_open(policy) || self.published_in_epoch == 1 {
+        // In a group the pin predicate is global: this shard keeps pinning
+        // while ANY shard could still admit a joiner (which would replay
+        // from all of them), and while a decided admission has not been
+        // applied here yet — otherwise a shard racing past its own pin
+        // boundary would drop batches an in-flight joiner must replay.
+        let window_open = match &self.coord {
+            Some(coord) => coord.pin_window_open(self.shard),
+            None => self.join_window_open(policy),
+        };
+        if window_open || self.published_in_epoch == 1 {
             self.pinned.push(seq);
         } else {
             self.close_join_window();
@@ -895,7 +1001,10 @@ impl ProducerLoop {
         let reply = DataMsg::JoinReply {
             consumer_id: id,
             decision: JoinDecision::AdmitReplay {
-                epoch: self.epoch,
+                // The epoch whose pins will be replayed — NOT `self.epoch`,
+                // which may already name the next epoch while this shard is
+                // parked at the group's boundary barrier.
+                epoch: self.pin_epoch,
                 replay_from: 0,
                 num_batches: self.expected_announces,
                 start_seq: self.epoch_start_seq,
@@ -922,7 +1031,7 @@ impl ProducerLoop {
         let reply = DataMsg::JoinReply {
             consumer_id: id,
             decision: JoinDecision::AdmitReplay {
-                epoch: self.epoch,
+                epoch: self.pin_epoch,
                 replay_from: self.published_in_epoch,
                 num_batches: self.expected_announces,
                 start_seq,
@@ -936,6 +1045,11 @@ impl ProducerLoop {
     }
 
     fn remove_consumer(&mut self, id: u64, notify: bool) {
+        if let Some(coord) = &self.coord {
+            // A decided admission for a gone consumer must not keep the
+            // group's pins alive or wedge the epoch barrier.
+            coord.abandon(id);
+        }
         self.consumers.remove(&id);
         self.awaiting_ready.remove(&id);
         self.join_replies.remove(&id);
@@ -1076,6 +1190,45 @@ impl ProducerLoop {
                 return;
             }
         }
+        // One shard of a group: admission is decided ONCE for the whole
+        // group (first shard to ask decides, against global state) so the
+        // joiner is treated identically by every shard.
+        if let Some(coord) = self.coord.clone() {
+            let (decision, decision_epoch) = coord.decide_join(id, self.consumers.is_empty());
+            // A decision stamped with an epoch this shard has not begun
+            // yet means the barrier opened while we were still parked at
+            // it: our admission state (pin set, epoch_start_seq) is the
+            // PREVIOUS epoch's. Applying it would hand the consumer a
+            // stale start position and desynchronize its interleave
+            // cursors — defer to begin_epoch, which admits with the
+            // decision epoch's fresh state.
+            let out_of_phase =
+                matches!(decision, GroupJoin::AdmitReplay | GroupJoin::AdmitAtCurrent)
+                    && decision_epoch != self.pin_epoch;
+            match (decision, out_of_phase) {
+                (GroupJoin::AdmitReplay, false) => {
+                    self.admit(id, batch_size, self.published_in_epoch > 0);
+                    coord.applied(self.shard, id);
+                }
+                (GroupJoin::AdmitAtCurrent, false) => {
+                    self.admit_at_current(id, batch_size);
+                    coord.applied(self.shard, id);
+                }
+                (GroupJoin::WaitNextEpoch, _) | (_, true) => {
+                    self.pending_join.push((id, batch_size));
+                    let reply = DataMsg::JoinReply {
+                        consumer_id: id,
+                        decision: JoinDecision::WaitEpoch {
+                            epoch: self.epoch + 1,
+                        },
+                    };
+                    let _ = self
+                        .publisher
+                        .send(&topics::consumer(id), Multipart::single(reply.encode()));
+                }
+            }
+            return;
+        }
         if self.consumers.is_empty() && self.published_in_epoch > 0 {
             // Mid-epoch with no active consumers ("consumers may join
             // training at any point in an epoch", §3.3.1): admit at the
@@ -1105,11 +1258,13 @@ impl ProducerLoop {
     /// After the final epoch: wait (bounded) for outstanding acks so
     /// consumers finish cleanly, then release everything. Parks on the
     /// control channel so each ack is processed the moment it arrives.
+    /// An aborted producer skips the wait — `join` after `abort` must
+    /// return the partial stats promptly, not block out the timeout.
     fn drain_outstanding(&mut self) {
         let deadline = Instant::now() + self.cfg.heartbeat_timeout;
         self.poll_ctrl_once();
         while !self.acks.is_empty() && Instant::now() < deadline {
-            if self.consumers.is_empty() || !self.wait_ctrl() {
+            if self.stop.load(Ordering::Relaxed) || self.consumers.is_empty() || !self.wait_ctrl() {
                 break;
             }
         }

@@ -5,6 +5,7 @@ use crate::protocol::order::OrderConfig;
 use crate::runtime::config::{ConsumerConfig, FlexibleConfig, ProducerConfig};
 use crate::runtime::consumer::{StopReason, TensorConsumer};
 use crate::runtime::context::TsContext;
+use crate::runtime::coordinator::ShardedProducerGroup;
 use crate::runtime::producer::TensorProducer;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -949,6 +950,254 @@ fn socket_teardown_mid_stream_is_producer_gone() {
     fake.join().unwrap();
     assert!(consumer.next().is_none());
     assert_eq!(consumer.stop_reason(), Some(StopReason::ProducerGone));
+}
+
+/// Full per-batch trace including payload bytes, for byte-identity
+/// assertions: (epoch, shard, index, labels, field bytes, last).
+type ByteTrace = Vec<(u64, usize, u64, Vec<i64>, Vec<u8>, bool)>;
+
+fn consume_trace(mut consumer: TensorConsumer) -> (ByteTrace, Option<StopReason>) {
+    let mut trace = Vec::new();
+    for b in consumer.by_ref() {
+        trace.push((
+            b.epoch,
+            b.shard,
+            b.index_in_epoch,
+            b.labels.to_vec_i64().unwrap(),
+            b.fields[0].gather_bytes(),
+            b.last_in_epoch,
+        ));
+    }
+    (trace, consumer.stop_reason())
+}
+
+fn sharded_loaders(n: usize, batch: usize, shards: usize, shuffle: bool) -> Vec<DataLoader> {
+    DataLoader::sharded(
+        Arc::new(IndexDataset { len: n }),
+        DataLoaderConfig {
+            batch_size: batch,
+            num_workers: 0,
+            shuffle,
+            seed: 7,
+            drop_last: true,
+            ..Default::default()
+        },
+        shards,
+    )
+}
+
+#[test]
+fn single_shard_group_is_byte_identical_to_plain_producer() {
+    // Acceptance criterion: with shards == 1 the coordinator path must
+    // produce a byte-identical batch stream to the plain producer.
+    let plain = {
+        let ctx = TsContext::host_only();
+        let ep = "inproc://shard-id-plain";
+        let producer = TensorProducer::spawn(loader(48, 4), &ctx, producer_cfg(ep, 2)).unwrap();
+        let consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+        let (trace, reason) = consume_trace(consumer);
+        assert_eq!(reason, Some(StopReason::End));
+        producer.join().unwrap();
+        trace
+    };
+    let grouped = {
+        let ctx = TsContext::host_only();
+        let ep = "inproc://shard-id-group";
+        let group = ShardedProducerGroup::spawn(
+            sharded_loaders(48, 4, 1, false),
+            &ctx,
+            producer_cfg(ep, 2),
+        )
+        .unwrap();
+        let mut cc = consumer_cfg(ep);
+        cc.shards = 1;
+        let consumer = TensorConsumer::connect(&ctx, cc).unwrap();
+        let (trace, reason) = consume_trace(consumer);
+        assert_eq!(reason, Some(StopReason::End));
+        let stats = group.join().unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].epochs_completed, 2);
+        trace
+    };
+    assert_eq!(plain, grouped, "shards=1 must degenerate byte-for-byte");
+}
+
+#[test]
+fn sharded_group_covers_each_epoch_exactly_once_and_is_bit_stable() {
+    // 2 and 3 shards over a shuffled epoch: the interleaved stream covers
+    // the dataset exactly once per epoch, in an order that is identical
+    // across independent runs (bit-stability of the (epoch, shard, seq)
+    // interleave).
+    for shards in [2usize, 3] {
+        let mut runs: Vec<ByteTrace> = Vec::new();
+        for run in 0..2 {
+            let ctx = TsContext::host_only();
+            let ep = format!("inproc://shard-cover-{shards}-{run}");
+            let group = ShardedProducerGroup::spawn(
+                sharded_loaders(48, 4, shards, true),
+                &ctx,
+                producer_cfg(&ep, 2),
+            )
+            .unwrap();
+            let mut cc = consumer_cfg(&ep);
+            cc.shards = shards;
+            let consumer = TensorConsumer::connect(&ctx, cc).unwrap();
+            assert_eq!(consumer.num_shards(), shards);
+            let (trace, reason) = consume_trace(consumer);
+            assert_eq!(reason, Some(StopReason::End), "shards={shards} run={run}");
+            let stats = group.join().unwrap();
+            assert_eq!(stats.len(), shards);
+            for (s, st) in stats.iter().enumerate() {
+                assert_eq!(st.epochs_completed, 2, "shard {s}");
+            }
+            // Coverage: every epoch delivers all 48 labels exactly once.
+            let mut per_epoch: HashMap<u64, Vec<i64>> = HashMap::new();
+            for (epoch, _, _, labels, _, _) in &trace {
+                per_epoch.entry(*epoch).or_default().extend(labels);
+            }
+            assert_eq!(per_epoch.len(), 2);
+            for (epoch, mut labels) in per_epoch {
+                labels.sort_unstable();
+                assert_eq!(
+                    labels,
+                    (0..48).collect::<Vec<i64>>(),
+                    "epoch {epoch} shards {shards}"
+                );
+            }
+            // Interleave contract: delivery is sorted by (epoch, index, shard).
+            let keys: Vec<(u64, u64, usize)> =
+                trace.iter().map(|(e, s, i, ..)| (*e, *i, *s)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "(epoch, shard, seq) order violated");
+            runs.push(trace);
+        }
+        assert_eq!(
+            runs[0], runs[1],
+            "shards={shards}: stream must be bit-stable"
+        );
+    }
+}
+
+#[test]
+fn sharded_mid_epoch_join_replays_every_shard() {
+    // Acceptance criterion: a consumer joining mid-epoch replays a
+    // consistent full epoch from *all* shards, not just the shard that
+    // processed its join first.
+    let ctx = TsContext::host_only();
+    let ep = "inproc://shard-midjoin";
+    let mut cfg = producer_cfg(ep, 1);
+    cfg.rubberband_cutoff = 1.0; // whole epoch joinable
+    cfg.buffer_size = 2;
+    let group = ShardedProducerGroup::spawn(sharded_loaders(64, 4, 2, false), &ctx, cfg).unwrap();
+    let mut cc = consumer_cfg(ep);
+    cc.shards = 2;
+    // First consumer starts the epoch and consumes a few batches.
+    let mut c1 = TensorConsumer::connect(&ctx, cc.clone()).unwrap();
+    let mut labels1: Vec<i64> = Vec::new();
+    for _ in 0..4 {
+        let b = c1.next().unwrap();
+        labels1.extend(b.labels.to_vec_i64().unwrap());
+    }
+    // Second consumer joins mid-epoch: the group must admit it ONCE and
+    // replay the epoch prefix of both shards.
+    let c2 = TensorConsumer::connect(&ctx, cc).unwrap();
+    let h1 = std::thread::spawn(move || {
+        for b in c1.by_ref() {
+            labels1.extend(b.labels.to_vec_i64().unwrap());
+        }
+        (labels1, c1.stop_reason())
+    });
+    let (trace2, reason2) = consume_trace(c2);
+    let (labels1, reason1) = h1.join().unwrap();
+    let stats = group.join().unwrap();
+    assert_eq!(reason1, Some(StopReason::End));
+    assert_eq!(reason2, Some(StopReason::End));
+    // Both consumers saw the complete epoch (all 64 samples).
+    let mut sorted1 = labels1.clone();
+    sorted1.sort_unstable();
+    assert_eq!(sorted1, (0..64).collect::<Vec<i64>>());
+    let mut labels2: Vec<i64> = trace2.iter().flat_map(|t| t.3.clone()).collect();
+    labels2.sort_unstable();
+    assert_eq!(
+        labels2,
+        (0..64).collect::<Vec<i64>>(),
+        "mid-epoch joiner must replay the full epoch from every shard"
+    );
+    // The joiner really got batches from both shards, via replay.
+    let shards_seen: BTreeSet<usize> = trace2.iter().map(|t| t.1).collect();
+    assert_eq!(shards_seen, BTreeSet::from([0, 1]));
+    assert!(
+        stats.iter().all(|s| s.batches_replayed > 0),
+        "every shard replayed its prefix: {stats:?}"
+    );
+}
+
+#[test]
+fn sharded_group_recycles_per_shard_arena_slots() {
+    // Each shard's publish pipeline recycles through its own slot pool.
+    let ctx = TsContext::host_only();
+    let arena_path =
+        std::env::temp_dir().join(format!("ts-sharded-pool-{}.arena", std::process::id()));
+    ctx.create_arena(&arena_path, 32, 4096).unwrap();
+    let pools: Vec<_> = (0..2)
+        .map(|s| ctx.enable_shard_slot_recycling(s, 8).unwrap())
+        .collect();
+    let ep = "inproc://shard-pools";
+    let mut cfg = producer_cfg(ep, 2);
+    cfg.rubberband_cutoff = 0.02;
+    let group = ShardedProducerGroup::spawn(sharded_loaders(64, 4, 2, false), &ctx, cfg).unwrap();
+    let mut cc = consumer_cfg(ep);
+    cc.shards = 2;
+    let consumer = TensorConsumer::connect(&ctx, cc).unwrap();
+    let (trace, reason) = consume_trace(consumer);
+    assert_eq!(reason, Some(StopReason::End));
+    assert_eq!(trace.len(), 32, "2 epochs × 2 shards × 8 batches");
+    group.join().unwrap();
+    for (s, pool) in pools.iter().enumerate() {
+        let stats = pool.stats();
+        assert!(stats.hits > 0, "shard {s} never recycled a slot: {stats:?}");
+        assert!(stats.returned > 0, "shard {s} never reclaimed: {stats:?}");
+    }
+    assert!(ctx.registry.is_empty());
+    for pool in &pools {
+        pool.drain();
+    }
+    assert_eq!(ctx.arena().unwrap().slots_in_use(), 0);
+}
+
+#[test]
+fn aborted_producer_join_returns_partial_stats_promptly() {
+    // Regression: `join` on an aborted producer must return the partial
+    // ProducerStats instead of erroring or blocking out the ack-drain
+    // timeout.
+    let ctx = TsContext::host_only();
+    let ep = "inproc://abort-join";
+    let mut cfg = producer_cfg(ep, 8);
+    cfg.heartbeat_timeout = Duration::from_secs(30); // a hang would be obvious
+    let producer = TensorProducer::spawn(loader(4096, 4), &ctx, cfg).unwrap();
+    let mut consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+    let mut seen = 0u64;
+    for _ in consumer.by_ref().take(3) {
+        seen += 1;
+    }
+    assert_eq!(seen, 3);
+    // Abort mid-epoch with acks still outstanding, then join immediately.
+    producer.abort();
+    let started = std::time::Instant::now();
+    let stats = producer.join().expect("abort + join must yield stats");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "join blocked {:?} after abort",
+        started.elapsed()
+    );
+    assert_eq!(stats.epochs_completed, 0, "aborted mid first epoch");
+    assert!(stats.batches_published >= 3, "partial counters preserved");
+    assert!(stats.batches_published < 1024);
+    assert_eq!(stats.peak_consumers, 1);
+    // The consumer still ends cleanly on the producer's End.
+    for _ in consumer.by_ref() {}
+    assert_eq!(consumer.stop_reason(), Some(StopReason::End));
 }
 
 #[test]

@@ -29,7 +29,7 @@ pub mod transforms;
 pub use combinators::{ConcatDataset, SubsetDataset};
 pub use loader::{Batch, DataLoader, DataLoaderConfig, EpochIter};
 pub use sample::{Dataset, DecodedSample, RawSample};
-pub use sampler::{Sampler, SequentialSampler, ShuffleSampler};
+pub use sampler::{shard_bounds, Sampler, SequentialSampler, ShardedSampler, ShuffleSampler};
 pub use synthetic::{
     SyntheticAudioDataset, SyntheticCaptionDataset, SyntheticImageDataset, SyntheticTextDataset,
 };

@@ -7,7 +7,7 @@
 //! worker `i % num_workers`, each worker's output is FIFO).
 
 use crate::sample::Dataset;
-use crate::sampler::{Sampler, SequentialSampler, ShuffleSampler};
+use crate::sampler::{shard_bounds, Sampler, SequentialSampler, ShardedSampler, ShuffleSampler};
 use crate::transforms::Pipeline;
 use crate::{DataError, Result};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -76,6 +76,8 @@ pub struct DataLoader {
     pipeline: Arc<Pipeline>,
     sampler: Arc<dyn Sampler>,
     cfg: DataLoaderConfig,
+    /// `(shard, count)` when this loader serves one shard of the epoch.
+    shard: Option<(usize, usize)>,
     metrics: Registry,
 }
 
@@ -84,6 +86,7 @@ impl std::fmt::Debug for DataLoader {
         f.debug_struct("DataLoader")
             .field("dataset", &self.dataset.name())
             .field("len", &self.dataset.len())
+            .field("shard", &self.shard)
             .field("cfg", &self.cfg)
             .finish()
     }
@@ -112,15 +115,50 @@ impl DataLoader {
             pipeline,
             sampler,
             cfg,
+            shard: None,
             metrics: Registry::new(),
         }
     }
 
     /// Replaces the sampler (used by the Joader baseline's dependent
-    /// sampling).
+    /// sampling). Call before [`DataLoader::with_shard`]: sharding wraps
+    /// whatever sampler is current.
     pub fn with_sampler(mut self, sampler: Arc<dyn Sampler>) -> Self {
         self.sampler = sampler;
         self
+    }
+
+    /// Restricts this loader to shard `shard` of `count`: every epoch it
+    /// evaluates the full (seeded) permutation, then loads only its own
+    /// contiguous [`shard_bounds`] slice of it. The union of all `count`
+    /// sharded loaders covers each epoch exactly once, and `count == 1`
+    /// is bit-identical to the unsharded loader.
+    ///
+    /// # Panics
+    /// Panics when `count == 0` or `shard >= count`.
+    pub fn with_shard(mut self, shard: usize, count: usize) -> Self {
+        assert!(count >= 1, "shard count must be >= 1");
+        assert!(shard < count, "shard {shard} out of range for {count}");
+        self.sampler = Arc::new(ShardedSampler {
+            inner: self.sampler.clone(),
+            shard,
+            count,
+        });
+        self.shard = Some((shard, count));
+        self
+    }
+
+    /// Builds `count` sharded loaders over one dataset, one per producer
+    /// shard (shard `i` of `count`), all sharing the configuration.
+    pub fn sharded(dataset: Arc<dyn Dataset>, cfg: DataLoaderConfig, count: usize) -> Vec<Self> {
+        (0..count)
+            .map(|i| Self::new(dataset.clone(), cfg.clone()).with_shard(i, count))
+            .collect()
+    }
+
+    /// `(shard, count)` when this loader serves one shard of the epoch.
+    pub fn shard(&self) -> Option<(usize, usize)> {
+        self.shard
     }
 
     /// The loader's metric registry (`loader.batches`, `loader.samples`).
@@ -147,9 +185,15 @@ impl DataLoader {
         (self.cfg.num_workers, self.cfg.prefetch_factor)
     }
 
-    /// Batches per epoch.
+    /// Batches per epoch (of this shard's slice, when sharded).
     pub fn batches_per_epoch(&self) -> usize {
-        let n = self.dataset.len();
+        let n = match self.shard {
+            Some((shard, count)) => {
+                let (start, end) = shard_bounds(self.dataset.len(), shard, count);
+                end - start
+            }
+            None => self.dataset.len(),
+        };
         if self.cfg.drop_last {
             n / self.cfg.batch_size
         } else {
@@ -474,6 +518,53 @@ mod tests {
     fn empty_epoch_yields_nothing() {
         let loader = tiny_loader(2, 8, 4); // 4 samples, batch 8, drop_last
         assert_eq!(loader.epoch(0).count(), 0);
+    }
+
+    #[test]
+    fn sharded_loaders_partition_each_epoch() {
+        let ds = Arc::new(SyntheticImageDataset::new(22, 8, 8, 1).with_encoded_len(64));
+        let cfg = DataLoaderConfig {
+            batch_size: 4,
+            num_workers: 0,
+            shuffle: true,
+            seed: 13,
+            drop_last: false,
+            ..Default::default()
+        };
+        let full = DataLoader::new(ds.clone(), cfg.clone());
+        let shards = DataLoader::sharded(ds, cfg, 3);
+        for epoch in 0..2 {
+            let full_order: Vec<usize> = full.epoch(epoch).flat_map(|b| b.sample_indices).collect();
+            let mut union: Vec<usize> = Vec::new();
+            let mut per_shard_batches = 0;
+            for loader in &shards {
+                assert_eq!(loader.batches_per_epoch(), loader.epoch(epoch).count());
+                per_shard_batches += loader.batches_per_epoch();
+                union.extend(loader.epoch(epoch).flat_map(|b| b.sample_indices));
+            }
+            // Concatenating the shards' slices reproduces the unsharded
+            // permutation exactly: no duplicates, no drops, uneven tail
+            // (22 % 3 != 0) included.
+            assert_eq!(union, full_order, "epoch {epoch}");
+            assert_eq!(per_shard_batches, 2 + 2 + 2);
+        }
+    }
+
+    #[test]
+    fn single_shard_loader_matches_unsharded() {
+        let ds = Arc::new(SyntheticImageDataset::new(16, 8, 8, 1).with_encoded_len(64));
+        let cfg = DataLoaderConfig {
+            batch_size: 4,
+            shuffle: true,
+            seed: 5,
+            ..Default::default()
+        };
+        let plain = DataLoader::new(ds.clone(), cfg.clone());
+        let sharded = DataLoader::new(ds, cfg).with_shard(0, 1);
+        assert_eq!(plain.batches_per_epoch(), sharded.batches_per_epoch());
+        let a: Vec<Vec<usize>> = plain.epoch(0).map(|b| b.sample_indices).collect();
+        let b: Vec<Vec<usize>> = sharded.epoch(0).map(|b| b.sample_indices).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

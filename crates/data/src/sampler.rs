@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Produces the visit order for each epoch.
 pub trait Sampler: Send + Sync {
@@ -37,6 +38,54 @@ impl Sampler for ShuffleSampler {
     }
 }
 
+/// The contiguous, balanced slice of an epoch permutation owned by shard
+/// `shard` of `count`: `(start, end)` positions into the permuted index
+/// list. Sizes differ by at most one sample (the first `len % count`
+/// shards get the extra one), so the union of all shards' slices is the
+/// whole permutation — no duplicates, no drops — even when
+/// `len % count != 0`.
+pub fn shard_bounds(len: usize, shard: usize, count: usize) -> (usize, usize) {
+    assert!(count >= 1, "shard count must be >= 1");
+    assert!(shard < count, "shard {shard} out of range for {count}");
+    let base = len / count;
+    let rem = len % count;
+    let start = shard * base + shard.min(rem);
+    let end = start + base + usize::from(shard < rem);
+    (start, end)
+}
+
+/// A shard-aware split of any inner sampler (the multi-producer sharding
+/// seam): every shard evaluates the *same* inner permutation for the
+/// epoch, then takes its own contiguous [`shard_bounds`] slice of it. With
+/// `count == 1` the slice is the whole permutation, so a single shard is
+/// bit-identical to the unsharded sampler.
+#[derive(Clone)]
+pub struct ShardedSampler {
+    /// The sampler whose permutation is partitioned.
+    pub inner: Arc<dyn Sampler>,
+    /// This shard's index, `0..count`.
+    pub shard: usize,
+    /// Total shards partitioning the epoch.
+    pub count: usize,
+}
+
+impl std::fmt::Debug for ShardedSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSampler")
+            .field("shard", &self.shard)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+impl Sampler for ShardedSampler {
+    fn epoch_indices(&self, epoch: u64, len: usize) -> Vec<usize> {
+        let full = self.inner.epoch_indices(epoch, len);
+        let (start, end) = shard_bounds(full.len(), self.shard, self.count);
+        full[start..end].to_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +116,53 @@ mod tests {
     #[test]
     fn empty_dataset_is_fine() {
         assert!(ShuffleSampler { seed: 0 }.epoch_indices(0, 0).is_empty());
+    }
+
+    #[test]
+    fn shard_bounds_partition_exactly() {
+        for len in [0usize, 1, 7, 10, 11, 64] {
+            for count in [1usize, 2, 3, 5] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for shard in 0..count {
+                    let (start, end) = shard_bounds(len, shard, count);
+                    assert_eq!(start, prev_end, "gap at shard {shard} of {count}");
+                    assert!(end >= start);
+                    assert!(end - start <= len / count + 1, "unbalanced shard");
+                    covered += end - start;
+                    prev_end = end;
+                }
+                assert_eq!(covered, len, "len {len} count {count}");
+                assert_eq!(prev_end, len);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let inner = Arc::new(ShuffleSampler { seed: 3 });
+        let sharded = ShardedSampler {
+            inner: inner.clone(),
+            shard: 0,
+            count: 1,
+        };
+        assert_eq!(sharded.epoch_indices(4, 33), inner.epoch_indices(4, 33));
+    }
+
+    #[test]
+    fn shards_partition_the_permutation() {
+        let inner: Arc<dyn Sampler> = Arc::new(ShuffleSampler { seed: 9 });
+        for count in [2usize, 3, 5] {
+            let mut union: Vec<usize> = Vec::new();
+            for shard in 0..count {
+                let s = ShardedSampler {
+                    inner: inner.clone(),
+                    shard,
+                    count,
+                };
+                union.extend(s.epoch_indices(1, 31)); // 31 % count != 0 for all
+            }
+            assert_eq!(union, inner.epoch_indices(1, 31), "count {count}");
+        }
     }
 }

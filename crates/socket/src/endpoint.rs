@@ -99,6 +99,34 @@ impl Default for Context {
     }
 }
 
+/// Derives shard `shard`'s base endpoint from a group base endpoint,
+/// respecting the transport scheme. Shard 0 *is* the base endpoint, so a
+/// single-shard group is wire-compatible with an unsharded deployment:
+///
+/// * `inproc://name` → `inproc://name/s<shard>`;
+/// * `ipc:///path.sock` → `ipc:///path.sock.s<shard>` (a socket file per
+///   shard, next to the base);
+/// * `tcp://host:port` → `tcp://host:port + 2*shard` — each shard claims
+///   two consecutive ports (data and control), so shard bases are spaced
+///   two apart. Out-of-range derived ports are rejected at bind/parse
+///   time, like the channel derivation.
+pub fn shard_endpoint(base: &str, shard: usize) -> String {
+    if shard == 0 {
+        return base.to_string();
+    }
+    if base.starts_with("ipc://") {
+        return format!("{base}.s{shard}");
+    }
+    if let Some(hostport) = base.strip_prefix("tcp://") {
+        if let Some((host, port)) = hostport.rsplit_once(':') {
+            if let Ok(port) = port.parse::<u16>() {
+                return format!("tcp://{host}:{}", port as u64 + 2 * shard as u64);
+            }
+        }
+    }
+    format!("{base}/s{shard}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +140,33 @@ mod tests {
         assert!(b.endpoint_names().is_empty());
         // binding the same name in the other context succeeds
         let _p2 = crate::PubSocket::bind(&b, "inproc://x").unwrap();
+    }
+
+    #[test]
+    fn shard_endpoints_follow_scheme() {
+        assert_eq!(shard_endpoint("inproc://ts", 0), "inproc://ts");
+        assert_eq!(shard_endpoint("inproc://ts", 2), "inproc://ts/s2");
+        assert_eq!(
+            shard_endpoint("ipc:///tmp/ts.sock", 0),
+            "ipc:///tmp/ts.sock"
+        );
+        assert_eq!(
+            shard_endpoint("ipc:///tmp/ts.sock", 1),
+            "ipc:///tmp/ts.sock.s1"
+        );
+        assert_eq!(
+            shard_endpoint("tcp://127.0.0.1:6000", 0),
+            "tcp://127.0.0.1:6000"
+        );
+        // Each shard owns two consecutive ports (data + ctrl).
+        assert_eq!(
+            shard_endpoint("tcp://127.0.0.1:6000", 1),
+            "tcp://127.0.0.1:6002"
+        );
+        assert_eq!(
+            shard_endpoint("tcp://127.0.0.1:6000", 3),
+            "tcp://127.0.0.1:6006"
+        );
     }
 
     #[test]

@@ -44,6 +44,10 @@ struct Inner {
     storages: HashMap<u64, Arc<Storage>>,
     /// Producer side: arena placement of registered storages.
     handles: HashMap<u64, ShmHandle>,
+    /// Which pool placed each handle (`Some(shard)` = that shard's pool,
+    /// `None` = the default pool), so the release reclaims into the pool
+    /// that owns the slot. Absent = raw arena allocation.
+    placed_by: HashMap<u64, Option<u32>>,
 }
 
 /// A process-wide table mapping storage ids to live storages, optionally
@@ -57,6 +61,10 @@ pub struct SharedRegistry {
     /// Optional recycling pool: placements go through it instead of raw
     /// arena allocations, and releases return slots to it.
     slot_pool: Arc<Mutex<Option<SlotPool>>>,
+    /// Per-shard recycling pools for sharded producer groups: each shard's
+    /// publish pipeline recycles its own slots, so shards never contend on
+    /// one free list and per-shard pool stats stay attributable.
+    shard_pools: Arc<Mutex<HashMap<u32, SlotPool>>>,
 }
 
 impl SharedRegistry {
@@ -95,6 +103,35 @@ impl SharedRegistry {
         self.slot_pool.lock().clone()
     }
 
+    /// Binds shard `shard`'s recycling pool (and its arena, if none is
+    /// bound yet). Storages registered through
+    /// [`SharedRegistry::register_for_shard`] with this shard key place
+    /// and recycle through this pool, independently of every other
+    /// shard's — the per-shard half of the sharded producer group.
+    pub fn bind_shard_slot_pool(&self, shard: u32, pool: SlotPool) {
+        let mut arena = self.arena.lock();
+        if arena.is_none() {
+            *arena = Some(pool.arena().clone());
+        }
+        self.shard_pools.lock().insert(shard, pool);
+    }
+
+    /// Shard `shard`'s recycling pool, if bound.
+    pub fn shard_slot_pool(&self, shard: u32) -> Option<SlotPool> {
+        self.shard_pools.lock().get(&shard).cloned()
+    }
+
+    /// The pool a placement with key `shard` goes through: the shard's own
+    /// pool when bound, else the default pool.
+    fn pool_for(&self, shard: Option<u32>) -> (Option<SlotPool>, Option<u32>) {
+        if let Some(s) = shard {
+            if let Some(pool) = self.shard_pools.lock().get(&s).cloned() {
+                return (Some(pool), Some(s));
+            }
+        }
+        (self.slot_pool.lock().clone(), None)
+    }
+
     /// Registers a storage, making it resolvable by id. Re-registering the
     /// same storage is a no-op.
     ///
@@ -106,6 +143,14 @@ impl SharedRegistry {
     /// slot references are only released by this same thread processing
     /// acks, so fullness cannot clear while `register` blocks.)
     pub fn register(&self, storage: &Arc<Storage>) {
+        self.register_for_shard(storage, None);
+    }
+
+    /// [`SharedRegistry::register`] on behalf of one shard of a producer
+    /// group: arena placement goes through the shard's own recycling pool
+    /// (see [`SharedRegistry::bind_shard_slot_pool`]), falling back to
+    /// the default pool, then to raw arena allocation.
+    pub fn register_for_shard(&self, storage: &Arc<Storage>, shard: Option<u32>) {
         let arena = self.arena.lock().clone();
         {
             let mut inner = self.inner.lock();
@@ -122,7 +167,7 @@ impl SharedRegistry {
         if storage.is_shared_memory() {
             return;
         }
-        let pool = self.slot_pool.lock().clone();
+        let (pool, pool_key) = self.pool_for(shard);
         let placed = match &pool {
             Some(pool) => pool.place(storage.bytes()),
             None => arena.alloc(storage.bytes()),
@@ -131,6 +176,9 @@ impl SharedRegistry {
             let mut inner = self.inner.lock();
             if inner.storages.contains_key(&storage.id()) {
                 inner.handles.insert(storage.id(), handle);
+                if pool.is_some() {
+                    inner.placed_by.insert(storage.id(), pool_key);
+                }
             } else {
                 // Racing release already removed the storage: give the
                 // slot straight back instead of leaking it.
@@ -194,10 +242,17 @@ impl SharedRegistry {
     /// bytes until every cross-process view lets go.
     pub fn release(&self, storage_id: u64) -> bool {
         let arena = self.arena.lock().clone();
-        let pool = self.slot_pool.lock().clone();
         let mut inner = self.inner.lock();
         if let Some(handle) = inner.handles.remove(&storage_id) {
-            match (&pool, arena) {
+            // Reclaim into the pool that placed the slot (a shard's own
+            // pool, or the default one); raw allocations go back to the
+            // arena.
+            let pool = match inner.placed_by.remove(&storage_id) {
+                Some(Some(shard)) => self.shard_pools.lock().get(&shard).cloned(),
+                Some(None) => self.slot_pool.lock().clone(),
+                None => None,
+            };
+            match (pool, arena) {
                 // Recycling: keep the producer reference, rewrite later.
                 (Some(pool), _) => pool.reclaim(handle),
                 (None, Some(arena)) => {
@@ -339,6 +394,49 @@ mod tests {
         assert_eq!(stats.misses, 1, "only the first placement allocates");
         assert_eq!(stats.hits, 19);
         assert_eq!(stats.returned, 20);
+        reg.slot_pool().unwrap().drain();
+        assert_eq!(arena.slots_in_use(), 0);
+    }
+
+    #[test]
+    fn shard_pools_place_and_reclaim_independently() {
+        let reg = SharedRegistry::new();
+        let arena = test_arena("sharded", 16, 64);
+        reg.bind_shard_slot_pool(0, SlotPool::new(arena.clone(), 2));
+        reg.bind_shard_slot_pool(1, SlotPool::new(arena.clone(), 2));
+        // Interleaved publish/ack cycles on two shards: each shard's pool
+        // sees exactly its own placements and reclaims.
+        for i in 0..10u8 {
+            for shard in 0..2u32 {
+                let s = Arc::new(Storage::new(vec![i; 8], DeviceId::Cpu));
+                reg.register_for_shard(&s, Some(shard));
+                assert!(reg.shm_handle(s.id()).is_some(), "placed via shard pool");
+                reg.release(s.id());
+            }
+        }
+        for shard in 0..2u32 {
+            let stats = reg.shard_slot_pool(shard).unwrap().stats();
+            assert_eq!(stats.misses, 1, "shard {shard}: one warmup allocation");
+            assert_eq!(stats.hits, 9, "shard {shard}: steady state recycles");
+            assert_eq!(stats.returned, 10);
+        }
+        reg.shard_slot_pool(0).unwrap().drain();
+        reg.shard_slot_pool(1).unwrap().drain();
+        assert_eq!(arena.slots_in_use(), 0);
+    }
+
+    #[test]
+    fn shard_key_without_pool_falls_back_to_default() {
+        let reg = SharedRegistry::new();
+        let arena = test_arena("fallback", 8, 64);
+        reg.bind_slot_pool(SlotPool::new(arena.clone(), 4));
+        let s = Arc::new(Storage::new(vec![1u8; 8], DeviceId::Cpu));
+        // Shard 7 has no pool of its own: the default pool serves it.
+        reg.register_for_shard(&s, Some(7));
+        assert!(reg.shm_handle(s.id()).is_some());
+        reg.release(s.id());
+        let stats = reg.slot_pool().unwrap().stats();
+        assert_eq!((stats.misses, stats.returned), (1, 1));
         reg.slot_pool().unwrap().drain();
         assert_eq!(arena.slots_in_use(), 0);
     }

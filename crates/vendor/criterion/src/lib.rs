@@ -78,13 +78,33 @@ impl IntoBenchmarkId for String {
 pub struct Measurement {
     /// `group/name` of the benchmark.
     pub id: String,
-    /// Mean nanoseconds per iteration.
+    /// Mean nanoseconds per iteration (over all rounds).
     pub mean_ns: f64,
-    /// Iterations measured.
+    /// Iterations measured (total, over all rounds).
     pub iters: u64,
+    /// Per-round mean nanoseconds: the measurement loop is split into up
+    /// to [`SAMPLE_ROUNDS`] timed rounds, so downstream consumers (the
+    /// bench-gate's normalized min-of-k test) can use order statistics
+    /// instead of one global mean. One entry per round actually run.
+    pub sample_means_ns: Vec<f64>,
     /// Group throughput annotation, if any.
     pub throughput: Option<Throughput>,
 }
+
+impl Measurement {
+    /// The minimum per-round mean — the min-of-k statistic. Falls back to
+    /// the global mean when no rounds were recorded.
+    pub fn min_ns(&self) -> f64 {
+        self.sample_means_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(self.mean_ns)
+    }
+}
+
+/// Rounds the measurement loop is split into (the `k` of min-of-k).
+pub const SAMPLE_ROUNDS: u64 = 5;
 
 /// The benchmark driver.
 pub struct Criterion {
@@ -160,12 +180,14 @@ impl BenchmarkGroup<'_> {
             target_time: self.criterion.target_time,
             mean_ns: 0.0,
             iters: 0,
+            sample_means_ns: Vec::new(),
         };
         f(&mut b);
         let m = Measurement {
             id: full,
             mean_ns: b.mean_ns,
             iters: b.iters,
+            sample_means_ns: b.sample_means_ns,
             throughput: self.throughput,
         };
         report(&m);
@@ -217,27 +239,42 @@ pub struct Bencher {
     target_time: Duration,
     mean_ns: f64,
     iters: u64,
+    sample_means_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times `routine` in a calibrated loop.
+    /// Times `routine` in a calibrated loop split into up to
+    /// [`SAMPLE_ROUNDS`] timed rounds. The global mean feeds the legacy
+    /// consumers; the per-round means give downstream gates an order
+    /// statistic (min-of-k) that is robust to one-sided noise.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm up and estimate cost.
         let start = Instant::now();
         std::hint::black_box(routine());
         let one = start.elapsed().max(Duration::from_nanos(1));
         let iters = (self.target_time.as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(routine());
+        let rounds = SAMPLE_ROUNDS.min(iters);
+        let per_round = iters / rounds;
+        let mut total = Duration::ZERO;
+        let mut measured = 0u64;
+        self.sample_means_ns.clear();
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for _ in 0..per_round {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.sample_means_ns
+                .push(elapsed.as_nanos() as f64 / per_round as f64);
+            total += elapsed;
+            measured += per_round;
         }
-        let total = start.elapsed();
-        self.mean_ns = total.as_nanos() as f64 / iters as f64;
-        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / measured as f64;
+        self.iters = measured;
     }
 
     /// Times `routine` over fresh inputs from `setup` (setup excluded from
-    /// the measurement).
+    /// the measurement), round-split like [`Bencher::iter`].
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -248,14 +285,25 @@ impl Bencher {
         std::hint::black_box(routine(input));
         let one = start.elapsed().max(Duration::from_nanos(1));
         let iters = (self.target_time.as_nanos() / one.as_nanos()).clamp(1, 10_000) as u64;
-        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
-        let start = Instant::now();
-        for input in inputs {
-            std::hint::black_box(routine(input));
+        let rounds = SAMPLE_ROUNDS.min(iters);
+        let per_round = iters / rounds;
+        let mut total = Duration::ZERO;
+        let mut measured = 0u64;
+        self.sample_means_ns.clear();
+        for _ in 0..rounds {
+            let inputs: Vec<I> = (0..per_round).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.sample_means_ns
+                .push(elapsed.as_nanos() as f64 / per_round as f64);
+            total += elapsed;
+            measured += per_round;
         }
-        let total = start.elapsed();
-        self.mean_ns = total.as_nanos() as f64 / iters as f64;
-        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / measured as f64;
+        self.iters = measured;
     }
 }
 
@@ -303,5 +351,23 @@ mod tests {
         g.finish();
         assert_eq!(c.measurements().len(), 2);
         assert!(c.measurements().iter().all(|m| m.mean_ns >= 0.0));
+    }
+
+    #[test]
+    fn records_sample_rounds_and_min() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                std::hint::black_box((0..100).sum::<u64>());
+            })
+        });
+        g.finish();
+        let m = &c.measurements()[0];
+        assert!(!m.sample_means_ns.is_empty());
+        assert!(m.sample_means_ns.len() as u64 <= SAMPLE_ROUNDS);
+        // min of rounds <= global mean, and min_ns() returns it.
+        assert!(m.min_ns() <= m.mean_ns);
+        assert!(m.min_ns() > 0.0);
     }
 }

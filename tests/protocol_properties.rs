@@ -399,6 +399,201 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// shard partitioning (multi-producer sharding)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// For shard counts {1, 2, 3, 5}: the union of the shards' partitions
+    /// is exactly the unsharded epoch permutation — no duplicates, no
+    /// drops — including uneven `len % shards != 0` tails, and every
+    /// shard's slice is balanced to within one sample.
+    #[test]
+    fn shard_partitions_are_a_permutation(len in 1usize..200, seed in any::<u64>(), epoch in 0u64..5) {
+        use std::sync::Arc;
+        use ts_data::{Sampler, ShardedSampler, ShuffleSampler};
+        let inner: Arc<dyn Sampler> = Arc::new(ShuffleSampler { seed });
+        let full = inner.epoch_indices(epoch, len);
+        for count in [1usize, 2, 3, 5] {
+            let mut union: Vec<usize> = Vec::new();
+            for shard in 0..count {
+                let s = ShardedSampler { inner: inner.clone(), shard, count };
+                let part = s.epoch_indices(epoch, len);
+                prop_assert!(
+                    part.len() >= len / count && part.len() <= len / count + 1,
+                    "unbalanced shard {shard}/{count}: {} of {len}", part.len()
+                );
+                union.extend(part);
+            }
+            // Concatenation reproduces the full permutation exactly: the
+            // shards are disjoint AND complete.
+            prop_assert_eq!(&union, &full, "count {}", count);
+        }
+    }
+
+    /// Sharding commutes with determinism: the same (seed, epoch, shard)
+    /// always yields the same slice, and shard 0 of 1 IS the permutation.
+    #[test]
+    fn shard_slices_are_deterministic(len in 1usize..100, seed in any::<u64>()) {
+        use std::sync::Arc;
+        use ts_data::{Sampler, ShardedSampler, ShuffleSampler};
+        let inner: Arc<dyn Sampler> = Arc::new(ShuffleSampler { seed });
+        let one = ShardedSampler { inner: inner.clone(), shard: 0, count: 1 };
+        prop_assert_eq!(one.epoch_indices(2, len), inner.epoch_indices(2, len));
+        let s = ShardedSampler { inner: inner.clone(), shard: 1, count: 3 };
+        prop_assert_eq!(s.epoch_indices(4, len), s.epoch_indices(4, len));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the (epoch, shard, seq) interleave
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Driving a ShardInterleave over shards with arbitrary (uneven)
+    /// per-epoch batch counts delivers every announcement exactly once,
+    /// in exactly the (epoch, index, shard) sort order — the contract
+    /// that makes a sharded group's merged stream bit-stable.
+    #[test]
+    fn shard_interleave_is_the_sorted_order(
+        counts in prop::collection::vec(1u64..6, 1..5),
+        epochs in 1u64..4,
+    ) {
+        use tensorsocket::ShardInterleave;
+        let mut il = ShardInterleave::new(vec![(0, 0); counts.len()]);
+        let mut delivered: Vec<(u64, u64, usize)> = Vec::new();
+        while let Some(s) = il.next_shard() {
+            let (epoch, index) = il.cursor(s).unwrap();
+            if epoch == epochs {
+                il.end_shard(s);
+                continue;
+            }
+            delivered.push((epoch, index, s));
+            il.advance(s, index + 1 == counts[s]);
+        }
+        prop_assert!(il.all_ended());
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&delivered, &sorted, "delivery must be the (epoch, index, shard) sort");
+        prop_assert_eq!(delivered.len() as u64, epochs * counts.iter().sum::<u64>());
+        // exactly once: sorted order has no duplicates
+        let mut dedup = sorted.clone();
+        dedup.dedup();
+        prop_assert_eq!(sorted.len(), dedup.len());
+    }
+
+    /// Mid-epoch starts (a rubberband joiner's per-shard replay_from
+    /// positions) still produce the sorted order over what remains.
+    #[test]
+    fn shard_interleave_mid_epoch_starts(
+        starts in prop::collection::vec(0u64..4, 1..5),
+        count in 4u64..8,
+    ) {
+        use tensorsocket::ShardInterleave;
+        let cursors: Vec<(u64, u64)> = starts.iter().map(|&i| (0u64, i)).collect();
+        let mut il = ShardInterleave::new(cursors);
+        let mut delivered: Vec<(u64, u64, usize)> = Vec::new();
+        while let Some(s) = il.next_shard() {
+            let (epoch, index) = il.cursor(s).unwrap();
+            if epoch == 1 {
+                il.end_shard(s);
+                continue;
+            }
+            delivered.push((epoch, index, s));
+            il.advance(s, index + 1 == count);
+        }
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&delivered, &sorted);
+        let expected: u64 = starts.iter().map(|&i| count - i).sum();
+        prop_assert_eq!(delivered.len() as u64, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// coordinated rubberband admission (epoch coordinator)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Group join decisions are consistent: every shard asking about the
+    /// same consumer gets the same answer, an admission keeps every
+    /// shard's pin window open until that shard applies it (even if the
+    /// shard races past its own pin limit), and the epoch barrier does
+    /// not open while an admission is unapplied.
+    #[test]
+    fn coordinator_admissions_are_consistent_and_pin_preserving(
+        shards in 2usize..5,
+        pin_limit in 1u64..6,
+        progress in prop::collection::vec(0u64..8, 2..5),
+    ) {
+        use std::time::Duration;
+        use tensorsocket::{EpochCoordinator, GroupJoin};
+        let shards = shards.min(progress.len());
+        let c = EpochCoordinator::new(shards, Duration::from_secs(5));
+        let gen = (0..shards)
+            .map(|s| c.arrive(s as u32, 0, pin_limit))
+            .collect::<Vec<_>>()[0];
+        prop_assert!(c.reached(gen));
+        for (s, &p) in progress.iter().take(shards).enumerate() {
+            c.note_published(s as u32, p);
+        }
+        let all_within = progress.iter().take(shards).all(|&p| p <= pin_limit);
+        let first = c.decide_join(42, false).0;
+        // Consistency: every further query (any shard) returns the memo.
+        for _ in 0..shards {
+            prop_assert_eq!(c.decide_join(42, false).0, first);
+        }
+        match first {
+            GroupJoin::AdmitReplay => {
+                prop_assert!(all_within, "admitted although a shard passed its pin window");
+                // Every shard must keep pinning until it applies the
+                // admission — even one that races past its own limit now.
+                c.note_published(0, pin_limit + 3);
+                prop_assert!(c.pin_window_open(0), "unapplied admission must keep pins");
+                // The next barrier stays shut until everyone applied.
+                let gen2 = (0..shards)
+                    .map(|s| c.arrive(s as u32, 1, pin_limit))
+                    .collect::<Vec<_>>()[0];
+                prop_assert!(!c.reached(gen2), "barrier must wait for unapplied admissions");
+                for s in 0..shards {
+                    c.applied(s as u32, 42);
+                }
+                prop_assert!(c.reached(gen2), "barrier opens once applied everywhere");
+            }
+            GroupJoin::WaitNextEpoch => {
+                prop_assert!(!all_within, "deferred although every shard was within its window");
+            }
+            GroupJoin::AdmitAtCurrent => prop_assert!(false, "no no-consumer hint was given"),
+        }
+    }
+
+    /// Once any shard arrives at the next epoch's barrier, new joins are
+    /// deferred — pins survive the boundary for *previously decided*
+    /// admissions only, so no shard ever admits into an epoch another
+    /// shard has already finished.
+    #[test]
+    fn coordinator_defers_joins_across_the_boundary(
+        shards in 2usize..5,
+        pin_limit in 1u64..6,
+    ) {
+        use std::time::Duration;
+        use tensorsocket::{EpochCoordinator, GroupJoin};
+        let c = EpochCoordinator::new(shards, Duration::from_secs(5));
+        let gen = (0..shards)
+            .map(|s| c.arrive(s as u32, 0, pin_limit))
+            .collect::<Vec<_>>()[0];
+        prop_assert!(c.reached(gen));
+        for s in 0..shards {
+            c.note_published(s as u32, 1);
+        }
+        // Shard 0 finishes the epoch and arrives for the next one.
+        let _ = c.arrive(0, 1, pin_limit);
+        prop_assert_eq!(c.decide_join(7, false).0, GroupJoin::WaitNextEpoch);
+        // Memo holds for everyone else too.
+        prop_assert_eq!(c.decide_join(7, true).0, GroupJoin::WaitNextEpoch);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // dependent sampler with staggered joins
 // ---------------------------------------------------------------------------
 
