@@ -1,0 +1,166 @@
+//! Device-staging throughput: overlapped H2D copies vs the serial
+//! copy-then-publish baseline.
+//!
+//! One GPU-device producer + one consumer over `inproc://`, a synthetic
+//! image epoch consumed to completion with a fixed per-batch "training
+//! step" on the consumer side. The H2D link is modeled at a constrained
+//! bandwidth (`H2D_BANDWIDTH`) so a batch copy costs real wall time
+//! comparable to the training step — the regime where copy placement
+//! matters. Three rows, varying only `ProducerConfig::staging.mode`:
+//!
+//! * `publish/off` — the legacy path: per-batch device allocation + copy
+//!   on the publish thread, **no link-time model** (the old
+//!   `DeviceCtx::transfer` has none). The unmodeled reference.
+//! * `publish/serial` — slab-pooled staging with the modeled copy on the
+//!   publish thread: zero steady-state device allocations, but every
+//!   batch pays `copy + publish + train` serially (the paper's problem
+//!   case: the device copy on the critical path).
+//! * `publish/overlapped` — the same copy cost on the dedicated staging
+//!   stage: the copy of batch *n* runs while the consumer trains on
+//!   *n − 1*, so the cycle collapses to `max(copy, train)` and the
+//!   epoch finishes ~copy/train-ratio faster than serial.
+//!
+//! The committed `BENCH_staging.json` documents the overlap win
+//! (overlapped beats serial); the CI gate holds all three rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+use tensorsocket::{
+    ConsumerConfig, ProducerConfig, StagingConfig, StagingMode, TensorConsumer, TensorProducer,
+    TsContext,
+};
+use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+use ts_device::DeviceId;
+
+const SAMPLES: usize = 512;
+const BATCH: usize = 32;
+/// Small images keep the *decode* CPU cost negligible even on a starved
+/// CI runner; the copy cost is the bandwidth *model*, not the memcpy, so
+/// the staging comparison is undistorted by loader throughput.
+const SIDE: usize = 16; // 3×16×16 images → 24 KiB staged per batch
+const ENCODED_LEN: usize = 1_024;
+/// Modeled H2D bandwidth: constrained so one batch copy costs ~1 ms —
+/// the same order as the training step, the regime where the copy's
+/// placement (publish thread vs copy stage) decides the cycle time.
+const H2D_BANDWIDTH: f64 = 24e6;
+/// Per-batch consumer "training step".
+const TRAIN_STEP: Duration = Duration::from_micros(1_000);
+
+fn make_loader() -> DataLoader {
+    DataLoader::new(
+        Arc::new(SyntheticImageDataset::new(SAMPLES, SIDE, SIDE, 11).with_encoded_len(ENCODED_LEN)),
+        DataLoaderConfig {
+            batch_size: BATCH,
+            num_workers: 2,
+            prefetch_factor: 2,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+    )
+}
+
+/// Runs one full epoch through a GPU-staging producer + consumer with a
+/// fixed training step per batch; returns batches seen.
+fn run_epoch(mode: StagingMode, endpoint: &str) -> u64 {
+    let ctx = TsContext::with_gpus(1, 8 << 30, false);
+    let producer = TensorProducer::spawn(
+        make_loader(),
+        &ctx,
+        ProducerConfig {
+            endpoint: endpoint.to_string(),
+            epochs: 1,
+            device: DeviceId::Gpu(0),
+            // buffer_size 1: the strictest window, where the copy's
+            // placement (publish thread vs copy stage) is fully exposed.
+            buffer_size: 1,
+            staging: StagingConfig {
+                mode,
+                h2d_bandwidth: Some(H2D_BANDWIDTH),
+                ..Default::default()
+            },
+            poll_interval: Duration::from_micros(200),
+            first_consumer_timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .expect("spawn producer");
+    let mut consumer = TensorConsumer::connect(
+        &ctx,
+        ConsumerConfig {
+            endpoint: endpoint.to_string(),
+            recv_timeout: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(5),
+            ..Default::default()
+        },
+    )
+    .expect("connect consumer");
+    let mut batches = 0u64;
+    for batch in consumer.by_ref() {
+        std::hint::black_box(batch.labels.view_bytes());
+        // The training step: the ack for this batch goes out when the
+        // next one is requested, so this sits inside the window cycle.
+        std::thread::sleep(TRAIN_STEP);
+        batches += 1;
+    }
+    producer.join().expect("producer join");
+    batches
+}
+
+fn bench_staging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("staging");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    let epoch_bytes = (SAMPLES / BATCH * BATCH) as u64 * (3 * SIDE * SIDE) as u64;
+    g.throughput(Throughput::Bytes(epoch_bytes));
+    let mut round = 0u32;
+    for (tag, mode) in [
+        ("off", StagingMode::Off),
+        ("serial", StagingMode::Serial),
+        ("overlapped", StagingMode::Overlapped),
+    ] {
+        g.bench_with_input(BenchmarkId::new("publish", tag), &mode, |b, &mode| {
+            b.iter(|| {
+                round += 1;
+                let endpoint = format!("inproc://bench-staging-{tag}-{round}");
+                let batches = run_epoch(mode, &endpoint);
+                assert_eq!(batches as usize, SAMPLES / BATCH);
+                batches
+            })
+        });
+    }
+    g.finish();
+
+    // Persist in the shared schema for the CI bench gate.
+    let report = ts_bench::report::BenchReport::from_measurements(
+        "staging",
+        epoch_bytes,
+        c.measurements(),
+        "staging/",
+    );
+    let pick = |suffix: &str| {
+        report
+            .results
+            .iter()
+            .find(|r| r.bench.ends_with(suffix))
+            .map(|r| r.mean_ns)
+    };
+    if let (Some(serial), Some(overlapped)) = (pick("/publish/serial"), pick("/publish/overlapped"))
+    {
+        println!(
+            "overlapped H2D staging vs serial copy-then-publish: {:.2}x (serial {:.1} ms -> overlapped {:.1} ms)",
+            serial / overlapped,
+            serial / 1e6,
+            overlapped / 1e6
+        );
+    }
+    report.write(
+        &std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_staging.json"),
+    );
+}
+
+criterion_group!(staging, bench_staging);
+criterion_main!(staging);

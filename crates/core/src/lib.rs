@@ -114,6 +114,16 @@
 //!   depth: cross-process deployments recycle acked arena slots in place,
 //!   so steady-state publishing performs zero arena allocations
 //!   (observable via the pool's stats).
+//! * [`ProducerConfig::staging`] — device staging shape for GPU
+//!   producers. The default [`StagingMode::Overlapped`] stages batches
+//!   through a pre-allocated VRAM slab rotation (`ts-staging`'s
+//!   `DeviceSlabPool` behind a pluggable `DeviceBackend`) with the H2D
+//!   copy on its own stage, so the copy of batch *n* overlaps collation
+//!   of *n + 1* and publishing of *n − 1* and warmed-up staging performs
+//!   zero device allocations (assert via
+//!   `ts_device::MemoryBook::alloc_count`). `Serial` keeps the pool but
+//!   copies on the publish thread; `Off` is the legacy per-batch
+//!   allocate+copy. Consumers see byte-identical batches in all three.
 //!
 //! ## Crate layout
 //!
@@ -144,7 +154,7 @@ pub use runtime::consumer::{ConsumerBatch, TensorConsumer};
 pub use runtime::context::TsContext;
 pub use runtime::coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
 pub use runtime::producer::{EpochSource, ProducerStats, TensorProducer};
-pub use runtime::{ConsumerConfig, FlexibleConfig, ProducerConfig};
+pub use runtime::{ConsumerConfig, FlexibleConfig, ProducerConfig, StagingConfig, StagingMode};
 
 /// Errors from the TensorSocket runtime and protocol.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use crate::protocol::order::OrderConfig;
+use crate::runtime::staging::StagingConfig;
 use std::sync::Arc;
 use std::time::Duration;
 use ts_data::Batch;
@@ -49,6 +50,12 @@ pub struct ProducerConfig {
     /// Device batches are staged on before being shared (the paper puts the
     /// producer on GPU 0). `DeviceId::Cpu` skips the device hop.
     pub device: DeviceId,
+    /// How batches are staged on a GPU device: through the pre-allocated
+    /// VRAM slab rotation with the copy overlapped against collation (the
+    /// default), serially on the publish thread, or via the legacy
+    /// per-batch allocate+copy path. See [`crate::StagingMode`]. Ignored
+    /// when `device` is the CPU.
+    pub staging: StagingConfig,
     /// Flexible batch sizing; `None` means default (identical batches).
     pub flexible: Option<FlexibleConfig>,
     /// Producer-side batch stage applied before sharing (e.g. frozen CLIP
@@ -79,6 +86,7 @@ impl std::fmt::Debug for ProducerConfig {
             .field("rubberband_cutoff", &self.rubberband_cutoff)
             .field("epochs", &self.epochs)
             .field("device", &self.device)
+            .field("staging", &self.staging)
             .field("flexible", &self.flexible)
             .field("producer_map", &self.producer_map.as_ref().map(|_| "<fn>"))
             .field("pipeline_depth", &self.pipeline_depth)
@@ -95,6 +103,7 @@ impl Default for ProducerConfig {
             heartbeat_timeout: Duration::from_secs(2),
             epochs: 1,
             device: DeviceId::Cpu,
+            staging: StagingConfig::default(),
             flexible: None,
             producer_map: None,
             poll_interval: Duration::from_millis(1),

@@ -5,9 +5,11 @@ pub mod consumer;
 pub mod context;
 pub mod coordinator;
 pub mod producer;
+pub mod staging;
 
 pub use config::{ConsumerConfig, FlexibleConfig, ProducerConfig};
 pub use coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
+pub use staging::{StagingConfig, StagingMode};
 
 #[cfg(test)]
 mod tests;

@@ -38,6 +38,7 @@ use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
 use crate::runtime::config::{ProducerConfig, ProducerMap};
 use crate::runtime::context::TsContext;
 use crate::runtime::coordinator::{EpochCoordinator, GroupJoin};
+use crate::runtime::staging::{FeederMsg, PreparedItem, StagingEngine};
 use crate::{Result, TsError};
 use crossbeam::channel::{self, RecvTimeoutError, Sender};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -148,28 +149,6 @@ impl EpochSource for VecSource {
     }
 }
 
-/// A batch the feeder stage finished preparing: producer map applied and
-/// (under flexible sizing) loader batches fused into one producer batch.
-/// Everything left for the publish stage is device staging, registration
-/// and the announce.
-struct PreparedItem {
-    /// Loader-batch index (default mode) or producer-batch index (flex).
-    index_in_epoch: u64,
-    /// True when this is the epoch's final announcement.
-    last_in_epoch: bool,
-    fields: Vec<Tensor>,
-    labels: Tensor,
-}
-
-/// Feeder → publish-stage messages.
-enum FeederMsg {
-    Item(PreparedItem),
-    /// All of this epoch's items were sent.
-    EpochDone(u64),
-    /// Preparation failed (collation error); the producer stops.
-    Failed,
-}
-
 /// Turns raw loader batches into [`PreparedItem`]s: applies the producer
 /// map and, under flexible sizing, accumulates loader batches until a
 /// producer batch is full and collates it. Used by both pipeline shapes so
@@ -208,6 +187,8 @@ impl Preparer {
                 last_in_epoch: last,
                 fields: batch.fields,
                 labels: batch.labels,
+                staged: false,
+                staged_bytes: 0,
             }));
         };
         // Flexible sizing accumulates *raw* loader batches and applies the
@@ -240,6 +221,8 @@ impl Preparer {
             last_in_epoch: last,
             fields,
             labels,
+            staged: false,
+            staged_bytes: 0,
         };
         self.pb_index += 1;
         Ok(Some(item))
@@ -367,6 +350,7 @@ impl TensorProducer {
         let ctrl = PullSocket::bind(&ctx.sockets, &cfg.ctrl_endpoint())
             .map_err(|e| TsError::Socket(e.to_string()))?;
         let stop = Arc::new(AtomicBool::new(false));
+        let staging = StagingEngine::build(ctx, &cfg, coord.as_ref().map(|_| shard));
         let state = ProducerLoop {
             ctx: ctx.clone(),
             cfg,
@@ -375,6 +359,7 @@ impl TensorProducer {
             publisher,
             ctrl,
             stop: stop.clone(),
+            staging,
             window: BatchWindow::new(0), // re-created in run() with real capacity
             acks: AckTracker::new(),
             hb: HeartbeatMonitor::new(1),
@@ -466,6 +451,9 @@ struct ProducerLoop {
     publisher: PubSocket,
     ctrl: PullSocket,
     stop: Arc<AtomicBool>,
+    /// Device staging engine (GPU devices with staging enabled): the
+    /// slab pool plus, in the overlapped mode, the H2D copy stage.
+    staging: Option<Arc<StagingEngine>>,
     window: BatchWindow,
     acks: AckTracker,
     hb: HeartbeatMonitor,
@@ -512,6 +500,14 @@ impl ProducerLoop {
         };
         self.loader_batches = source.batches_per_epoch() as u64;
         self.loader_batch_size = source.batch_size() as u64;
+        if let Some(engine) = &self.staging {
+            // Size the slab rotation before the first item is staged:
+            // rubberband-pinned batches keep their slabs leased past full
+            // acknowledgement, so the pool must cover the pin set or
+            // steady-state staging would fall back to transient device
+            // allocations on long epochs.
+            engine.set_pin_headroom(policy.pinned_batches(self.expected_announces()) as usize);
+        }
         let (workers, prefetch) = source.pipeline_hint();
         if workers == 0 {
             self.epochs_inline(source, &policy);
@@ -523,6 +519,12 @@ impl ProducerLoop {
         let _ = self
             .publisher
             .send(topics::CTRL, Multipart::single(DataMsg::End.encode()));
+        // Release the staging subsystem: join the copy stage and drain
+        // the VRAM slab rotation (consumers still reading return their
+        // slabs' accounting when they let go).
+        if let Some(engine) = &self.staging {
+            engine.shutdown();
+        }
         // Leave the group: barriers must not wait for a finished shard.
         if let Some(coord) = &self.coord {
             coord.retire(self.shard);
@@ -608,6 +610,16 @@ impl ProducerLoop {
             .name("tensorsocket-feeder".to_string())
             .spawn(move || feeder_main(source, feeder_cfg, item_tx, feeder_stop))
             .expect("spawn feeder thread");
+        // Overlapped staging interposes the H2D copy stage between the
+        // feeder and this publish loop: items arrive here already staged,
+        // so the copy of batch n runs while n+1 collates and n-1
+        // publishes. Serial/off modes keep the direct hand-off.
+        let item_rx = match &self.staging {
+            Some(engine) if engine.overlapped() => {
+                engine.spawn_copy_stage(item_rx, self.stop.clone())
+            }
+            _ => item_rx,
+        };
         'epochs: for epoch in 0..self.cfg.epochs {
             self.epoch = epoch;
             self.expected_announces = self.expected_announces();
@@ -708,18 +720,67 @@ impl ProducerLoop {
         true
     }
 
-    /// Stages a tensor on the producer device, accounting traffic and VRAM.
-    fn stage(&mut self, t: &Tensor) -> Result<Tensor> {
-        if t.device() == self.cfg.device {
-            return Ok(t.clone());
-        }
-        let staged = self.ctx.devices.transfer(t, self.cfg.device)?;
-        self.stats.bytes_staged += staged.view_bytes() as u64;
-        self.ctx
-            .metrics
-            .counter("producer.bytes_staged")
-            .add(staged.view_bytes() as u64);
-        Ok(staged)
+    /// Ensures a prepared item's tensors sit on the producer device,
+    /// whichever staging shape is configured:
+    ///
+    /// * already staged (the overlapped copy stage ran) — pass through;
+    /// * engine present (serial mode, or overlapped in the inline
+    ///   producer shape, which has no feeder to overlap with) — stage
+    ///   through the slab pool now;
+    /// * no engine — the legacy per-tensor transfer.
+    ///
+    /// Returns `None` on device OOM (the producer stops, exactly like
+    /// the legacy path).
+    fn ensure_staged(&mut self, item: PreparedItem) -> Option<PreparedItem> {
+        let staged_bytes = if item.staged {
+            item.staged_bytes
+        } else if let Some(engine) = self.staging.clone() {
+            let staged = engine.stage_item(item).ok()?;
+            let bytes = staged.staged_bytes;
+            self.note_staged(bytes);
+            return Some(staged);
+        } else {
+            // Legacy path: transfer tensor by tensor, rolling back the
+            // accounted transfers if one fails mid-batch so the memory
+            // book never leaks (a dropped legacy tensor has no reclaim
+            // hook to free its accounting).
+            let mut staged: Vec<Tensor> = Vec::new();
+            let mut transferred: Vec<u64> = Vec::new();
+            for t in item.fields.iter().chain(std::iter::once(&item.labels)) {
+                if t.device() == self.cfg.device {
+                    staged.push(t.clone());
+                    continue;
+                }
+                match self.ctx.devices.transfer(t, self.cfg.device) {
+                    Ok(s) => {
+                        transferred.push(s.view_bytes() as u64);
+                        staged.push(s);
+                    }
+                    Err(_) => {
+                        for bytes in transferred {
+                            let _ = self.ctx.devices.account_free(self.cfg.device, bytes);
+                        }
+                        return None;
+                    }
+                }
+            }
+            let bytes: u64 = transferred.iter().sum();
+            self.note_staged(bytes);
+            let labels = staged.pop().expect("labels staged last");
+            return Some(PreparedItem {
+                fields: staged,
+                labels,
+                ..item
+            });
+        };
+        self.note_staged(staged_bytes);
+        Some(item)
+    }
+
+    /// Accounts bytes that were staged for a batch about to publish.
+    fn note_staged(&mut self, bytes: u64) {
+        self.stats.bytes_staged += bytes;
+        self.ctx.metrics.counter("producer.bytes_staged").add(bytes);
     }
 
     fn register_live(&mut self, seq: u64, batch: LiveBatch) {
@@ -738,7 +799,13 @@ impl ProducerLoop {
         };
         for t in batch.fields.iter().chain(std::iter::once(&batch.labels)) {
             self.ctx.registry.release(t.storage_id());
-            if t.device().is_gpu() {
+            // Per tensor, not per batch: a slab-backed storage returns
+            // its slab (and keeps its device accounting in the rotation)
+            // through its reclaim hook, while a tensor that reached the
+            // device some other way — the legacy transfer path, or a
+            // producer_map that staged it itself — was accounted as a
+            // one-off allocation and must be freed here.
+            if t.device().is_gpu() && !t.storage().is_recycled() {
                 let _ = self
                     .ctx
                     .devices
@@ -794,17 +861,17 @@ impl ProducerLoop {
     }
 
     /// Publishes one prepared batch: wait for the window, stage on the
-    /// device, register (placing bytes in the arena — recycled slots when
-    /// a pool is bound), announce, and maintain the rubberband pin set.
+    /// device (unless the overlapped copy stage already did), register
+    /// (placing bytes in the arena — recycled slots when a pool is
+    /// bound), announce, and maintain the rubberband pin set.
     fn publish_prepared(&mut self, item: PreparedItem, policy: &RubberbandPolicy) -> bool {
         if !self.wait_for_window() {
             return false;
         }
-        let staged: Result<Vec<Tensor>> = item.fields.iter().map(|t| self.stage(t)).collect();
-        let (fields, labels) = match (staged, self.stage(&item.labels)) {
-            (Ok(f), Ok(l)) => (f, l),
-            _ => return false, // device OOM: stop producing
+        let Some(item) = self.ensure_staged(item) else {
+            return false; // device OOM: stop producing
         };
+        let (fields, labels) = (item.fields, item.labels);
         let seq = self.window.published();
         self.published_in_epoch += 1;
         if let Some(coord) = &self.coord {

@@ -1,0 +1,418 @@
+//! The device-staging stage of the producer pipeline.
+//!
+//! The paper's producer stages every collated batch on GPU 0 before
+//! announcing it (§3.2.4). Earlier revisions of this runtime modeled that
+//! as a per-batch `DeviceCtx::transfer` on the publish thread: a fresh
+//! device allocation, a copy, and a free per batch — correct accounting,
+//! but an allocation per batch and a copy serialized with publishing.
+//! This module replaces that hot path with the staging subsystem from
+//! `ts-staging`:
+//!
+//! * a [`DeviceSlabPool`] of pre-allocated VRAM slabs, sized from the
+//!   publish window and rotated in lockstep with the host
+//!   [`ts_tensor::SlotPool`] — after warm-up, staging performs **zero
+//!   device allocations** (each staged tensor rewrites a leased slab,
+//!   returned when producer and consumers drop it);
+//! * an asynchronous **H2D copy stage** between the feeder and the
+//!   publish loop ([`StagingEngine::spawn_copy_stage`]): the copy of
+//!   batch *n* overlaps the host collation of batch *n + 1* and the
+//!   publish/ack round of batch *n − 1*, so the modeled PCIe time leaves
+//!   the critical path.
+//!
+//! The backend is pluggable ([`ts_staging::DeviceBackend`]); the default
+//! [`SimBackend`] routes allocation and traffic through the context's
+//! `ts-device` books, so Tables 3–4 accounting is unchanged to the byte.
+//! Each producer pipeline owns its own engine and pool — one per shard in
+//! a [`crate::ShardedProducerGroup`], mirroring the per-shard host slot
+//! pool binding.
+//!
+//! Exported staging metrics (via the context's [`ts_metrics::Registry`]):
+//! counter `staging.h2d_bytes` (aggregated across engines), gauges
+//! `staging.slab_occupancy` (slabs in use), `staging.copy_queue_depth`
+//! (staged batches waiting for the publish loop) and
+//! `staging.h2d_bytes_per_sec` (average copy throughput). Gauges are
+//! per-engine: a shard of a [`crate::ShardedProducerGroup`] reports them
+//! as `staging.s<shard>.<name>` so concurrent shards never clobber each
+//! other.
+
+use crate::runtime::config::ProducerConfig;
+use crate::runtime::context::TsContext;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ts_device::DeviceId;
+
+use ts_staging::{DeviceBackend, DeviceSlabPool, SimBackend, StagingError};
+use ts_tensor::{contiguous_strides, Storage, Tensor};
+
+/// How the producer stages batches on its device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StagingMode {
+    /// Legacy path: a per-batch device allocation + copy on the publish
+    /// thread (`DeviceCtx::transfer`), freed on release. Kept as the
+    /// baseline the staged paths are benchmarked against.
+    Off,
+    /// Slab-pooled staging, with the copy performed on the publish thread
+    /// right before the announce — the "serial copy-then-publish"
+    /// shape: zero steady-state allocations, but the copy still occupies
+    /// the critical path.
+    Serial,
+    /// Slab-pooled staging with the copy on a dedicated stage between
+    /// the feeder and the publish loop, overlapping the copy of batch
+    /// *n* with collation of *n + 1* and publishing of *n − 1*. Falls
+    /// back to [`StagingMode::Serial`] in the inline (`num_workers == 0`)
+    /// producer shape, which has no feeder stage to overlap with.
+    #[default]
+    Overlapped,
+}
+
+/// Configuration of the device-staging stage (ignored when the producer
+/// device is the CPU, where there is nothing to stage).
+#[derive(Debug, Clone, Default)]
+pub struct StagingConfig {
+    /// Staging shape; defaults to [`StagingMode::Overlapped`].
+    pub mode: StagingMode,
+    /// Capacity of the copy-stage hand-off queue (staged batches waiting
+    /// for the publish loop). `None` sizes it like the publish window
+    /// (`buffer_size`).
+    pub queue_depth: Option<usize>,
+    /// Slabs in the VRAM rotation. `None` derives it from the publish
+    /// window: `(buffer_size + queue depth + rubberband headroom) ×
+    /// tensors per batch`.
+    pub slab_depth: Option<usize>,
+    /// Modeled H2D copy bandwidth in bytes/second for the simulated
+    /// backend. `None` uses the topology's link bandwidth (PCIe gen4 by
+    /// default); benchmarks lower it to make overlap effects visible at
+    /// small batch sizes.
+    pub h2d_bandwidth: Option<f64>,
+}
+
+/// A batch the feeder stage finished preparing: producer map applied and
+/// (under flexible sizing) loader batches fused into one producer batch.
+/// The staging stage may additionally have placed its tensors on the
+/// producer device (`staged`), in which case the publish stage only
+/// registers and announces.
+pub(crate) struct PreparedItem {
+    /// Loader-batch index (default mode) or producer-batch index (flex).
+    pub index_in_epoch: u64,
+    /// True when this is the epoch's final announcement.
+    pub last_in_epoch: bool,
+    pub fields: Vec<Tensor>,
+    pub labels: Tensor,
+    /// True once the staging stage placed the tensors on the device
+    /// through the slab pool (release must NOT account a device free —
+    /// the slab returns to the rotation instead).
+    pub staged: bool,
+    /// Bytes the staging stage copied to the device for this item.
+    pub staged_bytes: u64,
+}
+
+/// Feeder/staging → publish-stage messages.
+pub(crate) enum FeederMsg {
+    Item(PreparedItem),
+    /// All of this epoch's items were sent.
+    EpochDone(u64),
+    /// Preparation or staging failed; the producer stops.
+    Failed,
+}
+
+/// One producer pipeline's staging engine: the backend, the slab pool
+/// (created lazily at the first item, when tensor geometry is known) and
+/// the optional copy-stage thread.
+pub(crate) struct StagingEngine {
+    backend: Arc<SimBackend>,
+    device: DeviceId,
+    mode: StagingMode,
+    queue_depth: usize,
+    slab_depth: Option<usize>,
+    buffer_size: usize,
+    /// Batches the rubberband policy can pin past full acknowledgement
+    /// (their slabs stay leased until the join window closes). Set by the
+    /// producer loop once the epoch geometry is known, *before* the first
+    /// item is staged, so the default pool depth covers the pin set and
+    /// the zero-allocation steady state holds at any epoch length.
+    pin_headroom: std::sync::atomic::AtomicUsize,
+    pool: Mutex<Option<Arc<DeviceSlabPool>>>,
+    copy_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Per-engine gauges, resolved once at build (the staging hot path
+    /// must not re-format names or re-hash the registry per batch). Their
+    /// names carry a per-shard prefix — `staging.` for a standalone
+    /// producer, `staging.s<shard>.` for one shard of a group — so
+    /// concurrent shard engines never clobber each other (one shard
+    /// shutting down must not zero the occupancy another still reports).
+    /// The occupancy gauge itself lives inside the pool's
+    /// [`ts_staging::OccupancyHook`], which also keeps it current for
+    /// returns that land after shutdown.
+    occupancy_gauge: std::sync::Arc<ts_metrics::Gauge>,
+    queue_gauge: std::sync::Arc<ts_metrics::Gauge>,
+    rate_gauge: std::sync::Arc<ts_metrics::Gauge>,
+    /// Pre-resolved `staging.h2d_bytes` counter (shared across engines —
+    /// it aggregates, unlike the per-shard gauges).
+    h2d_counter: std::sync::Arc<ts_metrics::Counter>,
+    h2d_bytes: AtomicU64,
+    /// Clock base of `h2d_bytes_per_sec`: the first copy, NOT engine
+    /// construction — a producer can idle a long time waiting for its
+    /// first consumer, and that idle must not dilute the reported copy
+    /// throughput.
+    first_copy: std::sync::OnceLock<Instant>,
+}
+
+impl std::fmt::Debug for StagingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagingEngine")
+            .field("device", &self.device)
+            .field("mode", &self.mode)
+            .field("queue_depth", &self.queue_depth)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StagingEngine {
+    /// Builds the engine for a producer, or `None` when there is nothing
+    /// to stage (CPU device, staging off, or no route to the device — the
+    /// last falls back to the legacy path, which surfaces the same error
+    /// on first use). `shard` is `Some` for one pipeline of a sharded
+    /// group, which namespaces the engine's gauges per shard.
+    pub(crate) fn build(
+        ctx: &TsContext,
+        cfg: &ProducerConfig,
+        shard: Option<u32>,
+    ) -> Option<Arc<StagingEngine>> {
+        if !cfg.device.is_gpu() || cfg.staging.mode == StagingMode::Off {
+            return None;
+        }
+        let memory = ctx.devices.memory(cfg.device).ok()?.clone();
+        let backend = SimBackend::new(
+            ctx.devices.topology(),
+            memory,
+            ctx.devices.traffic().clone(),
+            cfg.device,
+        )
+        .ok()?;
+        let backend = match cfg.staging.h2d_bandwidth {
+            Some(bps) => backend.with_bandwidth(bps),
+            None => backend,
+        };
+        let prefix = match shard {
+            Some(s) => format!("staging.s{s}."),
+            None => "staging.".to_string(),
+        };
+        Some(Arc::new(StagingEngine {
+            backend: Arc::new(backend),
+            device: cfg.device,
+            mode: cfg.staging.mode,
+            queue_depth: cfg.staging.queue_depth.unwrap_or(cfg.buffer_size).max(1),
+            slab_depth: cfg.staging.slab_depth,
+            buffer_size: cfg.buffer_size,
+            pin_headroom: std::sync::atomic::AtomicUsize::new(0),
+            pool: Mutex::new(None),
+            copy_thread: Mutex::new(None),
+            occupancy_gauge: ctx.metrics.gauge(&format!("{prefix}slab_occupancy")),
+            queue_gauge: ctx.metrics.gauge(&format!("{prefix}copy_queue_depth")),
+            rate_gauge: ctx.metrics.gauge(&format!("{prefix}h2d_bytes_per_sec")),
+            h2d_counter: ctx.metrics.counter("staging.h2d_bytes"),
+            h2d_bytes: AtomicU64::new(0),
+            first_copy: std::sync::OnceLock::new(),
+        }))
+    }
+
+    /// Records how many batches the rubberband policy can pin past full
+    /// acknowledgement this run. Called by the producer loop once the
+    /// epoch geometry is known — before any item is staged — so
+    /// [`StagingEngine::pool_for`] sizes the rotation to cover the pin
+    /// set.
+    pub(crate) fn set_pin_headroom(&self, batches: usize) {
+        self.pin_headroom.store(batches, Ordering::Relaxed);
+    }
+
+    /// True when this engine wants the copy stage between feeder and
+    /// publish loop.
+    pub(crate) fn overlapped(&self) -> bool {
+        self.mode == StagingMode::Overlapped
+    }
+
+    /// The slab pool, created at the first staged item so slabs are sized
+    /// to the real batch geometry (`slab = largest tensor of the item`,
+    /// depth = window + queue + rubberband headroom, in tensors).
+    fn pool_for(&self, item: &PreparedItem) -> Arc<DeviceSlabPool> {
+        let mut slot = self.pool.lock();
+        if let Some(pool) = slot.as_ref() {
+            return pool.clone();
+        }
+        let tensors_per_item = item.fields.len() + 1;
+        let slab_bytes = item
+            .fields
+            .iter()
+            .chain(std::iter::once(&item.labels))
+            .map(|t| t.view_bytes())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        // The rotation must cover every lease simultaneously out in
+        // steady state: the publish window, the copy-stage look-ahead,
+        // the rubberband pin set (pinned batches hold their slabs past
+        // full acknowledgement until the join window closes), and a
+        // margin for releases still in flight.
+        let pin = self.pin_headroom.load(Ordering::Relaxed);
+        let depth = self
+            .slab_depth
+            .unwrap_or((self.buffer_size + self.queue_depth + pin + 2) * tensors_per_item);
+        let pool = Arc::new(DeviceSlabPool::new(
+            self.backend.clone() as Arc<dyn DeviceBackend>,
+            slab_bytes,
+            depth,
+        ));
+        // The occupancy gauge rides the pool's hook so it stays current
+        // on every lease AND every return — including returns landing
+        // after shutdown, when a slow consumer drops its last batch.
+        let gauge = self.occupancy_gauge.clone();
+        pool.set_occupancy_hook(Box::new(move |leased| gauge.set(leased as f64)));
+        pool.warm_up();
+        *slot = Some(pool.clone());
+        pool
+    }
+
+    /// Stages one tensor: leases a slab, copies the bytes through the
+    /// backend (accounting traffic and modeled copy time) and rebuilds
+    /// the tensor over the slab buffer, wired to return the slab when the
+    /// last reference drops.
+    fn stage_tensor(
+        &self,
+        t: &Tensor,
+        pool: &Arc<DeviceSlabPool>,
+    ) -> Result<(Tensor, u64), StagingError> {
+        if t.device() == self.device {
+            return Ok((t.clone(), 0));
+        }
+        let needed = t.view_bytes();
+        let mut lease = pool.lease(needed)?;
+        match t.bytes() {
+            Ok(src) => self.backend.copy_h2d(src, lease.buf_mut())?,
+            // Non-contiguous sources (not produced by collation, but the
+            // contract allows them) gather first.
+            Err(_) => self.backend.copy_h2d(&t.gather_bytes(), lease.buf_mut())?,
+        }
+        self.backend.fence()?;
+        let (buf, ticket) = lease.into_parts();
+        let storage = Storage::new_with_reclaim(
+            buf,
+            self.device,
+            Box::new(move |returned| ticket.restore(returned)),
+        );
+        let staged = Tensor::from_parts(
+            Arc::new(storage),
+            t.dtype(),
+            t.shape().to_vec(),
+            contiguous_strides(t.shape()),
+            0,
+        )
+        .expect("staged copy always matches the source geometry");
+        Ok((staged, needed as u64))
+    }
+
+    /// Stages every tensor of a prepared item onto the device. On return
+    /// the item carries device tensors, `staged = true` and the bytes
+    /// copied; gauges and counters are updated.
+    pub(crate) fn stage_item(&self, item: PreparedItem) -> Result<PreparedItem, StagingError> {
+        let pool = self.pool_for(&item);
+        let mut staged_bytes = 0u64;
+        let mut fields = Vec::with_capacity(item.fields.len());
+        for t in &item.fields {
+            let (staged, bytes) = self.stage_tensor(t, &pool)?;
+            staged_bytes += bytes;
+            fields.push(staged);
+        }
+        let (labels, label_bytes) = self.stage_tensor(&item.labels, &pool)?;
+        staged_bytes += label_bytes;
+        let total = self.h2d_bytes.fetch_add(staged_bytes, Ordering::Relaxed) + staged_bytes;
+        // The counter aggregates across engines (shards); the gauges are
+        // per-engine and namespaced per shard (see the field docs). The
+        // occupancy gauge is maintained by the pool's hook.
+        self.h2d_counter.add(staged_bytes);
+        let elapsed = self
+            .first_copy
+            .get_or_init(Instant::now)
+            .elapsed()
+            .as_secs_f64();
+        if elapsed > 0.0 {
+            self.rate_gauge.set(total as f64 / elapsed);
+        }
+        Ok(PreparedItem {
+            staged: true,
+            staged_bytes,
+            fields,
+            labels,
+            ..item
+        })
+    }
+
+    /// Spawns the H2D copy stage: consumes prepared items from `input`,
+    /// stages them, and hands staged items downstream over a queue of
+    /// `queue_depth` — the bounded look-ahead that lets the copy of batch
+    /// *n* overlap collation of *n + 1* and publishing of *n − 1*.
+    pub(crate) fn spawn_copy_stage(
+        self: &Arc<Self>,
+        input: Receiver<FeederMsg>,
+        stop: Arc<AtomicBool>,
+    ) -> Receiver<FeederMsg> {
+        let (tx, rx) = channel::bounded::<FeederMsg>(self.queue_depth);
+        let engine = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("tensorsocket-staging".to_string())
+            .spawn(move || engine.copy_stage_main(input, tx, stop))
+            .expect("spawn staging thread");
+        *self.copy_thread.lock() = Some(handle);
+        rx
+    }
+
+    fn copy_stage_main(
+        &self,
+        input: Receiver<FeederMsg>,
+        tx: Sender<FeederMsg>,
+        stop: Arc<AtomicBool>,
+    ) {
+        let queue_gauge = self.queue_gauge.clone();
+        while let Ok(msg) = input.recv() {
+            let forward = match msg {
+                FeederMsg::Item(item) => {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match self.stage_item(item) {
+                        Ok(staged) => FeederMsg::Item(staged),
+                        Err(_) => {
+                            // Device OOM mid-run: stop producing, exactly
+                            // like the legacy path.
+                            let _ = tx.send(FeederMsg::Failed);
+                            return;
+                        }
+                    }
+                }
+                other => other,
+            };
+            if tx.send(forward).is_err() {
+                return; // publish stage went away
+            }
+            queue_gauge.set(tx.len() as f64);
+        }
+    }
+
+    /// Joins the copy stage (its channels must already be disconnected)
+    /// and drains the slab rotation, releasing the pooled device memory.
+    /// Slabs still referenced by live consumers free their accounting
+    /// when those references drop.
+    pub(crate) fn shutdown(&self) {
+        if let Some(handle) = self.copy_thread.lock().take() {
+            let _ = handle.join();
+        }
+        if let Some(pool) = self.pool.lock().as_ref() {
+            pool.drain();
+        }
+        // The copy stage is gone, so its queue is empty by construction;
+        // the occupancy gauge needs no reset — the pool's hook keeps it
+        // exact as outstanding consumer references drain.
+        self.queue_gauge.set(0.0);
+    }
+}

@@ -37,6 +37,7 @@ struct Inner {
     capacity: u64,
     in_use: u64,
     peak: u64,
+    allocs: u64,
 }
 
 /// Tracks allocations against a fixed capacity, with peak watermarking.
@@ -55,6 +56,7 @@ impl MemoryBook {
                 capacity,
                 in_use: 0,
                 peak: 0,
+                allocs: 0,
             })),
         }
     }
@@ -78,6 +80,7 @@ impl MemoryBook {
             });
         }
         inner.in_use = new_use;
+        inner.allocs += 1;
         if new_use > inner.peak {
             inner.peak = new_use;
         }
@@ -105,6 +108,14 @@ impl MemoryBook {
     pub fn capacity(&self) -> u64 {
         self.inner.lock().capacity
     }
+
+    /// Number of *successful* allocations ever recorded (failed ones
+    /// change nothing). A warmed-up staging pipeline keeps this constant:
+    /// the zero-device-allocation steady state is asserted by sampling it
+    /// after warm-up and again at the end of a run.
+    pub fn alloc_count(&self) -> u64 {
+        self.inner.lock().allocs
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +131,16 @@ mod tests {
         book.free(50);
         assert_eq!(book.in_use(), 40);
         assert_eq!(book.peak(), 90);
+        assert_eq!(book.alloc_count(), 2);
+    }
+
+    #[test]
+    fn alloc_count_ignores_failures_and_frees() {
+        let book = MemoryBook::new(100);
+        book.alloc(80).unwrap();
+        let _ = book.alloc(50).unwrap_err();
+        book.free(80);
+        assert_eq!(book.alloc_count(), 1, "only successful allocs count");
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! The [`DeviceBackend`] contract and its simulated implementation.
+//!
+//! A backend owns three responsibilities, deliberately small so that a
+//! real driver binding can satisfy them:
+//!
+//! 1. **alloc/free** — reserve and release device memory, with capacity
+//!    enforcement (a failed reservation must leave accounting untouched);
+//! 2. **copy_h2d** — move host bytes into a device destination,
+//!    accounting the bytes on every interconnect hop they traverse;
+//! 3. **fence** — make previously issued copies visible (a real backend
+//!    would synchronize its copy stream here; the simulated one copies
+//!    synchronously, so it is a no-op).
+//!
+//! [`SimBackend`] implements the contract against `ts-device`'s books: it
+//! is the paper's "producer stages on GPU 0" with every byte accounted
+//! the way `nvidia-smi`/`dcgm` would see it, and a copy-time model
+//! derived from the topology's link bandwidth so that overlapping the
+//! copy with host work is *measurable*, not just correct.
+
+use std::time::Duration;
+use ts_device::topology::Hop;
+use ts_device::{DeviceId, MemoryBook, OutOfMemory, Topology, TrafficBook};
+
+/// Errors surfaced by staging backends and the slab pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StagingError {
+    /// The device rejected an allocation.
+    OutOfMemory(OutOfMemory),
+    /// The topology has no route from the host to the staging device.
+    NoRoute {
+        /// The unreachable staging device.
+        device: DeviceId,
+    },
+    /// The backend cannot run in this build/environment (e.g. the `cuda`
+    /// stub compiled without a driver).
+    Unavailable(&'static str),
+}
+
+impl std::fmt::Display for StagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagingError::OutOfMemory(e) => write!(f, "staging allocation failed: {e}"),
+            StagingError::NoRoute { device } => {
+                write!(f, "no host route to staging device {device}")
+            }
+            StagingError::Unavailable(why) => write!(f, "staging backend unavailable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StagingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StagingError::OutOfMemory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OutOfMemory> for StagingError {
+    fn from(e: OutOfMemory) -> Self {
+        StagingError::OutOfMemory(e)
+    }
+}
+
+/// The contract a staging device must satisfy. See the module docs for
+/// the three responsibilities; all methods take `&self` because backends
+/// are shared across the copy stage and the publish loop.
+pub trait DeviceBackend: Send + Sync + std::fmt::Debug {
+    /// The device this backend stages onto.
+    fn device(&self) -> DeviceId;
+
+    /// Reserves `bytes` of device memory. A failed reservation must not
+    /// change accounting.
+    fn alloc(&self, bytes: u64) -> Result<(), StagingError>;
+
+    /// Releases `bytes` of device memory previously reserved with
+    /// [`DeviceBackend::alloc`].
+    fn free(&self, bytes: u64);
+
+    /// Copies `src` into `dst` (the device destination), accounting the
+    /// bytes on every interconnect hop. `dst` is overwritten; its
+    /// capacity is reused, so steady-state copies allocate nothing on the
+    /// host either.
+    fn copy_h2d(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<(), StagingError>;
+
+    /// Completes all previously issued copies. A simulated backend copies
+    /// synchronously; a real one would synchronize its copy stream.
+    fn fence(&self) -> Result<(), StagingError>;
+}
+
+/// The default backend: stages onto a simulated GPU, routing every byte
+/// through `ts-device`'s accounting books.
+///
+/// * allocations and frees hit the device's [`MemoryBook`] (VRAM peaks,
+///   capacity enforcement — the `nvidia-smi` rows of Tables 3–4);
+/// * copies record their bytes on each hop of the host→device route in
+///   the [`TrafficBook`] (the PCIe/NVLink rows), and take modeled wall
+///   time `bytes / bandwidth` where the bandwidth comes from the
+///   slowest link of the route (overridable with
+///   [`SimBackend::with_bandwidth`]), so overlapping copies with host
+///   work shows up in end-to-end measurements.
+///
+/// Data never leaves host RAM — the destination buffer stands in for the
+/// VRAM slab — matching the repo-wide convention that devices are
+/// *accounted*, not emulated.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    device: DeviceId,
+    memory: MemoryBook,
+    traffic: TrafficBook,
+    /// Resolved host→device route, accounted per copy.
+    hops: Vec<Hop>,
+    /// Modeled copy bandwidth in bytes/second (`f64::INFINITY` disables
+    /// the time model, e.g. for a CPU "device" in tests).
+    bandwidth_bps: f64,
+}
+
+impl SimBackend {
+    /// Builds a backend staging onto `device`, with the route resolved
+    /// from `topology` and accounting shared with the given books.
+    pub fn new(
+        topology: &Topology,
+        memory: MemoryBook,
+        traffic: TrafficBook,
+        device: DeviceId,
+    ) -> Result<Self, StagingError> {
+        let path = topology
+            .path(DeviceId::Cpu, device)
+            .ok_or(StagingError::NoRoute { device })?;
+        let bandwidth_bps = path
+            .hops()
+            .iter()
+            .filter_map(|h| topology.direct_link(h.from, h.to))
+            .map(|l| l.bandwidth_bps)
+            .fold(f64::INFINITY, f64::min);
+        Ok(Self {
+            device,
+            memory,
+            traffic,
+            hops: path.hops().to_vec(),
+            bandwidth_bps,
+        })
+    }
+
+    /// Overrides the modeled copy bandwidth (bytes/second). Use a lower
+    /// figure than the topology default to model a contended or narrower
+    /// link; `f64::INFINITY` disables copy time entirely.
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.bandwidth_bps = bytes_per_sec;
+        self
+    }
+
+    /// The modeled copy bandwidth in bytes/second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps
+    }
+
+    /// The memory book of the staging device (shared accounting).
+    pub fn memory(&self) -> &MemoryBook {
+        &self.memory
+    }
+}
+
+impl DeviceBackend for SimBackend {
+    fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    fn alloc(&self, bytes: u64) -> Result<(), StagingError> {
+        self.memory.alloc(bytes).map_err(StagingError::from)
+    }
+
+    fn free(&self, bytes: u64) {
+        self.memory.free(bytes);
+    }
+
+    fn copy_h2d(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<(), StagingError> {
+        dst.clear();
+        dst.extend_from_slice(src);
+        for hop in &self.hops {
+            self.traffic
+                .record_hop(hop.from, hop.to, hop.kind, src.len() as u64);
+        }
+        if self.bandwidth_bps.is_finite() && self.bandwidth_bps > 0.0 {
+            let secs = src.len() as f64 / self.bandwidth_bps;
+            // Sub-microsecond copies are below timer resolution; skip the
+            // sleep so tiny test tensors cost nothing.
+            if secs >= 1e-6 {
+                std::thread::sleep(Duration::from_secs_f64(secs));
+            }
+        }
+        Ok(())
+    }
+
+    fn fence(&self) -> Result<(), StagingError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_device::traffic::Channel;
+
+    fn backend_for(vram: u64) -> SimBackend {
+        let topo = Topology::new(1, false);
+        SimBackend::new(
+            &topo,
+            MemoryBook::new(vram),
+            TrafficBook::new(),
+            DeviceId::Gpu(0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alloc_and_free_hit_the_memory_book() {
+        let b = backend_for(100);
+        b.alloc(60).unwrap();
+        assert_eq!(b.memory().in_use(), 60);
+        assert!(matches!(
+            b.alloc(50).unwrap_err(),
+            StagingError::OutOfMemory(_)
+        ));
+        assert_eq!(b.memory().in_use(), 60, "failed alloc changes nothing");
+        b.free(60);
+        assert_eq!(b.memory().in_use(), 0);
+        assert_eq!(b.memory().alloc_count(), 1);
+    }
+
+    #[test]
+    fn copy_accounts_pcie_traffic_and_moves_bytes() {
+        let topo = Topology::new(2, true);
+        let traffic = TrafficBook::new();
+        let b = SimBackend::new(
+            &topo,
+            MemoryBook::unbounded(),
+            traffic.clone(),
+            DeviceId::Gpu(1),
+        )
+        .unwrap();
+        let mut dst = Vec::with_capacity(8);
+        b.copy_h2d(&[1, 2, 3, 4], &mut dst).unwrap();
+        b.fence().unwrap();
+        assert_eq!(dst, vec![1, 2, 3, 4]);
+        assert_eq!(traffic.bytes(Channel::Pcie(1)), 4);
+        // Destination capacity is reused, not reallocated.
+        let cap = dst.capacity();
+        b.copy_h2d(&[9, 9], &mut dst).unwrap();
+        assert_eq!(dst, vec![9, 9]);
+        assert_eq!(dst.capacity(), cap);
+        assert_eq!(traffic.bytes(Channel::Pcie(1)), 6);
+    }
+
+    #[test]
+    fn bandwidth_defaults_to_slowest_link_and_is_overridable() {
+        let b = backend_for(1 << 30);
+        assert_eq!(b.bandwidth_bps(), ts_device::topology::PCIE_GEN4_X16_BPS);
+        let slow = b.with_bandwidth(1e6);
+        assert_eq!(slow.bandwidth_bps(), 1e6);
+    }
+
+    #[test]
+    fn unknown_device_has_no_route() {
+        let topo = Topology::new(1, false);
+        let err = SimBackend::new(
+            &topo,
+            MemoryBook::unbounded(),
+            TrafficBook::new(),
+            DeviceId::Gpu(7),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            StagingError::NoRoute {
+                device: DeviceId::Gpu(7)
+            }
+        ));
+        assert!(err.to_string().contains("no host route"));
+    }
+
+    #[test]
+    fn cpu_target_is_a_local_no_hop_backend() {
+        let topo = Topology::new(0, false);
+        let traffic = TrafficBook::new();
+        let b = SimBackend::new(
+            &topo,
+            MemoryBook::unbounded(),
+            traffic.clone(),
+            DeviceId::Cpu,
+        )
+        .unwrap();
+        let mut dst = Vec::new();
+        b.copy_h2d(&[5; 16], &mut dst).unwrap();
+        assert_eq!(dst.len(), 16);
+        assert!(traffic.snapshot().is_empty(), "local copies move no link");
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Device staging for the TensorSocket reproduction: pre-allocated VRAM
+//! slabs and host→device copy accounting behind a pluggable backend.
+//!
+//! The paper's producer stages every collated batch on GPU 0 before
+//! sharing it (§3.2.4), and the real implementation leans on PyTorch's
+//! caching allocator so that steady-state staging never calls
+//! `cudaMalloc`. This crate reproduces that discipline as an explicit
+//! subsystem with two halves:
+//!
+//! * [`DeviceBackend`] — the contract a staging device must satisfy:
+//!   account an allocation ([`DeviceBackend::alloc`]), perform/account a
+//!   host→device copy ([`DeviceBackend::copy_h2d`]) and complete
+//!   outstanding copies ([`DeviceBackend::fence`]). The default
+//!   [`SimBackend`] routes every byte through `ts-device`'s
+//!   [`MemoryBook`](ts_device::MemoryBook) /
+//!   [`TrafficBook`](ts_device::TrafficBook) /
+//!   [`Topology`](ts_device::Topology), so VRAM peaks and PCIe/NVLink
+//!   traffic land exactly where Tables 3–4 of the paper expect them —
+//!   this is the "GPU 0" of the paper, simulated. A `cuda` cargo feature
+//!   compiles a [`cuda::CudaBackend`] stub with the same surface, so the
+//!   trait is proven implementable against a real driver without linking
+//!   one.
+//! * [`DeviceSlabPool`] — a pool of pre-allocated, equally sized VRAM
+//!   slabs rotated through the publish window. Leasing a slab for a
+//!   batch whose bytes fit is *not* a device allocation: the device
+//!   memory was accounted once at warm-up and is reused in place, so a
+//!   warmed-up producer stages every batch with **zero device
+//!   allocations** (assertable through
+//!   [`MemoryBook::alloc_count`](ts_device::MemoryBook::alloc_count)).
+//!   Oversized requests (flexible producer batches larger than the slab)
+//!   fall back to a transient allocation that is accounted, used once and
+//!   freed on return — never leaking a pooled slot.
+//!
+//! The threaded runtime (`tensorsocket::runtime`) builds one pool per
+//! producer pipeline — one per *shard* in a sharded group, mirroring the
+//! per-shard host `SlotPool` binding — and drives an asynchronous copy
+//! stage over it so host collation of batch *n + 1* overlaps the device
+//! copy of batch *n*.
+
+pub mod backend;
+#[cfg(feature = "cuda")]
+pub mod cuda;
+pub mod slab;
+
+pub use backend::{DeviceBackend, SimBackend, StagingError};
+pub use slab::{DeviceSlabPool, OccupancyHook, SlabLease, SlabPoolStats, SlabTicket};

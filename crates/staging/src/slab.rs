@@ -1,0 +1,529 @@
+//! The [`DeviceSlabPool`]: pre-allocated VRAM slabs rotated through the
+//! publish window.
+//!
+//! The pool owns up to `depth` equally sized device slabs. A *lease*
+//! hands one slab out for a staged batch tensor; when the last reference
+//! to that tensor drops (producer release after full acknowledgement,
+//! plus any consumer still reading), the slab's buffer returns to the
+//! pool and the *device accounting stays put* — the next lease rewrites
+//! the same slab in place. Warm-up allocates the whole rotation once, so
+//! steady-state staging performs **zero device allocations**, the device
+//! analogue of the host `SlotPool`'s zero-arena-allocation guarantee.
+//!
+//! Requests that do not fit the rotation degrade gracefully instead of
+//! failing or leaking:
+//!
+//! * a request *larger than the slab size* (an oversized flexible
+//!   producer batch) takes a **transient** allocation: accounted on the
+//!   device for its exact size, used once, freed on return;
+//! * a request arriving while every pooled slab is leased out (pool
+//!   sized too shallow) also takes a transient allocation rather than
+//!   blocking the copy stage.
+//!
+//! Pooled device memory is therefore bounded by `depth × slab_bytes` at
+//! all times; transients add only what is actually in flight. `drain`
+//! closes the pool and releases every idle slab; leases still out return
+//! their accounting when they come back.
+
+use crate::backend::{DeviceBackend, StagingError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Counters describing a [`DeviceSlabPool`]'s behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabPoolStats {
+    /// Leases served by rewriting an idle pooled slab (the
+    /// zero-device-allocation path).
+    pub hits: u64,
+    /// Leases that had to allocate a new pooled slab (warm-up, or a pool
+    /// growing toward its depth).
+    pub misses: u64,
+    /// Leases served by a transient allocation because every pooled slab
+    /// was out (freed on return, never pooled).
+    pub transient: u64,
+    /// Transient leases that were also larger than the slab size
+    /// (oversized flexible batches); a subset of `transient`.
+    pub oversized: u64,
+    /// Leases returned to the pool.
+    pub returned: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Idle pooled slab buffers, ready to rewrite.
+    free: Vec<Vec<u8>>,
+    /// Pooled slabs currently allocated on the device (idle + leased).
+    pooled_slabs: usize,
+    /// Leases currently out (pooled + transient).
+    leased: usize,
+    /// After `drain`: returned pooled slabs free their device accounting
+    /// instead of re-entering the rotation.
+    closed: bool,
+    stats: SlabPoolStats,
+}
+
+/// Observer of the pool's lease count, called with the number of leases
+/// outstanding after every lease and return — the live half of a metrics
+/// gauge, kept current even by returns that arrive long after the
+/// producer shut down (a slow consumer dropping its last staged batch).
+///
+/// The hook runs while the pool's internal lock is held, so concurrent
+/// lease/return notifications can never land out of order; the hook must
+/// be cheap and must not call back into the pool.
+pub type OccupancyHook = Box<dyn Fn(usize) + Send + Sync>;
+
+/// A pool of pre-allocated device slabs. See the module docs.
+///
+/// Shared as an `Arc`: leases and tickets keep the pool alive until the
+/// last staged tensor drops.
+pub struct DeviceSlabPool {
+    backend: Arc<dyn DeviceBackend>,
+    slab_bytes: usize,
+    depth: usize,
+    inner: Mutex<Inner>,
+    hook: Mutex<Option<OccupancyHook>>,
+}
+
+impl std::fmt::Debug for DeviceSlabPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceSlabPool")
+            .field("backend", &self.backend)
+            .field("slab_bytes", &self.slab_bytes)
+            .field("depth", &self.depth)
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeviceSlabPool {
+    /// A pool of at most `depth` slabs of `slab_bytes` each over
+    /// `backend`. Size the depth like the in-flight set: publish window ×
+    /// tensors per batch, plus copy-queue and rubberband headroom.
+    pub fn new(backend: Arc<dyn DeviceBackend>, slab_bytes: usize, depth: usize) -> Self {
+        Self {
+            backend,
+            slab_bytes,
+            depth: depth.max(1),
+            inner: Mutex::new(Inner::default()),
+            hook: Mutex::new(None),
+        }
+    }
+
+    /// Installs the [`OccupancyHook`]; it fires on every lease/return
+    /// with the up-to-date outstanding-lease count.
+    pub fn set_occupancy_hook(&self, hook: OccupancyHook) {
+        *self.hook.lock() = Some(hook);
+    }
+
+    /// Always called with the `inner` lock held (see [`OccupancyHook`]):
+    /// the count passed to the hook is the one computed under that lock,
+    /// so notifications can never be observed out of order.
+    fn notify_occupancy(&self, leased: usize) {
+        if let Some(hook) = self.hook.lock().as_ref() {
+            hook(leased);
+        }
+    }
+
+    /// The backend this pool allocates from.
+    pub fn backend(&self) -> &Arc<dyn DeviceBackend> {
+        &self.backend
+    }
+
+    /// Slab size in bytes.
+    pub fn slab_bytes(&self) -> usize {
+        self.slab_bytes
+    }
+
+    /// Maximum pooled slabs (the rotation depth).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Pre-allocates pooled slabs up to the depth, so even the first
+    /// leases are rewrites. Returns how many slabs the pool now holds
+    /// allocated; stops early (without error) when the device is out of
+    /// capacity — the pool then grows lazily via transient fallbacks.
+    pub fn warm_up(&self) -> usize {
+        loop {
+            // Reserve the rotation slot under the lock BEFORE allocating,
+            // so concurrent warm-ups/leases can never overshoot `depth`;
+            // roll the reservation back if the device is out of memory.
+            {
+                let mut inner = self.inner.lock();
+                if inner.pooled_slabs >= self.depth || inner.closed {
+                    return inner.pooled_slabs;
+                }
+                inner.pooled_slabs += 1;
+            }
+            if self.backend.alloc(self.slab_bytes as u64).is_err() {
+                let mut inner = self.inner.lock();
+                inner.pooled_slabs -= 1;
+                return inner.pooled_slabs;
+            }
+            let free_again = {
+                let mut inner = self.inner.lock();
+                if inner.closed {
+                    // A drain raced the allocation: this slab must not
+                    // re-enter a closed pool's free list.
+                    inner.pooled_slabs -= 1;
+                    true
+                } else {
+                    inner.free.push(Vec::with_capacity(self.slab_bytes));
+                    false
+                }
+            };
+            if free_again {
+                self.backend.free(self.slab_bytes as u64);
+                return self.inner.lock().pooled_slabs;
+            }
+        }
+    }
+
+    /// Leases a slab able to hold `len` bytes. Fit requests rewrite an
+    /// idle pooled slab (or allocate one while the rotation is still
+    /// growing); oversized or overflow requests take a transient
+    /// allocation. Fails only when the device itself is out of memory.
+    pub fn lease(self: &Arc<Self>, len: usize) -> Result<SlabLease, StagingError> {
+        if len <= self.slab_bytes {
+            // Fast path: rewrite an idle pooled slab in place.
+            let reused = {
+                let mut inner = self.inner.lock();
+                match inner.free.pop() {
+                    Some(buf) => {
+                        inner.stats.hits += 1;
+                        inner.leased += 1;
+                        // Notify while the lock is held: racing
+                        // lease/return notifications must reach the hook
+                        // in the order the counts were computed.
+                        self.notify_occupancy(inner.leased);
+                        Some(buf)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(buf) = reused {
+                return Ok(SlabLease {
+                    buf: Some(buf),
+                    ticket: SlabTicket {
+                        pool: Arc::clone(self),
+                        pooled: true,
+                        accounted: self.slab_bytes as u64,
+                    },
+                });
+            }
+            // Grow the rotation if it is not full yet, reserving the slot
+            // under the lock so concurrent growers cannot overshoot the
+            // depth (the reservation rolls back on device OOM).
+            let reserved = {
+                let mut inner = self.inner.lock();
+                if inner.pooled_slabs < self.depth && !inner.closed {
+                    inner.pooled_slabs += 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if reserved {
+                if let Err(e) = self.backend.alloc(self.slab_bytes as u64) {
+                    self.inner.lock().pooled_slabs -= 1;
+                    return Err(e);
+                }
+                {
+                    let mut inner = self.inner.lock();
+                    inner.stats.misses += 1;
+                    inner.leased += 1;
+                    self.notify_occupancy(inner.leased);
+                }
+                return Ok(SlabLease {
+                    buf: Some(Vec::with_capacity(self.slab_bytes)),
+                    ticket: SlabTicket {
+                        pool: Arc::clone(self),
+                        pooled: true,
+                        accounted: self.slab_bytes as u64,
+                    },
+                });
+            }
+        }
+        // Transient: exact-size allocation, freed on return.
+        self.backend.alloc(len as u64)?;
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.transient += 1;
+            if len > self.slab_bytes {
+                inner.stats.oversized += 1;
+            }
+            inner.leased += 1;
+            self.notify_occupancy(inner.leased);
+        }
+        Ok(SlabLease {
+            buf: Some(Vec::with_capacity(len)),
+            ticket: SlabTicket {
+                pool: Arc::clone(self),
+                pooled: false,
+                accounted: len as u64,
+            },
+        })
+    }
+
+    /// Closes the pool and frees every idle pooled slab. Outstanding
+    /// leases return their device accounting as they come back.
+    pub fn drain(&self) {
+        let (freed, slab_bytes) = {
+            let mut inner = self.inner.lock();
+            inner.closed = true;
+            let freed = std::mem::take(&mut inner.free);
+            inner.pooled_slabs -= freed.len();
+            (freed, self.slab_bytes as u64)
+        };
+        for _ in &freed {
+            self.backend.free(slab_bytes);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SlabPoolStats {
+        self.inner.lock().stats
+    }
+
+    /// `(idle pooled slabs, leases outstanding, pooled slabs allocated)`.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock();
+        (inner.free.len(), inner.leased, inner.pooled_slabs)
+    }
+
+    /// Take back a lease's buffer and accounting.
+    fn give_back(&self, buf: Vec<u8>, pooled: bool, accounted: u64) {
+        let free_now = {
+            let mut inner = self.inner.lock();
+            inner.stats.returned += 1;
+            inner.leased -= 1;
+            let free_now = if pooled && !inner.closed {
+                inner.free.push(buf);
+                false
+            } else {
+                if pooled {
+                    inner.pooled_slabs -= 1;
+                }
+                true
+            };
+            self.notify_occupancy(inner.leased);
+            free_now
+        };
+        if free_now {
+            self.backend.free(accounted);
+        }
+    }
+}
+
+/// The return half of a lease: restores the slab (buffer + device
+/// accounting) to its pool. Obtained from [`SlabLease::into_parts`] so
+/// the buffer can live inside a tensor storage while the ticket rides in
+/// that storage's drop hook.
+#[derive(Debug)]
+pub struct SlabTicket {
+    pool: Arc<DeviceSlabPool>,
+    pooled: bool,
+    accounted: u64,
+}
+
+impl SlabTicket {
+    /// Returns `buf` (and this lease's device accounting) to the pool.
+    pub fn restore(self, buf: Vec<u8>) {
+        self.pool.give_back(buf, self.pooled, self.accounted);
+    }
+}
+
+/// A leased slab: a writable buffer plus the [`SlabTicket`] that returns
+/// it. Dropping an unused lease returns the slab automatically.
+#[derive(Debug)]
+pub struct SlabLease {
+    buf: Option<Vec<u8>>,
+    ticket: SlabTicket,
+}
+
+impl SlabLease {
+    /// The slab buffer (cleared length, full capacity).
+    pub fn buf_mut(&mut self) -> &mut Vec<u8> {
+        self.buf
+            .as_mut()
+            .expect("lease buffer present until consumed")
+    }
+
+    /// Splits the lease into its buffer and return ticket.
+    pub fn into_parts(mut self) -> (Vec<u8>, SlabTicket) {
+        let buf = self.buf.take().expect("lease consumed once");
+        // Rebuild the ticket out of `self` so Drop does not double-return.
+        let ticket = SlabTicket {
+            pool: Arc::clone(&self.ticket.pool),
+            pooled: self.ticket.pooled,
+            accounted: self.ticket.accounted,
+        };
+        (buf, ticket)
+    }
+}
+
+impl Drop for SlabLease {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.ticket
+                .pool
+                .give_back(buf, self.ticket.pooled, self.ticket.accounted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimBackend;
+    use ts_device::{DeviceId, MemoryBook, Topology, TrafficBook};
+
+    fn pool(vram: u64, slab: usize, depth: usize) -> (Arc<DeviceSlabPool>, MemoryBook) {
+        let memory = MemoryBook::new(vram);
+        let backend = SimBackend::new(
+            &Topology::new(1, false),
+            memory.clone(),
+            TrafficBook::new(),
+            DeviceId::Gpu(0),
+        )
+        .unwrap();
+        (
+            Arc::new(DeviceSlabPool::new(Arc::new(backend), slab, depth)),
+            memory,
+        )
+    }
+
+    #[test]
+    fn warm_up_then_steady_state_allocates_nothing() {
+        let (pool, memory) = pool(1 << 20, 128, 4);
+        assert_eq!(pool.warm_up(), 4);
+        assert_eq!(memory.alloc_count(), 4);
+        assert_eq!(memory.in_use(), 4 * 128);
+        for round in 0..50 {
+            let mut lease = pool.lease(100).unwrap();
+            lease.buf_mut().extend_from_slice(&[round as u8; 100]);
+            let (buf, ticket) = lease.into_parts();
+            ticket.restore(buf);
+        }
+        assert_eq!(memory.alloc_count(), 4, "steady state must not allocate");
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 50);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.returned, 50);
+        pool.drain();
+        assert_eq!(memory.in_use(), 0);
+    }
+
+    #[test]
+    fn rotation_grows_lazily_without_warm_up() {
+        let (pool, memory) = pool(1 << 20, 64, 2);
+        let a = pool.lease(10).unwrap();
+        let b = pool.lease(10).unwrap();
+        assert_eq!(pool.stats().misses, 2);
+        drop(a);
+        drop(b);
+        let _c = pool.lease(10).unwrap();
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(memory.in_use(), 2 * 64, "rotation bounded by depth");
+    }
+
+    #[test]
+    fn overflow_beyond_depth_is_transient_and_freed_on_return() {
+        let (pool, memory) = pool(1 << 20, 64, 1);
+        let held = pool.lease(10).unwrap();
+        let spill = pool.lease(10).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.transient, 1);
+        assert_eq!(stats.oversized, 0, "fit-size overflow is not oversized");
+        assert_eq!(memory.in_use(), 64 + 10);
+        drop(spill);
+        assert_eq!(memory.in_use(), 64, "transient freed on return");
+        drop(held);
+        pool.drain();
+        assert_eq!(memory.in_use(), 0);
+    }
+
+    #[test]
+    fn oversized_lease_falls_back_without_leaking_pool_slots() {
+        let (pool, memory) = pool(1 << 20, 64, 2);
+        pool.warm_up();
+        let big = pool.lease(1000).unwrap();
+        let stats = pool.stats();
+        assert_eq!((stats.transient, stats.oversized), (1, 1));
+        assert_eq!(memory.in_use(), 2 * 64 + 1000);
+        drop(big);
+        assert_eq!(memory.in_use(), 2 * 64, "oversized accounting released");
+        let (free, leased, pooled) = pool.occupancy();
+        assert_eq!((free, leased, pooled), (2, 0, 2), "no pooled slot leaked");
+        pool.drain();
+        assert_eq!(memory.in_use(), 0);
+    }
+
+    #[test]
+    fn device_oom_surfaces_and_leaves_accounting_clean() {
+        let (pool, memory) = pool(100, 64, 2);
+        assert_eq!(pool.warm_up(), 1, "second slab exceeds capacity");
+        let held = pool.lease(10).unwrap();
+        // Rotation wants to grow but the device is full.
+        assert!(matches!(
+            pool.lease(50).unwrap_err(),
+            StagingError::OutOfMemory(_)
+        ));
+        assert_eq!(memory.in_use(), 64);
+        drop(held);
+        pool.drain();
+        assert_eq!(memory.in_use(), 0);
+    }
+
+    #[test]
+    fn occupancy_hook_tracks_leases_and_late_returns() {
+        let (pool, _memory) = pool(1 << 20, 64, 2);
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        pool.set_occupancy_hook(Box::new(move |n| sink.lock().push(n)));
+        let a = pool.lease(10).unwrap();
+        let b = pool.lease(10).unwrap();
+        drop(a);
+        pool.drain();
+        // A return landing after the drain still fires the hook: the
+        // occupancy a metrics gauge reports never goes stale.
+        drop(b);
+        assert_eq!(&*seen.lock(), &[1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn concurrent_growth_never_overshoots_depth() {
+        let (pool, memory) = pool(1 << 20, 64, 2);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let lease = p.lease(10).unwrap();
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    drop(lease);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (free, leased, pooled) = pool.occupancy();
+        assert!(pooled <= 2, "rotation overshot its depth: {pooled}");
+        assert_eq!(leased, 0);
+        assert_eq!(free, pooled);
+        pool.drain();
+        assert_eq!(memory.in_use(), 0, "transients and slabs all returned");
+    }
+
+    #[test]
+    fn returns_after_drain_free_their_accounting() {
+        let (pool, memory) = pool(1 << 20, 64, 2);
+        let lease = pool.lease(10).unwrap();
+        pool.drain();
+        assert_eq!(memory.in_use(), 64, "leased slab survives the drain");
+        drop(lease);
+        assert_eq!(memory.in_use(), 0, "late return frees, not re-pools");
+        assert_eq!(pool.occupancy(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests of the device slab pool: arbitrary lease/release
+//! interleavings never exceed the configured VRAM budget, every slab is
+//! released exactly once per epoch, and oversized (flex) leases fall
+//! back to transient allocations without leaking pool slots.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use ts_device::{DeviceId, MemoryBook, Topology, TrafficBook};
+use ts_staging::{DeviceSlabPool, SimBackend, SlabLease, StagingError};
+
+fn pool_over(vram: u64, slab: usize, depth: usize) -> (Arc<DeviceSlabPool>, MemoryBook) {
+    let memory = MemoryBook::new(vram);
+    let backend = SimBackend::new(
+        &Topology::new(1, false),
+        memory.clone(),
+        TrafficBook::new(),
+        DeviceId::Gpu(0),
+    )
+    .unwrap();
+    (
+        Arc::new(DeviceSlabPool::new(Arc::new(backend), slab, depth)),
+        memory,
+    )
+}
+
+proptest! {
+    /// Rotation invariant: whatever the interleaving of fit, overflow and
+    /// oversized leases, pooled device memory never exceeds
+    /// `depth × slab_bytes`, total in-use never exceeds pooled + live
+    /// transients, and a full drain returns the book to zero.
+    #[test]
+    fn rotation_never_exceeds_configured_vram(
+        depth in 1usize..6,
+        warm in prop::bool::ANY,
+        ops in prop::collection::vec((0u8..3, 0usize..8, 1usize..200), 1..120)
+    ) {
+        const SLAB: usize = 64;
+        // Capacity always admits the full rotation plus one worst-case
+        // transient, so OOM is not what this property is about.
+        let (pool, memory) = pool_over((depth * SLAB + 256) as u64, SLAB, depth);
+        if warm {
+            prop_assert_eq!(pool.warm_up(), depth);
+        }
+        let mut live: Vec<SlabLease> = Vec::new();
+        for (op, pick, len) in ops {
+            match op {
+                // Lease: fit sizes stay pooled, > SLAB is oversized.
+                0 => match pool.lease(len) {
+                    Ok(mut lease) => {
+                        lease.buf_mut().extend_from_slice(&vec![0xAB; len]);
+                        live.push(lease);
+                    }
+                    Err(StagingError::OutOfMemory(_)) => {
+                        // Only reachable when many transients are live.
+                        prop_assert!(!live.is_empty());
+                    }
+                    Err(e) => prop_assert!(false, "unexpected lease error {e:?}"),
+                },
+                // Release one live lease.
+                1 if !live.is_empty() => {
+                    live.remove(pick % live.len());
+                }
+                // Spot-check the standing invariants.
+                _ => {}
+            }
+            let (free, leased, pooled) = pool.occupancy();
+            prop_assert!(pooled <= depth, "pooled {pooled} > depth {depth}");
+            prop_assert!(free <= pooled);
+            prop_assert_eq!(leased, live.len());
+            // Pooled bytes are bounded by the rotation; anything beyond
+            // is transient and bounded by live leases' worst case (every
+            // live lease transient at the max generated length).
+            let transient_bound = live.len() as u64 * 200;
+            prop_assert!(
+                memory.in_use() <= (depth * SLAB) as u64 + transient_bound,
+                "in_use {} beyond rotation + transients",
+                memory.in_use()
+            );
+        }
+        drop(live);
+        pool.drain();
+        prop_assert_eq!(memory.in_use(), 0, "drain + returns must zero the book");
+    }
+
+    /// Epoch discipline: publishing `k` batches per epoch leases and
+    /// releases each slab exactly once per batch — `returned` grows by
+    /// exactly `k` per epoch, the rotation never grows past its warm-up
+    /// size, and steady-state epochs perform zero device allocations.
+    #[test]
+    fn every_slab_is_released_exactly_once_per_epoch(
+        epochs in 1usize..6,
+        batches in 1usize..12,
+        window in 1usize..4,
+    ) {
+        const SLAB: usize = 128;
+        let depth = window + 1;
+        let (pool, memory) = pool_over(1 << 20, SLAB, depth);
+        pool.warm_up();
+        let warmup_allocs = memory.alloc_count();
+        for epoch in 0..epochs {
+            let mut in_flight: Vec<SlabLease> = Vec::new();
+            for b in 0..batches {
+                if in_flight.len() == window {
+                    in_flight.remove(0); // oldest batch fully acked
+                }
+                let mut lease = pool.lease(100).unwrap();
+                lease.buf_mut().extend_from_slice(&[b as u8; 100]);
+                in_flight.push(lease);
+            }
+            drop(in_flight); // epoch end releases the tail
+            let stats = pool.stats();
+            prop_assert_eq!(
+                stats.returned,
+                ((epoch + 1) * batches) as u64,
+                "each slab returns exactly once per batch"
+            );
+        }
+        prop_assert_eq!(
+            memory.alloc_count(),
+            warmup_allocs,
+            "steady-state epochs must not allocate device memory"
+        );
+        let stats = pool.stats();
+        prop_assert_eq!(stats.hits + stats.misses + stats.transient,
+                        (epochs * batches) as u64);
+        prop_assert_eq!(stats.transient, 0, "window fits the rotation");
+        pool.drain();
+        prop_assert_eq!(memory.in_use(), 0);
+    }
+
+    /// Flex fallback: interleaving oversized leases with fit leases never
+    /// consumes a pooled slot — after the oversized lease returns, the
+    /// rotation is whole (same idle count, same accounting) and the book
+    /// drops by exactly the oversized bytes.
+    #[test]
+    fn oversized_leases_fall_back_without_leaking_pool_slots(
+        depth in 1usize..5,
+        rounds in 1usize..20,
+        extra in 1usize..300,
+    ) {
+        const SLAB: usize = 64;
+        let (pool, memory) = pool_over(1 << 20, SLAB, depth);
+        pool.warm_up();
+        let baseline = memory.in_use();
+        for r in 0..rounds {
+            let fit = pool.lease(SLAB / 2).unwrap();
+            let big = pool.lease(SLAB + extra).unwrap();
+            prop_assert_eq!(
+                memory.in_use(),
+                baseline + (SLAB + extra) as u64,
+                "round {r}: oversized accounted at exact size"
+            );
+            drop(big);
+            prop_assert_eq!(memory.in_use(), baseline, "oversized bytes released");
+            drop(fit);
+            let (free, leased, pooled) = pool.occupancy();
+            prop_assert_eq!((free, leased, pooled), (depth, 0, depth),
+                            "rotation whole after round {r}");
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.oversized, rounds as u64);
+        prop_assert_eq!(stats.returned, 2 * rounds as u64);
+        pool.drain();
+        prop_assert_eq!(memory.in_use(), 0);
+    }
+}

@@ -37,19 +37,41 @@ impl std::fmt::Debug for Backing {
     }
 }
 
+/// What happens to an owned buffer when the last reference drops.
+enum Reclaim {
+    /// Return the buffer to a [`crate::MemoryPool`].
+    Pool(PoolReturn),
+    /// Hand the buffer to an arbitrary owner — the hook behind device
+    /// slab recycling: a staged tensor's buffer returns to its VRAM slab
+    /// pool (`ts-staging`) the moment producer *and* consumers let go,
+    /// so the slab can be rewritten in place for the next batch.
+    Hook(Box<dyn FnOnce(Vec<u8>) + Send + Sync>),
+}
+
+impl std::fmt::Debug for Reclaim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reclaim::Pool(_) => f.write_str("Pool"),
+            Reclaim::Hook(_) => f.write_str("Hook"),
+        }
+    }
+}
+
 /// An immutable, refcounted byte buffer placed on a device.
 ///
 /// Buffers are *write-once*: they are built as `Vec<u8>` and frozen on
 /// construction. Storages created from a [`crate::MemoryPool`] return their
-/// buffer to the pool when the last reference drops. Storages rebuilt by a
-/// consumer in another OS process wrap a shared-memory view instead
-/// ([`Storage::from_shm_view`]) — same API, no copy.
+/// buffer to the pool when the last reference drops, and storages built
+/// over a recycled buffer ([`Storage::new_with_reclaim`]) hand it back to
+/// their owner the same way. Storages rebuilt by a consumer in another OS
+/// process wrap a shared-memory view instead ([`Storage::from_shm_view`])
+/// — same API, no copy.
 #[derive(Debug)]
 pub struct Storage {
     id: u64,
     device: DeviceId,
     data: Backing,
-    pool: Option<PoolReturn>,
+    reclaim: Option<Reclaim>,
 }
 
 impl Storage {
@@ -59,7 +81,7 @@ impl Storage {
             id: fresh_storage_id(),
             device,
             data: Backing::Owned(Some(data)),
-            pool: None,
+            reclaim: None,
         }
     }
 
@@ -69,7 +91,28 @@ impl Storage {
             id: fresh_storage_id(),
             device,
             data: Backing::Owned(Some(data)),
-            pool: Some(pool),
+            reclaim: Some(Reclaim::Pool(pool)),
+        }
+    }
+
+    /// Freezes a recycled buffer; when the last reference drops, the
+    /// buffer is handed to `reclaim` instead of being deallocated.
+    ///
+    /// This is how device-staged tensors ride the VRAM slab rotation: the
+    /// staging engine leases a slab, copies the batch in, and wires the
+    /// hook to return the slab to its pool — so the buffer's round trip
+    /// (lease → storage → consumers → pool) needs no further accounting
+    /// calls on the hot path.
+    pub fn new_with_reclaim(
+        data: Vec<u8>,
+        device: DeviceId,
+        reclaim: Box<dyn FnOnce(Vec<u8>) + Send + Sync>,
+    ) -> Self {
+        Self {
+            id: fresh_storage_id(),
+            device,
+            data: Backing::Owned(Some(data)),
+            reclaim: Some(Reclaim::Hook(reclaim)),
         }
     }
 
@@ -82,7 +125,7 @@ impl Storage {
             id,
             device,
             data: Backing::Shm(view),
-            pool: None,
+            reclaim: None,
         }
     }
 
@@ -100,6 +143,14 @@ impl Storage {
     /// process's heap.
     pub fn is_shared_memory(&self) -> bool {
         matches!(self.data, Backing::Shm(_))
+    }
+
+    /// True when this storage's buffer returns to an external owner via a
+    /// reclaim hook ([`Storage::new_with_reclaim`]) — e.g. a device slab
+    /// pool. That owner also owns the buffer's *device accounting*, so
+    /// runtime release paths must not account a free for such storages.
+    pub fn is_recycled(&self) -> bool {
+        matches!(self.reclaim, Some(Reclaim::Hook(_)))
     }
 
     /// The raw bytes.
@@ -123,9 +174,12 @@ impl Storage {
 
 impl Drop for Storage {
     fn drop(&mut self) {
-        if let (Some(pool), Backing::Owned(data)) = (self.pool.take(), &mut self.data) {
+        if let (Some(reclaim), Backing::Owned(data)) = (self.reclaim.take(), &mut self.data) {
             if let Some(data) = data.take() {
-                pool.give_back(data);
+                match reclaim {
+                    Reclaim::Pool(pool) => pool.give_back(data),
+                    Reclaim::Hook(hook) => hook(data),
+                }
             }
         }
     }
@@ -149,5 +203,26 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
         assert_eq!(s.device(), DeviceId::Gpu(1));
+    }
+
+    #[test]
+    fn reclaim_hook_receives_the_buffer_on_last_drop() {
+        use std::sync::Arc;
+        let returned: Arc<parking_lot::Mutex<Option<Vec<u8>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let sink = returned.clone();
+        let s = Arc::new(Storage::new_with_reclaim(
+            vec![7, 8, 9],
+            DeviceId::Gpu(0),
+            Box::new(move |buf| *sink.lock() = Some(buf)),
+        ));
+        let clone = s.clone();
+        drop(s);
+        assert!(
+            returned.lock().is_none(),
+            "live references keep the buffer out of the hook"
+        );
+        drop(clone);
+        assert_eq!(returned.lock().take().unwrap(), vec![7, 8, 9]);
     }
 }

@@ -98,6 +98,30 @@
 //! no matter how the shards race each other. With one shard the stream
 //! is byte-identical to a plain `TensorProducer`'s. The second act of
 //! `main` below runs the same dataset through a 2-shard group.
+//!
+//! # Device staging
+//!
+//! The paper's producer stages every batch on GPU 0 before sharing it.
+//! Set `ProducerConfig::device` to a GPU and the producer stages through
+//! the device staging subsystem (`ts-staging`): a pre-allocated VRAM
+//! **slab rotation** sized from the publish window — so warmed-up
+//! staging performs *zero device allocations* (check
+//! `ctx.devices.memory(gpu).alloc_count()`) — with the H2D copy running
+//! on its own pipeline stage, overlapping the copy of batch *n* with
+//! collation of *n + 1* and publishing of *n − 1*. Tune it via
+//! `ProducerConfig::staging`:
+//!
+//! * `mode` — `Overlapped` (default), `Serial` (copy on the publish
+//!   thread, still slab-pooled) or `Off` (legacy per-batch
+//!   allocate+copy). Consumers receive byte-identical batches in all
+//!   three; the `BENCH_staging.json` suite documents the overlap win.
+//! * `slab_depth` / `queue_depth` — rotation size and copy-stage
+//!   look-ahead, both derived from `buffer_size` when unset.
+//!
+//! Staging health is exported through `ctx.metrics`: counter
+//! `staging.h2d_bytes`, gauges `staging.slab_occupancy`,
+//! `staging.copy_queue_depth` and `staging.h2d_bytes_per_sec`. The third
+//! act below runs a GPU-staged epoch and prints them.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -235,4 +259,77 @@ fn main() {
     );
     assert!(ctx.registry.is_empty(), "sharded memory fully released");
     println!("ok: 2-shard group covered the dataset exactly once, in one stable stream");
+
+    // ---- act three: GPU staging through the VRAM slab rotation ----
+    // The same pipeline with the producer on (simulated) GPU 0: batches
+    // are staged through pre-allocated VRAM slabs, the H2D copy of batch
+    // n overlapping collation of n+1 — and after warm-up, staging
+    // performs zero device allocations.
+    let ctx = TsContext::with_gpus(1, 8 << 30, false);
+    let dataset = Arc::new(SyntheticImageDataset::new(1_024, 64, 64, 7).with_encoded_len(4_096));
+    let loader = DataLoader::new(
+        dataset,
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 2,
+            shuffle: true,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    let producer = TensorProducer::spawn(
+        loader,
+        &ctx,
+        ProducerConfig {
+            endpoint: "inproc://tensorsocket-staged".into(),
+            epochs: 1,
+            device: ts_device::DeviceId::Gpu(0),
+            ..Default::default() // staging: Overlapped by default
+        },
+    )
+    .expect("spawn staged producer");
+    let mut consumer = TensorConsumer::connect(
+        &ctx,
+        ConsumerConfig {
+            endpoint: "inproc://tensorsocket-staged".into(),
+            ..Default::default()
+        },
+    )
+    .expect("connect staged consumer");
+    let started = Instant::now();
+    for batch in consumer.by_ref() {
+        assert!(
+            batch.fields[0].device().is_gpu(),
+            "consumers see device tensors"
+        );
+        std::hint::black_box(batch.labels.view_bytes());
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let stats = producer.join().expect("staged producer");
+    let book = ctx.devices.memory(ts_device::DeviceId::Gpu(0)).unwrap();
+    println!(
+        "[staged] {} batches on cuda:0 in {secs:.2}s — {} B over PCIe, VRAM peak {} B, \
+         {} device allocations (warm-up only), 0 B still in use: {}",
+        stats.batches_published,
+        ctx.devices
+            .traffic()
+            .bytes(ts_device::traffic::Channel::Pcie(0)),
+        book.peak(),
+        book.alloc_count(),
+        book.in_use(),
+    );
+    // The staging stats epilogue: every gauge/counter the subsystem
+    // exports through the shared metrics registry.
+    println!(
+        "[staged] staging.h2d_bytes = {}",
+        ctx.metrics.counter("staging.h2d_bytes").get()
+    );
+    for (name, value) in ctx.metrics.gauge_snapshot() {
+        if name.starts_with("staging.") {
+            println!("[staged] {name} = {value:.1}");
+        }
+    }
+    assert_eq!(book.in_use(), 0, "slab rotation fully drained");
+    assert!(ctx.registry.is_empty(), "staged memory fully released");
+    println!("ok: staged epoch shared device-resident batches with zero steady-state allocations");
 }

@@ -12,6 +12,8 @@
 //!   cross-process zero-copy batches
 //! * [`ts_data`] — datasets, transforms, multi-worker `DataLoader`
 //! * [`ts_device`] — simulated device topology and traffic accounting
+//! * [`ts_staging`] — VRAM slab pool + H2D copy accounting behind a
+//!   pluggable `DeviceBackend` (the producer's device staging layer)
 //! * [`ts_sim`] — virtual-time cluster simulator used by the evaluation
 //! * [`ts_baselines`] — NonShared / CoorDL-like / Joader-like comparators
 //! * [`ts_cloud`] — cloud instance catalog and cost planner
@@ -27,4 +29,5 @@ pub use ts_metrics;
 pub use ts_shm;
 pub use ts_sim;
 pub use ts_socket;
+pub use ts_staging;
 pub use ts_tensor;
