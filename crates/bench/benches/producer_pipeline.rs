@@ -13,7 +13,7 @@
 //!   publish cursor while the publish loop stages and announces.
 //!
 //! The `sharded/<n>` variants run the same epoch through an n-shard
-//! [`ShardedProducerGroup`] (each shard a feeder+publish pipeline over
+//! producer group (each shard a feeder+publish pipeline over
 //! its disjoint dataset partition, in lockstep under the epoch
 //! coordinator) consumed through one interleaving consumer — the
 //! multi-producer scaling axis: on multi-core runners `sharded/2`
@@ -28,9 +28,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 use std::time::Duration;
-use tensorsocket::{
-    ConsumerConfig, ProducerConfig, ShardedProducerGroup, TensorConsumer, TensorProducer, TsContext,
-};
+use tensorsocket::{Consumer, Producer, TsContext};
 use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 
 const SAMPLES: usize = 512;
@@ -61,32 +59,25 @@ fn make_loader(workers: usize) -> DataLoader {
 /// Runs one full epoch through producer + consumer; returns batches seen.
 fn run_epoch(workers: usize, endpoint: &str) -> u64 {
     let ctx = TsContext::host_only();
-    let producer = TensorProducer::spawn(
-        make_loader(workers),
-        &ctx,
-        ProducerConfig {
-            endpoint: endpoint.to_string(),
-            epochs: 1,
-            poll_interval: Duration::from_micros(200),
-            first_consumer_timeout: Some(Duration::from_secs(30)),
-            ..Default::default()
-        },
-    )
-    .expect("spawn producer");
-    let mut consumer = TensorConsumer::connect(
-        &ctx,
-        ConsumerConfig {
-            endpoint: endpoint.to_string(),
-            recv_timeout: Duration::from_secs(30),
-            // The default 200 ms tick would dominate the measurement: the
-            // consumer's drop joins the heartbeat thread mid-sleep.
-            heartbeat_interval: Duration::from_millis(5),
-            ..Default::default()
-        },
-    )
-    .expect("connect consumer");
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint(endpoint)
+        .epochs(1)
+        .poll_interval(Duration::from_micros(200))
+        .first_consumer_timeout(Some(Duration::from_secs(30)))
+        .spawn(make_loader(workers))
+        .expect("spawn producer");
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .recv_timeout(Duration::from_secs(30))
+        // The default 200 ms tick would dominate the measurement: the
+        // consumer's drop joins the heartbeat thread mid-sleep.
+        .heartbeat_interval(Duration::from_millis(5))
+        .connect(endpoint)
+        .expect("connect consumer");
     let mut batches = 0u64;
     for batch in consumer.by_ref() {
+        let batch = batch.expect("clean stream");
         // The "training step": read one byte per sample so the batch is
         // touched but consumption stays far cheaper than loading.
         std::hint::black_box(batch.labels.view_bytes());
@@ -116,31 +107,25 @@ fn run_sharded_epoch(shards: usize, endpoint: &str) -> u64 {
         },
         shards,
     );
-    let group = ShardedProducerGroup::spawn(
-        loaders,
-        &ctx,
-        ProducerConfig {
-            endpoint: endpoint.to_string(),
-            epochs: 1,
-            poll_interval: Duration::from_micros(200),
-            first_consumer_timeout: Some(Duration::from_secs(30)),
-            ..Default::default()
-        },
-    )
-    .expect("spawn sharded group");
-    let mut consumer = TensorConsumer::connect(
-        &ctx,
-        ConsumerConfig {
-            endpoint: endpoint.to_string(),
-            shards,
-            recv_timeout: Duration::from_secs(30),
-            heartbeat_interval: Duration::from_millis(5),
-            ..Default::default()
-        },
-    )
-    .expect("connect consumer");
+    let group = Producer::builder()
+        .context(&ctx)
+        .endpoint(endpoint)
+        .epochs(1)
+        .poll_interval(Duration::from_micros(200))
+        .first_consumer_timeout(Some(Duration::from_secs(30)))
+        .spawn_sharded(loaders)
+        .expect("spawn sharded group");
+    // The consumer is NOT told the shard count: the handshake is.
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .recv_timeout(Duration::from_secs(30))
+        .heartbeat_interval(Duration::from_millis(5))
+        .connect(endpoint)
+        .expect("connect consumer");
+    assert_eq!(consumer.num_shards(), shards);
     let mut batches = 0u64;
     for batch in consumer.by_ref() {
+        let batch = batch.expect("clean stream");
         std::hint::black_box(batch.labels.view_bytes());
         batches += 1;
     }

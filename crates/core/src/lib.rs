@@ -9,9 +9,12 @@
 //! *pointers* ([`ts_tensor::TensorPayload`]) rather than bytes, so adding a
 //! consumer adds no loading work and no data duplication.
 //!
+//! The public surface is two builders — one [`Producer`], one
+//! [`Consumer`], endpoint-only attach:
+//!
 //! ```no_run
 //! use std::sync::Arc;
-//! use tensorsocket::{ProducerConfig, ConsumerConfig, TensorProducer, TensorConsumer, TsContext};
+//! use tensorsocket::{Producer, Consumer, TsContext};
 //! use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 //!
 //! let ctx = TsContext::host_only();
@@ -19,60 +22,75 @@
 //! let loader = DataLoader::new(dataset, DataLoaderConfig::default());
 //!
 //! // producer.py
-//! let producer = TensorProducer::spawn(loader, &ctx, ProducerConfig::default()).unwrap();
+//! let producer = Producer::builder().context(&ctx).spawn(loader).unwrap();
 //!
-//! // consumer.py (normally another thread / logical process)
-//! let consumer = TensorConsumer::connect(&ctx, ConsumerConfig::default()).unwrap();
+//! // consumer.py (normally another thread / logical process): only the
+//! // endpoint — everything else arrives over the attach handshake.
+//! let consumer = Consumer::builder().context(&ctx).connect("inproc://tensorsocket").unwrap();
 //! for batch in consumer {
+//!     let batch = batch.unwrap();
 //!     // ... model training iteration ...
 //!     let _ = batch.fields[0].shape();
 //! }
 //! producer.join().unwrap();
 //! ```
 //!
+//! ## The attach handshake: a consumer needs only the endpoint
+//!
+//! [`Consumer::builder`]`.connect(endpoint)` opens with a versioned
+//! HELLO/WELCOME exchange on the control channel. The producer's WELCOME
+//! ([`WelcomeInfo`]) advertises the shard count (from which every shard's
+//! data/ctrl endpoint derives via one scheme-aware
+//! [`ts_socket::EndpointMap`]), the shared-memory arena path and slot
+//! geometry, the batch schema and the staging mode — so nothing about the
+//! topology is mirrored out of band, and nothing can be silently
+//! misconfigured. Mismatches fail fast as typed [`HandshakeError`]s
+//! (`Version`, `Topology`, `ArenaMissing`), never as hangs. The legacy
+//! `TensorProducer` / `TensorConsumer` / `ShardedProducerGroup` entry
+//! points remain as `#[deprecated]` shims over the same engine (see the
+//! migration table in `examples/quickstart.rs`).
+//!
 //! ## Endpoint URIs and cross-process sharing
 //!
-//! The `endpoint` in [`ProducerConfig`]/[`ConsumerConfig`] selects the
-//! transport: `inproc://name` (threads in one process, the default),
-//! `ipc:///path.sock` (collocated OS processes over Unix sockets) and
-//! `tcp://host:port`. For separate processes, bind a shared-memory arena
-//! ([`TsContext::create_arena`] producer-side,
-//! [`TsContext::open_arena`] consumer-side): batch tensors are then
-//! placed in the arena and consumers map them zero-copy, so the sockets
-//! carry only announce/ack metadata — the paper's split between a
-//! metadata channel and a bulk payload path. See
-//! `examples/multi_process.rs` for the full topology.
+//! The endpoint selects the transport: `inproc://name` (threads in one
+//! process, the default), `ipc:///path.sock` (collocated OS processes
+//! over Unix sockets) and `tcp://host:port`. For separate processes, add
+//! `.arena(path)` to the producer builder: it creates a shared-memory
+//! arena auto-sized from the loader's decoded sample geometry, batch
+//! tensors are placed in it, and consumers map them zero-copy — the
+//! sockets carry only announce/ack metadata, the paper's split between a
+//! metadata channel and a bulk payload path. Consumers learn the arena
+//! from the handshake. See `examples/multi_process.rs` for the full
+//! topology.
 //!
 //! ## Multi-producer sharding and the `(epoch, shard, seq)` contract
 //!
 //! On many-GPU nodes one producer pipeline saturates one NUMA domain;
-//! a [`ShardedProducerGroup`] runs `N` feeder+publish pipelines, each
-//! owning a **disjoint partition** of the dataset (build the per-shard
-//! loaders with `ts_data::DataLoader::sharded`), in lockstep under an
-//! [`EpochCoordinator`] that keeps epoch boundaries aligned and join
-//! admission consistent — a consumer joining mid-epoch replays the
+//! [`ProducerBuilder::spawn_sharded`] runs `N` feeder+publish pipelines,
+//! each owning a **disjoint partition** of the dataset (build the
+//! per-shard loaders with `ts_data::DataLoader::sharded`), in lockstep
+//! under an [`EpochCoordinator`] that keeps epoch boundaries aligned and
+//! join admission consistent — a consumer joining mid-epoch replays the
 //! epoch prefix from *every* shard, not just one.
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use tensorsocket::{ProducerConfig, ConsumerConfig, ShardedProducerGroup, TensorConsumer, TsContext};
+//! use tensorsocket::{Producer, Consumer, TsContext};
 //! use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 //!
 //! let ctx = TsContext::host_only();
 //! let dataset = Arc::new(SyntheticImageDataset::imagenet_like(1024, 0));
 //! // One loader per shard, each owning a disjoint slice of every epoch.
 //! let loaders = DataLoader::sharded(dataset, DataLoaderConfig::default(), 2);
-//! let group = ShardedProducerGroup::spawn(loaders, &ctx, ProducerConfig::default()).unwrap();
+//! let group = Producer::builder().context(&ctx).spawn_sharded(loaders).unwrap();
 //!
-//! // One consumer subscribed to BOTH shard streams.
-//! let consumer = TensorConsumer::connect(
-//!     &ctx,
-//!     ConsumerConfig { shards: 2, ..Default::default() },
-//! ).unwrap();
+//! // The consumer code is IDENTICAL to the unsharded case: it learns the
+//! // shard count from the handshake and subscribes to both streams.
+//! let consumer = Consumer::builder().context(&ctx).connect("inproc://tensorsocket").unwrap();
 //! for batch in consumer {
 //!     // batches arrive in (epoch, shard, seq) order: one bit-stable
 //!     // stream regardless of shard count or socket timing
-//!     let _ = (batch.epoch, batch.shard, batch.seq);
+//!     let _ = batch.map(|b| (b.epoch, b.shard, b.seq));
 //! }
 //! group.join().unwrap();
 //! ```
@@ -110,10 +128,12 @@
 //!   with `num_workers` it also sizes the feeder's hand-off queue.
 //! * [`ProducerConfig::pipeline_depth`] — explicit hand-off queue
 //!   capacity, when `num_workers × prefetch_factor` is not what you want.
-//! * [`TsContext::enable_slot_recycling`] — the shared-memory slot pool
-//!   depth: cross-process deployments recycle acked arena slots in place,
-//!   so steady-state publishing performs zero arena allocations
-//!   (observable via the pool's stats).
+//! * [`ProducerBuilder::arena`] — cross-process deployments: creates the
+//!   shared-memory arena *and* its recycling slot pool, both auto-sized
+//!   from the loader's decoded sample geometry, so steady-state
+//!   publishing performs zero arena allocations (observable via the
+//!   pool's stats; [`TsContext::enable_slot_recycling`] remains the
+//!   manual-depth path).
 //! * [`ProducerConfig::staging`] — device staging shape for GPU
 //!   producers. The default [`StagingMode::Overlapped`] stages batches
 //!   through a pre-allocated VRAM slab rotation (`ts-staging`'s
@@ -135,10 +155,12 @@
 //!   ([`protocol::order`]). The virtual-time simulator (`ts-sim`) drives
 //!   these same state machines, so the evaluated protocol and the shipped
 //!   protocol cannot diverge.
-//! * [`runtime`] — the threaded runtime: [`TensorProducer`] /
-//!   [`TensorConsumer`] over `ts-socket` PUB/SUB + PUSH/PULL with real
-//!   payload sharing through the [`ts_tensor::SharedRegistry`], plus the
-//!   sharded-group layer ([`ShardedProducerGroup`], [`EpochCoordinator`]).
+//! * [`runtime`] — the threaded runtime behind the [`Producer`] /
+//!   [`Consumer`] facades: the producer pipelines over `ts-socket`
+//!   PUB/SUB + PUSH/PULL with real payload sharing through the
+//!   [`ts_tensor::SharedRegistry`], the sharded-group layer
+//!   ([`EpochCoordinator`]), and the deprecated legacy entry points
+//!   ([`TensorProducer`], [`TensorConsumer`], [`ShardedProducerGroup`]).
 
 pub mod protocol;
 pub mod runtime;
@@ -147,14 +169,69 @@ pub use protocol::acks::AckTracker;
 pub use protocol::buffer::BatchWindow;
 pub use protocol::flex::{plan_flex, FlexPlan, Segment};
 pub use protocol::heartbeat::HeartbeatMonitor;
-pub use protocol::messages::{AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision};
+pub use protocol::messages::{
+    AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, WelcomeInfo,
+    HANDSHAKE_VERSION,
+};
 pub use protocol::order::ShardInterleave;
 pub use protocol::rubberband::RubberbandPolicy;
+pub use runtime::builder::{Consumer, ConsumerBuilder, Producer, ProducerBuilder};
 pub use runtime::consumer::{ConsumerBatch, TensorConsumer};
 pub use runtime::context::TsContext;
 pub use runtime::coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
-pub use runtime::producer::{EpochSource, ProducerStats, TensorProducer};
+pub use runtime::producer::{EpochSource, ProducerStats, SampleGeometry, TensorProducer};
 pub use runtime::{ConsumerConfig, FlexibleConfig, ProducerConfig, StagingConfig, StagingMode};
+
+/// Why an attach handshake failed — the typed mismatches a
+/// [`Consumer`] surfaces instead of hanging (or silently training on the
+/// wrong topology) when its view of the world disagrees with what the
+/// producer advertises in its WELCOME.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// Handshake protocol version skew between consumer and producer.
+    Version {
+        /// The consumer's version.
+        ours: u32,
+        /// The producer's advertised version.
+        theirs: u32,
+    },
+    /// The topology the consumer insists on does not match what the
+    /// producer advertises (e.g. an explicit `shards` override).
+    Topology {
+        /// Shard count the consumer demanded.
+        requested: usize,
+        /// Shard count the producer advertises.
+        advertised: usize,
+    },
+    /// The producer advertises a shared-memory arena the consumer cannot
+    /// open (not on the same host, stale path, permissions).
+    ArenaMissing {
+        /// Advertised arena path.
+        path: String,
+        /// Why the open failed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::Version { ours, theirs } => {
+                write!(f, "handshake version skew: ours {ours}, producer {theirs}")
+            }
+            HandshakeError::Topology {
+                requested,
+                advertised,
+            } => write!(
+                f,
+                "topology mismatch: requested {requested} shard(s), producer advertises {advertised}"
+            ),
+            HandshakeError::ArenaMissing { path, reason } => {
+                write!(f, "cannot open advertised arena {path}: {reason}")
+            }
+        }
+    }
+}
 
 /// Errors from the TensorSocket runtime and protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,6 +254,8 @@ pub enum TsError {
     Transform(String),
     /// Shared-memory arena failure (create/open/alloc).
     Arena(String),
+    /// The attach handshake failed with a typed mismatch.
+    Handshake(HandshakeError),
 }
 
 impl std::fmt::Display for TsError {
@@ -191,7 +270,14 @@ impl std::fmt::Display for TsError {
             TsError::Config(m) => write!(f, "invalid config: {m}"),
             TsError::Transform(m) => write!(f, "local transform failed: {m}"),
             TsError::Arena(m) => write!(f, "shared-memory arena: {m}"),
+            TsError::Handshake(e) => write!(f, "handshake failed: {e}"),
         }
+    }
+}
+
+impl From<HandshakeError> for TsError {
+    fn from(e: HandshakeError) -> Self {
+        TsError::Handshake(e)
     }
 }
 

@@ -28,6 +28,54 @@ pub mod topics {
     pub fn consumer(id: u64) -> Vec<u8> {
         format!("cons/{id}").into_bytes()
     }
+
+    /// Per-handshake topic ([`super::DataMsg::Welcome`] replies to a
+    /// [`super::CtrlMsg::Hello`], keyed by the caller's one-shot token).
+    pub fn hello(token: u64) -> Vec<u8> {
+        format!("hs/{token}").into_bytes()
+    }
+}
+
+/// Version of the HELLO/WELCOME attach handshake. A consumer sends it in
+/// [`CtrlMsg::Hello`]; the producer always answers with its own version in
+/// [`WelcomeInfo::version`], and the *consumer* decides compatibility —
+/// an old producer talking to a new consumer (or vice versa) surfaces as
+/// a typed version error on the consumer, never a silent misparse.
+pub const HANDSHAKE_VERSION: u32 = 1;
+
+/// The shared-memory arena advertisement inside a [`WelcomeInfo`]: the
+/// backing file path plus slot geometry, so a consumer process maps the
+/// producer's arena with zero out-of-band configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaAd {
+    /// Path of the arena's backing file on the shared host.
+    pub path: String,
+    /// Number of slots.
+    pub nslots: u64,
+    /// Capacity of each slot in bytes.
+    pub slot_size: u64,
+}
+
+/// Everything a consumer learns from the attach handshake: the producer
+/// answers a [`CtrlMsg::Hello`] with this self-description, and the
+/// consumer derives all remaining configuration from it — shard count
+/// (and with the base endpoint, every shard's data/ctrl endpoint via
+/// `ts_socket::EndpointMap`), the arena placement, and the batch schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WelcomeInfo {
+    /// The producer's handshake version ([`HANDSHAKE_VERSION`]).
+    pub version: u32,
+    /// Shard pipelines in the topology (1 for a plain producer).
+    pub shards: u32,
+    /// Loader batch size (samples per announcement in default mode).
+    pub batch_size: u32,
+    /// Producer batch size under flexible sizing; 0 in default mode.
+    pub flex_producer_batch: u32,
+    /// Device staging mode (0 off / 1 serial / 2 overlapped);
+    /// informational.
+    pub staging: u8,
+    /// The shared-memory arena, when one backs the payload path.
+    pub arena: Option<ArenaAd>,
 }
 
 /// Messages consumers push to the producer.
@@ -61,6 +109,19 @@ pub enum CtrlMsg {
     Leave {
         /// Consumer id.
         consumer_id: u64,
+    },
+    /// Attach handshake: "describe yourself". Sent to the *base* control
+    /// endpoint before anything else; the producer answers with a
+    /// [`DataMsg::Welcome`] on the [`topics::hello`] topic of `token`.
+    /// Stateless on the producer side — a consumer that missed the reply
+    /// (subscription still propagating on remote transports) simply
+    /// retries with the same token.
+    Hello {
+        /// One-shot reply-routing token chosen by the caller (not a
+        /// consumer id; the real join happens afterwards).
+        token: u64,
+        /// The caller's [`HANDSHAKE_VERSION`].
+        version: u32,
     },
 }
 
@@ -160,6 +221,15 @@ pub enum DataMsg {
     },
     /// All epochs complete; the producer is shutting down.
     End,
+    /// Reply to a [`CtrlMsg::Hello`], published on the hello token's
+    /// topic: the producer's self-description, from which a consumer
+    /// derives every attach parameter (see [`WelcomeInfo`]).
+    Welcome {
+        /// The hello token being answered.
+        token: u64,
+        /// The topology self-description.
+        info: WelcomeInfo,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -227,7 +297,8 @@ fn need(buf: &[u8], n: usize) -> Result<()> {
 // ---------------------------------------------------------------------------
 
 impl CtrlMsg {
-    /// The consumer id carried by any control message.
+    /// The consumer id carried by any control message (the one-shot reply
+    /// token, for a [`CtrlMsg::Hello`] — not a real consumer id).
     pub fn consumer_id(&self) -> u64 {
         match self {
             CtrlMsg::Join { consumer_id, .. }
@@ -235,6 +306,7 @@ impl CtrlMsg {
             | CtrlMsg::Ack { consumer_id, .. }
             | CtrlMsg::Heartbeat { consumer_id }
             | CtrlMsg::Leave { consumer_id } => *consumer_id,
+            CtrlMsg::Hello { token, .. } => *token,
         }
     }
 
@@ -267,6 +339,11 @@ impl CtrlMsg {
                 buf.put_u8(4);
                 buf.put_u64_le(*consumer_id);
             }
+            CtrlMsg::Hello { token, version } => {
+                buf.put_u8(5);
+                buf.put_u64_le(*token);
+                buf.put_u32_le(*version);
+            }
         }
         buf.freeze()
     }
@@ -294,6 +371,13 @@ impl CtrlMsg {
             }
             3 => CtrlMsg::Heartbeat { consumer_id },
             4 => CtrlMsg::Leave { consumer_id },
+            5 => {
+                need(buf, 4)?;
+                CtrlMsg::Hello {
+                    token: consumer_id,
+                    version: buf.get_u32_le(),
+                }
+            }
             t => return Err(TsError::Wire(format!("bad ctrl tag {t}"))),
         })
     }
@@ -373,6 +457,24 @@ impl DataMsg {
             }
             DataMsg::End => {
                 buf.put_u8(4);
+            }
+            DataMsg::Welcome { token, info } => {
+                buf.put_u8(5);
+                buf.put_u64_le(*token);
+                buf.put_u32_le(info.version);
+                buf.put_u32_le(info.shards);
+                buf.put_u32_le(info.batch_size);
+                buf.put_u32_le(info.flex_producer_batch);
+                buf.put_u8(info.staging);
+                match &info.arena {
+                    None => buf.put_u8(0),
+                    Some(ad) => {
+                        buf.put_u8(1);
+                        put_bytes(&mut buf, ad.path.as_bytes());
+                        buf.put_u64_le(ad.nslots);
+                        buf.put_u64_le(ad.slot_size);
+                    }
+                }
             }
         }
         buf.freeze()
@@ -472,6 +574,41 @@ impl DataMsg {
                 }
             }
             4 => DataMsg::End,
+            5 => {
+                // Fixed prefix: token (8) + four u32s (16) + staging (1)
+                // + arena flag (1).
+                need(buf, 26)?;
+                let token = buf.get_u64_le();
+                let version = buf.get_u32_le();
+                let shards = buf.get_u32_le();
+                let batch_size = buf.get_u32_le();
+                let flex_producer_batch = buf.get_u32_le();
+                let staging = buf.get_u8();
+                let arena = match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        let path = String::from_utf8_lossy(&get_bytes(&mut buf)?).into_owned();
+                        need(buf, 16)?;
+                        Some(ArenaAd {
+                            path,
+                            nslots: buf.get_u64_le(),
+                            slot_size: buf.get_u64_le(),
+                        })
+                    }
+                    f => return Err(TsError::Wire(format!("bad arena flag {f}"))),
+                };
+                DataMsg::Welcome {
+                    token,
+                    info: WelcomeInfo {
+                        version,
+                        shards,
+                        batch_size,
+                        flex_producer_batch,
+                        staging,
+                        arena,
+                    },
+                }
+            }
             t => return Err(TsError::Wire(format!("bad data tag {t}"))),
         })
     }
@@ -501,10 +638,58 @@ mod tests {
             },
             CtrlMsg::Heartbeat { consumer_id: 7 },
             CtrlMsg::Leave { consumer_id: 7 },
+            CtrlMsg::Hello {
+                token: 7,
+                version: HANDSHAKE_VERSION,
+            },
         ];
         for m in msgs {
             assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
             assert_eq!(m.consumer_id(), 7);
+        }
+    }
+
+    #[test]
+    fn welcome_round_trips_with_and_without_arena() {
+        let bare = DataMsg::Welcome {
+            token: 99,
+            info: WelcomeInfo {
+                version: HANDSHAKE_VERSION,
+                shards: 1,
+                batch_size: 32,
+                flex_producer_batch: 0,
+                staging: 2,
+                arena: None,
+            },
+        };
+        let with_arena = DataMsg::Welcome {
+            token: 1,
+            info: WelcomeInfo {
+                version: HANDSHAKE_VERSION,
+                shards: 4,
+                batch_size: 128,
+                flex_producer_batch: 256,
+                staging: 0,
+                arena: Some(ArenaAd {
+                    path: "/dev/shm/ts.arena".into(),
+                    nslots: 64,
+                    slot_size: 1 << 20,
+                }),
+            },
+        };
+        // A welcome truncated at ANY byte is rejected with a wire error,
+        // never misparsed and never a panic — both shapes, every length
+        // (the bare shape's final arena-flag byte is the historical
+        // off-by-one).
+        for m in [bare, with_arena] {
+            let good = m.encode();
+            assert_eq!(DataMsg::decode(&good).unwrap(), m, "{m:?}");
+            for cut in 1..good.len() {
+                assert!(
+                    DataMsg::decode(&good[..good.len() - cut]).is_err(),
+                    "{m:?} truncated by {cut} must be rejected"
+                );
+            }
         }
     }
 
@@ -624,5 +809,9 @@ mod tests {
         assert!(!topics::consumer(1).starts_with(topics::BATCH));
         assert!(!topics::BATCH.starts_with(b"cons"));
         assert_eq!(topics::consumer(42), b"cons/42".to_vec());
+        assert_eq!(topics::hello(42), b"hs/42".to_vec());
+        assert!(!topics::hello(1).starts_with(topics::BATCH));
+        assert!(!topics::hello(1).starts_with(topics::CTRL));
+        assert!(!topics::hello(1).starts_with(b"cons"));
     }
 }

@@ -1,0 +1,766 @@
+//! The unified builder API: one [`Producer`], one [`Consumer`],
+//! endpoint-only attach.
+//!
+//! The paper's pitch is that a training script adopts TensorSocket by
+//! swapping one line. The legacy surface grew away from that: producers
+//! picked between two divergent entry points (`TensorProducer::spawn` vs
+//! `ShardedProducerGroup::spawn`) and a consumer had to out-of-band
+//! mirror the producer's shard count, arena path and batch schema —
+//! exactly the silent-misconfiguration trap the data-loading literature
+//! warns about. This module folds all of it under two facades:
+//!
+//! * [`Producer::builder()`] — one handle subsuming the plain and the
+//!   sharded producer (one source = the degenerate one-shard case). It
+//!   auto-creates and auto-sizes the shared-memory arena and its
+//!   recycling slot pool from the loader's own geometry and pipeline
+//!   hints ([`crate::runtime::producer::SampleGeometry`]), instead of
+//!   asking the user to compute slot depths by hand.
+//! * [`Consumer::builder()`]`.connect(endpoint)` — a consumer needs
+//!   **literally only the endpoint URI**. Everything else arrives over a
+//!   versioned HELLO/WELCOME handshake on the control channel: shard
+//!   count (and with it every shard's data/ctrl endpoint, via
+//!   [`ts_socket::EndpointMap`]), the arena path and slot geometry, the
+//!   batch schema and the staging mode. Mismatches surface as typed
+//!   [`HandshakeError`]s — never as hangs or silently wrong training
+//!   streams.
+//!
+//! The wire protocol and delivery engine are unchanged: a [`Consumer`]'s
+//! batch stream is byte-identical to the legacy `TensorConsumer`'s (the
+//! runtime test-suite asserts it across sharded/arena/staging
+//! topologies), and the legacy types remain as thin `#[deprecated]`
+//! shims over the same internals.
+
+use crate::protocol::messages::{topics, CtrlMsg, DataMsg, WelcomeInfo, HANDSHAKE_VERSION};
+use crate::protocol::rubberband::RubberbandPolicy;
+use crate::runtime::config::{ConsumerConfig, FlexibleConfig, ProducerConfig, ProducerMap};
+use crate::runtime::consumer::{rand_id, ConsumerBatch, StopReason, TensorConsumer};
+use crate::runtime::context::TsContext;
+use crate::runtime::coordinator::{EpochCoordinator, ShardedProducerGroup};
+use crate::runtime::producer::{EpochSource, ProducerStats, TensorProducer};
+use crate::runtime::staging::{StagingConfig, StagingMode};
+use crate::{HandshakeError, Result, TsError};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ts_device::DeviceId;
+use ts_shm::ShmArena;
+use ts_socket::{EndpointMap, Multipart, PushSocket, RecvError, SubSocket};
+
+// ---------------------------------------------------------------------------
+// Producer
+// ---------------------------------------------------------------------------
+
+/// How the builder provisions the shared-memory arena.
+enum ArenaSpec {
+    /// Auto-size slot count and slot size from the sources' geometry.
+    Auto { path: PathBuf },
+    /// Explicit geometry (size-changing pipelines, exotic sources).
+    Sized {
+        path: PathBuf,
+        nslots: usize,
+        slot_size: usize,
+    },
+}
+
+/// Builder for a [`Producer`]; start from [`Producer::builder`].
+pub struct ProducerBuilder {
+    cfg: ProducerConfig,
+    ctx: Option<TsContext>,
+    arena: Option<ArenaSpec>,
+}
+
+impl ProducerBuilder {
+    fn new() -> Self {
+        Self {
+            cfg: ProducerConfig::default(),
+            ctx: None,
+            arena: None,
+        }
+    }
+
+    /// Base endpoint URI (`inproc://`, `ipc://`, `tcp://`); data/ctrl and
+    /// per-shard endpoints all derive from it.
+    pub fn endpoint(mut self, endpoint: impl Into<String>) -> Self {
+        self.cfg.endpoint = endpoint.into();
+        self
+    }
+
+    /// Epochs to run.
+    pub fn epochs(mut self, epochs: u64) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    /// Consumer-side batch buffer size N (paper default 2).
+    pub fn buffer_size(mut self, n: usize) -> Self {
+        self.cfg.buffer_size = n;
+        self
+    }
+
+    /// Rubberband join window as a fraction of the epoch (paper: 0.02).
+    pub fn rubberband_cutoff(mut self, cutoff: f64) -> Self {
+        self.cfg.rubberband_cutoff = cutoff;
+        self
+    }
+
+    /// Consumers silent for longer than this are detached.
+    pub fn heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Device batches are staged on before being shared.
+    pub fn device(mut self, device: DeviceId) -> Self {
+        self.cfg.device = device;
+        self
+    }
+
+    /// Device staging shape (GPU producers); defaults to
+    /// [`StagingMode::Overlapped`] with pool and queue depths derived
+    /// from the publish window.
+    pub fn staging(mut self, mode: StagingMode) -> Self {
+        self.cfg.staging.mode = mode;
+        self
+    }
+
+    /// Full staging configuration, for explicit slab/queue depths.
+    pub fn staging_config(mut self, staging: StagingConfig) -> Self {
+        self.cfg.staging = staging;
+        self
+    }
+
+    /// Flexible batch sizing (§3.2.6): producer batches of `producer_batch`
+    /// samples carved per consumer.
+    pub fn flexible(mut self, flexible: FlexibleConfig) -> Self {
+        self.cfg.flexible = Some(flexible);
+        self
+    }
+
+    /// Producer-side batch stage applied once per batch before sharing.
+    pub fn producer_map(mut self, map: ProducerMap) -> Self {
+        self.cfg.producer_map = Some(map);
+        self
+    }
+
+    /// Stop waiting for the first consumer after this long (`None` =
+    /// forever).
+    pub fn first_consumer_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.cfg.first_consumer_timeout = timeout;
+        self
+    }
+
+    /// Bound on one control-poll round (stop-flag/liveness checks; the
+    /// publish loop parks on the control channel regardless).
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.cfg.poll_interval = interval;
+        self
+    }
+
+    /// Explicit feeder→publish hand-off queue capacity (default: the
+    /// source's `num_workers × prefetch_factor` hint).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.cfg.pipeline_depth = Some(depth);
+        self
+    }
+
+    /// Runtime context to spawn in. Defaults to a fresh
+    /// [`TsContext::host_only`] — share one explicitly for `inproc://`
+    /// deployments or simulated-GPU devices.
+    pub fn context(mut self, ctx: &TsContext) -> Self {
+        self.ctx = Some(ctx.clone());
+        self
+    }
+
+    /// Starts from an explicit [`ProducerConfig`] (escape hatch for knobs
+    /// without a dedicated builder method, e.g. `poll_interval`).
+    pub fn config(mut self, cfg: ProducerConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Backs payloads with a shared-memory arena at `path`, **auto-sized**
+    /// from the sources: slot size from the per-sample geometry hint
+    /// ([`EpochSource::sample_geometry`]) × the (producer-)batch size, and
+    /// slot count from the publish window + rubberband pin headroom ×
+    /// tensors per batch × shards. A matching recycling slot pool is bound
+    /// per shard, so steady-state publishing performs zero arena
+    /// allocations. The geometry is advertised over the attach handshake —
+    /// consumers map the arena without being told its path.
+    ///
+    /// Fails at spawn when the source cannot report its geometry; use
+    /// [`ProducerBuilder::arena_sized`] then.
+    pub fn arena(mut self, path: impl Into<PathBuf>) -> Self {
+        self.arena = Some(ArenaSpec::Auto { path: path.into() });
+        self
+    }
+
+    /// Backs payloads with a shared-memory arena of explicit geometry
+    /// (for size-changing transform pipelines or sources without a
+    /// geometry hint).
+    pub fn arena_sized(
+        mut self,
+        path: impl Into<PathBuf>,
+        nslots: usize,
+        slot_size: usize,
+    ) -> Self {
+        self.arena = Some(ArenaSpec::Sized {
+            path: path.into(),
+            nslots,
+            slot_size,
+        });
+        self
+    }
+
+    /// Spawns a single-pipeline producer over `source` (the degenerate
+    /// one-shard case of [`ProducerBuilder::spawn_sharded`]).
+    pub fn spawn(self, source: impl EpochSource) -> Result<Producer> {
+        self.spawn_sharded(vec![source])
+    }
+
+    /// Spawns one producer pipeline per source — source `i` must own
+    /// shard `i`'s disjoint partition (`DataLoader::sharded`) — in
+    /// lockstep under an epoch coordinator. One source spawns a plain
+    /// producer with no coordination overhead.
+    pub fn spawn_sharded<S: EpochSource>(self, sources: Vec<S>) -> Result<Producer> {
+        if sources.is_empty() {
+            return Err(TsError::Config("producer needs at least one source".into()));
+        }
+        let ctx = self.ctx.unwrap_or_else(TsContext::host_only);
+        let cfg = self.cfg;
+        let shards = sources.len();
+        let arena = match self.arena {
+            None => None,
+            Some(spec) => Some(Self::provision_arena(&ctx, &cfg, &sources, spec)?),
+        };
+        let endpoint = cfg.endpoint.clone();
+        let engine = if shards == 1 {
+            let source = sources.into_iter().next().expect("one source");
+            Engine::Single(TensorProducer::spawn_impl(source, &ctx, cfg)?)
+        } else {
+            Engine::Group(ShardedProducerGroup::spawn_impl(sources, &ctx, cfg)?)
+        };
+        Ok(Producer {
+            engine,
+            endpoint,
+            ctx,
+            arena,
+        })
+    }
+
+    /// Creates (and binds) the arena plus its per-shard recycling pools,
+    /// sizing both from the sources when the spec is `Auto`.
+    fn provision_arena<S: EpochSource>(
+        ctx: &TsContext,
+        cfg: &ProducerConfig,
+        sources: &[S],
+        spec: ArenaSpec,
+    ) -> Result<Arc<ShmArena>> {
+        let shards = sources.len();
+        // In-flight announcements per shard: the publish window plus the
+        // rubberband pin set (pinned batches stay registered past full
+        // acknowledgement until the join window closes) plus a margin for
+        // releases still in flight.
+        let policy = RubberbandPolicy {
+            cutoff: cfg.rubberband_cutoff,
+        };
+        let per_shard_live = |source: &S| -> usize {
+            let expected = match &cfg.flexible {
+                None => source.batches_per_epoch() as u64,
+                Some(flex) => ((source.batches_per_epoch() * source.batch_size()) as u64)
+                    .div_ceil(flex.producer_batch as u64),
+            };
+            cfg.buffer_size + policy.pinned_batches(expected) as usize + 2
+        };
+        let (path, nslots, slot_size, tensors_per_batch) = match spec {
+            ArenaSpec::Sized {
+                path,
+                nslots,
+                slot_size,
+            } => (path, nslots, slot_size, None),
+            ArenaSpec::Auto { path } => {
+                let geometry = sources[0].sample_geometry().ok_or_else(|| {
+                    TsError::Config(
+                        "source reports no sample geometry; size the arena explicitly \
+                         with ProducerBuilder::arena_sized"
+                            .into(),
+                    )
+                })?;
+                // Under flexible sizing the registered tensors are producer
+                // batches, which can briefly overshoot `producer_batch` by
+                // up to one loader batch before the preparer flushes.
+                let max_batch = match &cfg.flexible {
+                    None => sources[0].batch_size(),
+                    Some(flex) => flex.producer_batch + sources[0].batch_size(),
+                };
+                let slot_size = geometry.max_tensor_bytes(max_batch).next_multiple_of(4096);
+                let tensors = geometry.tensors_per_batch();
+                let nslots: usize = sources
+                    .iter()
+                    .map(|s| per_shard_live(s) * tensors)
+                    .sum::<usize>()
+                    .max(2);
+                (path, nslots, slot_size, Some(tensors))
+            }
+        };
+        let arena = ctx.create_arena(&path, nslots, slot_size)?;
+        // Bind a recycling pool per shard so steady-state publishing
+        // rewrites fully-acked slots in place. Depth mirrors the live-set
+        // math above; explicit-geometry callers get it derived from the
+        // arena itself.
+        for (shard, source) in sources.iter().enumerate() {
+            let depth = match tensors_per_batch {
+                Some(tensors) => per_shard_live(source) * tensors,
+                None => (nslots / shards).max(1),
+            };
+            if shards == 1 {
+                ctx.enable_slot_recycling(depth)?;
+            } else {
+                ctx.enable_shard_slot_recycling(shard as u32, depth)?;
+            }
+        }
+        Ok(arena)
+    }
+}
+
+/// The two engine shapes a [`Producer`] subsumes.
+enum Engine {
+    Single(TensorProducer),
+    Group(ShardedProducerGroup),
+}
+
+/// The producing end of a TensorSocket: one handle over the data-loading
+/// pipeline(s), whether one shard or many.
+///
+/// Built with [`Producer::builder`]:
+///
+/// ```no_run
+/// use tensorsocket::{Producer, Consumer};
+/// use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+/// use std::sync::Arc;
+///
+/// let dataset = Arc::new(SyntheticImageDataset::imagenet_like(1024, 0));
+/// let loader = DataLoader::new(dataset, DataLoaderConfig::default());
+/// let producer = Producer::builder()
+///     .endpoint("ipc:///tmp/ts.sock")
+///     .arena("/dev/shm/ts.arena") // auto-sized from the loader
+///     .epochs(2)
+///     .spawn(loader)
+///     .unwrap();
+///
+/// // any consumer process, knowing ONLY the endpoint:
+/// let consumer = Consumer::builder().connect("ipc:///tmp/ts.sock").unwrap();
+/// for batch in consumer {
+///     let batch = batch.unwrap();
+///     let _ = batch.fields[0].shape();
+/// }
+/// producer.join().unwrap();
+/// ```
+pub struct Producer {
+    engine: Engine,
+    endpoint: String,
+    ctx: TsContext,
+    arena: Option<Arc<ShmArena>>,
+}
+
+impl std::fmt::Debug for Producer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("endpoint", &self.endpoint)
+            .field("shards", &self.num_shards())
+            .field("arena", &self.arena.as_ref().map(|a| a.path().to_owned()))
+            .finish()
+    }
+}
+
+impl Producer {
+    /// Starts building a producer.
+    pub fn builder() -> ProducerBuilder {
+        ProducerBuilder::new()
+    }
+
+    /// Number of shard pipelines (1 for a plain producer).
+    pub fn num_shards(&self) -> usize {
+        match &self.engine {
+            Engine::Single(_) => 1,
+            Engine::Group(g) => g.num_shards(),
+        }
+    }
+
+    /// The base endpoint URI consumers attach to.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// The runtime context the producer spawned in (its registry, device
+    /// books and metrics).
+    pub fn context(&self) -> &TsContext {
+        &self.ctx
+    }
+
+    /// The shared-memory arena the builder provisioned, if any.
+    pub fn arena(&self) -> Option<&Arc<ShmArena>> {
+        self.arena.as_ref()
+    }
+
+    /// The epoch coordinator, when sharded (inspection and tests).
+    pub fn coordinator(&self) -> Option<&Arc<EpochCoordinator>> {
+        match &self.engine {
+            Engine::Single(_) => None,
+            Engine::Group(g) => Some(g.coordinator()),
+        }
+    }
+
+    /// Requests every pipeline to stop after the batch in flight.
+    pub fn abort(&self) {
+        match &self.engine {
+            Engine::Single(p) => p.abort(),
+            Engine::Group(g) => g.abort(),
+        }
+    }
+
+    /// Waits for every pipeline to finish; returns the stats aggregated
+    /// across shards (see [`Producer::join_shards`] for per-shard
+    /// numbers). Like the legacy join, an aborted producer returns its
+    /// partial stats rather than an error.
+    pub fn join(self) -> Result<ProducerStats> {
+        let per_shard = self.join_shards()?;
+        let mut total = ProducerStats::default();
+        for s in &per_shard {
+            total.batches_published += s.batches_published;
+            total.batches_replayed += s.batches_replayed;
+            total.bytes_staged += s.bytes_staged;
+            total.consumers_detached += s.consumers_detached;
+            total.joins_rejected += s.joins_rejected;
+            total.peak_consumers = total.peak_consumers.max(s.peak_consumers);
+        }
+        // Epochs complete only when every shard finished them.
+        total.epochs_completed = per_shard
+            .iter()
+            .map(|s| s.epochs_completed)
+            .min()
+            .unwrap_or(0);
+        Ok(total)
+    }
+
+    /// Waits for every pipeline to finish; returns per-shard stats
+    /// (index = shard).
+    pub fn join_shards(self) -> Result<Vec<ProducerStats>> {
+        let shards = self.num_shards();
+        let stats = match self.engine {
+            Engine::Single(p) => vec![p.join()?],
+            Engine::Group(g) => g.join()?,
+        };
+        // The builder provisioned the recycling pools, so it also drains
+        // them: idle recycled slots hold a producer reference each, and
+        // without this the arena would report them in use forever.
+        if self.arena.is_some() {
+            if let Some(pool) = self.ctx.registry.slot_pool() {
+                pool.drain();
+            }
+            for shard in 0..shards as u32 {
+                if let Some(pool) = self.ctx.registry.shard_slot_pool(shard) {
+                    pool.drain();
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consumer
+// ---------------------------------------------------------------------------
+
+/// Builder for a [`Consumer`]; start from [`Consumer::builder`].
+pub struct ConsumerBuilder {
+    cfg: ConsumerConfig,
+    ctx: Option<TsContext>,
+    shards_override: Option<usize>,
+    handshake_timeout: Duration,
+    hello_version: u32,
+}
+
+impl ConsumerBuilder {
+    fn new() -> Self {
+        Self {
+            cfg: ConsumerConfig::default(),
+            ctx: None,
+            shards_override: None,
+            handshake_timeout: Duration::from_secs(10),
+            hello_version: HANDSHAKE_VERSION,
+        }
+    }
+
+    /// Runtime context to attach from. Defaults to a fresh
+    /// [`TsContext::host_only`] — which is correct for `ipc://`/`tcp://`
+    /// attaches from an independent process; share the producer's context
+    /// for `inproc://`.
+    pub fn context(mut self, ctx: &TsContext) -> Self {
+        self.ctx = Some(ctx.clone());
+        self
+    }
+
+    /// Desired batch size under flexible sizing (ignored otherwise).
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.cfg.batch_size = Some(n);
+        self
+    }
+
+    /// Interval between heartbeats (must be well below the producer's
+    /// timeout).
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.cfg.heartbeat_interval = interval;
+        self
+    }
+
+    /// How long `next` waits for data before giving up.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.recv_timeout = timeout;
+        self
+    }
+
+    /// How long [`ConsumerBuilder::connect`] waits for the producer's
+    /// WELCOME before failing with a timeout (default 10 s).
+    pub fn handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.handshake_timeout = timeout;
+        self
+    }
+
+    /// Fixed consumer id (`None` picks a random one).
+    pub fn consumer_id(mut self, id: u64) -> Self {
+        self.cfg.consumer_id = Some(id);
+        self
+    }
+
+    /// Consumer-local augmentation applied to every received batch's
+    /// primary field (finer-grained sharing, §5).
+    pub fn local_pipeline(mut self, pipeline: Arc<ts_data::Pipeline>) -> Self {
+        self.cfg.local_pipeline = Some(pipeline);
+        self
+    }
+
+    /// Insists on a shard count instead of trusting the advertisement.
+    /// Normally unnecessary — the handshake learns the topology — but a
+    /// deployment that *knows* its shape can assert it; a mismatch fails
+    /// with [`HandshakeError::Topology`] instead of training on the wrong
+    /// topology.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards_override = Some(shards);
+        self
+    }
+
+    /// Overrides the HELLO version (handshake-evolution tests).
+    #[doc(hidden)]
+    pub fn hello_version(mut self, version: u32) -> Self {
+        self.hello_version = version;
+        self
+    }
+
+    /// Attaches to the producer at `endpoint` — the **only** required
+    /// parameter. The HELLO/WELCOME handshake on the control channel
+    /// reports the shard count, arena geometry and batch schema; this
+    /// call validates them (typed [`HandshakeError`]s on mismatch), maps
+    /// the advertised arena if one backs the payload path, joins every
+    /// shard and returns the iterating consumer.
+    pub fn connect(self, endpoint: impl Into<String>) -> Result<Consumer> {
+        let endpoint = endpoint.into();
+        let ctx = self.ctx.unwrap_or_else(TsContext::host_only);
+        let welcome = handshake(&ctx, &endpoint, self.handshake_timeout, self.hello_version)?;
+        if welcome.version != self.hello_version {
+            return Err(HandshakeError::Version {
+                ours: self.hello_version,
+                theirs: welcome.version,
+            }
+            .into());
+        }
+        let advertised = welcome.shards.max(1) as usize;
+        if let Some(requested) = self.shards_override {
+            if requested != advertised {
+                return Err(HandshakeError::Topology {
+                    requested,
+                    advertised,
+                }
+                .into());
+            }
+        }
+        if let Some(ad) = &welcome.arena {
+            // An arena already bound (same process as the producer, or a
+            // caller that pre-opened it) wins; otherwise map the
+            // advertised one.
+            if ctx.registry.arena().is_none() {
+                ctx.open_arena(&ad.path)
+                    .map_err(|e| HandshakeError::ArenaMissing {
+                        path: ad.path.clone(),
+                        reason: e.to_string(),
+                    })?;
+            }
+        }
+        let cfg = ConsumerConfig {
+            endpoint,
+            shards: advertised,
+            ..self.cfg
+        };
+        let inner = TensorConsumer::connect_impl(&ctx, cfg)?;
+        Ok(Consumer {
+            inner,
+            welcome,
+            error_reported: false,
+        })
+    }
+}
+
+/// Performs the HELLO/WELCOME exchange on the base endpoint's channels.
+/// Stateless and retrying: the HELLO is re-sent every poll round, so a
+/// WELCOME published while this consumer's subscription was still
+/// propagating (remote transports) is simply answered again.
+fn handshake(
+    ctx: &TsContext,
+    endpoint: &str,
+    timeout: Duration,
+    version: u32,
+) -> Result<WelcomeInfo> {
+    let map = EndpointMap::new(endpoint, 1);
+    let token = rand_id();
+    let sub = SubSocket::connect(&ctx.sockets, &map.data(0));
+    sub.subscribe(&topics::hello(token));
+    let push = PushSocket::connect(&ctx.sockets, &map.ctrl(0));
+    let hello = CtrlMsg::Hello { token, version }.encode();
+    let deadline = Instant::now() + timeout;
+    loop {
+        // A send failure just means the producer is not reachable *yet*
+        // (bind/connect order is free on every transport): keep retrying
+        // until the deadline.
+        let _ = push.send(Multipart::single(hello.clone()));
+        match sub.recv_timeout(Duration::from_millis(50)) {
+            Ok((_, msg)) => {
+                if let Some(frame) = msg.frames().first() {
+                    if let Ok(DataMsg::Welcome { token: t, info }) = DataMsg::decode(frame) {
+                        if t == token {
+                            return Ok(info);
+                        }
+                    }
+                }
+            }
+            Err(RecvError::Timeout) => {}
+            Err(RecvError::Closed) => {
+                return Err(TsError::Socket(
+                    "producer disconnected during handshake".into(),
+                ))
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(TsError::Timeout("handshake WELCOME"));
+        }
+    }
+}
+
+/// The consuming end of a TensorSocket, attached with nothing but an
+/// endpoint URI (see [`Consumer::builder`]).
+///
+/// Iterate it like a data loader. Unlike the legacy `TensorConsumer`,
+/// items are `Result`s: a clean end of stream (the producer published
+/// `End` on every shard) terminates iteration with `None`, while
+/// detachment, timeouts and protocol violations surface **once** as an
+/// `Err` item before the stream ends — no sentinel-checking after the
+/// loop. Dropping the consumer detaches it cleanly (acks the batch in
+/// flight, notifies every shard, stops the heartbeat).
+pub struct Consumer {
+    inner: TensorConsumer,
+    welcome: WelcomeInfo,
+    error_reported: bool,
+}
+
+impl std::fmt::Debug for Consumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("id", &self.inner.id())
+            .field("shards", &self.inner.num_shards())
+            .field("stop_reason", &self.inner.stop_reason())
+            .finish()
+    }
+}
+
+impl Consumer {
+    /// Starts building a consumer.
+    pub fn builder() -> ConsumerBuilder {
+        ConsumerBuilder::new()
+    }
+
+    /// The consumer's id.
+    pub fn id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    /// Epoch this consumer was admitted into.
+    pub fn joined_epoch(&self) -> u64 {
+        self.inner.joined_epoch()
+    }
+
+    /// Number of producer shards this consumer is subscribed to (learned
+    /// from the handshake).
+    pub fn num_shards(&self) -> usize {
+        self.inner.num_shards()
+    }
+
+    /// The producer's WELCOME self-description this consumer attached
+    /// against.
+    pub fn welcome(&self) -> &WelcomeInfo {
+        &self.welcome
+    }
+
+    /// The producer's advertised staging mode, when it is one this
+    /// consumer knows.
+    pub fn staging_mode(&self) -> Option<StagingMode> {
+        StagingMode::from_wire_code(self.welcome.staging)
+    }
+
+    /// Why iteration stopped, once it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.inner.stop_reason()
+    }
+
+    /// Batches consumed so far.
+    pub fn batches_consumed(&self) -> u64 {
+        self.inner.batches_consumed()
+    }
+
+    /// Samples consumed so far.
+    pub fn samples_consumed(&self) -> u64 {
+        self.inner.samples_consumed()
+    }
+
+    /// Batch pointers currently buffered locally (§3.2.5).
+    pub fn buffered(&self) -> usize {
+        self.inner.buffered()
+    }
+}
+
+impl Iterator for Consumer {
+    type Item = Result<ConsumerBatch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(batch) = self.inner.next() {
+            return Some(Ok(batch));
+        }
+        if self.error_reported {
+            return None;
+        }
+        match self.inner.stop_reason() {
+            None | Some(StopReason::End) => None,
+            Some(reason) => {
+                self.error_reported = true;
+                Some(Err(match reason {
+                    StopReason::Detached => TsError::Detached,
+                    StopReason::Timeout => TsError::Timeout("batch from producer"),
+                    StopReason::ProducerGone => TsError::Socket("producer disconnected".into()),
+                    StopReason::Protocol => self
+                        .inner
+                        .last_error()
+                        .cloned()
+                        .unwrap_or_else(|| TsError::Wire("protocol violation".into())),
+                    StopReason::End => unreachable!("handled above"),
+                }))
+            }
+        }
+    }
+}

@@ -113,44 +113,29 @@ impl Default for ProducerConfig {
     }
 }
 
-/// Derives the per-channel endpoint from a base endpoint URI, respecting
-/// the transport scheme:
+/// Derives the per-channel endpoint from a base endpoint URI.
 ///
-/// * `inproc://base` (and bare names) → `inproc://base/data|ctrl` — broker
-///   keys, unchanged from the in-process-only design;
-/// * `ipc:///path/to.sock` → `ipc:///path/to.sock.data|ctrl` — two Unix
-///   socket files next to each other;
-/// * `tcp://host:port` → data on `port`, control on `port + 1`. Both
-///   channels need known ports, so ephemeral binds (`tcp://host:0`) are
-///   not supported through the runtime configs — pick explicit ports
-///   below 65535.
-pub fn channel_endpoint(base: &str, channel: &str) -> String {
-    if base.starts_with("ipc://") {
-        return format!("{base}.{channel}");
-    }
-    if let Some(hostport) = base.strip_prefix("tcp://") {
-        if let Some((host, port)) = hostport.rsplit_once(':') {
-            if let Ok(port) = port.parse::<u16>() {
-                let offset: u32 = if channel == "ctrl" { 1 } else { 0 };
-                // Widened arithmetic: a base of 65535 derives the
-                // out-of-range "65536", which bind rejects as an invalid
-                // endpoint instead of this function panicking/wrapping.
-                return format!("tcp://{host}:{}", port as u32 + offset);
-            }
-        }
-    }
-    format!("{base}/{channel}")
-}
+/// Moved to [`ts_socket::channel_endpoint`] so producer, consumer and the
+/// attach handshake all share one derivation; re-exported here for
+/// back-compatibility.
+pub use ts_socket::channel_endpoint;
 
 impl ProducerConfig {
+    /// The scheme-aware endpoint layout rooted at this config's base URI
+    /// (a single-shard map; a sharded group derives each shard's layout
+    /// from its own shard base).
+    pub fn endpoints(&self) -> ts_socket::EndpointMap {
+        ts_socket::EndpointMap::new(&self.endpoint, 1)
+    }
+
     /// The data (PUB/SUB) endpoint name.
     pub fn data_endpoint(&self) -> String {
-        channel_endpoint(&self.endpoint, "data")
+        self.endpoints().data(0)
     }
 
     /// The control (PUSH/PULL) endpoint name.
     pub fn ctrl_endpoint(&self) -> String {
-        channel_endpoint(&self.endpoint, "ctrl")
+        self.endpoints().ctrl(0)
     }
 }
 
@@ -199,25 +184,32 @@ impl Default for ConsumerConfig {
 }
 
 impl ConsumerConfig {
+    /// The scheme-aware endpoint layout this consumer subscribes to: one
+    /// [`ts_socket::EndpointMap`] over `shards` shard pipelines rooted at
+    /// the base endpoint.
+    pub fn endpoints(&self) -> ts_socket::EndpointMap {
+        ts_socket::EndpointMap::new(&self.endpoint, self.shards)
+    }
+
     /// The data (PUB/SUB) endpoint name.
     pub fn data_endpoint(&self) -> String {
-        channel_endpoint(&self.endpoint, "data")
+        self.endpoints().data(0)
     }
 
     /// The control (PUSH/PULL) endpoint name.
     pub fn ctrl_endpoint(&self) -> String {
-        channel_endpoint(&self.endpoint, "ctrl")
+        self.endpoints().ctrl(0)
     }
 
     /// Shard `shard`'s data endpoint (shard 0 is the base endpoint, so a
     /// one-shard config degenerates to [`ConsumerConfig::data_endpoint`]).
     pub fn shard_data_endpoint(&self, shard: usize) -> String {
-        channel_endpoint(&ts_socket::shard_endpoint(&self.endpoint, shard), "data")
+        self.endpoints().data(shard)
     }
 
     /// Shard `shard`'s control endpoint.
     pub fn shard_ctrl_endpoint(&self, shard: usize) -> String {
-        channel_endpoint(&ts_socket::shard_endpoint(&self.endpoint, shard), "ctrl")
+        self.endpoints().ctrl(shard)
     }
 }
 

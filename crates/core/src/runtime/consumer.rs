@@ -144,7 +144,20 @@ impl TensorConsumer {
     /// Blocks until admitted everywhere — which may span an epoch boundary
     /// when the join arrives too late for rubberbanding — or until
     /// `recv_timeout` passes without any producer activity.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `tensorsocket::Consumer::builder().connect(endpoint)` — the attach \
+                handshake learns shard count, arena and schema from the producer, so \
+                only the endpoint is needed"
+    )]
     pub fn connect(ctx: &TsContext, cfg: ConsumerConfig) -> Result<TensorConsumer> {
+        Self::connect_impl(ctx, cfg)
+    }
+
+    /// The non-deprecated connect path shared by the legacy shim and the
+    /// [`crate::Consumer`] builder (which fills `cfg` from the producer's
+    /// WELCOME instead of asking the caller).
+    pub(crate) fn connect_impl(ctx: &TsContext, cfg: ConsumerConfig) -> Result<TensorConsumer> {
         let shards = cfg.shards.max(1);
         let id = cfg.consumer_id.unwrap_or_else(rand_id);
         let mut links = Vec::with_capacity(shards);
@@ -554,7 +567,7 @@ impl Drop for TensorConsumer {
     }
 }
 
-fn rand_id() -> u64 {
+pub(crate) fn rand_id() -> u64 {
     use rand::RngCore;
     rand::thread_rng().next_u64() | 1
 }

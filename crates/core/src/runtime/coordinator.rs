@@ -329,7 +329,23 @@ impl ShardedProducerGroup {
     /// Spawns one producer pipeline per source (source `i` must own shard
     /// `i`'s partition — e.g. `DataLoader::sharded(dataset, cfg, n)`),
     /// publishing on per-shard endpoints derived from `cfg.endpoint`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `tensorsocket::Producer::builder()…spawn_sharded(sources)` — one \
+                facade for plain and sharded producers, with arena/pool/staging \
+                auto-sizing"
+    )]
     pub fn spawn<S: EpochSource>(
+        sources: Vec<S>,
+        ctx: &TsContext,
+        cfg: ProducerConfig,
+    ) -> Result<ShardedProducerGroup> {
+        Self::spawn_impl(sources, ctx, cfg)
+    }
+
+    /// The non-deprecated spawn path shared by the legacy shim and the
+    /// [`crate::Producer`] builder.
+    pub(crate) fn spawn_impl<S: EpochSource>(
         sources: Vec<S>,
         ctx: &TsContext,
         cfg: ProducerConfig,

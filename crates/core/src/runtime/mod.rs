@@ -1,5 +1,6 @@
 //! The threaded TensorSocket runtime.
 
+pub mod builder;
 pub mod config;
 pub mod consumer;
 pub mod context;
@@ -7,6 +8,7 @@ pub mod coordinator;
 pub mod producer;
 pub mod staging;
 
+pub use builder::{Consumer, ConsumerBuilder, Producer, ProducerBuilder};
 pub use config::{ConsumerConfig, FlexibleConfig, ProducerConfig};
 pub use coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
 pub use staging::{StagingConfig, StagingMode};

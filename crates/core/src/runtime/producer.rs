@@ -32,7 +32,8 @@ use crate::protocol::buffer::BatchWindow;
 use crate::protocol::flex::plan_flex;
 use crate::protocol::heartbeat::HeartbeatMonitor;
 use crate::protocol::messages::{
-    topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload, JoinDecision,
+    topics, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload,
+    JoinDecision, WelcomeInfo, HANDSHAKE_VERSION,
 };
 use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
 use crate::runtime::config::{ProducerConfig, ProducerMap};
@@ -48,6 +49,35 @@ use std::time::Instant;
 use ts_data::{Batch, DataLoader};
 use ts_socket::{Multipart, PubSocket, PullSocket, RecvError};
 use ts_tensor::{collate, Tensor, TensorPayload};
+
+/// Per-sample tensor geometry, the hint [`crate::Producer`]'s builder
+/// uses to auto-size the shared-memory arena and its recycling slot pool
+/// from the loader instead of user-computed depths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleGeometry {
+    /// Byte size of each decoded tensor field, for one sample.
+    pub field_bytes: Vec<usize>,
+    /// Byte size of one sample's label.
+    pub label_bytes: usize,
+}
+
+impl SampleGeometry {
+    /// Tensors per collated batch (fields + the label tensor).
+    pub fn tensors_per_batch(&self) -> usize {
+        self.field_bytes.len() + 1
+    }
+
+    /// The largest single tensor a batch of `batch_size` samples
+    /// produces.
+    pub fn max_tensor_bytes(&self, batch_size: usize) -> usize {
+        self.field_bytes
+            .iter()
+            .chain(std::iter::once(&self.label_bytes))
+            .map(|b| b * batch_size)
+            .max()
+            .unwrap_or(0)
+    }
+}
 
 /// A source of epochs of batches — the loader the producer wraps.
 ///
@@ -74,6 +104,14 @@ pub trait EpochSource: Send + 'static {
     fn pipeline_hint(&self) -> (usize, usize) {
         (0, 2)
     }
+
+    /// Per-sample tensor geometry, when the source can cheaply know it
+    /// (e.g. by decoding one sample). `None` means the
+    /// [`crate::Producer`] builder cannot auto-size a shared-memory
+    /// arena for this source and requires explicit geometry.
+    fn sample_geometry(&self) -> Option<SampleGeometry> {
+        None
+    }
 }
 
 impl EpochSource for DataLoader {
@@ -91,6 +129,23 @@ impl EpochSource for DataLoader {
 
     fn pipeline_hint(&self) -> (usize, usize) {
         DataLoader::pipeline_hint(self)
+    }
+
+    /// Decodes sample 0 to measure one sample's tensor geometry. Assumes
+    /// the transform pipeline preserves per-sample byte size (the usual
+    /// augmentation case); pass explicit arena geometry to the builder
+    /// for size-changing pipelines.
+    fn sample_geometry(&self) -> Option<SampleGeometry> {
+        let dataset = self.dataset();
+        if dataset.is_empty() {
+            return None;
+        }
+        let raw = dataset.get(0).ok()?;
+        let decoded = dataset.decode(&raw).ok()?;
+        Some(SampleGeometry {
+            field_bytes: decoded.fields.iter().map(|t| t.view_bytes()).collect(),
+            label_bytes: std::mem::size_of::<i64>(),
+        })
     }
 }
 
@@ -135,6 +190,19 @@ impl EpochSource for VecSource {
 
     fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    fn sample_geometry(&self) -> Option<SampleGeometry> {
+        let first = self.batches.first()?;
+        let b = self.batch_size.max(1);
+        Some(SampleGeometry {
+            field_bytes: first
+                .fields
+                .iter()
+                .map(|t| t.view_bytes().div_ceil(b))
+                .collect(),
+            label_bytes: first.labels.view_bytes().div_ceil(b),
+        })
     }
 
     fn epoch(&self, epoch: u64) -> Box<dyn Iterator<Item = Batch> + Send + '_> {
@@ -309,7 +377,22 @@ impl std::fmt::Debug for TensorProducer {
 
 impl TensorProducer {
     /// Spawns the producer thread over `source`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `tensorsocket::Producer::builder()…spawn(source)` — one facade for \
+                plain and sharded producers, with arena/pool/staging auto-sizing"
+    )]
     pub fn spawn(
+        source: impl EpochSource,
+        ctx: &TsContext,
+        cfg: ProducerConfig,
+    ) -> Result<TensorProducer> {
+        Self::spawn_impl(source, ctx, cfg)
+    }
+
+    /// The non-deprecated spawn path shared by the legacy shim and the
+    /// [`crate::Producer`] builder.
+    pub(crate) fn spawn_impl(
         source: impl EpochSource,
         ctx: &TsContext,
         cfg: ProducerConfig,
@@ -377,6 +460,7 @@ impl TensorProducer {
             epoch: 0,
             loader_batches: 0,
             loader_batch_size: 0,
+            welcome: None,
             started: Instant::now(),
             stats: ProducerStats::default(),
         };
@@ -483,6 +567,12 @@ struct ProducerLoop {
     /// Loader geometry, captured before the source moves into the feeder.
     loader_batches: u64,
     loader_batch_size: u64,
+    /// The WELCOME self-description answered to attach HELLOs, built at
+    /// `run` start once the loader geometry is known. Every shard of a
+    /// group carries the identical description, but only shard 0 — whose
+    /// control endpoint *is* the base endpoint consumers hello at — ever
+    /// answers one.
+    welcome: Option<WelcomeInfo>,
     started: Instant,
     stats: ProducerStats,
 }
@@ -500,6 +590,30 @@ impl ProducerLoop {
         };
         self.loader_batches = source.batches_per_epoch() as u64;
         self.loader_batch_size = source.batch_size() as u64;
+        self.welcome = Some(WelcomeInfo {
+            version: HANDSHAKE_VERSION,
+            shards: self
+                .coord
+                .as_ref()
+                .map(|c| c.num_shards() as u32)
+                .unwrap_or(1),
+            batch_size: self.loader_batch_size as u32,
+            flex_producer_batch: self
+                .cfg
+                .flexible
+                .as_ref()
+                .map(|f| f.producer_batch as u32)
+                .unwrap_or(0),
+            staging: self.cfg.staging.mode.wire_code(),
+            arena: self.ctx.registry.arena().map(|a| {
+                let g = a.geometry();
+                ArenaAd {
+                    path: g.path.display().to_string(),
+                    nslots: g.nslots as u64,
+                    slot_size: g.slot_size as u64,
+                }
+            }),
+        });
         if let Some(engine) = &self.staging {
             // Size the slab rotation before the first item is staged:
             // rubberband-pinned batches keep their slabs leased past full
@@ -743,7 +857,10 @@ impl ProducerLoop {
             // Legacy path: transfer tensor by tensor, rolling back the
             // accounted transfers if one fails mid-batch so the memory
             // book never leaks (a dropped legacy tensor has no reclaim
-            // hook to free its accounting).
+            // hook to free its accounting). A configured h2d bandwidth is
+            // forwarded per call — caller-scoped, so Off-mode benchmark
+            // rows carry the same constrained link model the staged
+            // modes use without perturbing other users of the books.
             let mut staged: Vec<Tensor> = Vec::new();
             let mut transferred: Vec<u64> = Vec::new();
             for t in item.fields.iter().chain(std::iter::once(&item.labels)) {
@@ -751,7 +868,11 @@ impl ProducerLoop {
                     staged.push(t.clone());
                     continue;
                 }
-                match self.ctx.devices.transfer(t, self.cfg.device) {
+                match self.ctx.devices.transfer_with_bandwidth(
+                    t,
+                    self.cfg.device,
+                    self.cfg.staging.h2d_bandwidth,
+                ) {
                     Ok(s) => {
                         transferred.push(s.view_bytes() as u64);
                         staged.push(s);
@@ -1144,6 +1265,19 @@ impl ProducerLoop {
         let Ok(ctrl) = CtrlMsg::decode(frame) else {
             return;
         };
+        // HELLO carries a one-shot reply token, not a consumer id: answer
+        // it statelessly (a consumer that missed the reply retries with
+        // the same token) and never let the token into the heartbeat
+        // monitor, where it would register a phantom consumer.
+        if let CtrlMsg::Hello { token, .. } = ctrl {
+            if let Some(info) = self.welcome.clone() {
+                let reply = DataMsg::Welcome { token, info };
+                let _ = self
+                    .publisher
+                    .send(&topics::hello(token), Multipart::single(reply.encode()));
+            }
+            return;
+        }
         let now = self.now_ns();
         self.hb.beat(ctrl.consumer_id(), now);
         match ctrl {
@@ -1167,6 +1301,7 @@ impl ProducerLoop {
             CtrlMsg::Leave { consumer_id } => {
                 self.remove_consumer(consumer_id, false);
             }
+            CtrlMsg::Hello { .. } => unreachable!("answered before heartbeat tracking"),
         }
     }
 

@@ -14,7 +14,7 @@
 //!   device allocations** (each staged tensor rewrites a leased slab,
 //!   returned when producer and consumers drop it);
 //! * an asynchronous **H2D copy stage** between the feeder and the
-//!   publish loop ([`StagingEngine::spawn_copy_stage`]): the copy of
+//!   publish loop (`StagingEngine::spawn_copy_stage`): the copy of
 //!   batch *n* overlaps the host collation of batch *n + 1* and the
 //!   publish/ack round of batch *n − 1*, so the modeled PCIe time leaves
 //!   the critical path.
@@ -66,6 +66,27 @@ pub enum StagingMode {
     /// producer shape, which has no feeder stage to overlap with.
     #[default]
     Overlapped,
+}
+
+impl StagingMode {
+    /// The one-byte encoding used in the attach handshake's WELCOME.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            StagingMode::Off => 0,
+            StagingMode::Serial => 1,
+            StagingMode::Overlapped => 2,
+        }
+    }
+
+    /// Decodes a WELCOME staging byte (unknown codes map to `None`).
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(StagingMode::Off),
+            1 => Some(StagingMode::Serial),
+            2 => Some(StagingMode::Overlapped),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration of the device-staging stage (ignored when the producer
@@ -197,7 +218,21 @@ impl StagingEngine {
         };
         let prefix = match shard {
             Some(s) => format!("staging.s{s}."),
-            None => "staging.".to_string(),
+            None => {
+                // Per-context engine ordinal: the first standalone engine
+                // keeps the bare `staging.` names (the common one-producer
+                // case, and what tests/dashboards read); any further
+                // standalone engine in the SAME context gets its own
+                // `staging.p<n>.` namespace — two collocated GPU
+                // producers must not clobber each other's gauges, exactly
+                // like two shards of a group.
+                let ordinal = ctx.metrics.counter("staging.engines").fetch_inc();
+                if ordinal == 0 {
+                    "staging.".to_string()
+                } else {
+                    format!("staging.p{ordinal}.")
+                }
+            }
         };
         Some(Arc::new(StagingEngine {
             backend: Arc::new(backend),

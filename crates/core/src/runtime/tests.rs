@@ -1,5 +1,12 @@
 //! End-to-end tests of the threaded runtime: producer + consumers over real
 //! threads, real sockets, real payload sharing.
+//!
+//! Much of this suite deliberately exercises the deprecated
+//! `TensorProducer::spawn` / `TensorConsumer::connect` /
+//! `ShardedProducerGroup::spawn` shims — they must keep behaving exactly
+//! like the `Producer`/`Consumer` builders they delegate to (the
+//! `builder_*` tests assert byte-identity between the two surfaces).
+#![allow(deprecated)]
 
 use crate::protocol::order::OrderConfig;
 use crate::runtime::config::{ConsumerConfig, FlexibleConfig, ProducerConfig};
@@ -1395,4 +1402,373 @@ fn producer_map_runs_once_per_batch() {
     assert_eq!(embeddings1[0], vec![0.0, 0.5, 1.0, 1.5]);
     // once per batch — NOT once per batch per consumer
     assert_eq!(calls.load(Ordering::Relaxed), 4);
+}
+
+// ---------------------------------------------------------------------------
+// The unified builder API (Producer / Consumer facades)
+// ---------------------------------------------------------------------------
+
+use crate::runtime::builder::{Consumer, Producer};
+use crate::runtime::staging::StagingMode;
+use crate::{HandshakeError, TsError};
+
+/// `consume_trace` for the builder facade: unwraps the `Result` items
+/// (asserting a clean stream) so traces compare directly against legacy
+/// ones.
+fn consume_trace_builder(mut consumer: Consumer) -> (ByteTrace, Option<StopReason>) {
+    let mut trace = Vec::new();
+    for b in consumer.by_ref() {
+        let b = b.expect("clean stream");
+        trace.push((
+            b.epoch,
+            b.shard,
+            b.index_in_epoch,
+            b.labels.to_vec_i64().unwrap(),
+            b.fields[0].gather_bytes(),
+            b.last_in_epoch,
+        ));
+    }
+    (trace, consumer.stop_reason())
+}
+
+#[test]
+fn builder_stream_is_byte_identical_to_legacy_at_one_and_many_shards() {
+    // The acceptance criterion of the API redesign: a consumer built with
+    // only `Consumer::builder().connect(endpoint)` sees the exact bytes
+    // the legacy TensorConsumer saw, at 1 shard and at N shards — the
+    // consumer is NOT told the shard count; the handshake is.
+    for shards in [1usize, 2, 3] {
+        let legacy = {
+            let ctx = TsContext::host_only();
+            let ep = format!("inproc://builder-id-legacy-{shards}");
+            let group = ShardedProducerGroup::spawn(
+                sharded_loaders(48, 4, shards, true),
+                &ctx,
+                producer_cfg(&ep, 2),
+            )
+            .unwrap();
+            let mut cc = consumer_cfg(&ep);
+            cc.shards = shards;
+            let consumer = TensorConsumer::connect(&ctx, cc).unwrap();
+            let (trace, reason) = consume_trace(consumer);
+            assert_eq!(reason, Some(StopReason::End));
+            group.join().unwrap();
+            trace
+        };
+        let built = {
+            let ctx = TsContext::host_only();
+            let ep = format!("inproc://builder-id-built-{shards}");
+            let producer = Producer::builder()
+                .context(&ctx)
+                .config(producer_cfg(&ep, 2))
+                .spawn_sharded(sharded_loaders(48, 4, shards, true))
+                .unwrap();
+            assert_eq!(producer.num_shards(), shards);
+            let consumer = Consumer::builder()
+                .context(&ctx)
+                .heartbeat_interval(Duration::from_millis(50))
+                .recv_timeout(Duration::from_secs(5))
+                .connect(&ep)
+                .unwrap();
+            // The topology was learned, not configured.
+            assert_eq!(consumer.num_shards(), shards);
+            assert_eq!(consumer.welcome().shards as usize, shards);
+            assert_eq!(consumer.welcome().batch_size, 4);
+            assert!(consumer.welcome().arena.is_none());
+            let (trace, reason) = consume_trace_builder(consumer);
+            assert_eq!(reason, Some(StopReason::End));
+            let stats = producer.join().unwrap();
+            assert_eq!(stats.epochs_completed, 2);
+            trace
+        };
+        assert_eq!(
+            legacy, built,
+            "builder stream must be byte-identical to legacy at {shards} shard(s)"
+        );
+    }
+}
+
+#[test]
+fn builder_auto_arena_endpoint_only_attach_over_ipc() {
+    // The zero-configuration attach: the producer auto-sizes and creates
+    // the arena from the loader's geometry; the consumer gets NOTHING but
+    // the endpoint URI — a fresh default context, no arena path, no shard
+    // count — and learns everything over the handshake.
+    let legacy = {
+        let ctx = TsContext::host_only();
+        let ep = "inproc://builder-arena-legacy";
+        let producer = TensorProducer::spawn(loader(32, 4), &ctx, producer_cfg(ep, 2)).unwrap();
+        let consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+        let (trace, reason) = consume_trace(consumer);
+        assert_eq!(reason, Some(StopReason::End));
+        producer.join().unwrap();
+        trace
+    };
+
+    let tag = std::process::id();
+    let tmp = std::env::temp_dir();
+    let ep = format!("ipc://{}", tmp.join(format!("ts-bld-{tag}.sock")).display());
+    let arena_path = tmp.join(format!("ts-bld-{tag}.arena"));
+    let producer = Producer::builder()
+        .config(producer_cfg(&ep, 2))
+        .arena(&arena_path)
+        .spawn(loader(32, 4))
+        .unwrap();
+    let arena = producer.arena().expect("builder provisioned arena").clone();
+    assert!(arena.nslots() >= 2, "auto-sized slot count");
+    assert!(
+        arena.slot_size() >= 4 * 2 * 4,
+        "slot must hold the 4x2 f32 field"
+    );
+
+    // Endpoint-only: fresh context, no shard count, no arena path.
+    let consumer = Consumer::builder()
+        .heartbeat_interval(Duration::from_millis(50))
+        .recv_timeout(Duration::from_secs(5))
+        .connect(&ep)
+        .unwrap();
+    let ad = consumer.welcome().arena.clone().expect("arena advertised");
+    assert_eq!(ad.path, arena.path().display().to_string());
+    assert_eq!(ad.nslots as usize, arena.nslots());
+    assert_eq!(ad.slot_size as usize, arena.slot_size());
+    let (trace, reason) = consume_trace_builder(consumer);
+    assert_eq!(reason, Some(StopReason::End));
+    producer.join().unwrap();
+    assert_eq!(arena.slots_in_use(), 0, "arena fully drained");
+    assert_eq!(
+        legacy, trace,
+        "arena-backed builder stream must be byte-identical to the legacy inproc stream"
+    );
+}
+
+#[test]
+fn builder_staging_modes_stay_byte_identical() {
+    // Off / Serial / Overlapped through the builder all deliver the same
+    // bytes — and the same bytes as the legacy consumer on the same mode.
+    let mut traces = Vec::new();
+    for mode in [
+        StagingMode::Off,
+        StagingMode::Serial,
+        StagingMode::Overlapped,
+    ] {
+        let ctx = TsContext::with_gpus(1, 64 << 20, false);
+        let ep = format!("inproc://builder-staging-{mode:?}");
+        let mut cfg = producer_cfg(&ep, 1);
+        cfg.device = DeviceId::Gpu(0);
+        let producer = Producer::builder()
+            .context(&ctx)
+            .config(cfg)
+            .staging(mode)
+            .spawn(loader_with_workers(32, 4, 2))
+            .unwrap();
+        let consumer = Consumer::builder()
+            .context(&ctx)
+            .heartbeat_interval(Duration::from_millis(50))
+            .recv_timeout(Duration::from_secs(5))
+            .connect(&ep)
+            .unwrap();
+        assert_eq!(consumer.staging_mode(), Some(mode));
+        let (trace, reason) = consume_trace_builder(consumer);
+        assert_eq!(reason, Some(StopReason::End));
+        producer.join().unwrap();
+        traces.push(trace);
+    }
+    assert_eq!(traces[0], traces[1], "off == serial");
+    assert_eq!(traces[1], traces[2], "serial == overlapped");
+}
+
+#[test]
+fn builder_flexible_mode_carves_consumer_batches() {
+    let ctx = TsContext::host_only();
+    let ep = "inproc://builder-flex";
+    let producer = Producer::builder()
+        .context(&ctx)
+        .config(producer_cfg(ep, 1))
+        .flexible(FlexibleConfig::new(8))
+        .spawn(loader(32, 4))
+        .unwrap();
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .batch_size(2)
+        .heartbeat_interval(Duration::from_millis(50))
+        .recv_timeout(Duration::from_secs(5))
+        .connect(ep)
+        .unwrap();
+    assert_eq!(consumer.welcome().flex_producer_batch, 8);
+    let mut samples = 0u64;
+    for b in consumer.by_ref() {
+        let b = b.expect("clean stream");
+        assert_eq!(b.batch_size(), 2);
+        samples += b.batch_size() as u64;
+    }
+    assert_eq!(consumer.stop_reason(), Some(StopReason::End));
+    assert_eq!(samples, 32, "full epoch at the carved batch size");
+    producer.join().unwrap();
+}
+
+#[test]
+fn builder_consumer_surfaces_timeout_as_err_item() {
+    // The Result-iterator contract: an abnormal stop yields exactly one
+    // Err item, then the stream ends. A fake producer answers the attach
+    // handshake, admits the join, and then starves the consumer.
+    use crate::protocol::messages::{
+        topics, CtrlMsg, DataMsg, JoinDecision, WelcomeInfo, HANDSHAKE_VERSION,
+    };
+    use ts_socket::{Multipart, PubSocket, PullSocket};
+
+    let ctx = TsContext::host_only();
+    let ep = "inproc://builder-timeout";
+    let publisher = PubSocket::bind(&ctx.sockets, &format!("{ep}/data")).unwrap();
+    let ctrl = PullSocket::bind(&ctx.sockets, &format!("{ep}/ctrl")).unwrap();
+    let fake = std::thread::spawn(move || loop {
+        let Ok(msg) = ctrl.recv_timeout(Duration::from_secs(2)) else {
+            return;
+        };
+        let Ok(m) = CtrlMsg::decode(&msg.frames()[0]) else {
+            continue;
+        };
+        match m {
+            CtrlMsg::Hello { token, .. } => {
+                let welcome = DataMsg::Welcome {
+                    token,
+                    info: WelcomeInfo {
+                        version: HANDSHAKE_VERSION,
+                        shards: 1,
+                        batch_size: 4,
+                        flex_producer_batch: 0,
+                        staging: 0,
+                        arena: None,
+                    },
+                };
+                publisher
+                    .send(&topics::hello(token), Multipart::single(welcome.encode()))
+                    .unwrap();
+            }
+            CtrlMsg::Join { consumer_id, .. } => {
+                let reply = DataMsg::JoinReply {
+                    consumer_id,
+                    decision: JoinDecision::AdmitReplay {
+                        epoch: 0,
+                        replay_from: 0,
+                        num_batches: 100,
+                        start_seq: 0,
+                    },
+                };
+                publisher
+                    .send(
+                        &topics::consumer(consumer_id),
+                        Multipart::single(reply.encode()),
+                    )
+                    .unwrap();
+                // ...and never publish any batch
+            }
+            _ => {}
+        }
+    });
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .recv_timeout(Duration::from_millis(200))
+        .connect(ep)
+        .unwrap();
+    let mut errs = 0;
+    for item in consumer.by_ref() {
+        match item {
+            Ok(_) => panic!("no batch was ever published"),
+            Err(e) => {
+                errs += 1;
+                assert_eq!(e, TsError::Timeout("batch from producer"));
+            }
+        }
+    }
+    assert_eq!(errs, 1, "exactly one Err item, then None");
+    assert!(consumer.next().is_none(), "stream stays ended");
+    assert_eq!(consumer.stop_reason(), Some(StopReason::Timeout));
+    drop(consumer);
+    fake.join().unwrap();
+}
+
+#[test]
+fn sample_geometry_hints_match_the_decoded_batch() {
+    use crate::runtime::producer::EpochSource;
+    let l = loader(16, 4);
+    let g = l.sample_geometry().expect("loader reports geometry");
+    assert_eq!(g.field_bytes, vec![8], "2 x f32 per sample");
+    assert_eq!(g.label_bytes, 8);
+    assert_eq!(g.tensors_per_batch(), 2);
+    assert_eq!(g.max_tensor_bytes(4), 32);
+}
+
+#[test]
+fn builder_shards_override_mismatch_is_a_typed_error() {
+    let ctx = TsContext::host_only();
+    let ep = "inproc://builder-topology-mismatch";
+    let producer = Producer::builder()
+        .context(&ctx)
+        .config(producer_cfg(ep, 1))
+        .spawn_sharded(sharded_loaders(16, 4, 2, false))
+        .unwrap();
+    let err = Consumer::builder()
+        .context(&ctx)
+        .shards(3)
+        .handshake_timeout(Duration::from_secs(5))
+        .connect(ep)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        TsError::Handshake(HandshakeError::Topology {
+            requested: 3,
+            advertised: 2,
+        })
+    );
+    // The correct override attaches fine.
+    let consumer = Consumer::builder()
+        .context(&ctx)
+        .shards(2)
+        .heartbeat_interval(Duration::from_millis(50))
+        .recv_timeout(Duration::from_secs(5))
+        .connect(ep)
+        .unwrap();
+    let (_, reason) = consume_trace_builder(consumer);
+    assert_eq!(reason, Some(StopReason::End));
+    producer.join().unwrap();
+}
+
+#[test]
+fn two_standalone_gpu_producers_get_disjoint_gauge_namespaces() {
+    // Two collocated standalone GPU producers in ONE context must not
+    // clobber each other's staging gauges: the first keeps the bare
+    // `staging.` names, the second gets `staging.p1.` — like two shards
+    // of a group get `staging.s<n>.`.
+    let ctx = TsContext::with_gpus(1, 64 << 20, false);
+    let spawn = |ep: &str| {
+        let mut cfg = producer_cfg(ep, 1);
+        cfg.device = DeviceId::Gpu(0);
+        Producer::builder()
+            .context(&ctx)
+            .config(cfg)
+            .spawn(loader_with_workers(16, 4, 1))
+            .unwrap()
+    };
+    let pa = spawn("inproc://gauge-ns-a");
+    let pb = spawn("inproc://gauge-ns-b");
+    for ep in ["inproc://gauge-ns-a", "inproc://gauge-ns-b"] {
+        let consumer = Consumer::builder()
+            .context(&ctx)
+            .heartbeat_interval(Duration::from_millis(50))
+            .recv_timeout(Duration::from_secs(5))
+            .connect(ep)
+            .unwrap();
+        let (_, reason) = consume_trace_builder(consumer);
+        assert_eq!(reason, Some(StopReason::End));
+    }
+    pa.join().unwrap();
+    pb.join().unwrap();
+    assert!(
+        ctx.metrics.gauge("staging.h2d_bytes_per_sec").get() > 0.0,
+        "first engine reports under the bare namespace"
+    );
+    assert!(
+        ctx.metrics.gauge("staging.p1.h2d_bytes_per_sec").get() > 0.0,
+        "second standalone engine reports under its own namespace"
+    );
 }

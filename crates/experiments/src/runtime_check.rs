@@ -18,7 +18,7 @@
 use crate::report::{fmt_x, ExperimentReport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
+use tensorsocket::{Consumer, Producer, TsContext};
 use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 use ts_metrics::table::fmt_num;
 use ts_metrics::Table;
@@ -86,34 +86,27 @@ pub fn measure_nonshared() -> f64 {
 pub fn measure_shared() -> f64 {
     let ctx = TsContext::host_only();
     let ep = "inproc://runtime-check";
-    let producer = TensorProducer::spawn(
-        loader(WORKER_BUDGET, 42),
-        &ctx,
-        ProducerConfig {
-            endpoint: ep.to_string(),
-            epochs: 1,
-            rubberband_cutoff: 1.0,
-            poll_interval: Duration::from_micros(200),
-            ..Default::default()
-        },
-    )
-    .expect("spawn producer");
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint(ep)
+        .epochs(1)
+        .rubberband_cutoff(1.0)
+        .poll_interval(Duration::from_micros(200))
+        .spawn(loader(WORKER_BUDGET, 42))
+        .expect("spawn producer");
     let handles: Vec<_> = (0..CONSUMERS)
         .map(|_| {
             let ctx = ctx.clone();
             let ep = ep.to_string();
             std::thread::spawn(move || {
-                let mut consumer = TensorConsumer::connect(
-                    &ctx,
-                    ConsumerConfig {
-                        endpoint: ep,
-                        heartbeat_interval: Duration::from_millis(50),
-                        ..Default::default()
-                    },
-                )
-                .expect("connect");
+                let mut consumer = Consumer::builder()
+                    .context(&ctx)
+                    .heartbeat_interval(Duration::from_millis(50))
+                    .connect(ep)
+                    .expect("connect");
                 let started = Instant::now();
                 for batch in consumer.by_ref() {
+                    let batch = batch.expect("clean stream");
                     std::hint::black_box(train_step(batch.seq, &batch.fields[0]));
                 }
                 consumer.samples_consumed() as f64 / started.elapsed().as_secs_f64()

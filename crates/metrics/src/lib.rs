@@ -57,6 +57,13 @@ impl Counter {
         self.add(1);
     }
 
+    /// Atomically increments the counter by one and returns the
+    /// **previous** value — a race-free ordinal allocator (e.g. for
+    /// namespacing per-instance gauges).
+    pub fn fetch_inc(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Returns the current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)

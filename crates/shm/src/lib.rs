@@ -190,6 +190,22 @@ fn make_state(generation: u32, refs: u32) -> u64 {
     ((generation as u64) << 32) | refs as u64
 }
 
+/// An arena's self-description: the backing file path plus the slot
+/// geometry. This is what a producer advertises over its attach
+/// handshake so a consumer process can [`ShmArena::open`] the same arena
+/// with zero out-of-band configuration (the geometry fields are
+/// informational — `open` reads the authoritative copy from the file
+/// header — but let peers validate capacity before mapping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaGeometry {
+    /// Path of the backing file.
+    pub path: PathBuf,
+    /// Number of slots.
+    pub nslots: usize,
+    /// Capacity of each slot in bytes.
+    pub slot_size: usize,
+}
+
 /// A file-backed shared-memory arena. See the crate docs for the protocol.
 ///
 /// All methods take `&self`; the arena is `Send + Sync` and is normally
@@ -298,6 +314,18 @@ impl ShmArena {
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The arena's geometry advertisement: everything a peer process
+    /// needs to open (or recreate a compatible view of) this arena. The
+    /// producer embeds it in the attach handshake so consumers map the
+    /// arena without any out-of-band configuration.
+    pub fn geometry(&self) -> ArenaGeometry {
+        ArenaGeometry {
+            path: self.path.clone(),
+            nslots: self.nslots,
+            slot_size: self.slot_size,
+        }
     }
 
     /// Slots whose refcount is non-zero right now.

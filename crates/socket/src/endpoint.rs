@@ -127,6 +127,85 @@ pub fn shard_endpoint(base: &str, shard: usize) -> String {
     format!("{base}/s{shard}")
 }
 
+/// Derives the per-channel endpoint from a base endpoint URI, respecting
+/// the transport scheme:
+///
+/// * `inproc://base` (and bare names) → `inproc://base/data|ctrl` — broker
+///   keys, unchanged from the in-process-only design;
+/// * `ipc:///path/to.sock` → `ipc:///path/to.sock.data|ctrl` — two Unix
+///   socket files next to each other;
+/// * `tcp://host:port` → data on `port`, control on `port + 1`. Both
+///   channels need known ports, so ephemeral binds (`tcp://host:0`) are
+///   not supported through endpoint maps — pick explicit ports below
+///   65535.
+pub fn channel_endpoint(base: &str, channel: &str) -> String {
+    if base.starts_with("ipc://") {
+        return format!("{base}.{channel}");
+    }
+    if let Some(hostport) = base.strip_prefix("tcp://") {
+        if let Some((host, port)) = hostport.rsplit_once(':') {
+            if let Ok(port) = port.parse::<u16>() {
+                let offset: u32 = if channel == "ctrl" { 1 } else { 0 };
+                // Widened arithmetic: a base of 65535 derives the
+                // out-of-range "65536", which bind rejects as an invalid
+                // endpoint instead of this function panicking/wrapping.
+                return format!("tcp://{host}:{}", port as u32 + offset);
+            }
+        }
+    }
+    format!("{base}/{channel}")
+}
+
+/// The full socket-endpoint layout of one deployment, derived from a
+/// single base URI: per-shard data (PUB/SUB) and control (PUSH/PULL)
+/// endpoints, scheme-aware.
+///
+/// This is the single place endpoint derivation lives — producer and
+/// consumer configurations both resolve their channels through it, and
+/// the attach handshake describes a topology as nothing more than
+/// `(base, shards)`, from which a consumer rebuilds every endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointMap {
+    base: String,
+    shards: usize,
+}
+
+impl EndpointMap {
+    /// A map over `shards` shard pipelines rooted at `base` (clamped to at
+    /// least one shard; shard 0 is the base itself).
+    pub fn new(base: impl Into<String>, shards: usize) -> Self {
+        Self {
+            base: base.into(),
+            shards: shards.max(1),
+        }
+    }
+
+    /// The base endpoint URI the map was built from.
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// Number of shards in the topology.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard `shard`'s base endpoint ([`shard_endpoint`]).
+    pub fn shard_base(&self, shard: usize) -> String {
+        shard_endpoint(&self.base, shard)
+    }
+
+    /// Shard `shard`'s data (PUB/SUB) endpoint.
+    pub fn data(&self, shard: usize) -> String {
+        channel_endpoint(&self.shard_base(shard), "data")
+    }
+
+    /// Shard `shard`'s control (PUSH/PULL) endpoint.
+    pub fn ctrl(&self, shard: usize) -> String {
+        channel_endpoint(&self.shard_base(shard), "ctrl")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +246,25 @@ mod tests {
             shard_endpoint("tcp://127.0.0.1:6000", 3),
             "tcp://127.0.0.1:6006"
         );
+    }
+
+    #[test]
+    fn endpoint_map_derives_every_channel_from_one_base() {
+        let m = EndpointMap::new("tcp://127.0.0.1:7000", 2);
+        assert_eq!(m.base(), "tcp://127.0.0.1:7000");
+        assert_eq!(m.shards(), 2);
+        assert_eq!(m.data(0), "tcp://127.0.0.1:7000");
+        assert_eq!(m.ctrl(0), "tcp://127.0.0.1:7001");
+        assert_eq!(m.data(1), "tcp://127.0.0.1:7002");
+        assert_eq!(m.ctrl(1), "tcp://127.0.0.1:7003");
+        let m = EndpointMap::new("ipc:///tmp/ts.sock", 1);
+        assert_eq!(m.data(0), "ipc:///tmp/ts.sock.data");
+        assert_eq!(m.ctrl(0), "ipc:///tmp/ts.sock.ctrl");
+        assert_eq!(m.data(1), "ipc:///tmp/ts.sock.s1.data");
+        let m = EndpointMap::new("inproc://ts", 0);
+        assert_eq!(m.shards(), 1, "clamped to one shard");
+        assert_eq!(m.data(0), "inproc://ts/data");
+        assert_eq!(m.ctrl(2), "inproc://ts/s2/ctrl");
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod pushpull;
 pub mod transport;
 pub mod wire;
 
-pub use endpoint::{shard_endpoint, Context};
+pub use endpoint::{channel_endpoint, shard_endpoint, Context, EndpointMap};
 pub use error::{RecvError, SendError};
 pub use frame::Multipart;
 pub use pubsub::{PubSocket, SendPolicy, SubSocket};

@@ -19,7 +19,7 @@
 //!   [`Topology`](ts_device::Topology), so VRAM peaks and PCIe/NVLink
 //!   traffic land exactly where Tables 3–4 of the paper expect them —
 //!   this is the "GPU 0" of the paper, simulated. A `cuda` cargo feature
-//!   compiles a [`cuda::CudaBackend`] stub with the same surface, so the
+//!   compiles a `cuda::CudaBackend` stub with the same surface, so the
 //!   trait is proven implementable against a real driver without linking
 //!   one.
 //! * [`DeviceSlabPool`] — a pool of pre-allocated, equally sized VRAM

@@ -13,7 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
+use tensorsocket::{Consumer, Producer, TsContext};
 use ts_data::{
     DataLoader, DataLoaderConfig, Dataset, DecodedSample, RawSample, SyntheticCaptionDataset,
 };
@@ -83,25 +83,24 @@ fn main() {
             ..Default::default()
         },
     );
-    let producer = TensorProducer::spawn(
-        loader,
-        &ctx,
-        ProducerConfig {
-            epochs: 1,
-            rubberband_cutoff: 1.0,
-            ..Default::default()
-        },
-    )
-    .expect("spawn producer");
+    let producer = Producer::builder()
+        .context(&ctx)
+        .epochs(1)
+        .rubberband_cutoff(1.0)
+        .spawn(loader)
+        .expect("spawn producer");
 
     let handles: Vec<_> = (0..consumers)
         .map(|i| {
             let ctx = ctx.clone();
             std::thread::spawn(move || {
-                let mut c =
-                    TensorConsumer::connect(&ctx, ConsumerConfig::default()).expect("connect");
+                let mut c = Consumer::builder()
+                    .context(&ctx)
+                    .connect("inproc://tensorsocket")
+                    .expect("connect");
                 let mut loss_proxy = 0f32;
                 for batch in c.by_ref() {
+                    let batch = batch.expect("clean stream");
                     // diffusion-prior "training step" over the embeddings
                     let emb = &batch.fields[0];
                     loss_proxy += ops::mean_f32(&emb.contiguous()).unwrap_or(0.0);

@@ -15,9 +15,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 use tensorsocket::protocol::order::OrderConfig;
-use tensorsocket::{
-    ConsumerConfig, FlexibleConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext,
-};
+use tensorsocket::{Consumer, FlexibleConfig, Producer, TsContext};
 use ts_data::{DataLoader, DataLoaderConfig, Dataset, SyntheticImageDataset};
 
 fn main() {
@@ -38,43 +36,37 @@ fn main() {
             ..Default::default()
         },
     );
-    let producer = TensorProducer::spawn(
-        loader,
-        &ctx,
-        ProducerConfig {
-            epochs: 1,
-            // keep the join window open across the whole (short) epoch so
-            // the deliberately late trial is always admitted with replay
-            rubberband_cutoff: 1.0,
-            flexible: Some(FlexibleConfig {
-                producer_batch: 256,
-                order: OrderConfig {
-                    offsets: true,
-                    shuffle: true,
-                    seed: 17,
-                },
-            }),
-            ..Default::default()
-        },
-    )
-    .expect("spawn producer");
+    let producer = Producer::builder()
+        .context(&ctx)
+        .epochs(1)
+        // keep the join window open across the whole (short) epoch so
+        // the deliberately late trial is always admitted with replay
+        .rubberband_cutoff(1.0)
+        .flexible(FlexibleConfig {
+            producer_batch: 256,
+            order: OrderConfig {
+                offsets: true,
+                shuffle: true,
+                seed: 17,
+            },
+        })
+        .spawn(loader)
+        .expect("spawn producer");
 
     let trial = |name: &'static str, batch_size: usize, delay: Duration| {
         let ctx = ctx.clone();
         std::thread::spawn(move || {
             std::thread::sleep(delay);
-            let mut consumer = TensorConsumer::connect(
-                &ctx,
-                ConsumerConfig {
-                    batch_size: Some(batch_size),
-                    ..Default::default()
-                },
-            )
-            .expect("connect");
+            let mut consumer = Consumer::builder()
+                .context(&ctx)
+                .batch_size(batch_size)
+                .connect("inproc://tensorsocket")
+                .expect("connect");
             let mut labels: Vec<i64> = Vec::new();
             let mut batches = 0u64;
             let mut first_batch_labels = None;
             for batch in consumer.by_ref() {
+                let batch = batch.expect("clean stream");
                 let l = batch.labels.to_vec_i64().expect("labels");
                 if first_batch_labels.is_none() {
                     first_batch_labels = Some(l.clone());

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
+use tensorsocket::{Consumer, Producer, TsContext};
 use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 use ts_tensor::ops;
 
@@ -28,28 +28,27 @@ fn main() {
             ..Default::default()
         },
     );
-    let producer = TensorProducer::spawn(
-        loader,
-        &ctx,
-        ProducerConfig {
-            epochs: 1,
-            rubberband_cutoff: 1.0,
-            buffer_size: 2, // the paper's default N
-            ..Default::default()
-        },
-    )
-    .expect("spawn producer");
+    let producer = Producer::builder()
+        .context(&ctx)
+        .epochs(1)
+        .rubberband_cutoff(1.0)
+        .buffer_size(2) // the paper's default N
+        .spawn(loader)
+        .expect("spawn producer");
 
     // model complexity ≈ busy-work units per sample
     let train = |name: &'static str, work_units: u64| {
         let ctx = ctx.clone();
         std::thread::spawn(move || {
-            let mut consumer =
-                TensorConsumer::connect(&ctx, ConsumerConfig::default()).expect("connect");
+            let mut consumer = Consumer::builder()
+                .context(&ctx)
+                .connect("inproc://tensorsocket")
+                .expect("connect");
             let started = Instant::now();
             let mut max_lag: i64 = 0;
             let mut steps = Vec::new();
             for batch in consumer.by_ref() {
+                let batch = batch.expect("clean stream");
                 let step_start = Instant::now();
                 // "forward/backward pass": real work proportional to model size
                 let mut acc = 0u64;

@@ -15,15 +15,19 @@
 //! ```text
 //!   producer process                      consumer process (xN)
 //!   ─────────────────                     ────────────────────
-//!   TsContext::host_only()                TsContext::host_only()
-//!   ctx.create_arena(path, ..)            ctx.open_arena(path)
-//!   TensorProducer::spawn(
-//!     loader, &ctx,
-//!     endpoint: "ipc:///tmp/….sock")      TensorConsumer::connect(
-//!                                           &ctx, endpoint: same URI)
+//!   Producer::builder()
+//!     .endpoint("ipc:///tmp/….sock")
+//!     .arena(path)   // auto-sized        Consumer::builder()
+//!     .spawn(loader)                        .connect(same URI)  // that's ALL
 //!   announce/ack metadata  ────────── ipc:// sockets ──────────►
 //!   batch bytes            ══════════ mmap'd arena   ══════════►
 //! ```
+//!
+//! The consumer side is the paper's one-line swap for real: it receives
+//! **only the endpoint URI**. Shard count, arena path and slot geometry,
+//! and the batch schema all arrive over the versioned HELLO/WELCOME
+//! attach handshake — nothing to mirror out of band, nothing to
+//! misconfigure.
 //!
 //! Swap the `ipc://` URI for `tcp://host:port` to cross machines (the
 //! arena stays node-local; remote consumers then need a byte-carrying
@@ -31,19 +35,17 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
+use tensorsocket::{Consumer, Producer};
 use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 use ts_tensor::ops;
 
 /// Paths are per-producer-run (pid-tagged) so two concurrent launches
 /// cannot truncate each other's live arena; consumer children inherit
-/// them through the environment.
+/// the endpoint through the environment. Note the consumers never see
+/// the arena path — the handshake advertises it.
 fn endpoint_and_arena() -> (String, std::path::PathBuf) {
-    if let (Ok(endpoint), Ok(arena)) = (
-        std::env::var("TS_EXAMPLE_ENDPOINT"),
-        std::env::var("TS_EXAMPLE_ARENA"),
-    ) {
-        return (endpoint, arena.into());
+    if let Ok(endpoint) = std::env::var("TS_EXAMPLE_ENDPOINT") {
+        return (endpoint, std::path::PathBuf::new());
     }
     let tmp = std::env::temp_dir();
     let tag = std::process::id();
@@ -57,22 +59,18 @@ fn endpoint_and_arena() -> (String, std::path::PathBuf) {
 }
 
 fn consumer_process(name: String) {
-    let (endpoint, arena) = endpoint_and_arena();
-    let ctx = TsContext::host_only();
-    ctx.open_arena(&arena)
-        .expect("open arena (start the producer first)");
-    let mut consumer = TensorConsumer::connect(
-        &ctx,
-        ConsumerConfig {
-            endpoint,
-            ..Default::default()
-        },
-    )
-    .expect("connect to producer");
+    let (endpoint, _) = endpoint_and_arena();
+    // The whole consumer-side configuration. The shard count, the arena
+    // path and geometry, and the batch schema arrive over the attach
+    // handshake; the builder maps the advertised arena before joining.
+    let mut consumer = Consumer::builder()
+        .connect(&endpoint)
+        .expect("connect to producer");
     let started = Instant::now();
     let mut checksum = 0u64;
     let mut arena_batches = 0u64;
     for batch in consumer.by_ref() {
+        let batch = batch.expect("clean stream");
         // A stand-in "training step": touch every byte of the batch. The
         // bytes live in the producer's arena, mapped into this process.
         checksum ^= ops::checksum(&batch.fields[0]);
@@ -97,8 +95,7 @@ fn consumer_process(name: String) {
     assert_eq!(
         consumer.stop_reason(),
         Some(tensorsocket::runtime::consumer::StopReason::End),
-        "consumer must stop on the producer's End, not a timeout (err: {:?})",
-        consumer.last_error()
+        "consumer must stop on the producer's End, not a timeout"
     );
 }
 
@@ -122,13 +119,6 @@ fn main() {
         .unwrap_or(2);
 
     let (endpoint, arena_path) = endpoint_and_arena();
-    let ctx = TsContext::host_only();
-    // Slots sized for the staged batches; a handful of slots suffices
-    // because acked releases recycle them continuously.
-    let arena = ctx
-        .create_arena(&arena_path, 16, 8 << 20)
-        .expect("create arena");
-
     let dataset = Arc::new(SyntheticImageDataset::new(2_048, 64, 64, 7).with_encoded_len(4_096));
     let loader = DataLoader::new(
         dataset,
@@ -140,16 +130,18 @@ fn main() {
             ..Default::default()
         },
     );
-    let producer = TensorProducer::spawn(
-        loader,
-        &ctx,
-        ProducerConfig {
-            endpoint: endpoint.clone(),
-            epochs: 2,
-            ..Default::default()
-        },
-    )
-    .expect("spawn producer");
+    // The builder creates the arena, auto-sized from the loader's own
+    // geometry (slot size from a decoded sample x batch size, slot count
+    // from the publish window + rubberband headroom), and binds the
+    // recycling slot pool — no hand-computed depths anywhere.
+    let producer = Producer::builder()
+        .endpoint(&endpoint)
+        .arena(&arena_path)
+        .epochs(2)
+        .spawn(loader)
+        .expect("spawn producer");
+    let arena = producer.arena().expect("auto-provisioned arena").clone();
+    let ctx = producer.context().clone();
 
     let exe = std::env::current_exe().expect("own path");
     let children: Vec<_> = (0..consumers)
@@ -157,7 +149,6 @@ fn main() {
             std::process::Command::new(&exe)
                 .args(["--role", "consumer", &format!("consumer-{i}")])
                 .env("TS_EXAMPLE_ENDPOINT", &endpoint)
-                .env("TS_EXAMPLE_ARENA", &arena_path)
                 .spawn()
                 .expect("spawn consumer process")
         })

@@ -1,18 +1,66 @@
 //! Quickstart: split a training script into a producer and consumers
-//! (Figure 3 of the paper).
+//! (Figure 3 of the paper) — with the unified builder API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! The conventional script iterates a `DataLoader` directly; with
-//! TensorSocket the loader moves into a producer and each training process
-//! swaps its loop source for a `TensorConsumer` — one line each way.
+//! TensorSocket the loader moves into a [`Producer`] and each training
+//! process swaps its loop source for a [`Consumer`] — one line each way:
+//!
+//! ```no_run
+//! # use tensorsocket::{Producer, Consumer};
+//! # use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+//! # use std::sync::Arc;
+//! # let loader = DataLoader::new(Arc::new(SyntheticImageDataset::imagenet_like(64, 0)), DataLoaderConfig::default());
+//! // producer.py — owns the loader
+//! let producer = Producer::builder().endpoint("ipc:///tmp/ts.sock").spawn(loader)?;
+//!
+//! // consumer.py — literally only the endpoint
+//! for batch in Consumer::builder().connect("ipc:///tmp/ts.sock")? {
+//!     let batch = batch?; // ... training step ...
+//! }
+//! # producer.join()?;
+//! # Ok::<(), tensorsocket::TsError>(())
+//! ```
+//!
+//! The consumer is *not* configured with the shard count, the arena path,
+//! slot depths or the batch schema: a versioned HELLO/WELCOME handshake
+//! on the control channel reports all of it, and mismatches surface as
+//! typed `HandshakeError`s instead of hangs. The producer side likewise
+//! auto-creates and auto-sizes its shared-memory arena and recycling slot
+//! pool from the loader's own geometry (`.arena(path)`), instead of
+//! asking you to compute slot counts.
+//!
+//! # Migrating from the legacy API
+//!
+//! The pre-builder types still compile behind `#[deprecated]` shims that
+//! delegate to the same engine; move off them mechanically:
+//!
+//! | legacy                                                        | builder |
+//! |---------------------------------------------------------------|---------|
+//! | `TensorProducer::spawn(loader, &ctx, cfg)`                    | `Producer::builder().context(&ctx).config(cfg).spawn(loader)` |
+//! | `ShardedProducerGroup::spawn(loaders, &ctx, cfg)`             | `Producer::builder().context(&ctx).config(cfg).spawn_sharded(loaders)` |
+//! | `ctx.create_arena(path, nslots, slot_size)` + `ctx.enable_slot_recycling(depth)` | `.arena(path)` (auto-sized) or `.arena_sized(path, nslots, slot_size)` |
+//! | `TensorConsumer::connect(&ctx, ConsumerConfig { endpoint, .. })` | `Consumer::builder().context(&ctx).connect(endpoint)` |
+//! | `ConsumerConfig { shards: N, .. }`                            | nothing — the handshake learns `N` (assert with `.shards(N)`) |
+//! | `ctx.open_arena(path)` before connecting                      | nothing — the handshake advertises the arena |
+//! | `for batch in consumer { .. }` then check `stop_reason()`     | `for batch in consumer { let batch = batch?; .. }` |
+//!
+//! Config structs (`ProducerConfig`, `ConsumerConfig`) are still public —
+//! `.config(cfg)` seeds a builder from one — and each knob also has a
+//! dedicated builder method. A `Producer` spawned from one source is a
+//! plain pipeline; from `N` sources it is the coordinated sharded group
+//! (`shards = 1` is just the degenerate case of the same facade).
 //!
 //! # Endpoint URIs
 //!
-//! The `endpoint` field of `ProducerConfig`/`ConsumerConfig` selects the
-//! transport; nothing else in the code changes:
+//! The endpoint passed to `.endpoint(..)` / `.connect(..)` selects the
+//! transport; nothing else in the code changes. Every derived channel —
+//! per-shard data/ctrl endpoints — comes from one scheme-aware
+//! `ts_socket::EndpointMap`, which is also what the handshake's consumer
+//! side uses, so the two sides cannot derive different layouts:
 //!
 //! | scheme                  | reaches                | data / ctrl channels      |
 //! |-------------------------|------------------------|---------------------------|
@@ -21,100 +69,63 @@
 //! | `tcp://host:port`       | other machines         | `port`, `port + 1`        |
 //!
 //! This example uses the default `inproc://tensorsocket` endpoint and runs
-//! consumers as threads, which is the cheapest way to try the API.
+//! consumers as threads (sharing the producer's `TsContext` via
+//! `.context(&ctx)`), which is the cheapest way to try the API. For
+//! separate processes, see `examples/multi_process.rs`: an `ipc://`
+//! endpoint plus `.arena(path)` on the producer — and *only* the
+//! endpoint on the consumers.
 //!
 //! # Pipeline tuning
 //!
 //! The producer runs as a two-stage pipeline: a feeder stage loads,
 //! decodes and collates batches *ahead of the publish cursor* while the
-//! publish stage stages, registers and announces them. Three knobs:
+//! publish stage stages, registers and announces them. The builder derives
+//! every depth from the loader's hints; override only when needed:
 //!
 //! * `DataLoaderConfig::num_workers` — loader worker threads (this
 //!   example uses 4). `0` collapses the pipeline into a serial producer;
 //!   either way consumers see the identical batch stream.
 //! * `DataLoaderConfig::prefetch_factor` — batches each worker keeps in
 //!   flight; with `num_workers` it sizes the feeder's hand-off queue
-//!   (override with `ProducerConfig::pipeline_depth`).
-//! * `TsContext::enable_slot_recycling(depth)` — cross-process only:
-//!   recycle fully-acked shared-memory slots in place so steady-state
-//!   publishing allocates nothing from the arena. `depth` ≈ `buffer_size
-//!   × tensors per batch` plus rubberband headroom.
-//!
-//! # Running producer and consumers as separate processes
-//!
-//! The paper's actual deployment is independent training *processes*. For
-//! that, give each process its own `TsContext`, use an `ipc://` (or
-//! `tcp://`) endpoint, and share batch bytes through the shared-memory
-//! arena so only announce/ack metadata crosses the socket:
-//!
-//! ```no_run
-//! # use tensorsocket::*;
-//! // producer process
-//! let ctx = TsContext::host_only();
-//! ctx.create_arena("/dev/shm/ts.arena", 16, 8 << 20).unwrap();
-//! let cfg = ProducerConfig {
-//!     endpoint: "ipc:///tmp/ts.sock".into(),
-//!     ..Default::default()
-//! };
-//!
-//! // each consumer process
-//! let ctx = TsContext::host_only();
-//! ctx.open_arena("/dev/shm/ts.arena").unwrap();
-//! let cfg = ConsumerConfig {
-//!     endpoint: "ipc:///tmp/ts.sock".into(),
-//!     ..Default::default()
-//! };
-//! ```
-//!
-//! See `examples/multi_process.rs` for the complete working topology
-//! (`cargo run --release --example multi_process -- 4`).
+//!   (override with `.pipeline_depth(n)`).
+//! * `.arena(path)` — cross-process only: creates the shared-memory
+//!   arena *and* the recycling slot pool, both sized from the loader's
+//!   decoded sample geometry and the publish window, so steady-state
+//!   publishing allocates nothing from the arena.
 //!
 //! # Multi-producer sharding
 //!
 //! On a many-GPU node one producer pipeline saturates one NUMA domain.
-//! `ShardedProducerGroup::spawn` runs N feeder+publish pipelines — one
-//! per disjoint dataset shard (`DataLoader::sharded`) — in lockstep
-//! under an epoch coordinator, and a consumer with
-//! `ConsumerConfig { shards: N, .. }` subscribes to all of them:
-//!
-//! ```no_run
-//! # use std::sync::Arc;
-//! # use tensorsocket::*;
-//! # use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
-//! # let ctx = TsContext::host_only();
-//! # let dataset = Arc::new(SyntheticImageDataset::imagenet_like(1024, 0));
-//! let loaders = DataLoader::sharded(dataset, DataLoaderConfig::default(), 2);
-//! let group = ShardedProducerGroup::spawn(loaders, &ctx, ProducerConfig::default()).unwrap();
-//! let consumer = TensorConsumer::connect(
-//!     &ctx,
-//!     ConsumerConfig { shards: 2, ..Default::default() },
-//! ).unwrap();
-//! ```
+//! `.spawn_sharded(loaders)` runs N feeder+publish pipelines — one per
+//! disjoint dataset shard (`DataLoader::sharded`) — in lockstep under an
+//! epoch coordinator. Consumers need no change at all: the handshake
+//! advertises the shard count and the consumer subscribes to every shard.
 //!
 //! **Ordering contract:** batches are delivered sorted by
 //! `(epoch, shard, seq)` — round-robin across shards aligned at an epoch
 //! boundary, exhausted shards dropping out on uneven tails — so every
 //! consumer sees one bit-stable stream for a given `(seed, shard count)`
 //! no matter how the shards race each other. With one shard the stream
-//! is byte-identical to a plain `TensorProducer`'s. The second act of
-//! `main` below runs the same dataset through a 2-shard group.
+//! is byte-identical to a plain producer's. The second act of `main`
+//! below runs the same dataset through a 2-shard group.
 //!
 //! # Device staging
 //!
 //! The paper's producer stages every batch on GPU 0 before sharing it.
-//! Set `ProducerConfig::device` to a GPU and the producer stages through
-//! the device staging subsystem (`ts-staging`): a pre-allocated VRAM
-//! **slab rotation** sized from the publish window — so warmed-up
-//! staging performs *zero device allocations* (check
-//! `ctx.devices.memory(gpu).alloc_count()`) — with the H2D copy running
-//! on its own pipeline stage, overlapping the copy of batch *n* with
-//! collation of *n + 1* and publishing of *n − 1*. Tune it via
-//! `ProducerConfig::staging`:
+//! Set `.device(gpu)` and the producer stages through the device staging
+//! subsystem (`ts-staging`): a pre-allocated VRAM **slab rotation** sized
+//! from the publish window — so warmed-up staging performs *zero device
+//! allocations* (check `ctx.devices.memory(gpu).alloc_count()`) — with
+//! the H2D copy running on its own pipeline stage, overlapping the copy
+//! of batch *n* with collation of *n + 1* and publishing of *n − 1*.
+//! Tune it via `.staging(mode)` / `.staging_config(..)`:
 //!
-//! * `mode` — `Overlapped` (default), `Serial` (copy on the publish
+//! * mode — `Overlapped` (default), `Serial` (copy on the publish
 //!   thread, still slab-pooled) or `Off` (legacy per-batch
-//!   allocate+copy). Consumers receive byte-identical batches in all
-//!   three; the `BENCH_staging.json` suite documents the overlap win.
+//!   allocate+copy through `DeviceCtx::transfer`, which now models the
+//!   same link copy time, so benchmark comparisons are apples-to-apples).
+//!   Consumers receive byte-identical batches in all three; the
+//!   `BENCH_staging.json` suite documents the overlap win.
 //! * `slab_depth` / `queue_depth` — rotation size and copy-stage
 //!   look-ahead, both derived from `buffer_size` when unset.
 //!
@@ -125,9 +136,7 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use tensorsocket::{
-    ConsumerConfig, ProducerConfig, ShardedProducerGroup, TensorConsumer, TensorProducer, TsContext,
-};
+use tensorsocket::{Consumer, Producer, TsContext};
 use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 use ts_tensor::ops;
 
@@ -149,26 +158,25 @@ fn main() {
         },
     );
     // producer = TensorProducer(data_loader)
-    let producer = TensorProducer::spawn(
-        loader,
-        &ctx,
-        ProducerConfig {
-            epochs: 2,
-            ..Default::default()
-        },
-    )
-    .expect("spawn producer");
+    let producer = Producer::builder()
+        .context(&ctx)
+        .epochs(2)
+        .spawn(loader)
+        .expect("spawn producer");
 
     // ---- consumer.py (two collocated training processes) ------------------
     let train = |name: &'static str| {
         let ctx = ctx.clone();
         std::thread::spawn(move || {
-            let mut consumer =
-                TensorConsumer::connect(&ctx, ConsumerConfig::default()).expect("connect");
+            let mut consumer = Consumer::builder()
+                .context(&ctx)
+                .connect("inproc://tensorsocket")
+                .expect("connect");
             let started = Instant::now();
             let mut checksum = 0u64;
             // for batch in consumer: ... model training iteration ...
             for batch in consumer.by_ref() {
+                let batch = batch.expect("clean stream");
                 // a stand-in "training step": touch every byte of the batch
                 checksum ^= ops::checksum(&batch.fields[0]);
             }
@@ -204,7 +212,8 @@ fn main() {
     // ---- act two: the same dataset through a 2-shard producer group ----
     // Each shard pipeline owns half of every epoch's permutation; the
     // consumer interleaves both streams deterministically by
-    // (epoch, shard, seq).
+    // (epoch, shard, seq). Note the consumer code is UNCHANGED from act
+    // one — it learns the shard count from the handshake.
     let ctx = TsContext::host_only();
     let dataset = Arc::new(SyntheticImageDataset::new(2_048, 64, 64, 7).with_encoded_len(4_096));
     let loaders = DataLoader::sharded(
@@ -218,33 +227,26 @@ fn main() {
         },
         2,
     );
-    let group = ShardedProducerGroup::spawn(
-        loaders,
-        &ctx,
-        ProducerConfig {
-            endpoint: "inproc://tensorsocket-sharded".into(),
-            epochs: 1,
-            ..Default::default()
-        },
-    )
-    .expect("spawn sharded group");
-    let mut consumer = TensorConsumer::connect(
-        &ctx,
-        ConsumerConfig {
-            endpoint: "inproc://tensorsocket-sharded".into(),
-            shards: 2,
-            ..Default::default()
-        },
-    )
-    .expect("connect sharded consumer");
+    let group = Producer::builder()
+        .context(&ctx)
+        .endpoint("inproc://tensorsocket-sharded")
+        .epochs(1)
+        .spawn_sharded(loaders)
+        .expect("spawn sharded group");
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .connect("inproc://tensorsocket-sharded")
+        .expect("connect sharded consumer");
+    assert_eq!(consumer.num_shards(), 2, "learned over the handshake");
     let started = Instant::now();
     let mut per_shard = [0u64; 2];
     for batch in consumer.by_ref() {
+        let batch = batch.expect("clean stream");
         per_shard[batch.shard] += 1;
         std::hint::black_box(batch.labels.view_bytes());
     }
     let secs = started.elapsed().as_secs_f64();
-    let stats = group.join().expect("group join");
+    let stats = group.join_shards().expect("group join");
     println!(
         "[sharded] {} samples via 2 shards ({} + {} batches) in {secs:.2}s → {:.0} samples/s",
         consumer.samples_consumed(),
@@ -277,27 +279,25 @@ fn main() {
             ..Default::default()
         },
     );
-    let producer = TensorProducer::spawn(
-        loader,
-        &ctx,
-        ProducerConfig {
-            endpoint: "inproc://tensorsocket-staged".into(),
-            epochs: 1,
-            device: ts_device::DeviceId::Gpu(0),
-            ..Default::default() // staging: Overlapped by default
-        },
-    )
-    .expect("spawn staged producer");
-    let mut consumer = TensorConsumer::connect(
-        &ctx,
-        ConsumerConfig {
-            endpoint: "inproc://tensorsocket-staged".into(),
-            ..Default::default()
-        },
-    )
-    .expect("connect staged consumer");
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint("inproc://tensorsocket-staged")
+        .epochs(1)
+        .device(ts_device::DeviceId::Gpu(0)) // staging: Overlapped by default
+        .spawn(loader)
+        .expect("spawn staged producer");
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .connect("inproc://tensorsocket-staged")
+        .expect("connect staged consumer");
+    assert_eq!(
+        consumer.staging_mode(),
+        Some(tensorsocket::StagingMode::Overlapped),
+        "the handshake advertises the staging shape"
+    );
     let started = Instant::now();
     for batch in consumer.by_ref() {
+        let batch = batch.expect("clean stream");
         assert!(
             batch.fields[0].device().is_gpu(),
             "consumers see device tensors"

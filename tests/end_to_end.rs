@@ -2,6 +2,11 @@
 //! synthetic dataset → codec decode → augmentation → multi-worker loader →
 //! producer → payload sharing → consumers, with GPU staging and traffic
 //! accounting.
+//!
+//! Deliberately exercises the deprecated `TensorProducer::spawn` /
+//! `TensorConsumer::connect` shims end to end: they must keep delegating
+//! to the same engine the `Producer`/`Consumer` builders drive.
+#![allow(deprecated)]
 
 use std::collections::BTreeSet;
 use std::sync::Arc;

@@ -1,0 +1,195 @@
+//! Attach-handshake failure modes, under both `ipc://` and `tcp://`:
+//! every mismatch must surface **promptly** as its typed
+//! [`HandshakeError`] — never as a hang, and never as a consumer silently
+//! training on the wrong topology.
+//!
+//! * **version skew** — a consumer speaking a future handshake version
+//!   gets [`HandshakeError::Version`] carrying both versions;
+//! * **`shards` override mismatch** — a consumer that insists on a shard
+//!   count the producer does not advertise gets
+//!   [`HandshakeError::Topology`];
+//! * **unopenable arena** — the producer advertises a shared-memory
+//!   arena whose backing file the consumer cannot map (stale path,
+//!   different host) → [`HandshakeError::ArenaMissing`].
+//!
+//! Each case is timeout-guarded: the error must arrive well inside the
+//! guard, proving the failure path is a fast typed reply, not a timeout.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tensorsocket::{
+    Consumer, HandshakeError, Producer, ProducerConfig, TsError, HANDSHAKE_VERSION,
+};
+use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+
+const GUARD: Duration = Duration::from_secs(20);
+
+fn loader(shards: usize) -> Vec<DataLoader> {
+    DataLoader::sharded(
+        Arc::new(SyntheticImageDataset::new(64, 8, 8, 3).with_encoded_len(256)),
+        DataLoaderConfig {
+            batch_size: 4,
+            num_workers: 0,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+        shards,
+    )
+}
+
+fn producer_cfg(endpoint: &str) -> ProducerConfig {
+    ProducerConfig {
+        endpoint: endpoint.to_string(),
+        epochs: 1,
+        heartbeat_timeout: Duration::from_secs(2),
+        first_consumer_timeout: Some(Duration::from_secs(30)),
+        ..Default::default()
+    }
+}
+
+/// One `(scheme-tag, endpoint)` per transport under test. `port_slot`
+/// spaces tcp tests apart (each sharded topology claims several
+/// consecutive ports).
+fn endpoints(tag: &str, port_slot: u16) -> Vec<(&'static str, String)> {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    vec![
+        (
+            "ipc",
+            format!(
+                "ipc://{}",
+                tmp.join(format!("ts-hs-{tag}-{pid}.sock")).display()
+            ),
+        ),
+        (
+            "tcp",
+            format!("tcp://127.0.0.1:{}", 43_800 + port_slot * 16),
+        ),
+    ]
+}
+
+/// Runs `connect` under the hang guard, returning the typed error and
+/// how long it took to surface.
+fn expect_error(connect: impl FnOnce() -> tensorsocket::Result<Consumer>) -> (TsError, Duration) {
+    let started = Instant::now();
+    let err = connect().expect_err("handshake must fail");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < GUARD,
+        "typed error took {elapsed:?}; the failure path must not degenerate into a timeout"
+    );
+    (err, elapsed)
+}
+
+#[test]
+fn version_skew_yields_typed_error_promptly() {
+    for (scheme, ep) in endpoints("ver", 0) {
+        let producer = Producer::builder()
+            .config(producer_cfg(&ep))
+            .spawn(loader(1).remove(0))
+            .expect("spawn producer");
+        let (err, _) = expect_error(|| {
+            Consumer::builder()
+                .hello_version(HANDSHAKE_VERSION + 41)
+                .handshake_timeout(GUARD)
+                .connect(&ep)
+        });
+        assert_eq!(
+            err,
+            TsError::Handshake(HandshakeError::Version {
+                ours: HANDSHAKE_VERSION + 41,
+                theirs: HANDSHAKE_VERSION,
+            }),
+            "{scheme}: wrong error"
+        );
+        producer.abort();
+        producer.join().expect("producer join");
+    }
+}
+
+#[test]
+fn shards_override_mismatch_yields_typed_error_promptly() {
+    for (scheme, ep) in endpoints("topo", 1) {
+        let producer = Producer::builder()
+            .config(producer_cfg(&ep))
+            .spawn_sharded(loader(2))
+            .expect("spawn sharded producer");
+        let (err, _) = expect_error(|| {
+            Consumer::builder()
+                .shards(5)
+                .handshake_timeout(GUARD)
+                .connect(&ep)
+        });
+        assert_eq!(
+            err,
+            TsError::Handshake(HandshakeError::Topology {
+                requested: 5,
+                advertised: 2,
+            }),
+            "{scheme}: wrong error"
+        );
+        producer.abort();
+        producer.join().expect("producer join");
+    }
+}
+
+#[test]
+fn unopenable_arena_yields_typed_error_promptly() {
+    for (scheme, ep) in endpoints("arena", 2) {
+        let arena_path =
+            std::env::temp_dir().join(format!("ts-hs-arena-{scheme}-{}.arena", std::process::id()));
+        let producer = Producer::builder()
+            .config(producer_cfg(&ep))
+            .arena(&arena_path)
+            .spawn(loader(1).remove(0))
+            .expect("spawn producer with arena");
+        // The producer keeps its mapping; the *path* disappears, so a
+        // late-coming consumer cannot open what the WELCOME advertises —
+        // the cross-host / stale-path failure shape.
+        std::fs::remove_file(&arena_path).expect("unlink arena file");
+        let (err, _) = expect_error(|| Consumer::builder().handshake_timeout(GUARD).connect(&ep));
+        match err {
+            TsError::Handshake(HandshakeError::ArenaMissing { path, reason }) => {
+                assert_eq!(path, arena_path.display().to_string(), "{scheme}");
+                assert!(!reason.is_empty(), "{scheme}: reason must say why");
+            }
+            other => panic!("{scheme}: expected ArenaMissing, got {other:?}"),
+        }
+        producer.abort();
+        producer.join().expect("producer join");
+    }
+}
+
+#[test]
+fn matched_override_still_attaches_everywhere() {
+    // The positive control for the failure cases above: the explicit
+    // override that *matches* the advertisement attaches and streams.
+    // The consumer's context is separate from the producer's, so payload
+    // bytes must travel through an (auto-sized, handshake-advertised)
+    // arena.
+    for (scheme, ep) in endpoints("ok", 3) {
+        let arena_path =
+            std::env::temp_dir().join(format!("ts-hs-ok-{scheme}-{}.arena", std::process::id()));
+        let producer = Producer::builder()
+            .config(producer_cfg(&ep))
+            .arena(&arena_path)
+            .spawn_sharded(loader(2))
+            .expect("spawn sharded producer");
+        let mut consumer = Consumer::builder()
+            .shards(2)
+            .handshake_timeout(GUARD)
+            .recv_timeout(Duration::from_secs(10))
+            .heartbeat_interval(Duration::from_millis(50))
+            .connect(&ep)
+            .expect("matched override attaches");
+        assert_eq!(consumer.num_shards(), 2, "{scheme}");
+        let mut batches = 0;
+        for b in consumer.by_ref() {
+            b.expect("clean stream");
+            batches += 1;
+        }
+        assert_eq!(batches, 16, "{scheme}: full epoch over both shards");
+        producer.join().expect("producer join");
+    }
+}

@@ -13,12 +13,19 @@
 //! * releases are acked back so the arena recycles slots: a deliberately
 //!   small arena survives `epochs × batches` allocations, and is fully
 //!   free after the run.
+//!
+//! The producer runs through the legacy (`#[deprecated]`) shim while the
+//! consumer processes attach with `Consumer::builder().connect(endpoint)`
+//! and **nothing else** — no arena path, no configuration: the attach
+//! handshake carries the arena advertisement, proving the new facade
+//! interoperates with every legacy-spawned topology.
+#![allow(deprecated)]
 
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
-use tensorsocket::{ConsumerConfig, ProducerConfig, TensorConsumer, TensorProducer, TsContext};
+use tensorsocket::{Consumer, ProducerConfig, TensorProducer, TsContext};
 use ts_data::{DataLoader, DataLoaderConfig, Dataset, DecodedSample, RawSample};
 use ts_device::DeviceId;
 use ts_tensor::Tensor;
@@ -78,33 +85,37 @@ fn checksum(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Consumer-process body: connect over ipc, map the arena, consume
-/// everything, write one line per batch to the result file.
+/// Consumer-process body: attach with NOTHING but the endpoint URI — the
+/// handshake advertises the arena, which the builder maps before joining
+/// — consume everything, write one line per batch to the result file.
 fn run_consumer() {
     let endpoint = std::env::var("TS_MP_ENDPOINT").expect("TS_MP_ENDPOINT");
     let arena_path = std::env::var("TS_MP_ARENA").expect("TS_MP_ARENA");
     let out_path = std::env::var("TS_MP_OUT").expect("TS_MP_OUT");
 
-    let ctx = TsContext::host_only();
-    ctx.open_arena(&arena_path).expect("open arena");
-    let consumer = TensorConsumer::connect(
-        &ctx,
-        ConsumerConfig {
-            endpoint,
-            recv_timeout: Duration::from_secs(30),
-            ..Default::default()
-        },
-    )
-    .expect("consumer connect");
+    let mut consumer = Consumer::builder()
+        .recv_timeout(Duration::from_secs(30))
+        .connect(&endpoint)
+        .expect("consumer connect");
+    // The handshake advertised the arena this topology shares.
+    let ad = consumer
+        .welcome()
+        .arena
+        .clone()
+        .expect("arena must be advertised");
+    assert_eq!(
+        ad.path, arena_path,
+        "advertised path matches the producer's"
+    );
     let joined_epoch = consumer.joined_epoch();
 
     let mut out = std::fs::File::create(&out_path).expect("result file");
     writeln!(out, "joined {joined_epoch}").unwrap();
     let mut consumed = 0u64;
-    let mut consumer = consumer;
     for batch in consumer.by_ref() {
+        let batch = batch.expect("clean stream");
         // The whole point: payload bytes came from the mapped arena, not
-        // the socket, and nothing was copied into this process's registry.
+        // the socket.
         assert!(
             batch.fields[0].storage().is_shared_memory(),
             "field bytes must be arena-backed"
@@ -112,10 +123,6 @@ fn run_consumer() {
         assert!(
             batch.labels.storage().is_shared_memory(),
             "label bytes must be arena-backed"
-        );
-        assert!(
-            ctx.registry.is_empty(),
-            "consumer-local registry must stay empty"
         );
         let field_sum = checksum(&batch.fields[0].gather_bytes());
         let label_sum = checksum(&batch.labels.gather_bytes());
@@ -130,8 +137,7 @@ fn run_consumer() {
     assert_eq!(
         consumer.stop_reason(),
         Some(tensorsocket::runtime::consumer::StopReason::End),
-        "consumer must stop on a clean End (err: {:?})",
-        consumer.last_error()
+        "consumer must stop on a clean End"
     );
     assert!(consumed > 0, "consumed nothing");
     writeln!(out, "done {consumed}").unwrap();
