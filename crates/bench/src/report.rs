@@ -30,7 +30,9 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// Version of the on-disk JSON schema; bump when fields change meaning.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4 adds the optional per-row `p50_ns`/`p99_ns` round-quantile fields
+/// (absent in v3 and earlier files, which still parse).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Fewest measurement rounds (per side) for the min-of-k verdict to be
 /// trusted; below it the gate reports low confidence instead of failing.
@@ -49,6 +51,12 @@ pub struct BenchRow {
     pub iters: u64,
     /// Measurement rounds behind `min_ns` (the `k` of min-of-k).
     pub samples: u64,
+    /// Median of the per-round means (schema v4+; `None` when parsed
+    /// from an older file or when the run recorded no rounds).
+    pub p50_ns: Option<f64>,
+    /// 99th percentile of the per-round means (schema v4+; `None` when
+    /// parsed from an older file or when the run recorded no rounds).
+    pub p99_ns: Option<f64>,
 }
 
 /// A suite's results plus the metadata needed to compare runs.
@@ -79,12 +87,22 @@ impl BenchReport {
         let results: Vec<BenchRow> = measurements
             .iter()
             .filter(|m| m.id.starts_with(prefix))
-            .map(|m| BenchRow {
-                bench: m.id.clone(),
-                mean_ns: m.mean_ns,
-                min_ns: m.min_ns(),
-                iters: m.iters,
-                samples: (m.sample_means_ns.len() as u64).max(1),
+            .map(|m| {
+                // Round-quantiles only exist when rounds were recorded;
+                // a quantile over zero samples would be a lie, not a 0.
+                let quantile = |p: f64| {
+                    (!m.sample_means_ns.is_empty())
+                        .then(|| ts_metrics::percentile(&m.sample_means_ns, p))
+                };
+                BenchRow {
+                    bench: m.id.clone(),
+                    mean_ns: m.mean_ns,
+                    min_ns: m.min_ns(),
+                    iters: m.iters,
+                    samples: (m.sample_means_ns.len() as u64).max(1),
+                    p50_ns: quantile(50.0),
+                    p99_ns: quantile(99.0),
+                }
             })
             .collect();
         let iter_floor = results.iter().map(|r| r.iters).min().unwrap_or(0);
@@ -108,10 +126,19 @@ impl BenchReport {
         let _ = writeln!(out, "  \"results\": [");
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
+            // v4 quantile fields are written only when present, so a
+            // report round-trips bit-equal through parse() either way.
+            let mut quantiles = String::new();
+            if let Some(p50) = r.p50_ns {
+                let _ = write!(quantiles, ", \"p50_ns\": {p50:.1}");
+            }
+            if let Some(p99) = r.p99_ns {
+                let _ = write!(quantiles, ", \"p99_ns\": {p99:.1}");
+            }
             let _ = writeln!(
                 out,
                 "    {{\"bench\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
-                 \"iters\": {}, \"samples\": {}}}{comma}",
+                 \"iters\": {}, \"samples\": {}{quantiles}}}{comma}",
                 escape(&r.bench),
                 r.mean_ns,
                 r.min_ns,
@@ -176,6 +203,9 @@ impl BenchReport {
                     .unwrap_or(mean_ns),
                 iters: row_obj.get("iters").and_then(|v| v.as_u64()).unwrap_or(0),
                 samples: row_obj.get("samples").and_then(|v| v.as_u64()).unwrap_or(1),
+                // Optional since v4; pre-v4 files simply lack them.
+                p50_ns: row_obj.get("p50_ns").and_then(|v| v.as_f64()),
+                p99_ns: row_obj.get("p99_ns").and_then(|v| v.as_f64()),
             });
         }
         let iter_floor = obj
@@ -526,6 +556,8 @@ mod tests {
             min_ns: min,
             iters,
             samples,
+            p50_ns: None,
+            p99_ns: None,
         }
     }
 
@@ -557,6 +589,46 @@ mod tests {
         assert!((parsed.results[0].min_ns - 120.0).abs() < 1e-6);
         assert_eq!(parsed.results[0].samples, 5);
         assert_eq!(parsed.results[1].iters, 37);
+    }
+
+    #[test]
+    fn v4_quantiles_round_trip_when_present() {
+        let mut with = row("t/q", 120.0, 100.0, 50, 5);
+        with.p50_ns = Some(118.5);
+        with.p99_ns = Some(160.25);
+        let r = report(vec![with, row("t/plain", 10.0, 9.0, 50, 5)]);
+        let text = r.to_json();
+        let parsed = BenchReport::parse(&text).unwrap();
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert!((parsed.results[0].p50_ns.unwrap() - 118.5).abs() < 0.1);
+        assert!((parsed.results[0].p99_ns.unwrap() - 160.25).abs() < 0.1);
+        // Rows without quantiles stay without them — the fields are not
+        // written, not backfilled with zeros.
+        assert_eq!(parsed.results[1].p50_ns, None);
+        assert_eq!(parsed.results[1].p99_ns, None);
+        assert!(!text.contains("\"p50_ns\": 0"), "no fabricated quantiles");
+    }
+
+    #[test]
+    fn parses_v3_files_without_quantiles() {
+        // Exactly what a committed v3 BENCH_*.json row looks like.
+        let v3 = "{\n\"suite\": \"transport\",\n\"schema_version\": 3,\n\
+                  \"payload_bytes\": 64,\n\"iter_floor\": 10,\n\"results\": [\n  \
+                  {\"bench\": \"transport/x\", \"mean_ns\": 10.0, \"min_ns\": 9.0, \
+                  \"iters\": 10, \"samples\": 5}\n]\n}\n";
+        let parsed = BenchReport::parse(v3).unwrap();
+        assert_eq!(parsed.schema_version, 3);
+        assert_eq!(parsed.results[0].p50_ns, None);
+        assert_eq!(parsed.results[0].p99_ns, None);
+        // And the gate still compares v3 baselines against v4 reports.
+        let cur = report(vec![{
+            let mut r = row("transport/x", 10.5, 9.2, 10, 5);
+            r.p50_ns = Some(10.4);
+            r.p99_ns = Some(11.0);
+            r
+        }]);
+        let outcomes = gate(&parsed, &cur, 0.25);
+        assert!(!outcomes[0].fails());
     }
 
     #[test]
@@ -688,5 +760,9 @@ mod tests {
         assert!((r.results[0].min_ns - 9.5).abs() < 1e-9);
         assert_eq!(r.results[0].samples, 3);
         assert_eq!(r.results[1].samples, 2);
+        // v4: quantiles computed over the recorded round means.
+        assert!((r.results[0].p50_ns.unwrap() - 10.5).abs() < 1e-9);
+        assert!(r.results[0].p99_ns.unwrap() <= 11.0);
+        assert!(r.results[1].p50_ns.is_some());
     }
 }

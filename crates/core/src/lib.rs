@@ -145,6 +145,56 @@
 //!   copies on the publish thread; `Off` is the legacy per-batch
 //!   allocate+copy. Consumers see byte-identical batches in all three.
 //!
+//! ## Observability: stage histograms and the `ts-top` scrape
+//!
+//! Every pipeline stage records its latency into lock-free log-bucketed
+//! histograms ([`ts_metrics::Histogram`]) in the context's shared
+//! [`ts_metrics::Registry`] — a `record` is a handful of relaxed atomic
+//! adds, so instrumentation never touches a lock on the hot path. A
+//! running producer answers a versioned, stateless
+//! [`CtrlMsg::StatsRequest`] from *any* of its wait loops (mid-epoch, at
+//! an epoch barrier, draining final acks) with a [`DataMsg::Stats`]
+//! snapshot of the whole registry — counters, gauges and full histogram
+//! buckets, deterministically name-sorted. [`scrape_stats`] is the
+//! client side, and the `ts-top` binary renders it live:
+//!
+//! ```text
+//! ts-top ipc:///tmp/ts.sock            # live per-stage latency table
+//! ts-top --json tcp://127.0.0.1:5555   # one-shot snapshot for scripts/CI
+//! ```
+//!
+//! The scrape needs no consumer attach and leaves no state in the
+//! producer. Metric names are per-stage prefixed: a plain producer uses
+//! `stage.` (`staging.`), additional pipelines in the same context get
+//! `stage.p<n>.`, and the shards of a group get `stage.s<shard>.` — all
+//! shards share one registry, so scraping the group's base endpoint
+//! observes every shard.
+//!
+//! | metric | kind | unit | meaning |
+//! |---|---|---|---|
+//! | `stage.[s<N>.]feeder_fetch_ns` | histogram | ns | fetch + collate of one batch from the loader (incl. producer map / flex fusing) |
+//! | `stage.[s<N>.]publish_ack_ns` | histogram | ns | publish → final consumer ack round-trip per batch |
+//! | `staging.[s<N>.]copy_wait_ns` | histogram | ns | backpressure wait handing an item to the H2D copy stage |
+//! | `staging.[s<N>.]h2d_ns` | histogram | ns | slab lease + H2D copy + fence per staged batch |
+//! | `consumer.wait_ns` | histogram | ns | consumer-side wait for the next batch to arrive |
+//! | `consumer.interarrival_ns` | histogram | ns | time between consecutive batches yielded to training |
+//! | `stage.[s<N>.]pin_depth` | gauge | batches | rubberband replay pin set currently held |
+//! | `staging.[s<N>.]slab_occupancy` | gauge | slabs | VRAM rotation slabs currently leased |
+//! | `staging.[s<N>.]copy_queue_depth` | gauge | items | items queued ahead of the copy stage |
+//! | `staging.[s<N>.]h2d_bytes_per_sec` | gauge | B/s | smoothed H2D copy throughput |
+//! | `producer.batches` | counter | batches | batches published (all shards) |
+//! | `producer.bytes_staged` | counter | bytes | payload bytes placed on the staging device |
+//! | `producer.replays` | counter | batches | rubberband replays sent to late joiners |
+//! | `producer.detached` | counter | consumers | consumers detached on heartbeat expiry |
+//! | `producer.ctrl_unknown` | counter | frames | unknown (future-version) control frames ignored |
+//! | `consumer.batches` / `consumer.samples` | counter | batches / samples | consumed by this context's consumers |
+//! | `consumer.acks` | counter | acks | batch acknowledgements sent back |
+//! | `staging.h2d_bytes` | counter | bytes | bytes through the H2D copy stage |
+//!
+//! See `examples/observability.rs` for the full loop — including
+//! `--serve`, which keeps a sharded GPU-staged producer alive to point
+//! `ts-top` at.
+//!
 //! ## Crate layout
 //!
 //! * [`protocol`] — pure, time-injected state machines: publish window
@@ -170,8 +220,8 @@ pub use protocol::buffer::BatchWindow;
 pub use protocol::flex::{plan_flex, FlexPlan, Segment};
 pub use protocol::heartbeat::HeartbeatMonitor;
 pub use protocol::messages::{
-    AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, WelcomeInfo,
-    HANDSHAKE_VERSION,
+    AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, StatsPayload,
+    WelcomeInfo, HANDSHAKE_VERSION, STATS_VERSION,
 };
 pub use protocol::order::ShardInterleave;
 pub use protocol::rubberband::RubberbandPolicy;
@@ -180,6 +230,7 @@ pub use runtime::consumer::{ConsumerBatch, TensorConsumer};
 pub use runtime::context::TsContext;
 pub use runtime::coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
 pub use runtime::producer::{EpochSource, ProducerStats, SampleGeometry, TensorProducer};
+pub use runtime::scrape::scrape_stats;
 pub use runtime::{ConsumerConfig, FlexibleConfig, ProducerConfig, StagingConfig, StagingMode};
 
 /// Why an attach handshake failed — the typed mismatches a

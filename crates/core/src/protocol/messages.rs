@@ -34,6 +34,13 @@ pub mod topics {
     pub fn hello(token: u64) -> Vec<u8> {
         format!("hs/{token}").into_bytes()
     }
+
+    /// Per-scrape topic ([`super::DataMsg::Stats`] replies to a
+    /// [`super::CtrlMsg::StatsRequest`], keyed by the caller's one-shot
+    /// token — same stateless pattern as the attach handshake).
+    pub fn stats(token: u64) -> Vec<u8> {
+        format!("st/{token}").into_bytes()
+    }
 }
 
 /// Version of the HELLO/WELCOME attach handshake. A consumer sends it in
@@ -42,6 +49,12 @@ pub mod topics {
 /// an old producer talking to a new consumer (or vice versa) surfaces as
 /// a typed version error on the consumer, never a silent misparse.
 pub const HANDSHAKE_VERSION: u32 = 1;
+
+/// Version of the stats-scrape exchange ([`CtrlMsg::StatsRequest`] /
+/// [`DataMsg::Stats`]). The scraper sends its version and the producer
+/// echoes its own in [`StatsPayload::version`]; like the attach
+/// handshake, the *client* decides compatibility.
+pub const STATS_VERSION: u32 = 1;
 
 /// The shared-memory arena advertisement inside a [`WelcomeInfo`]: the
 /// backing file path plus slot geometry, so a consumer process maps the
@@ -122,6 +135,25 @@ pub enum CtrlMsg {
         token: u64,
         /// The caller's [`HANDSHAKE_VERSION`].
         version: u32,
+    },
+    /// Observability scrape: "report your metrics". Stateless like
+    /// [`CtrlMsg::Hello`] — answered with a [`DataMsg::Stats`] on the
+    /// [`topics::stats`] topic of `token` from every producer wait loop;
+    /// a scraper that missed the reply retries with the same token.
+    StatsRequest {
+        /// One-shot reply-routing token chosen by the scraper.
+        token: u64,
+        /// The scraper's [`STATS_VERSION`].
+        version: u32,
+    },
+    /// A control frame whose tag this build does not know. Produced only
+    /// by [`CtrlMsg::decode`] for forward compatibility: a producer
+    /// receiving a message from a newer peer logs-and-ignores it instead
+    /// of failing with a wire error. (Truncated frames are still
+    /// rejected.)
+    Unknown {
+        /// The unrecognized tag byte.
+        tag: u8,
     },
 }
 
@@ -230,6 +262,76 @@ pub enum DataMsg {
         /// The topology self-description.
         info: WelcomeInfo,
     },
+    /// Reply to a [`CtrlMsg::StatsRequest`], published on the stats
+    /// token's topic: a wire-encoded snapshot of the producer's metrics
+    /// registry, histogram buckets included.
+    Stats {
+        /// The stats token being answered.
+        token: u64,
+        /// The metrics snapshot.
+        payload: StatsPayload,
+    },
+}
+
+/// A wire-portable snapshot of a [`ts_metrics::Registry`]: every counter,
+/// gauge and histogram, each list deterministically sorted by name.
+///
+/// Gauges travel as raw `f64` bit patterns (`gauge_bits`) so the message
+/// stays byte-exact and `Eq`; [`StatsPayload::gauges`] decodes them back.
+/// Histograms ship their sparse bucket lists, so the scraper can compute
+/// any quantile (or merge shards) without the producer pre-aggregating.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsPayload {
+    /// The producer's [`STATS_VERSION`].
+    pub version: u32,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values as `f64::to_bits`, sorted by name.
+    pub gauge_bits: Vec<(String, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, ts_metrics::HistogramSnapshot)>,
+}
+
+impl StatsPayload {
+    /// Captures `metrics` into a wire-portable payload stamped with this
+    /// build's [`STATS_VERSION`].
+    pub fn from_registry(metrics: &ts_metrics::Registry) -> Self {
+        let snap = metrics.snapshot();
+        Self {
+            version: STATS_VERSION,
+            counters: snap.counters,
+            gauge_bits: snap
+                .gauges
+                .into_iter()
+                .map(|(k, v)| (k, v.to_bits()))
+                .collect(),
+            histograms: snap.histograms,
+        }
+    }
+
+    /// Gauge values decoded back to `f64`, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.gauge_bits
+            .iter()
+            .map(|(k, bits)| (k.clone(), f64::from_bits(*bits)))
+            .collect()
+    }
+
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram snapshot by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&ts_metrics::HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -306,7 +408,8 @@ impl CtrlMsg {
             | CtrlMsg::Ack { consumer_id, .. }
             | CtrlMsg::Heartbeat { consumer_id }
             | CtrlMsg::Leave { consumer_id } => *consumer_id,
-            CtrlMsg::Hello { token, .. } => *token,
+            CtrlMsg::Hello { token, .. } | CtrlMsg::StatsRequest { token, .. } => *token,
+            CtrlMsg::Unknown { .. } => 0,
         }
     }
 
@@ -344,6 +447,17 @@ impl CtrlMsg {
                 buf.put_u64_le(*token);
                 buf.put_u32_le(*version);
             }
+            CtrlMsg::StatsRequest { token, version } => {
+                buf.put_u8(6);
+                buf.put_u64_le(*token);
+                buf.put_u32_le(*version);
+            }
+            CtrlMsg::Unknown { tag } => {
+                // Only decode produces this variant; re-encoding keeps the
+                // minimal well-formed shape (tag + zeroed u64).
+                buf.put_u8(*tag);
+                buf.put_u64_le(0);
+            }
         }
         buf.freeze()
     }
@@ -378,7 +492,19 @@ impl CtrlMsg {
                     version: buf.get_u32_le(),
                 }
             }
-            t => return Err(TsError::Wire(format!("bad ctrl tag {t}"))),
+            6 => {
+                need(buf, 4)?;
+                CtrlMsg::StatsRequest {
+                    token: consumer_id,
+                    version: buf.get_u32_le(),
+                }
+            }
+            // Forward compatibility: a well-formed frame (tag + at least
+            // the u64 id every ctrl message starts with) whose tag we do
+            // not know is surfaced as `Unknown`, never a hard error —
+            // older producers must survive newer clients. Truncated
+            // frames were already rejected by the `need(buf, 9)` above.
+            t => CtrlMsg::Unknown { tag: t },
         })
     }
 }
@@ -473,6 +599,33 @@ impl DataMsg {
                         put_bytes(&mut buf, ad.path.as_bytes());
                         buf.put_u64_le(ad.nslots);
                         buf.put_u64_le(ad.slot_size);
+                    }
+                }
+            }
+            DataMsg::Stats { token, payload } => {
+                buf.put_u8(6);
+                buf.put_u64_le(*token);
+                buf.put_u32_le(payload.version);
+                buf.put_u32_le(payload.counters.len() as u32);
+                for (name, v) in &payload.counters {
+                    put_bytes(&mut buf, name.as_bytes());
+                    buf.put_u64_le(*v);
+                }
+                buf.put_u32_le(payload.gauge_bits.len() as u32);
+                for (name, bits) in &payload.gauge_bits {
+                    put_bytes(&mut buf, name.as_bytes());
+                    buf.put_u64_le(*bits);
+                }
+                buf.put_u32_le(payload.histograms.len() as u32);
+                for (name, h) in &payload.histograms {
+                    put_bytes(&mut buf, name.as_bytes());
+                    buf.put_u64_le(h.count);
+                    buf.put_u64_le(h.sum);
+                    buf.put_u64_le(h.max);
+                    buf.put_u32_le(h.buckets.len() as u32);
+                    for &(idx, c) in &h.buckets {
+                        buf.put_u32_le(idx);
+                        buf.put_u64_le(c);
                     }
                 }
             }
@@ -609,6 +762,71 @@ impl DataMsg {
                     },
                 }
             }
+            6 => {
+                // Fixed prefix: token (8) + version (4).
+                need(buf, 12)?;
+                let token = buf.get_u64_le();
+                let version = buf.get_u32_le();
+                let get_len = |buf: &mut &[u8]| -> Result<usize> {
+                    need(buf, 4)?;
+                    let n = buf.get_u32_le() as usize;
+                    if n > 1 << 20 {
+                        return Err(TsError::Wire("implausible stats section length".into()));
+                    }
+                    Ok(n)
+                };
+                let get_name = |buf: &mut &[u8]| -> Result<String> {
+                    Ok(String::from_utf8_lossy(&get_bytes(buf)?).into_owned())
+                };
+                let n = get_len(&mut buf)?;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_name(&mut buf)?;
+                    need(buf, 8)?;
+                    counters.push((name, buf.get_u64_le()));
+                }
+                let n = get_len(&mut buf)?;
+                let mut gauge_bits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_name(&mut buf)?;
+                    need(buf, 8)?;
+                    gauge_bits.push((name, buf.get_u64_le()));
+                }
+                let n = get_len(&mut buf)?;
+                let mut histograms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_name(&mut buf)?;
+                    need(buf, 24)?;
+                    let count = buf.get_u64_le();
+                    let sum = buf.get_u64_le();
+                    let max = buf.get_u64_le();
+                    let nb = get_len(&mut buf)?;
+                    let mut buckets = Vec::with_capacity(nb);
+                    for _ in 0..nb {
+                        need(buf, 12)?;
+                        let idx = buf.get_u32_le();
+                        buckets.push((idx, buf.get_u64_le()));
+                    }
+                    histograms.push((
+                        name,
+                        ts_metrics::HistogramSnapshot {
+                            count,
+                            sum,
+                            max,
+                            buckets,
+                        },
+                    ));
+                }
+                DataMsg::Stats {
+                    token,
+                    payload: StatsPayload {
+                        version,
+                        counters,
+                        gauge_bits,
+                        histograms,
+                    },
+                }
+            }
             t => return Err(TsError::Wire(format!("bad data tag {t}"))),
         })
     }
@@ -642,11 +860,34 @@ mod tests {
                 token: 7,
                 version: HANDSHAKE_VERSION,
             },
+            CtrlMsg::StatsRequest {
+                token: 7,
+                version: STATS_VERSION,
+            },
         ];
         for m in msgs {
             assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
             assert_eq!(m.consumer_id(), 7);
         }
+    }
+
+    #[test]
+    fn unknown_ctrl_tags_decode_as_unknown_not_error() {
+        // Forward compatibility: any well-formed frame with a tag from
+        // the future decodes as `Unknown` so an older producer can
+        // log-and-ignore it instead of failing.
+        for tag in [7u8, 99, 250, 255] {
+            let mut frame = vec![tag];
+            frame.extend_from_slice(&1234u64.to_le_bytes());
+            frame.extend_from_slice(&[0xAB; 7]); // trailing future payload
+            let m = CtrlMsg::decode(&frame).unwrap();
+            assert_eq!(m, CtrlMsg::Unknown { tag });
+            assert_eq!(m.consumer_id(), 0);
+            // Re-encoding keeps a decodable well-formed shape.
+            assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+        }
+        // Truncated unknown-tag frames are still rejected.
+        assert!(CtrlMsg::decode(&[99, 0, 0, 0]).is_err());
     }
 
     #[test]
@@ -793,8 +1034,12 @@ mod tests {
     fn truncated_and_garbage_frames_rejected() {
         assert!(CtrlMsg::decode(&[]).is_err());
         assert!(CtrlMsg::decode(&[0, 1, 2]).is_err());
-        assert!(CtrlMsg::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // A well-formed frame with an unknown tag is NOT an error (see
+        // `unknown_ctrl_tags_decode_as_unknown_not_error`) — but data
+        // frames still hard-reject unknown tags (the consumer always
+        // speaks to a producer it just handshook with).
         assert!(DataMsg::decode(&[]).is_err());
+        assert!(DataMsg::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
         assert!(DataMsg::decode(&[77]).is_err());
         let good = DataMsg::EpochStart {
             epoch: 0,
@@ -813,5 +1058,73 @@ mod tests {
         assert!(!topics::hello(1).starts_with(topics::BATCH));
         assert!(!topics::hello(1).starts_with(topics::CTRL));
         assert!(!topics::hello(1).starts_with(b"cons"));
+        assert_eq!(topics::stats(42), b"st/42".to_vec());
+        assert!(!topics::stats(1).starts_with(topics::BATCH));
+        assert!(!topics::stats(1).starts_with(topics::CTRL));
+        assert!(!topics::stats(1).starts_with(b"cons"));
+        assert!(!topics::stats(1).starts_with(b"hs"));
+        assert!(!topics::hello(1).starts_with(b"st"));
+    }
+
+    #[test]
+    fn stats_round_trips_and_rejects_any_truncation() {
+        use ts_metrics::Registry;
+
+        let empty = DataMsg::Stats {
+            token: 3,
+            payload: StatsPayload {
+                version: STATS_VERSION,
+                counters: vec![],
+                gauge_bits: vec![],
+                histograms: vec![],
+            },
+        };
+
+        // A populated payload captured from a real registry, including
+        // negative/fractional gauges and multi-bucket histograms.
+        let r = Registry::new();
+        r.counter("producer.batches").add(128);
+        r.counter("consumer.acks").add(127);
+        r.gauge("staging.s0.copy_queue_depth").set(2.5);
+        r.gauge("stage.pin_depth").set(-1.0);
+        for v in [100u64, 5_000, 5_100, 2_000_000, u64::MAX / 2] {
+            r.histogram("stage.s0.feeder_fetch_ns").record(v);
+        }
+        r.histogram("consumer.wait_ns").record(42);
+        let full = DataMsg::Stats {
+            token: u64::MAX,
+            payload: StatsPayload::from_registry(&r),
+        };
+
+        for m in [empty, full] {
+            let good = m.encode();
+            assert_eq!(DataMsg::decode(&good).unwrap(), m, "{m:?}");
+            // Truncation at ANY byte is a wire error, never a misparse.
+            for cut in 1..good.len() {
+                assert!(
+                    DataMsg::decode(&good[..good.len() - cut]).is_err(),
+                    "{m:?} truncated by {cut} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_payload_accessors_decode_gauges_and_lookups() {
+        use ts_metrics::Registry;
+
+        let r = Registry::new();
+        r.counter("producer.batches").add(7);
+        r.gauge("stage.pin_depth").set(1.5);
+        r.histogram("consumer.wait_ns").record(1000);
+        let p = StatsPayload::from_registry(&r);
+        assert_eq!(p.version, STATS_VERSION);
+        assert_eq!(p.counter("producer.batches"), Some(7));
+        assert_eq!(p.counter("missing"), None);
+        assert_eq!(p.gauges(), vec![("stage.pin_depth".to_string(), 1.5)]);
+        assert_eq!(p.histogram("consumer.wait_ns").unwrap().count, 1);
+        assert!(p.histogram("missing").is_none());
+        // Sections are deterministically name-sorted (registry contract).
+        assert!(p.counters.windows(2).all(|w| w[0].0 < w[1].0));
     }
 }

@@ -124,6 +124,16 @@ pub struct TensorConsumer {
     last_error: Option<TsError>,
     batches_consumed: u64,
     samples_consumed: u64,
+    /// Pre-resolved `consumer.wait_ns` histogram: time spent inside
+    /// [`TensorConsumer::pump`] until a batch was available (how starved
+    /// the training loop is by the pipeline).
+    wait_hist: std::sync::Arc<ts_metrics::Histogram>,
+    /// Pre-resolved `consumer.interarrival_ns` histogram: time between
+    /// successive `next()` yields (the paced batch cadence the trainer
+    /// actually observes, including its own compute time).
+    interarrival_hist: std::sync::Arc<ts_metrics::Histogram>,
+    /// When the previous batch was yielded, for inter-arrival timing.
+    last_yield: Option<Instant>,
 }
 
 impl std::fmt::Debug for TensorConsumer {
@@ -205,6 +215,9 @@ impl TensorConsumer {
             last_error: None,
             batches_consumed: 0,
             samples_consumed: 0,
+            wait_hist: ctx.metrics.histogram("consumer.wait_ns"),
+            interarrival_hist: ctx.metrics.histogram("consumer.interarrival_ns"),
+            last_yield: None,
         })
     }
 
@@ -443,6 +456,7 @@ impl TensorConsumer {
     /// contract — blocking on *that* shard's socket, since nothing else
     /// may be delivered first.
     fn pump(&mut self) {
+        let wait_start = Instant::now();
         while self.queue.is_empty() && self.stopped.is_none() {
             let Some(target) = self.interleave.next_shard() else {
                 // Every shard published End: clean end of stream.
@@ -499,6 +513,11 @@ impl TensorConsumer {
                 _ => {}
             }
         }
+        if !self.queue.is_empty() {
+            // Only batch waits count: a pump that ended the stream is not
+            // a latency sample.
+            self.wait_hist.record_duration(wait_start.elapsed());
+        }
     }
 
     fn send_pending_ack(&mut self) {
@@ -537,6 +556,9 @@ impl Iterator for TensorConsumer {
         {
             // Last carved batch of this announcement: ack when finished.
             self.pending_ack = Some((batch.shard, batch.seq));
+        }
+        if let Some(prev) = self.last_yield.replace(Instant::now()) {
+            self.interarrival_hist.record_duration(prev.elapsed());
         }
         self.batches_consumed += 1;
         self.samples_consumed += batch.batch_size() as u64;

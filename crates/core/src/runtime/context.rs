@@ -33,9 +33,15 @@ pub struct TsContext {
     pub registry: SharedRegistry,
     /// Device topology, memory and traffic books.
     pub devices: Arc<DeviceCtx>,
-    /// Shared counters: `producer.batches`, `producer.replays`,
-    /// `producer.bytes_staged`, `producer.detached`, `consumer.batches`,
-    /// `consumer.samples`, `consumer.acks`.
+    /// Shared metrics registry: counters (`producer.batches`,
+    /// `producer.replays`, `producer.bytes_staged`, `producer.detached`,
+    /// `producer.ctrl_unknown`, `consumer.batches`, `consumer.samples`,
+    /// `consumer.acks`, `staging.h2d_bytes`), per-stage latency
+    /// histograms (`stage.*_ns`, `staging.*_ns`, `consumer.*_ns`) and
+    /// gauges — see the crate-level *Observability* section for the full
+    /// reference table. Every producer answers a control-plane
+    /// [`crate::runtime::scrape::scrape_stats`] request with a snapshot
+    /// of this registry, which is what the `ts-top` CLI renders.
     pub metrics: Registry,
 }
 

@@ -6,11 +6,13 @@ pub mod consumer;
 pub mod context;
 pub mod coordinator;
 pub mod producer;
+pub mod scrape;
 pub mod staging;
 
 pub use builder::{Consumer, ConsumerBuilder, Producer, ProducerBuilder};
 pub use config::{ConsumerConfig, FlexibleConfig, ProducerConfig};
 pub use coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
+pub use scrape::scrape_stats;
 pub use staging::{StagingConfig, StagingMode};
 
 #[cfg(test)]

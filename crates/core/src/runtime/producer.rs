@@ -33,7 +33,7 @@ use crate::protocol::flex::plan_flex;
 use crate::protocol::heartbeat::HeartbeatMonitor;
 use crate::protocol::messages::{
     topics, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload,
-    JoinDecision, WelcomeInfo, HANDSHAKE_VERSION,
+    JoinDecision, StatsPayload, WelcomeInfo, HANDSHAKE_VERSION,
 };
 use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
 use crate::runtime::config::{ProducerConfig, ProducerMap};
@@ -47,8 +47,43 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use ts_data::{Batch, DataLoader};
+use ts_metrics::{Gauge, Histogram};
 use ts_socket::{Multipart, PubSocket, PullSocket, RecvError};
 use ts_tensor::{collate, Tensor, TensorPayload};
+
+/// Pre-resolved per-pipeline stage instrumentation: histogram and gauge
+/// handles looked up once at spawn (same pattern as the staging engine's
+/// gauges), so hot paths record with lock-free atomics and never touch
+/// the registry. Namespaced like the staging metrics: `stage.` for the
+/// first standalone producer, `stage.p<n>.` for further standalone
+/// producers in the same context, `stage.s<shard>.` inside a sharded
+/// group.
+#[derive(Clone)]
+struct StageMetrics {
+    /// Feeder fetch+collate time per loader batch, nanoseconds.
+    feeder_fetch: Arc<Histogram>,
+    /// Publish→fully-acked round trip per batch, nanoseconds.
+    publish_ack: Arc<Histogram>,
+    /// Current rubberband pin depth (batches held for late joiners).
+    pin_depth: Arc<Gauge>,
+}
+
+impl StageMetrics {
+    fn new(metrics: &ts_metrics::Registry, shard: Option<u32>) -> Self {
+        let prefix = match shard {
+            Some(s) => format!("stage.s{s}."),
+            None => match metrics.counter("stage.pipelines").fetch_inc() {
+                0 => "stage.".to_string(),
+                n => format!("stage.p{n}."),
+            },
+        };
+        Self {
+            feeder_fetch: metrics.histogram(&format!("{prefix}feeder_fetch_ns")),
+            publish_ack: metrics.histogram(&format!("{prefix}publish_ack_ns")),
+            pin_depth: metrics.gauge(&format!("{prefix}pin_depth")),
+        }
+    }
+}
 
 /// Per-sample tensor geometry, the hint [`crate::Producer`]'s builder
 /// uses to auto-size the shared-memory arena and its recycling slot pool
@@ -310,15 +345,26 @@ fn feeder_main(
     cfg: ProducerConfig,
     item_tx: Sender<FeederMsg>,
     stop: Arc<AtomicBool>,
+    fetch_hist: Arc<Histogram>,
 ) {
     for epoch in 0..cfg.epochs {
         let mut preparer = Preparer::new(&cfg);
         let total = source.batches_per_epoch();
-        for (i, batch) in source.epoch(epoch).enumerate() {
+        let mut iter = source.epoch(epoch);
+        let mut i = 0usize;
+        loop {
+            // Time the fetch+collate of one loader batch — the
+            // "loader-bound" signal. Backpressure on the item channel is
+            // deliberately excluded: a full queue means the *publish*
+            // stage is behind, not the loader.
+            let fetch_start = Instant::now();
+            let Some(batch) = iter.next() else { break };
             if stop.load(Ordering::Relaxed) {
                 return;
             }
-            match preparer.push(batch, i + 1 == total) {
+            let pushed = preparer.push(batch, i + 1 == total);
+            fetch_hist.record_duration(fetch_start.elapsed());
+            match pushed {
                 Ok(Some(item)) => {
                     if item_tx.send(FeederMsg::Item(item)).is_err() {
                         return; // publish stage went away
@@ -330,7 +376,9 @@ fn feeder_main(
                     return;
                 }
             }
+            i += 1;
         }
+        drop(iter);
         if item_tx.send(FeederMsg::EpochDone(epoch)).is_err() {
             return;
         }
@@ -434,6 +482,7 @@ impl TensorProducer {
             .map_err(|e| TsError::Socket(e.to_string()))?;
         let stop = Arc::new(AtomicBool::new(false));
         let staging = StagingEngine::build(ctx, &cfg, coord.as_ref().map(|_| shard));
+        let stage = StageMetrics::new(&ctx.metrics, coord.as_ref().map(|_| shard));
         let state = ProducerLoop {
             ctx: ctx.clone(),
             cfg,
@@ -463,6 +512,7 @@ impl TensorProducer {
             welcome: None,
             started: Instant::now(),
             stats: ProducerStats::default(),
+            stage,
         };
         let name = match &state.coord {
             Some(_) => format!("tensorsocket-producer-s{shard}"),
@@ -522,6 +572,8 @@ struct LiveBatch {
     labels: Tensor,
     /// Fully acked, release deferred because the rubberband window is open.
     releasable: bool,
+    /// When the announcement went out, for the publish→ack round trip.
+    published_at: Instant,
 }
 
 struct ProducerLoop {
@@ -575,6 +627,8 @@ struct ProducerLoop {
     welcome: Option<WelcomeInfo>,
     started: Instant,
     stats: ProducerStats,
+    /// Pre-resolved stage histogram/gauge handles (lock-free recording).
+    stage: StageMetrics,
 }
 
 impl ProducerLoop {
@@ -690,11 +744,22 @@ impl ProducerLoop {
             }
             let mut preparer = Preparer::new(&self.cfg);
             let total = source.batches_per_epoch();
-            for (i, batch) in source.epoch(epoch).enumerate() {
+            let mut iter = source.epoch(epoch);
+            let mut i = 0usize;
+            loop {
+                // Same fetch+collate timing as the pipelined feeder:
+                // publish time is excluded, so the histogram means the
+                // same thing in both shapes.
+                let fetch_start = Instant::now();
+                let Some(batch) = iter.next() else { break };
                 if self.stop.load(Ordering::Relaxed) {
                     return;
                 }
-                match preparer.push(batch, i + 1 == total) {
+                let pushed = preparer.push(batch, i + 1 == total);
+                self.stage
+                    .feeder_fetch
+                    .record_duration(fetch_start.elapsed());
+                match pushed {
                     Ok(Some(item)) => {
                         if !self.publish_prepared(item, policy) {
                             return;
@@ -703,7 +768,9 @@ impl ProducerLoop {
                     Ok(None) => {}
                     Err(()) => return, // collation failed: stop producing
                 }
+                i += 1;
             }
+            drop(iter);
             self.stats.epochs_completed += 1;
         }
     }
@@ -720,9 +787,10 @@ impl ProducerLoop {
         let (item_tx, item_rx) = channel::bounded::<FeederMsg>(depth);
         let feeder_cfg = self.cfg.clone();
         let feeder_stop = self.stop.clone();
+        let feeder_hist = self.stage.feeder_fetch.clone();
         let feeder = std::thread::Builder::new()
             .name("tensorsocket-feeder".to_string())
-            .spawn(move || feeder_main(source, feeder_cfg, item_tx, feeder_stop))
+            .spawn(move || feeder_main(source, feeder_cfg, item_tx, feeder_stop, feeder_hist))
             .expect("spawn feeder thread");
         // Overlapped staging interposes the H2D copy stage between the
         // feeder and this publish loop: items arrive here already staged,
@@ -936,6 +1004,11 @@ impl ProducerLoop {
     }
 
     fn on_fully_acked(&mut self, seq: u64) {
+        if let Some(b) = self.live.get(&seq) {
+            self.stage
+                .publish_ack
+                .record_duration(b.published_at.elapsed());
+        }
         if self.pinned.contains(&seq) {
             if let Some(b) = self.live.get_mut(&seq) {
                 b.releasable = true; // defer: rubberband window still open
@@ -952,6 +1025,7 @@ impl ProducerLoop {
 
     fn close_join_window(&mut self) {
         let pinned = std::mem::take(&mut self.pinned);
+        self.stage.pin_depth.set(0.0);
         for seq in pinned {
             let releasable = self.live.get(&seq).map(|b| b.releasable).unwrap_or(false);
             if releasable {
@@ -1009,6 +1083,7 @@ impl ProducerLoop {
                 fields,
                 labels,
                 releasable: false,
+                published_at: Instant::now(),
             },
         );
         self.acks.published(seq, self.consumers.keys().copied());
@@ -1055,6 +1130,7 @@ impl ProducerLoop {
         } else {
             self.close_join_window();
         }
+        self.stage.pin_depth.set(self.pinned.len() as f64);
         self.stats.batches_published += 1;
         self.ctx.metrics.counter("producer.batches").inc();
         true
@@ -1278,6 +1354,35 @@ impl ProducerLoop {
             }
             return;
         }
+        // Stats scrapes follow the same stateless pattern: snapshot the
+        // registry, answer on the caller's one-shot topic, done. Every
+        // wait loop funnels through here, so a producer is scrapeable in
+        // any state — mid-epoch, at an epoch barrier, or draining acks.
+        if let CtrlMsg::StatsRequest { token, .. } = ctrl {
+            let reply = DataMsg::Stats {
+                token,
+                payload: StatsPayload::from_registry(&self.ctx.metrics),
+            };
+            let _ = self
+                .publisher
+                .send(&topics::stats(token), Multipart::single(reply.encode()));
+            return;
+        }
+        // Forward compatibility: a well-formed frame with a tag from a
+        // newer peer is ignored (logged once), never an error and never a
+        // phantom consumer in the heartbeat monitor.
+        if let CtrlMsg::Unknown { tag } = ctrl {
+            if self
+                .ctx
+                .metrics
+                .counter("producer.ctrl_unknown")
+                .fetch_inc()
+                == 0
+            {
+                eprintln!("tensorsocket: ignoring unknown ctrl tag {tag} (newer peer?)");
+            }
+            return;
+        }
         let now = self.now_ns();
         self.hb.beat(ctrl.consumer_id(), now);
         match ctrl {
@@ -1301,7 +1406,9 @@ impl ProducerLoop {
             CtrlMsg::Leave { consumer_id } => {
                 self.remove_consumer(consumer_id, false);
             }
-            CtrlMsg::Hello { .. } => unreachable!("answered before heartbeat tracking"),
+            CtrlMsg::Hello { .. } | CtrlMsg::StatsRequest { .. } | CtrlMsg::Unknown { .. } => {
+                unreachable!("answered before heartbeat tracking")
+            }
         }
     }
 
@@ -1475,5 +1582,6 @@ impl ProducerLoop {
             self.release(seq);
         }
         self.pinned.clear();
+        self.stage.pin_depth.set(0.0);
     }
 }

@@ -1,0 +1,75 @@
+//! Control-plane stats scrape client.
+//!
+//! The observability counterpart of the attach handshake: where HELLO
+//! asks a producer "describe yourself", [`scrape_stats`] asks "report
+//! your metrics". Same stateless pattern on the same channels — a
+//! [`crate::protocol::messages::CtrlMsg::StatsRequest`] is pushed to the
+//! base control endpoint and the producer answers with a
+//! [`crate::protocol::messages::DataMsg::Stats`] on the one-shot reply
+//! topic, from whatever wait loop it happens to be in (mid-epoch, at an
+//! epoch barrier, or draining final acks). The request is re-sent every
+//! poll round, so replies lost to subscription propagation on remote
+//! transports are simply answered again.
+//!
+//! The scraped [`StatsPayload`] carries the producer context's *entire*
+//! metrics registry — counters, gauges and the per-stage latency
+//! histograms with their full bucket lists — deterministically sorted by
+//! name. All shards of a group share one registry (per-shard metrics are
+//! name-spaced, e.g. `stage.s1.publish_ack_ns`), so scraping the base
+//! endpoint observes the whole group. This is what the `ts-top` CLI and
+//! the counter-coherence tests consume; it needs no consumer attach, no
+//! join, and leaves no trace in the producer's consumer state.
+
+use crate::protocol::messages::{topics, CtrlMsg, DataMsg, StatsPayload, STATS_VERSION};
+use crate::runtime::consumer::rand_id;
+use crate::runtime::context::TsContext;
+use crate::{Result, TsError};
+use std::time::{Duration, Instant};
+use ts_socket::{EndpointMap, Multipart, PushSocket, RecvError, SubSocket};
+
+/// Scrapes the metrics registry of the producer listening on `endpoint`
+/// (the same base URI consumers attach to, over any transport).
+///
+/// Returns within `timeout` or fails with [`TsError::Timeout`] — a
+/// producer that already published `End` and shut down no longer
+/// answers. The producer keeps serving batches while answering; a scrape
+/// is a read-only snapshot, never an attach.
+pub fn scrape_stats(ctx: &TsContext, endpoint: &str, timeout: Duration) -> Result<StatsPayload> {
+    let map = EndpointMap::new(endpoint, 1);
+    let token = rand_id();
+    let sub = SubSocket::connect(&ctx.sockets, &map.data(0));
+    sub.subscribe(&topics::stats(token));
+    let push = PushSocket::connect(&ctx.sockets, &map.ctrl(0));
+    let request = CtrlMsg::StatsRequest {
+        token,
+        version: STATS_VERSION,
+    }
+    .encode();
+    let deadline = Instant::now() + timeout;
+    loop {
+        // A send failure only means the producer is not reachable *yet*
+        // (bind/connect order is free on every transport): keep retrying
+        // until the deadline.
+        let _ = push.send(Multipart::single(request.clone()));
+        match sub.recv_timeout(Duration::from_millis(50)) {
+            Ok((_, msg)) => {
+                if let Some(frame) = msg.frames().first() {
+                    if let Ok(DataMsg::Stats { token: t, payload }) = DataMsg::decode(frame) {
+                        if t == token {
+                            return Ok(payload);
+                        }
+                    }
+                }
+            }
+            Err(RecvError::Timeout) => {}
+            Err(RecvError::Closed) => {
+                return Err(TsError::Socket(
+                    "producer disconnected during stats scrape".into(),
+                ))
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(TsError::Timeout("stats snapshot"));
+        }
+    }
+}

@@ -30,10 +30,13 @@
 //! counter `staging.h2d_bytes` (aggregated across engines), gauges
 //! `staging.slab_occupancy` (slabs in use), `staging.copy_queue_depth`
 //! (staged batches waiting for the publish loop) and
-//! `staging.h2d_bytes_per_sec` (average copy throughput). Gauges are
-//! per-engine: a shard of a [`crate::ShardedProducerGroup`] reports them
-//! as `staging.s<shard>.<name>` so concurrent shards never clobber each
-//! other.
+//! `staging.h2d_bytes_per_sec` (average copy throughput), plus two
+//! latency histograms: `staging.h2d_ns` (slab lease + H2D copy + fence
+//! per batch) and `staging.copy_wait_ns` (how long a staged batch waited
+//! in the overlapped hand-off queue for the publish loop). Gauges and
+//! histograms are per-engine: a shard of a
+//! [`crate::ShardedProducerGroup`] reports them as `staging.s<shard>.
+//! <name>` so concurrent shards never clobber each other.
 
 use crate::runtime::config::ProducerConfig;
 use crate::runtime::context::TsContext;
@@ -172,6 +175,11 @@ pub(crate) struct StagingEngine {
     /// Pre-resolved `staging.h2d_bytes` counter (shared across engines —
     /// it aggregates, unlike the per-shard gauges).
     h2d_counter: std::sync::Arc<ts_metrics::Counter>,
+    /// Per-engine H2D copy time per batch (lease + copy + fence), ns.
+    h2d_hist: std::sync::Arc<ts_metrics::Histogram>,
+    /// Per-engine time a staged batch waited in the overlapped hand-off
+    /// queue for the publish loop to take it, ns.
+    copy_wait_hist: std::sync::Arc<ts_metrics::Histogram>,
     h2d_bytes: AtomicU64,
     /// Clock base of `h2d_bytes_per_sec`: the first copy, NOT engine
     /// construction — a producer can idle a long time waiting for its
@@ -248,6 +256,8 @@ impl StagingEngine {
             queue_gauge: ctx.metrics.gauge(&format!("{prefix}copy_queue_depth")),
             rate_gauge: ctx.metrics.gauge(&format!("{prefix}h2d_bytes_per_sec")),
             h2d_counter: ctx.metrics.counter("staging.h2d_bytes"),
+            h2d_hist: ctx.metrics.histogram(&format!("{prefix}h2d_ns")),
+            copy_wait_hist: ctx.metrics.histogram(&format!("{prefix}copy_wait_ns")),
             h2d_bytes: AtomicU64::new(0),
             first_copy: std::sync::OnceLock::new(),
         }))
@@ -351,6 +361,7 @@ impl StagingEngine {
     /// the item carries device tensors, `staged = true` and the bytes
     /// copied; gauges and counters are updated.
     pub(crate) fn stage_item(&self, item: PreparedItem) -> Result<PreparedItem, StagingError> {
+        let copy_start = Instant::now();
         let pool = self.pool_for(&item);
         let mut staged_bytes = 0u64;
         let mut fields = Vec::with_capacity(item.fields.len());
@@ -374,6 +385,7 @@ impl StagingEngine {
         if elapsed > 0.0 {
             self.rate_gauge.set(total as f64 / elapsed);
         }
+        self.h2d_hist.record_duration(copy_start.elapsed());
         Ok(PreparedItem {
             staged: true,
             staged_bytes,
@@ -427,8 +439,16 @@ impl StagingEngine {
                 }
                 other => other,
             };
+            // Time a staged batch's wait in the hand-off queue: how long
+            // the publish loop made it sit (publish-bound signal), only
+            // meaningful for items, not epoch markers.
+            let is_item = matches!(forward, FeederMsg::Item(_));
+            let wait_start = Instant::now();
             if tx.send(forward).is_err() {
                 return; // publish stage went away
+            }
+            if is_item {
+                self.copy_wait_hist.record_duration(wait_start.elapsed());
             }
             queue_gauge.set(tx.len() as f64);
         }

@@ -9,6 +9,8 @@
 //!
 //! * [`Counter`] — monotonically increasing event/byte counters,
 //! * [`Gauge`] — instantaneous values (e.g. VRAM in use),
+//! * [`Histogram`] — lock-free log-bucketed latency distributions with
+//!   `p50/p99/p999/max`, mergeable snapshots, ~1.6% bucketing error,
 //! * [`TimeWeighted`] — time-weighted integrals of piecewise-constant
 //!   signals, used for utilization percentages exactly the way `top`/`dcgm`
 //!   average a busy fraction over a window,
@@ -18,13 +20,15 @@
 //! * [`table`] — plain-text table rendering used by the experiment harness
 //!   to print paper-style rows.
 
+pub mod histogram;
 pub mod registry;
 pub mod series;
 pub mod stats;
 pub mod table;
 pub mod timeweighted;
 
-pub use registry::Registry;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Registry, RegistrySnapshot};
 pub use series::TimeSeries;
 pub use stats::{mean, percentile, stddev};
 pub use table::Table;

@@ -1,15 +1,24 @@
-//! A named registry of counters and gauges.
+//! A named registry of counters, gauges and histograms.
 //!
 //! The threaded runtime and data loader register their counters here so
 //! tests and examples can inspect them by name without plumbing references
 //! through every layer.
+//!
+//! All snapshot methods are **deterministically name-sorted** (backed by a
+//! `BTreeMap`): two scrapes of the same registry list the same metrics in
+//! the same order, so snapshots diff cleanly across scrapes and tests.
 
+use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::{Counter, Gauge};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// A shared, named collection of [`Counter`]s and [`Gauge`]s.
+/// A shared, named collection of [`Counter`]s, [`Gauge`]s and
+/// [`Histogram`]s.
+///
+/// The registry lock is taken only on registration and snapshotting; hot
+/// paths hold pre-resolved `Arc` handles and never touch the registry.
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
     inner: Arc<Mutex<Inner>>,
@@ -19,6 +28,20 @@ pub struct Registry {
 struct Inner {
     counters: BTreeMap<String, Arc<Counter>>,
     gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A point-in-time capture of every metric in a [`Registry`], each list
+/// sorted by name. This is the unit shipped over the wire by the
+/// control-plane stats scrape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 impl Registry {
@@ -47,7 +70,19 @@ impl Registry {
             .clone()
     }
 
-    /// Snapshot of all counter values, sorted by name.
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use. Hold the returned `Arc` and call [`Histogram::record`] on it
+    /// directly from hot paths — recording is lock-free.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Snapshot of all counter values, deterministically sorted by name.
     pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
         let inner = self.inner.lock();
         inner
@@ -57,7 +92,7 @@ impl Registry {
             .collect()
     }
 
-    /// Snapshot of all gauge values, sorted by name.
+    /// Snapshot of all gauge values, deterministically sorted by name.
     pub fn gauge_snapshot(&self) -> Vec<(String, f64)> {
         let inner = self.inner.lock();
         inner
@@ -65,6 +100,25 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect()
+    }
+
+    /// Snapshot of all histograms, deterministically sorted by name.
+    pub fn histogram_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        let inner = self.inner.lock();
+        inner
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Captures every metric at once, each list sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counter_snapshot(),
+            gauges: self.gauge_snapshot(),
+            histograms: self.histogram_snapshot(),
+        }
     }
 }
 
@@ -88,6 +142,40 @@ mod tests {
         let snap = r.counter_snapshot();
         assert_eq!(snap[0].0, "a");
         assert_eq!(snap[1].0, "z");
+    }
+
+    #[test]
+    fn histogram_is_shared_by_name() {
+        let r = Registry::new();
+        r.histogram("lat").record(10);
+        r.histogram("lat").record(20);
+        assert_eq!(r.histogram("lat").snapshot().count, 2);
+    }
+
+    #[test]
+    fn snapshots_deterministically_sorted_regardless_of_insertion_order() {
+        let r = Registry::new();
+        for name in ["m.z", "m.a", "m.k", "a.z"] {
+            r.counter(name).inc();
+            r.gauge(name).set(1.0);
+            r.histogram(name).record(1);
+        }
+        let snap = r.snapshot();
+        let names = |v: Vec<String>| v;
+        let c: Vec<String> = snap.counters.iter().map(|(k, _)| k.clone()).collect();
+        let g: Vec<String> = snap.gauges.iter().map(|(k, _)| k.clone()).collect();
+        let h: Vec<String> = snap.histograms.iter().map(|(k, _)| k.clone()).collect();
+        let sorted = vec![
+            "a.z".to_string(),
+            "m.a".to_string(),
+            "m.k".to_string(),
+            "m.z".to_string(),
+        ];
+        assert_eq!(names(c), sorted);
+        assert_eq!(names(g), sorted);
+        assert_eq!(names(h), sorted);
+        // Two scrapes of the same registry are identical.
+        assert_eq!(r.snapshot(), snap);
     }
 
     #[test]

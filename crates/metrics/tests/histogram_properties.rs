@@ -1,0 +1,99 @@
+//! Property tests for the lock-free log-bucketed histogram.
+
+use proptest::prelude::*;
+use ts_metrics::Histogram;
+
+/// Exact quantile with the same rank rule the histogram uses: the value
+/// at rank `ceil(q * n)` (1-based) of the sorted data.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Estimated quantiles land within the bucketing error of the exact
+    /// rank-based quantile (one sub-bucket, ~1.6%, plus a unit of slack
+    /// for tiny values).
+    #[test]
+    fn quantile_within_bucket_error(
+        values in prop::collection::vec(1u64..1_000_000_000_000, 1..400),
+        q in 0.01f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let est = h.snapshot().quantile(q);
+        let tolerance = exact / 16 + 1;
+        prop_assert!(
+            est.abs_diff(exact) <= tolerance,
+            "q={q} est={est} exact={exact} tolerance={tolerance}"
+        );
+    }
+
+    /// Quantiles are monotone in q, bounded by max, and count/sum/max are
+    /// exact.
+    #[test]
+    fn quantiles_monotone_and_totals_exact(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        let p50 = s.p50();
+        let p99 = s.p99();
+        let p999 = s.p999();
+        prop_assert!(p50 <= p99, "p50={p50} p99={p99}");
+        prop_assert!(p99 <= p999, "p99={p99} p999={p999}");
+        prop_assert!(p999 <= s.max, "p999={p999} max={}", s.max);
+        prop_assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    /// Merging the snapshots of two histograms is indistinguishable from
+    /// recording both value sets into one histogram.
+    #[test]
+    fn merge_equals_combined_recording(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let combined = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            combined.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(merged, combined.snapshot());
+    }
+
+    /// Snapshot bucket lists are sparse (non-empty counts only) and
+    /// strictly ascending by index — the wire-format invariant.
+    #[test]
+    fn snapshot_buckets_sparse_and_sorted(
+        values in prop::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert!(s.buckets.iter().all(|&(_, c)| c > 0));
+        prop_assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        prop_assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), s.count);
+    }
+}

@@ -133,6 +133,24 @@
 //! `staging.h2d_bytes`, gauges `staging.slab_occupancy`,
 //! `staging.copy_queue_depth` and `staging.h2d_bytes_per_sec`. The third
 //! act below runs a GPU-staged epoch and prints them.
+//!
+//! # Observability
+//!
+//! Every stage also records latency histograms (`stage.feeder_fetch_ns`,
+//! `stage.publish_ack_ns`, `staging.h2d_ns`, `consumer.wait_ns`, … — see
+//! the *Observability* section of the `tensorsocket` crate docs for the
+//! full metric table with units) into the same registry, and any running
+//! producer answers a stateless control-plane scrape with a snapshot of
+//! all of it — no consumer attach needed. `tensorsocket::scrape_stats`
+//! is the API; the `ts-top` binary is the CLI over it:
+//!
+//! ```text
+//! ts-top ipc:///tmp/ts.sock            # live per-stage latency table
+//! ts-top --json ipc:///tmp/ts.sock     # one-shot snapshot for scripts
+//! ```
+//!
+//! The fourth act below scrapes a producer mid-training and prints the
+//! publish→ack quantiles; `examples/observability.rs` is the full tour.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -332,4 +350,85 @@ fn main() {
     assert_eq!(book.in_use(), 0, "slab rotation fully drained");
     assert!(ctx.registry.is_empty(), "staged memory fully released");
     println!("ok: staged epoch shared device-resident batches with zero steady-state allocations");
+
+    // ---- act four: scrape a live producer, ts-top style ----
+    // A consumer trains halfway through the stream and pauses; the
+    // producer keeps serving control traffic, so a stats scrape — the
+    // same stateless request ts-top sends — reads every stage histogram
+    // mid-flight. (Over ipc:// or tcp:// this works from another
+    // process; inproc:// keeps the example self-contained.)
+    let ctx = TsContext::host_only();
+    let dataset = Arc::new(SyntheticImageDataset::new(1_024, 64, 64, 7).with_encoded_len(4_096));
+    let loader = DataLoader::new(
+        dataset,
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 2,
+            shuffle: true,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint("inproc://tensorsocket-observed")
+        .epochs(2)
+        .spawn(loader)
+        .expect("spawn observed producer");
+    let (paused_tx, paused_rx) = std::sync::mpsc::channel();
+    let (resume_tx, resume_rx) = std::sync::mpsc::channel::<()>();
+    let trainer = {
+        let ctx = ctx.clone();
+        std::thread::spawn(move || {
+            let mut consumer = Consumer::builder()
+                .context(&ctx)
+                .connect("inproc://tensorsocket-observed")
+                .expect("connect observed consumer");
+            let mut consumed = 0u64;
+            for batch in consumer.by_ref() {
+                batch.expect("clean stream");
+                consumed += 1;
+                if consumed == 32 {
+                    paused_tx.send(()).unwrap(); // snapshot point
+                    resume_rx.recv().unwrap();
+                }
+            }
+            consumed
+        })
+    };
+    paused_rx
+        .recv()
+        .expect("trainer reached the snapshot point");
+    let stats = tensorsocket::scrape_stats(
+        &ctx,
+        "inproc://tensorsocket-observed",
+        std::time::Duration::from_secs(10),
+    )
+    .expect("scrape live producer");
+    println!(
+        "[observed] scraped {} histograms / {} counters (stats v{}) from the live producer:",
+        stats.histograms.len(),
+        stats.counters.len(),
+        stats.version,
+    );
+    for name in [
+        "stage.feeder_fetch_ns",
+        "stage.publish_ack_ns",
+        "consumer.wait_ns",
+    ] {
+        let h = stats.histogram(name).expect("stage histogram present");
+        println!(
+            "[observed] {name}: n={} p50={}us p99={}us max={}us",
+            h.count,
+            h.p50() / 1_000,
+            h.p99() / 1_000,
+            h.max / 1_000,
+        );
+        assert!(h.count > 0 && h.p50() > 0, "{name} must be warm");
+    }
+    resume_tx.send(()).unwrap();
+    let consumed = trainer.join().expect("trainer");
+    let stats = producer.join().expect("observed producer");
+    assert_eq!(consumed, stats.batches_published);
+    println!("ok: live scrape read every stage histogram without attaching a consumer");
 }

@@ -1,0 +1,230 @@
+//! `ts-top` — live observability for a running TensorSocket producer.
+//!
+//! Attaches to a producer's base endpoint (the same URI consumers
+//! connect to, over `inproc://` is meaningless here but `ipc://` and
+//! `tcp://` both work), scrapes the control-plane stats snapshot
+//! periodically, and renders the per-stage latency histograms, counters
+//! and gauges as a live terminal table. With `--json` it performs a
+//! single scrape and prints the snapshot as JSON, for scripting and CI.
+//!
+//! ```text
+//! ts-top [--json] [--interval <ms>] [--frames <n>] [--timeout <ms>] <endpoint>
+//! ```
+//!
+//! The scrape is read-only: it never attaches as a consumer, never
+//! joins, and leaves no state in the producer.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+use tensorsocket::{scrape_stats, StatsPayload, TsContext};
+use ts_metrics::{HistogramSnapshot, Table};
+
+struct Args {
+    endpoint: String,
+    json: bool,
+    interval: Duration,
+    frames: Option<u64>,
+    timeout: Duration,
+}
+
+const USAGE: &str =
+    "usage: ts-top [--json] [--interval <ms>] [--frames <n>] [--timeout <ms>] <endpoint>\n\
+     \n\
+     Scrapes the metrics registry of the TensorSocket producer listening on\n\
+     <endpoint> (e.g. ipc:///tmp/ts.sock or tcp://127.0.0.1:5555) and renders\n\
+     a live stage-latency table. --json scrapes once and prints JSON.\n\
+     \n\
+       --json            one-shot scrape, JSON on stdout\n\
+       --interval <ms>   refresh period in live mode (default 1000)\n\
+       --frames <n>      exit after n refreshes (default: run until ^C)\n\
+       --timeout <ms>    per-scrape timeout (default 5000)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut endpoint = None;
+    let mut json = false;
+    let mut interval = Duration::from_millis(1000);
+    let mut frames = None;
+    let mut timeout = Duration::from_millis(5000);
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--interval" | "--frames" | "--timeout" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("{arg} expects an integer, got {v:?}"))?;
+                match arg.as_str() {
+                    "--interval" => interval = Duration::from_millis(n.max(1)),
+                    "--frames" => frames = Some(n),
+                    _ => timeout = Duration::from_millis(n.max(1)),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => {
+                if endpoint.replace(other.to_string()).is_some() {
+                    return Err("more than one endpoint given".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        endpoint: endpoint.ok_or("missing <endpoint>")?,
+        json,
+        interval,
+        frames,
+        timeout,
+    })
+}
+
+fn us(ns: u64) -> String {
+    ts_metrics::table::fmt_num(ns as f64 / 1000.0)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the snapshot as a single JSON object. Hand-rolled (the
+/// workspace is dependency-free); quantiles are pre-computed so
+/// consumers of the JSON need no knowledge of the bucket layout.
+fn to_json(stats: &StatsPayload) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"stats_version\": {},", stats.version);
+    out.push_str("  \"counters\": {");
+    for (i, (name, v)) in stats.counters.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(out, "{sep}    \"{}\": {v}", json_escape(name));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, v)) in stats.gauges().iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(out, "{sep}    \"{}\": {}", json_escape(name), json_f64(*v));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, h)) in stats.histograms.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    \"{}\": {{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}",
+            json_escape(name),
+            h.count,
+            json_f64(h.mean()),
+            h.p50(),
+            h.p99(),
+            h.p999(),
+            h.max,
+        );
+    }
+    out.push_str("\n  }\n}");
+    out
+}
+
+fn render_tables(endpoint: &str, stats: &StatsPayload) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ts-top — {endpoint} (stats v{})\n", stats.version);
+    let mut lat = Table::new(
+        "Stage latency (us)",
+        &["stage", "count", "p50", "p99", "p99.9", "max", "mean"],
+    );
+    for (name, h) in &stats.histograms {
+        let h: &HistogramSnapshot = h;
+        lat.row(&[
+            name.clone(),
+            h.count.to_string(),
+            us(h.p50()),
+            us(h.p99()),
+            us(h.p999()),
+            us(h.max),
+            ts_metrics::table::fmt_num(h.mean() / 1000.0),
+        ]);
+    }
+    out.push_str(&lat.render());
+    out.push('\n');
+    let mut counters = Table::new("Counters", &["counter", "value"]);
+    for (name, v) in &stats.counters {
+        counters.row(&[name.clone(), v.to_string()]);
+    }
+    out.push_str(&counters.render());
+    out.push('\n');
+    let gauges_list = stats.gauges();
+    if !gauges_list.is_empty() {
+        let mut gauges = Table::new("Gauges", &["gauge", "value"]);
+        for (name, v) in &gauges_list {
+            gauges.row(&[name.clone(), ts_metrics::table::fmt_num(*v)]);
+        }
+        out.push_str(&gauges.render());
+    }
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ts-top: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let ctx = TsContext::host_only();
+    if args.json {
+        match scrape_stats(&ctx, &args.endpoint, args.timeout) {
+            Ok(stats) => println!("{}", to_json(&stats)),
+            Err(e) => {
+                eprintln!("ts-top: scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut frame = 0u64;
+    loop {
+        match scrape_stats(&ctx, &args.endpoint, args.timeout) {
+            Ok(stats) => {
+                // Clear screen + home, like top(1).
+                print!("\x1b[2J\x1b[H{}", render_tables(&args.endpoint, &stats));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("ts-top: scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        frame += 1;
+        if let Some(max) = args.frames {
+            if frame >= max {
+                return;
+            }
+        }
+        std::thread::sleep(args.interval);
+    }
+}

@@ -18,6 +18,11 @@
 //! * [`ts_baselines`] — NonShared / CoorDL-like / Joader-like comparators
 //! * [`ts_cloud`] — cloud instance catalog and cost planner
 //! * [`ts_experiments`] — the per-figure/per-table evaluation harness
+//!
+//! The workspace also ships `ts-top` (`src/bin/ts-top.rs`): a live
+//! observability CLI that scrapes a running producer's per-stage latency
+//! histograms over the control plane — see the *Observability* section
+//! of the [`tensorsocket`] crate docs.
 
 pub use tensorsocket;
 pub use ts_baselines;

@@ -1,0 +1,380 @@
+//! Live observability over real sockets: the control-plane stats scrape
+//! against running producers.
+//!
+//! Everything here goes through the wire path `ts-top` uses —
+//! [`tensorsocket::scrape_stats`] from a *separate* [`TsContext`] (its
+//! own sockets, its own registry), over `ipc://`, against a producer
+//! mid-stream — so these tests prove the scrape is genuinely
+//! out-of-band: no consumer attach, no join, no shared process state.
+//!
+//! Covered acceptance criteria:
+//!
+//! * a sharded producer reports per-shard stage histograms
+//!   (`stage.s<N>.feeder_fetch_ns`, `stage.s<N>.publish_ack_ns`) with
+//!   non-zero quantiles, plus the consumer-side wait histogram, all in
+//!   one deterministically-sorted snapshot;
+//! * counters cohere across the pipeline: with a single consumer,
+//!   `producer.batches == consumer.batches` and `consumer.acks` trails
+//!   by exactly the one batch still being "trained on";
+//! * a producer that receives a control frame with an unknown
+//!   (future-version) tag ignores it and keeps serving — the stream
+//!   still ends cleanly and `producer.ctrl_unknown` records the event;
+//! * on a GPU producer the staging stage histograms
+//!   (`staging.h2d_ns`, `staging.copy_wait_ns`) flow through the same
+//!   scrape.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tensorsocket::{scrape_stats, Consumer, Producer, StatsPayload, TsContext, STATS_VERSION};
+use ts_data::{DataLoader, DataLoaderConfig, Dataset, DecodedSample, RawSample};
+use ts_device::DeviceId;
+use ts_tensor::Tensor;
+
+struct IndexDataset {
+    len: usize,
+}
+
+impl Dataset for IndexDataset {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, index: usize) -> ts_data::Result<RawSample> {
+        Ok(RawSample {
+            index,
+            bytes: bytes::Bytes::from(vec![index as u8; 4]),
+            label: index as i64,
+        })
+    }
+
+    fn encoded_sample_bytes(&self) -> usize {
+        4
+    }
+
+    fn decode(&self, raw: &RawSample) -> ts_data::Result<DecodedSample> {
+        let field = Tensor::from_f32(&[raw.index as f32], &[1], DeviceId::Cpu)?;
+        Ok(DecodedSample {
+            index: raw.index,
+            fields: vec![field],
+            label: raw.label,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "observability-index"
+    }
+}
+
+fn loader(samples: usize, batch: usize, workers: usize) -> DataLoader {
+    DataLoader::new(
+        Arc::new(IndexDataset { len: samples }),
+        DataLoaderConfig {
+            batch_size: batch,
+            num_workers: workers,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+    )
+}
+
+fn ipc_endpoint(tag: &str) -> String {
+    format!(
+        "ipc://{}",
+        std::env::temp_dir()
+            .join(format!("ts-obs-{tag}-{}.sock", std::process::id()))
+            .display()
+    )
+}
+
+/// Scrapes `endpoint` from a scrape-only context until `ready` accepts a
+/// snapshot (counters settle as the pipeline warms up) or panics with
+/// the last snapshot after `deadline`.
+fn scrape_until(
+    scrape_ctx: &TsContext,
+    endpoint: &str,
+    deadline: Duration,
+    ready: impl Fn(&StatsPayload) -> bool,
+) -> StatsPayload {
+    let end = Instant::now() + deadline;
+    let mut last: Option<StatsPayload> = None;
+    loop {
+        let stats =
+            scrape_stats(scrape_ctx, endpoint, Duration::from_secs(5)).expect("scrape failed");
+        if ready(&stats) {
+            return stats;
+        }
+        if Instant::now() > end {
+            panic!("scrape never satisfied the readiness predicate; last: {last:#?}");
+        }
+        last = Some(stats);
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn hist_warm(stats: &StatsPayload, name: &str) -> bool {
+    stats.histogram(name).is_some_and(|h| h.count > 0)
+}
+
+/// Asserts a scraped histogram has plausible non-zero quantiles.
+fn assert_hist_nonzero(stats: &StatsPayload, name: &str) {
+    let h = stats
+        .histogram(name)
+        .unwrap_or_else(|| panic!("{name} missing from snapshot"));
+    assert!(h.count > 0, "{name}: empty");
+    assert!(h.p50() > 0, "{name}: zero p50");
+    assert!(h.p99() >= h.p50(), "{name}: p99 < p50");
+    assert!(h.max >= h.p99(), "{name}: max < p99");
+    assert!(h.mean() > 0.0, "{name}: zero mean");
+}
+
+/// A consumer thread that consumes `pause_after` batches, reports in,
+/// then parks until released — leaving the producer alive mid-stream
+/// (window full / waiting on acks) with stable, scrapable metrics.
+fn paused_consumer(
+    ctx: &TsContext,
+    endpoint: &str,
+    pause_after: usize,
+) -> (
+    std::thread::JoinHandle<usize>,
+    mpsc::Receiver<()>,
+    mpsc::Sender<()>,
+) {
+    let (reached_tx, reached_rx) = mpsc::channel();
+    let (go_tx, go_rx) = mpsc::channel();
+    let ctx = ctx.clone();
+    let endpoint = endpoint.to_string();
+    let handle = std::thread::spawn(move || {
+        let mut consumer = Consumer::builder()
+            .context(&ctx)
+            .recv_timeout(Duration::from_secs(30))
+            .connect(&endpoint)
+            .expect("consumer connect");
+        let mut consumed = 0usize;
+        for batch in consumer.by_ref() {
+            batch.expect("clean stream");
+            consumed += 1;
+            if consumed == pause_after {
+                reached_tx.send(()).unwrap();
+                go_rx.recv().unwrap();
+            }
+        }
+        consumed
+    });
+    (handle, reached_rx, go_tx)
+}
+
+#[test]
+fn sharded_ipc_scrape_reports_per_shard_stage_histograms() {
+    let endpoint = ipc_endpoint("sharded");
+    let ctx = TsContext::host_only();
+    let loaders = DataLoader::sharded(
+        Arc::new(IndexDataset { len: 64 }),
+        DataLoaderConfig {
+            batch_size: 4,
+            num_workers: 2,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+        2,
+    );
+    let group = Producer::builder()
+        .context(&ctx)
+        .endpoint(&endpoint)
+        .epochs(3)
+        .heartbeat_timeout(Duration::from_secs(30))
+        .first_consumer_timeout(Some(Duration::from_secs(60)))
+        .spawn_sharded(loaders)
+        .expect("spawn sharded group");
+
+    // 3 epochs × 16 batches (8 per shard); pause halfway through.
+    let (consumer, reached, go) = paused_consumer(&ctx, &endpoint, 24);
+    reached
+        .recv_timeout(Duration::from_secs(60))
+        .expect("consumer reached the pause point");
+
+    // The scrape context shares nothing with the pipeline: the snapshot
+    // below arrived over the ipc:// socket, not through process memory.
+    let scrape_ctx = TsContext::host_only();
+    let targets = [
+        "stage.s0.feeder_fetch_ns",
+        "stage.s1.feeder_fetch_ns",
+        "stage.s0.publish_ack_ns",
+        "stage.s1.publish_ack_ns",
+        "consumer.wait_ns",
+        "consumer.interarrival_ns",
+    ];
+    let stats = scrape_until(&scrape_ctx, &endpoint, Duration::from_secs(30), |s| {
+        targets.iter().all(|t| hist_warm(s, t))
+    });
+
+    assert_eq!(stats.version, STATS_VERSION);
+    for t in targets {
+        assert_hist_nonzero(&stats, t);
+    }
+    assert!(stats.counter("producer.batches").unwrap_or(0) > 0);
+    assert!(stats.counter("consumer.batches").unwrap_or(0) >= 24);
+    let gauges = stats.gauges();
+    for g in ["stage.s0.pin_depth", "stage.s1.pin_depth"] {
+        assert!(
+            gauges.iter().any(|(name, _)| name == g),
+            "{g} missing from snapshot gauges"
+        );
+    }
+    // S1: the snapshot arrives deterministically name-sorted.
+    for pairs in [
+        stats.counters.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        stats.histograms.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+    ] {
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "snapshot not sorted");
+    }
+
+    go.send(()).unwrap();
+    let consumed = consumer.join().expect("consumer thread");
+    assert_eq!(consumed, 48, "3 epochs × 16 interleaved batches");
+    let stats = group.join_shards().expect("group join");
+    assert_eq!(stats.len(), 2);
+}
+
+#[test]
+fn scraped_counters_cohere_for_a_single_consumer() {
+    let endpoint = ipc_endpoint("cohere");
+    let ctx = TsContext::host_only();
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint(&endpoint)
+        .epochs(1)
+        .heartbeat_timeout(Duration::from_secs(30))
+        .first_consumer_timeout(Some(Duration::from_secs(60)))
+        .spawn(loader(32, 4, 0))
+        .expect("spawn producer");
+
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .recv_timeout(Duration::from_secs(30))
+        .connect(&endpoint)
+        .expect("consumer connect");
+    // Consume the whole epoch but do NOT advance past the last batch:
+    // its ack is deferred until the consumer "moves on", so the producer
+    // parks in its drain loop — alive, scrapable, counters settled.
+    for _ in 0..8 {
+        consumer.next().expect("batch").expect("clean stream");
+    }
+
+    let scrape_ctx = TsContext::host_only();
+    let stats = scrape_stats(&scrape_ctx, &endpoint, Duration::from_secs(10)).expect("scrape");
+    assert_eq!(stats.counter("producer.batches"), Some(8));
+    assert_eq!(stats.counter("consumer.batches"), Some(8));
+    assert_eq!(
+        stats.counter("producer.batches"),
+        stats.counter("consumer.batches"),
+        "single consumer must have consumed every published batch"
+    );
+    // The ack for batch 8 is still pending (the consumer is "training").
+    assert_eq!(stats.counter("consumer.acks"), Some(7));
+    assert_hist_nonzero(&stats, "stage.publish_ack_ns");
+
+    // Dropping the consumer sends the final ack; the producer finishes.
+    drop(consumer);
+    let final_stats = producer.join().expect("producer join");
+    assert_eq!(final_stats.batches_published, 8);
+}
+
+#[test]
+fn unknown_ctrl_tag_is_ignored_by_a_live_producer() {
+    let endpoint = ipc_endpoint("unknown-tag");
+    let ctx = TsContext::host_only();
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint(&endpoint)
+        .epochs(2)
+        .heartbeat_timeout(Duration::from_secs(30))
+        .first_consumer_timeout(Some(Duration::from_secs(60)))
+        .spawn(loader(32, 4, 0))
+        .expect("spawn producer");
+
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .recv_timeout(Duration::from_secs(30))
+        .connect(&endpoint)
+        .expect("consumer connect");
+
+    let mut consumed = 0usize;
+    for batch in consumer.by_ref() {
+        batch.expect("clean stream");
+        consumed += 1;
+        if consumed == 1 {
+            // A frame from a "newer" peer: valid length, unknown tag.
+            // The producer must log-and-ignore it, not kill the stream.
+            let map = ts_socket::EndpointMap::new(&endpoint, 1);
+            let push = ts_socket::PushSocket::connect(&ctx.sockets, &map.ctrl(0));
+            push.send(ts_socket::Multipart::single(bytes::Bytes::from_static(&[
+                250, 0, 0, 0, 0, 0, 0, 0, 0,
+            ])))
+            .expect("push future-tag frame");
+            // Hold the stream here (no acks flow, the producer parks on
+            // its control channel) until the frame has been seen — so
+            // the producer can't finish and exit before processing it.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while ctx.metrics.counter("producer.ctrl_unknown").get() == 0 {
+                assert!(
+                    Instant::now() < deadline,
+                    "producer never processed the unknown frame"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    assert_eq!(consumed, 16, "stream must complete despite the alien frame");
+    let stats = producer.join().expect("producer join");
+    assert_eq!(stats.batches_published, 16);
+    assert_eq!(stats.consumers_detached, 0);
+    assert!(
+        ctx.metrics.counter("producer.ctrl_unknown").get() >= 1,
+        "the ignored frame must be counted"
+    );
+}
+
+#[test]
+fn gpu_staging_histograms_flow_through_the_scrape() {
+    let endpoint = ipc_endpoint("staging");
+    let ctx = TsContext::with_gpus(1, 1 << 30, false);
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint(&endpoint)
+        .epochs(3)
+        .device(DeviceId::Gpu(0))
+        .heartbeat_timeout(Duration::from_secs(30))
+        .first_consumer_timeout(Some(Duration::from_secs(60)))
+        .spawn(loader(64, 4, 2))
+        .expect("spawn producer");
+
+    // 3 epochs × 16 batches; pause halfway.
+    let (consumer, reached, go) = paused_consumer(&ctx, &endpoint, 24);
+    reached
+        .recv_timeout(Duration::from_secs(60))
+        .expect("consumer reached the pause point");
+
+    let scrape_ctx = TsContext::host_only();
+    let targets = [
+        "staging.h2d_ns",
+        "staging.copy_wait_ns",
+        "stage.feeder_fetch_ns",
+        "stage.publish_ack_ns",
+    ];
+    let stats = scrape_until(&scrape_ctx, &endpoint, Duration::from_secs(30), |s| {
+        targets.iter().all(|t| hist_warm(s, t))
+    });
+    for t in targets {
+        assert_hist_nonzero(&stats, t);
+    }
+    assert!(stats.counter("staging.h2d_bytes").unwrap_or(0) > 0);
+
+    go.send(()).unwrap();
+    let consumed = consumer.join().expect("consumer thread");
+    assert_eq!(consumed, 48);
+    let final_stats = producer.join().expect("producer join");
+    assert_eq!(final_stats.batches_published, 48);
+}
