@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::sync::Arc;
 use std::time::Duration;
 use tensorsocket::protocol::flex::plan_flex;
-use tensorsocket::protocol::messages::{AnnounceContent, BatchAnnounce, DataMsg};
+use tensorsocket::protocol::messages::{AnnounceContent, BatchAnnounce, DataMsg, StreamedTensor};
 use ts_data::{codec, DataLoader, DataLoaderConfig, SyntheticImageDataset};
 use ts_device::DeviceId;
 use ts_sim::ps::{PsResource, Sharing};
@@ -319,6 +319,59 @@ fn bench_transport(c: &mut Criterion) {
                     .unwrap();
                 let (_, msg) = sub.recv_timeout(Duration::from_secs(5)).unwrap();
                 std::hint::black_box(msg.frames()[0].iter().map(|&b| b as u64).sum::<u64>())
+            })
+        });
+    }
+    {
+        // The v2 negotiated streamed mode: the full Streamed announce —
+        // dtype, shape and length-prefixed bytes, encoded once
+        // producer-side exactly as `encode_streamed` ships it — decoded
+        // and rebuilt into a host tensor consumer-side. Sits between the
+        // pointer and raw-bytecopy rows: it pays the byte copy plus the
+        // announce codec, but needs no arena on the consumer host.
+        let ctx = Context::new();
+        let endpoint = format!(
+            "ipc://{}",
+            std::env::temp_dir()
+                .join(format!("ts-bench-st-{}.sock", std::process::id()))
+                .display()
+        );
+        let publisher = PubSocket::bind(&ctx, &endpoint).unwrap();
+        let sub = SubSocket::connect(&ctx, &endpoint);
+        sub.subscribe(b"");
+        let labels = Tensor::zeros(&[128], DType::I64, DeviceId::Cpu);
+        let wire = DataMsg::Batch(BatchAnnounce {
+            seq: 42,
+            epoch: 1,
+            index_in_epoch: 42,
+            last_in_epoch: false,
+            content: AnnounceContent::Streamed {
+                fields: vec![StreamedTensor::from_tensor(&batch)],
+                labels: StreamedTensor::from_tensor(&labels),
+            },
+        })
+        .encode();
+        g.bench_function("payload_streamed_ipc", |b| {
+            b.iter(|| {
+                publisher
+                    .send(b"batch", Multipart::single(wire.clone()))
+                    .unwrap();
+                let (_, msg) = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+                let DataMsg::Batch(announce) = DataMsg::decode(&msg.frames()[0]).unwrap() else {
+                    unreachable!()
+                };
+                let AnnounceContent::Streamed { fields, .. } = announce.content else {
+                    unreachable!()
+                };
+                let rebuilt = fields[0].to_tensor(DeviceId::Cpu).unwrap();
+                // the consumer's "training step" reads every byte
+                std::hint::black_box(
+                    rebuilt
+                        .gather_bytes()
+                        .iter()
+                        .map(|&b| b as u64)
+                        .sum::<u64>(),
+                )
             })
         });
     }

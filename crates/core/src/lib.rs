@@ -41,14 +41,45 @@
 //! HELLO/WELCOME exchange on the control channel. The producer's WELCOME
 //! ([`WelcomeInfo`]) advertises the shard count (from which every shard's
 //! data/ctrl endpoint derives via one scheme-aware
-//! [`ts_socket::EndpointMap`]), the shared-memory arena path and slot
-//! geometry, the batch schema and the staging mode — so nothing about the
-//! topology is mirrored out of band, and nothing can be silently
-//! misconfigured. Mismatches fail fast as typed [`HandshakeError`]s
-//! (`Version`, `Topology`, `ArenaMissing`), never as hangs. The legacy
-//! `TensorProducer` / `TensorConsumer` / `ShardedProducerGroup` entry
-//! points remain as `#[deprecated]` shims over the same engine (see the
-//! migration table in `examples/quickstart.rs`).
+//! [`ts_socket::EndpointMap`], plus sparse per-shard overrides for
+//! multi-host topologies), the shared-memory arena path and slot
+//! geometry, the batch schema, the staging mode, and the payload-mode
+//! grant mask — so nothing about the topology is mirrored out of band,
+//! and nothing can be silently misconfigured. Mismatches fail fast as
+//! typed [`HandshakeError`]s (`Version`, `Topology`, `ArenaMissing`,
+//! `Mode`), never as hangs. The legacy `TensorProducer` /
+//! `TensorConsumer` / `ShardedProducerGroup` entry points remain as
+//! `#[deprecated]` shims over the same engine (see the migration table
+//! in `examples/quickstart.rs`).
+//!
+//! ## Control plane vs. data plane, and payload-mode negotiation
+//!
+//! TensorSocket splits each shard into a **control plane** (PUSH/PULL:
+//! joins, acks, heartbeats, hellos, stats scrapes) and a **data plane**
+//! (PUB/SUB: batch announcements). On the data plane, *what an
+//! announcement carries* is negotiated per consumer at attach (v2):
+//!
+//! * [`PayloadMode::Shm`] — the announce carries **pointers**
+//!   ([`ts_tensor::TensorPayload`]) into shared memory; consumers on the
+//!   producer's host map the arena and rebuild batches zero-copy. The
+//!   paper's deployment model, and the default.
+//! * [`PayloadMode::Stream`] — the announce carries the **bytes
+//!   themselves**, length-prefixed ([`StreamedTensor`]), on the
+//!   consumer's private topic. Chosen automatically when the advertised
+//!   arena cannot be opened — a consumer on *another host* over
+//!   `tcp://` — or forced via [`ConsumerBuilder::payload_mode`] /
+//!   `TS_FORCE_PAYLOAD_MODE=stream|shm`.
+//!
+//! The consumer's HELLO carries its capability bits ([`caps`]), the
+//! WELCOME answers with the producer's grant mask
+//! ([`WelcomeInfo::payload_modes`]; flexible-sizing producers grant shm
+//! only), and the chosen mode travels in the JOIN. Both modes share one
+//! sequence space, window and ack accounting, so a mixed fleet — some
+//! consumers on pointers, some on bytes — sees **bit-identical**
+//! `(epoch, shard, seq)` batch streams, and either side can detach
+//! without disturbing the other. v1 peers interoperate: a v1 consumer
+//! attaching to a v2 producer gets a byte-identical v1 WELCOME and the
+//! implied shm mode.
 //!
 //! ## Endpoint URIs and cross-process sharing
 //!
@@ -178,6 +209,7 @@
 //! | `staging.[s<N>.]h2d_ns` | histogram | ns | slab lease + H2D copy + fence per staged batch |
 //! | `consumer.wait_ns` | histogram | ns | consumer-side wait for the next batch to arrive |
 //! | `consumer.interarrival_ns` | histogram | ns | time between consecutive batches yielded to training |
+//! | `consumer.stream_rx_ns` | histogram | ns | rebuild of one batch from streamed bytes (non-shm consumers) |
 //! | `stage.[s<N>.]pin_depth` | gauge | batches | rubberband replay pin set currently held |
 //! | `staging.[s<N>.]slab_occupancy` | gauge | slabs | VRAM rotation slabs currently leased |
 //! | `staging.[s<N>.]copy_queue_depth` | gauge | items | items queued ahead of the copy stage |
@@ -187,6 +219,8 @@
 //! | `producer.replays` | counter | batches | rubberband replays sent to late joiners |
 //! | `producer.detached` | counter | consumers | consumers detached on heartbeat expiry |
 //! | `producer.ctrl_unknown` | counter | frames | unknown (future-version) control frames ignored |
+//! | `producer.hello_unknown_caps` | counter | hellos | HELLOs carrying capability bits this producer does not know |
+//! | `stage.[s<N>.]stream_tx_bytes` | counter | bytes | payload bytes sent over the streamed (non-shm) path |
 //! | `consumer.batches` / `consumer.samples` | counter | batches / samples | consumed by this context's consumers |
 //! | `consumer.acks` | counter | acks | batch acknowledgements sent back |
 //! | `staging.h2d_bytes` | counter | bytes | bytes through the H2D copy stage |
@@ -220,8 +254,8 @@ pub use protocol::buffer::BatchWindow;
 pub use protocol::flex::{plan_flex, FlexPlan, Segment};
 pub use protocol::heartbeat::HeartbeatMonitor;
 pub use protocol::messages::{
-    AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, StatsPayload,
-    WelcomeInfo, HANDSHAKE_VERSION, STATS_VERSION,
+    caps, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, PayloadMode,
+    StatsPayload, StreamedTensor, WelcomeInfo, HANDSHAKE_VERSION, STATS_VERSION,
 };
 pub use protocol::order::ShardInterleave;
 pub use protocol::rubberband::RubberbandPolicy;
@@ -232,6 +266,7 @@ pub use runtime::coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup
 pub use runtime::producer::{EpochSource, ProducerStats, SampleGeometry, TensorProducer};
 pub use runtime::scrape::scrape_stats;
 pub use runtime::{ConsumerConfig, FlexibleConfig, ProducerConfig, StagingConfig, StagingMode};
+pub use ts_socket::{Endpoint, EndpointError, Scheme};
 
 /// Why an attach handshake failed — the typed mismatches a
 /// [`Consumer`] surfaces instead of hanging (or silently training on the
@@ -262,6 +297,15 @@ pub enum HandshakeError {
         /// Why the open failed.
         reason: String,
     },
+    /// The consumer insisted on a payload mode the producer's WELCOME
+    /// does not grant (e.g. forced streaming against a flexible-sizing
+    /// producer, which serves shm only).
+    Mode {
+        /// The mode the consumer demanded.
+        requested: PayloadMode,
+        /// The producer's grant mask ([`caps`] bits).
+        granted: u32,
+    },
 }
 
 impl std::fmt::Display for HandshakeError {
@@ -280,6 +324,10 @@ impl std::fmt::Display for HandshakeError {
             HandshakeError::ArenaMissing { path, reason } => {
                 write!(f, "cannot open advertised arena {path}: {reason}")
             }
+            HandshakeError::Mode { requested, granted } => write!(
+                f,
+                "payload mode {requested:?} not granted by producer (grant mask {granted:#x})"
+            ),
         }
     }
 }
@@ -307,6 +355,8 @@ pub enum TsError {
     Arena(String),
     /// The attach handshake failed with a typed mismatch.
     Handshake(HandshakeError),
+    /// A malformed endpoint URI, rejected at the API boundary.
+    Endpoint(ts_socket::EndpointError),
 }
 
 impl std::fmt::Display for TsError {
@@ -322,6 +372,7 @@ impl std::fmt::Display for TsError {
             TsError::Transform(m) => write!(f, "local transform failed: {m}"),
             TsError::Arena(m) => write!(f, "shared-memory arena: {m}"),
             TsError::Handshake(e) => write!(f, "handshake failed: {e}"),
+            TsError::Endpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -337,6 +388,20 @@ impl std::error::Error for TsError {}
 impl From<ts_tensor::TensorError> for TsError {
     fn from(e: ts_tensor::TensorError) -> Self {
         TsError::Tensor(e)
+    }
+}
+
+impl From<ts_socket::EndpointError> for TsError {
+    fn from(e: ts_socket::EndpointError) -> Self {
+        TsError::Endpoint(e)
+    }
+}
+
+/// Lets `impl TryInto<Endpoint>` APIs accept an already-parsed
+/// [`Endpoint`] (whose reflexive conversion is infallible).
+impl From<std::convert::Infallible> for TsError {
+    fn from(e: std::convert::Infallible) -> Self {
+        match e {}
     }
 }
 

@@ -48,7 +48,73 @@ pub mod topics {
 /// [`WelcomeInfo::version`], and the *consumer* decides compatibility —
 /// an old producer talking to a new consumer (or vice versa) surfaces as
 /// a typed version error on the consumer, never a silent misparse.
-pub const HANDSHAKE_VERSION: u32 = 1;
+///
+/// **v2** (this build) extends v1 with a `Hello` capability bitfield
+/// ([`caps`]), per-shard endpoint overrides and a granted payload-mode
+/// mask in the WELCOME, and a per-consumer [`PayloadMode`] in the
+/// `Join`. Every extension rides in *trailing* bytes that a v1 decoder
+/// never reads, so the two versions interoperate: a v2 producer answers
+/// a v1 `Hello` with a byte-identical v1 WELCOME, and a v1 consumer's
+/// `Join` decodes on a v2 producer with the v1 defaults (shm
+/// pointer-passing).
+pub const HANDSHAKE_VERSION: u32 = 2;
+
+/// `Hello` capability bits (handshake v2): what the consumer can do,
+/// declared before it knows anything about the producer. Unknown bits
+/// are ignored and counted (`producer.hello_unknown_caps`), never an
+/// error — a v3 consumer must be able to attach to a v2 producer on the
+/// v2 subset.
+pub mod caps {
+    /// The consumer can map a shared-memory arena on this host.
+    pub const SHM: u32 = 1 << 0;
+    /// The consumer can receive length-prefixed streamed payload bytes
+    /// over the data socket (the remote-host path).
+    pub const STREAM: u32 = 1 << 1;
+    /// Every capability bit this build understands.
+    pub const KNOWN: u32 = SHM | STREAM;
+}
+
+/// How batch payload bytes reach one consumer — negotiated **per
+/// consumer** at attach time (handshake v2), not fixed at build time.
+/// A consumer that proves it can open the advertised arena gets
+/// pointer-passing; one that cannot (a remote host) gets its batches
+/// streamed as length-prefixed bytes on its private topic, behind the
+/// same [`DataMsg::Batch`] contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PayloadMode {
+    /// Shm pointer-passing: a tiny announce carrying arena placements.
+    #[default]
+    Shm,
+    /// Length-prefixed byte streaming over the data socket.
+    Stream,
+}
+
+impl PayloadMode {
+    /// The one-byte encoding used in the v2 `Join`.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            PayloadMode::Shm => 0,
+            PayloadMode::Stream => 1,
+        }
+    }
+
+    /// Decodes a payload-mode byte (unknown codes map to `None`).
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(PayloadMode::Shm),
+            1 => Some(PayloadMode::Stream),
+            _ => None,
+        }
+    }
+
+    /// The [`caps`] bit (and WELCOME grant bit) for this mode.
+    pub fn cap_bit(self) -> u32 {
+        match self {
+            PayloadMode::Shm => caps::SHM,
+            PayloadMode::Stream => caps::STREAM,
+        }
+    }
+}
 
 /// Version of the stats-scrape exchange ([`CtrlMsg::StatsRequest`] /
 /// [`DataMsg::Stats`]). The scraper sends its version and the producer
@@ -89,6 +155,13 @@ pub struct WelcomeInfo {
     pub staging: u8,
     /// The shared-memory arena, when one backs the payload path.
     pub arena: Option<ArenaAd>,
+    /// Sparse `(shard, base URI)` endpoint overrides (v2): shards whose
+    /// base endpoint is *not* derived from the base URI by scheme rules —
+    /// e.g. a shard pipeline on another host. Empty from v1 producers.
+    pub endpoint_overrides: Vec<(u32, String)>,
+    /// Bitmask ([`caps`] bits) of payload modes the producer can serve
+    /// this consumer. A v1 producer implies [`caps::SHM`] only.
+    pub payload_modes: u32,
 }
 
 /// Messages consumers push to the producer.
@@ -100,6 +173,9 @@ pub enum CtrlMsg {
         consumer_id: u64,
         /// Desired batch size (only meaningful under flexible sizing).
         batch_size: u32,
+        /// The payload mode this consumer selected after the handshake
+        /// (v2; a v1 `Join` implies [`PayloadMode::Shm`]).
+        mode: PayloadMode,
     },
     /// The consumer subscribed to the batch topic and is ready to receive.
     Ready {
@@ -135,6 +211,9 @@ pub enum CtrlMsg {
         token: u64,
         /// The caller's [`HANDSHAKE_VERSION`].
         version: u32,
+        /// Capability bitfield ([`caps`]; v2 — a v1 `Hello` carries no
+        /// capability bytes and decodes as `0`, i.e. "v1 semantics").
+        caps: u32,
     },
     /// Observability scrape: "report your metrics". Stateless like
     /// [`CtrlMsg::Hello`] — answered with a [`DataMsg::Stats`] on the
@@ -195,6 +274,38 @@ pub struct FlexBatchPayload {
     pub labels: Vec<TensorPayload>,
 }
 
+/// One tensor shipped as raw bytes (streamed payload mode): dtype,
+/// shape, and the dense row-major bytes — everything a remote consumer
+/// needs to rebuild the tensor without mapping the arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamedTensor {
+    /// Element type.
+    pub dtype: ts_tensor::DType,
+    /// Dense row-major shape.
+    pub shape: Vec<u64>,
+    /// The tensor's bytes, length-prefixed on the wire.
+    pub bytes: Bytes,
+}
+
+impl StreamedTensor {
+    /// Captures `tensor` as dense row-major bytes for streaming.
+    pub fn from_tensor(tensor: &ts_tensor::Tensor) -> Self {
+        Self {
+            dtype: tensor.dtype(),
+            shape: tensor.shape().iter().map(|&d| d as u64).collect(),
+            bytes: Bytes::from(tensor.gather_bytes()),
+        }
+    }
+
+    /// Rebuilds the tensor on `device` (host memory; the consumer stages
+    /// it onward exactly like an arena-unpacked tensor).
+    pub fn to_tensor(&self, device: ts_device::DeviceId) -> Result<ts_tensor::Tensor> {
+        let shape: Vec<usize> = self.shape.iter().map(|&d| d as usize).collect();
+        ts_tensor::Tensor::from_bytes(self.bytes.to_vec(), self.dtype, &shape, device)
+            .map_err(|e| TsError::Wire(format!("streamed tensor: {e}")))
+    }
+}
+
 /// What a batch announcement carries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnnounceContent {
@@ -209,6 +320,17 @@ pub enum AnnounceContent {
     Flex {
         /// The consumer batches, in visit order.
         batches: Vec<FlexBatchPayload>,
+    },
+    /// Streamed mode (v2): the batch's bytes themselves, length-prefixed,
+    /// for consumers that cannot map the arena (remote hosts). Sent on
+    /// the consumer's private topic; rides the same [`DataMsg::Batch`]
+    /// contract as the other kinds, so a future RDMA/ucx bulk transport
+    /// can replace the byte transport without a handshake bump.
+    Streamed {
+        /// Collated tensor fields, as raw bytes.
+        fields: Vec<StreamedTensor>,
+        /// Labels, as raw bytes.
+        labels: StreamedTensor,
     },
 }
 
@@ -394,6 +516,36 @@ fn need(buf: &[u8], n: usize) -> Result<()> {
     Ok(())
 }
 
+fn put_streamed(buf: &mut BytesMut, t: &StreamedTensor) {
+    buf.put_u8(t.dtype.tag());
+    buf.put_u32_le(t.shape.len() as u32);
+    for &d in &t.shape {
+        buf.put_u64_le(d);
+    }
+    put_bytes(buf, &t.bytes);
+}
+
+fn get_streamed(buf: &mut &[u8]) -> Result<StreamedTensor> {
+    need(buf, 5)?;
+    let dtype = ts_tensor::DType::from_tag(buf.get_u8())
+        .ok_or_else(|| TsError::Wire("bad streamed dtype tag".into()))?;
+    let ndim = buf.get_u32_le() as usize;
+    if ndim > 64 {
+        return Err(TsError::Wire("implausible streamed rank".into()));
+    }
+    need(buf, ndim * 8)?;
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        shape.push(buf.get_u64_le());
+    }
+    let bytes = Bytes::from(get_bytes(buf)?);
+    Ok(StreamedTensor {
+        dtype,
+        shape,
+        bytes,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // CtrlMsg codec
 // ---------------------------------------------------------------------------
@@ -420,10 +572,13 @@ impl CtrlMsg {
             CtrlMsg::Join {
                 consumer_id,
                 batch_size,
+                mode,
             } => {
                 buf.put_u8(0);
                 buf.put_u64_le(*consumer_id);
                 buf.put_u32_le(*batch_size);
+                // v2 trailing byte; a v1 producer stops reading before it.
+                buf.put_u8(mode.wire_code());
             }
             CtrlMsg::Ready { consumer_id } => {
                 buf.put_u8(1);
@@ -442,10 +597,16 @@ impl CtrlMsg {
                 buf.put_u8(4);
                 buf.put_u64_le(*consumer_id);
             }
-            CtrlMsg::Hello { token, version } => {
+            CtrlMsg::Hello {
+                token,
+                version,
+                caps,
+            } => {
                 buf.put_u8(5);
                 buf.put_u64_le(*token);
                 buf.put_u32_le(*version);
+                // v2 trailing field; a v1 producer stops reading before it.
+                buf.put_u32_le(*caps);
             }
             CtrlMsg::StatsRequest { token, version } => {
                 buf.put_u8(6);
@@ -470,9 +631,20 @@ impl CtrlMsg {
         Ok(match tag {
             0 => {
                 need(buf, 4)?;
+                let batch_size = buf.get_u32_le();
+                // v2 appends a payload-mode byte; a v1 Join ends here and
+                // implies the v1 behaviour (shm pointer-passing).
+                let mode = if buf.is_empty() {
+                    PayloadMode::Shm
+                } else {
+                    let code = buf.get_u8();
+                    PayloadMode::from_wire_code(code)
+                        .ok_or_else(|| TsError::Wire(format!("bad payload mode {code}")))?
+                };
                 CtrlMsg::Join {
                     consumer_id,
-                    batch_size: buf.get_u32_le(),
+                    batch_size,
+                    mode,
                 }
             }
             1 => CtrlMsg::Ready { consumer_id },
@@ -487,9 +659,14 @@ impl CtrlMsg {
             4 => CtrlMsg::Leave { consumer_id },
             5 => {
                 need(buf, 4)?;
+                let version = buf.get_u32_le();
+                // v2 appends a capability bitfield; a v1 Hello ends here
+                // and declares nothing (v1 semantics).
+                let caps = if buf.len() >= 4 { buf.get_u32_le() } else { 0 };
                 CtrlMsg::Hello {
                     token: consumer_id,
-                    version: buf.get_u32_le(),
+                    version,
+                    caps,
                 }
             }
             6 => {
@@ -546,6 +723,14 @@ impl DataMsg {
                             put_payload_vec(&mut buf, &fb.labels);
                         }
                     }
+                    AnnounceContent::Streamed { fields, labels } => {
+                        buf.put_u8(2);
+                        buf.put_u32_le(fields.len() as u32);
+                        for t in fields {
+                            put_streamed(&mut buf, t);
+                        }
+                        put_streamed(&mut buf, labels);
+                    }
                 }
             }
             DataMsg::JoinReply {
@@ -600,6 +785,17 @@ impl DataMsg {
                         buf.put_u64_le(ad.nslots);
                         buf.put_u64_le(ad.slot_size);
                     }
+                }
+                // v2 tail, gated on the *encoded* version so a v2
+                // producer answering a v1 Hello emits a byte-identical
+                // v1 WELCOME.
+                if info.version >= 2 {
+                    buf.put_u32_le(info.endpoint_overrides.len() as u32);
+                    for (shard, uri) in &info.endpoint_overrides {
+                        buf.put_u32_le(*shard);
+                        put_bytes(&mut buf, uri.as_bytes());
+                    }
+                    buf.put_u32_le(info.payload_modes);
                 }
             }
             DataMsg::Stats { token, payload } => {
@@ -680,6 +876,19 @@ impl DataMsg {
                         }
                         AnnounceContent::Flex { batches }
                     }
+                    2 => {
+                        need(buf, 4)?;
+                        let nf = buf.get_u32_le() as usize;
+                        if nf > 1 << 16 {
+                            return Err(TsError::Wire("implausible streamed field count".into()));
+                        }
+                        let mut fields = Vec::with_capacity(nf);
+                        for _ in 0..nf {
+                            fields.push(get_streamed(&mut buf)?);
+                        }
+                        let labels = get_streamed(&mut buf)?;
+                        AnnounceContent::Streamed { fields, labels }
+                    }
                     k => return Err(TsError::Wire(format!("bad content kind {k}"))),
                 };
                 DataMsg::Batch(BatchAnnounce {
@@ -750,6 +959,27 @@ impl DataMsg {
                     }
                     f => return Err(TsError::Wire(format!("bad arena flag {f}"))),
                 };
+                // The v2 tail is *required* when the version field says 2+
+                // (truncation anywhere stays an error); a v1 WELCOME ends
+                // at the arena section and implies shm-only semantics.
+                let (endpoint_overrides, payload_modes) = if version >= 2 {
+                    need(buf, 4)?;
+                    let n = buf.get_u32_le() as usize;
+                    if n > 1 << 16 {
+                        return Err(TsError::Wire("implausible override count".into()));
+                    }
+                    let mut overrides = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        need(buf, 4)?;
+                        let shard = buf.get_u32_le();
+                        let uri = String::from_utf8_lossy(&get_bytes(&mut buf)?).into_owned();
+                        overrides.push((shard, uri));
+                    }
+                    need(buf, 4)?;
+                    (overrides, buf.get_u32_le())
+                } else {
+                    (Vec::new(), caps::SHM)
+                };
                 DataMsg::Welcome {
                     token,
                     info: WelcomeInfo {
@@ -759,6 +989,8 @@ impl DataMsg {
                         flex_producer_batch,
                         staging,
                         arena,
+                        endpoint_overrides,
+                        payload_modes,
                     },
                 }
             }
@@ -848,6 +1080,12 @@ mod tests {
             CtrlMsg::Join {
                 consumer_id: 7,
                 batch_size: 128,
+                mode: PayloadMode::Shm,
+            },
+            CtrlMsg::Join {
+                consumer_id: 7,
+                batch_size: 128,
+                mode: PayloadMode::Stream,
             },
             CtrlMsg::Ready { consumer_id: 7 },
             CtrlMsg::Ack {
@@ -859,6 +1097,7 @@ mod tests {
             CtrlMsg::Hello {
                 token: 7,
                 version: HANDSHAKE_VERSION,
+                caps: caps::KNOWN,
             },
             CtrlMsg::StatsRequest {
                 token: 7,
@@ -869,6 +1108,65 @@ mod tests {
             assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
             assert_eq!(m.consumer_id(), 7);
         }
+    }
+
+    #[test]
+    fn v1_ctrl_frames_decode_with_v1_defaults_on_a_v2_build() {
+        // Hand-encoded v1 frames: no capability field, no mode byte.
+        let mut hello = vec![5u8];
+        hello.extend_from_slice(&7u64.to_le_bytes());
+        hello.extend_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            CtrlMsg::decode(&hello).unwrap(),
+            CtrlMsg::Hello {
+                token: 7,
+                version: 1,
+                caps: 0,
+            },
+            "a v1 Hello declares no capabilities"
+        );
+        let mut join = vec![0u8];
+        join.extend_from_slice(&9u64.to_le_bytes());
+        join.extend_from_slice(&128u32.to_le_bytes());
+        assert_eq!(
+            CtrlMsg::decode(&join).unwrap(),
+            CtrlMsg::Join {
+                consumer_id: 9,
+                batch_size: 128,
+                mode: PayloadMode::Shm,
+            },
+            "a v1 Join implies shm pointer-passing"
+        );
+        // An unknown payload-mode byte is rejected, not misread.
+        join.push(9);
+        assert!(CtrlMsg::decode(&join).is_err());
+    }
+
+    #[test]
+    fn v2_ctrl_extensions_ride_in_trailing_bytes_a_v1_decoder_never_reads() {
+        // The v1 decoder read exactly 13 bytes of a Hello/Join; the v2
+        // encoding must be byte-identical up to there so a v1 producer
+        // parses a v2 frame as its v1 projection.
+        let hello = CtrlMsg::Hello {
+            token: 7,
+            version: HANDSHAKE_VERSION,
+            caps: caps::KNOWN,
+        }
+        .encode();
+        let mut v1_prefix = vec![5u8];
+        v1_prefix.extend_from_slice(&7u64.to_le_bytes());
+        v1_prefix.extend_from_slice(&HANDSHAKE_VERSION.to_le_bytes());
+        assert_eq!(&hello[..13], &v1_prefix[..]);
+        let join = CtrlMsg::Join {
+            consumer_id: 9,
+            batch_size: 64,
+            mode: PayloadMode::Stream,
+        }
+        .encode();
+        let mut v1_prefix = vec![0u8];
+        v1_prefix.extend_from_slice(&9u64.to_le_bytes());
+        v1_prefix.extend_from_slice(&64u32.to_le_bytes());
+        assert_eq!(&join[..13], &v1_prefix[..]);
     }
 
     #[test]
@@ -901,6 +1199,8 @@ mod tests {
                 flex_producer_batch: 0,
                 staging: 2,
                 arena: None,
+                endpoint_overrides: Vec::new(),
+                payload_modes: caps::SHM | caps::STREAM,
             },
         };
         let with_arena = DataMsg::Welcome {
@@ -916,12 +1216,17 @@ mod tests {
                     nslots: 64,
                     slot_size: 1 << 20,
                 }),
+                endpoint_overrides: vec![
+                    (1, "tcp://10.0.0.2:9000".to_string()),
+                    (3, "tcp://10.0.0.3:9000".to_string()),
+                ],
+                payload_modes: caps::SHM,
             },
         };
         // A welcome truncated at ANY byte is rejected with a wire error,
         // never misparsed and never a panic — both shapes, every length
-        // (the bare shape's final arena-flag byte is the historical
-        // off-by-one).
+        // (the v2 tail included: a version-2 welcome without its
+        // override table or mode mask is truncated, not "a v1 welcome").
         for m in [bare, with_arena] {
             let good = m.encode();
             assert_eq!(DataMsg::decode(&good).unwrap(), m, "{m:?}");
@@ -932,6 +1237,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn v2_producer_answers_v1_hello_with_a_byte_identical_v1_welcome() {
+        // Encoding a WelcomeInfo whose version field says 1 must produce
+        // exactly the v1 byte stream — no v2 tail — so a v1 consumer's
+        // decoder parses it to the last byte.
+        let v1_reply = DataMsg::Welcome {
+            token: 42,
+            info: WelcomeInfo {
+                version: 1,
+                shards: 2,
+                batch_size: 32,
+                flex_producer_batch: 0,
+                staging: 2,
+                arena: None,
+                endpoint_overrides: Vec::new(),
+                payload_modes: caps::SHM,
+            },
+        };
+        let wire = v1_reply.encode();
+        let mut expected = vec![5u8];
+        expected.extend_from_slice(&42u64.to_le_bytes());
+        expected.extend_from_slice(&1u32.to_le_bytes());
+        expected.extend_from_slice(&2u32.to_le_bytes());
+        expected.extend_from_slice(&32u32.to_le_bytes());
+        expected.extend_from_slice(&0u32.to_le_bytes());
+        expected.push(2); // staging
+        expected.push(0); // no arena
+        assert_eq!(&wire[..], &expected[..], "v1 WELCOME must be bit-exact");
+        // And the v2 build decodes a v1 WELCOME back with the v1-implied
+        // semantics: no overrides, shm-only payload modes.
+        let decoded = DataMsg::decode(&wire).unwrap();
+        assert_eq!(decoded, v1_reply);
+    }
+
+    #[test]
+    fn streamed_announce_round_trips_and_rebuilds_the_tensor() {
+        let batch = Tensor::rand_u8(&[4, 3, 8, 8], DeviceId::Cpu, 11);
+        let labels = Tensor::zeros(&[4], DType::I64, DeviceId::Cpu);
+        let m = DataMsg::Batch(BatchAnnounce {
+            seq: 7,
+            epoch: 1,
+            index_in_epoch: 7,
+            last_in_epoch: false,
+            content: AnnounceContent::Streamed {
+                fields: vec![StreamedTensor::from_tensor(&batch)],
+                labels: StreamedTensor::from_tensor(&labels),
+            },
+        });
+        let wire = m.encode();
+        let decoded = DataMsg::decode(&wire).unwrap();
+        assert_eq!(decoded, m);
+        // The rebuilt tensor is byte-identical to the source.
+        let DataMsg::Batch(BatchAnnounce {
+            content: AnnounceContent::Streamed { fields, .. },
+            ..
+        }) = decoded
+        else {
+            panic!("wrong shape");
+        };
+        let rebuilt = fields[0].to_tensor(DeviceId::Cpu).unwrap();
+        assert_eq!(rebuilt.shape(), batch.shape());
+        assert!(rebuilt.data_eq(&batch));
+        // Truncation at ANY byte is rejected.
+        for cut in 1..wire.len() {
+            assert!(DataMsg::decode(&wire[..wire.len() - cut]).is_err());
+        }
+        // Unlike the shm announce, the streamed frame scales with the
+        // batch — that is the negotiated trade for crossing hosts.
+        assert!(wire.len() > batch.view_bytes());
     }
 
     #[test]

@@ -30,7 +30,9 @@
 //! topologies), and the legacy types remain as thin `#[deprecated]`
 //! shims over the same internals.
 
-use crate::protocol::messages::{topics, CtrlMsg, DataMsg, WelcomeInfo, HANDSHAKE_VERSION};
+use crate::protocol::messages::{
+    caps, topics, CtrlMsg, DataMsg, PayloadMode, WelcomeInfo, HANDSHAKE_VERSION,
+};
 use crate::protocol::rubberband::RubberbandPolicy;
 use crate::runtime::config::{ConsumerConfig, FlexibleConfig, ProducerConfig, ProducerMap};
 use crate::runtime::consumer::{rand_id, ConsumerBatch, StopReason, TensorConsumer};
@@ -44,7 +46,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ts_device::DeviceId;
 use ts_shm::ShmArena;
-use ts_socket::{EndpointMap, Multipart, PushSocket, RecvError, SubSocket};
+use ts_socket::{Endpoint, EndpointMap, Multipart, PushSocket, RecvError, SubSocket};
 
 // ---------------------------------------------------------------------------
 // Producer
@@ -67,6 +69,9 @@ pub struct ProducerBuilder {
     cfg: ProducerConfig,
     ctx: Option<TsContext>,
     arena: Option<ArenaSpec>,
+    /// A malformed endpoint handed to a `Self`-returning method; surfaced
+    /// at spawn so the chain stays fluent.
+    endpoint_err: Option<TsError>,
 }
 
 impl ProducerBuilder {
@@ -75,13 +80,50 @@ impl ProducerBuilder {
             cfg: ProducerConfig::default(),
             ctx: None,
             arena: None,
+            endpoint_err: None,
         }
     }
 
-    /// Base endpoint URI (`inproc://`, `ipc://`, `tcp://`); data/ctrl and
-    /// per-shard endpoints all derive from it.
-    pub fn endpoint(mut self, endpoint: impl Into<String>) -> Self {
-        self.cfg.endpoint = endpoint.into();
+    /// Base endpoint (`inproc://`, `ipc://`, `tcp://` — as a URI string
+    /// or a parsed [`Endpoint`]); data/ctrl and per-shard endpoints all
+    /// derive from it. A malformed URI fails the eventual
+    /// [`ProducerBuilder::spawn`] with [`TsError::Endpoint`].
+    pub fn endpoint<E>(mut self, endpoint: E) -> Self
+    where
+        E: TryInto<Endpoint>,
+        E::Error: Into<TsError>,
+    {
+        match endpoint.try_into() {
+            Ok(ep) => self.cfg.endpoint = ep.to_string(),
+            Err(e) => self.endpoint_err = Some(e.into()),
+        }
+        self
+    }
+
+    /// Overrides shard `shard`'s base endpoint — the multi-host escape
+    /// hatch: that shard binds (and is advertised at) the given URI
+    /// instead of the one derived from the base endpoint by scheme rules.
+    /// Advertised verbatim in the v2 WELCOME, so consumers follow the
+    /// override with no out-of-band configuration.
+    pub fn shard_endpoint<E>(mut self, shard: u32, endpoint: E) -> Self
+    where
+        E: TryInto<Endpoint>,
+        E::Error: Into<TsError>,
+    {
+        match endpoint.try_into() {
+            Ok(ep) => {
+                let uri = ep.to_string();
+                match self
+                    .cfg
+                    .shard_endpoints
+                    .binary_search_by_key(&shard, |(s, _)| *s)
+                {
+                    Ok(i) => self.cfg.shard_endpoints[i].1 = uri,
+                    Err(i) => self.cfg.shard_endpoints.insert(i, (shard, uri)),
+                }
+            }
+            Err(e) => self.endpoint_err = Some(e.into()),
+        }
         self
     }
 
@@ -222,8 +264,23 @@ impl ProducerBuilder {
     /// lockstep under an epoch coordinator. One source spawns a plain
     /// producer with no coordination overhead.
     pub fn spawn_sharded<S: EpochSource>(self, sources: Vec<S>) -> Result<Producer> {
+        if let Some(e) = self.endpoint_err {
+            return Err(e);
+        }
         if sources.is_empty() {
             return Err(TsError::Config("producer needs at least one source".into()));
+        }
+        if let Some((shard, _)) = self
+            .cfg
+            .shard_endpoints
+            .iter()
+            .find(|(s, _)| *s as usize >= sources.len())
+        {
+            return Err(TsError::Config(format!(
+                "shard_endpoint({shard}, ..) targets a shard the {}-source topology \
+                 does not have",
+                sources.len()
+            )));
         }
         let ctx = self.ctx.unwrap_or_else(TsContext::host_only);
         let cfg = self.cfg;
@@ -478,6 +535,7 @@ pub struct ConsumerBuilder {
     shards_override: Option<usize>,
     handshake_timeout: Duration,
     hello_version: u32,
+    payload_mode: Option<PayloadMode>,
 }
 
 impl ConsumerBuilder {
@@ -488,6 +546,7 @@ impl ConsumerBuilder {
             shards_override: None,
             handshake_timeout: Duration::from_secs(10),
             hello_version: HANDSHAKE_VERSION,
+            payload_mode: None,
         }
     }
 
@@ -556,16 +615,54 @@ impl ConsumerBuilder {
         self
     }
 
+    /// Forces the payload mode instead of negotiating it at attach:
+    /// [`PayloadMode::Shm`] insists on pointer-passing (the arena must
+    /// open, or connect fails with [`HandshakeError::ArenaMissing`]);
+    /// [`PayloadMode::Stream`] insists on byte streaming (the producer
+    /// must grant it, or connect fails with [`HandshakeError::Mode`]).
+    /// Unset, the consumer prefers shm and falls back to streaming when
+    /// the advertised arena cannot be opened — the remote-host case.
+    /// The `TS_FORCE_PAYLOAD_MODE` environment variable (`shm` /
+    /// `stream`) forces the mode too, with this method taking precedence.
+    pub fn payload_mode(mut self, mode: PayloadMode) -> Self {
+        self.payload_mode = Some(mode);
+        self
+    }
+
     /// Attaches to the producer at `endpoint` — the **only** required
     /// parameter. The HELLO/WELCOME handshake on the control channel
     /// reports the shard count, arena geometry and batch schema; this
     /// call validates them (typed [`HandshakeError`]s on mismatch), maps
     /// the advertised arena if one backs the payload path, joins every
     /// shard and returns the iterating consumer.
-    pub fn connect(self, endpoint: impl Into<String>) -> Result<Consumer> {
-        let endpoint = endpoint.into();
+    pub fn connect<E>(self, endpoint: E) -> Result<Consumer>
+    where
+        E: TryInto<Endpoint>,
+        E::Error: Into<TsError>,
+    {
+        let endpoint = endpoint.try_into().map_err(Into::into)?.to_string();
         let ctx = self.ctx.unwrap_or_else(TsContext::host_only);
-        let welcome = handshake(&ctx, &endpoint, self.handshake_timeout, self.hello_version)?;
+        // Forced payload mode: the builder knob wins over the
+        // TS_FORCE_PAYLOAD_MODE environment variable; neither set means
+        // negotiate (prefer shm, fall back to streaming).
+        let forced = self.payload_mode.or_else(|| {
+            match std::env::var("TS_FORCE_PAYLOAD_MODE").ok().as_deref() {
+                Some("stream") => Some(PayloadMode::Stream),
+                Some("shm") => Some(PayloadMode::Shm),
+                _ => None,
+            }
+        });
+        let our_caps = match forced {
+            Some(mode) => mode.cap_bit(),
+            None => caps::KNOWN,
+        };
+        let welcome = handshake(
+            &ctx,
+            &endpoint,
+            self.handshake_timeout,
+            self.hello_version,
+            our_caps,
+        )?;
         if welcome.version != self.hello_version {
             return Err(HandshakeError::Version {
                 ours: self.hello_version,
@@ -583,21 +680,48 @@ impl ConsumerBuilder {
                 .into());
             }
         }
-        if let Some(ad) = &welcome.arena {
-            // An arena already bound (same process as the producer, or a
-            // caller that pre-opened it) wins; otherwise map the
-            // advertised one.
-            if ctx.registry.arena().is_none() {
-                ctx.open_arena(&ad.path)
-                    .map_err(|e| HandshakeError::ArenaMissing {
-                        path: ad.path.clone(),
-                        reason: e.to_string(),
-                    })?;
+        // What the producer will serve us. A v1 WELCOME has no grant mask
+        // and means shm-only.
+        let granted = if welcome.version >= 2 {
+            welcome.payload_modes
+        } else {
+            caps::SHM
+        };
+        let mut mode = forced.unwrap_or(PayloadMode::Shm);
+        if granted & mode.cap_bit() == 0 {
+            return Err(HandshakeError::Mode {
+                requested: mode,
+                granted,
+            }
+            .into());
+        }
+        if mode == PayloadMode::Shm {
+            if let Some(ad) = &welcome.arena {
+                // An arena already bound (same process as the producer, or
+                // a caller that pre-opened it) wins; otherwise map the
+                // advertised one. A consumer that cannot map it — another
+                // host — falls back to the streamed path when the producer
+                // grants it and the caller did not insist on shm.
+                if ctx.registry.arena().is_none() {
+                    if let Err(e) = ctx.open_arena(&ad.path) {
+                        if forced.is_none() && granted & caps::STREAM != 0 {
+                            mode = PayloadMode::Stream;
+                        } else {
+                            return Err(HandshakeError::ArenaMissing {
+                                path: ad.path.clone(),
+                                reason: e.to_string(),
+                            }
+                            .into());
+                        }
+                    }
+                }
             }
         }
         let cfg = ConsumerConfig {
             endpoint,
             shards: advertised,
+            mode,
+            endpoint_overrides: welcome.endpoint_overrides.clone(),
             ..self.cfg
         };
         let inner = TensorConsumer::connect_impl(&ctx, cfg)?;
@@ -618,13 +742,19 @@ fn handshake(
     endpoint: &str,
     timeout: Duration,
     version: u32,
+    caps: u32,
 ) -> Result<WelcomeInfo> {
     let map = EndpointMap::new(endpoint, 1);
     let token = rand_id();
     let sub = SubSocket::connect(&ctx.sockets, &map.data(0));
     sub.subscribe(&topics::hello(token));
     let push = PushSocket::connect(&ctx.sockets, &map.ctrl(0));
-    let hello = CtrlMsg::Hello { token, version }.encode();
+    let hello = CtrlMsg::Hello {
+        token,
+        version,
+        caps,
+    }
+    .encode();
     let deadline = Instant::now() + timeout;
     loop {
         // A send failure just means the producer is not reachable *yet*
@@ -706,6 +836,13 @@ impl Consumer {
     /// against.
     pub fn welcome(&self) -> &WelcomeInfo {
         &self.welcome
+    }
+
+    /// The payload mode negotiated at attach: shm pointer-passing, or
+    /// length-prefixed byte streaming for consumers that could not map
+    /// the producer's arena (or forced the mode).
+    pub fn payload_mode(&self) -> PayloadMode {
+        self.inner.payload_mode()
     }
 
     /// The producer's advertised staging mode, when it is one this

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use crate::protocol::messages::PayloadMode;
 use crate::protocol::order::OrderConfig;
 use crate::runtime::staging::StagingConfig;
 use std::sync::Arc;
@@ -76,6 +77,13 @@ pub struct ProducerConfig {
     /// when the source reports `num_workers >= 1`; a serial source loads
     /// inline.
     pub pipeline_depth: Option<usize>,
+    /// Sparse per-shard endpoint overrides: shard `i` binds (and is
+    /// advertised at) the given base URI instead of the one derived from
+    /// [`ProducerConfig::endpoint`] by scheme rules — the multi-host
+    /// escape hatch, where each shard pipeline runs as its own process or
+    /// on its own host. Sorted by shard; advertised verbatim in the v2
+    /// WELCOME so consumers follow without out-of-band configuration.
+    pub shard_endpoints: Vec<(u32, String)>,
 }
 
 impl std::fmt::Debug for ProducerConfig {
@@ -109,6 +117,7 @@ impl Default for ProducerConfig {
             poll_interval: Duration::from_millis(1),
             first_consumer_timeout: Some(Duration::from_secs(30)),
             pipeline_depth: None,
+            shard_endpoints: Vec::new(),
         }
     }
 }
@@ -123,9 +132,10 @@ pub use ts_socket::channel_endpoint;
 impl ProducerConfig {
     /// The scheme-aware endpoint layout rooted at this config's base URI
     /// (a single-shard map; a sharded group derives each shard's layout
-    /// from its own shard base).
+    /// from its own shard base, honoring [`ProducerConfig::shard_endpoints`]
+    /// overrides).
     pub fn endpoints(&self) -> ts_socket::EndpointMap {
-        ts_socket::EndpointMap::new(&self.endpoint, 1)
+        ts_socket::EndpointMap::with_overrides(&self.endpoint, 1, self.shard_endpoints.clone())
     }
 
     /// The data (PUB/SUB) endpoint name.
@@ -167,6 +177,15 @@ pub struct ConsumerConfig {
     /// private copy; the shared storage is untouched, so other consumers
     /// still see the original bytes.
     pub local_pipeline: Option<std::sync::Arc<ts_data::Pipeline>>,
+    /// How batch payload bytes reach this consumer: shm pointer-passing
+    /// (the default) or length-prefixed byte streaming. Normally resolved
+    /// by [`crate::Consumer`]'s attach negotiation rather than set by
+    /// hand; the legacy connect path keeps the v1 behavior (`Shm`).
+    pub mode: PayloadMode,
+    /// Sparse `(shard, base URI)` endpoint overrides, learned from the
+    /// producer's v2 WELCOME: shards listed here are attached at the given
+    /// URI instead of the one derived from the base endpoint.
+    pub endpoint_overrides: Vec<(u32, String)>,
 }
 
 impl Default for ConsumerConfig {
@@ -179,6 +198,8 @@ impl Default for ConsumerConfig {
             recv_timeout: Duration::from_secs(30),
             consumer_id: None,
             local_pipeline: None,
+            mode: PayloadMode::Shm,
+            endpoint_overrides: Vec::new(),
         }
     }
 }
@@ -186,9 +207,14 @@ impl Default for ConsumerConfig {
 impl ConsumerConfig {
     /// The scheme-aware endpoint layout this consumer subscribes to: one
     /// [`ts_socket::EndpointMap`] over `shards` shard pipelines rooted at
-    /// the base endpoint.
+    /// the base endpoint, honoring any per-shard overrides advertised by
+    /// the producer's WELCOME.
     pub fn endpoints(&self) -> ts_socket::EndpointMap {
-        ts_socket::EndpointMap::new(&self.endpoint, self.shards)
+        ts_socket::EndpointMap::with_overrides(
+            &self.endpoint,
+            self.shards,
+            self.endpoint_overrides.clone(),
+        )
     }
 
     /// The data (PUB/SUB) endpoint name.

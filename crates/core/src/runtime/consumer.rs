@@ -26,7 +26,7 @@
 //! every shard published `End`.
 
 use crate::protocol::messages::{
-    topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision,
+    topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, PayloadMode,
 };
 use crate::protocol::order::ShardInterleave;
 use crate::runtime::config::ConsumerConfig;
@@ -132,6 +132,9 @@ pub struct TensorConsumer {
     /// successive `next()` yields (the paced batch cadence the trainer
     /// actually observes, including its own compute time).
     interarrival_hist: std::sync::Arc<ts_metrics::Histogram>,
+    /// Pre-resolved `consumer.stream_rx_ns` histogram: time to rebuild a
+    /// batch from streamed bytes (the per-batch cost of the non-shm path).
+    stream_rx_hist: std::sync::Arc<ts_metrics::Histogram>,
     /// When the previous batch was yielded, for inter-arrival timing.
     last_yield: Option<Instant>,
 }
@@ -217,6 +220,7 @@ impl TensorConsumer {
             samples_consumed: 0,
             wait_hist: ctx.metrics.histogram("consumer.wait_ns"),
             interarrival_hist: ctx.metrics.histogram("consumer.interarrival_ns"),
+            stream_rx_hist: ctx.metrics.histogram("consumer.stream_rx_ns"),
             last_yield: None,
         })
     }
@@ -237,6 +241,7 @@ impl TensorConsumer {
                     CtrlMsg::Join {
                         consumer_id: id,
                         batch_size: cfg.batch_size.unwrap_or(0) as u32,
+                        mode: cfg.mode,
                     }
                     .encode(),
                 ))
@@ -327,6 +332,11 @@ impl TensorConsumer {
     /// Number of producer shards this consumer is subscribed to.
     pub fn num_shards(&self) -> usize {
         self.links.len()
+    }
+
+    /// The payload mode this consumer attached with.
+    pub fn payload_mode(&self) -> PayloadMode {
+        self.cfg.mode
     }
 
     /// Why iteration stopped, once it has.
@@ -446,6 +456,28 @@ impl TensorConsumer {
                     })?;
                 }
             }
+            AnnounceContent::Streamed { fields, labels } => {
+                // The negotiated non-shm path: the announce carries the
+                // bytes themselves; rebuild host tensors from them.
+                let rx_start = Instant::now();
+                let fields: Result<Vec<Tensor>> = fields
+                    .iter()
+                    .map(|t| t.to_tensor(ts_device::DeviceId::Cpu))
+                    .collect();
+                let labels = labels.to_tensor(ts_device::DeviceId::Cpu)?;
+                let fields = fields?;
+                self.stream_rx_hist.record_duration(rx_start.elapsed());
+                self.enqueue(ConsumerBatch {
+                    epoch: a.epoch,
+                    shard,
+                    seq: a.seq,
+                    index_in_epoch: a.index_in_epoch,
+                    sub_index: 0,
+                    fields,
+                    labels,
+                    last_in_epoch: a.last_in_epoch,
+                })?;
+            }
         }
         Ok(())
     }
@@ -491,6 +523,16 @@ impl TensorConsumer {
             };
             match data {
                 DataMsg::Batch(a) => {
+                    // A stream-mode consumer shares the batch topic with
+                    // the shm subscribers and therefore sees their pointer
+                    // announces too; its own copy of the bytes arrives on
+                    // its private topic at the same seq. Skip the pointer
+                    // frames without touching the in-order cursor.
+                    if self.cfg.mode == PayloadMode::Stream
+                        && !matches!(a.content, AnnounceContent::Streamed { .. })
+                    {
+                        continue;
+                    }
                     let link = &mut self.links[target];
                     if a.seq < link.next_expected {
                         continue; // duplicate of a replayed batch

@@ -31,6 +31,18 @@
 //! The coordinator is deliberately poll-based (no condvars): producer
 //! loops already park on their control channels with a bounded wait, and
 //! the barrier piggybacks on that rhythm.
+//!
+//! # Cross-process backing
+//!
+//! The coordinator state machine has two homes. [`EpochCoordinator::new`]
+//! keeps it behind an in-process mutex — the right shape when every shard
+//! pipeline lives in one process (what [`ShardedProducerGroup`] spawns).
+//! [`EpochCoordinator::create_shared`] /
+//! [`EpochCoordinator::attach_shared`] put the *same* state machine in a
+//! `MAP_SHARED` file (a [`ts_shm::ShmCoordCell`], sibling of the payload
+//! arena), so shard pipelines running as separate producer processes on
+//! one node still share lockstep barriers, memoized join decisions and
+//! the group pin set. Every method below is backing-agnostic.
 
 use crate::runtime::config::ProducerConfig;
 use crate::runtime::context::TsContext;
@@ -38,8 +50,10 @@ use crate::runtime::producer::{EpochSource, ProducerStats, TensorProducer};
 use crate::{Result, TsError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use ts_shm::{CoordDecision, ShmCoordCell};
 
 /// The group-level outcome of a consumer's join, shared by every shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +65,24 @@ pub enum GroupJoin {
     AdmitAtCurrent,
     /// Defer to the next coordinated epoch boundary.
     WaitNextEpoch,
+}
+
+impl From<CoordDecision> for GroupJoin {
+    fn from(d: CoordDecision) -> Self {
+        match d {
+            CoordDecision::AdmitReplay => GroupJoin::AdmitReplay,
+            CoordDecision::AdmitAtCurrent => GroupJoin::AdmitAtCurrent,
+            CoordDecision::WaitNextEpoch => GroupJoin::WaitNextEpoch,
+        }
+    }
+}
+
+/// Where the coordinator state machine lives: an in-process mutex, or a
+/// shared-memory cell mapped by every shard process.
+#[derive(Debug)]
+enum CoordBacking {
+    Local(Mutex<CoordInner>),
+    Shared(ShmCoordCell),
 }
 
 #[derive(Debug)]
@@ -91,19 +123,19 @@ pub struct EpochCoordinator {
     /// died, or its join never reached the shard) so it cannot wedge the
     /// barrier or pin memory forever.
     apply_timeout: Duration,
-    inner: Mutex<CoordInner>,
+    backing: CoordBacking,
 }
 
 impl EpochCoordinator {
-    /// A coordinator for `shards` producer pipelines. `apply_timeout`
-    /// bounds how long a decided admission may stay unapplied (use the
-    /// producer's heartbeat timeout).
+    /// A coordinator for `shards` producer pipelines in one process.
+    /// `apply_timeout` bounds how long a decided admission may stay
+    /// unapplied (use the producer's heartbeat timeout).
     pub fn new(shards: usize, apply_timeout: Duration) -> Self {
         assert!(shards >= 1, "coordinator needs at least one shard");
         Self {
             shards,
             apply_timeout,
-            inner: Mutex::new(CoordInner {
+            backing: CoordBacking::Local(Mutex::new(CoordInner {
                 generation: 0,
                 arrived: 0,
                 pending_epoch: 0,
@@ -114,8 +146,42 @@ impl EpochCoordinator {
                 decisions: HashMap::new(),
                 unapplied: vec![HashMap::new(); shards],
                 stopped: false,
-            }),
+            })),
         }
+    }
+
+    /// A coordinator whose state lives in the shared-memory file at
+    /// `path`, for shard pipelines that run as separate processes on one
+    /// node. The creating process owns the file (and unlinks it on drop);
+    /// every other shard process joins via
+    /// [`EpochCoordinator::attach_shared`]. Fails with
+    /// [`TsError::Arena`] on mapping errors or when `shards` exceeds
+    /// [`ts_shm::MAX_COORD_SHARDS`].
+    pub fn create_shared(
+        path: impl AsRef<Path>,
+        shards: usize,
+        apply_timeout: Duration,
+    ) -> Result<Self> {
+        let cell = ShmCoordCell::create(path, shards, apply_timeout)
+            .map_err(|e| TsError::Arena(e.to_string()))?;
+        Ok(Self {
+            shards,
+            apply_timeout,
+            backing: CoordBacking::Shared(cell),
+        })
+    }
+
+    /// Attaches to a coordination file created by another process with
+    /// [`EpochCoordinator::create_shared`]; the shard count comes from
+    /// the file header.
+    pub fn attach_shared(path: impl AsRef<Path>, apply_timeout: Duration) -> Result<Self> {
+        let cell =
+            ShmCoordCell::open(path, apply_timeout).map_err(|e| TsError::Arena(e.to_string()))?;
+        Ok(Self {
+            shards: cell.shards(),
+            apply_timeout,
+            backing: CoordBacking::Shared(cell),
+        })
     }
 
     /// Number of shards the coordinator was built for.
@@ -123,9 +189,23 @@ impl EpochCoordinator {
         self.shards
     }
 
+    /// The shared coordination file backing this coordinator, when it was
+    /// built with [`EpochCoordinator::create_shared`] /
+    /// [`EpochCoordinator::attach_shared`]; `None` for the in-process
+    /// backing.
+    pub fn coordination_file(&self) -> Option<&Path> {
+        match &self.backing {
+            CoordBacking::Local(_) => None,
+            CoordBacking::Shared(cell) => Some(cell.path()),
+        }
+    }
+
     /// The epoch most recently announced to the barrier (diagnostics).
     pub fn pending_epoch(&self) -> u64 {
-        self.inner.lock().pending_epoch
+        match &self.backing {
+            CoordBacking::Local(inner) => inner.lock().pending_epoch,
+            CoordBacking::Shared(cell) => cell.pending_epoch(),
+        }
     }
 
     fn try_open(&self, inner: &mut CoordInner) {
@@ -153,29 +233,44 @@ impl EpochCoordinator {
     /// rubberband policy). Returns the barrier generation to wait for via
     /// [`EpochCoordinator::reached`].
     pub fn arrive(&self, shard: u32, epoch: u64, pin_limit: u64) -> u64 {
-        let mut inner = self.inner.lock();
-        inner.pin_limit[shard as usize] = pin_limit;
-        inner.published[shard as usize] = 0;
-        inner.pending_epoch = epoch;
-        inner.arrived += 1;
-        let target = inner.generation + 1;
-        self.try_open(&mut inner);
-        target
+        match &self.backing {
+            CoordBacking::Local(mutex) => {
+                let mut inner = mutex.lock();
+                inner.pin_limit[shard as usize] = pin_limit;
+                inner.published[shard as usize] = 0;
+                inner.pending_epoch = epoch;
+                inner.arrived += 1;
+                let target = inner.generation + 1;
+                self.try_open(&mut inner);
+                target
+            }
+            CoordBacking::Shared(cell) => cell.arrive(shard, epoch, pin_limit),
+        }
     }
 
     /// True once barrier generation `target` has opened. Re-evaluates the
     /// barrier so expired unapplied admissions cannot wedge it.
     pub fn reached(&self, target: u64) -> bool {
-        let mut inner = self.inner.lock();
-        if inner.generation < target {
-            self.try_open(&mut inner);
+        match &self.backing {
+            CoordBacking::Local(mutex) => {
+                let mut inner = mutex.lock();
+                if inner.generation < target {
+                    self.try_open(&mut inner);
+                }
+                inner.generation >= target
+            }
+            CoordBacking::Shared(cell) => cell.reached(target),
         }
-        inner.generation >= target
     }
 
     /// A shard reports its publish progress within the current epoch.
     pub fn note_published(&self, shard: u32, published_in_epoch: u64) {
-        self.inner.lock().published[shard as usize] = published_in_epoch;
+        match &self.backing {
+            CoordBacking::Local(mutex) => {
+                mutex.lock().published[shard as usize] = published_in_epoch
+            }
+            CoordBacking::Shared(cell) => cell.note_published(shard, published_in_epoch),
+        }
     }
 
     fn group_window_open(inner: &CoordInner) -> bool {
@@ -193,8 +288,13 @@ impl EpochCoordinator {
     /// shard would replay from all of them), or an already-decided
     /// admission has not been applied on this shard yet.
     pub fn pin_window_open(&self, shard: u32) -> bool {
-        let inner = self.inner.lock();
-        Self::group_window_open(&inner) || !inner.unapplied[shard as usize].is_empty()
+        match &self.backing {
+            CoordBacking::Local(mutex) => {
+                let inner = mutex.lock();
+                Self::group_window_open(&inner) || !inner.unapplied[shard as usize].is_empty()
+            }
+            CoordBacking::Shared(cell) => cell.pin_window_open(shard),
+        }
     }
 
     /// Decides (or recalls) the group outcome for consumer `id`'s join,
@@ -210,7 +310,14 @@ impl EpochCoordinator {
     /// allows mid-epoch. The first shard to ask decides against global
     /// state; everyone else gets the memo.
     pub fn decide_join(&self, id: u64, no_consumers_locally: bool) -> (GroupJoin, u64) {
-        let mut inner = self.inner.lock();
+        let mutex = match &self.backing {
+            CoordBacking::Local(mutex) => mutex,
+            CoordBacking::Shared(cell) => {
+                let (decision, epoch) = cell.decide_join(id, no_consumers_locally);
+                return (decision.into(), epoch);
+            }
+        };
+        let mut inner = mutex.lock();
         if let Some(d) = inner.decisions.get(&id) {
             return (*d, inner.epoch);
         }
@@ -249,47 +356,72 @@ impl EpochCoordinator {
     /// Shard `shard` applied consumer `id`'s admission (replayed its pins
     /// and armed its window).
     pub fn applied(&self, shard: u32, id: u64) {
-        let mut inner = self.inner.lock();
-        inner.unapplied[shard as usize].remove(&id);
-        self.try_open(&mut inner);
+        match &self.backing {
+            CoordBacking::Local(mutex) => {
+                let mut inner = mutex.lock();
+                inner.unapplied[shard as usize].remove(&id);
+                self.try_open(&mut inner);
+            }
+            CoordBacking::Shared(cell) => cell.applied(shard, id),
+        }
     }
 
     /// Consumer `id` left or was detached: forget any admission still
     /// waiting to be applied for it.
     pub fn abandon(&self, id: u64) {
-        let mut inner = self.inner.lock();
-        for unapplied in &mut inner.unapplied {
-            unapplied.remove(&id);
+        match &self.backing {
+            CoordBacking::Local(mutex) => {
+                let mut inner = mutex.lock();
+                for unapplied in &mut inner.unapplied {
+                    unapplied.remove(&id);
+                }
+                self.try_open(&mut inner);
+            }
+            CoordBacking::Shared(cell) => cell.abandon(id),
         }
-        self.try_open(&mut inner);
     }
 
     /// Shard `shard`'s producer loop exited; it no longer counts toward
     /// barriers or admission decisions.
     pub fn retire(&self, shard: u32) {
-        let mut inner = self.inner.lock();
-        if std::mem::replace(&mut inner.active[shard as usize], false) {
-            inner.unapplied[shard as usize].clear();
-            self.try_open(&mut inner);
+        match &self.backing {
+            CoordBacking::Local(mutex) => {
+                let mut inner = mutex.lock();
+                if std::mem::replace(&mut inner.active[shard as usize], false) {
+                    inner.unapplied[shard as usize].clear();
+                    self.try_open(&mut inner);
+                }
+            }
+            CoordBacking::Shared(cell) => cell.retire(shard),
         }
     }
 
     /// Asks every shard to wind down (set on group abort / spawn failure).
     pub fn stop(&self) {
-        self.inner.lock().stopped = true;
+        match &self.backing {
+            CoordBacking::Local(mutex) => mutex.lock().stopped = true,
+            CoordBacking::Shared(cell) => cell.stop(),
+        }
     }
 
-    /// True once [`EpochCoordinator::stop`] was called.
+    /// True once [`EpochCoordinator::stop`] was called (by any process,
+    /// for the shared backing).
     pub fn is_stopped(&self) -> bool {
-        self.inner.lock().stopped
+        match &self.backing {
+            CoordBacking::Local(mutex) => mutex.lock().stopped,
+            CoordBacking::Shared(cell) => cell.is_stopped(),
+        }
     }
 }
 
 /// A sharded producer group: `N` feeder+publish pipelines, one per
 /// disjoint dataset shard, in lockstep under one [`EpochCoordinator`].
 ///
-/// Shard `i` publishes on `shard_endpoint(base, i)` (shard 0 *is* the
-/// base endpoint); a [`crate::TensorConsumer`] with
+/// Shard `i` publishes on the base of [`ts_socket::EndpointMap`] shard
+/// `i` — the scheme-derived default, or the pinned
+/// [`ProducerConfig::shard_endpoints`] override (shard 0 *is* the base
+/// endpoint and cannot be overridden: it answers the handshake). A
+/// [`crate::TensorConsumer`] with
 /// [`crate::ConsumerConfig::shards`] set subscribes to all of them and
 /// interleaves the streams deterministically by `(epoch, shard, seq)`,
 /// so training sees one bit-stable stream regardless of shard count —
@@ -355,11 +487,30 @@ impl ShardedProducerGroup {
                 "sharded group needs at least one source".into(),
             ));
         }
+        if sources.len() > 1 && cfg.shard_endpoints.iter().any(|(s, _)| *s == 0) {
+            return Err(TsError::Config(
+                "shard 0 is the handshake endpoint consumers hello at; set it via the \
+                 base endpoint, not a shard_endpoint(0, ..) override"
+                    .into(),
+            ));
+        }
+        // Every shard's base comes from one override-aware map; the full
+        // override table stays only on shard 0, whose WELCOME advertises
+        // it (a non-zero shard's own single-shard endpoint layout must
+        // root at its resolved base, not re-apply group overrides).
+        let group_map = ts_socket::EndpointMap::with_overrides(
+            &cfg.endpoint,
+            sources.len(),
+            cfg.shard_endpoints.clone(),
+        );
         let coordinator = Arc::new(EpochCoordinator::new(sources.len(), cfg.heartbeat_timeout));
         let mut producers = Vec::with_capacity(sources.len());
         for (shard, source) in sources.into_iter().enumerate() {
             let mut shard_cfg = cfg.clone();
-            shard_cfg.endpoint = ts_socket::shard_endpoint(&cfg.endpoint, shard);
+            shard_cfg.endpoint = group_map.shard_base(shard);
+            if shard != 0 {
+                shard_cfg.shard_endpoints = Vec::new();
+            }
             match TensorProducer::spawn_sharded(
                 source,
                 ctx,
@@ -508,6 +659,56 @@ mod tests {
         assert_eq!(c.decide_join(4, true).0, GroupJoin::AdmitAtCurrent);
         // The memo answers the other shard identically.
         assert_eq!(c.decide_join(4, false).0, GroupJoin::AdmitAtCurrent);
+    }
+
+    fn coord_temp_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "ts-core-coord-{}-{}-{tag}.coord",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn shared_backing_runs_the_same_barrier_protocol() {
+        // Two coordinator instances over one file stand in for two shard
+        // producer processes; the semantics must match the local backing.
+        let path = coord_temp_path("barrier");
+        let a = EpochCoordinator::create_shared(&path, 2, T).unwrap();
+        let b = EpochCoordinator::attach_shared(&path, T).unwrap();
+        assert_eq!(b.num_shards(), 2);
+        assert_eq!(a.coordination_file(), Some(path.as_path()));
+        let g = a.arrive(0, 0, 2);
+        assert!(!a.reached(g));
+        assert_eq!(b.arrive(1, 0, 2), g);
+        assert!(a.reached(g) && b.reached(g));
+        a.note_published(0, 1);
+        b.note_published(1, 1);
+        // Memoized admission, visible from both mappings.
+        assert_eq!(a.decide_join(7, false).0, GroupJoin::AdmitReplay);
+        assert_eq!(b.decide_join(7, false).0, GroupJoin::AdmitReplay);
+        assert!(b.pin_window_open(1));
+        a.applied(0, 7);
+        b.applied(1, 7);
+        b.note_published(1, 5);
+        assert!(!b.pin_window_open(1));
+        assert_eq!(b.decide_join(8, false).0, GroupJoin::WaitNextEpoch);
+        // Stop propagates across mappings.
+        a.stop();
+        assert!(b.is_stopped());
+    }
+
+    #[test]
+    fn attach_shared_rejects_a_non_coordinator_file() {
+        let path = coord_temp_path("bogus");
+        std::fs::write(&path, vec![0u8; 16]).unwrap();
+        assert!(matches!(
+            EpochCoordinator::attach_shared(&path, T),
+            Err(TsError::Arena(_))
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -32,8 +32,8 @@ use crate::protocol::buffer::BatchWindow;
 use crate::protocol::flex::plan_flex;
 use crate::protocol::heartbeat::HeartbeatMonitor;
 use crate::protocol::messages::{
-    topics, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload,
-    JoinDecision, StatsPayload, WelcomeInfo, HANDSHAKE_VERSION,
+    caps, topics, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload,
+    JoinDecision, PayloadMode, StatsPayload, StreamedTensor, WelcomeInfo, HANDSHAKE_VERSION,
 };
 use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
 use crate::runtime::config::{ProducerConfig, ProducerMap};
@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use ts_data::{Batch, DataLoader};
-use ts_metrics::{Gauge, Histogram};
+use ts_metrics::{Counter, Gauge, Histogram};
 use ts_socket::{Multipart, PubSocket, PullSocket, RecvError};
 use ts_tensor::{collate, Tensor, TensorPayload};
 
@@ -66,6 +66,9 @@ struct StageMetrics {
     publish_ack: Arc<Histogram>,
     /// Current rubberband pin depth (batches held for late joiners).
     pin_depth: Arc<Gauge>,
+    /// Bytes sent over the streamed payload path (one increment per
+    /// stream-mode subscriber per batch: the copies are real).
+    stream_tx_bytes: Arc<Counter>,
 }
 
 impl StageMetrics {
@@ -81,6 +84,7 @@ impl StageMetrics {
             feeder_fetch: metrics.histogram(&format!("{prefix}feeder_fetch_ns")),
             publish_ack: metrics.histogram(&format!("{prefix}publish_ack_ns")),
             pin_depth: metrics.gauge(&format!("{prefix}pin_depth")),
+            stream_tx_bytes: metrics.counter(&format!("{prefix}stream_tx_bytes")),
         }
     }
 }
@@ -561,6 +565,10 @@ struct ConsumerInfo {
     batch_size: u32,
     /// Stable index used for flexible-mode offsets.
     index: usize,
+    /// How this consumer's payload bytes travel: shm pointer-passing or
+    /// length-prefixed streaming — negotiated at attach, fixed per
+    /// subscription.
+    mode: PayloadMode,
 }
 
 /// A published batch whose tensors are still registered.
@@ -601,7 +609,7 @@ struct ProducerLoop {
     /// would otherwise deadlock the handshake.
     join_replies: HashMap<u64, bytes::Bytes>,
     last_reply_nudge: Instant,
-    pending_join: Vec<(u64, u32)>,
+    pending_join: Vec<(u64, u32, PayloadMode)>,
     live: BTreeMap<u64, LiveBatch>,
     /// Seqs pinned for rubberband replay (current epoch, window open).
     pinned: Vec<u64>,
@@ -667,6 +675,15 @@ impl ProducerLoop {
                     slot_size: g.slot_size as u64,
                 }
             }),
+            endpoint_overrides: self.cfg.shard_endpoints.clone(),
+            // Flexible sizing carves per-consumer views of shared
+            // storage; there is no streamed serialization of those views
+            // yet, so flex producers grant the shm path only.
+            payload_modes: if self.cfg.flexible.is_some() {
+                caps::SHM
+            } else {
+                caps::SHM | caps::STREAM
+            },
         });
         if let Some(engine) = &self.staging {
             // Size the slab rotation before the first item is staged:
@@ -864,8 +881,8 @@ impl ProducerLoop {
         // joins deferred because their group decision was stamped with an
         // epoch this shard had not begun yet — now it has).
         let pending = std::mem::take(&mut self.pending_join);
-        for (id, bs) in pending {
-            self.admit(id, bs, /*replay=*/ false);
+        for (id, bs, mode) in pending {
+            self.admit(id, bs, mode, /*replay=*/ false);
             if let Some(coord) = &self.coord {
                 coord.applied(self.shard, id);
             }
@@ -1115,6 +1132,9 @@ impl ProducerLoop {
                 topics::BATCH,
                 Multipart::single(DataMsg::Batch(announce).encode()),
             );
+            // Stream-mode consumers cannot follow the pointer announce:
+            // send them the bytes themselves on their private topics.
+            self.send_streamed(seq);
         }
         // In a group the pin predicate is global: this shard keeps pinning
         // while ANY shard could still admit a joiner (which would replay
@@ -1205,12 +1225,71 @@ impl ProducerLoop {
         Ok(())
     }
 
+    /// Encodes the streamed (length-prefixed bytes) announce for live
+    /// batch `seq` — once; the same frame is reused for every stream-mode
+    /// subscriber.
+    fn encode_streamed(&self, seq: u64) -> Option<bytes::Bytes> {
+        let live = self.live.get(&seq)?;
+        let announce = BatchAnnounce {
+            seq,
+            epoch: live.epoch,
+            index_in_epoch: live.index_in_epoch,
+            last_in_epoch: live.last_in_epoch,
+            content: AnnounceContent::Streamed {
+                fields: live
+                    .fields
+                    .iter()
+                    .map(StreamedTensor::from_tensor)
+                    .collect(),
+                labels: StreamedTensor::from_tensor(&live.labels),
+            },
+        };
+        Some(DataMsg::Batch(announce).encode())
+    }
+
+    /// Sends live batch `seq` as bytes to every stream-mode consumer (the
+    /// negotiated fallback for consumers that cannot map the arena). Same
+    /// seq space as the pointer announce, so window/ack accounting is
+    /// shared between the two payload paths.
+    fn send_streamed(&mut self, seq: u64) {
+        let stream_ids: Vec<u64> = self
+            .consumers
+            .iter()
+            .filter(|(_, c)| c.mode == PayloadMode::Stream)
+            .map(|(&id, _)| id)
+            .collect();
+        if stream_ids.is_empty() {
+            return;
+        }
+        let Some(encoded) = self.encode_streamed(seq) else {
+            return;
+        };
+        for id in stream_ids {
+            self.stage.stream_tx_bytes.add(encoded.len() as u64);
+            let _ = self
+                .publisher
+                .send(&topics::consumer(id), Multipart::single(encoded.clone()));
+        }
+    }
+
     /// Replays the pinned epoch prefix to a rubberband joiner.
     fn replay_to(&mut self, id: u64) {
+        let mode = self
+            .consumers
+            .get(&id)
+            .map(|c| c.mode)
+            .unwrap_or(PayloadMode::Shm);
         let pinned = self.pinned.clone();
         for seq in pinned {
             if self.cfg.flexible.is_some() {
                 let _ = self.send_flex_to(id, seq);
+            } else if mode == PayloadMode::Stream {
+                if let Some(encoded) = self.encode_streamed(seq) {
+                    self.stage.stream_tx_bytes.add(encoded.len() as u64);
+                    let _ = self
+                        .publisher
+                        .send(&topics::consumer(id), Multipart::single(encoded));
+                }
             } else if let Some(live) = self.live.get(&seq) {
                 let announce = BatchAnnounce {
                     seq,
@@ -1237,10 +1316,16 @@ impl ProducerLoop {
     }
 
     /// Admits a consumer: reply, track, and (on `replay`) schedule catch-up.
-    fn admit(&mut self, id: u64, batch_size: u32, replay: bool) {
+    fn admit(&mut self, id: u64, batch_size: u32, mode: PayloadMode, replay: bool) {
         let index = self.consumers.len();
-        self.consumers
-            .insert(id, ConsumerInfo { batch_size, index });
+        self.consumers.insert(
+            id,
+            ConsumerInfo {
+                batch_size,
+                index,
+                mode,
+            },
+        );
         self.stats.peak_consumers = self.stats.peak_consumers.max(self.consumers.len());
         self.awaiting_ready.insert(id);
         // Joining the window immediately halts publishing until the joiner
@@ -1284,11 +1369,17 @@ impl ProducerLoop {
     /// Admits a consumer mid-epoch at the current stream position (used when
     /// no other consumer is active, so there is nobody to halt and nothing
     /// pinned to replay).
-    fn admit_at_current(&mut self, id: u64, batch_size: u32) {
+    fn admit_at_current(&mut self, id: u64, batch_size: u32, mode: PayloadMode) {
         let start_seq = self.window.next_seq();
         let index = self.consumers.len();
-        self.consumers
-            .insert(id, ConsumerInfo { batch_size, index });
+        self.consumers.insert(
+            id,
+            ConsumerInfo {
+                batch_size,
+                index,
+                mode,
+            },
+        );
         self.stats.peak_consumers = self.stats.peak_consumers.max(self.consumers.len());
         self.awaiting_ready.insert(id);
         self.window.add_consumer(id, start_seq);
@@ -1345,8 +1436,28 @@ impl ProducerLoop {
         // it statelessly (a consumer that missed the reply retries with
         // the same token) and never let the token into the heartbeat
         // monitor, where it would register a phantom consumer.
-        if let CtrlMsg::Hello { token, .. } = ctrl {
-            if let Some(info) = self.welcome.clone() {
+        if let CtrlMsg::Hello {
+            token,
+            version,
+            caps: hello_caps,
+        } = ctrl
+        {
+            // Capability bits we do not know yet are ignored (the peer
+            // falls back to what the WELCOME grants), but counted so a
+            // mixed-version fleet is observable.
+            if hello_caps & !caps::KNOWN != 0 {
+                self.ctx
+                    .metrics
+                    .counter("producer.hello_unknown_caps")
+                    .inc();
+            }
+            if let Some(mut info) = self.welcome.clone() {
+                // A v1 caller cannot decode the v2 tail: answer in its
+                // own dialect (the encoder drops the trailing bytes for
+                // version 1, producing the exact v1 frame).
+                if version < 2 {
+                    info.version = 1;
+                }
                 let reply = DataMsg::Welcome { token, info };
                 let _ = self
                     .publisher
@@ -1389,7 +1500,8 @@ impl ProducerLoop {
             CtrlMsg::Join {
                 consumer_id,
                 batch_size,
-            } => self.handle_join(consumer_id, batch_size, &policy),
+                mode,
+            } => self.handle_join(consumer_id, batch_size, mode, &policy),
             CtrlMsg::Ready { consumer_id } => {
                 if self.awaiting_ready.remove(&consumer_id) {
                     self.join_replies.remove(&consumer_id);
@@ -1436,7 +1548,7 @@ impl ProducerLoop {
                 self.stats.consumers_detached += 1;
                 self.ctx.metrics.counter("producer.detached").inc();
             }
-            self.pending_join.retain(|(id, _)| *id != dead);
+            self.pending_join.retain(|(id, ..)| *id != dead);
         }
     }
 
@@ -1477,9 +1589,30 @@ impl ProducerLoop {
         }
     }
 
-    fn handle_join(&mut self, id: u64, batch_size: u32, policy: &RubberbandPolicy) {
+    fn handle_join(
+        &mut self,
+        id: u64,
+        batch_size: u32,
+        mode: PayloadMode,
+        policy: &RubberbandPolicy,
+    ) {
         if self.consumers.contains_key(&id) {
             return; // duplicate join
+        }
+        // The WELCOME never grants STREAM from a flexible producer; a
+        // streamed Join here means the consumer ignored the grant mask.
+        if mode == PayloadMode::Stream && self.cfg.flexible.is_some() {
+            let reply = DataMsg::JoinReply {
+                consumer_id: id,
+                decision: JoinDecision::Reject {
+                    reason: "flexible producers serve shm payloads only".into(),
+                },
+            };
+            let _ = self
+                .publisher
+                .send(&topics::consumer(id), Multipart::single(reply.encode()));
+            self.stats.joins_rejected += 1;
+            return;
         }
         if let Some(flex) = &self.cfg.flexible {
             if batch_size == 0 || batch_size as usize > flex.producer_batch {
@@ -1516,15 +1649,15 @@ impl ProducerLoop {
                     && decision_epoch != self.pin_epoch;
             match (decision, out_of_phase) {
                 (GroupJoin::AdmitReplay, false) => {
-                    self.admit(id, batch_size, self.published_in_epoch > 0);
+                    self.admit(id, batch_size, mode, self.published_in_epoch > 0);
                     coord.applied(self.shard, id);
                 }
                 (GroupJoin::AdmitAtCurrent, false) => {
-                    self.admit_at_current(id, batch_size);
+                    self.admit_at_current(id, batch_size, mode);
                     coord.applied(self.shard, id);
                 }
                 (GroupJoin::WaitNextEpoch, _) | (_, true) => {
-                    self.pending_join.push((id, batch_size));
+                    self.pending_join.push((id, batch_size, mode));
                     let reply = DataMsg::JoinReply {
                         consumer_id: id,
                         decision: JoinDecision::WaitEpoch {
@@ -1542,15 +1675,15 @@ impl ProducerLoop {
             // Mid-epoch with no active consumers ("consumers may join
             // training at any point in an epoch", §3.3.1): admit at the
             // current position without replay.
-            self.admit_at_current(id, batch_size);
+            self.admit_at_current(id, batch_size, mode);
             return;
         }
         match policy.decide(self.published_in_epoch, self.expected_announces) {
             JoinOutcome::AdmitReplay { .. } => {
-                self.admit(id, batch_size, self.published_in_epoch > 0);
+                self.admit(id, batch_size, mode, self.published_in_epoch > 0);
             }
             JoinOutcome::WaitNextEpoch => {
-                self.pending_join.push((id, batch_size));
+                self.pending_join.push((id, batch_size, mode));
                 let reply = DataMsg::JoinReply {
                     consumer_id: id,
                     decision: JoinDecision::WaitEpoch {

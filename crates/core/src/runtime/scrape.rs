@@ -25,17 +25,23 @@ use crate::runtime::consumer::rand_id;
 use crate::runtime::context::TsContext;
 use crate::{Result, TsError};
 use std::time::{Duration, Instant};
-use ts_socket::{EndpointMap, Multipart, PushSocket, RecvError, SubSocket};
+use ts_socket::{Endpoint, EndpointMap, Multipart, PushSocket, RecvError, SubSocket};
 
 /// Scrapes the metrics registry of the producer listening on `endpoint`
-/// (the same base URI consumers attach to, over any transport).
+/// (the same base URI consumers attach to — as a string or a parsed
+/// [`Endpoint`] — over any transport).
 ///
 /// Returns within `timeout` or fails with [`TsError::Timeout`] — a
 /// producer that already published `End` and shut down no longer
 /// answers. The producer keeps serving batches while answering; a scrape
 /// is a read-only snapshot, never an attach.
-pub fn scrape_stats(ctx: &TsContext, endpoint: &str, timeout: Duration) -> Result<StatsPayload> {
-    let map = EndpointMap::new(endpoint, 1);
+pub fn scrape_stats<E>(ctx: &TsContext, endpoint: E, timeout: Duration) -> Result<StatsPayload>
+where
+    E: TryInto<Endpoint>,
+    E::Error: Into<TsError>,
+{
+    let endpoint = endpoint.try_into().map_err(Into::into)?.to_string();
+    let map = EndpointMap::new(&endpoint, 1);
     let token = rand_id();
     let sub = SubSocket::connect(&ctx.sockets, &map.data(0));
     sub.subscribe(&topics::stats(token));

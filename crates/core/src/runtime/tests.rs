@@ -677,7 +677,7 @@ fn dead_consumer_is_detached_and_others_continue() {
     let mut good = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
     // A "dead" consumer: joins by hand, then never acks or heartbeats.
     {
-        use crate::protocol::messages::CtrlMsg;
+        use crate::protocol::messages::{CtrlMsg, PayloadMode};
         let sub = ts_socket::SubSocket::connect(&ctx.sockets, &format!("{ep}/data"));
         sub.subscribe(&crate::protocol::messages::topics::consumer(999));
         let push = ts_socket::PushSocket::connect(&ctx.sockets, &format!("{ep}/ctrl"));
@@ -685,6 +685,7 @@ fn dead_consumer_is_detached_and_others_continue() {
             CtrlMsg::Join {
                 consumer_id: 999,
                 batch_size: 0,
+                mode: PayloadMode::Shm,
             }
             .encode(),
         ))
@@ -1612,7 +1613,7 @@ fn builder_consumer_surfaces_timeout_as_err_item() {
     // Err item, then the stream ends. A fake producer answers the attach
     // handshake, admits the join, and then starves the consumer.
     use crate::protocol::messages::{
-        topics, CtrlMsg, DataMsg, JoinDecision, WelcomeInfo, HANDSHAKE_VERSION,
+        caps, topics, CtrlMsg, DataMsg, JoinDecision, WelcomeInfo, HANDSHAKE_VERSION,
     };
     use ts_socket::{Multipart, PubSocket, PullSocket};
 
@@ -1638,6 +1639,8 @@ fn builder_consumer_surfaces_timeout_as_err_item() {
                         flex_producer_batch: 0,
                         staging: 0,
                         arena: None,
+                        endpoint_overrides: Vec::new(),
+                        payload_modes: caps::SHM,
                     },
                 };
                 publisher

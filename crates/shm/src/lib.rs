@@ -48,8 +48,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+mod coord;
 mod mmap;
 
+pub use coord::{CoordDecision, ShmCoordCell, MAX_COORD_SHARDS};
 use mmap::SharedMapping;
 
 /// Arena file magic: `b"TSARENA1"` little-endian.

@@ -43,13 +43,13 @@ pub(crate) struct PushPullEndpoint {
     pub(crate) rx: Option<Receiver<Multipart>>,
 }
 
-pub(crate) enum Endpoint {
+pub(crate) enum BrokerEntry {
     PubSub(PubSubEndpoint),
     PushPull(PushPullEndpoint),
 }
 
 pub(crate) struct Broker {
-    pub(crate) endpoints: Mutex<HashMap<String, Endpoint>>,
+    pub(crate) endpoints: Mutex<HashMap<String, BrokerEntry>>,
     pub(crate) default_hwm: usize,
 }
 
@@ -163,11 +163,16 @@ pub fn channel_endpoint(base: &str, channel: &str) -> String {
 /// This is the single place endpoint derivation lives — producer and
 /// consumer configurations both resolve their channels through it, and
 /// the attach handshake describes a topology as nothing more than
-/// `(base, shards)`, from which a consumer rebuilds every endpoint.
+/// `(base, shards)` plus an optional sparse **override table**: a
+/// multi-host producer pins shard `i`'s base to an explicit URI (a
+/// different host, say) instead of the scheme-derived default, and the
+/// v2 WELCOME carries the table so consumers rebuild the identical map.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EndpointMap {
     base: String,
     shards: usize,
+    /// Sparse `(shard, base URI)` overrides, sorted by shard.
+    overrides: Vec<(u32, String)>,
 }
 
 impl EndpointMap {
@@ -177,7 +182,38 @@ impl EndpointMap {
         Self {
             base: base.into(),
             shards: shards.max(1),
+            overrides: Vec::new(),
         }
+    }
+
+    /// A map whose listed shards use explicit base URIs instead of the
+    /// scheme-derived defaults. Later entries for the same shard win.
+    pub fn with_overrides(
+        base: impl Into<String>,
+        shards: usize,
+        overrides: impl IntoIterator<Item = (u32, String)>,
+    ) -> Self {
+        let mut map = Self::new(base, shards);
+        for (shard, uri) in overrides {
+            map.set_override(shard, uri);
+        }
+        map
+    }
+
+    /// Pins shard `shard`'s base endpoint to `uri` (replacing any earlier
+    /// override for the same shard).
+    pub fn set_override(&mut self, shard: u32, uri: impl Into<String>) {
+        let uri = uri.into();
+        match self.overrides.binary_search_by_key(&shard, |(s, _)| *s) {
+            Ok(i) => self.overrides[i].1 = uri,
+            Err(i) => self.overrides.insert(i, (shard, uri)),
+        }
+    }
+
+    /// The sparse override table, sorted by shard (what the v2 WELCOME
+    /// advertises).
+    pub fn overrides(&self) -> &[(u32, String)] {
+        &self.overrides
     }
 
     /// The base endpoint URI the map was built from.
@@ -190,8 +226,15 @@ impl EndpointMap {
         self.shards
     }
 
-    /// Shard `shard`'s base endpoint ([`shard_endpoint`]).
+    /// Shard `shard`'s base endpoint: the override if one is pinned,
+    /// otherwise the scheme-derived default ([`shard_endpoint`]).
     pub fn shard_base(&self, shard: usize) -> String {
+        if let Ok(i) = self
+            .overrides
+            .binary_search_by_key(&(shard as u32), |(s, _)| *s)
+        {
+            return self.overrides[i].1.clone();
+        }
         shard_endpoint(&self.base, shard)
     }
 
@@ -265,6 +308,29 @@ mod tests {
         assert_eq!(m.shards(), 1, "clamped to one shard");
         assert_eq!(m.data(0), "inproc://ts/data");
         assert_eq!(m.ctrl(2), "inproc://ts/s2/ctrl");
+    }
+
+    #[test]
+    fn overrides_replace_derivation_per_shard_only() {
+        let m = EndpointMap::with_overrides(
+            "tcp://10.0.0.1:7000",
+            3,
+            [(1u32, "tcp://10.0.0.2:9000".to_string())],
+        );
+        // Non-overridden shards keep the scheme-derived layout…
+        assert_eq!(m.data(0), "tcp://10.0.0.1:7000");
+        assert_eq!(m.ctrl(0), "tcp://10.0.0.1:7001");
+        assert_eq!(m.data(2), "tcp://10.0.0.1:7004");
+        // …while the pinned shard's channels derive from its override.
+        assert_eq!(m.shard_base(1), "tcp://10.0.0.2:9000");
+        assert_eq!(m.data(1), "tcp://10.0.0.2:9000");
+        assert_eq!(m.ctrl(1), "tcp://10.0.0.2:9001");
+        assert_eq!(m.overrides(), &[(1, "tcp://10.0.0.2:9000".to_string())]);
+        // Re-pinning the same shard replaces, not duplicates.
+        let mut m = m;
+        m.set_override(1, "ipc:///tmp/s1.sock");
+        assert_eq!(m.data(1), "ipc:///tmp/s1.sock.data");
+        assert_eq!(m.overrides().len(), 1);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod frame;
 pub mod pubsub;
 pub mod pushpull;
 pub mod transport;
+pub mod uri;
 pub mod wire;
 
 pub use endpoint::{channel_endpoint, shard_endpoint, Context, EndpointMap};
@@ -52,6 +53,7 @@ pub use frame::Multipart;
 pub use pubsub::{PubSocket, SendPolicy, SubSocket};
 pub use pushpull::{PullSocket, PushSocket};
 pub use transport::EndpointAddr;
+pub use uri::{Endpoint, EndpointError, Scheme};
 
 #[cfg(test)]
 mod tests {

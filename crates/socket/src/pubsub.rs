@@ -4,7 +4,7 @@
 //! in-process broker; `ipc://` and `tcp://` run over real sockets with the
 //! same semantics (see [`crate::transport`]).
 
-use crate::endpoint::{Context, Endpoint, PubSubEndpoint, SubEntry};
+use crate::endpoint::{BrokerEntry, Context, PubSubEndpoint, SubEntry};
 use crate::error::{RecvError, SendError};
 use crate::frame::Multipart;
 use crate::transport::pubsub::{StreamPub, StreamSub};
@@ -39,7 +39,7 @@ impl BrokerPub {
         let subs: Vec<Arc<SubEntry>> = {
             let eps = self.ctx.broker.endpoints.lock();
             match eps.get(&self.name) {
-                Some(Endpoint::PubSub(ps)) => ps.subs.clone(),
+                Some(BrokerEntry::PubSub(ps)) => ps.subs.clone(),
                 _ => Vec::new(),
             }
         };
@@ -65,7 +65,7 @@ impl BrokerPub {
         }
         if !dead.is_empty() {
             let mut eps = self.ctx.broker.endpoints.lock();
-            if let Some(Endpoint::PubSub(ps)) = eps.get_mut(&self.name) {
+            if let Some(BrokerEntry::PubSub(ps)) = eps.get_mut(&self.name) {
                 ps.subs.retain(|s| !dead.contains(&s.id));
             }
         }
@@ -75,7 +75,7 @@ impl BrokerPub {
     fn subscriber_count(&self) -> usize {
         let eps = self.ctx.broker.endpoints.lock();
         match eps.get(&self.name) {
-            Some(Endpoint::PubSub(ps)) => ps.subs.len(),
+            Some(BrokerEntry::PubSub(ps)) => ps.subs.len(),
             _ => 0,
         }
     }
@@ -138,7 +138,7 @@ impl PubSocket {
             None => {
                 eps.insert(
                     name.to_string(),
-                    Endpoint::PubSub(PubSubEndpoint {
+                    BrokerEntry::PubSub(PubSubEndpoint {
                         bound: true,
                         hwm,
                         next_sub_id: 0,
@@ -146,14 +146,14 @@ impl PubSocket {
                     }),
                 );
             }
-            Some(Endpoint::PubSub(ps)) => {
+            Some(BrokerEntry::PubSub(ps)) => {
                 if ps.bound {
                     return Err(SendError::AddrInUse(name.to_string()));
                 }
                 ps.bound = true;
                 ps.hwm = hwm;
             }
-            Some(Endpoint::PushPull(_)) => {
+            Some(BrokerEntry::PushPull(_)) => {
                 return Err(SendError::AddrInUse(name.to_string()));
             }
         }
@@ -207,7 +207,7 @@ struct BrokerSub {
 impl Drop for BrokerSub {
     fn drop(&mut self) {
         let mut eps = self.ctx.broker.endpoints.lock();
-        if let Some(Endpoint::PubSub(ps)) = eps.get_mut(&self.name) {
+        if let Some(BrokerEntry::PubSub(ps)) = eps.get_mut(&self.name) {
             let id = self.id;
             ps.subs.retain(|s| s.id != id);
         }
@@ -252,15 +252,15 @@ impl SubSocket {
         }
         let mut eps = ctx.broker.endpoints.lock();
         let ps = match eps.entry(name.to_string()).or_insert_with(|| {
-            Endpoint::PubSub(PubSubEndpoint {
+            BrokerEntry::PubSub(PubSubEndpoint {
                 bound: false,
                 hwm: ctx.broker.default_hwm,
                 next_sub_id: 0,
                 subs: Vec::new(),
             })
         }) {
-            Endpoint::PubSub(ps) => ps,
-            Endpoint::PushPull(_) => panic!("endpoint {name} is a PUSH/PULL endpoint"),
+            BrokerEntry::PubSub(ps) => ps,
+            BrokerEntry::PushPull(_) => panic!("endpoint {name} is a PUSH/PULL endpoint"),
         };
         let (tx, rx) = channel::bounded(ps.hwm);
         let id = ps.next_sub_id;

@@ -4,7 +4,7 @@
 //! in-process broker; `ipc://` and `tcp://` run over real sockets (see
 //! [`crate::transport`]).
 
-use crate::endpoint::{Context, Endpoint, PushPullEndpoint};
+use crate::endpoint::{BrokerEntry, Context, PushPullEndpoint};
 use crate::error::{RecvError, SendError};
 use crate::frame::Multipart;
 use crate::transport::pushpull::{StreamPull, StreamPush};
@@ -15,13 +15,13 @@ use std::time::Duration;
 fn ensure_endpoint(ctx: &Context, name: &str) -> Result<Sender<Multipart>, SendError> {
     let mut eps = ctx.broker.endpoints.lock();
     match eps.get(name) {
-        Some(Endpoint::PushPull(pp)) => Ok(pp.tx.clone()),
-        Some(Endpoint::PubSub(_)) => Err(SendError::AddrInUse(name.to_string())),
+        Some(BrokerEntry::PushPull(pp)) => Ok(pp.tx.clone()),
+        Some(BrokerEntry::PubSub(_)) => Err(SendError::AddrInUse(name.to_string())),
         None => {
             let (tx, rx) = channel::bounded(ctx.broker.default_hwm);
             eps.insert(
                 name.to_string(),
-                Endpoint::PushPull(PushPullEndpoint {
+                BrokerEntry::PushPull(PushPullEndpoint {
                     bound: false,
                     tx: tx.clone(),
                     rx: Some(rx),
@@ -79,7 +79,7 @@ impl PullSocket {
         ensure_endpoint(ctx, name)?;
         let mut eps = ctx.broker.endpoints.lock();
         match eps.get_mut(name) {
-            Some(Endpoint::PushPull(pp)) => {
+            Some(BrokerEntry::PushPull(pp)) => {
                 if pp.bound || pp.rx.is_none() {
                     return Err(SendError::AddrInUse(name.to_string()));
                 }

@@ -75,6 +75,25 @@
 //! endpoint plus `.arena(path)` on the producer — and *only* the
 //! endpoint on the consumers.
 //!
+//! # Migrating from handshake v1 to v2 (multi-host)
+//!
+//! Handshake v2 keeps every v1 deployment working unchanged — a v1
+//! consumer attaches to a v2 producer and vice versa (the v2 extensions
+//! ride in trailing bytes a v1 decoder never reads). What v2 *adds* is
+//! the multi-host data plane; migrate per deployment, not per codebase:
+//!
+//! | v1 deployment                                    | v2 |
+//! |--------------------------------------------------|----|
+//! | all shards derived from one base endpoint        | unchanged — `tcp://host:port` still derives `port + 2·shard` |
+//! | shards must share one host/NIC                   | `.shard_endpoint(i, "tcp://other-host:port")` per shard; the WELCOME advertises the full map, consumers need **no** change |
+//! | consumers must map the producer's shm arena      | negotiated per consumer: a consumer that cannot open the arena falls back to length-prefixed byte **streaming** on the same data socket, bit-identical to the shm stream |
+//! | `ctx.open_arena(..)` failures at first batch     | typed at attach: `HandshakeError::ArenaMissing` (pinned `.payload_mode(Shm)`) or a clean streamed attach (unpinned) |
+//! | no way to test the remote shape locally          | `.payload_mode(PayloadMode::Stream)` or `TS_FORCE_PAYLOAD_MODE=stream` forces streaming over any transport |
+//!
+//! Note one topology rule: shard 0's endpoint is the handshake endpoint
+//! consumers hello at, so it comes from the *base* endpoint —
+//! `.shard_endpoint(0, ..)` on a multi-shard group is a config error.
+//!
 //! # Pipeline tuning
 //!
 //! The producer runs as a two-stage pipeline: a feeder stage loads,

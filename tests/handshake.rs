@@ -10,7 +10,13 @@
 //!   [`HandshakeError::Topology`];
 //! * **unopenable arena** — the producer advertises a shared-memory
 //!   arena whose backing file the consumer cannot map (stale path,
-//!   different host) → [`HandshakeError::ArenaMissing`].
+//!   different host). A consumer pinned to shm payloads gets
+//!   [`HandshakeError::ArenaMissing`]; an unpinned consumer negotiates
+//!   down to streamed payloads and still attaches (the remote-host
+//!   shape);
+//! * **ungranted payload mode** — a consumer forcing streamed payloads
+//!   from a flexible-batch producer (which only grants shm) gets
+//!   [`HandshakeError::Mode`] with the producer's grant mask.
 //!
 //! Each case is timeout-guarded: the error must arrive well inside the
 //! guard, proving the failure path is a fast typed reply, not a timeout.
@@ -18,7 +24,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tensorsocket::{
-    Consumer, HandshakeError, Producer, ProducerConfig, TsError, HANDSHAKE_VERSION,
+    Consumer, HandshakeError, PayloadMode, Producer, ProducerConfig, TsError, HANDSHAKE_VERSION,
 };
 use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
 
@@ -146,9 +152,16 @@ fn unopenable_arena_yields_typed_error_promptly() {
             .expect("spawn producer with arena");
         // The producer keeps its mapping; the *path* disappears, so a
         // late-coming consumer cannot open what the WELCOME advertises —
-        // the cross-host / stale-path failure shape.
+        // the cross-host / stale-path failure shape. Pinning the payload
+        // mode disables the negotiated fall-back to streaming, so the
+        // typed error must surface.
         std::fs::remove_file(&arena_path).expect("unlink arena file");
-        let (err, _) = expect_error(|| Consumer::builder().handshake_timeout(GUARD).connect(&ep));
+        let (err, _) = expect_error(|| {
+            Consumer::builder()
+                .payload_mode(PayloadMode::Shm)
+                .handshake_timeout(GUARD)
+                .connect(&ep)
+        });
         match err {
             TsError::Handshake(HandshakeError::ArenaMissing { path, reason }) => {
                 assert_eq!(path, arena_path.display().to_string(), "{scheme}");
@@ -157,6 +170,112 @@ fn unopenable_arena_yields_typed_error_promptly() {
             other => panic!("{scheme}: expected ArenaMissing, got {other:?}"),
         }
         producer.abort();
+        producer.join().expect("producer join");
+    }
+}
+
+#[test]
+fn unopenable_arena_falls_back_to_streamed_payloads() {
+    // The same stale-path shape as above, but the consumer leaves the
+    // payload mode unpinned: the v2 handshake grants streaming, so the
+    // attach succeeds in streamed mode and the epoch still delivers.
+    for (scheme, ep) in endpoints("fallback", 4) {
+        let arena_path = std::env::temp_dir().join(format!(
+            "ts-hs-fallback-{scheme}-{}.arena",
+            std::process::id()
+        ));
+        let producer = Producer::builder()
+            .config(producer_cfg(&ep))
+            .arena(&arena_path)
+            .spawn(loader(1).remove(0))
+            .expect("spawn producer with arena");
+        std::fs::remove_file(&arena_path).expect("unlink arena file");
+        let mut consumer = Consumer::builder()
+            .handshake_timeout(GUARD)
+            .recv_timeout(Duration::from_secs(10))
+            .heartbeat_interval(Duration::from_millis(50))
+            .connect(&ep)
+            .expect("unpinned consumer negotiates streaming");
+        assert_eq!(
+            consumer.payload_mode(),
+            PayloadMode::Stream,
+            "{scheme}: fall-back must land in streamed mode"
+        );
+        let mut batches = 0;
+        for b in consumer.by_ref() {
+            b.expect("clean streamed batch");
+            batches += 1;
+        }
+        assert_eq!(batches, 16, "{scheme}: full epoch in streamed mode");
+        producer.join().expect("producer join");
+    }
+}
+
+#[test]
+fn forced_streaming_from_flex_producer_yields_mode_error() {
+    // Flexible producers re-slice shm tensors per consumer and therefore
+    // grant only shm payloads; a consumer *forcing* streamed payloads
+    // must get the typed grant-mask error instead of a hang.
+    for (scheme, ep) in endpoints("mode", 5) {
+        let mut cfg = producer_cfg(&ep);
+        cfg.flexible = Some(tensorsocket::FlexibleConfig::new(8));
+        let producer = Producer::builder()
+            .config(cfg)
+            .spawn(loader(1).remove(0))
+            .expect("spawn flexible producer");
+        let (err, _) = expect_error(|| {
+            Consumer::builder()
+                .payload_mode(PayloadMode::Stream)
+                .batch_size(4)
+                .handshake_timeout(GUARD)
+                .connect(&ep)
+        });
+        match err {
+            TsError::Handshake(HandshakeError::Mode { requested, granted }) => {
+                assert_eq!(requested, PayloadMode::Stream, "{scheme}");
+                assert_eq!(granted, tensorsocket::caps::SHM, "{scheme}");
+            }
+            other => panic!("{scheme}: expected Mode error, got {other:?}"),
+        }
+        producer.abort();
+        producer.join().expect("producer join");
+    }
+}
+
+#[test]
+fn v1_consumer_attaches_to_a_v2_producer_and_streams() {
+    // Mixed-version fleet, the compat direction that matters in a
+    // rolling upgrade: a consumer still speaking handshake v1 hellos a
+    // v2 producer. The producer answers in the v1 dialect (no trailing
+    // v2 extensions), the consumer lands on the v1 default payload mode
+    // (shm) and streams the full epoch.
+    for (scheme, ep) in endpoints("v1", 6) {
+        let arena_path =
+            std::env::temp_dir().join(format!("ts-hs-v1-{scheme}-{}.arena", std::process::id()));
+        let producer = Producer::builder()
+            .config(producer_cfg(&ep))
+            .arena(&arena_path)
+            .spawn(loader(1).remove(0))
+            .expect("spawn v2 producer");
+        let mut consumer = Consumer::builder()
+            .hello_version(HANDSHAKE_VERSION - 1)
+            .handshake_timeout(GUARD)
+            .recv_timeout(Duration::from_secs(10))
+            .heartbeat_interval(Duration::from_millis(50))
+            .connect(&ep)
+            .expect("v1 consumer attaches");
+        assert_eq!(
+            consumer.payload_mode(),
+            PayloadMode::Shm,
+            "{scheme}: v1 welcomes carry no grant mask — the consumer \
+             must land on the v1 default"
+        );
+        let mut batches = 0;
+        for b in consumer.by_ref() {
+            b.expect("clean v1 stream");
+            batches += 1;
+        }
+        assert_eq!(batches, 16, "{scheme}: full epoch in the v1 dialect");
         producer.join().expect("producer join");
     }
 }

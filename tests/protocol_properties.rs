@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use tensorsocket::protocol::buffer::BatchWindow;
 use tensorsocket::protocol::flex::{covers_producer_batch, plan_flex};
 use tensorsocket::protocol::messages::{
-    AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload, JoinDecision,
+    AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload, JoinDecision, PayloadMode,
 };
 use ts_baselines::DependentSampler;
 use ts_device::DeviceId;
@@ -122,9 +122,13 @@ fn arb_payload() -> impl Strategy<Value = TensorPayload> {
 
 proptest! {
     #[test]
-    fn ctrl_messages_roundtrip(id in any::<u64>(), bs in any::<u32>(), seq in any::<u64>(), tag in 0u8..5) {
+    fn ctrl_messages_roundtrip(id in any::<u64>(), bs in any::<u32>(), seq in any::<u64>(), tag in 0u8..5, stream in any::<bool>()) {
         let msg = match tag {
-            0 => CtrlMsg::Join { consumer_id: id, batch_size: bs },
+            0 => CtrlMsg::Join {
+                consumer_id: id,
+                batch_size: bs,
+                mode: if stream { PayloadMode::Stream } else { PayloadMode::Shm },
+            },
             1 => CtrlMsg::Ready { consumer_id: id },
             2 => CtrlMsg::Ack { consumer_id: id, seq },
             3 => CtrlMsg::Heartbeat { consumer_id: id },
