@@ -8,7 +8,7 @@ use tensorsocket::protocol::messages::{AnnounceContent, BatchAnnounce, DataMsg, 
 use ts_data::{codec, DataLoader, DataLoaderConfig, SyntheticImageDataset};
 use ts_device::DeviceId;
 use ts_sim::ps::{PsResource, Sharing};
-use ts_socket::{Context, Multipart, PubSocket, SubSocket};
+use ts_socket::{coalescing_cell, Context, Multipart, PubSocket, SubSocket};
 use ts_tensor::{collate, DType, MemoryPool, SharedRegistry, Tensor, TensorPayload};
 
 /// Payload pack + wire encode + decode + registry unpack — the entire
@@ -372,6 +372,58 @@ fn bench_transport(c: &mut Criterion) {
                         .map(|&b| b as u64)
                         .sum::<u64>(),
                 )
+            })
+        });
+    }
+    // --- cursor announcements: coalesced vs per-publish backlog ------------
+    // The producer's cursor channel is latest-wins: a publish storm
+    // between two housekeeping flushes collapses to ONE Cursor frame on
+    // the wire. The backlog row is the naive alternative — every publish
+    // broadcast as its own frame, all of which a waking consumer must
+    // drain. 64 publishes per iteration in both rows.
+    {
+        let ctx = Context::new();
+        let endpoint = format!(
+            "ipc://{}",
+            std::env::temp_dir()
+                .join(format!("ts-bench-cur-{}.sock", std::process::id()))
+                .display()
+        );
+        let publisher = PubSocket::bind(&ctx, &endpoint).unwrap();
+        let sub = SubSocket::connect(&ctx, &endpoint);
+        sub.subscribe(b"");
+        let cursor = |seq: u64| {
+            DataMsg::Cursor {
+                shard: 0,
+                epoch: 1,
+                seq,
+                index_in_epoch: seq,
+            }
+            .encode()
+        };
+        let (tx, rx) = coalescing_cell::<u64>();
+        g.bench_function("announce_coalesced_ipc", |b| {
+            b.iter(|| {
+                for seq in 0..64u64 {
+                    std::hint::black_box(tx.offer(seq));
+                }
+                let latest = rx.poll().expect("storm left a cursor");
+                publisher
+                    .send(b"cur", Multipart::single(cursor(latest)))
+                    .unwrap();
+                std::hint::black_box(sub.recv_timeout(Duration::from_secs(5)).unwrap())
+            })
+        });
+        g.bench_function("announce_backlog_ipc", |b| {
+            b.iter(|| {
+                for seq in 0..64u64 {
+                    publisher
+                        .send(b"cur", Multipart::single(cursor(seq)))
+                        .unwrap();
+                }
+                for _ in 0..64 {
+                    std::hint::black_box(sub.recv_timeout(Duration::from_secs(5)).unwrap());
+                }
             })
         });
     }

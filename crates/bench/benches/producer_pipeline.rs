@@ -87,6 +87,49 @@ fn run_epoch(workers: usize, endpoint: &str) -> u64 {
     batches
 }
 
+/// Like [`run_epoch`], but with a builder-provisioned shared-memory
+/// arena: the feeder collates straight into leased slots and the publish
+/// loop adopts the placements — the zero-copy shm publish shape. The
+/// committed numbers document that full cross-process shm semantics ride
+/// within a few percent of the heap path on this loader-bound epoch,
+/// with zero payload bytes moved at publish time (asserted below).
+fn run_leased_epoch(workers: usize, endpoint: &str, round: u32) -> u64 {
+    let ctx = TsContext::host_only();
+    let arena_path = std::env::temp_dir().join(format!(
+        "ts-bench-leased-{}-{round}.arena",
+        std::process::id()
+    ));
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint(endpoint)
+        .epochs(1)
+        .poll_interval(Duration::from_micros(200))
+        .first_consumer_timeout(Some(Duration::from_secs(30)))
+        .arena(&arena_path)
+        .spawn(make_loader(workers))
+        .expect("spawn leased producer");
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .recv_timeout(Duration::from_secs(30))
+        .heartbeat_interval(Duration::from_millis(5))
+        .connect(endpoint)
+        .expect("connect consumer");
+    let mut batches = 0u64;
+    for batch in consumer.by_ref() {
+        let batch = batch.expect("clean stream");
+        std::hint::black_box(batch.labels.view_bytes());
+        batches += 1;
+    }
+    producer.join().expect("producer join");
+    assert_eq!(
+        ctx.metrics.counter("stage.publish_copy_bytes").get(),
+        0,
+        "the benched path must be the zero-copy one"
+    );
+    let _ = std::fs::remove_file(&arena_path);
+    batches
+}
+
 /// Runs one full epoch through an n-shard producer group + one
 /// interleaving consumer; returns batches seen.
 fn run_sharded_epoch(shards: usize, endpoint: &str) -> u64 {
@@ -155,6 +198,23 @@ fn bench_producer_pipeline(c: &mut Criterion) {
             },
         );
     }
+    // Zero-copy shm publish: the pipelined epoch again, now with an
+    // arena + recycling slot pools bound (leased collate, metadata-only
+    // announce). Compare against `epoch/4`.
+    let mut leased_round = 0u32;
+    g.bench_with_input(
+        BenchmarkId::new("leased", 4usize),
+        &4usize,
+        |b, &workers| {
+            b.iter(|| {
+                leased_round += 1;
+                let endpoint = format!("inproc://bench-leased-{workers}-{leased_round}");
+                let batches = run_leased_epoch(workers, &endpoint, leased_round);
+                assert_eq!(batches as usize, SAMPLES / BATCH);
+                batches
+            })
+        },
+    );
     // Multi-producer sharding: same epoch, 1 vs 2 shard pipelines.
     let mut sharded_round = 0u32;
     for shards in [1usize, 2] {
@@ -197,6 +257,20 @@ fn bench_producer_pipeline(c: &mut Criterion) {
             serial / piped,
             serial / 1e6,
             piped / 1e6
+        );
+    }
+    let leased = report
+        .results
+        .iter()
+        .find(|r| r.bench.ends_with("/leased/4"))
+        .map(|r| r.mean_ns);
+    if let (Some(piped), Some(leased)) = (piped, leased) {
+        println!(
+            "zero-copy shm publish vs heap publish at 4 workers: {:+.1}% \
+             (heap {:.1} ms -> leased {:.1} ms)",
+            (leased / piped - 1.0) * 100.0,
+            piped / 1e6,
+            leased / 1e6
         );
     }
     let one_shard = report

@@ -94,6 +94,20 @@
 //! from the handshake. See `examples/multi_process.rs` for the full
 //! topology.
 //!
+//! With an arena bound, publish is **zero-copy end to end**: the feeder
+//! leases each batch's slot *before* collating ([`ts_tensor::SlotPool`])
+//! and decodes straight into it ([`ts_tensor::cat0_leased`]), so the
+//! publish loop merely adopts the placement into the
+//! [`ts_tensor::SharedRegistry`] — no payload byte moves at publish
+//! time, and epoch replays refcount the same placement. The invariant is
+//! metered, not assumed: `stage.publish_copy_bytes` counts every byte
+//! the copying fallback touches and must read 0 after warm-up (CI
+//! asserts this on a live scrape). Publishes are additionally announced
+//! on a **coalescing cursor channel** — a latest-wins cell flushed at a
+//! bounded ~25 ms cadence, read via `Consumer::latest_cursor` — which
+//! tells a waking consumer where the producer *is* without any backlog
+//! to drain; it is lag observability, never flow control.
+//!
 //! ## Multi-producer sharding and the `(epoch, shard, seq)` contract
 //!
 //! On many-GPU nodes one producer pipeline saturates one NUMA domain;
@@ -211,6 +225,7 @@
 //! | `consumer.interarrival_ns` | histogram | ns | time between consecutive batches yielded to training |
 //! | `consumer.stream_rx_ns` | histogram | ns | rebuild of one batch from streamed bytes (non-shm consumers) |
 //! | `stage.[s<N>.]pin_depth` | gauge | batches | rubberband replay pin set currently held |
+//! | `consumer.cursor_lag` | gauge | batches | producer cursor position minus this consumer's, per the last cursor flush |
 //! | `staging.[s<N>.]slab_occupancy` | gauge | slabs | VRAM rotation slabs currently leased |
 //! | `staging.[s<N>.]copy_queue_depth` | gauge | items | items queued ahead of the copy stage |
 //! | `staging.[s<N>.]h2d_bytes_per_sec` | gauge | B/s | smoothed H2D copy throughput |
@@ -220,7 +235,10 @@
 //! | `producer.detached` | counter | consumers | consumers detached on heartbeat expiry |
 //! | `producer.ctrl_unknown` | counter | frames | unknown (future-version) control frames ignored |
 //! | `producer.hello_unknown_caps` | counter | hellos | HELLOs carrying capability bits this producer does not know |
+//! | `producer.stats_dup` | counter | replies | stats replies dropped for carrying a stale request stamp |
 //! | `stage.[s<N>.]stream_tx_bytes` | counter | bytes | payload bytes sent over the streamed (non-shm) path |
+//! | `stage.[s<N>.]publish_copy_bytes` | counter | bytes | payload bytes the *copying* publish fallback moved — **0** after warm-up with an arena bound (the zero-copy invariant CI asserts) |
+//! | `stage.[s<N>.]cursor_coalesced` | counter | positions | stale cursor positions displaced (latest-wins) before a flush window |
 //! | `consumer.batches` / `consumer.samples` | counter | batches / samples | consumed by this context's consumers |
 //! | `consumer.acks` | counter | acks | batch acknowledgements sent back |
 //! | `staging.h2d_bytes` | counter | bytes | bytes through the H2D copy stage |

@@ -23,6 +23,12 @@ pub mod topics {
     pub const BATCH: &[u8] = b"batch";
     /// Broadcast control notices (epoch start, end, detach).
     pub const CTRL: &[u8] = b"ctrl";
+    /// Coalesced publish-cursor announcements ([`super::DataMsg::Cursor`]):
+    /// latest-wins *state*, re-broadcast at a bounded cadence rather than
+    /// per event. A consumer that subscribes sees where each shard's
+    /// stream currently stands; it is never guaranteed to see (and after
+    /// a stall will provably *not* see) the intermediate cursors.
+    pub const CURSOR: &[u8] = b"cur";
 
     /// Per-consumer topic (join replies, replays, flexible-mode batches).
     pub fn consumer(id: u64) -> Vec<u8> {
@@ -120,7 +126,14 @@ impl PayloadMode {
 /// [`DataMsg::Stats`]). The scraper sends its version and the producer
 /// echoes its own in [`StatsPayload::version`]; like the attach
 /// handshake, the *client* decides compatibility.
-pub const STATS_VERSION: u32 = 1;
+///
+/// **v2** adds a trailing per-attempt sequence number to both sides:
+/// the scraper stamps every (re-)send of a request, the producer echoes
+/// the stamp on its reply, and the scraper drops replies whose stamp is
+/// not the one currently in flight — a duplicate answer to a resent
+/// round can no longer masquerade as the *next* round's snapshot. v1
+/// frames (no stamp) decode with `seq == 0`.
+pub const STATS_VERSION: u32 = 2;
 
 /// The shared-memory arena advertisement inside a [`WelcomeInfo`]: the
 /// backing file path plus slot geometry, so a consumer process maps the
@@ -224,6 +237,10 @@ pub enum CtrlMsg {
         token: u64,
         /// The scraper's [`STATS_VERSION`].
         version: u32,
+        /// Per-attempt stamp (v2): incremented on every resend of the
+        /// same token, echoed in [`DataMsg::Stats::seq`] so stale
+        /// duplicate replies are identifiable. `0` from a v1 scraper.
+        seq: u32,
     },
     /// A control frame whose tag this build does not know. Produced only
     /// by [`CtrlMsg::decode`] for forward compatibility: a producer
@@ -390,8 +407,31 @@ pub enum DataMsg {
     Stats {
         /// The stats token being answered.
         token: u64,
+        /// Echo of the request's per-attempt stamp
+        /// ([`CtrlMsg::StatsRequest::seq`]); `0` when answering a v1
+        /// scraper. The scraper only accepts the stamp it currently has
+        /// in flight, so a duplicate answer to a resent round cannot be
+        /// mistaken for a fresh snapshot.
+        seq: u32,
         /// The metrics snapshot.
         payload: StatsPayload,
+    },
+    /// Coalesced publish-cursor announcement on [`topics::CURSOR`]:
+    /// where shard `shard`'s stream currently stands. This is *state*,
+    /// not an event — the producer collapses per-publish updates through
+    /// a latest-wins cell ([`ts_socket::coalesce`]) and broadcasts at a
+    /// bounded cadence, so a consumer waking from a stall reads one
+    /// current cursor instead of a backlog. Consumers must not infer
+    /// batch delivery from it; it only bounds how far behind they are.
+    Cursor {
+        /// The announcing shard.
+        shard: u32,
+        /// Epoch the cursor is in.
+        epoch: u64,
+        /// Global sequence number of the latest announcement published.
+        seq: u64,
+        /// Batch index within the epoch of that announcement.
+        index_in_epoch: u64,
     },
 }
 
@@ -608,10 +648,16 @@ impl CtrlMsg {
                 // v2 trailing field; a v1 producer stops reading before it.
                 buf.put_u32_le(*caps);
             }
-            CtrlMsg::StatsRequest { token, version } => {
+            CtrlMsg::StatsRequest {
+                token,
+                version,
+                seq,
+            } => {
                 buf.put_u8(6);
                 buf.put_u64_le(*token);
                 buf.put_u32_le(*version);
+                // v2 trailing stamp; a v1 producer stops reading before it.
+                buf.put_u32_le(*seq);
             }
             CtrlMsg::Unknown { tag } => {
                 // Only decode produces this variant; re-encoding keeps the
@@ -671,9 +717,13 @@ impl CtrlMsg {
             }
             6 => {
                 need(buf, 4)?;
+                let version = buf.get_u32_le();
+                // v2 appends the per-attempt stamp; a v1 request ends here.
+                let seq = if buf.len() >= 4 { buf.get_u32_le() } else { 0 };
                 CtrlMsg::StatsRequest {
                     token: consumer_id,
-                    version: buf.get_u32_le(),
+                    version,
+                    seq,
                 }
             }
             // Forward compatibility: a well-formed frame (tag + at least
@@ -798,10 +848,19 @@ impl DataMsg {
                     buf.put_u32_le(info.payload_modes);
                 }
             }
-            DataMsg::Stats { token, payload } => {
+            DataMsg::Stats {
+                token,
+                seq,
+                payload,
+            } => {
                 buf.put_u8(6);
                 buf.put_u64_le(*token);
                 buf.put_u32_le(payload.version);
+                // v2 stamp echo, gated on the *encoded* version so a reply
+                // to a v1 scraper stays byte-identical to a v1 reply.
+                if payload.version >= 2 {
+                    buf.put_u32_le(*seq);
+                }
                 buf.put_u32_le(payload.counters.len() as u32);
                 for (name, v) in &payload.counters {
                     put_bytes(&mut buf, name.as_bytes());
@@ -824,6 +883,18 @@ impl DataMsg {
                         buf.put_u64_le(c);
                     }
                 }
+            }
+            DataMsg::Cursor {
+                shard,
+                epoch,
+                seq,
+                index_in_epoch,
+            } => {
+                buf.put_u8(7);
+                buf.put_u32_le(*shard);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*seq);
+                buf.put_u64_le(*index_in_epoch);
             }
         }
         buf.freeze()
@@ -999,6 +1070,15 @@ impl DataMsg {
                 need(buf, 12)?;
                 let token = buf.get_u64_le();
                 let version = buf.get_u32_le();
+                // The v2 stamp is *required* when the version field says
+                // 2+ (truncation anywhere stays an error); a v1 reply ends
+                // its prefix here and carries stamp 0.
+                let seq = if version >= 2 {
+                    need(buf, 4)?;
+                    buf.get_u32_le()
+                } else {
+                    0
+                };
                 let get_len = |buf: &mut &[u8]| -> Result<usize> {
                     need(buf, 4)?;
                     let n = buf.get_u32_le() as usize;
@@ -1051,12 +1131,22 @@ impl DataMsg {
                 }
                 DataMsg::Stats {
                     token,
+                    seq,
                     payload: StatsPayload {
                         version,
                         counters,
                         gauge_bits,
                         histograms,
                     },
+                }
+            }
+            7 => {
+                need(buf, 28)?;
+                DataMsg::Cursor {
+                    shard: buf.get_u32_le(),
+                    epoch: buf.get_u64_le(),
+                    seq: buf.get_u64_le(),
+                    index_in_epoch: buf.get_u64_le(),
                 }
             }
             t => return Err(TsError::Wire(format!("bad data tag {t}"))),
@@ -1102,6 +1192,7 @@ mod tests {
             CtrlMsg::StatsRequest {
                 token: 7,
                 version: STATS_VERSION,
+                seq: 3,
             },
         ];
         for m in msgs {
@@ -1440,6 +1531,13 @@ mod tests {
         assert!(!topics::stats(1).starts_with(b"cons"));
         assert!(!topics::stats(1).starts_with(b"hs"));
         assert!(!topics::hello(1).starts_with(b"st"));
+        // The cursor topic must not capture (or be captured by) anything.
+        assert!(!topics::CURSOR.starts_with(topics::BATCH));
+        assert!(!topics::CURSOR.starts_with(topics::CTRL));
+        assert!(!topics::consumer(1).starts_with(topics::CURSOR));
+        assert!(!topics::CTRL.starts_with(topics::CURSOR));
+        assert!(!topics::hello(1).starts_with(topics::CURSOR));
+        assert!(!topics::stats(1).starts_with(topics::CURSOR));
     }
 
     #[test]
@@ -1448,6 +1546,7 @@ mod tests {
 
         let empty = DataMsg::Stats {
             token: 3,
+            seq: 0,
             payload: StatsPayload {
                 version: STATS_VERSION,
                 counters: vec![],
@@ -1469,6 +1568,7 @@ mod tests {
         r.histogram("consumer.wait_ns").record(42);
         let full = DataMsg::Stats {
             token: u64::MAX,
+            seq: u32::MAX,
             payload: StatsPayload::from_registry(&r),
         };
 
@@ -1482,6 +1582,63 @@ mod tests {
                     "{m:?} truncated by {cut} must be rejected"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn v1_stats_frames_decode_with_stamp_zero_on_a_v2_build() {
+        // A v1 scraper's request: tag + token + version 1, no stamp.
+        let mut req = vec![6u8];
+        req.extend_from_slice(&7u64.to_le_bytes());
+        req.extend_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            CtrlMsg::decode(&req).unwrap(),
+            CtrlMsg::StatsRequest {
+                token: 7,
+                version: 1,
+                seq: 0,
+            },
+            "a v1 StatsRequest carries stamp 0"
+        );
+        // A v1 producer's reply: version 1 in the payload, no stamp byte
+        // anywhere — the empty sections follow the version directly.
+        let mut reply = vec![6u8];
+        reply.extend_from_slice(&9u64.to_le_bytes());
+        reply.extend_from_slice(&1u32.to_le_bytes());
+        for _ in 0..3 {
+            reply.extend_from_slice(&0u32.to_le_bytes());
+        }
+        assert_eq!(
+            DataMsg::decode(&reply).unwrap(),
+            DataMsg::Stats {
+                token: 9,
+                seq: 0,
+                payload: StatsPayload {
+                    version: 1,
+                    counters: vec![],
+                    gauge_bits: vec![],
+                    histograms: vec![],
+                },
+            },
+            "a v1 Stats reply carries stamp 0"
+        );
+    }
+
+    #[test]
+    fn cursor_round_trips_and_rejects_any_truncation() {
+        let m = DataMsg::Cursor {
+            shard: 3,
+            epoch: 7,
+            seq: 1_000_001,
+            index_in_epoch: 41,
+        };
+        let good = m.encode();
+        assert_eq!(DataMsg::decode(&good).unwrap(), m);
+        for cut in 1..good.len() {
+            assert!(
+                DataMsg::decode(&good[..good.len() - cut]).is_err(),
+                "cursor truncated by {cut} must be rejected"
+            );
         }
     }
 

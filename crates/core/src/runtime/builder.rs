@@ -326,7 +326,17 @@ impl ProducerBuilder {
                 Some(flex) => ((source.batches_per_epoch() * source.batch_size()) as u64)
                     .div_ceil(flex.producer_batch as u64),
             };
-            cfg.buffer_size + policy.pinned_batches(expected) as usize + 2
+            // Zero-copy publish leases slots *ahead* of the publish
+            // cursor: every prepared item parked in the feeder queue (and
+            // in the overlapped staging hand-off) already owns its slot.
+            // Size that ahead-of-publish set in, or a fast feeder would
+            // exhaust the pool and knock the hot path back to the copying
+            // fallback.
+            let (workers, prefetch) = source.pipeline_hint();
+            let feeder_ahead = cfg.pipeline_depth.unwrap_or(workers * prefetch).max(1)
+                + cfg.staging.queue_depth.unwrap_or(cfg.buffer_size)
+                + 1;
+            cfg.buffer_size + policy.pinned_batches(expected) as usize + feeder_ahead + 2
         };
         let (path, nslots, slot_size, tensors_per_batch) = match spec {
             ArenaSpec::Sized {
@@ -869,6 +879,15 @@ impl Consumer {
     /// Batch pointers currently buffered locally (§3.2.5).
     pub fn buffered(&self) -> usize {
         self.inner.buffered()
+    }
+
+    /// The latest `(epoch, seq, index_in_epoch)` the producer announced
+    /// on the coalescing cursor channel for `shard`, if any flush has
+    /// arrived. Latest-wins: this is where the producer *is*, not a log
+    /// of where it has been — stale positions are displaced, never
+    /// queued.
+    pub fn latest_cursor(&self, shard: usize) -> Option<(u64, u64, u64)> {
+        self.inner.latest_cursor(shard)
     }
 }
 

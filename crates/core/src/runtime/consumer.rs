@@ -135,6 +135,15 @@ pub struct TensorConsumer {
     /// Pre-resolved `consumer.stream_rx_ns` histogram: time to rebuild a
     /// batch from streamed bytes (the per-batch cost of the non-shm path).
     stream_rx_hist: std::sync::Arc<ts_metrics::Histogram>,
+    /// Latest coalesced publish cursor seen per shard: `(epoch, seq,
+    /// index_in_epoch)`. State, not history — the producer's coalescing
+    /// cell collapsed every intermediate position, so this is only ever
+    /// "where the shard is now".
+    latest_cursors: Vec<Option<(u64, u64, u64)>>,
+    /// Pre-resolved `consumer.cursor_lag` gauge: announcements the most
+    /// recently heard-from shard has published beyond what this consumer
+    /// has ingested.
+    cursor_lag: std::sync::Arc<ts_metrics::Gauge>,
     /// When the previous batch was yielded, for inter-arrival timing.
     last_yield: Option<Instant>,
 }
@@ -178,6 +187,9 @@ impl TensorConsumer {
             let sub = SubSocket::connect(&ctx.sockets, &cfg.shard_data_endpoint(shard));
             sub.subscribe(&topics::consumer(id));
             sub.subscribe(topics::CTRL);
+            // Coalesced publish-cursor state (latest-wins; see
+            // `topics::CURSOR`) — cheap to carry, never gates delivery.
+            sub.subscribe(topics::CURSOR);
             let ctrl = PushSocket::connect(&ctx.sockets, &cfg.shard_ctrl_endpoint(shard));
             links.push(ShardLink {
                 sub,
@@ -221,6 +233,8 @@ impl TensorConsumer {
             wait_hist: ctx.metrics.histogram("consumer.wait_ns"),
             interarrival_hist: ctx.metrics.histogram("consumer.interarrival_ns"),
             stream_rx_hist: ctx.metrics.histogram("consumer.stream_rx_ns"),
+            latest_cursors: vec![None; shards],
+            cursor_lag: ctx.metrics.gauge("consumer.cursor_lag"),
             last_yield: None,
         })
     }
@@ -363,6 +377,16 @@ impl TensorConsumer {
     /// buffer of §3.2.5), summed over shard subscriptions.
     pub fn buffered(&self) -> usize {
         self.queue.len() + self.links.iter().map(|l| l.sub.queued()).sum::<usize>()
+    }
+
+    /// The latest coalesced publish cursor heard from `shard`:
+    /// `(epoch, seq, index_in_epoch)`, or `None` before the first cursor
+    /// frame. This is *state*, not an event stream — the producer
+    /// broadcasts it latest-wins at a bounded cadence, so a consumer
+    /// waking from a stall observes one current position, never a
+    /// backlog. Do not infer batch delivery from it.
+    pub fn latest_cursor(&self, shard: usize) -> Option<(u64, u64, u64)> {
+        self.latest_cursors.get(shard).copied().flatten()
     }
 
     fn unpack(&self, p: &TensorPayload) -> Result<Tensor> {
@@ -551,6 +575,23 @@ impl TensorConsumer {
                 }
                 DataMsg::End => {
                     self.interleave.end_shard(target);
+                }
+                DataMsg::Cursor {
+                    shard,
+                    epoch,
+                    seq,
+                    index_in_epoch,
+                } => {
+                    // Pure state: record where the shard's publish stream
+                    // is and how far behind this consumer runs. Never
+                    // touches the in-order delivery cursor — delivery is
+                    // inferred only from Batch announces.
+                    let shard = shard as usize;
+                    if shard < self.links.len() {
+                        self.latest_cursors[shard] = Some((epoch, seq, index_in_epoch));
+                        let lag = (seq + 1).saturating_sub(self.links[shard].next_expected);
+                        self.cursor_lag.set(lag as f64);
+                    }
                 }
                 _ => {}
             }

@@ -39,7 +39,7 @@ use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
 use crate::runtime::config::{ProducerConfig, ProducerMap};
 use crate::runtime::context::TsContext;
 use crate::runtime::coordinator::{EpochCoordinator, GroupJoin};
-use crate::runtime::staging::{FeederMsg, PreparedItem, StagingEngine};
+use crate::runtime::staging::{FeederMsg, Placement, PreparedItem, StagingEngine};
 use crate::{Result, TsError};
 use crossbeam::channel::{self, RecvTimeoutError, Sender};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -48,8 +48,11 @@ use std::sync::Arc;
 use std::time::Instant;
 use ts_data::{Batch, DataLoader};
 use ts_metrics::{Counter, Gauge, Histogram};
-use ts_socket::{Multipart, PubSocket, PullSocket, RecvError};
-use ts_tensor::{collate, Tensor, TensorPayload};
+use ts_socket::{
+    coalescing_cell, CoalescingReceiver, CoalescingSender, Multipart, PubSocket, PullSocket,
+    RecvError,
+};
+use ts_tensor::{collate, SlotPool, Tensor, TensorError, TensorPayload};
 
 /// Pre-resolved per-pipeline stage instrumentation: histogram and gauge
 /// handles looked up once at spawn (same pattern as the staging engine's
@@ -69,6 +72,16 @@ struct StageMetrics {
     /// Bytes sent over the streamed payload path (one increment per
     /// stream-mode subscriber per batch: the copies are real).
     stream_tx_bytes: Arc<Counter>,
+    /// Payload bytes the *publish loop* copied into the arena because an
+    /// item arrived without a feeder placement. The zero-copy path — the
+    /// feeder collates straight into leased slots — keeps this at 0 in
+    /// steady state; every non-zero increment is a fallback (arena
+    /// momentarily exhausted, or a source that hands out pre-shared
+    /// storages the feeder cannot lease for).
+    publish_copy_bytes: Arc<Counter>,
+    /// Cursor offers displaced before any consumer-visible broadcast —
+    /// the coalescing working as intended (latest-wins, no backlog).
+    cursor_coalesced: Arc<Counter>,
 }
 
 impl StageMetrics {
@@ -85,6 +98,8 @@ impl StageMetrics {
             publish_ack: metrics.histogram(&format!("{prefix}publish_ack_ns")),
             pin_depth: metrics.gauge(&format!("{prefix}pin_depth")),
             stream_tx_bytes: metrics.counter(&format!("{prefix}stream_tx_bytes")),
+            publish_copy_bytes: metrics.counter(&format!("{prefix}publish_copy_bytes")),
+            cursor_coalesced: metrics.counter(&format!("{prefix}cursor_coalesced")),
         }
     }
 }
@@ -264,19 +279,65 @@ struct Preparer {
     /// Flexible producer batch size; `None` passes loader batches through.
     producer_batch: Option<usize>,
     map: Option<ProducerMap>,
+    /// Zero-copy publish: the recycling slot pool this pipeline's feeder
+    /// leases arena slots from, plus the placement key the publish loop
+    /// hands to [`ts_tensor::SharedRegistry::register_placed`]. `None`
+    /// (no arena, or no pool bound for the shard) keeps the copying
+    /// publish path.
+    lease: Option<(SlotPool, Option<u32>)>,
     acc: Vec<Batch>,
     acc_samples: usize,
     pb_index: u64,
 }
 
 impl Preparer {
-    fn new(cfg: &ProducerConfig) -> Self {
+    fn new(cfg: &ProducerConfig, lease: Option<(SlotPool, Option<u32>)>) -> Self {
         Self {
             producer_batch: cfg.flexible.as_ref().map(|f| f.producer_batch),
             map: cfg.producer_map.clone(),
+            lease,
             acc: Vec::new(),
             acc_samples: 0,
             pb_index: 0,
+        }
+    }
+
+    /// Produces one output tensor from `parts`, collating directly into a
+    /// leased arena slot when the zero-copy path applies (a pool is
+    /// bound and every part is a host tensor not already backed by the
+    /// arena). The resulting [`Placement`] carries the armed lease to the
+    /// publish loop, which adopts it with zero bytes moved.
+    ///
+    /// Lease exhaustion (`TensorError::Arena`) falls back to the heap
+    /// path silently — the publish loop will place (and count) the copy.
+    /// `Err(())` is reserved for real collation failures.
+    fn place_one(
+        &self,
+        parts: Vec<Tensor>,
+    ) -> std::result::Result<(Tensor, Option<Placement>), ()> {
+        if let Some((pool, pool_key)) = &self.lease {
+            let eligible = parts
+                .iter()
+                .all(|t| !t.device().is_gpu() && !t.storage().is_shared_memory());
+            if eligible {
+                match collate::cat0_leased(&parts, pool, parts[0].device()) {
+                    Ok((tensor, lease)) => {
+                        return Ok((
+                            tensor,
+                            Some(Placement {
+                                lease,
+                                pool_key: *pool_key,
+                            }),
+                        ));
+                    }
+                    Err(TensorError::Arena(_)) => {}
+                    Err(_) => return Err(()),
+                }
+            }
+        }
+        match parts.len() {
+            1 => Ok((parts.into_iter().next().expect("one part"), None)),
+            _ => Ok((collate::cat0(&parts).map_err(|_| ())?, None)),
         }
     }
 
@@ -289,11 +350,22 @@ impl Preparer {
                 Some(map) => map(batch),
                 None => batch,
             };
+            let index_in_epoch = batch.index as u64;
+            let mut fields = Vec::with_capacity(batch.fields.len());
+            let mut placements = Vec::with_capacity(batch.fields.len() + 1);
+            for t in batch.fields {
+                let (t, p) = self.place_one(vec![t])?;
+                fields.push(t);
+                placements.push(p);
+            }
+            let (labels, p) = self.place_one(vec![batch.labels])?;
+            placements.push(p);
             return Ok(Some(PreparedItem {
-                index_in_epoch: batch.index as u64,
+                index_in_epoch,
                 last_in_epoch: last,
-                fields: batch.fields,
-                labels: batch.labels,
+                fields,
+                labels,
+                placements,
                 staged: false,
                 staged_bytes: 0,
             }));
@@ -314,20 +386,27 @@ impl Preparer {
             Some(map) => parts.into_iter().map(|b| map(b)).collect(),
             None => parts,
         };
-        // Build the contiguous producer batch per field.
+        // Build the contiguous producer batch per field — straight into
+        // leased arena slots when the zero-copy path is on, so the fuse
+        // IS the placement and the publish loop moves no bytes.
         let num_fields = parts[0].fields.len();
         let mut fields = Vec::with_capacity(num_fields);
+        let mut placements = Vec::with_capacity(num_fields + 1);
         for f in 0..num_fields {
             let per_part: Vec<Tensor> = parts.iter().map(|b| b.fields[f].clone()).collect();
-            fields.push(collate::cat0(&per_part).map_err(|_| ())?);
+            let (t, p) = self.place_one(per_part)?;
+            fields.push(t);
+            placements.push(p);
         }
         let label_parts: Vec<Tensor> = parts.iter().map(|b| b.labels.clone()).collect();
-        let labels = collate::cat0(&label_parts).map_err(|_| ())?;
+        let (labels, p) = self.place_one(label_parts)?;
+        placements.push(p);
         let item = PreparedItem {
             index_in_epoch: self.pb_index,
             last_in_epoch: last,
             fields,
             labels,
+            placements,
             staged: false,
             staged_bytes: 0,
         };
@@ -347,12 +426,13 @@ impl Preparer {
 fn feeder_main(
     source: impl EpochSource,
     cfg: ProducerConfig,
+    lease: Option<(SlotPool, Option<u32>)>,
     item_tx: Sender<FeederMsg>,
     stop: Arc<AtomicBool>,
     fetch_hist: Arc<Histogram>,
 ) {
     for epoch in 0..cfg.epochs {
-        let mut preparer = Preparer::new(&cfg);
+        let mut preparer = Preparer::new(&cfg, lease.clone());
         let total = source.batches_per_epoch();
         let mut iter = source.epoch(epoch);
         let mut i = 0usize;
@@ -487,6 +567,7 @@ impl TensorProducer {
         let stop = Arc::new(AtomicBool::new(false));
         let staging = StagingEngine::build(ctx, &cfg, coord.as_ref().map(|_| shard));
         let stage = StageMetrics::new(&ctx.metrics, coord.as_ref().map(|_| shard));
+        let (cursor_tx, cursor_rx) = coalescing_cell();
         let state = ProducerLoop {
             ctx: ctx.clone(),
             cfg,
@@ -496,6 +577,11 @@ impl TensorProducer {
             ctrl,
             stop: stop.clone(),
             staging,
+            cursor_tx,
+            cursor_rx,
+            last_cursor_flush: Instant::now(),
+            replaying: false,
+            deferred_replays: Vec::new(),
             window: BatchWindow::new(0), // re-created in run() with real capacity
             acks: AckTracker::new(),
             hb: HeartbeatMonitor::new(1),
@@ -598,6 +684,19 @@ struct ProducerLoop {
     /// Device staging engine (GPU devices with staging enabled): the
     /// slab pool plus, in the overlapped mode, the H2D copy stage.
     staging: Option<Arc<StagingEngine>>,
+    /// Latest-wins publish-cursor cell: every publish offers the shard's
+    /// position, housekeeping broadcasts whatever is current at a bounded
+    /// cadence — a consumer waking from a stall reads ONE announcement,
+    /// never a backlog.
+    cursor_tx: CoalescingSender<(u64, u64, u64)>,
+    cursor_rx: CoalescingReceiver<(u64, u64, u64)>,
+    last_cursor_flush: Instant,
+    /// True while `replay_to` streams a catch-up: control is drained
+    /// between replayed batches (to observe a mid-replay detach), and a
+    /// Ready landing there must defer its own replay instead of
+    /// recursing.
+    replaying: bool,
+    deferred_replays: Vec<u64>,
     window: BatchWindow,
     acks: AckTracker,
     hb: HeartbeatMonitor,
@@ -693,12 +792,19 @@ impl ProducerLoop {
             // allocations on long epochs.
             engine.set_pin_headroom(policy.pinned_batches(self.expected_announces()) as usize);
         }
+        // Resolve the feeder's lease pool once: pools are bound by the
+        // builder before spawn. With one bound, collation writes straight
+        // into recycled arena slots and publish is pure metadata.
+        let lease = self
+            .ctx
+            .registry
+            .lease_pool(self.coord.as_ref().map(|_| self.shard));
         let (workers, prefetch) = source.pipeline_hint();
         if workers == 0 {
-            self.epochs_inline(source, &policy);
+            self.epochs_inline(source, lease, &policy);
         } else {
             let depth = self.cfg.pipeline_depth.unwrap_or(workers * prefetch).max(1);
-            self.epochs_pipelined(source, depth, &policy);
+            self.epochs_pipelined(source, lease, depth, &policy);
         }
         self.drain_outstanding();
         let _ = self
@@ -741,7 +847,12 @@ impl ProducerLoop {
     }
 
     /// The serial shape: load, prepare and publish on this thread.
-    fn epochs_inline(&mut self, source: impl EpochSource, policy: &RubberbandPolicy) {
+    fn epochs_inline(
+        &mut self,
+        source: impl EpochSource,
+        lease: Option<(SlotPool, Option<u32>)>,
+        policy: &RubberbandPolicy,
+    ) {
         for epoch in 0..self.cfg.epochs {
             self.epoch = epoch;
             self.expected_announces = self.expected_announces();
@@ -759,7 +870,7 @@ impl ProducerLoop {
             if !self.begin_epoch() {
                 return; // stopped or no consumer ever arrived
             }
-            let mut preparer = Preparer::new(&self.cfg);
+            let mut preparer = Preparer::new(&self.cfg, lease.clone());
             let total = source.batches_per_epoch();
             let mut iter = source.epoch(epoch);
             let mut i = 0usize;
@@ -798,6 +909,7 @@ impl ProducerLoop {
     fn epochs_pipelined(
         &mut self,
         source: impl EpochSource,
+        lease: Option<(SlotPool, Option<u32>)>,
         depth: usize,
         policy: &RubberbandPolicy,
     ) {
@@ -807,7 +919,9 @@ impl ProducerLoop {
         let feeder_hist = self.stage.feeder_fetch.clone();
         let feeder = std::thread::Builder::new()
             .name("tensorsocket-feeder".to_string())
-            .spawn(move || feeder_main(source, feeder_cfg, item_tx, feeder_stop, feeder_hist))
+            .spawn(move || {
+                feeder_main(source, feeder_cfg, lease, item_tx, feeder_stop, feeder_hist)
+            })
             .expect("spawn feeder thread");
         // Overlapped staging interposes the H2D copy stage between the
         // feeder and this publish loop: items arrive here already staged,
@@ -989,12 +1103,49 @@ impl ProducerLoop {
         self.ctx.metrics.counter("producer.bytes_staged").add(bytes);
     }
 
-    fn register_live(&mut self, seq: u64, batch: LiveBatch) {
+    fn register_live(
+        &mut self,
+        seq: u64,
+        batch: LiveBatch,
+        mut placements: Vec<Option<Placement>>,
+    ) {
         // In a group, placements go through this shard's own slot pool
         // when one is bound (TsContext::enable_shard_slot_recycling).
         let pool_key = self.coord.as_ref().map(|_| self.shard);
-        for t in batch.fields.iter().chain(std::iter::once(&batch.labels)) {
-            self.ctx.registry.register_for_shard(t.storage(), pool_key);
+        let arena_bound = self.ctx.registry.arena().is_some();
+        // `placements` aligns with fields-then-labels; a short (or empty)
+        // vec means the copying path for the remaining tensors.
+        placements.resize_with(batch.fields.len() + 1, || None);
+        for (t, placement) in batch
+            .fields
+            .iter()
+            .chain(std::iter::once(&batch.labels))
+            .zip(placements)
+        {
+            match placement {
+                // Zero-copy: the feeder already collated the bytes into
+                // this leased slot (for a staged tensor, the slot holds
+                // the exact host bytes the device copy was made from) —
+                // adopt the lease, move nothing.
+                Some(p) => {
+                    self.ctx.registry.register_placed(
+                        t.storage(),
+                        p.lease.into_handle(),
+                        p.pool_key,
+                    );
+                }
+                None => {
+                    // Copying fallback: with an arena bound, registering a
+                    // storage the arena does not already back memcpys it
+                    // into a slot on THIS thread. Count the bytes so tests
+                    // and the CI smoke gate can assert steady state stays
+                    // at zero.
+                    if arena_bound && !t.storage().is_shared_memory() {
+                        self.stage.publish_copy_bytes.add(t.view_bytes() as u64);
+                    }
+                    self.ctx.registry.register_for_shard(t.storage(), pool_key);
+                }
+            }
         }
         self.live.insert(seq, batch);
     }
@@ -1083,14 +1234,16 @@ impl ProducerLoop {
         let Some(item) = self.ensure_staged(item) else {
             return false; // device OOM: stop producing
         };
-        let (fields, labels) = (item.fields, item.labels);
+        let (fields, labels, placements) = (item.fields, item.labels, item.placements);
         let seq = self.window.published();
         self.published_in_epoch += 1;
         if let Some(coord) = &self.coord {
             coord.note_published(self.shard, self.published_in_epoch);
         }
-        // Register first: with an arena bound this is what places the
-        // bytes in shared memory, and packing then embeds the placement.
+        // Register first: adopting the feeder's placements when the
+        // zero-copy path ran (pure metadata), else — with an arena bound —
+        // placing the bytes in shared memory here; packing then embeds
+        // the placement either way.
         self.register_live(
             seq,
             LiveBatch {
@@ -1102,6 +1255,7 @@ impl ProducerLoop {
                 releasable: false,
                 published_at: Instant::now(),
             },
+            placements,
         );
         self.acks.published(seq, self.consumers.keys().copied());
         if self.cfg.flexible.is_some() {
@@ -1153,6 +1307,18 @@ impl ProducerLoop {
         self.stage.pin_depth.set(self.pinned.len() as f64);
         self.stats.batches_published += 1;
         self.ctx.metrics.counter("producer.batches").inc();
+        // Offer (never send) the publish cursor: the coalescing cell keeps
+        // only the newest position, and housekeeping broadcasts it at a
+        // bounded cadence off the hot path.
+        if let Some(live) = self.live.get(&seq) {
+            if self
+                .cursor_tx
+                .offer((self.epoch, seq, live.index_in_epoch))
+                .is_some()
+            {
+                self.stage.cursor_coalesced.inc();
+            }
+        }
         true
     }
 
@@ -1281,6 +1447,16 @@ impl ProducerLoop {
             .unwrap_or(PayloadMode::Shm);
         let pinned = self.pinned.clone();
         for seq in pinned {
+            // A consumer can detach mid-replay — an explicit Leave, or a
+            // heartbeat expiry while we stream its catch-up. Drain control
+            // between batches so the detach is observed, and stop encoding
+            // for it the moment it is gone: the streamed path in
+            // particular would otherwise keep serializing full payloads
+            // at a dead topic until the loop ran dry.
+            self.poll_ctrl_once();
+            if !self.consumers.contains_key(&id) {
+                break;
+            }
             if self.cfg.flexible.is_some() {
                 let _ = self.send_flex_to(id, seq);
             } else if mode == PayloadMode::Stream {
@@ -1469,9 +1645,13 @@ impl ProducerLoop {
         // registry, answer on the caller's one-shot topic, done. Every
         // wait loop funnels through here, so a producer is scrapeable in
         // any state — mid-epoch, at an epoch barrier, or draining acks.
-        if let CtrlMsg::StatsRequest { token, .. } = ctrl {
+        if let CtrlMsg::StatsRequest { token, seq, .. } = ctrl {
+            // Echo the scraper's per-attempt stamp: it re-sends the
+            // request while waiting, and a late duplicate snapshot from
+            // attempt N must not be mistaken for attempt N+1's reply.
             let reply = DataMsg::Stats {
                 token,
+                seq,
                 payload: StatsPayload::from_registry(&self.ctx.metrics),
             };
             let _ = self
@@ -1540,6 +1720,24 @@ impl ProducerLoop {
                 }
             }
         }
+        // Broadcast the latest publish cursor at a bounded cadence. The
+        // cell already collapsed every intermediate position, so however
+        // bursty publishing was, subscribers see at most one cursor frame
+        // per flush interval — and it is the current one.
+        if self.last_cursor_flush.elapsed() > std::time::Duration::from_millis(25) {
+            if let Some((epoch, seq, index_in_epoch)) = self.cursor_rx.poll() {
+                self.last_cursor_flush = Instant::now();
+                let msg = DataMsg::Cursor {
+                    shard: self.shard,
+                    epoch,
+                    seq,
+                    index_in_epoch,
+                };
+                let _ = self
+                    .publisher
+                    .send(topics::CURSOR, Multipart::single(msg.encode()));
+            }
+        }
         // Expire silent consumers.
         let now = self.now_ns();
         for dead in self.hb.expire(now) {
@@ -1584,9 +1782,24 @@ impl ProducerLoop {
 
     fn replay_needed(&mut self, id: u64) {
         // Replay whatever of this epoch is already out (pinned prefix).
-        if self.published_in_epoch > 0 {
-            self.replay_to(id);
+        if self.published_in_epoch == 0 {
+            return;
         }
+        // `replay_to` drains control between batches, so a Ready from a
+        // SECOND joiner can land while the first replay is in flight.
+        // Queue it instead of recursing: each consumer still gets exactly
+        // one complete catch-up, in arrival order.
+        if self.replaying {
+            self.deferred_replays.push(id);
+            return;
+        }
+        self.replaying = true;
+        self.replay_to(id);
+        while !self.deferred_replays.is_empty() {
+            let next = self.deferred_replays.remove(0);
+            self.replay_to(next);
+        }
+        self.replaying = false;
     }
 
     fn handle_join(

@@ -46,23 +46,45 @@ where
     let sub = SubSocket::connect(&ctx.sockets, &map.data(0));
     sub.subscribe(&topics::stats(token));
     let push = PushSocket::connect(&ctx.sockets, &map.ctrl(0));
-    let request = CtrlMsg::StatsRequest {
-        token,
-        version: STATS_VERSION,
-    }
-    .encode();
+    let dup_counter = ctx.metrics.counter("producer.stats_dup");
     let deadline = Instant::now() + timeout;
+    // Each re-sent request carries a fresh sequence stamp, and only the
+    // reply echoing the *in-flight* stamp is accepted. Without it, a late
+    // duplicate snapshot from round N (the request is re-sent every 50ms,
+    // and remote transports can hold a reply past the next resend) would
+    // be read as round N+1's answer — a stale snapshot served as fresh.
+    let mut seq: u32 = 0;
     loop {
         // A send failure only means the producer is not reachable *yet*
         // (bind/connect order is free on every transport): keep retrying
         // until the deadline.
-        let _ = push.send(Multipart::single(request.clone()));
+        seq = seq.wrapping_add(1);
+        let request = CtrlMsg::StatsRequest {
+            token,
+            version: STATS_VERSION,
+            seq,
+        }
+        .encode();
+        let _ = push.send(Multipart::single(request));
         match sub.recv_timeout(Duration::from_millis(50)) {
             Ok((_, msg)) => {
                 if let Some(frame) = msg.frames().first() {
-                    if let Ok(DataMsg::Stats { token: t, payload }) = DataMsg::decode(frame) {
-                        if t == token {
+                    if let Ok(DataMsg::Stats {
+                        token: t,
+                        seq: s,
+                        payload,
+                    }) = DataMsg::decode(frame)
+                    {
+                        // `s == 0` is a v1 producer that cannot echo
+                        // stamps — its replies are all equally current,
+                        // so accept them rather than time out on an old
+                        // peer. Any other mismatch is a stale round's
+                        // late duplicate: drop it, count it.
+                        if t == token && (s == seq || s == 0) {
                             return Ok(payload);
+                        }
+                        if t == token {
+                            dup_counter.inc();
                         }
                     }
                 }

@@ -113,6 +113,21 @@ pub struct StagingConfig {
     pub h2d_bandwidth: Option<f64>,
 }
 
+/// A shared-memory arena slot the feeder already collated a tensor into
+/// (the zero-copy publish path): the lease still holds the slot's
+/// producer reference, so an item dropped before publishing frees its
+/// slots automatically. At publish time the loop adopts the lease into
+/// the registry ([`ts_tensor::SharedRegistry::register_placed`]) instead
+/// of copying bytes into a fresh placement.
+pub(crate) struct Placement {
+    /// The leased slot holding the tensor's bytes.
+    pub lease: ts_shm::ShmLease,
+    /// Which recycling pool the slot came from (`Some(shard)` for one
+    /// pipeline of a sharded group, `None` for the default pool), so the
+    /// registration reclaims into the right pool on release.
+    pub pool_key: Option<u32>,
+}
+
 /// A batch the feeder stage finished preparing: producer map applied and
 /// (under flexible sizing) loader batches fused into one producer batch.
 /// The staging stage may additionally have placed its tensors on the
@@ -125,6 +140,13 @@ pub(crate) struct PreparedItem {
     pub last_in_epoch: bool,
     pub fields: Vec<Tensor>,
     pub labels: Tensor,
+    /// Per-tensor arena placements the feeder collated in place, aligned
+    /// with `fields` and then `labels` last (`fields.len() + 1` entries
+    /// when the lease path ran, empty otherwise). Device staging replaces
+    /// the *tensors* but keeps the placements: the host slot keeps holding
+    /// the exact bytes the device copy was made from, so consumers attach
+    /// it byte-identically while the publish loop still moves nothing.
+    pub placements: Vec<Option<Placement>>,
     /// True once the staging stage placed the tensors on the device
     /// through the slab pool (release must NOT account a device free —
     /// the slab returns to the rotation instead).

@@ -1775,3 +1775,285 @@ fn two_standalone_gpu_producers_get_disjoint_gauge_namespaces() {
         "second standalone engine reports under its own namespace"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy publish: lease-placed announcements, cursor coalescing, and the
+// detach-under-replay fix.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn steady_state_publish_moves_zero_payload_bytes() {
+    // Tentpole acceptance: with an arena + slot pool bound, the feeder
+    // collates straight into leased slots and the publish loop only adopts
+    // the placements — `stage.publish_copy_bytes` counts any payload byte
+    // the publish path still moves, the same way PR 2's test counted
+    // steady-state allocations, and it must stay at zero.
+    let ctx = TsContext::host_only();
+    let arena_path =
+        std::env::temp_dir().join(format!("ts-zero-copy-steady-{}.arena", std::process::id()));
+    ctx.create_arena(&arena_path, 64, 4096).unwrap();
+    let pool = ctx.enable_slot_recycling(16).unwrap();
+    let ep = "inproc://zero-copy-steady";
+    let mut cfg = producer_cfg(ep, 2);
+    cfg.rubberband_cutoff = 0.02;
+    let producer = TensorProducer::spawn(loader_with_workers(64, 4, 2), &ctx, cfg).unwrap();
+    let mut consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+    let copies = ctx.metrics.counter("stage.publish_copy_bytes");
+    let mut consumed = 0u64;
+    let mut warmed_copies = None;
+    for _ in consumer.by_ref() {
+        consumed += 1;
+        if consumed == 8 {
+            warmed_copies = Some(copies.get());
+        }
+    }
+    assert_eq!(consumed, 32, "2 epochs × 16 batches");
+    let stats = producer.join().unwrap();
+    assert_eq!(stats.batches_published, 32);
+    assert_eq!(
+        copies.get(),
+        warmed_copies.unwrap(),
+        "publish moved payload bytes after warm-up"
+    );
+    assert_eq!(
+        copies.get(),
+        0,
+        "lease-eligible host tensors must never take the copying path"
+    );
+    // The zero-copy path still recycles: leases come out of the pool.
+    let ps = pool.stats();
+    assert!(ps.hits > 0, "no leased slot was recycled: {ps:?}");
+    assert!(ctx.registry.is_empty());
+    pool.drain();
+    assert_eq!(ctx.arena().unwrap().slots_in_use(), 0);
+}
+
+#[test]
+fn sharded_gpu_staged_publish_stays_zero_copy() {
+    // The CI smoke scenario: a sharded GPU-staged run with per-shard slot
+    // pools. The feeder leases and collates on the host, staging H2D-reads
+    // from the leased slot, and publish adopts the placement — no shard's
+    // copy counter may move.
+    use crate::runtime::staging::{StagingConfig, StagingMode};
+    let ctx = TsContext::with_gpus(1, 1 << 30, false);
+    let arena_path =
+        std::env::temp_dir().join(format!("ts-gpu-zero-copy-{}.arena", std::process::id()));
+    ctx.create_arena(&arena_path, 64, 4096).unwrap();
+    let pools: Vec<_> = (0..2)
+        .map(|s| ctx.enable_shard_slot_recycling(s, 8).unwrap())
+        .collect();
+    let ep = "inproc://gpu-zero-copy";
+    let mut cfg = producer_cfg(ep, 2);
+    cfg.device = DeviceId::Gpu(0);
+    cfg.staging = StagingConfig {
+        mode: StagingMode::Overlapped,
+        ..Default::default()
+    };
+    cfg.rubberband_cutoff = 0.02;
+    let group = ShardedProducerGroup::spawn(sharded_loaders(64, 4, 2, false), &ctx, cfg).unwrap();
+    let mut cc = consumer_cfg(ep);
+    cc.shards = 2;
+    let consumer = TensorConsumer::connect(&ctx, cc).unwrap();
+    let (trace, reason) = consume_trace(consumer);
+    assert_eq!(reason, Some(StopReason::End));
+    assert_eq!(trace.len(), 32, "2 epochs × 2 shards × 8 batches");
+    let stats = group.join().unwrap();
+    assert!(stats.iter().all(|s| s.bytes_staged > 0), "staging ran");
+    for s in 0..2u32 {
+        assert_eq!(
+            ctx.metrics
+                .counter(&format!("stage.s{s}.publish_copy_bytes"))
+                .get(),
+            0,
+            "shard {s} copied payload bytes on the staged publish path"
+        );
+    }
+    assert!(ctx.registry.is_empty());
+    for pool in &pools {
+        pool.drain();
+    }
+    assert_eq!(ctx.arena().unwrap().slots_in_use(), 0);
+    assert_eq!(ctx.devices.memory(DeviceId::Gpu(0)).unwrap().in_use(), 0);
+}
+
+#[test]
+fn zero_copy_publish_is_byte_identical_across_shards_staging_and_payload() {
+    // Acceptance criterion: the lease-placed stream is byte-identical to
+    // the heap-published stream across shards {1,2} × staging
+    // {Off,Overlapped} × payload modes {shm,streamed}.
+    use crate::protocol::messages::PayloadMode;
+    use crate::runtime::staging::{StagingConfig, StagingMode};
+    for shards in [1usize, 2] {
+        for (stag_tag, staging_mode) in [
+            ("off", StagingMode::Off),
+            ("overlap", StagingMode::Overlapped),
+        ] {
+            for (mode_tag, payload_mode) in
+                [("shm", PayloadMode::Shm), ("stream", PayloadMode::Stream)]
+            {
+                let tag = format!("shards={shards} staging={stag_tag} payload={mode_tag}");
+                let mut traces: Vec<ByteTrace> = Vec::new();
+                for leased in [false, true] {
+                    let ctx = TsContext::with_gpus(1, 1 << 30, false);
+                    if leased {
+                        let arena_path = std::env::temp_dir().join(format!(
+                            "ts-ident-{shards}-{stag_tag}-{mode_tag}-{}.arena",
+                            std::process::id()
+                        ));
+                        ctx.create_arena(&arena_path, 64, 4096).unwrap();
+                        for s in 0..shards {
+                            ctx.enable_shard_slot_recycling(s as u32, 8).unwrap();
+                        }
+                    }
+                    let ep = format!("inproc://ident-{shards}-{stag_tag}-{mode_tag}-{leased}");
+                    let mut cfg = producer_cfg(&ep, 2);
+                    if staging_mode != StagingMode::Off {
+                        cfg.device = DeviceId::Gpu(0);
+                        cfg.staging = StagingConfig {
+                            mode: staging_mode,
+                            ..Default::default()
+                        };
+                    }
+                    let group = ShardedProducerGroup::spawn(
+                        sharded_loaders(48, 4, shards, false),
+                        &ctx,
+                        cfg,
+                    )
+                    .unwrap();
+                    let mut cc = consumer_cfg(&ep);
+                    cc.shards = shards;
+                    cc.mode = payload_mode;
+                    let consumer = TensorConsumer::connect(&ctx, cc).unwrap();
+                    let (trace, reason) = consume_trace(consumer);
+                    assert_eq!(reason, Some(StopReason::End), "{tag} leased={leased}");
+                    assert_eq!(trace.len(), 24, "{tag} leased={leased}");
+                    group.join().unwrap();
+                    traces.push(trace);
+                }
+                assert_eq!(traces[0], traces[1], "lease-placed stream differs: {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_consumer_leaving_mid_replay_stops_the_stream_encoder() {
+    // Regression: a stream-mode consumer that detaches mid-replay used to
+    // leave the replay branch encoding (and sending) every remaining
+    // pinned batch to a topic nobody read, until the next ctrl poll. The
+    // replay loop now polls control between batches and bails the moment
+    // the consumer is gone — `stage.stream_tx_bytes` must stop growing.
+    use crate::protocol::messages::{topics, CtrlMsg, DataMsg, JoinDecision, PayloadMode};
+    let ctx = TsContext::host_only();
+    let ep = "inproc://replay-detach";
+    let mut cfg = producer_cfg(ep, 1);
+    cfg.rubberband_cutoff = 1.0; // the whole epoch stays replayable
+                                 // Big batches (16×16×3 f32 images, 12 KiB of field payload per batch)
+                                 // so a runaway replay is unmistakable in the byte counter.
+    let dataset =
+        Arc::new(ts_data::SyntheticImageDataset::new(96, 16, 16, 3).with_encoded_len(256));
+    let image_loader = ts_data::DataLoader::new(
+        dataset,
+        ts_data::DataLoaderConfig {
+            batch_size: 4,
+            num_workers: 0,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+    );
+    let producer = TensorProducer::spawn(image_loader, &ctx, cfg).unwrap();
+    let mut good = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+    let mut consumed = 0usize;
+    for _ in good.by_ref() {
+        consumed += 1;
+        if consumed == 20 {
+            break;
+        }
+    }
+    let tx = ctx.metrics.counter("stage.stream_tx_bytes");
+    assert_eq!(tx.get(), 0, "the shm consumer never streams");
+    // A stream-mode consumer joins (admitted with a 20-batch replay),
+    // declares ready, and leaves immediately — the Leave lands while the
+    // replay is starting.
+    {
+        let sub = ts_socket::SubSocket::connect(&ctx.sockets, &format!("{ep}/data"));
+        sub.subscribe(&topics::consumer(4242));
+        let push = ts_socket::PushSocket::connect(&ctx.sockets, &format!("{ep}/ctrl"));
+        push.send(ts_socket::Multipart::single(
+            CtrlMsg::Join {
+                consumer_id: 4242,
+                batch_size: 0,
+                mode: PayloadMode::Stream,
+            }
+            .encode(),
+        ))
+        .unwrap();
+        let (_, m) = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        match DataMsg::decode(&m.frames()[0]) {
+            Ok(DataMsg::JoinReply {
+                decision: JoinDecision::AdmitReplay { replay_from, .. },
+                ..
+            }) => assert_eq!(replay_from, 0, "cutoff 1.0 replays the whole epoch"),
+            other => panic!("expected AdmitReplay, got {other:?}"),
+        }
+        push.send(ts_socket::Multipart::single(
+            CtrlMsg::Ready { consumer_id: 4242 }.encode(),
+        ))
+        .unwrap();
+        push.send(ts_socket::Multipart::single(
+            CtrlMsg::Leave { consumer_id: 4242 }.encode(),
+        ))
+        .unwrap();
+    }
+    for _ in good.by_ref() {
+        consumed += 1;
+    }
+    assert_eq!(consumed, 24);
+    assert_eq!(good.stop_reason(), Some(StopReason::End));
+    producer.join().unwrap();
+    let per_batch = 4 * 16 * 16 * 3 * 4; // field payload bytes per batch
+    let full_replay = (20 * per_batch) as u64;
+    let sent = tx.get();
+    assert!(
+        sent < full_replay / 2,
+        "replay kept encoding after the leave: {sent} bytes streamed \
+         (a full 20-batch replay is ≥ {full_replay})"
+    );
+}
+
+#[test]
+fn publish_cursor_broadcasts_coalesce_to_latest_wins() {
+    // Every publish offers (epoch, seq, index) into the coalescing cell;
+    // the housekeeping flush broadcasts at most one Cursor per 25ms. Under
+    // a fast publish loop most offers are displaced (coalesced), and a
+    // consumer holds exactly one latest-wins snapshot per shard — not a
+    // backlog.
+    let ctx = TsContext::host_only();
+    let ep = "inproc://cursor-coalesce";
+    let producer =
+        TensorProducer::spawn(loader_with_workers(1024, 4, 2), &ctx, producer_cfg(ep, 2)).unwrap();
+    let mut consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+    let mut consumed = 0u64;
+    for _ in consumer.by_ref() {
+        consumed += 1;
+        // Stretch the run across several 25ms flush windows.
+        if consumed.is_multiple_of(64) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert_eq!(consumed, 512, "2 epochs × 256 batches");
+    let stats = producer.join().unwrap();
+    assert_eq!(stats.batches_published, 512);
+    assert!(
+        ctx.metrics.counter("stage.cursor_coalesced").get() > 0,
+        "512 publishes in well under 512 flush windows must displace stale cursors"
+    );
+    let (epoch, seq, index) = consumer
+        .latest_cursor(0)
+        .expect("the consumer saw at least one cursor broadcast");
+    assert!(epoch <= 1, "cursor epoch {epoch} out of range");
+    assert!(seq < 512, "cursor seq {seq} out of range");
+    assert!(index < 256, "cursor index {index} out of range");
+    assert!(ctx.metrics.gauge("consumer.cursor_lag").get() >= 0.0);
+}

@@ -11,9 +11,13 @@
 //!
 //! The cell stores only plain `u64` words (no pointers, no host-local
 //! `Instant`s): per-shard progress arrays plus a fixed table of decision
-//! entries keyed by consumer id. Times are unix milliseconds so the
-//! apply-timeout expiry — the guard against a dead consumer wedging the
-//! barrier — works across processes. Decision memos are stamped with the
+//! entries keyed by consumer id. Times are milliseconds on a
+//! **cooperative monotonic clock** — a shared high-water mark that every
+//! participant advances from its own `Instant` — so the apply-timeout
+//! expiry (the guard against a dead consumer wedging the barrier) works
+//! across processes without trusting wall clocks: an NTP step backwards
+//! cannot make a stale admission immortal, and a step forwards cannot
+//! expire a fresh one instantly. Decision memos are stamped with the
 //! barrier generation they were made in and expire implicitly when the
 //! next barrier opens, exactly like the local coordinator's
 //! `decisions.clear()`.
@@ -27,13 +31,14 @@
 use crate::mmap::SharedMapping;
 use crate::ShmError;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Coord file magic: `b"TSCOORD1"` little-endian.
 const MAGIC: u64 = u64::from_le_bytes(*b"TSCOORD1");
-/// On-disk format version.
-const VERSION: u64 = 1;
+/// On-disk format version. v2 added the shared monotonic-clock word
+/// (`W_MONO`) that admission expiry is measured against.
+const VERSION: u64 = 2;
 
 /// Most shards a shared cell can coordinate (one bit per shard in each
 /// decision entry's unapplied mask).
@@ -53,7 +58,13 @@ const W_ARRIVED: usize = 5;
 const W_PENDING_EPOCH: usize = 6;
 const W_EPOCH: usize = 7;
 const W_STOPPED: usize = 8;
-const W_ACTIVE: usize = 9;
+/// The cooperative monotonic clock (ms): the high-water mark of every
+/// participant's `Instant`-derived elapsed time. Admission expiry is
+/// measured on this timeline, never on wall clocks — an NTP step
+/// (backwards *or* forwards) in any participating process cannot make
+/// admissions immortal or expire them instantly.
+const W_MONO: usize = 9;
+const W_ACTIVE: usize = 10;
 const W_PUBLISHED: usize = W_ACTIVE + MAX_COORD_SHARDS;
 const W_PIN_LIMIT: usize = W_PUBLISHED + MAX_COORD_SHARDS;
 const W_ENTRIES: usize = W_PIN_LIMIT + MAX_COORD_SHARDS;
@@ -62,7 +73,7 @@ const W_ENTRIES: usize = W_PIN_LIMIT + MAX_COORD_SHARDS;
 const E_ID: usize = 0; // consumer id; 0 = free slot
 const E_DECISION: usize = 1; // wire code of the memoized decision
 const E_GENERATION: usize = 2; // barrier generation the memo belongs to
-const E_DECIDED_MS: usize = 3; // unix ms, for cross-process expiry
+const E_DECIDED_MS: usize = 3; // shared-monotonic ms, for cross-process expiry
 const E_UNAPPLIED: usize = 4; // bitmask of shards yet to apply
 const ENTRY_WORDS: usize = 5;
 
@@ -98,13 +109,6 @@ impl CoordDecision {
     }
 }
 
-fn unix_ms() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
-}
-
 /// A shared-memory epoch-coordinator cell: the cross-process backing for
 /// the core crate's `EpochCoordinator`. One process [`ShmCoordCell::create`]s
 /// the file (and unlinks it on drop); every other shard process
@@ -117,6 +121,14 @@ pub struct ShmCoordCell {
     shards: usize,
     apply_timeout_ms: u64,
     owner: bool,
+    /// This mapping's monotonic reference point.
+    clock_base: Instant,
+    /// The shared clock's value when this mapping joined; the local
+    /// contribution to `W_MONO` is `clock_base_ms + clock_base.elapsed()`,
+    /// continuing the shared timeline instead of restarting it.
+    clock_base_ms: u64,
+    /// Test-only injected skew, to prove expiry is immune to it.
+    clock_skew_ms: AtomicI64,
 }
 
 // Safety: all mutation goes through atomics under the in-file spinlock.
@@ -154,6 +166,9 @@ impl ShmCoordCell {
             shards,
             apply_timeout_ms: apply_timeout.as_millis().max(1) as u64,
             owner: true,
+            clock_base: Instant::now(),
+            clock_base_ms: 0,
+            clock_skew_ms: AtomicI64::new(0),
         };
         for shard in 0..shards {
             cell.word(W_ACTIVE + shard).store(1, Ordering::SeqCst);
@@ -194,12 +209,16 @@ impl ShmCoordCell {
                 "coordinator file advertises {shards} shards"
             )));
         }
+        let clock_base_ms = read(W_MONO);
         Ok(Self {
             map,
             path,
             shards,
             apply_timeout_ms: apply_timeout.as_millis().max(1) as u64,
             owner: false,
+            clock_base: Instant::now(),
+            clock_base_ms,
+            clock_skew_ms: AtomicI64::new(0),
         })
     }
 
@@ -242,6 +261,34 @@ impl ShmCoordCell {
         out
     }
 
+    /// Lock held: reads and advances the cooperative monotonic clock.
+    ///
+    /// Each call folds this mapping's `Instant`-derived elapsed time into
+    /// the shared high-water mark, so the returned value never decreases
+    /// across any sequence of calls by any participant — even when their
+    /// wall clocks step in either direction. A participant whose local
+    /// monotonic clock lags simply reads the high-water mark; one that
+    /// leads advances it. Decision stamps and expiry checks both read
+    /// this clock, so they live on one timeline.
+    fn mono_ms_locked(&self) -> u64 {
+        let shared = self.word(W_MONO).load(Ordering::SeqCst);
+        let local = (self.clock_base_ms + self.clock_base.elapsed().as_millis() as u64)
+            .saturating_add_signed(self.clock_skew_ms.load(Ordering::Relaxed));
+        let now = shared.max(local);
+        self.word(W_MONO).store(now, Ordering::SeqCst);
+        now
+    }
+
+    /// Test hook: skews this mapping's *local* clock contribution by `ms`
+    /// (either sign), standing in for a host whose time source misbehaves.
+    /// Expiry regression tests use it to prove admissions neither become
+    /// immortal (backwards skew) nor expire instantly (forwards skew
+    /// present before the decision).
+    #[doc(hidden)]
+    pub fn inject_clock_skew_ms(&self, ms: i64) {
+        self.clock_skew_ms.store(ms, Ordering::Relaxed);
+    }
+
     fn active_mask(&self) -> u64 {
         let mut mask = 0u64;
         for shard in 0..self.shards {
@@ -256,7 +303,7 @@ impl ShmCoordCell {
     /// every active shard arrived and every decided admission was applied
     /// (or abandoned) everywhere.
     fn try_open_locked(&self) {
-        let now = unix_ms();
+        let now = self.mono_ms_locked();
         let active_mask = self.active_mask();
         let mut pending = false;
         for slot in 0..MAX_DECISIONS {
@@ -426,7 +473,7 @@ impl ShmCoordCell {
             self.entry(slot, E_GENERATION)
                 .store(generation, Ordering::SeqCst);
             self.entry(slot, E_DECIDED_MS)
-                .store(unix_ms(), Ordering::SeqCst);
+                .store(self.mono_ms_locked(), Ordering::SeqCst);
             let mask = match decision {
                 CoordDecision::AdmitReplay | CoordDecision::AdmitAtCurrent => active_mask,
                 CoordDecision::WaitNextEpoch => 0,
@@ -576,6 +623,69 @@ mod tests {
         assert!(!b.reached(g2), "barrier waits on the unapplied admission");
         std::thread::sleep(Duration::from_millis(60));
         assert!(b.reached(g2), "expired admission abandoned");
+    }
+
+    #[test]
+    fn expiry_survives_backwards_clock_skew() {
+        // Regression: with unix-ms stamps, a wall clock stepping backwards
+        // after the decision made `now.saturating_sub(decided)` stick at 0
+        // forever — the admission never expired and the barrier deadlocked.
+        // On the shared monotonic clock a skewed participant cannot drag
+        // time backwards (it just reads the high-water mark), so expiry
+        // still happens on schedule.
+        let path = temp_path("skew-back");
+        let a = ShmCoordCell::create(&path, 2, Duration::from_millis(40)).unwrap();
+        let b = ShmCoordCell::open(&path, Duration::from_millis(40)).unwrap();
+        let g = a.arrive(0, 0, 5);
+        let _ = b.arrive(1, 0, 5);
+        assert!(a.reached(g));
+        a.note_published(0, 1);
+        assert_eq!(a.decide_join(3, false).0, CoordDecision::AdmitReplay);
+        a.applied(0, 3); // shard 1's process never applies
+                         // Shard 1's host "steps back" by a day.
+        b.inject_clock_skew_ms(-86_400_000);
+        let g2 = a.arrive(0, 1, 5);
+        let _ = b.arrive(1, 1, 5);
+        assert!(!b.reached(g2), "barrier waits on the unapplied admission");
+        std::thread::sleep(Duration::from_millis(60));
+        // The healthy participant advances the shared clock past the
+        // timeout; the skewed one reads the high-water mark. (A skewed
+        // mapping alone never *advances* time — it defers to the
+        // healthiest clock in the group, which is the point.)
+        assert!(a.reached(g2), "healthy participant expires the admission");
+        assert!(
+            b.reached(g2),
+            "skewed participant observes the expiry via the shared clock"
+        );
+    }
+
+    #[test]
+    fn fresh_admissions_survive_forwards_clock_skew() {
+        // Regression: with unix-ms stamps, a wall clock stepping forwards
+        // between two participants expired admissions the moment they were
+        // decided (double-admit / lost replay). On the shared clock the
+        // decision stamp and the expiry check read the same timeline, so
+        // a decision made *after* a huge forward step is still fresh.
+        let path = temp_path("skew-fwd");
+        let a = ShmCoordCell::create(&path, 2, Duration::from_secs(5)).unwrap();
+        let b = ShmCoordCell::open(&path, Duration::from_secs(5)).unwrap();
+        // Shard 1's host is a day "ahead"; touching the barrier propagates
+        // the skew into the shared clock before anything is decided.
+        b.inject_clock_skew_ms(86_400_000);
+        let g = a.arrive(0, 0, 5);
+        let _ = b.arrive(1, 0, 5);
+        assert!(b.reached(g));
+        a.note_published(0, 1);
+        assert_eq!(a.decide_join(3, false).0, CoordDecision::AdmitReplay);
+        a.applied(0, 3); // b has not applied yet
+        let g2 = a.arrive(0, 1, 5);
+        let _ = b.arrive(1, 1, 5);
+        // Neither mapping may treat the fresh admission as expired, no
+        // matter whose clock answers the check.
+        assert!(!a.reached(g2), "fresh admission must not expire instantly");
+        assert!(!b.reached(g2), "fresh admission must not expire instantly");
+        b.applied(1, 3);
+        assert!(a.reached(g2), "barrier opens once actually applied");
     }
 
     #[test]

@@ -510,6 +510,96 @@ impl ShmArena {
         })
     }
 
+    /// The reservation half of [`ShmArena::try_recycle`]: rewrites a slot
+    /// the caller already owns (sole producer reference) for `len` bytes
+    /// and bumps the generation — but moves **no bytes**. The caller gets
+    /// back a [`ShmLease`] granting exclusive write access to the slot
+    /// body; filling it is the caller's job ([`ShmLease::bytes_mut`]).
+    ///
+    /// This is the zero-copy producer path: the feeder collates *directly
+    /// into* the leased slot, so the publish stage never copies payload
+    /// bytes. Error conditions mirror [`ShmArena::try_recycle`]
+    /// ([`ShmError::Busy`] / [`ShmError::Stale`] / [`ShmError::TooLarge`];
+    /// on error the slot is untouched and still owned via `handle`).
+    pub fn try_recycle_in_place(
+        self: &Arc<Self>,
+        handle: ShmHandle,
+        len: usize,
+    ) -> Result<ShmLease, ShmError> {
+        let i = handle.slot as usize;
+        if i >= self.nslots {
+            return Err(ShmError::BadSlot(handle.slot));
+        }
+        if len > self.slot_size {
+            return Err(ShmError::TooLarge {
+                requested: len,
+                slot_size: self.slot_size,
+            });
+        }
+        let hdr = self.slot(i);
+        let current = hdr.state.load(Ordering::SeqCst);
+        if state_generation(current) != handle.generation || state_refs(current) == 0 {
+            return Err(ShmError::Stale {
+                slot: handle.slot,
+                generation: handle.generation,
+            });
+        }
+        if state_refs(current) != 1 {
+            return Err(ShmError::Busy {
+                slot: handle.slot,
+                refs: state_refs(current),
+            });
+        }
+        let mut generation = handle.generation.wrapping_add(1);
+        if generation == 0 {
+            generation = 1;
+        }
+        // Same CAS discipline as `try_recycle`: a reader racing `attach`
+        // with the old handle either bumps refs before us (we fail Busy)
+        // or fails its generation check after us.
+        if hdr
+            .state
+            .compare_exchange(
+                current,
+                make_state(generation, 1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            let raced = hdr.state.load(Ordering::SeqCst);
+            return Err(ShmError::Busy {
+                slot: handle.slot,
+                refs: state_refs(raced),
+            });
+        }
+        hdr.len.store(len as u64, Ordering::SeqCst);
+        Ok(ShmLease {
+            arena: Arc::clone(self),
+            handle: ShmHandle {
+                slot: handle.slot,
+                generation,
+                len: len as u64,
+            },
+            armed: true,
+        })
+    }
+
+    /// Claims a *fresh* slot for `len` bytes as a writable [`ShmLease`] —
+    /// [`ShmArena::reserve`] wrapped in the lease guard, for the arena-miss
+    /// path of a recycling pool. The lease's generation is already final
+    /// (unlike a bare `reserve` handle, which [`ShmArena::try_recycle`]
+    /// re-stamps), so [`ShmLease::into_handle`] is directly publishable
+    /// once the bytes are written.
+    pub fn lease(self: &Arc<Self>, len: usize) -> Result<ShmLease, ShmError> {
+        let handle = self.reserve(len)?;
+        Ok(ShmLease {
+            arena: Arc::clone(self),
+            handle,
+            armed: true,
+        })
+    }
+
     /// References currently held on the slot behind `handle`, or `None`
     /// when the handle is stale or out of range.
     pub fn ref_count(&self, handle: ShmHandle) -> Option<u32> {
@@ -665,6 +755,93 @@ impl Drop for ShmView {
     }
 }
 
+/// Exclusive write access to one leased slot, before publication.
+///
+/// Produced by [`ShmArena::lease`] / [`ShmArena::try_recycle_in_place`].
+/// The lease holds the slot at `refs == 1` under a generation that has
+/// never been handed out, so nothing can [`ShmArena::attach`] it — the
+/// writer side of the producer's zero-copy collate path owns the byte
+/// range outright until it either:
+///
+/// * [`ShmLease::into_handle`]s the lease — transferring the producer
+///   reference to the returned [`ShmHandle`], which the caller then
+///   publishes and eventually [`ShmArena::release`]s; or
+/// * drops it — releasing the reference, freeing the slot (the abort
+///   path; a leased-but-never-published slot must not leak).
+///
+/// **Contract:** write all `len` bytes before `into_handle`; the slot
+/// contents are unspecified (the previous occupant's bytes) until
+/// overwritten, and the handle is attachable the moment it is announced.
+pub struct ShmLease {
+    arena: Arc<ShmArena>,
+    handle: ShmHandle,
+    /// True while this lease still owns the producer reference.
+    armed: bool,
+}
+
+impl ShmLease {
+    /// The handle this lease will publish as. Attaching it before the
+    /// bytes are written reads the previous occupant's bytes — hand it
+    /// out only via [`ShmLease::into_handle`].
+    pub fn handle(&self) -> ShmHandle {
+        self.handle
+    }
+
+    /// Payload length in bytes (what was requested at lease time).
+    pub fn len(&self) -> usize {
+        self.handle.len as usize
+    }
+
+    /// True when the lease covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.handle.len == 0
+    }
+
+    /// The arena the leased slot lives in.
+    pub fn arena(&self) -> &Arc<ShmArena> {
+        &self.arena
+    }
+
+    /// The writable byte range of the leased slot.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        // Safety: the lease pins refs == 1 under a generation no other
+        // party has seen, so no view can alias this range; the mapping
+        // outlives the lease via the held Arc.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.arena.slot_data_ptr(self.handle.slot as usize),
+                self.handle.len as usize,
+            )
+        }
+    }
+
+    /// Consumes the lease, transferring the producer reference to the
+    /// returned handle. The caller is now responsible for the eventual
+    /// [`ShmArena::release`] (directly or through a slot pool).
+    pub fn into_handle(mut self) -> ShmHandle {
+        self.armed = false;
+        self.handle
+    }
+}
+
+impl std::fmt::Debug for ShmLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmLease")
+            .field("slot", &self.handle.slot)
+            .field("generation", &self.handle.generation)
+            .field("len", &self.handle.len)
+            .finish()
+    }
+}
+
+impl Drop for ShmLease {
+    fn drop(&mut self) {
+        if self.armed {
+            self.arena.release(self.handle);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -816,6 +993,54 @@ mod tests {
         ));
         assert!(arena.release(newer));
         assert_eq!(arena.ref_count(newer), None);
+    }
+
+    #[test]
+    fn lease_writes_in_place_without_copy() {
+        let arena = ShmArena::create(temp_path("lease"), 2, 64).unwrap();
+        let mut lease = arena.lease(5).unwrap();
+        lease.bytes_mut().copy_from_slice(b"fresh");
+        let h = lease.into_handle();
+        assert_eq!(&arena.attach(h).unwrap()[..], b"fresh");
+        // Recycle the published slot in place: generation bumps, old
+        // handle goes stale, and the new lease writes the same slot body.
+        let mut lease2 = arena.try_recycle_in_place(h, 6).unwrap();
+        assert_eq!(lease2.handle().slot, h.slot);
+        assert_ne!(lease2.handle().generation, h.generation);
+        assert!(matches!(arena.attach(h), Err(ShmError::Stale { .. })));
+        lease2.bytes_mut().copy_from_slice(b"second");
+        let h2 = lease2.into_handle();
+        assert_eq!(&arena.attach(h2).unwrap()[..], b"second");
+        assert_eq!(arena.slots_in_use(), 1);
+        assert!(arena.release(h2));
+    }
+
+    #[test]
+    fn dropped_lease_frees_the_slot() {
+        let arena = ShmArena::create(temp_path("lease-drop"), 2, 64).unwrap();
+        let lease = arena.lease(8).unwrap();
+        let h = lease.handle();
+        assert_eq!(arena.slots_in_use(), 1);
+        drop(lease); // abort path: never published
+        assert_eq!(arena.slots_in_use(), 0);
+        assert!(matches!(arena.attach(h), Err(ShmError::Stale { .. })));
+    }
+
+    #[test]
+    fn recycle_in_place_refuses_while_reader_attached() {
+        let arena = ShmArena::create(temp_path("lease-busy"), 2, 64).unwrap();
+        let h = arena.alloc(b"shared").unwrap();
+        let view = arena.attach(h).unwrap();
+        assert!(matches!(
+            arena.try_recycle_in_place(h, 4),
+            Err(ShmError::Busy { refs: 2, .. })
+        ));
+        // The reader's bytes were never touched and the slot is still
+        // owned by the original handle.
+        assert_eq!(&view[..], b"shared");
+        drop(view);
+        let lease = arena.try_recycle_in_place(h, 4).unwrap();
+        assert_eq!(lease.len(), 4);
     }
 
     #[test]

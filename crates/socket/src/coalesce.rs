@@ -1,0 +1,141 @@
+//! A latest-wins coalescing cell for control-plane announcements.
+//!
+//! Some producer→consumer signals are *state*, not *events*: a per-shard
+//! publish cursor, a liveness watermark, a progress gauge. Delivering the
+//! full history of such a signal to a consumer that stalled is pure waste —
+//! worse, it head-of-line-blocks the messages that do matter. A
+//! coalescing cell collapses every intermediate value: the writer
+//! [`offer`](CoalescingSender::offer)s as often as it likes, the reader
+//! [`poll`](CoalescingReceiver::poll)s whatever is *current* and observes
+//! at most one pending value no matter how long it slept.
+//!
+//! This is the socket-layer analogue of the coalescing ring buffers used by
+//! low-latency market-data feeds: offers never block, never allocate after
+//! construction, and the cell holds exactly zero or one value.
+//!
+//! ```
+//! use ts_socket::coalesce::coalescing_cell;
+//!
+//! let (tx, rx) = coalescing_cell::<u64>();
+//! tx.offer(1);
+//! tx.offer(2);
+//! tx.offer(3);
+//! assert_eq!(rx.poll(), Some(3)); // 1 and 2 were coalesced away
+//! assert_eq!(rx.poll(), None);    // drained until the next offer
+//! ```
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared single-slot state behind a sender/receiver pair.
+#[derive(Debug)]
+struct CoalescingCell<T> {
+    slot: Mutex<Option<T>>,
+}
+
+/// Writing half of a coalescing cell: every [`offer`](Self::offer)
+/// replaces whatever the reader has not consumed yet (latest-wins).
+///
+/// Cloning shares the cell — several writers coalesce into the same slot.
+#[derive(Debug)]
+pub struct CoalescingSender<T> {
+    cell: Arc<CoalescingCell<T>>,
+}
+
+impl<T> Clone for CoalescingSender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+/// Reading half of a coalescing cell: [`poll`](Self::poll) takes the
+/// current value, leaving the cell empty until the next offer.
+#[derive(Debug)]
+pub struct CoalescingReceiver<T> {
+    cell: Arc<CoalescingCell<T>>,
+}
+
+impl<T> CoalescingSender<T> {
+    /// Publishes `value`, replacing any value the reader has not taken
+    /// yet. Returns the value that was displaced, if any — `Some` means
+    /// the reader is lagging and an intermediate state was coalesced.
+    pub fn offer(&self, value: T) -> Option<T> {
+        self.cell.slot.lock().replace(value)
+    }
+}
+
+impl<T> CoalescingReceiver<T> {
+    /// Takes the latest offered value, or `None` when nothing new arrived
+    /// since the last poll. Never blocks.
+    pub fn poll(&self) -> Option<T> {
+        self.cell.slot.lock().take()
+    }
+
+    /// Reads the latest offered value without consuming it.
+    pub fn peek(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.cell.slot.lock().clone()
+    }
+}
+
+/// Creates a connected latest-wins sender/receiver pair over an empty
+/// cell.
+pub fn coalescing_cell<T>() -> (CoalescingSender<T>, CoalescingReceiver<T>) {
+    let cell = Arc::new(CoalescingCell {
+        slot: Mutex::new(None),
+    });
+    (
+        CoalescingSender {
+            cell: Arc::clone(&cell),
+        },
+        CoalescingReceiver { cell },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_offer_wins() {
+        let (tx, rx) = coalescing_cell();
+        assert_eq!(rx.poll(), None);
+        assert_eq!(tx.offer(1u32), None);
+        assert_eq!(tx.offer(2), Some(1), "unread value displaced");
+        assert_eq!(tx.offer(3), Some(2));
+        assert_eq!(rx.peek(), Some(3));
+        assert_eq!(rx.poll(), Some(3));
+        assert_eq!(rx.poll(), None, "poll drains the cell");
+        tx.offer(4);
+        assert_eq!(rx.poll(), Some(4));
+    }
+
+    #[test]
+    fn a_stalled_reader_sees_exactly_one_value() {
+        let (tx, rx) = coalescing_cell();
+        let writer = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                tx.offer(i);
+            }
+        });
+        writer.join().unwrap();
+        // However long the reader slept, the backlog is one value deep and
+        // it is the most recent one.
+        assert_eq!(rx.poll(), Some(9_999));
+        assert_eq!(rx.poll(), None);
+    }
+
+    #[test]
+    fn cloned_senders_share_the_slot() {
+        let (tx, rx) = coalescing_cell();
+        let tx2 = tx.clone();
+        tx.offer("a");
+        tx2.offer("b");
+        assert_eq!(rx.poll(), Some("b"));
+        assert_eq!(rx.poll(), None);
+    }
+}

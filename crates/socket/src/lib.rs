@@ -38,6 +38,7 @@
 //! Sockets unregister on drop, and peers observe disconnection as pruned
 //! deliveries rather than errors, like ZeroMQ.
 
+pub mod coalesce;
 pub mod endpoint;
 pub mod error;
 pub mod frame;
@@ -47,6 +48,7 @@ pub mod transport;
 pub mod uri;
 pub mod wire;
 
+pub use coalesce::{coalescing_cell, CoalescingReceiver, CoalescingSender};
 pub use endpoint::{channel_endpoint, shard_endpoint, Context, EndpointMap};
 pub use error::{RecvError, SendError};
 pub use frame::Multipart;

@@ -7,12 +7,13 @@
 //! that is how several loader batches fuse into one contiguous producer
 //! batch slab (optionally in a pooled buffer via [`cat0_pooled`]).
 
-use crate::pool::MemoryPool;
+use crate::pool::{MemoryPool, SlotPool};
 use crate::shape::contiguous_strides;
-use crate::storage::Storage;
+use crate::storage::{fresh_storage_id, Storage};
 use crate::{Result, Tensor, TensorError};
 use std::sync::Arc;
 use ts_device::DeviceId;
+use ts_shm::ShmLease;
 
 fn check_same_meta(tensors: &[Tensor], same_all_dims: bool) -> Result<()> {
     let first = &tensors[0];
@@ -119,6 +120,64 @@ pub fn cat0_pooled(tensors: &[Tensor], pool: &MemoryPool, device: DeviceId) -> R
     )
 }
 
+/// [`cat0`] directly into a leased shared-memory slot from `pool`: the
+/// concatenated bytes are written exactly once, into the arena slot that
+/// consumers will map, so the later publish moves no payload bytes — the
+/// collation *is* the placement.
+///
+/// The returned tensor's storage is a zero-copy view of the leased slot
+/// (under a fresh storage id), and the returned [`ShmLease`] still holds
+/// the lease's producer reference: at publish time,
+/// [`ShmLease::into_handle`] it into
+/// [`crate::SharedRegistry::register_placed`] so the slot recycles through
+/// `pool` when the registration releases. An item that never reaches the
+/// publish stage (shutdown, epoch abort) simply drops the lease, freeing
+/// the slot. Fails with [`TensorError::Arena`] when no slot can be leased
+/// (arena full, or every recyclable slot still pinned by readers) —
+/// callers fall back to the copying collate path.
+pub fn cat0_leased(
+    tensors: &[Tensor],
+    pool: &SlotPool,
+    device: DeviceId,
+) -> Result<(Tensor, ShmLease)> {
+    if tensors.is_empty() {
+        return Err(TensorError::Shape(
+            "cat0_leased of zero tensors".to_string(),
+        ));
+    }
+    check_same_meta(tensors, false)?;
+    let first = &tensors[0];
+    let rows: usize = tensors.iter().map(|t| t.shape()[0]).sum();
+    let mut shape = first.shape().to_vec();
+    shape[0] = rows;
+    let total_bytes: usize = tensors.iter().map(|t| t.view_bytes()).sum();
+    let mut lease = pool
+        .lease(total_bytes)
+        .map_err(|e| TensorError::Arena(e.to_string()))?;
+    let dst = lease.bytes_mut();
+    let mut cursor = 0;
+    for t in tensors {
+        let bytes = t.gather_bytes();
+        dst[cursor..cursor + bytes.len()].copy_from_slice(&bytes);
+        cursor += bytes.len();
+    }
+    // The tensor's storage pins the slot with its own read reference; the
+    // producer reference stays with the lease we hand back.
+    let view = pool
+        .arena()
+        .attach(lease.handle())
+        .map_err(|e| TensorError::Arena(e.to_string()))?;
+    let storage = Arc::new(Storage::from_shm_view(fresh_storage_id(), view, device));
+    let tensor = Tensor::from_parts(
+        storage,
+        first.dtype(),
+        shape.clone(),
+        contiguous_strides(&shape),
+        0,
+    )?;
+    Ok((tensor, lease))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +243,56 @@ mod tests {
         assert_eq!(pool.free_count(), 1);
         let (_, misses, returned) = pool.stats();
         assert_eq!((misses, returned), (1, 1));
+    }
+
+    #[test]
+    fn leased_cat_collates_into_the_arena_slot() {
+        let path =
+            std::env::temp_dir().join(format!("ts-collate-lease-{}.arena", std::process::id()));
+        let arena = ts_shm::ShmArena::create(path, 4, 64).unwrap();
+        let pool = SlotPool::new(arena.clone(), 2);
+        let parts = [t(&[1, 2, 3, 4], &[2, 2]), t(&[5, 6, 7, 8], &[2, 2])];
+        let (batch, lease) = cat0_leased(&parts, &pool, DeviceId::Cpu).unwrap();
+        let handle = lease.into_handle();
+        assert_eq!(batch.shape(), &[4, 2]);
+        assert!(
+            batch.storage().is_shared_memory(),
+            "tensor IS the slot view"
+        );
+        assert_eq!(batch.to_vec_u8().unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        // The slot holds the same bytes — no second placement needed.
+        assert_eq!(
+            &arena.attach(handle).unwrap()[..],
+            &[1, 2, 3, 4, 5, 6, 7, 8]
+        );
+        drop(batch);
+        pool.reclaim(handle);
+        // Steady state: the next collation recycles the same slot.
+        let (again, lease2) = cat0_leased(&parts, &pool, DeviceId::Cpu).unwrap();
+        assert_eq!(again.to_vec_u8().unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let stats = pool.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        drop(again);
+        pool.reclaim(lease2.into_handle());
+        pool.drain();
+        assert_eq!(arena.slots_in_use(), 0);
+    }
+
+    #[test]
+    fn dropped_lease_from_leased_cat_frees_its_slot() {
+        let path = std::env::temp_dir().join(format!(
+            "ts-collate-lease-drop-{}.arena",
+            std::process::id()
+        ));
+        let arena = ts_shm::ShmArena::create(path, 4, 64).unwrap();
+        let pool = SlotPool::new(arena.clone(), 2);
+        let parts = [t(&[1, 2, 3, 4], &[2, 2])];
+        let (batch, lease) = cat0_leased(&parts, &pool, DeviceId::Cpu).unwrap();
+        // An item abandoned before publish: dropping tensor + lease must
+        // leave nothing behind in the arena.
+        drop(batch);
+        drop(lease);
+        assert_eq!(arena.slots_in_use(), 0);
     }
 
     #[test]

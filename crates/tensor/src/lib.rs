@@ -34,7 +34,7 @@ pub mod shape;
 pub mod storage;
 pub mod tensor;
 
-pub use collate::{cat0, stack0};
+pub use collate::{cat0, cat0_leased, stack0};
 pub use context::DeviceCtx;
 pub use dtype::DType;
 pub use payload::TensorPayload;
@@ -63,6 +63,10 @@ pub enum TensorError {
     },
     /// Device mismatch or unknown device.
     Device(String),
+    /// A shared-memory arena operation failed (full, stale handle, slot
+    /// pinned by readers) — callers on the zero-copy publish path fall
+    /// back to the copying path on this.
+    Arena(String),
     /// Device memory exhausted.
     OutOfMemory(ts_device::OutOfMemory),
 }
@@ -78,6 +82,7 @@ impl std::fmt::Display for TensorError {
                 write!(f, "payload references released storage {storage_id}")
             }
             TensorError::Device(m) => write!(f, "device error: {m}"),
+            TensorError::Arena(m) => write!(f, "arena error: {m}"),
             TensorError::OutOfMemory(e) => write!(f, "{e}"),
         }
     }

@@ -238,6 +238,43 @@ impl SlotPool {
         }
     }
 
+    /// Leases a writable slot for `len` bytes *without moving any bytes* —
+    /// the zero-copy sibling of [`SlotPool::place`]. An owned slot is
+    /// rewritten in place ([`ts_shm::ShmArena::try_recycle_in_place`],
+    /// counted as a hit); with none available a fresh slot is claimed
+    /// ([`ts_shm::ShmArena::lease`], counted as a miss). Busy slots —
+    /// a consumer still mapping acked contents — are abandoned exactly as
+    /// in `place`.
+    ///
+    /// The caller collates directly into [`ts_shm::ShmLease::bytes_mut`]
+    /// and then publishes [`ts_shm::ShmLease::into_handle`]; the handle's
+    /// producer reference comes back via [`SlotPool::reclaim`] like any
+    /// placed slot's.
+    pub fn lease(&self, len: usize) -> Result<ts_shm::ShmLease, ShmError> {
+        loop {
+            let candidate = self.inner.lock().free.pop();
+            let Some(handle) = candidate else {
+                let lease = self.arena.lease(len)?;
+                self.inner.lock().misses += 1;
+                return Ok(lease);
+            };
+            match self.arena.try_recycle_in_place(handle, len) {
+                Ok(lease) => {
+                    self.inner.lock().hits += 1;
+                    return Ok(lease);
+                }
+                Err(ShmError::Busy { .. }) => {
+                    self.arena.release(handle);
+                    self.inner.lock().busy_discards += 1;
+                }
+                Err(e) => {
+                    self.arena.release(handle);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// Takes back a slot whose batch was fully acked, keeping its producer
     /// reference for recycling. Beyond the depth cap the slot is released
     /// to the arena instead.
@@ -343,6 +380,49 @@ mod tests {
         assert_eq!(stats.hits, 49);
         assert_eq!(&arena.attach(handle).unwrap()[..], b"batch-49");
         assert_eq!(arena.slots_in_use(), 1, "one slot served every batch");
+    }
+
+    #[test]
+    fn slot_pool_leases_recycle_without_arena_allocations() {
+        let arena = test_arena("lease", 8, 64);
+        let pool = SlotPool::new(arena.clone(), 4);
+        let mut lease = pool.lease(7).unwrap();
+        lease.bytes_mut().copy_from_slice(b"batch-0");
+        let mut handle = lease.into_handle();
+        assert_eq!(pool.stats().misses, 1);
+        // Steady state: every lease rewrites the reclaimed slot in place.
+        for i in 1..50 {
+            pool.reclaim(handle);
+            let body = format!("batch-{i}");
+            let mut lease = pool.lease(body.len()).unwrap();
+            lease.bytes_mut().copy_from_slice(body.as_bytes());
+            handle = lease.into_handle();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1, "steady state must not touch the arena");
+        assert_eq!(stats.hits, 49);
+        assert_eq!(&arena.attach(handle).unwrap()[..], b"batch-49");
+        assert_eq!(arena.slots_in_use(), 1, "one slot served every batch");
+    }
+
+    #[test]
+    fn slot_pool_lease_skips_slots_pinned_by_readers() {
+        let arena = test_arena("lease-busy", 4, 64);
+        let pool = SlotPool::new(arena.clone(), 4);
+        let h = pool.place(b"pinned").unwrap();
+        let view = arena.attach(h).unwrap();
+        pool.reclaim(h);
+        let mut lease = pool.lease(5).unwrap();
+        assert_ne!(lease.handle().slot, h.slot);
+        lease.bytes_mut().copy_from_slice(b"fresh");
+        let h2 = lease.into_handle();
+        assert_eq!(&view[..], b"pinned", "reader's bytes untouched");
+        let stats = pool.stats();
+        assert_eq!(stats.busy_discards, 1);
+        drop(view);
+        pool.reclaim(h2);
+        pool.drain();
+        assert_eq!(arena.slots_in_use(), 0);
     }
 
     #[test]

@@ -39,9 +39,21 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use ts_shm::{ShmArena, ShmHandle};
 
+#[derive(Debug)]
+struct Registration {
+    storage: Arc<Storage>,
+    /// Live registrations of this id. A storage republished across an
+    /// epoch boundary — e.g. a vector source re-sharing the same batches
+    /// while the previous epoch's tail is still rubberband-pinned — must
+    /// not have its arena slot reclaimed by the *first* release while the
+    /// second registration is live: registrations count up and the slot
+    /// is freed exactly once, when the count returns to zero.
+    refs: u64,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
-    storages: HashMap<u64, Arc<Storage>>,
+    storages: HashMap<u64, Registration>,
     /// Producer side: arena placement of registered storages.
     handles: HashMap<u64, ShmHandle>,
     /// Which pool placed each handle (`Some(shard)` = that shard's pool,
@@ -132,6 +144,23 @@ impl SharedRegistry {
         (self.slot_pool.lock().clone(), None)
     }
 
+    /// The recycling pool a shard's feeder should lease slots from, plus
+    /// the placement key to hand back to
+    /// [`SharedRegistry::register_placed`]. `None` when no pool serves the
+    /// shard — the caller then falls back to the copying publish path.
+    pub fn lease_pool(&self, shard: Option<u32>) -> Option<(SlotPool, Option<u32>)> {
+        let (pool, key) = self.pool_for(shard);
+        pool.map(|p| (p, key))
+    }
+
+    /// Resolves a `placed_by` key back to its pool.
+    fn pool_by_key(&self, key: Option<u32>) -> Option<SlotPool> {
+        match key {
+            Some(shard) => self.shard_pools.lock().get(&shard).cloned(),
+            None => self.slot_pool.lock().clone(),
+        }
+    }
+
     /// Registers a storage, making it resolvable by id. Re-registering the
     /// same storage is a no-op.
     ///
@@ -154,10 +183,20 @@ impl SharedRegistry {
         let arena = self.arena.lock().clone();
         {
             let mut inner = self.inner.lock();
-            if inner.storages.contains_key(&storage.id()) {
+            if let Some(reg) = inner.storages.get_mut(&storage.id()) {
+                // Republished id (epoch boundary with the earlier
+                // registration still pinned): count it; the existing
+                // arena placement keeps serving both.
+                reg.refs += 1;
                 return;
             }
-            inner.storages.insert(storage.id(), Arc::clone(storage));
+            inner.storages.insert(
+                storage.id(),
+                Registration {
+                    storage: Arc::clone(storage),
+                    refs: 1,
+                },
+            );
         }
         // The arena copy happens outside the table lock so concurrent
         // lookups/releases never stall behind a large memcpy.
@@ -193,6 +232,53 @@ impl SharedRegistry {
         }
     }
 
+    /// Copyless registration for a feeder-leased slot: `storage` is itself
+    /// a view of the arena slot behind `handle` (the feeder collated
+    /// directly into the leased byte range), so there is nothing to place
+    /// — the table simply adopts the handle, whose producer reference the
+    /// lease transferred to the caller. `pool_key` names the recycling
+    /// pool the lease came from ([`SharedRegistry::lease_pool`]); the
+    /// eventual [`SharedRegistry::release`] reclaims the slot into it.
+    ///
+    /// A duplicate id (republished across an epoch boundary) is counted
+    /// like [`SharedRegistry::register_for_shard`]'s, and the redundant
+    /// new slot is reclaimed immediately instead of clobbering the live
+    /// placement.
+    pub fn register_placed(
+        &self,
+        storage: &Arc<Storage>,
+        handle: ShmHandle,
+        pool_key: Option<u32>,
+    ) {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(reg) = inner.storages.get_mut(&storage.id()) {
+                reg.refs += 1;
+            } else {
+                inner.storages.insert(
+                    storage.id(),
+                    Registration {
+                        storage: Arc::clone(storage),
+                        refs: 1,
+                    },
+                );
+                inner.handles.insert(storage.id(), handle);
+                inner.placed_by.insert(storage.id(), pool_key);
+                return;
+            }
+        }
+        // Duplicate: the id already has a live placement serving every
+        // consumer; give the redundant slot back (outside the table lock).
+        match self.pool_by_key(pool_key) {
+            Some(pool) => pool.reclaim(handle),
+            None => {
+                if let Some(arena) = self.arena.lock().clone() {
+                    arena.release(handle);
+                }
+            }
+        }
+    }
+
     /// The arena placement of a registered storage (producer side, arena
     /// bound, allocation succeeded).
     pub fn shm_handle(&self, storage_id: u64) -> Option<ShmHandle> {
@@ -205,7 +291,7 @@ impl SharedRegistry {
             .lock()
             .storages
             .get(&storage_id)
-            .cloned()
+            .map(|reg| Arc::clone(&reg.storage))
             .ok_or(TensorError::DanglingPayload { storage_id })
     }
 
@@ -235,6 +321,12 @@ impl SharedRegistry {
 
     /// Releases a storage id. Returns true when the id was present.
     ///
+    /// An id registered more than once (republished across an epoch
+    /// boundary while the earlier registration is still pinned) only
+    /// decrements its count; the slot and table entry go when the count
+    /// returns to zero, so a release for the *old* epoch never pulls a
+    /// placement out from under the new one.
+    ///
     /// Consumers that already resolved the storage keep their `Arc`; the
     /// bytes are freed only when the last reference drops (the paper's
     /// "tensors are kept in memory as long as any of the producers or
@@ -243,6 +335,14 @@ impl SharedRegistry {
     pub fn release(&self, storage_id: u64) -> bool {
         let arena = self.arena.lock().clone();
         let mut inner = self.inner.lock();
+        match inner.storages.get_mut(&storage_id) {
+            None => return false,
+            Some(reg) if reg.refs > 1 => {
+                reg.refs -= 1;
+                return true;
+            }
+            Some(_) => {}
+        }
         if let Some(handle) = inner.handles.remove(&storage_id) {
             // Reclaim into the pool that placed the slot (a shard's own
             // pool, or the default one); raw allocations go back to the
@@ -276,7 +376,12 @@ impl SharedRegistry {
 
     /// Total bytes of registered storages (producer-side bookkeeping).
     pub fn registered_bytes(&self) -> usize {
-        self.inner.lock().storages.values().map(|s| s.len()).sum()
+        self.inner
+            .lock()
+            .storages
+            .values()
+            .map(|reg| reg.storage.len())
+            .sum()
     }
 }
 
@@ -438,6 +543,86 @@ mod tests {
         let stats = reg.slot_pool().unwrap().stats();
         assert_eq!((stats.misses, stats.returned), (1, 1));
         reg.slot_pool().unwrap().drain();
+        assert_eq!(arena.slots_in_use(), 0);
+    }
+
+    #[test]
+    fn republished_storage_survives_first_release() {
+        let reg = SharedRegistry::new();
+        let arena = test_arena("republish", 4, 64);
+        reg.bind_slot_pool(SlotPool::new(arena.clone(), 4));
+        let s = Arc::new(Storage::new(vec![5u8; 16], DeviceId::Cpu));
+        reg.register(&s);
+        let handle = reg.shm_handle(s.id()).expect("placed");
+        // Epoch boundary: the same storage is republished while the first
+        // registration is still live (rubberband-pinned tail).
+        reg.register(&s);
+        // Releasing the first epoch's registration must NOT reclaim the
+        // slot — the second registration still serves consumers.
+        assert!(reg.release(s.id()));
+        assert!(reg.lookup(s.id()).is_ok(), "second registration still live");
+        assert_eq!(reg.shm_handle(s.id()), Some(handle), "placement intact");
+        assert!(arena.attach(handle).is_ok(), "slot not recycled");
+        // The final release frees exactly once.
+        assert!(reg.release(s.id()));
+        assert!(reg.lookup(s.id()).is_err());
+        assert!(!reg.release(s.id()));
+        reg.slot_pool().unwrap().drain();
+        assert_eq!(arena.slots_in_use(), 0);
+    }
+
+    #[test]
+    fn register_placed_adopts_leased_slot_without_copy() {
+        let reg = SharedRegistry::new();
+        let arena = test_arena("placed", 4, 64);
+        reg.bind_slot_pool(SlotPool::new(arena.clone(), 4));
+        let (pool, key) = reg.lease_pool(None).expect("pool bound");
+        let mut lease = pool.lease(8).unwrap();
+        lease.bytes_mut().copy_from_slice(&[3u8; 8]);
+        let handle = lease.handle();
+        // The storage's view holds its own reference; the lease's producer
+        // reference transfers to the registry below via `into_handle`.
+        let view = arena.attach(handle).unwrap();
+        let s = Arc::new(Storage::from_shm_view(9001, view, DeviceId::Cpu));
+        reg.register_placed(&s, lease.into_handle(), key);
+        assert_eq!(reg.shm_handle(9001), Some(handle));
+        assert_eq!(reg.lookup(9001).unwrap().bytes(), &[3u8; 8]);
+        drop(s);
+        reg.release(9001);
+        let stats = pool.stats();
+        assert_eq!(stats.returned, 1, "released placement reclaims into pool");
+        pool.drain();
+        assert_eq!(arena.slots_in_use(), 0);
+    }
+
+    #[test]
+    fn register_placed_duplicate_reclaims_redundant_slot() {
+        let reg = SharedRegistry::new();
+        let arena = test_arena("placed-dup", 4, 64);
+        reg.bind_slot_pool(SlotPool::new(arena.clone(), 4));
+        let (pool, key) = reg.lease_pool(None).expect("pool bound");
+        let first = pool.lease(8).unwrap();
+        let first_handle = first.handle();
+        let view = arena.attach(first_handle).unwrap();
+        let s = Arc::new(Storage::from_shm_view(77, view, DeviceId::Cpu));
+        reg.register_placed(&s, first.into_handle(), key);
+        // Republish of the same id with a fresh slot: the duplicate slot
+        // is reclaimed immediately, the original placement stays.
+        let second = pool.lease(8).unwrap();
+        reg.register_placed(&s, second.into_handle(), key);
+        assert_eq!(
+            reg.shm_handle(77),
+            Some(first_handle),
+            "first placement kept"
+        );
+        assert_eq!(pool.stats().returned, 1, "redundant slot reclaimed");
+        // Two registrations → two releases to free.
+        assert!(reg.release(77));
+        assert!(reg.lookup(77).is_ok());
+        assert!(reg.release(77));
+        assert!(reg.lookup(77).is_err());
+        drop(s);
+        pool.drain();
         assert_eq!(arena.slots_in_use(), 0);
     }
 

@@ -87,8 +87,12 @@ fn main() {
 
     // The paper's producer shape: a simulated GPU so batches go through
     // the staging slab rotation (staging.* histograms), two shard
-    // pipelines (per-shard stage.s<N>.* histograms).
+    // pipelines (per-shard stage.s<N>.* histograms), and a
+    // builder-provisioned shm arena so publishing runs the zero-copy
+    // leased path (`stage.s<N>.publish_copy_bytes` stays 0 — the CI
+    // smoke asserts exactly that on the scraped snapshot).
     let ctx = TsContext::with_gpus(1, 1 << 30, false);
+    let arena_path = std::env::temp_dir().join(format!("ts-obs-{}.arena", std::process::id()));
     let dataset = Arc::new(SyntheticImageDataset::imagenet_like(512, 0));
     let loaders = DataLoader::sharded(
         dataset,
@@ -108,6 +112,7 @@ fn main() {
         .device(DeviceId::Gpu(0))
         .heartbeat_timeout(Duration::from_secs(30))
         .first_consumer_timeout(Some(Duration::from_secs(120)))
+        .arena(&arena_path)
         .spawn_sharded(loaders)
         .expect("spawn sharded producer");
     println!("producer serving on {endpoint} ({SHARDS} shards, GPU staging)");

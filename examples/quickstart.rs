@@ -153,6 +153,34 @@
 //! `staging.copy_queue_depth` and `staging.h2d_bytes_per_sec`. The third
 //! act below runs a GPU-staged epoch and prints them.
 //!
+//! # Zero-copy publish
+//!
+//! With an arena bound (`.arena(path)`), publishing a batch moves **no
+//! payload bytes**: the feeder leases an arena slot *before* collating
+//! and decodes straight into it, so by the time the publish loop runs,
+//! the bytes are already where consumers will map them — the announce is
+//! pure metadata (an arena handle in a protocol frame). The contract
+//! behind it is the **slot lease**: a leased slot is exclusively the
+//! feeder's until the publish loop adopts it into the shared registry
+//! (`lease → collate → adopt`), and an adopted slot frees only when the
+//! last registration *and* the last consumer pin release it — epoch
+//! replays refcount the same placement instead of re-placing bytes. A
+//! lease dropped before adoption (an error path) returns its slot to the
+//! pool automatically. The counter `stage.publish_copy_bytes` meters the
+//! fallback copying path, so after warm-up it must read **0**; CI
+//! asserts exactly that, and the fifth act below checks it live.
+//!
+//! Publishes are also announced on a side **cursor channel** — a
+//! coalescing, latest-wins cell flushed at a bounded cadence (~25 ms).
+//! Semantics for a consumer waking up mid-stream: `latest_cursor(shard)`
+//! is guaranteed to be *recent* (no unbounded backlog to drain — stale
+//! positions are displaced, never queued, metered by
+//! `stage.cursor_coalesced`) but is **not** guaranteed to be every
+//! position: it answers "where is the producer *now*?", not "what did I
+//! miss?". The batch stream itself remains complete and ordered; the
+//! cursor is for lag observability (`consumer.cursor_lag`), not flow
+//! control.
+//!
 //! # Observability
 //!
 //! Every stage also records latency histograms (`stage.feeder_fetch_ns`,
@@ -450,4 +478,64 @@ fn main() {
     let stats = producer.join().expect("observed producer");
     assert_eq!(consumed, stats.batches_published);
     println!("ok: live scrape read every stage histogram without attaching a consumer");
+
+    // ---- act five: zero-copy publish through a leased arena ----
+    // `.arena(path)` flips publishing to the metadata-only shape: the
+    // feeder leases each batch's slot up front and collates straight
+    // into it, the publish loop adopts the placement, and the announce
+    // carries a handle — no payload bytes move. The proof is a meter,
+    // not a promise: `stage.publish_copy_bytes` counts every byte the
+    // fallback copying path touches, and it must stay at 0.
+    let ctx = TsContext::host_only();
+    let arena_path =
+        std::env::temp_dir().join(format!("ts-quickstart-{}.arena", std::process::id()));
+    let dataset = Arc::new(SyntheticImageDataset::new(1_024, 64, 64, 7).with_encoded_len(4_096));
+    let loader = DataLoader::new(
+        dataset,
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 2,
+            shuffle: true,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint("inproc://tensorsocket-leased")
+        .epochs(2)
+        .arena(&arena_path) // auto-sized arena + recycling slot pool
+        .spawn(loader)
+        .expect("spawn leased producer");
+    let mut consumer = Consumer::builder()
+        .context(&ctx)
+        .connect("inproc://tensorsocket-leased")
+        .expect("connect leased consumer");
+    for batch in consumer.by_ref() {
+        batch.expect("clean stream");
+        // A slow-ish training step, so the publish cursor runs ahead and
+        // the cursor channel crosses several of its ~25 ms flush windows.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let stats = producer.join().expect("leased producer");
+    let copied = ctx.metrics.counter("stage.publish_copy_bytes").get();
+    println!(
+        "[leased] {} batches published, {copied} payload bytes copied at publish time",
+        stats.batches_published,
+    );
+    assert_eq!(copied, 0, "publish is pure metadata with an arena bound");
+    // The cursor channel: latest-wins, so a late observer reads where
+    // the producer IS — positions displaced while nobody looked are
+    // counted, not queued.
+    let (epoch, seq, index) = consumer
+        .latest_cursor(0)
+        .expect("at least one cursor flush crossed the stream");
+    println!(
+        "[leased] final cursor: epoch {epoch}, seq {seq} (index {index} in epoch), \
+         {} stale positions coalesced away",
+        ctx.metrics.counter("stage.cursor_coalesced").get(),
+    );
+    assert!(ctx.registry.is_empty(), "leased memory fully released");
+    let _ = std::fs::remove_file(&arena_path);
+    println!("ok: an epoch of batches crossed the socket as pure metadata — zero bytes copied");
 }

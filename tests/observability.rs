@@ -378,3 +378,64 @@ fn gpu_staging_histograms_flow_through_the_scrape() {
     let final_stats = producer.join().expect("producer join");
     assert_eq!(final_stats.batches_published, 48);
 }
+
+#[test]
+fn stats_replies_echo_the_request_sequence_stamp() {
+    // The v2 scrape protocol: each StatsRequest carries a sequence stamp
+    // and the producer echoes it verbatim in the Stats reply, so a
+    // scraper can tell the answer to its in-flight request from a late
+    // duplicate of an earlier round.
+    use tensorsocket::protocol::messages::{topics, CtrlMsg, DataMsg};
+
+    let endpoint = ipc_endpoint("stats-seq");
+    let ctx = TsContext::host_only();
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint(&endpoint)
+        .epochs(2)
+        .heartbeat_timeout(Duration::from_secs(30))
+        .first_consumer_timeout(Some(Duration::from_secs(60)))
+        .spawn(loader(64, 4, 0))
+        .expect("spawn producer");
+    let (consumer, reached, go) = paused_consumer(&ctx, &endpoint, 4);
+    reached
+        .recv_timeout(Duration::from_secs(60))
+        .expect("consumer reached the pause point");
+
+    // Hand-rolled scrape from a separate context: stamp the request with
+    // an arbitrary sequence and require the reply to echo it.
+    let scrape_ctx = TsContext::host_only();
+    let map = ts_socket::EndpointMap::new(&endpoint, 1);
+    let token = 0xC0FFEE_u64;
+    let sub = ts_socket::SubSocket::connect(&scrape_ctx.sockets, &map.data(0));
+    sub.subscribe(&topics::stats(token));
+    let push = ts_socket::PushSocket::connect(&scrape_ctx.sockets, &map.ctrl(0));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let echoed = loop {
+        push.send(ts_socket::Multipart::single(
+            CtrlMsg::StatsRequest {
+                token,
+                version: STATS_VERSION,
+                seq: 7,
+            }
+            .encode(),
+        ))
+        .expect("push stats request");
+        match sub.recv_timeout(Duration::from_millis(50)) {
+            Ok((_, msg)) => {
+                if let Ok(DataMsg::Stats { token: t, seq, .. }) = DataMsg::decode(&msg.frames()[0])
+                {
+                    assert_eq!(t, token);
+                    break seq;
+                }
+            }
+            Err(_) => assert!(Instant::now() < deadline, "no stats reply"),
+        }
+    };
+    assert_eq!(echoed, 7, "the reply must echo the request's stamp");
+
+    go.send(()).unwrap();
+    let consumed = consumer.join().expect("consumer thread");
+    assert_eq!(consumed, 32);
+    producer.join().expect("producer join");
+}
