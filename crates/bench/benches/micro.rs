@@ -35,6 +35,44 @@ fn bench_payload_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// The flight recorder's hot path: one span claim/commit into the
+/// lock-free trace ring, exactly what every instrumented pipeline stage
+/// pays per batch — and the reason the recorder can stay always-on.
+fn bench_trace_record(c: &mut Criterion) {
+    use ts_metrics::{SpanKind, TraceRing};
+    let mut g = c.benchmark_group("trace");
+    let ring = TraceRing::new();
+    let mut seq = 0u64;
+    g.bench_function("record_claim_commit", |b| {
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            ring.record(1, 0, seq, SpanKind::Publish, 100, 200);
+            std::hint::black_box(&ring);
+        })
+    });
+    // The full per-batch producer-side stamp load: the span sequence one
+    // batch accrues on its way out, plus the completion flip.
+    let mut seq2 = 0u64;
+    g.bench_function("record_full_batch_lifecycle", |b| {
+        b.iter(|| {
+            seq2 = seq2.wrapping_add(1);
+            for kind in [
+                SpanKind::Fetch,
+                SpanKind::CopyWait,
+                SpanKind::H2d,
+                SpanKind::Publish,
+                SpanKind::Announce,
+                SpanKind::Ack,
+            ] {
+                ring.record(2, 0, seq2, kind, 100, 200);
+            }
+            ring.complete(2, 0, seq2);
+            std::hint::black_box(&ring);
+        })
+    });
+    g.finish();
+}
+
 fn bench_wire_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire_codec");
     let announce = DataMsg::Batch(BatchAnnounce {
@@ -448,6 +486,7 @@ fn bench_transport(c: &mut Criterion) {
 criterion_group!(
     micro,
     bench_payload_path,
+    bench_trace_record,
     bench_wire_codec,
     bench_pubsub,
     bench_collate,

@@ -241,7 +241,43 @@
 //! | `stage.[s<N>.]cursor_coalesced` | counter | positions | stale cursor positions displaced (latest-wins) before a flush window |
 //! | `consumer.batches` / `consumer.samples` | counter | batches / samples | consumed by this context's consumers |
 //! | `consumer.acks` | counter | acks | batch acknowledgements sent back |
+//! | `consumer.data_unknown` | counter | frames | unknown (future-version) data frames ignored on the consumer path |
+//! | `consumer.dangling_skipped` | counter | batches | stale announces skipped because the producer (aborting) released the payload first |
 //! | `staging.h2d_bytes` | counter | bytes | bytes through the H2D copy stage |
+//! | `trace.dropped` | gauge | records | flight-recorder records evicted before completing (refreshed at scrape time) |
+//! | `trace.capacity` | gauge | records | flight-recorder ring capacity (refreshed at scrape time) |
+//! | `producer.trace_dup` | counter | replies | trace replies dropped for carrying a stale request stamp |
+//! | `watchdog.stalls.consumer` | counter | stalls | watchdog verdicts: one straggling consumer holds the oldest batch |
+//! | `watchdog.stalls.ack` | counter | stalls | watchdog verdicts: every consumer is late acking the oldest batch |
+//! | `watchdog.stalls.loader` | counter | stalls | watchdog verdicts: publish loop idle, loader fetch is the bottleneck |
+//! | `watchdog.stalls.h2d` | counter | stalls | watchdog verdicts: publish loop idle, H2D staging is the bottleneck |
+//!
+//! ### The batch flight recorder
+//!
+//! Histograms aggregate; the flight recorder *narrates*. Every batch's
+//! passage through the pipeline is stamped into a lock-free ring of
+//! per-batch trace records ([`TraceRing`], shared via
+//! [`TsContext::trace`]) keyed by `(epoch, shard, seq)`: `fetch`,
+//! `copy_wait`, `h2d`, `publish`, `announce` and `ack` spans on the
+//! producer side, with `recv`, `rebuild` and `release` stitched onto the
+//! *same record* by in-process consumers. A producer answers a stateless
+//! [`CtrlMsg::TraceRequest`] with its last-N completed records
+//! ([`scrape_trace`] is the client), and `ts-top --trace out.json`
+//! renders them as a Chrome trace-event file — open it in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev) to see the
+//! per-batch waterfalls:
+//!
+//! ```text
+//! ts-top --trace trace.json ipc:///tmp/ts.sock
+//! ```
+//!
+//! Alongside the recorder runs a low-frequency stall watchdog in the
+//! producer's housekeeping loop: any batch stuck past a configurable
+//! multiple ([`ProducerConfig::watchdog_stall_multiple`]) of the stage's
+//! rolling p99 is classified — `loader-bound`, `h2d-bound`, `ack-bound`
+//! or `consumer-straggler` with the offending consumer id — counted
+//! under `watchdog.stalls.*`, and its verdict surfaces in the stats
+//! snapshot (and the `ts-top` header).
 //!
 //! See `examples/observability.rs` for the full loop — including
 //! `--serve`, which keeps a sharded GPU-staged producer alive to point
@@ -273,7 +309,8 @@ pub use protocol::flex::{plan_flex, FlexPlan, Segment};
 pub use protocol::heartbeat::HeartbeatMonitor;
 pub use protocol::messages::{
     caps, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, PayloadMode,
-    StatsPayload, StreamedTensor, WelcomeInfo, HANDSHAKE_VERSION, STATS_VERSION,
+    StatsPayload, StreamedTensor, TracePayload, WelcomeInfo, HANDSHAKE_VERSION, STATS_VERSION,
+    TRACE_VERSION,
 };
 pub use protocol::order::ShardInterleave;
 pub use protocol::rubberband::RubberbandPolicy;
@@ -282,8 +319,9 @@ pub use runtime::consumer::{ConsumerBatch, TensorConsumer};
 pub use runtime::context::TsContext;
 pub use runtime::coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
 pub use runtime::producer::{EpochSource, ProducerStats, SampleGeometry, TensorProducer};
-pub use runtime::scrape::scrape_stats;
+pub use runtime::scrape::{scrape_stats, scrape_trace};
 pub use runtime::{ConsumerConfig, FlexibleConfig, ProducerConfig, StagingConfig, StagingMode};
+pub use ts_metrics::{SpanKind, TraceRecordSnap, TraceRing};
 pub use ts_socket::{Endpoint, EndpointError, Scheme};
 
 /// Why an attach handshake failed — the typed mismatches a

@@ -47,6 +47,13 @@ pub mod topics {
     pub fn stats(token: u64) -> Vec<u8> {
         format!("st/{token}").into_bytes()
     }
+
+    /// Per-scrape topic ([`super::DataMsg::Trace`] replies to a
+    /// [`super::CtrlMsg::TraceRequest`], keyed by the caller's one-shot
+    /// token — the flight-recorder sibling of [`stats`]).
+    pub fn trace(token: u64) -> Vec<u8> {
+        format!("tr/{token}").into_bytes()
+    }
 }
 
 /// Version of the HELLO/WELCOME attach handshake. A consumer sends it in
@@ -133,7 +140,18 @@ impl PayloadMode {
 /// not the one currently in flight — a duplicate answer to a resent
 /// round can no longer masquerade as the *next* round's snapshot. v1
 /// frames (no stamp) decode with `seq == 0`.
-pub const STATS_VERSION: u32 = 2;
+///
+/// **v3** appends producer uptime, a monotonic snapshot timestamp and the
+/// stall watchdog's last verdict after the histogram sections — again as
+/// trailing bytes gated on the encoded version, so v2 frames decode on a
+/// v3 build with zeroed extras and a v3 reply to a v2 scraper would stay
+/// parseable (older builds ignore trailing bytes they never read).
+pub const STATS_VERSION: u32 = 3;
+
+/// Version of the flight-recorder scrape exchange
+/// ([`CtrlMsg::TraceRequest`] / [`DataMsg::Trace`]). Same client-decides
+/// pattern as [`STATS_VERSION`].
+pub const TRACE_VERSION: u32 = 1;
 
 /// The shared-memory arena advertisement inside a [`WelcomeInfo`]: the
 /// backing file path plus slot geometry, so a consumer process maps the
@@ -241,6 +259,22 @@ pub enum CtrlMsg {
         /// same token, echoed in [`DataMsg::Stats::seq`] so stale
         /// duplicate replies are identifiable. `0` from a v1 scraper.
         seq: u32,
+    },
+    /// Flight-recorder scrape: "report your last completed batch
+    /// timelines". Stateless like [`CtrlMsg::StatsRequest`] — answered
+    /// with a [`DataMsg::Trace`] on the [`topics::trace`] topic of
+    /// `token` from every producer wait loop.
+    TraceRequest {
+        /// One-shot reply-routing token chosen by the scraper.
+        token: u64,
+        /// The scraper's [`TRACE_VERSION`].
+        version: u32,
+        /// Per-attempt stamp, echoed in [`DataMsg::Trace::seq`] exactly
+        /// like the stats exchange's.
+        seq: u32,
+        /// Most completed records the scraper wants (the producer may
+        /// cap it further).
+        max: u32,
     },
     /// A control frame whose tag this build does not know. Produced only
     /// by [`CtrlMsg::decode`] for forward compatibility: a producer
@@ -433,6 +467,27 @@ pub enum DataMsg {
         /// Batch index within the epoch of that announcement.
         index_in_epoch: u64,
     },
+    /// Reply to a [`CtrlMsg::TraceRequest`], published on the trace
+    /// token's topic: the flight recorder's most recently completed
+    /// batch records.
+    Trace {
+        /// The trace token being answered.
+        token: u64,
+        /// Echo of the request's per-attempt stamp (same duplicate
+        /// protection as [`DataMsg::Stats::seq`]).
+        seq: u32,
+        /// The trace records.
+        payload: TracePayload,
+    },
+    /// A data frame whose tag this build does not know. Produced only by
+    /// [`DataMsg::decode`] for forward compatibility: a consumer
+    /// receiving a frame from a newer producer logs-and-ignores it
+    /// (counted as `consumer.data_unknown`) instead of wedging the
+    /// stream. (Truncated frames are still rejected.)
+    Unknown {
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
 }
 
 /// A wire-portable snapshot of a [`ts_metrics::Registry`]: every counter,
@@ -452,6 +507,18 @@ pub struct StatsPayload {
     pub gauge_bits: Vec<(String, u64)>,
     /// Histogram snapshots, sorted by name.
     pub histograms: Vec<(String, ts_metrics::HistogramSnapshot)>,
+    /// Producer wall-clock uptime in nanoseconds at snapshot time (v3;
+    /// `0` from older producers). Lets `ts-top` show "up 4m12s" and
+    /// distinguishes a freshly restarted producer from a long-lived one.
+    pub uptime_ns: u64,
+    /// Monotonic snapshot timestamp in nanoseconds, on the producer's
+    /// flight-recorder clock (v3; `0` from older producers). Two
+    /// snapshots' counter deltas divided by their `snapshot_ns` delta
+    /// give exact rates regardless of scrape jitter.
+    pub snapshot_ns: u64,
+    /// The stall watchdog's last verdict (v3; empty when no stall has
+    /// been detected, and from older producers).
+    pub verdict: String,
 }
 
 impl StatsPayload {
@@ -468,6 +535,11 @@ impl StatsPayload {
                 .map(|(k, v)| (k, v.to_bits()))
                 .collect(),
             histograms: snap.histograms,
+            // The v3 extras are runtime state, not registry state: the
+            // producer's reply path fills them in before encoding.
+            uptime_ns: 0,
+            snapshot_ns: 0,
+            verdict: String::new(),
         }
     }
 
@@ -494,6 +566,21 @@ impl StatsPayload {
             .find(|(k, _)| k == name)
             .map(|(_, h)| h)
     }
+}
+
+/// A wire-portable batch of flight-recorder records — the reply to a
+/// [`CtrlMsg::TraceRequest`]: the most recently completed per-batch span
+/// timelines, newest first, plus the producer's recorder clock so a
+/// scraper can place them relative to "now".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TracePayload {
+    /// The producer's [`TRACE_VERSION`].
+    pub version: u32,
+    /// The producer's flight-recorder clock ([`ts_metrics::TraceRing::now_ns`])
+    /// at reply time; every span offset in `records` is on this clock.
+    pub now_ns: u64,
+    /// Completed batch records, newest first.
+    pub records: Vec<ts_metrics::TraceRecordSnap>,
 }
 
 // ---------------------------------------------------------------------------
@@ -600,7 +687,9 @@ impl CtrlMsg {
             | CtrlMsg::Ack { consumer_id, .. }
             | CtrlMsg::Heartbeat { consumer_id }
             | CtrlMsg::Leave { consumer_id } => *consumer_id,
-            CtrlMsg::Hello { token, .. } | CtrlMsg::StatsRequest { token, .. } => *token,
+            CtrlMsg::Hello { token, .. }
+            | CtrlMsg::StatsRequest { token, .. }
+            | CtrlMsg::TraceRequest { token, .. } => *token,
             CtrlMsg::Unknown { .. } => 0,
         }
     }
@@ -658,6 +747,18 @@ impl CtrlMsg {
                 buf.put_u32_le(*version);
                 // v2 trailing stamp; a v1 producer stops reading before it.
                 buf.put_u32_le(*seq);
+            }
+            CtrlMsg::TraceRequest {
+                token,
+                version,
+                seq,
+                max,
+            } => {
+                buf.put_u8(7);
+                buf.put_u64_le(*token);
+                buf.put_u32_le(*version);
+                buf.put_u32_le(*seq);
+                buf.put_u32_le(*max);
             }
             CtrlMsg::Unknown { tag } => {
                 // Only decode produces this variant; re-encoding keeps the
@@ -724,6 +825,15 @@ impl CtrlMsg {
                     token: consumer_id,
                     version,
                     seq,
+                }
+            }
+            7 => {
+                need(buf, 12)?;
+                CtrlMsg::TraceRequest {
+                    token: consumer_id,
+                    version: buf.get_u32_le(),
+                    seq: buf.get_u32_le(),
+                    max: buf.get_u32_le(),
                 }
             }
             // Forward compatibility: a well-formed frame (tag + at least
@@ -883,6 +993,14 @@ impl DataMsg {
                         buf.put_u64_le(c);
                     }
                 }
+                // v3 tail (uptime + snapshot stamp + watchdog verdict),
+                // gated on the *encoded* version so a v2 payload stays
+                // byte-identical to a v2 build's encoding.
+                if payload.version >= 3 {
+                    buf.put_u64_le(payload.uptime_ns);
+                    buf.put_u64_le(payload.snapshot_ns);
+                    put_bytes(&mut buf, payload.verdict.as_bytes());
+                }
             }
             DataMsg::Cursor {
                 shard,
@@ -895,6 +1013,36 @@ impl DataMsg {
                 buf.put_u64_le(*epoch);
                 buf.put_u64_le(*seq);
                 buf.put_u64_le(*index_in_epoch);
+            }
+            DataMsg::Trace {
+                token,
+                seq,
+                payload,
+            } => {
+                buf.put_u8(8);
+                buf.put_u64_le(*token);
+                buf.put_u32_le(payload.version);
+                buf.put_u32_le(*seq);
+                buf.put_u64_le(payload.now_ns);
+                buf.put_u32_le(payload.records.len() as u32);
+                for r in &payload.records {
+                    buf.put_u64_le(r.epoch);
+                    buf.put_u32_le(r.shard);
+                    buf.put_u64_le(r.seq);
+                    buf.put_u8(r.complete as u8);
+                    buf.put_u8(r.spans.len() as u8);
+                    for &(kind, start, end) in &r.spans {
+                        buf.put_u8(kind);
+                        buf.put_u64_le(start);
+                        buf.put_u64_le(end);
+                    }
+                }
+            }
+            DataMsg::Unknown { tag } => {
+                // Only decode produces this variant; re-encoding keeps the
+                // minimal well-formed shape (tag + zeroed u64).
+                buf.put_u8(*tag);
+                buf.put_u64_le(0);
             }
         }
         buf.freeze()
@@ -1129,6 +1277,18 @@ impl DataMsg {
                         },
                     ));
                 }
+                // The v3 tail is *required* when the version field says
+                // 3+ (truncation anywhere stays an error); older frames
+                // end at the histogram section and carry zeroed extras.
+                let (uptime_ns, snapshot_ns, verdict) = if version >= 3 {
+                    need(buf, 16)?;
+                    let uptime = buf.get_u64_le();
+                    let stamp = buf.get_u64_le();
+                    let verdict = String::from_utf8_lossy(&get_bytes(&mut buf)?).into_owned();
+                    (uptime, stamp, verdict)
+                } else {
+                    (0, 0, String::new())
+                };
                 DataMsg::Stats {
                     token,
                     seq,
@@ -1137,6 +1297,9 @@ impl DataMsg {
                         counters,
                         gauge_bits,
                         histograms,
+                        uptime_ns,
+                        snapshot_ns,
+                        verdict,
                     },
                 }
             }
@@ -1149,7 +1312,63 @@ impl DataMsg {
                     index_in_epoch: buf.get_u64_le(),
                 }
             }
-            t => return Err(TsError::Wire(format!("bad data tag {t}"))),
+            8 => {
+                // Fixed prefix: token (8) + version (4) + seq (4) +
+                // now_ns (8) + record count (4).
+                need(buf, 28)?;
+                let token = buf.get_u64_le();
+                let version = buf.get_u32_le();
+                let seq = buf.get_u32_le();
+                let now_ns = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                if n > 1 << 16 {
+                    return Err(TsError::Wire("implausible trace record count".into()));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    need(buf, 22)?;
+                    let epoch = buf.get_u64_le();
+                    let shard = buf.get_u32_le();
+                    let rec_seq = buf.get_u64_le();
+                    let complete = buf.get_u8() != 0;
+                    let nspans = buf.get_u8() as usize;
+                    if nspans > 64 {
+                        return Err(TsError::Wire("implausible trace span count".into()));
+                    }
+                    need(buf, nspans * 17)?;
+                    let mut spans = Vec::with_capacity(nspans);
+                    for _ in 0..nspans {
+                        let kind = buf.get_u8();
+                        let start = buf.get_u64_le();
+                        spans.push((kind, start, buf.get_u64_le()));
+                    }
+                    records.push(ts_metrics::TraceRecordSnap {
+                        epoch,
+                        shard,
+                        seq: rec_seq,
+                        complete,
+                        spans,
+                    });
+                }
+                DataMsg::Trace {
+                    token,
+                    seq,
+                    payload: TracePayload {
+                        version,
+                        now_ns,
+                        records,
+                    },
+                }
+            }
+            // Forward compatibility: a well-formed frame (tag + at least
+            // 8 more bytes, the minimum any real data message carries)
+            // whose tag we do not know is surfaced as `Unknown`, never a
+            // hard error — a v2 consumer must survive a v3 producer
+            // adding topics. Truncated frames are still rejected.
+            t => {
+                need(buf, 8)?;
+                DataMsg::Unknown { tag: t }
+            }
         })
     }
 }
@@ -1193,6 +1412,12 @@ mod tests {
                 token: 7,
                 version: STATS_VERSION,
                 seq: 3,
+            },
+            CtrlMsg::TraceRequest {
+                token: 7,
+                version: TRACE_VERSION,
+                seq: 5,
+                max: 64,
             },
         ];
         for m in msgs {
@@ -1265,7 +1490,7 @@ mod tests {
         // Forward compatibility: any well-formed frame with a tag from
         // the future decodes as `Unknown` so an older producer can
         // log-and-ignore it instead of failing.
-        for tag in [7u8, 99, 250, 255] {
+        for tag in [8u8, 99, 250, 255] {
             let mut frame = vec![tag];
             frame.extend_from_slice(&1234u64.to_le_bytes());
             frame.extend_from_slice(&[0xAB; 7]); // trailing future payload
@@ -1501,19 +1726,35 @@ mod tests {
     fn truncated_and_garbage_frames_rejected() {
         assert!(CtrlMsg::decode(&[]).is_err());
         assert!(CtrlMsg::decode(&[0, 1, 2]).is_err());
-        // A well-formed frame with an unknown tag is NOT an error (see
-        // `unknown_ctrl_tags_decode_as_unknown_not_error`) — but data
-        // frames still hard-reject unknown tags (the consumer always
-        // speaks to a producer it just handshook with).
+        // A well-formed frame with an unknown tag is NOT an error on
+        // either channel (see the two `unknown_*` tests) — but truncated
+        // frames always are, whatever the tag.
         assert!(DataMsg::decode(&[]).is_err());
-        assert!(DataMsg::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
         assert!(DataMsg::decode(&[77]).is_err());
+        assert!(DataMsg::decode(&[99, 0, 0, 0]).is_err());
         let good = DataMsg::EpochStart {
             epoch: 0,
             num_batches: 1,
         }
         .encode();
         assert!(DataMsg::decode(&good[..good.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn unknown_data_tags_decode_as_unknown_not_error() {
+        // Forward compatibility on the data path, the mirror of the ctrl
+        // side: a v3 producer adding topics must not wedge a v2 consumer.
+        for tag in [99u8, 250, 255] {
+            let mut frame = vec![tag];
+            frame.extend_from_slice(&1234u64.to_le_bytes());
+            frame.extend_from_slice(&[0xAB; 5]); // trailing future payload
+            let m = DataMsg::decode(&frame).unwrap();
+            assert_eq!(m, DataMsg::Unknown { tag });
+            // Re-encoding keeps a decodable well-formed shape.
+            assert_eq!(DataMsg::decode(&m.encode()).unwrap(), m);
+        }
+        // Truncated unknown-tag frames are still rejected.
+        assert!(DataMsg::decode(&[99, 0, 0, 0, 0, 0]).is_err());
     }
 
     #[test]
@@ -1538,6 +1779,16 @@ mod tests {
         assert!(!topics::CTRL.starts_with(topics::CURSOR));
         assert!(!topics::hello(1).starts_with(topics::CURSOR));
         assert!(!topics::stats(1).starts_with(topics::CURSOR));
+        // The trace topic is its own prefix island too.
+        assert_eq!(topics::trace(42), b"tr/42".to_vec());
+        assert!(!topics::trace(1).starts_with(topics::BATCH));
+        assert!(!topics::trace(1).starts_with(topics::CTRL));
+        assert!(!topics::trace(1).starts_with(topics::CURSOR));
+        assert!(!topics::trace(1).starts_with(b"cons"));
+        assert!(!topics::trace(1).starts_with(b"hs"));
+        assert!(!topics::trace(1).starts_with(b"st"));
+        assert!(!topics::stats(1).starts_with(b"tr"));
+        assert!(!topics::hello(1).starts_with(b"tr"));
     }
 
     #[test]
@@ -1552,6 +1803,9 @@ mod tests {
                 counters: vec![],
                 gauge_bits: vec![],
                 histograms: vec![],
+                uptime_ns: 0,
+                snapshot_ns: 0,
+                verdict: String::new(),
             },
         };
 
@@ -1566,10 +1820,15 @@ mod tests {
             r.histogram("stage.s0.feeder_fetch_ns").record(v);
         }
         r.histogram("consumer.wait_ns").record(42);
+        let mut payload = StatsPayload::from_registry(&r);
+        // Exercise the v3 tail with every field populated.
+        payload.uptime_ns = 90_000_000_000;
+        payload.snapshot_ns = 1_234_567;
+        payload.verdict = "consumer-straggler consumer=3".to_string();
         let full = DataMsg::Stats {
             token: u64::MAX,
             seq: u32::MAX,
-            payload: StatsPayload::from_registry(&r),
+            payload,
         };
 
         for m in [empty, full] {
@@ -1618,9 +1877,128 @@ mod tests {
                     counters: vec![],
                     gauge_bits: vec![],
                     histograms: vec![],
+                    uptime_ns: 0,
+                    snapshot_ns: 0,
+                    verdict: String::new(),
                 },
             },
             "a v1 Stats reply carries stamp 0"
+        );
+    }
+
+    #[test]
+    fn v2_stats_frames_decode_with_zeroed_extras_on_a_v3_build() {
+        // A v2 producer's reply ends at the (empty) histogram section:
+        // no uptime/stamp/verdict tail. A v3 decoder must zero-fill.
+        let mut reply = vec![6u8];
+        reply.extend_from_slice(&9u64.to_le_bytes());
+        reply.extend_from_slice(&2u32.to_le_bytes()); // payload version 2
+        reply.extend_from_slice(&11u32.to_le_bytes()); // request seq stamp
+        for _ in 0..3 {
+            reply.extend_from_slice(&0u32.to_le_bytes());
+        }
+        let m = DataMsg::decode(&reply).unwrap();
+        match m {
+            DataMsg::Stats {
+                token,
+                seq,
+                payload,
+            } => {
+                assert_eq!((token, seq), (9, 11));
+                assert_eq!(payload.version, 2);
+                assert_eq!(payload.uptime_ns, 0);
+                assert_eq!(payload.snapshot_ns, 0);
+                assert!(payload.verdict.is_empty());
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // Conversely a frame *claiming* v3 without the tail is truncated.
+        assert!(
+            DataMsg::decode(
+                &{
+                    let mut r = vec![6u8];
+                    r.extend_from_slice(&9u64.to_le_bytes());
+                    r.extend_from_slice(&3u32.to_le_bytes());
+                    r.extend_from_slice(&11u32.to_le_bytes());
+                    for _ in 0..3 {
+                        r.extend_from_slice(&0u32.to_le_bytes());
+                    }
+                    r
+                }[..]
+            )
+            .is_err(),
+            "a v3 payload without the tail must be rejected"
+        );
+    }
+
+    #[test]
+    fn trace_round_trips_and_rejects_any_truncation() {
+        let empty = DataMsg::Trace {
+            token: 5,
+            seq: 1,
+            payload: TracePayload {
+                version: TRACE_VERSION,
+                now_ns: 0,
+                records: vec![],
+            },
+        };
+        let full = DataMsg::Trace {
+            token: u64::MAX,
+            seq: u32::MAX,
+            payload: TracePayload {
+                version: TRACE_VERSION,
+                now_ns: 123_456_789,
+                records: vec![
+                    ts_metrics::TraceRecordSnap {
+                        epoch: 2,
+                        shard: 1,
+                        seq: 40,
+                        complete: true,
+                        spans: vec![(0, 100, 200), (3, 250, 300), (5, 300, 900)],
+                    },
+                    ts_metrics::TraceRecordSnap {
+                        epoch: 2,
+                        shard: 0,
+                        seq: 41,
+                        complete: false,
+                        spans: vec![],
+                    },
+                ],
+            },
+        };
+        for m in [empty, full] {
+            let good = m.encode();
+            assert_eq!(DataMsg::decode(&good).unwrap(), m, "{m:?}");
+            for cut in 1..good.len() {
+                assert!(
+                    DataMsg::decode(&good[..good.len() - cut]).is_err(),
+                    "{m:?} truncated by {cut} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v1_trace_requests_decode_with_defaults_on_newer_builds() {
+        // TraceRequest is born at v1, but keep the lenient-suffix habit:
+        // extra trailing bytes from a future version must not break us.
+        let mut req = CtrlMsg::TraceRequest {
+            token: 7,
+            version: TRACE_VERSION,
+            seq: 2,
+            max: 32,
+        }
+        .encode()
+        .to_vec();
+        req.extend_from_slice(&[0xFF; 8]);
+        assert_eq!(
+            CtrlMsg::decode(&req).unwrap(),
+            CtrlMsg::TraceRequest {
+                token: 7,
+                version: TRACE_VERSION,
+                seq: 2,
+                max: 32,
+            }
         );
     }
 

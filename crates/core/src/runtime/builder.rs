@@ -198,6 +198,17 @@ impl ProducerBuilder {
         self
     }
 
+    /// How tolerant the stall watchdog is: a batch (or an idle publish
+    /// loop) is only called stalled once it exceeds this multiple of the
+    /// relevant stage's rolling p99 (with a small absolute floor).
+    /// Verdicts land in `watchdog.stalls.*` counters, the stats snapshot
+    /// and the `ts-top` header. Default 4.0; values below 1.0 are
+    /// clamped up.
+    pub fn watchdog_stall_multiple(mut self, multiple: f64) -> Self {
+        self.cfg.watchdog_stall_multiple = multiple;
+        self
+    }
+
     /// Explicit feeder→publish hand-off queue capacity (default: the
     /// source's `num_workers × prefetch_factor` hint).
     pub fn pipeline_depth(mut self, depth: usize) -> Self {

@@ -84,6 +84,13 @@ pub struct ProducerConfig {
     /// on its own host. Sorted by shard; advertised verbatim in the v2
     /// WELCOME so consumers follow without out-of-band configuration.
     pub shard_endpoints: Vec<(u32, String)>,
+    /// Stall-watchdog sensitivity: a batch stuck in one stage longer than
+    /// this multiple of that stage's rolling p99 (with a small absolute
+    /// floor, so a cold pipeline is not all "stalls") trips a
+    /// `watchdog.stalls.*` counter and a verdict — loader-bound /
+    /// H2D-bound / ack-bound / consumer-straggler — surfaced in the stats
+    /// snapshot and the `ts-top` header.
+    pub watchdog_stall_multiple: f64,
 }
 
 impl std::fmt::Debug for ProducerConfig {
@@ -118,6 +125,7 @@ impl Default for ProducerConfig {
             first_consumer_timeout: Some(Duration::from_secs(30)),
             pipeline_depth: None,
             shard_endpoints: Vec::new(),
+            watchdog_stall_multiple: 4.0,
         }
     }
 }

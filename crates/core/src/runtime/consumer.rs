@@ -36,8 +36,9 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use ts_metrics::SpanKind;
 use ts_socket::{Multipart, PushSocket, RecvError, SubSocket};
-use ts_tensor::{collate, Tensor, TensorPayload};
+use ts_tensor::{collate, Tensor, TensorError, TensorPayload};
 
 /// A batch as seen by one consumer.
 #[derive(Debug, Clone)]
@@ -117,8 +118,11 @@ pub struct TensorConsumer {
     /// Decoded batches awaiting delivery (flexible mode yields several per
     /// announcement).
     queue: VecDeque<ConsumerBatch>,
-    /// `(shard, seq)` to acknowledge when the current batch is finished.
-    pending_ack: Option<(usize, u64)>,
+    /// `(shard, seq, epoch, yielded_ns)` to acknowledge when the current
+    /// batch is finished. `yielded_ns` (flight-recorder clock) opens the
+    /// `release` span: it closes when the ack actually leaves, so the
+    /// recorded span is the time the trainer held the batch.
+    pending_ack: Option<(usize, u64, u64, u64)>,
     /// Set when iteration stopped.
     stopped: Option<StopReason>,
     last_error: Option<TsError>,
@@ -144,6 +148,16 @@ pub struct TensorConsumer {
     /// recently heard-from shard has published beyond what this consumer
     /// has ingested.
     cursor_lag: std::sync::Arc<ts_metrics::Gauge>,
+    /// Pre-resolved `consumer.data_unknown` counter: data-path frames with
+    /// a tag this build does not know (a newer producer's message kinds).
+    /// They are logged once and skipped — forward compatibility, not an
+    /// error.
+    data_unknown: std::sync::Arc<ts_metrics::Counter>,
+    /// Pre-resolved `consumer.dangling_skipped` counter: announces whose
+    /// payload memory the producer had already released by rebuild time
+    /// (an abort or detach with announces still in flight). Skipped, not
+    /// fatal — the stream still ends on the producer's `End`.
+    dangling_skipped: std::sync::Arc<ts_metrics::Counter>,
     /// When the previous batch was yielded, for inter-arrival timing.
     last_yield: Option<Instant>,
 }
@@ -201,7 +215,8 @@ impl TensorConsumer {
         let hb_stop = Arc::new(AtomicBool::new(false));
         let hb_thread = spawn_heartbeat(ctx, &cfg, shards, id, hb_stop.clone());
 
-        let handshake = Self::handshake_all(&links, &cfg, id);
+        let data_unknown = ctx.metrics.counter("consumer.data_unknown");
+        let handshake = Self::handshake_all(&links, &cfg, id, &data_unknown);
         let (joined_epoch, starts) = match handshake {
             Ok(v) => v,
             Err(e) => {
@@ -235,6 +250,8 @@ impl TensorConsumer {
             stream_rx_hist: ctx.metrics.histogram("consumer.stream_rx_ns"),
             latest_cursors: vec![None; shards],
             cursor_lag: ctx.metrics.gauge("consumer.cursor_lag"),
+            data_unknown,
+            dangling_skipped: ctx.metrics.counter("consumer.dangling_skipped"),
             last_yield: None,
         })
     }
@@ -248,6 +265,7 @@ impl TensorConsumer {
         links: &[ShardLink],
         cfg: &ConsumerConfig,
         id: u64,
+        data_unknown: &ts_metrics::Counter,
     ) -> Result<(u64, Vec<(u64, u64, u64)>)> {
         for link in links {
             link.ctrl
@@ -263,7 +281,13 @@ impl TensorConsumer {
         }
         let mut starts = Vec::with_capacity(links.len());
         for link in links {
-            starts.push(Self::await_admit(&link.sub, &link.ctrl, cfg, id)?);
+            starts.push(Self::await_admit(
+                &link.sub,
+                &link.ctrl,
+                cfg,
+                id,
+                data_unknown,
+            )?);
         }
         let joined_epoch = starts.first().map(|s| s.0).unwrap_or(0);
         Ok((joined_epoch, starts))
@@ -276,6 +300,7 @@ impl TensorConsumer {
         ctrl: &PushSocket,
         cfg: &ConsumerConfig,
         id: u64,
+        data_unknown: &ts_metrics::Counter,
     ) -> Result<(u64, u64, u64)> {
         // The deadline is refreshed on every producer message so waiting out
         // a long epoch after a WaitEpoch reply does not trip the timeout as
@@ -328,6 +353,17 @@ impl TensorConsumer {
                     JoinDecision::Reject { reason } => return Err(TsError::Join(reason)),
                 },
                 DataMsg::End => return Err(TsError::Join("producer already ended".into())),
+                DataMsg::Unknown { tag } => {
+                    // A newer producer speaking message kinds this build
+                    // does not know: count, log once, keep waiting.
+                    let seen_before = data_unknown.fetch_inc();
+                    if seen_before == 0 {
+                        eprintln!(
+                            "tensorsocket: consumer ignoring unknown data tag {tag} \
+                             (newer producer?)"
+                        );
+                    }
+                }
                 _ => {}
             }
         }
@@ -445,6 +481,12 @@ impl TensorConsumer {
     fn ingest(&mut self, shard: usize, a: BatchAnnounce) -> Result<()> {
         self.links[shard].next_expected = a.seq + 1;
         self.interleave.advance(shard, a.last_in_epoch);
+        // The rebuild span: announce decoded -> host tensors materialized
+        // (zero-copy unpacks, flex carving, or stream rx). Stitches onto
+        // the producer's record for the same (epoch, shard, seq) when both
+        // sides share a flight recorder (in-process consumers).
+        let (rb_epoch, rb_seq) = (a.epoch, a.seq);
+        let rebuild_open = self.ctx.trace.now_ns().max(1);
         match a.content {
             AnnounceContent::Shared { fields, labels } => {
                 let fields: Result<Vec<Tensor>> = fields.iter().map(|p| self.unpack(p)).collect();
@@ -503,6 +545,14 @@ impl TensorConsumer {
                 })?;
             }
         }
+        self.ctx.trace.record(
+            rb_epoch,
+            shard as u32,
+            rb_seq,
+            SpanKind::Rebuild,
+            rebuild_open,
+            self.ctx.trace.now_ns(),
+        );
         Ok(())
     }
 
@@ -513,6 +563,10 @@ impl TensorConsumer {
     /// may be delivered first.
     fn pump(&mut self) {
         let wait_start = Instant::now();
+        // Opens the recv span: how long this consumer sat on the socket
+        // before each announce landed. Reset after every recorded batch so
+        // consecutive announces in one pump each get their own wait.
+        let mut recv_open = self.ctx.trace.now_ns().max(1);
         while self.queue.is_empty() && self.stopped.is_none() {
             let Some(target) = self.interleave.next_shard() else {
                 // Every shard published End: clean end of stream.
@@ -522,10 +576,7 @@ impl TensorConsumer {
             // Serve the reorder buffer first.
             let next_expected = self.links[target].next_expected;
             if let Some(a) = self.links[target].reorder.remove(&next_expected) {
-                if let Err(e) = self.ingest(target, a) {
-                    self.last_error = Some(e);
-                    self.stopped = Some(StopReason::Protocol);
-                }
+                self.ingest_or_skip(target, a);
                 continue;
             }
             let msg = match self.links[target].sub.recv_timeout(self.cfg.recv_timeout) {
@@ -557,17 +608,23 @@ impl TensorConsumer {
                     {
                         continue;
                     }
-                    let link = &mut self.links[target];
-                    if a.seq < link.next_expected {
+                    let next_expected = self.links[target].next_expected;
+                    if a.seq < next_expected {
                         continue; // duplicate of a replayed batch
                     }
-                    if a.seq == link.next_expected {
-                        if let Err(e) = self.ingest(target, a) {
-                            self.last_error = Some(e);
-                            self.stopped = Some(StopReason::Protocol);
-                        }
+                    self.ctx.trace.record(
+                        a.epoch,
+                        target as u32,
+                        a.seq,
+                        SpanKind::Recv,
+                        recv_open,
+                        self.ctx.trace.now_ns(),
+                    );
+                    recv_open = self.ctx.trace.now_ns().max(1);
+                    if a.seq == next_expected {
+                        self.ingest_or_skip(target, a);
                     } else {
-                        link.reorder.insert(a.seq, a);
+                        self.links[target].reorder.insert(a.seq, a);
                     }
                 }
                 DataMsg::Detached { consumer_id } if consumer_id == self.id => {
@@ -593,6 +650,19 @@ impl TensorConsumer {
                         self.cursor_lag.set(lag as f64);
                     }
                 }
+                DataMsg::Unknown { tag } => {
+                    // Forward compatibility on the data path: a newer
+                    // producer may broadcast message kinds this build does
+                    // not know. Count them, log the first, and keep
+                    // pumping — never stop iteration over an unknown tag.
+                    let seen_before = self.data_unknown.fetch_inc();
+                    if seen_before == 0 {
+                        eprintln!(
+                            "tensorsocket: consumer ignoring unknown data tag {tag} \
+                             (newer producer?)"
+                        );
+                    }
+                }
                 _ => {}
             }
         }
@@ -603,8 +673,49 @@ impl TensorConsumer {
         }
     }
 
+    /// Ingests an in-order announce, downgrading a dangling payload to a
+    /// counted skip. A payload dangles when the producer released the
+    /// batch's memory after announcing it — which only a producer that is
+    /// aborting (or has detached this consumer) does, leaving stale
+    /// announces in flight. The batch is unrecoverable either way, so
+    /// wedging iteration on it would hide the producer's `End`; skip it
+    /// and keep pumping. Any other ingest failure still stops the stream.
+    fn ingest_or_skip(&mut self, shard: usize, a: BatchAnnounce) {
+        let (epoch, seq) = (a.epoch, a.seq);
+        match self.ingest(shard, a) {
+            Ok(()) => {}
+            Err(TsError::Tensor(e @ TensorError::DanglingPayload { .. })) => {
+                let seen_before = self.dangling_skipped.fetch_inc();
+                if seen_before == 0 {
+                    eprintln!(
+                        "tensorsocket: consumer skipping stale batch \
+                         (epoch {epoch}, seq {seq}): {e} — the producer \
+                         released it before we rebuilt (abort?)"
+                    );
+                }
+            }
+            Err(e) => {
+                self.last_error = Some(e);
+                self.stopped = Some(StopReason::Protocol);
+            }
+        }
+    }
+
     fn send_pending_ack(&mut self) {
-        if let Some((shard, seq)) = self.pending_ack.take() {
+        if let Some((shard, seq, epoch, yielded_ns)) = self.pending_ack.take() {
+            // The release span: batch yielded to the trainer -> ack dispatch.
+            // This is the trainer's hold time — the window the producer
+            // cannot reclaim the memory for. Stamped before the send so the
+            // producer's ack span (which closes on receipt) always ends at or
+            // after this one.
+            self.ctx.trace.record(
+                epoch,
+                shard as u32,
+                seq,
+                SpanKind::Release,
+                yielded_ns,
+                self.ctx.trace.now_ns(),
+            );
             let _ = self.links[shard].ctrl.send(Multipart::single(
                 CtrlMsg::Ack {
                     consumer_id: self.id,
@@ -638,7 +749,12 @@ impl Iterator for TensorConsumer {
             .all(|b| b.seq != batch.seq || b.shard != batch.shard)
         {
             // Last carved batch of this announcement: ack when finished.
-            self.pending_ack = Some((batch.shard, batch.seq));
+            self.pending_ack = Some((
+                batch.shard,
+                batch.seq,
+                batch.epoch,
+                self.ctx.trace.now_ns().max(1),
+            ));
         }
         if let Some(prev) = self.last_yield.replace(Instant::now()) {
             self.interarrival_hist.record_duration(prev.elapsed());

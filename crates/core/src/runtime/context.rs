@@ -4,7 +4,7 @@ use crate::{Result, TsError};
 use std::path::Path;
 use std::sync::Arc;
 use ts_device::Topology;
-use ts_metrics::Registry;
+use ts_metrics::{Registry, TraceRing};
 use ts_shm::ShmArena;
 use ts_socket::Context as SocketContext;
 use ts_tensor::{DeviceCtx, SharedRegistry};
@@ -43,6 +43,14 @@ pub struct TsContext {
     /// [`crate::runtime::scrape::scrape_stats`] request with a snapshot
     /// of this registry, which is what the `ts-top` CLI renders.
     pub metrics: Registry,
+    /// The batch flight recorder: every producer shard, staging stage and
+    /// in-process consumer sharing this context stamps per-batch span
+    /// timelines (keyed by `(epoch, shard, seq)`) into this one ring, so
+    /// one record covers a batch's whole cross-stage life. Producers
+    /// answer [`crate::runtime::scrape::scrape_trace`] requests with its
+    /// last-N completed records, and the stall watchdog parks its last
+    /// verdict here.
+    pub trace: Arc<TraceRing>,
 }
 
 impl TsContext {
@@ -53,6 +61,7 @@ impl TsContext {
             registry: SharedRegistry::new(),
             devices: Arc::new(devices),
             metrics: Registry::new(),
+            trace: Arc::new(TraceRing::new()),
         }
     }
 

@@ -12,7 +12,7 @@ pub mod staging;
 pub use builder::{Consumer, ConsumerBuilder, Producer, ProducerBuilder};
 pub use config::{ConsumerConfig, FlexibleConfig, ProducerConfig};
 pub use coordinator::{EpochCoordinator, GroupJoin, ShardedProducerGroup};
-pub use scrape::scrape_stats;
+pub use scrape::{scrape_stats, scrape_trace};
 pub use staging::{StagingConfig, StagingMode};
 
 #[cfg(test)]

@@ -33,7 +33,8 @@ use crate::protocol::flex::plan_flex;
 use crate::protocol::heartbeat::HeartbeatMonitor;
 use crate::protocol::messages::{
     caps, topics, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload,
-    JoinDecision, PayloadMode, StatsPayload, StreamedTensor, WelcomeInfo, HANDSHAKE_VERSION,
+    JoinDecision, PayloadMode, StatsPayload, StreamedTensor, TracePayload, WelcomeInfo,
+    HANDSHAKE_VERSION, TRACE_VERSION,
 };
 use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
 use crate::runtime::config::{ProducerConfig, ProducerMap};
@@ -47,7 +48,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use ts_data::{Batch, DataLoader};
-use ts_metrics::{Counter, Gauge, Histogram};
+use ts_metrics::{Counter, Gauge, Histogram, SpanKind, TraceRing};
 use ts_socket::{
     coalescing_cell, CoalescingReceiver, CoalescingSender, Multipart, PubSocket, PullSocket,
     RecvError,
@@ -368,6 +369,9 @@ impl Preparer {
                 placements,
                 staged: false,
                 staged_bytes: 0,
+                fetch_span: (0, 0),
+                copy_wait_span: (0, 0),
+                h2d_span: (0, 0),
             }));
         };
         // Flexible sizing accumulates *raw* loader batches and applies the
@@ -409,6 +413,9 @@ impl Preparer {
             placements,
             staged: false,
             staged_bytes: 0,
+            fetch_span: (0, 0),
+            copy_wait_span: (0, 0),
+            h2d_span: (0, 0),
         };
         self.pb_index += 1;
         Ok(Some(item))
@@ -430,18 +437,26 @@ fn feeder_main(
     item_tx: Sender<FeederMsg>,
     stop: Arc<AtomicBool>,
     fetch_hist: Arc<Histogram>,
+    trace: Arc<TraceRing>,
 ) {
     for epoch in 0..cfg.epochs {
         let mut preparer = Preparer::new(&cfg, lease.clone());
         let total = source.batches_per_epoch();
         let mut iter = source.epoch(epoch);
         let mut i = 0usize;
+        // Fetch-span open stamp: under flexible sizing one item fuses
+        // several loader batches, and its span covers the whole
+        // accumulation, not just the last fetch.
+        let mut fetch_open = 0u64;
         loop {
             // Time the fetch+collate of one loader batch — the
             // "loader-bound" signal. Backpressure on the item channel is
             // deliberately excluded: a full queue means the *publish*
             // stage is behind, not the loader.
             let fetch_start = Instant::now();
+            if fetch_open == 0 {
+                fetch_open = trace.now_ns().max(1);
+            }
             let Some(batch) = iter.next() else { break };
             if stop.load(Ordering::Relaxed) {
                 return;
@@ -449,7 +464,9 @@ fn feeder_main(
             let pushed = preparer.push(batch, i + 1 == total);
             fetch_hist.record_duration(fetch_start.elapsed());
             match pushed {
-                Ok(Some(item)) => {
+                Ok(Some(mut item)) => {
+                    item.fetch_span = (fetch_open, trace.now_ns());
+                    fetch_open = 0;
                     if item_tx.send(FeederMsg::Item(item)).is_err() {
                         return; // publish stage went away
                     }
@@ -603,6 +620,10 @@ impl TensorProducer {
             started: Instant::now(),
             stats: ProducerStats::default(),
             stage,
+            trace: ctx.trace.clone(),
+            last_publish: Instant::now(),
+            last_watchdog: Instant::now(),
+            watchdog_memo: None,
         };
         let name = match &state.coord {
             Some(_) => format!("tensorsocket-producer-s{shard}"),
@@ -668,6 +689,8 @@ struct LiveBatch {
     releasable: bool,
     /// When the announcement went out, for the publish→ack round trip.
     published_at: Instant,
+    /// Same instant on the flight recorder's clock — the ack span's start.
+    published_ns: u64,
 }
 
 struct ProducerLoop {
@@ -736,6 +759,17 @@ struct ProducerLoop {
     stats: ProducerStats,
     /// Pre-resolved stage histogram/gauge handles (lock-free recording).
     stage: StageMetrics,
+    /// The context's flight recorder (also cloned into the feeder and the
+    /// staging engine): per-batch span stamps, TraceRequest replies, and
+    /// the watchdog verdict all go through this one ring.
+    trace: Arc<TraceRing>,
+    /// When the last batch was announced — the watchdog's idle signal.
+    last_publish: Instant,
+    /// Last watchdog sweep, bounding the sweep to a low cadence.
+    last_watchdog: Instant,
+    /// Identity of the last stall counted — `(epoch, seq)` — so one
+    /// ongoing stall increments its counter once, not once per sweep.
+    watchdog_memo: Option<(u64, u64)>,
 }
 
 impl ProducerLoop {
@@ -874,11 +908,15 @@ impl ProducerLoop {
             let total = source.batches_per_epoch();
             let mut iter = source.epoch(epoch);
             let mut i = 0usize;
+            let mut fetch_open = 0u64;
             loop {
                 // Same fetch+collate timing as the pipelined feeder:
                 // publish time is excluded, so the histogram means the
                 // same thing in both shapes.
                 let fetch_start = Instant::now();
+                if fetch_open == 0 {
+                    fetch_open = self.trace.now_ns().max(1);
+                }
                 let Some(batch) = iter.next() else { break };
                 if self.stop.load(Ordering::Relaxed) {
                     return;
@@ -888,7 +926,9 @@ impl ProducerLoop {
                     .feeder_fetch
                     .record_duration(fetch_start.elapsed());
                 match pushed {
-                    Ok(Some(item)) => {
+                    Ok(Some(mut item)) => {
+                        item.fetch_span = (fetch_open, self.trace.now_ns());
+                        fetch_open = 0;
                         if !self.publish_prepared(item, policy) {
                             return;
                         }
@@ -917,10 +957,19 @@ impl ProducerLoop {
         let feeder_cfg = self.cfg.clone();
         let feeder_stop = self.stop.clone();
         let feeder_hist = self.stage.feeder_fetch.clone();
+        let feeder_trace = self.trace.clone();
         let feeder = std::thread::Builder::new()
             .name("tensorsocket-feeder".to_string())
             .spawn(move || {
-                feeder_main(source, feeder_cfg, lease, item_tx, feeder_stop, feeder_hist)
+                feeder_main(
+                    source,
+                    feeder_cfg,
+                    lease,
+                    item_tx,
+                    feeder_stop,
+                    feeder_hist,
+                    feeder_trace,
+                )
             })
             .expect("spawn feeder thread");
         // Overlapped staging interposes the H2D copy stage between the
@@ -1176,6 +1225,18 @@ impl ProducerLoop {
             self.stage
                 .publish_ack
                 .record_duration(b.published_at.elapsed());
+            // The retire span closes the record: the batch's whole
+            // producer-side life is now covered and it becomes visible to
+            // TraceRequest scrapes.
+            self.trace.record(
+                b.epoch,
+                self.shard,
+                seq,
+                SpanKind::Ack,
+                b.published_ns,
+                self.trace.now_ns(),
+            );
+            self.trace.complete(b.epoch, self.shard, seq);
         }
         if self.pinned.contains(&seq) {
             if let Some(b) = self.live.get_mut(&seq) {
@@ -1227,15 +1288,35 @@ impl ProducerLoop {
     /// device (unless the overlapped copy stage already did), register
     /// (placing bytes in the arena — recycled slots when a pool is
     /// bound), announce, and maintain the rubberband pin set.
-    fn publish_prepared(&mut self, item: PreparedItem, policy: &RubberbandPolicy) -> bool {
+    fn publish_prepared(&mut self, mut item: PreparedItem, policy: &RubberbandPolicy) -> bool {
+        // Close the copy-wait span at dequeue: its start was stamped by
+        // the overlapped copy stage when it finished staging this item.
+        if item.copy_wait_span.0 != 0 && item.copy_wait_span.1 == 0 {
+            item.copy_wait_span.1 = self.trace.now_ns();
+        }
+        // The publish span: window admission (waiting for acks to reopen
+        // it), inline staging when the copy stage did not run, and
+        // payload registration — everything before the announce.
+        let publish_open = self.trace.now_ns().max(1);
         if !self.wait_for_window() {
             return false;
         }
         let Some(item) = self.ensure_staged(item) else {
             return false; // device OOM: stop producing
         };
+        // The batch only now gets its key: spans measured upstream rode
+        // on the item, and land in the recorder together here.
+        let pre_spans = [
+            (SpanKind::Fetch, item.fetch_span),
+            (SpanKind::CopyWait, item.copy_wait_span),
+            (SpanKind::H2d, item.h2d_span),
+        ];
         let (fields, labels, placements) = (item.fields, item.labels, item.placements);
         let seq = self.window.published();
+        for (kind, (start, end)) in pre_spans {
+            self.trace
+                .record(self.epoch, self.shard, seq, kind, start, end);
+        }
         self.published_in_epoch += 1;
         if let Some(coord) = &self.coord {
             coord.note_published(self.shard, self.published_in_epoch);
@@ -1254,10 +1335,20 @@ impl ProducerLoop {
                 labels,
                 releasable: false,
                 published_at: Instant::now(),
+                published_ns: self.trace.now_ns().max(1),
             },
             placements,
         );
         self.acks.published(seq, self.consumers.keys().copied());
+        self.trace.record(
+            self.epoch,
+            self.shard,
+            seq,
+            SpanKind::Publish,
+            publish_open,
+            self.trace.now_ns(),
+        );
+        let announce_open = self.trace.now_ns().max(1);
         if self.cfg.flexible.is_some() {
             // Send each consumer its own carved view of the producer batch.
             let consumer_ids: Vec<u64> = self.consumers.keys().copied().collect();
@@ -1290,6 +1381,15 @@ impl ProducerLoop {
             // send them the bytes themselves on their private topics.
             self.send_streamed(seq);
         }
+        self.trace.record(
+            self.epoch,
+            self.shard,
+            seq,
+            SpanKind::Announce,
+            announce_open,
+            self.trace.now_ns(),
+        );
+        self.last_publish = Instant::now();
         // In a group the pin predicate is global: this shard keeps pinning
         // while ANY shard could still admit a joiner (which would replay
         // from all of them), and while a decided admission has not been
@@ -1649,14 +1749,51 @@ impl ProducerLoop {
             // Echo the scraper's per-attempt stamp: it re-sends the
             // request while waiting, and a late duplicate snapshot from
             // attempt N must not be mistaken for attempt N+1's reply.
+            // Fold the flight recorder's own health into the registry
+            // right before snapshotting — scrape-time only, never on the
+            // publish path.
+            self.ctx
+                .metrics
+                .gauge("trace.dropped")
+                .set(self.trace.dropped() as f64);
+            self.ctx
+                .metrics
+                .gauge("trace.capacity")
+                .set(self.trace.capacity() as f64);
+            let mut payload = StatsPayload::from_registry(&self.ctx.metrics);
+            payload.uptime_ns = self.started.elapsed().as_nanos() as u64;
+            payload.snapshot_ns = self.trace.now_ns();
+            payload.verdict = self.trace.verdict();
             let reply = DataMsg::Stats {
                 token,
                 seq,
-                payload: StatsPayload::from_registry(&self.ctx.metrics),
+                payload,
             };
             let _ = self
                 .publisher
                 .send(&topics::stats(token), Multipart::single(reply.encode()));
+            return;
+        }
+        // Trace scrapes are the same stateless shape on their own one-shot
+        // topic: the last-N completed flight-recorder records, answered
+        // from any wait state.
+        if let CtrlMsg::TraceRequest {
+            token, seq, max, ..
+        } = ctrl
+        {
+            let max = (max as usize).clamp(1, 256);
+            let reply = DataMsg::Trace {
+                token,
+                seq,
+                payload: TracePayload {
+                    version: TRACE_VERSION,
+                    now_ns: self.trace.now_ns(),
+                    records: self.trace.last_n(max),
+                },
+            };
+            let _ = self
+                .publisher
+                .send(&topics::trace(token), Multipart::single(reply.encode()));
             return;
         }
         // Forward compatibility: a well-formed frame with a tag from a
@@ -1698,7 +1835,10 @@ impl ProducerLoop {
             CtrlMsg::Leave { consumer_id } => {
                 self.remove_consumer(consumer_id, false);
             }
-            CtrlMsg::Hello { .. } | CtrlMsg::StatsRequest { .. } | CtrlMsg::Unknown { .. } => {
+            CtrlMsg::Hello { .. }
+            | CtrlMsg::StatsRequest { .. }
+            | CtrlMsg::TraceRequest { .. }
+            | CtrlMsg::Unknown { .. } => {
                 unreachable!("answered before heartbeat tracking")
             }
         }
@@ -1738,6 +1878,13 @@ impl ProducerLoop {
                     .send(topics::CURSOR, Multipart::single(msg.encode()));
             }
         }
+        // The stall watchdog: a low-frequency sweep entirely off the hot
+        // path (housekeeping runs when the publish loop is parked or
+        // between control bursts).
+        if self.last_watchdog.elapsed() > std::time::Duration::from_millis(100) {
+            self.last_watchdog = Instant::now();
+            self.watchdog_sweep();
+        }
         // Expire silent consumers.
         let now = self.now_ns();
         for dead in self.hb.expire(now) {
@@ -1748,6 +1895,108 @@ impl ProducerLoop {
             }
             self.pending_join.retain(|(id, ..)| *id != dead);
         }
+    }
+
+    /// One stall-watchdog sweep: finds the batch stuck longest in its
+    /// current stage, compares its age against the stage's rolling p99
+    /// scaled by [`ProducerConfig::watchdog_stall_multiple`] (with an
+    /// absolute floor so a cold, fast pipeline is not all "stalls"),
+    /// classifies the bottleneck and publishes the verdict:
+    ///
+    /// * **consumer-straggler** — a published batch waits on a strict
+    ///   subset of consumers: the named (lowest-id) ower is holding
+    ///   everyone's window;
+    /// * **ack-bound** — a published batch waits on *every* consumer: the
+    ///   whole subscription side is behind;
+    /// * **h2d-bound / loader-bound** — nothing is outstanding but the
+    ///   publish loop has gone quiet mid-epoch: the upstream stage with
+    ///   the slower p99 is the verdict.
+    ///
+    /// Each distinct stall increments `watchdog.stalls.<class>` once (the
+    /// memo dedups re-sweeps of the same stuck batch) and replaces the
+    /// verdict surfaced in stats snapshots and the `ts-top` header.
+    fn watchdog_sweep(&mut self) {
+        /// Below this age nothing is a stall, whatever the p99 says.
+        const FLOOR_NS: u64 = 25_000_000;
+        let multiple = self.cfg.watchdog_stall_multiple.max(1.0);
+        let threshold = |p99: u64| ((p99 as f64 * multiple) as u64).max(FLOOR_NS);
+        // Oldest un-acked batch first: it bounds the publish window, so
+        // its wait is the stall that matters. (`live` also holds fully
+        // acked batches pinned for rubberband replay — those are healthy.)
+        let oldest = self.live.iter().find_map(|(&seq, b)| {
+            self.acks.owers(seq).map(|owers| {
+                (
+                    seq,
+                    b.epoch,
+                    b.published_at.elapsed().as_nanos() as u64,
+                    owers.len(),
+                    owers.iter().min().copied().unwrap_or(0),
+                )
+            })
+        });
+        if let Some((seq, epoch, age_ns, nowers, min_ower)) = oldest {
+            if age_ns <= threshold(self.stage.publish_ack.snapshot().p99()) {
+                return;
+            }
+            if self.watchdog_memo == Some((epoch, seq)) {
+                return; // same stall, already counted
+            }
+            self.watchdog_memo = Some((epoch, seq));
+            let ms = age_ns / 1_000_000;
+            let (class, verdict) = if nowers < self.consumers.len() {
+                (
+                    "consumer",
+                    format!("consumer-straggler consumer={min_ower} seq={seq} stuck {ms}ms"),
+                )
+            } else {
+                (
+                    "ack",
+                    format!("ack-bound seq={seq} stuck {ms}ms awaiting {nowers} consumer(s)"),
+                )
+            };
+            self.ctx
+                .metrics
+                .counter(&format!("watchdog.stalls.{class}"))
+                .inc();
+            self.trace.set_verdict(&verdict);
+            return;
+        }
+        // Nothing outstanding: if the publish loop has gone quiet
+        // mid-epoch with consumers attached, the bottleneck is upstream.
+        if self.consumers.is_empty()
+            || self.published_in_epoch == 0
+            || self.published_in_epoch >= self.expected_announces
+        {
+            return;
+        }
+        let idle_ns = self.last_publish.elapsed().as_nanos() as u64;
+        let fetch_p99 = self.stage.feeder_fetch.snapshot().p99();
+        if idle_ns <= threshold(fetch_p99) {
+            return;
+        }
+        let next_seq = self.window.next_seq();
+        if self.watchdog_memo == Some((self.epoch, next_seq)) {
+            return;
+        }
+        self.watchdog_memo = Some((self.epoch, next_seq));
+        let h2d_p99 = self.staging.as_ref().map(|e| e.h2d_p99()).unwrap_or(0);
+        let ms = idle_ns / 1_000_000;
+        let (class, verdict) = if h2d_p99 > fetch_p99 {
+            (
+                "h2d",
+                format!("h2d-bound idle {ms}ms before seq={next_seq}"),
+            )
+        } else {
+            (
+                "loader",
+                format!("loader-bound idle {ms}ms before seq={next_seq}"),
+            )
+        };
+        self.ctx
+            .metrics
+            .counter(&format!("watchdog.stalls.{class}"))
+            .inc();
+        self.trace.set_verdict(&verdict);
     }
 
     /// Drains every queued control message, then does housekeeping. Never

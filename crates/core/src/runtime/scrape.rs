@@ -20,7 +20,9 @@
 //! the counter-coherence tests consume; it needs no consumer attach, no
 //! join, and leaves no trace in the producer's consumer state.
 
-use crate::protocol::messages::{topics, CtrlMsg, DataMsg, StatsPayload, STATS_VERSION};
+use crate::protocol::messages::{
+    topics, CtrlMsg, DataMsg, StatsPayload, TracePayload, STATS_VERSION, TRACE_VERSION,
+};
 use crate::runtime::consumer::rand_id;
 use crate::runtime::context::TsContext;
 use crate::{Result, TsError};
@@ -98,6 +100,77 @@ where
         }
         if Instant::now() > deadline {
             return Err(TsError::Timeout("stats snapshot"));
+        }
+    }
+}
+
+/// Scrapes the batch flight recorder of the producer listening on
+/// `endpoint`: the last `max` (clamped to 256 by the producer) completed
+/// per-batch trace records, newest last, plus the recorder's current
+/// clock so callers can place the records in time.
+///
+/// Same stateless control-plane pattern as [`scrape_stats`] — a
+/// [`crate::protocol::messages::CtrlMsg::TraceRequest`] is re-sent every
+/// poll round and only the reply echoing the in-flight stamp is
+/// accepted. All shards of a group share one flight recorder, so
+/// scraping the base endpoint observes every shard's spans. This is what
+/// `ts-top --trace` renders into a Chrome trace-event file.
+pub fn scrape_trace<E>(
+    ctx: &TsContext,
+    endpoint: E,
+    max: u32,
+    timeout: Duration,
+) -> Result<TracePayload>
+where
+    E: TryInto<Endpoint>,
+    E::Error: Into<TsError>,
+{
+    let endpoint = endpoint.try_into().map_err(Into::into)?.to_string();
+    let map = EndpointMap::new(&endpoint, 1);
+    let token = rand_id();
+    let sub = SubSocket::connect(&ctx.sockets, &map.data(0));
+    sub.subscribe(&topics::trace(token));
+    let push = PushSocket::connect(&ctx.sockets, &map.ctrl(0));
+    let dup_counter = ctx.metrics.counter("producer.trace_dup");
+    let deadline = Instant::now() + timeout;
+    let mut seq: u32 = 0;
+    loop {
+        seq = seq.wrapping_add(1);
+        let request = CtrlMsg::TraceRequest {
+            token,
+            version: TRACE_VERSION,
+            seq,
+            max,
+        }
+        .encode();
+        let _ = push.send(Multipart::single(request));
+        match sub.recv_timeout(Duration::from_millis(50)) {
+            Ok((_, msg)) => {
+                if let Some(frame) = msg.frames().first() {
+                    if let Ok(DataMsg::Trace {
+                        token: t,
+                        seq: s,
+                        payload,
+                    }) = DataMsg::decode(frame)
+                    {
+                        if t == token && (s == seq || s == 0) {
+                            return Ok(payload);
+                        }
+                        if t == token {
+                            dup_counter.inc();
+                        }
+                    }
+                }
+            }
+            Err(RecvError::Timeout) => {}
+            Err(RecvError::Closed) => {
+                return Err(TsError::Socket(
+                    "producer disconnected during trace scrape".into(),
+                ))
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(TsError::Timeout("trace snapshot"));
         }
     }
 }

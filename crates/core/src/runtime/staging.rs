@@ -153,6 +153,17 @@ pub(crate) struct PreparedItem {
     pub staged: bool,
     /// Bytes the staging stage copied to the device for this item.
     pub staged_bytes: u64,
+    /// Flight-recorder span offsets stamped before the batch has a
+    /// sequence number (`seq` is only assigned at publish): `(start, end)`
+    /// in the context ring's clock, `(0, 0)` = not measured. The publish
+    /// loop writes them into the [`ts_metrics::TraceRing`] under the
+    /// final `(epoch, shard, seq)` key. Feeder fetch + collate:
+    pub fetch_span: (u64, u64),
+    /// Wait in the overlapped hand-off queue; the start is stamped by the
+    /// copy stage, the end by the publish loop at dequeue.
+    pub copy_wait_span: (u64, u64),
+    /// Slab lease + H2D copy + fence.
+    pub h2d_span: (u64, u64),
 }
 
 /// Feeder/staging → publish-stage messages.
@@ -202,6 +213,9 @@ pub(crate) struct StagingEngine {
     /// Per-engine time a staged batch waited in the overlapped hand-off
     /// queue for the publish loop to take it, ns.
     copy_wait_hist: std::sync::Arc<ts_metrics::Histogram>,
+    /// The context's flight recorder, for per-batch H2D / copy-wait span
+    /// stamps (the histograms keep the aggregates).
+    trace: std::sync::Arc<ts_metrics::TraceRing>,
     h2d_bytes: AtomicU64,
     /// Clock base of `h2d_bytes_per_sec`: the first copy, NOT engine
     /// construction — a producer can idle a long time waiting for its
@@ -280,6 +294,7 @@ impl StagingEngine {
             h2d_counter: ctx.metrics.counter("staging.h2d_bytes"),
             h2d_hist: ctx.metrics.histogram(&format!("{prefix}h2d_ns")),
             copy_wait_hist: ctx.metrics.histogram(&format!("{prefix}copy_wait_ns")),
+            trace: ctx.trace.clone(),
             h2d_bytes: AtomicU64::new(0),
             first_copy: std::sync::OnceLock::new(),
         }))
@@ -298,6 +313,12 @@ impl StagingEngine {
     /// publish loop.
     pub(crate) fn overlapped(&self) -> bool {
         self.mode == StagingMode::Overlapped
+    }
+
+    /// Rolling p99 of the per-batch H2D copy time, for the producer's
+    /// stall watchdog (loader-bound vs H2D-bound classification).
+    pub(crate) fn h2d_p99(&self) -> u64 {
+        self.h2d_hist.snapshot().p99()
     }
 
     /// The slab pool, created at the first staged item so slabs are sized
@@ -384,6 +405,7 @@ impl StagingEngine {
     /// copied; gauges and counters are updated.
     pub(crate) fn stage_item(&self, item: PreparedItem) -> Result<PreparedItem, StagingError> {
         let copy_start = Instant::now();
+        let span_start = self.trace.now_ns().max(1);
         let pool = self.pool_for(&item);
         let mut staged_bytes = 0u64;
         let mut fields = Vec::with_capacity(item.fields.len());
@@ -413,6 +435,7 @@ impl StagingEngine {
             staged_bytes,
             fields,
             labels,
+            h2d_span: (span_start, self.trace.now_ns()),
             ..item
         })
     }
@@ -450,7 +473,13 @@ impl StagingEngine {
                         return;
                     }
                     match self.stage_item(item) {
-                        Ok(staged) => FeederMsg::Item(staged),
+                        Ok(mut staged) => {
+                            // Open the copy-wait span here; the publish
+                            // loop closes it at dequeue — per-batch what
+                            // `copy_wait_hist` reports in aggregate.
+                            staged.copy_wait_span.0 = self.trace.now_ns().max(1);
+                            FeederMsg::Item(staged)
+                        }
                         Err(_) => {
                             // Device OOM mid-run: stop producing, exactly
                             // like the legacy path.

@@ -1348,9 +1348,49 @@ fn aborted_producer_join_returns_partial_stats_promptly() {
     assert!(stats.batches_published >= 3, "partial counters preserved");
     assert!(stats.batches_published < 1024);
     assert_eq!(stats.peak_consumers, 1);
-    // The consumer still ends cleanly on the producer's End.
+    // The consumer still ends cleanly on the producer's End, even when
+    // the abort raced ahead and left stale announces in flight (their
+    // payloads are skipped, not fatal).
     for _ in consumer.by_ref() {}
-    assert_eq!(consumer.stop_reason(), Some(StopReason::End));
+    assert_eq!(
+        consumer.stop_reason(),
+        Some(StopReason::End),
+        "last_error: {:?}",
+        consumer.last_error()
+    );
+}
+
+#[test]
+fn stale_announces_from_an_aborted_producer_are_skipped_not_fatal() {
+    // An aborting producer releases every live batch the moment `join`
+    // is called — announces already on the wire for those batches now
+    // reference freed payloads. The consumer must skip them (counted in
+    // consumer.dangling_skipped) and still end on the producer's End
+    // instead of wedging with a Protocol stop.
+    let ctx = TsContext::host_only();
+    let ep = "inproc://abort-stale";
+    let producer = TensorProducer::spawn(loader(4096, 4), &ctx, producer_cfg(ep, 8)).unwrap();
+    let mut consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+    // Take one batch without ever acking it: the producer fills its
+    // publish window (buffer_size ahead of the oldest unacked) and
+    // parks, so at least one announced batch is guaranteed to be
+    // unconsumed when the abort releases it.
+    assert!(consumer.next().is_some());
+    std::thread::sleep(Duration::from_millis(200));
+    producer.abort();
+    let stats = producer.join().expect("abort + join must yield stats");
+    assert!(stats.batches_published >= 2, "window never filled");
+    for _ in consumer.by_ref() {}
+    assert_eq!(
+        consumer.stop_reason(),
+        Some(StopReason::End),
+        "last_error: {:?}",
+        consumer.last_error()
+    );
+    assert!(
+        ctx.metrics.counter("consumer.dangling_skipped").get() >= 1,
+        "the stale announce was not skipped"
+    );
 }
 
 #[test]
@@ -2056,4 +2096,138 @@ fn publish_cursor_broadcasts_coalesce_to_latest_wins() {
     assert!(seq < 512, "cursor seq {seq} out of range");
     assert!(index < 256, "cursor index {index} out of range");
     assert!(ctx.metrics.gauge("consumer.cursor_lag").get() >= 0.0);
+}
+
+#[test]
+fn cursor_cadence_bounds_lag_and_never_moves_backwards_across_epochs() {
+    // The cadence contract of the cursor channel, observed across epoch
+    // boundaries: under a publisher running flat out the coalescing cell
+    // keeps displacing stale positions (`stage.cursor_coalesced` grows),
+    // the consumer's observed lag stays bounded by the publish window
+    // (the producer cannot outrun its unacked buffer), and the
+    // latest-wins cursor state never steps backwards in `(epoch, seq)` —
+    // not even when `index_in_epoch` resets to 0 at an epoch boundary.
+    let ctx = TsContext::host_only();
+    let ep = "inproc://cursor-cadence";
+    let mut cfg = producer_cfg(ep, 3);
+    cfg.buffer_size = 4;
+    let buffer_size = cfg.buffer_size;
+    let producer = TensorProducer::spawn(loader_with_workers(512, 4, 2), &ctx, cfg).unwrap();
+    let mut consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+    let lag_gauge = ctx.metrics.gauge("consumer.cursor_lag");
+    let mut consumed = 0u64;
+    let mut max_lag = 0.0f64;
+    let mut prev_cursor: Option<(u64, u64, u64)> = None;
+    let mut epochs_observed = BTreeSet::new();
+    while consumer.next().is_some() {
+        consumed += 1;
+        max_lag = max_lag.max(lag_gauge.get());
+        if let Some(cur @ (epoch, seq, _)) = consumer.latest_cursor(0) {
+            epochs_observed.insert(epoch);
+            if let Some((pe, ps, _)) = prev_cursor {
+                assert!(
+                    (epoch, seq) >= (pe, ps),
+                    "cursor moved backwards: ({pe},{ps}) -> ({epoch},{seq})"
+                );
+            }
+            prev_cursor = Some(cur);
+        }
+        // Stretch each epoch across several 25ms flush windows so cursors
+        // from every epoch (and the boundary itself) get broadcast.
+        if consumed.is_multiple_of(16) {
+            std::thread::sleep(Duration::from_millis(8));
+        }
+    }
+    assert_eq!(consumed, 384, "3 epochs × 128 batches");
+    let stats = producer.join().unwrap();
+    assert_eq!(stats.batches_published, 384);
+    assert!(
+        ctx.metrics.counter("stage.cursor_coalesced").get() > 0,
+        "a fast publisher must displace stale cursor positions"
+    );
+    assert!(
+        prev_cursor.is_some(),
+        "the consumer never observed a cursor broadcast"
+    );
+    assert!(
+        epochs_observed.len() >= 2,
+        "cursors were only observed in epochs {epochs_observed:?}; the \
+         never-backwards assertion did not cross an epoch boundary"
+    );
+    assert!(
+        max_lag <= (buffer_size + 2) as f64,
+        "cursor lag {max_lag} exceeded the publish window ({buffer_size})"
+    );
+}
+
+#[test]
+fn unknown_data_tag_is_counted_and_skipped_by_the_consumer() {
+    // Forward compatibility on the consumer's data path: a "newer"
+    // producer broadcasting a message kind this build does not know must
+    // be counted under `consumer.data_unknown` and skipped — the stream
+    // still ends cleanly on the real End frame behind it.
+    use crate::protocol::messages::{topics, CtrlMsg, DataMsg, JoinDecision};
+    use ts_socket::{Multipart, PubSocket, PullSocket};
+
+    let ctx = TsContext::host_only();
+    let ep = "inproc://unknown-data-tag";
+    let publisher = PubSocket::bind(&ctx.sockets, &format!("{ep}/data")).unwrap();
+    let ctrl = PullSocket::bind(&ctx.sockets, &format!("{ep}/ctrl")).unwrap();
+    let fake = std::thread::spawn(move || {
+        let mut sent = false;
+        loop {
+            let Ok(msg) = ctrl.recv_timeout(Duration::from_secs(2)) else {
+                return;
+            };
+            let Ok(m) = CtrlMsg::decode(&msg.frames()[0]) else {
+                continue;
+            };
+            match m {
+                CtrlMsg::Join { consumer_id, .. } => {
+                    let reply = DataMsg::JoinReply {
+                        consumer_id,
+                        decision: JoinDecision::AdmitReplay {
+                            epoch: 0,
+                            replay_from: 0,
+                            num_batches: 1,
+                            start_seq: 0,
+                        },
+                    };
+                    publisher
+                        .send(
+                            &topics::consumer(consumer_id),
+                            Multipart::single(reply.encode()),
+                        )
+                        .unwrap();
+                }
+                CtrlMsg::Ready { .. } if !sent => {
+                    sent = true;
+                    // Tag 99 does not exist in this build: a valid-length
+                    // frame from a future protocol version, then End.
+                    publisher
+                        .send(
+                            topics::BATCH,
+                            Multipart::single(bytes::Bytes::from_static(&[
+                                99, 0, 0, 0, 0, 0, 0, 0, 0, 7, 7, 7,
+                            ])),
+                        )
+                        .unwrap();
+                    publisher
+                        .send(topics::BATCH, Multipart::single(DataMsg::End.encode()))
+                        .unwrap();
+                }
+                _ => {}
+            }
+        }
+    });
+    let mut consumer = TensorConsumer::connect(&ctx, consumer_cfg(ep)).unwrap();
+    assert!(consumer.next().is_none(), "only an End was ever published");
+    assert_eq!(consumer.stop_reason(), Some(StopReason::End));
+    assert_eq!(
+        ctx.metrics.counter("consumer.data_unknown").get(),
+        1,
+        "the alien frame must be counted exactly once"
+    );
+    drop(consumer);
+    fake.join().unwrap();
 }

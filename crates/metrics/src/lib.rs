@@ -16,6 +16,8 @@
 //!   average a busy fraction over a window,
 //! * [`TimeSeries`] — timestamped samples with windowed-rate helpers (used
 //!   for the throughput-over-time series of Figure 13),
+//! * [`TraceRing`] — the batch flight recorder: a lock-free fixed-capacity
+//!   ring of per-batch span timelines keyed by `(epoch, shard, seq)`,
 //! * [`Registry`] — a named collection of the above,
 //! * [`table`] — plain-text table rendering used by the experiment harness
 //!   to print paper-style rows.
@@ -26,6 +28,7 @@ pub mod series;
 pub mod stats;
 pub mod table;
 pub mod timeweighted;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Registry, RegistrySnapshot};
@@ -33,6 +36,7 @@ pub use series::TimeSeries;
 pub use stats::{mean, percentile, stddev};
 pub use table::Table;
 pub use timeweighted::TimeWeighted;
+pub use trace::{SpanKind, TraceRecordSnap, TraceRing};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

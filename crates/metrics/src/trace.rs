@@ -1,0 +1,540 @@
+//! The batch flight recorder: a lock-free, fixed-capacity ring of
+//! per-batch trace records.
+//!
+//! Aggregate histograms ([`crate::Histogram`]) answer "*how slow* is this
+//! stage", but the operational question in a shared-producer deployment
+//! is "*which* stage starved *which* consumer for *which* batch" — and
+//! data-loading stalls are bursty and stage-local, exactly what quantile
+//! aggregates wash out. This module records a per-batch *timeline*: every
+//! batch, keyed by `(epoch, shard, seq)`, accumulates one span per
+//! pipeline stage (feeder fetch, staging copy-wait, H2D copy, publish,
+//! announce, publish→ack round trip, and the consumer-side receive /
+//! rebuild / release), each a `[start, end]` pair of nanosecond offsets
+//! from the ring's base clock.
+//!
+//! The discipline matches `histogram.rs`: all slots are pre-allocated at
+//! construction, and the record path is a short seqlock claim (one CAS),
+//! a handful of relaxed stores, and a release commit — no mutex, no
+//! allocation, safe inside the zero-allocation steady state. Readers
+//! ([`TraceRing::last_n`], [`TraceRing::snapshot_key`]) retry on seqlock
+//! movement and never block writers.
+//!
+//! Capacity is a power of two and records are slotted by key hash:
+//! newest-wins, like any flight recorder — a collision evicts the older
+//! batch's record (late writes for an evicted key are dropped and
+//! counted, never misfiled). The ring also carries the stall watchdog's
+//! last verdict string, so one shared handle (cloned through the runtime
+//! context) links the producer's sweep to the stats snapshot and
+//! `ts-top` header.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default slot count of a ring ([`TraceRing::new`]). At steady state a
+/// pipeline keeps tens of batches in flight, so 1024 retains several
+/// seconds of history at realistic publish rates.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// Number of distinct span kinds a record can carry.
+pub const NUM_SPAN_KINDS: usize = 9;
+
+/// One stage of a batch's life, producer side then consumer side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Feeder: source fetch + producer map + collation.
+    Fetch = 0,
+    /// Staged batch waiting in the overlapped hand-off queue.
+    CopyWait = 1,
+    /// Slab lease + host-to-device copy + fence.
+    H2d = 2,
+    /// Publish loop: window admission through payload registration.
+    Publish = 3,
+    /// Announce encode + send on the broadcast channel.
+    Announce = 4,
+    /// Publish to last consumer acknowledgement (the retire span).
+    Ack = 5,
+    /// Consumer: wait on the data channel until this batch arrived.
+    Recv = 6,
+    /// Consumer: payload rebuild (arena attach or streamed decode).
+    Rebuild = 7,
+    /// Consumer: batch held by training until the deferred ack.
+    Release = 8,
+}
+
+impl SpanKind {
+    /// All kinds, index-aligned with their `u8` value.
+    pub const ALL: [SpanKind; NUM_SPAN_KINDS] = [
+        SpanKind::Fetch,
+        SpanKind::CopyWait,
+        SpanKind::H2d,
+        SpanKind::Publish,
+        SpanKind::Announce,
+        SpanKind::Ack,
+        SpanKind::Recv,
+        SpanKind::Rebuild,
+        SpanKind::Release,
+    ];
+
+    /// The stage-track name used by the chrome-trace exporter and docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Fetch => "fetch",
+            SpanKind::CopyWait => "copy_wait",
+            SpanKind::H2d => "h2d",
+            SpanKind::Publish => "publish",
+            SpanKind::Announce => "announce",
+            SpanKind::Ack => "ack",
+            SpanKind::Recv => "recv",
+            SpanKind::Rebuild => "rebuild",
+            SpanKind::Release => "release",
+        }
+    }
+
+    /// Decodes a wire `u8` (unknown values map to `None`).
+    pub fn from_u8(v: u8) -> Option<Self> {
+        SpanKind::ALL.get(v as usize).copied()
+    }
+}
+
+/// One pre-allocated record slot. The seqlock word is even when the slot
+/// is stable and odd while a writer holds it; every writer bumps it
+/// around the whole write, so readers can detect torn records and retry.
+struct Slot {
+    seqlock: AtomicU64,
+    epoch: AtomicU64,
+    shard: AtomicU64,
+    seq: AtomicU64,
+    /// 0 = live, 1 = fully acked (the record covers the whole life).
+    complete: AtomicU64,
+    /// Ring-clock nanosecond stamp of completion (recency sort key).
+    done_ns: AtomicU64,
+    /// `[start, end]` nanosecond offsets per [`SpanKind`]; 0 = unset.
+    spans: [[AtomicU64; 2]; NUM_SPAN_KINDS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seqlock: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            shard: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            complete: AtomicU64::new(0),
+            done_ns: AtomicU64::new(0),
+            spans: std::array::from_fn(|_| [AtomicU64::new(0), AtomicU64::new(0)]),
+        }
+    }
+}
+
+/// A point-in-time copy of one batch record, read out through the
+/// seqlock (never torn) — what the wire codec ships and the chrome-trace
+/// exporter consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceRecordSnap {
+    /// Epoch of the batch.
+    pub epoch: u64,
+    /// Shard that published it (0 for a plain producer).
+    pub shard: u32,
+    /// Publish sequence number (the interleave key within the shard).
+    pub seq: u64,
+    /// True once the batch was fully acknowledged.
+    pub complete: bool,
+    /// `(kind as u8, start_ns, end_ns)` for every recorded span, sorted
+    /// by kind. Offsets are from the recording ring's base clock.
+    pub spans: Vec<(u8, u64, u64)>,
+}
+
+impl TraceRecordSnap {
+    /// The `[start, end]` of `kind`'s span, when recorded.
+    pub fn span(&self, kind: SpanKind) -> Option<(u64, u64)> {
+        self.spans
+            .iter()
+            .find(|(k, _, _)| *k == kind as u8)
+            .map(|(_, s, e)| (*s, *e))
+    }
+}
+
+/// The flight recorder: a fixed-capacity, lock-free ring of per-batch
+/// trace records keyed by `(epoch, shard, seq)`.
+///
+/// One ring is shared per runtime context: every
+/// producer shard, the staging stages and any in-process consumer all
+/// stamp spans into the same ring, which is what lets one record cover a
+/// batch's whole cross-stage life. Recording is lock-free and
+/// allocation-free; reading is a retrying seqlock scan.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    base: Instant,
+    /// Writes dropped because their batch's slot was already re-keyed to
+    /// a newer batch (hash collision eviction).
+    dropped: AtomicU64,
+    /// The stall watchdog's last verdict (empty until the first stall).
+    verdict: Mutex<String>,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How many times a reader re-reads a slot whose seqlock keeps moving
+/// before skipping it (a slot being rewritten that fast is being evicted
+/// anyway).
+const READ_RETRIES: usize = 16;
+
+impl TraceRing {
+    /// A ring of [`DEFAULT_TRACE_CAPACITY`] slots.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A ring of `capacity` slots (rounded up to a power of two). All
+    /// slots are allocated here; the record path never allocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots: Vec<Slot> = (0..capacity).map(|_| Slot::empty()).collect();
+        TraceRing {
+            slots: slots.into_boxed_slice(),
+            mask: capacity - 1,
+            base: Instant::now(),
+            dropped: AtomicU64::new(0),
+            verdict: Mutex::new(String::new()),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nanoseconds since this ring was created — the clock every span
+    /// offset is expressed in.
+    pub fn now_ns(&self) -> u64 {
+        self.base.elapsed().as_nanos() as u64
+    }
+
+    /// Writes dropped because a newer batch had evicted their slot.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn index_of(epoch: u64, shard: u32, seq: u64) -> usize {
+        // Fibonacci-style mixing of the three key words; quality only has
+        // to spread adjacent (epoch, seq) pairs, which this does.
+        let mut h = epoch
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(shard).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add(seq.wrapping_mul(0x1656_67B1_9E37_79F9));
+        h ^= h >> 32;
+        h as usize
+    }
+
+    /// Claims the slot for `key`, giving the writer exclusive access.
+    /// Returns `None` (and counts a drop) when the slot already belongs
+    /// to a *newer* batch — late writes never clobber fresher records.
+    /// On success the slot's seqlock is odd; the caller must invoke
+    /// `commit`.
+    fn claim(&self, epoch: u64, shard: u32, seq: u64) -> Option<(&Slot, u64)> {
+        let slot = &self.slots[Self::index_of(epoch, shard, seq) & self.mask];
+        loop {
+            let v = slot.seqlock.load(Ordering::Acquire);
+            if v & 1 == 1 {
+                // Another writer mid-commit; writes are a few stores, so
+                // spin rather than drop.
+                std::hint::spin_loop();
+                continue;
+            }
+            if slot
+                .seqlock
+                .compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // Exclusive. Re-key if this is a different batch: newest wins
+            // (v == 0 means the slot was never used and matches nothing).
+            let held = (
+                slot.epoch.load(Ordering::Relaxed),
+                slot.shard.load(Ordering::Relaxed) as u32,
+                slot.seq.load(Ordering::Relaxed),
+            );
+            if v == 0 || held != (epoch, shard, seq) {
+                if v != 0 && (held.0, held.2) > (epoch, seq) {
+                    // The slot holds a newer batch; this write is a late
+                    // straggler for an evicted record.
+                    slot.seqlock.store(v, Ordering::Release);
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                slot.epoch.store(epoch, Ordering::Relaxed);
+                slot.shard.store(u64::from(shard), Ordering::Relaxed);
+                slot.seq.store(seq, Ordering::Relaxed);
+                slot.complete.store(0, Ordering::Relaxed);
+                slot.done_ns.store(0, Ordering::Relaxed);
+                for span in &slot.spans {
+                    span[0].store(0, Ordering::Relaxed);
+                    span[1].store(0, Ordering::Relaxed);
+                }
+            }
+            return Some((slot, v + 1));
+        }
+    }
+
+    fn commit(slot: &Slot, odd: u64) {
+        slot.seqlock.store(odd + 1, Ordering::Release);
+    }
+
+    /// Records one span for the batch `(epoch, shard, seq)`. `start_ns`
+    /// and `end_ns` are [`TraceRing::now_ns`] offsets; a zero `start_ns`
+    /// is treated as "not measured" and ignored. Lock-free: one CAS, a
+    /// few relaxed stores, no allocation.
+    pub fn record(
+        &self,
+        epoch: u64,
+        shard: u32,
+        seq: u64,
+        kind: SpanKind,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        if start_ns == 0 {
+            return;
+        }
+        if let Some((slot, odd)) = self.claim(epoch, shard, seq) {
+            let span = &slot.spans[kind as usize];
+            // Stamp `max(1)` so an offset that truly lands on tick 0 is
+            // still distinguishable from "unset".
+            span[0].store(start_ns.max(1), Ordering::Relaxed);
+            span[1].store(end_ns.max(start_ns).max(1), Ordering::Relaxed);
+            Self::commit(slot, odd);
+        }
+    }
+
+    /// Marks the batch fully acknowledged — its record now covers the
+    /// whole producer-side life and becomes eligible for
+    /// [`TraceRing::last_n`].
+    pub fn complete(&self, epoch: u64, shard: u32, seq: u64) {
+        if let Some((slot, odd)) = self.claim(epoch, shard, seq) {
+            slot.complete.store(1, Ordering::Relaxed);
+            slot.done_ns.store(self.now_ns().max(1), Ordering::Relaxed);
+            Self::commit(slot, odd);
+        }
+    }
+
+    fn read_slot(&self, slot: &Slot) -> Option<(TraceRecordSnap, u64)> {
+        for _ in 0..READ_RETRIES {
+            let v1 = slot.seqlock.load(Ordering::Acquire);
+            if v1 == 0 {
+                return None; // never written
+            }
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut snap = TraceRecordSnap {
+                epoch: slot.epoch.load(Ordering::Relaxed),
+                shard: slot.shard.load(Ordering::Relaxed) as u32,
+                seq: slot.seq.load(Ordering::Relaxed),
+                complete: slot.complete.load(Ordering::Relaxed) != 0,
+                spans: Vec::new(),
+            };
+            let done = slot.done_ns.load(Ordering::Relaxed);
+            for (kind, span) in slot.spans.iter().enumerate() {
+                let start = span[0].load(Ordering::Relaxed);
+                if start != 0 {
+                    snap.spans
+                        .push((kind as u8, start, span[1].load(Ordering::Relaxed)));
+                }
+            }
+            let v2 = slot.seqlock.load(Ordering::Acquire);
+            if v1 == v2 {
+                return Some((snap, done));
+            }
+        }
+        None
+    }
+
+    /// The most recently completed records, newest first, at most `n`.
+    /// A retrying seqlock scan: never blocks writers, skips slots being
+    /// rewritten.
+    pub fn last_n(&self, n: usize) -> Vec<TraceRecordSnap> {
+        let mut done: Vec<(u64, TraceRecordSnap)> = Vec::new();
+        for slot in self.slots.iter() {
+            if let Some((snap, done_ns)) = self.read_slot(slot) {
+                if snap.complete {
+                    done.push((done_ns, snap));
+                }
+            }
+        }
+        done.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| b.1.seq.cmp(&a.1.seq)));
+        done.truncate(n);
+        done.into_iter().map(|(_, snap)| snap).collect()
+    }
+
+    /// The record currently slotted for `(epoch, shard, seq)`, complete
+    /// or not (tests and the watchdog).
+    pub fn snapshot_key(&self, epoch: u64, shard: u32, seq: u64) -> Option<TraceRecordSnap> {
+        let slot = &self.slots[Self::index_of(epoch, shard, seq) & self.mask];
+        let (snap, _) = self.read_slot(slot)?;
+        (snap.epoch == epoch && snap.shard == shard && snap.seq == seq).then_some(snap)
+    }
+
+    /// Replaces the stall watchdog's verdict shown in stats snapshots and
+    /// the `ts-top` header (not on any hot path).
+    pub fn set_verdict(&self, verdict: &str) {
+        let mut cell = self.verdict.lock();
+        cell.clear();
+        cell.push_str(verdict);
+    }
+
+    /// The last watchdog verdict (empty string until the first stall).
+    pub fn verdict(&self) -> String {
+        self.verdict.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_round_trip_through_a_record() {
+        let ring = TraceRing::with_capacity(64);
+        ring.record(1, 0, 7, SpanKind::Fetch, 100, 200);
+        ring.record(1, 0, 7, SpanKind::Publish, 250, 300);
+        ring.record(1, 0, 7, SpanKind::Ack, 300, 900);
+        let snap = ring.snapshot_key(1, 0, 7).expect("record exists");
+        assert_eq!(snap.span(SpanKind::Fetch), Some((100, 200)));
+        assert_eq!(snap.span(SpanKind::Publish), Some((250, 300)));
+        assert_eq!(snap.span(SpanKind::Ack), Some((300, 900)));
+        assert_eq!(snap.span(SpanKind::H2d), None);
+        assert!(!snap.complete);
+        ring.complete(1, 0, 7);
+        assert!(ring.snapshot_key(1, 0, 7).unwrap().complete);
+    }
+
+    #[test]
+    fn zero_start_is_ignored_and_end_clamps_to_start() {
+        let ring = TraceRing::with_capacity(8);
+        ring.record(0, 0, 1, SpanKind::Fetch, 0, 500);
+        assert!(ring.snapshot_key(0, 0, 1).is_none());
+        ring.record(0, 0, 1, SpanKind::Fetch, 500, 400);
+        let snap = ring.snapshot_key(0, 0, 1).unwrap();
+        assert_eq!(snap.span(SpanKind::Fetch), Some((500, 500)));
+    }
+
+    #[test]
+    fn last_n_returns_completed_newest_first() {
+        let ring = TraceRing::with_capacity(64);
+        for seq in 0..10u64 {
+            ring.record(0, 0, seq, SpanKind::Publish, 10 + seq, 20 + seq);
+            if seq % 2 == 0 {
+                ring.complete(0, 0, seq);
+            }
+        }
+        let recent = ring.last_n(3);
+        assert!(!recent.is_empty() && recent.len() <= 3);
+        assert!(recent.iter().all(|r| r.complete));
+        // Newest first; only even seqs completed. (A hash collision may
+        // legitimately have evicted some of the five — newest-wins.)
+        let seqs: Vec<u64> = recent.iter().map(|r| r.seq).collect();
+        assert!(
+            seqs.windows(2).all(|w| w[0] > w[1]),
+            "not newest-first: {seqs:?}"
+        );
+        assert!(
+            seqs.iter().all(|s| s % 2 == 0),
+            "incomplete record returned"
+        );
+        assert!(ring.last_n(100).len() <= 5, "only completed records");
+    }
+
+    #[test]
+    fn collisions_evict_older_batches_and_drop_stragglers() {
+        // Capacity 2: many keys share slots; the newest keeps the slot.
+        let ring = TraceRing::with_capacity(2);
+        for seq in 0..32u64 {
+            ring.record(0, 0, seq, SpanKind::Publish, seq + 1, seq + 2);
+            ring.complete(0, 0, seq);
+        }
+        assert!(ring.last_n(100).len() <= 2);
+        let before = ring.dropped();
+        // Late write for a long-evicted batch must be dropped, not
+        // misfiled onto whoever owns the slot now.
+        ring.record(0, 0, 0, SpanKind::Ack, 1000, 2000);
+        assert!(ring.dropped() > before || ring.snapshot_key(0, 0, 0).is_some());
+        for snap in ring.last_n(100) {
+            if snap.seq != 0 {
+                assert_eq!(snap.span(SpanKind::Ack), None, "misfiled straggler span");
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_cell_round_trips() {
+        let ring = TraceRing::new();
+        assert_eq!(ring.verdict(), "");
+        ring.set_verdict("consumer-straggler consumer=7");
+        assert_eq!(ring.verdict(), "consumer-straggler consumer=7");
+    }
+
+    #[test]
+    fn span_kind_u8_round_trips() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(SpanKind::from_u8(NUM_SPAN_KINDS as u8), None);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_never_tear_records() {
+        let ring = Arc::new(TraceRing::with_capacity(256));
+        let mut handles = Vec::new();
+        for shard in 0..4u32 {
+            let ring = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for seq in 0..2_000u64 {
+                    let t = ring.now_ns();
+                    ring.record(0, shard, seq, SpanKind::Publish, t.max(1), t + 10);
+                    ring.record(0, shard, seq, SpanKind::Ack, t + 10, t + 50);
+                    ring.complete(0, shard, seq);
+                }
+            }));
+        }
+        let reader = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    for snap in ring.last_n(64) {
+                        // A torn read would pair a span from one batch
+                        // with another's key; every committed record has
+                        // both spans with publish before ack.
+                        let p = snap.span(SpanKind::Publish);
+                        let a = snap.span(SpanKind::Ack);
+                        if let (Some(p), Some(a)) = (p, a) {
+                            assert!(p.0 <= a.1, "publish after ack end: torn record");
+                        }
+                    }
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+    }
+}

@@ -198,6 +198,23 @@
 //!
 //! The fourth act below scrapes a producer mid-training and prints the
 //! publish→ack quantiles; `examples/observability.rs` is the full tour.
+//!
+//! # The batch flight recorder
+//!
+//! Histograms aggregate; the flight recorder *narrates*. Every batch is
+//! stamped through a lock-free ring of per-batch trace records keyed by
+//! `(epoch, shard, seq)`: `fetch`, `copy_wait`, `h2d`, `publish`,
+//! `announce` and `ack` spans on the producer side, with `recv`,
+//! `rebuild` and `release` stitched onto the same record by in-process
+//! consumers. `tensorsocket::scrape_trace` pulls the last-N completed
+//! records from a running producer (same stateless control-plane shape
+//! as the stats scrape), and `ts-top --trace out.json <endpoint>` writes
+//! them as a Chrome trace-event file for `chrome://tracing`/Perfetto. A
+//! stall watchdog rides along in the producer: batches stuck past a
+//! configurable multiple of the stage p99 are classified (loader-bound,
+//! h2d-bound, ack-bound, or consumer-straggler with the offending
+//! consumer id) into `watchdog.stalls.*` and the stats-snapshot verdict.
+//! The sixth act below replays a batch's whole life from the recorder.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -538,4 +555,95 @@ fn main() {
     assert!(ctx.registry.is_empty(), "leased memory fully released");
     let _ = std::fs::remove_file(&arena_path);
     println!("ok: an epoch of batches crossed the socket as pure metadata — zero bytes copied");
+
+    // ---- act six: replay a batch's life from the flight recorder ----
+    // A trainer pauses mid-stream; the trace scrape — the same stateless
+    // request `ts-top --trace` sends — returns the last-N *completed*
+    // per-batch records, each a little waterfall over one shared clock:
+    // fetch → publish → announce → ack on the producer side, with the
+    // in-process consumer's recv → rebuild → release stitched onto the
+    // same (epoch, shard, seq) record.
+    let ctx = TsContext::host_only();
+    let dataset = Arc::new(SyntheticImageDataset::new(1_024, 64, 64, 7).with_encoded_len(4_096));
+    let loader = DataLoader::new(
+        dataset,
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 2,
+            shuffle: true,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint("inproc://tensorsocket-recorded")
+        .epochs(2)
+        .spawn(loader)
+        .expect("spawn recorded producer");
+    let (paused_tx, paused_rx) = std::sync::mpsc::channel();
+    let (resume_tx, resume_rx) = std::sync::mpsc::channel::<()>();
+    let trainer = {
+        let ctx = ctx.clone();
+        std::thread::spawn(move || {
+            let mut consumer = Consumer::builder()
+                .context(&ctx)
+                .connect("inproc://tensorsocket-recorded")
+                .expect("connect recorded consumer");
+            let mut consumed = 0u64;
+            for batch in consumer.by_ref() {
+                batch.expect("clean stream");
+                consumed += 1;
+                if consumed == 32 {
+                    paused_tx.send(()).unwrap();
+                    resume_rx.recv().unwrap();
+                }
+            }
+            consumed
+        })
+    };
+    paused_rx.recv().expect("trainer reached the pause point");
+    let trace = tensorsocket::scrape_trace(
+        &ctx,
+        "inproc://tensorsocket-recorded",
+        16,
+        std::time::Duration::from_secs(10),
+    )
+    .expect("scrape flight recorder");
+    println!(
+        "[recorder] scraped {} completed batch record(s) (trace v{})",
+        trace.records.len(),
+        trace.version,
+    );
+    let record = trace.records.first().expect("a completed record");
+    let mut spans: Vec<(u8, u64, u64)> = record.spans.clone();
+    spans.sort_by_key(|&(_, start, _)| start);
+    let base = spans.first().map(|&(_, s, _)| s).unwrap_or(0);
+    println!(
+        "[recorder] batch (epoch {}, shard {}, seq {}):",
+        record.epoch, record.shard, record.seq
+    );
+    for (kind, start, end) in spans {
+        let name = tensorsocket::SpanKind::from_u8(kind)
+            .map(|k| k.as_str())
+            .unwrap_or("?");
+        println!(
+            "[recorder]   {name:>9} +{:>6}us for {:>6}us",
+            (start - base) / 1_000,
+            (end - start) / 1_000,
+        );
+    }
+    assert!(record.complete, "only completed records are scraped");
+    assert!(
+        record.span(tensorsocket::SpanKind::Recv).is_some(),
+        "in-process consumer spans stitch onto the producer's record"
+    );
+    resume_tx.send(()).unwrap();
+    let consumed = trainer.join().expect("trainer");
+    let stats = producer.join().expect("recorded producer");
+    assert_eq!(consumed, stats.batches_published);
+    println!(
+        "ok: the flight recorder replayed a batch's whole life — run \
+         `ts-top --trace out.json <endpoint>` for the Chrome-trace view"
+    );
 }

@@ -8,33 +8,46 @@
 //! single scrape and prints the snapshot as JSON, for scripting and CI.
 //!
 //! ```text
-//! ts-top [--json] [--interval <ms>] [--frames <n>] [--timeout <ms>] <endpoint>
+//! ts-top [--json] [--trace <file>] [--interval <ms>] [--frames <n>] [--timeout <ms>] <endpoint>
 //! ```
+//!
+//! `--trace <file>` scrapes the producer's batch flight recorder instead
+//! and writes the last-N completed per-batch records as a Chrome
+//! trace-event JSON file — open it in `chrome://tracing` or Perfetto to
+//! see each batch's fetch → copy-wait → H2D → publish → announce → ack
+//! (and, for in-process consumers, recv → rebuild → release) waterfall,
+//! one track per stage per shard.
 //!
 //! The scrape is read-only: it never attaches as a consumer, never
 //! joins, and leaves no state in the producer.
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use tensorsocket::{scrape_stats, StatsPayload, TsContext};
+use tensorsocket::{scrape_stats, scrape_trace, SpanKind, StatsPayload, TracePayload, TsContext};
 use ts_metrics::{HistogramSnapshot, Table};
 
 struct Args {
     endpoint: String,
     json: bool,
+    trace: Option<String>,
+    last: u32,
     interval: Duration,
     frames: Option<u64>,
     timeout: Duration,
 }
 
-const USAGE: &str =
-    "usage: ts-top [--json] [--interval <ms>] [--frames <n>] [--timeout <ms>] <endpoint>\n\
+const USAGE: &str = "usage: ts-top [--json] [--trace <file>] [--last <n>] [--interval <ms>] \
+     [--frames <n>] [--timeout <ms>] <endpoint>\n\
      \n\
      Scrapes the metrics registry of the TensorSocket producer listening on\n\
      <endpoint> (e.g. ipc:///tmp/ts.sock or tcp://127.0.0.1:5555) and renders\n\
      a live stage-latency table. --json scrapes once and prints JSON.\n\
      \n\
        --json            one-shot scrape, JSON on stdout\n\
+       --trace <file>    one-shot flight-recorder scrape, Chrome trace-event\n\
+                         JSON written to <file> ('-' for stdout); load it in\n\
+                         chrome://tracing or Perfetto\n\
+       --last <n>        trace records to request (default 256, producer caps)\n\
        --interval <ms>   refresh period in live mode (default 1000)\n\
        --frames <n>      exit after n refreshes (default: run until ^C)\n\
        --timeout <ms>    per-scrape timeout (default 5000)";
@@ -42,6 +55,8 @@ const USAGE: &str =
 fn parse_args() -> Result<Args, String> {
     let mut endpoint = None;
     let mut json = false;
+    let mut trace = None;
+    let mut last = 256u32;
     let mut interval = Duration::from_millis(1000);
     let mut frames = None;
     let mut timeout = Duration::from_millis(5000);
@@ -49,7 +64,11 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
-            "--interval" | "--frames" | "--timeout" => {
+            "--trace" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                trace = Some(v);
+            }
+            "--interval" | "--frames" | "--timeout" | "--last" => {
                 let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
                 let n: u64 = v
                     .parse()
@@ -57,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
                 match arg.as_str() {
                     "--interval" => interval = Duration::from_millis(n.max(1)),
                     "--frames" => frames = Some(n),
+                    "--last" => last = (n.clamp(1, u32::MAX as u64)) as u32,
                     _ => timeout = Duration::from_millis(n.max(1)),
                 }
             }
@@ -64,7 +84,9 @@ fn parse_args() -> Result<Args, String> {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
-            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other if other.starts_with('-') && other.len() > 1 => {
+                return Err(format!("unknown flag {other}"))
+            }
             other => {
                 if endpoint.replace(other.to_string()).is_some() {
                     return Err("more than one endpoint given".into());
@@ -75,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         endpoint: endpoint.ok_or("missing <endpoint>")?,
         json,
+        trace,
+        last,
         interval,
         frames,
         timeout,
@@ -148,9 +172,123 @@ fn to_json(stats: &StatsPayload) -> String {
     out
 }
 
-fn render_tables(endpoint: &str, stats: &StatsPayload) -> String {
+/// Renders the flight-recorder scrape as a Chrome trace-event JSON
+/// document (the `{"traceEvents": [...]}` object form): one `ph:"X"`
+/// complete event per recorded span, with the shard as the `pid` and
+/// the stage as the `tid`, plus `ph:"M"` metadata events naming both.
+/// Timestamps are the recorder's nanosecond offsets converted to the
+/// format's microseconds, so all shards share one timeline.
+/// Hand-rolled like `to_json` — the workspace is dependency-free.
+fn trace_to_chrome(payload: &TracePayload) -> String {
+    let mut shards: Vec<u32> = payload.records.iter().map(|r| r.shard).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&ev);
+    };
+    for &shard in &shards {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{shard},\"tid\":0,\
+                 \"args\":{{\"name\":\"shard {shard}\"}}}}"
+            ),
+        );
+        for kind in SpanKind::ALL {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{shard},\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    kind as u8,
+                    kind.as_str()
+                ),
+            );
+        }
+    }
+    for r in &payload.records {
+        for &(kind, start_ns, end_ns) in &r.spans {
+            let Some(k) = SpanKind::from_u8(kind) else {
+                continue; // a newer producer's span kind: skip, keep the rest
+            };
+            let ts_us = start_ns as f64 / 1000.0;
+            let dur_us = end_ns.saturating_sub(start_ns) as f64 / 1000.0;
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{dur_us},\
+                     \"pid\":{},\"tid\":{},\"args\":{{\"epoch\":{},\"seq\":{},\
+                     \"complete\":{}}}}}",
+                    k.as_str(),
+                    r.shard,
+                    kind,
+                    r.epoch,
+                    r.seq,
+                    r.complete
+                ),
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"trace_version\":{},\
+         \"scraped_at_ns\":{},\"records\":{}}}}}",
+        payload.version,
+        payload.now_ns,
+        payload.records.len()
+    );
+    out
+}
+
+/// Per-interval rate of a counter between two frames, as a rendered
+/// cell. Uses the producer's own monotonic snapshot stamps when both
+/// frames carry them (stats v3), so the rate is immune to scrape
+/// latency jitter; frames without stamps fall back to the wall
+/// interval. First frame (no previous) renders a dash.
+fn rate_cell(name: &str, now: u64, prev: Option<&StatsPayload>, stats: &StatsPayload) -> String {
+    let Some(prev) = prev else {
+        return "-".into();
+    };
+    let &(_, before) = match prev.counters.iter().find(|(n, _)| n == name) {
+        Some(kv) => kv,
+        None => return "-".into(),
+    };
+    let dt_ns = if prev.snapshot_ns > 0 && stats.snapshot_ns > prev.snapshot_ns {
+        stats.snapshot_ns - prev.snapshot_ns
+    } else {
+        return "-".into();
+    };
+    let rate = now.saturating_sub(before) as f64 / (dt_ns as f64 / 1e9);
+    ts_metrics::table::fmt_num(rate)
+}
+
+fn fmt_uptime(ns: u64) -> String {
+    let s = ns / 1_000_000_000;
+    format!("{:02}:{:02}:{:02}", s / 3600, (s / 60) % 60, s % 60)
+}
+
+fn render_tables(endpoint: &str, stats: &StatsPayload, prev: Option<&StatsPayload>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "ts-top — {endpoint} (stats v{})\n", stats.version);
+    let _ = writeln!(
+        out,
+        "ts-top — {endpoint} (stats v{}, up {})",
+        stats.version,
+        fmt_uptime(stats.uptime_ns)
+    );
+    if !stats.verdict.is_empty() {
+        let _ = writeln!(out, "watchdog: {}", stats.verdict);
+    }
+    out.push('\n');
     let mut lat = Table::new(
         "Stage latency (us)",
         &["stage", "count", "p50", "p99", "p99.9", "max", "mean"],
@@ -169,9 +307,16 @@ fn render_tables(endpoint: &str, stats: &StatsPayload) -> String {
     }
     out.push_str(&lat.render());
     out.push('\n');
-    let mut counters = Table::new("Counters", &["counter", "value"]);
+    // Live mode leads with what changed this interval, not lifetime
+    // totals: a stalled pipeline shows 0/s immediately instead of a
+    // slowly diluting cumulative count.
+    let mut counters = Table::new("Counters", &["counter", "per/s", "total"]);
     for (name, v) in &stats.counters {
-        counters.row(&[name.clone(), v.to_string()]);
+        counters.row(&[
+            name.clone(),
+            rate_cell(name, *v, prev, stats),
+            v.to_string(),
+        ]);
     }
     out.push_str(&counters.render());
     out.push('\n');
@@ -195,6 +340,30 @@ fn main() {
         }
     };
     let ctx = TsContext::host_only();
+    if let Some(path) = &args.trace {
+        match scrape_trace(&ctx, &args.endpoint, args.last, args.timeout) {
+            Ok(payload) => {
+                let doc = trace_to_chrome(&payload);
+                if path == "-" {
+                    println!("{doc}");
+                } else if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("ts-top: writing {path}: {e}");
+                    std::process::exit(1);
+                } else {
+                    eprintln!(
+                        "ts-top: wrote {} trace record(s) to {path} — open in \
+                         chrome://tracing or https://ui.perfetto.dev",
+                        payload.records.len()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("ts-top: trace scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if args.json {
         match scrape_stats(&ctx, &args.endpoint, args.timeout) {
             Ok(stats) => println!("{}", to_json(&stats)),
@@ -206,13 +375,18 @@ fn main() {
         return;
     }
     let mut frame = 0u64;
+    let mut prev: Option<StatsPayload> = None;
     loop {
         match scrape_stats(&ctx, &args.endpoint, args.timeout) {
             Ok(stats) => {
                 // Clear screen + home, like top(1).
-                print!("\x1b[2J\x1b[H{}", render_tables(&args.endpoint, &stats));
+                print!(
+                    "\x1b[2J\x1b[H{}",
+                    render_tables(&args.endpoint, &stats, prev.as_ref())
+                );
                 use std::io::Write as _;
                 let _ = std::io::stdout().flush();
+                prev = Some(stats);
             }
             Err(e) => {
                 eprintln!("ts-top: scrape failed: {e}");

@@ -26,7 +26,10 @@
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tensorsocket::{scrape_stats, Consumer, Producer, StatsPayload, TsContext, STATS_VERSION};
+use tensorsocket::{
+    scrape_stats, scrape_trace, Consumer, Producer, SpanKind, StatsPayload, TraceRecordSnap,
+    TsContext, STATS_VERSION, TRACE_VERSION,
+};
 use ts_data::{DataLoader, DataLoaderConfig, Dataset, DecodedSample, RawSample};
 use ts_device::DeviceId;
 use ts_tensor::Tensor;
@@ -141,16 +144,34 @@ fn paused_consumer(
     mpsc::Receiver<()>,
     mpsc::Sender<()>,
 ) {
+    paused_consumer_with_id(ctx, endpoint, pause_after, None)
+}
+
+/// [`paused_consumer`], optionally pinning the consumer id — so tests can
+/// assert on producer-side state that names the consumer (the watchdog's
+/// straggler verdict).
+fn paused_consumer_with_id(
+    ctx: &TsContext,
+    endpoint: &str,
+    pause_after: usize,
+    id: Option<u64>,
+) -> (
+    std::thread::JoinHandle<usize>,
+    mpsc::Receiver<()>,
+    mpsc::Sender<()>,
+) {
     let (reached_tx, reached_rx) = mpsc::channel();
     let (go_tx, go_rx) = mpsc::channel();
     let ctx = ctx.clone();
     let endpoint = endpoint.to_string();
     let handle = std::thread::spawn(move || {
-        let mut consumer = Consumer::builder()
+        let mut builder = Consumer::builder()
             .context(&ctx)
-            .recv_timeout(Duration::from_secs(30))
-            .connect(&endpoint)
-            .expect("consumer connect");
+            .recv_timeout(Duration::from_secs(30));
+        if let Some(id) = id {
+            builder = builder.consumer_id(id);
+        }
+        let mut consumer = builder.connect(&endpoint).expect("consumer connect");
         let mut consumed = 0usize;
         for batch in consumer.by_ref() {
             batch.expect("clean stream");
@@ -438,4 +459,226 @@ fn stats_replies_echo_the_request_sequence_stamp() {
     let consumed = consumer.join().expect("consumer thread");
     assert_eq!(consumed, 32);
     producer.join().expect("producer join");
+}
+
+/// The recorded `(start, end)` of `kind`, or a panic naming the record.
+fn span_of(r: &TraceRecordSnap, kind: SpanKind) -> (u64, u64) {
+    r.span(kind).unwrap_or_else(|| {
+        panic!(
+            "record (epoch={}, shard={}, seq={}) has no {} span: {:?}",
+            r.epoch,
+            r.shard,
+            r.seq,
+            kind.as_str(),
+            r.spans
+        )
+    })
+}
+
+#[test]
+fn flight_recorder_traces_batches_end_to_end_over_the_wire() {
+    // The tentpole acceptance test: a sharded GPU-staged producer with an
+    // arena + per-shard slot pools and one in-process consumer. The trace
+    // scrape (from a separate context, over ipc://) must return completed
+    // per-batch records whose span timestamps are monotonically ordered
+    // across feeder → publish → ack, with the consumer-side recv/rebuild/
+    // release spans stitched onto the *same* `(epoch, shard, seq)` record
+    // — and the steady-state zero-copy invariant must hold with tracing
+    // enabled (the recorder stamps relaxed atomics, it never allocates or
+    // copies on the publish path).
+    let endpoint = ipc_endpoint("flight-recorder");
+    let ctx = TsContext::with_gpus(1, 1 << 30, false);
+    let arena_path =
+        std::env::temp_dir().join(format!("ts-obs-trace-{}.arena", std::process::id()));
+    ctx.create_arena(&arena_path, 64, 4096)
+        .expect("create arena");
+    let pools: Vec<_> = (0..2)
+        .map(|s| ctx.enable_shard_slot_recycling(s, 8).expect("shard pool"))
+        .collect();
+    let loaders = DataLoader::sharded(
+        Arc::new(IndexDataset { len: 64 }),
+        DataLoaderConfig {
+            batch_size: 4,
+            num_workers: 2,
+            shuffle: false,
+            drop_last: true,
+            ..Default::default()
+        },
+        2,
+    );
+    let group = Producer::builder()
+        .context(&ctx)
+        .endpoint(&endpoint)
+        .epochs(3)
+        .device(DeviceId::Gpu(0))
+        .heartbeat_timeout(Duration::from_secs(30))
+        .first_consumer_timeout(Some(Duration::from_secs(60)))
+        .spawn_sharded(loaders)
+        .expect("spawn sharded group");
+
+    // 3 epochs × 16 interleaved batches; pause halfway so the producer is
+    // alive and the ring holds a steady state of completed records.
+    let (consumer, reached, go) = paused_consumer(&ctx, &endpoint, 24);
+    reached
+        .recv_timeout(Duration::from_secs(60))
+        .expect("consumer reached the pause point");
+
+    let scrape_ctx = TsContext::host_only();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let payload = loop {
+        let p =
+            scrape_trace(&scrape_ctx, &endpoint, 64, Duration::from_secs(5)).expect("trace scrape");
+        if p.records.len() >= 8 {
+            break p;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "flight recorder never filled: {} record(s)",
+            p.records.len()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(payload.version, TRACE_VERSION);
+    assert!(payload.now_ns > 0);
+
+    let mut shards_seen = std::collections::BTreeSet::new();
+    for r in &payload.records {
+        assert!(r.complete, "last_n must only return completed records");
+        shards_seen.insert(r.shard);
+        // Every span is well-formed on the recorder's one clock.
+        for &(kind, start, end) in &r.spans {
+            assert!(
+                SpanKind::from_u8(kind).is_some(),
+                "unknown span kind {kind}"
+            );
+            assert!(0 < start && start <= end, "span {kind}: {start}..{end}");
+        }
+        // Producer side: monotonically ordered feeder → publish → ack.
+        let fetch = span_of(r, SpanKind::Fetch);
+        let h2d = span_of(r, SpanKind::H2d);
+        let publish = span_of(r, SpanKind::Publish);
+        let announce = span_of(r, SpanKind::Announce);
+        let ack = span_of(r, SpanKind::Ack);
+        assert!(fetch.1 <= publish.0, "fetch must end before publish opens");
+        assert!(fetch.1 <= h2d.0, "H2D reads the fetched batch");
+        assert!(publish.0 <= announce.0, "announce opens inside publishing");
+        assert!(
+            announce.1 <= ack.1,
+            "the final ack lands after the announce"
+        );
+        assert!(ack.0 <= ack.1 && publish.0 <= ack.0, "ack opens at publish");
+        // Consumer side, stitched onto the same (epoch, shard, seq) key
+        // because the in-process consumer shares the context's recorder.
+        let recv = span_of(r, SpanKind::Recv);
+        let rebuild = span_of(r, SpanKind::Rebuild);
+        let release = span_of(r, SpanKind::Release);
+        assert!(
+            recv.1 <= rebuild.0,
+            "rebuild starts after the announce landed"
+        );
+        assert!(rebuild.1 <= release.0, "the trainer holds a rebuilt batch");
+        assert!(release.1 <= ack.1, "the producer acks after the release");
+        assert!(
+            announce.0 <= recv.1,
+            "the consumer cannot receive before the producer announces"
+        );
+    }
+    assert_eq!(
+        shards_seen.into_iter().collect::<Vec<_>>(),
+        vec![0, 1],
+        "records must cover both shards"
+    );
+
+    go.send(()).unwrap();
+    let consumed = consumer.join().expect("consumer thread");
+    assert_eq!(consumed, 48, "3 epochs × 16 interleaved batches");
+    let stats = group.join_shards().expect("group join");
+    assert!(stats.iter().all(|s| s.bytes_staged > 0), "staging ran");
+    // Zero-copy stayed intact with tracing enabled.
+    for s in 0..2u32 {
+        assert_eq!(
+            ctx.metrics
+                .counter(&format!("stage.s{s}.publish_copy_bytes"))
+                .get(),
+            0,
+            "shard {s} copied payload bytes with tracing enabled"
+        );
+    }
+    assert!(ctx.registry.is_empty());
+    for pool in &pools {
+        pool.drain();
+    }
+    assert_eq!(ctx.arena().unwrap().slots_in_use(), 0);
+}
+
+#[test]
+fn watchdog_names_the_straggling_consumer_in_its_verdict() {
+    // Stall injection: two consumers, one of which parks mid-batch
+    // without acking. The producer's watchdog must classify the stall as
+    // consumer-straggler, name the offending consumer id in its verdict,
+    // and surface both through the scraped stats snapshot (verdict +
+    // `watchdog.stalls.consumer` counter + the v3 uptime/snapshot
+    // stamps).
+    const STRAGGLER: u64 = 7777;
+    let endpoint = ipc_endpoint("watchdog");
+    let ctx = TsContext::host_only();
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint(&endpoint)
+        .epochs(2)
+        .watchdog_stall_multiple(1.0)
+        // Admit the late-joining healthy consumer with a full replay
+        // instead of parking it at the epoch barrier (which the paused
+        // straggler would never let the stream reach).
+        .rubberband_cutoff(1.0)
+        .heartbeat_timeout(Duration::from_secs(30))
+        .first_consumer_timeout(Some(Duration::from_secs(60)))
+        .spawn(loader(64, 4, 0))
+        .expect("spawn producer");
+
+    // The straggler attaches first (with a pinned id), then a healthy
+    // consumer that acks everything promptly — so once both saw the
+    // stuck batch, only the straggler still owes its ack.
+    let (slow, reached, go) = paused_consumer_with_id(&ctx, &endpoint, 4, Some(STRAGGLER));
+    reached
+        .recv_timeout(Duration::from_secs(60))
+        .expect("straggler reached the pause point");
+    // The straggler holds the window at its 4th batch; with the default
+    // publish window the producer can run only a couple of batches
+    // further, so 5 is as far as the healthy consumer can get.
+    let (fast, fast_reached, fast_go) = paused_consumer(&ctx, &endpoint, 5);
+    fast_reached
+        .recv_timeout(Duration::from_secs(60))
+        .expect("healthy consumer caught up");
+    fast_go.send(()).unwrap();
+
+    let scrape_ctx = TsContext::host_only();
+    let stats = scrape_until(&scrape_ctx, &endpoint, Duration::from_secs(30), |s| {
+        s.verdict.contains("consumer-straggler")
+    });
+    assert!(
+        stats
+            .verdict
+            .contains(&format!("consumer-straggler consumer={STRAGGLER}")),
+        "verdict must name the straggler: {:?}",
+        stats.verdict
+    );
+    assert!(
+        stats.counter("watchdog.stalls.consumer").unwrap_or(0) >= 1,
+        "the stall must be counted"
+    );
+    assert!(stats.uptime_ns > 0, "v3 snapshots carry producer uptime");
+    assert!(
+        stats.snapshot_ns > 0,
+        "v3 snapshots carry a monotonic snapshot stamp"
+    );
+
+    go.send(()).unwrap();
+    let slow_consumed = slow.join().expect("straggler thread");
+    let fast_consumed = fast.join().expect("healthy thread");
+    assert_eq!(slow_consumed, 32, "2 epochs × 16 batches");
+    assert_eq!(fast_consumed, 32);
+    let final_stats = producer.join().expect("producer join");
+    assert_eq!(final_stats.batches_published, 32);
+    assert_eq!(final_stats.consumers_detached, 0);
 }
