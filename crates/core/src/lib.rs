@@ -251,6 +251,13 @@
 //! | `watchdog.stalls.ack` | counter | stalls | watchdog verdicts: every consumer is late acking the oldest batch |
 //! | `watchdog.stalls.loader` | counter | stalls | watchdog verdicts: publish loop idle, loader fetch is the bottleneck |
 //! | `watchdog.stalls.h2d` | counter | stalls | watchdog verdicts: publish loop idle, H2D staging is the bottleneck |
+//! | `stage.[s<N>.]log_append_bytes` | counter | bytes | encoded batch frames the log spiller appended durably |
+//! | `log.append_errors` | counter | appends | spiller append failures (first one latches the log failed and drops it from WELCOMEs) |
+//! | `log.[s<N>.]lag` | gauge | batches | published batches not yet durably appended (spiller backlog) |
+//! | `log.[s<N>.]retained_min` / `log.[s<N>.]retained_max` | gauge | seq | retained offset range replayable from the log (`min > max` = enabled, nothing retained yet) |
+//! | `producer.replay_requests` | counter | requests | `CtrlMsg::Replay` requests answered (resends included) |
+//! | `replay.log_batches` | counter | batches | batches streamed out of the durable log to resuming consumers |
+//! | `replay.log_bytes` | counter | bytes | stored frame bytes streamed out of the durable log |
 //!
 //! ### The batch flight recorder
 //!
@@ -283,6 +290,69 @@
 //! `--serve`, which keeps a sharded GPU-staged producer alive to point
 //! `ts-top` at.
 //!
+//! ## The durable batch log: crash-and-resume consumer groups
+//!
+//! Rubberband replay is bounded by memory: pinned batches hold arena
+//! slots, so a late joiner can only catch up as far as the pin set
+//! reaches. [`ProducerBuilder::log`] removes that bound with a
+//! **durable epoch batch log** (`ts-log`): a background *spiller*
+//! thread tees every published batch — encoded exactly as its streamed
+//! wire frame — into mmap'd, CRC-framed, offset-addressed segments,
+//! entirely off the publish hot path (`stage.[s<N>.]log_append_bytes`
+//! counts the appends, `log.[s<N>.]lag` gauges the backlog). Once a
+//! batch is both fully acked and durably on disk, its rubberband pin is
+//! **shed**: the arena slot releases while the seq stays replayable —
+//! pin depth stays bounded and `stage.publish_copy_bytes` stays 0, yet
+//! replay reach extends to everything the log retains.
+//!
+//! The replay contract, over the same v3 handshake:
+//!
+//! * the WELCOME advertises the log ([`WelcomeInfo::log`], a
+//!   [`LogAd`] with the retained `[min, max]` offset range; the
+//!   inverted range `min > max` means "enabled, nothing retained yet");
+//! * a consumer attaching with [`ConsumerBuilder::group`] sends
+//!   [`CtrlMsg::Replay`]`{ group, from }` per shard after admission;
+//! * the producer answers `LogInfo` naming the resolved replay start
+//!   (the group's persisted cursor, clamped to the retained range and
+//!   the consumer's live splice point) and streams the logged range —
+//!   the stored frames ARE streamed-payload wire frames, so both shm
+//!   and streamed consumers ingest them — which splices gaplessly onto
+//!   the live stream admitted at `start_seq`;
+//! * every ack advances the group's cursor, persisted write-through in
+//!   `ts-log`'s [`ts_log::CursorStore`] (tmp+rename atomic), so a
+//!   consumer killed mid-epoch (`kill -9` included) and restarted with
+//!   the same group name resumes **exactly once** from its last acked
+//!   batch, byte-identical to an uninterrupted run;
+//! * retention never outruns the slowest group: segment reclamation is
+//!   floored at the minimum persisted cursor.
+//!
+//! ```no_run
+//! # use tensorsocket::{Producer, Consumer};
+//! # use ts_data::{DataLoader, DataLoaderConfig, SyntheticImageDataset};
+//! # use std::sync::Arc;
+//! # let loader = DataLoader::new(
+//! #     Arc::new(SyntheticImageDataset::imagenet_like(256, 0)),
+//! #     DataLoaderConfig::default(),
+//! # );
+//! let producer = Producer::builder()
+//!     .endpoint("ipc:///tmp/ts.sock")
+//!     .arena("/dev/shm/ts.arena")
+//!     .log("/var/tmp/ts-log") // durable batch log, fresh directory
+//!     .spawn(loader)
+//!     .unwrap();
+//! // a trainer that survives kill -9: same group name on restart
+//! let consumer = Consumer::builder()
+//!     .group("trainers")
+//!     .connect("ipc:///tmp/ts.sock")
+//!     .unwrap();
+//! ```
+//!
+//! The log is per-run: sequence numbers restart at 0 each spawn, so the
+//! producer refuses a directory that already holds records. Without a
+//! log (or on a v1/v2 producer) a `group` name is inert and the
+//! consumer attaches live-only. See `examples/replay_smoke.rs` for the
+//! crash-and-resume loop end to end.
+//!
 //! ## Crate layout
 //!
 //! * [`protocol`] — pure, time-injected state machines: publish window
@@ -308,9 +378,9 @@ pub use protocol::buffer::BatchWindow;
 pub use protocol::flex::{plan_flex, FlexPlan, Segment};
 pub use protocol::heartbeat::HeartbeatMonitor;
 pub use protocol::messages::{
-    caps, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, PayloadMode,
-    StatsPayload, StreamedTensor, TracePayload, WelcomeInfo, HANDSHAKE_VERSION, STATS_VERSION,
-    TRACE_VERSION,
+    caps, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, LogAd,
+    PayloadMode, ReplayFrom, StatsPayload, StreamedTensor, TracePayload, WelcomeInfo,
+    HANDSHAKE_VERSION, STATS_VERSION, TRACE_VERSION,
 };
 pub use protocol::order::ShardInterleave;
 pub use protocol::rubberband::RubberbandPolicy;

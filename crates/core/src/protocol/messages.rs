@@ -62,15 +62,26 @@ pub mod topics {
 /// an old producer talking to a new consumer (or vice versa) surfaces as
 /// a typed version error on the consumer, never a silent misparse.
 ///
-/// **v2** (this build) extends v1 with a `Hello` capability bitfield
-/// ([`caps`]), per-shard endpoint overrides and a granted payload-mode
-/// mask in the WELCOME, and a per-consumer [`PayloadMode`] in the
-/// `Join`. Every extension rides in *trailing* bytes that a v1 decoder
-/// never reads, so the two versions interoperate: a v2 producer answers
-/// a v1 `Hello` with a byte-identical v1 WELCOME, and a v1 consumer's
-/// `Join` decodes on a v2 producer with the v1 defaults (shm
-/// pointer-passing).
-pub const HANDSHAKE_VERSION: u32 = 2;
+/// **v2** extends v1 with a `Hello` capability bitfield ([`caps`]),
+/// per-shard endpoint overrides and a granted payload-mode mask in the
+/// WELCOME, and a per-consumer [`PayloadMode`] in the `Join`. Every
+/// extension rides in *trailing* bytes that a v1 decoder never reads,
+/// so the two versions interoperate: a v2 producer answers a v1 `Hello`
+/// with a byte-identical v1 WELCOME, and a v1 consumer's `Join` decodes
+/// on a v2 producer with the v1 defaults (shm pointer-passing).
+///
+/// **v3** (this build) adds the durable-log advertisement: the WELCOME
+/// grows a trailing [`LogAd`] section (presence flag + retained range),
+/// and two new messages appear — [`CtrlMsg::Replay`] (tag 8), by which
+/// a consumer group asks for a log-backed catch-up stream, and
+/// [`DataMsg::LogInfo`] (tag 9), the producer's reply fixing the replay
+/// start and live-splice cutover. The same trailing-bytes discipline
+/// holds: the WELCOME tail is gated on the *encoded* version (a v3
+/// producer answers a v2 `Hello` with a byte-identical v2 WELCOME), and
+/// the new tags land in the ranges both sides already decode as
+/// `Unknown`, so a v2 producer log-ignores a `Replay` and a v2 consumer
+/// log-ignores a `LogInfo` instead of wedging.
+pub const HANDSHAKE_VERSION: u32 = 3;
 
 /// `Hello` capability bits (handshake v2): what the consumer can do,
 /// declared before it knows anything about the producer. Unknown bits
@@ -166,6 +177,36 @@ pub struct ArenaAd {
     pub slot_size: u64,
 }
 
+/// The durable batch log advertisement inside a [`WelcomeInfo`]
+/// (handshake v3): the producer keeps an on-disk log of published
+/// batches and can serve [`CtrlMsg::Replay`] requests over the retained
+/// sequence range. The range is a snapshot taken when the WELCOME was
+/// built — retention and appends move it — so consumers treat it as a
+/// hint; the authoritative replay start arrives in [`DataMsg::LogInfo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogAd {
+    /// Oldest retained global sequence number at WELCOME time.
+    pub retained_min: u64,
+    /// Newest retained global sequence number at WELCOME time.
+    pub retained_max: u64,
+}
+
+/// Where a [`CtrlMsg::Replay`] wants its log-backed stream to start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayFrom {
+    /// The group's persisted cursor — the batch after the last one any
+    /// member of the group acknowledged; the oldest retained record when
+    /// the group has no cursor yet. This is the crash-restart resume
+    /// point.
+    #[default]
+    Cursor,
+    /// The oldest retained record, regardless of any cursor.
+    Oldest,
+    /// An explicit global sequence number (clamped to the retained
+    /// range by the producer).
+    Seq(u64),
+}
+
 /// Everything a consumer learns from the attach handshake: the producer
 /// answers a [`CtrlMsg::Hello`] with this self-description, and the
 /// consumer derives all remaining configuration from it — shard count
@@ -193,6 +234,14 @@ pub struct WelcomeInfo {
     /// Bitmask ([`caps`] bits) of payload modes the producer can serve
     /// this consumer. A v1 producer implies [`caps::SHM`] only.
     pub payload_modes: u32,
+    /// The durable batch log, when the producer keeps one (v3). `None`
+    /// from v1/v2 producers and from v3 producers running without a
+    /// (healthy) log. A logging producer that has not retained anything
+    /// yet advertises the *inverted* range `retained_min > retained_max`
+    /// (canonically `{1, 0}`) — "log enabled, nothing stored" — so group
+    /// consumers still send [`CtrlMsg::Replay`] and register their
+    /// cursors from the very first batch.
+    pub log: Option<LogAd>,
 }
 
 /// Messages consumers push to the producer.
@@ -275,6 +324,26 @@ pub enum CtrlMsg {
         /// Most completed records the scraper wants (the producer may
         /// cap it further).
         max: u32,
+    },
+    /// Ask for a log-backed replay stream (handshake v3; tag 8). Sent
+    /// after the Join/Ready exchange by a consumer whose WELCOME carried
+    /// a [`LogAd`]. The producer registers `group`, resolves the actual
+    /// start (cursor/oldest/explicit, clamped to the retained range and
+    /// to the consumer's live-stream start), answers with a
+    /// [`DataMsg::LogInfo`] on the consumer's private topic, then streams
+    /// the log range as ordinary streamed-payload batch announcements.
+    /// Stateless against duplicates: a re-sent `Replay` for a consumer
+    /// whose stream is already running or done only re-sends the
+    /// `LogInfo`. A v2 producer decodes this as `Unknown` and ignores it
+    /// — the consumer falls back to pure rubberband semantics.
+    Replay {
+        /// Consumer id (already joined).
+        consumer_id: u64,
+        /// Named consumer group whose persisted cursor scopes the replay
+        /// and advances with this consumer's acks.
+        group: String,
+        /// Requested start position.
+        from: ReplayFrom,
     },
     /// A control frame whose tag this build does not know. Produced only
     /// by [`CtrlMsg::decode`] for forward compatibility: a producer
@@ -478,6 +547,34 @@ pub enum DataMsg {
         seq: u32,
         /// The trace records.
         payload: TracePayload,
+    },
+    /// Reply to a [`CtrlMsg::Replay`] (handshake v3; tag 9), published
+    /// on the consumer's private topic: the producer's binding decision
+    /// on where the log-backed stream starts and where it hands over to
+    /// the live stream. `start_seq` is the first replayed sequence
+    /// number; `live_seq` is the consumer's live-stream start recorded
+    /// at admission — the replay covers `start_seq..live_seq` and the
+    /// live subscription covers `live_seq..`, so the spliced stream is
+    /// gapless and duplicate-free by construction. When
+    /// `start_seq == live_seq` there is nothing to replay (fresh group
+    /// at the stream head). A v2 consumer decodes this as `Unknown` and
+    /// log-ignores it.
+    LogInfo {
+        /// The consumer being answered.
+        consumer_id: u64,
+        /// First sequence number the log replay will send.
+        start_seq: u64,
+        /// Epoch of `start_seq` (cutover cursor for the interleave).
+        start_epoch: u64,
+        /// Index-in-epoch of `start_seq`.
+        start_index: u64,
+        /// First sequence number the *live* stream will deliver; the
+        /// replay stops just before it.
+        live_seq: u64,
+        /// Oldest retained sequence number at reply time.
+        retained_min: u64,
+        /// Newest retained sequence number at reply time.
+        retained_max: u64,
     },
     /// A data frame whose tag this build does not know. Produced only by
     /// [`DataMsg::decode`] for forward compatibility: a consumer
@@ -686,7 +783,8 @@ impl CtrlMsg {
             | CtrlMsg::Ready { consumer_id }
             | CtrlMsg::Ack { consumer_id, .. }
             | CtrlMsg::Heartbeat { consumer_id }
-            | CtrlMsg::Leave { consumer_id } => *consumer_id,
+            | CtrlMsg::Leave { consumer_id }
+            | CtrlMsg::Replay { consumer_id, .. } => *consumer_id,
             CtrlMsg::Hello { token, .. }
             | CtrlMsg::StatsRequest { token, .. }
             | CtrlMsg::TraceRequest { token, .. } => *token,
@@ -759,6 +857,23 @@ impl CtrlMsg {
                 buf.put_u32_le(*version);
                 buf.put_u32_le(*seq);
                 buf.put_u32_le(*max);
+            }
+            CtrlMsg::Replay {
+                consumer_id,
+                group,
+                from,
+            } => {
+                buf.put_u8(8);
+                buf.put_u64_le(*consumer_id);
+                put_bytes(&mut buf, group.as_bytes());
+                match from {
+                    ReplayFrom::Cursor => buf.put_u8(0),
+                    ReplayFrom::Oldest => buf.put_u8(1),
+                    ReplayFrom::Seq(seq) => {
+                        buf.put_u8(2);
+                        buf.put_u64_le(*seq);
+                    }
+                }
             }
             CtrlMsg::Unknown { tag } => {
                 // Only decode produces this variant; re-encoding keeps the
@@ -834,6 +949,24 @@ impl CtrlMsg {
                     version: buf.get_u32_le(),
                     seq: buf.get_u32_le(),
                     max: buf.get_u32_le(),
+                }
+            }
+            8 => {
+                let group = String::from_utf8_lossy(&get_bytes(&mut buf)?).into_owned();
+                need(buf, 1)?;
+                let from = match buf.get_u8() {
+                    0 => ReplayFrom::Cursor,
+                    1 => ReplayFrom::Oldest,
+                    2 => {
+                        need(buf, 8)?;
+                        ReplayFrom::Seq(buf.get_u64_le())
+                    }
+                    t => return Err(TsError::Wire(format!("bad replay-from tag {t}"))),
+                };
+                CtrlMsg::Replay {
+                    consumer_id,
+                    group,
+                    from,
                 }
             }
             // Forward compatibility: a well-formed frame (tag + at least
@@ -957,6 +1090,19 @@ impl DataMsg {
                     }
                     buf.put_u32_le(info.payload_modes);
                 }
+                // v3 tail (durable-log advertisement), same gating: a v3
+                // producer answering a v2 Hello emits a byte-identical
+                // v2 WELCOME.
+                if info.version >= 3 {
+                    match &info.log {
+                        None => buf.put_u8(0),
+                        Some(ad) => {
+                            buf.put_u8(1);
+                            buf.put_u64_le(ad.retained_min);
+                            buf.put_u64_le(ad.retained_max);
+                        }
+                    }
+                }
             }
             DataMsg::Stats {
                 token,
@@ -1037,6 +1183,24 @@ impl DataMsg {
                         buf.put_u64_le(end);
                     }
                 }
+            }
+            DataMsg::LogInfo {
+                consumer_id,
+                start_seq,
+                start_epoch,
+                start_index,
+                live_seq,
+                retained_min,
+                retained_max,
+            } => {
+                buf.put_u8(9);
+                buf.put_u64_le(*consumer_id);
+                buf.put_u64_le(*start_seq);
+                buf.put_u64_le(*start_epoch);
+                buf.put_u64_le(*start_index);
+                buf.put_u64_le(*live_seq);
+                buf.put_u64_le(*retained_min);
+                buf.put_u64_le(*retained_max);
             }
             DataMsg::Unknown { tag } => {
                 // Only decode produces this variant; re-encoding keeps the
@@ -1199,6 +1363,25 @@ impl DataMsg {
                 } else {
                     (Vec::new(), caps::SHM)
                 };
+                // The v3 tail is likewise *required* when the version
+                // field says 3+; v1/v2 WELCOMEs end above and imply "no
+                // durable log".
+                let log = if version >= 3 {
+                    need(buf, 1)?;
+                    match buf.get_u8() {
+                        0 => None,
+                        1 => {
+                            need(buf, 16)?;
+                            Some(LogAd {
+                                retained_min: buf.get_u64_le(),
+                                retained_max: buf.get_u64_le(),
+                            })
+                        }
+                        f => return Err(TsError::Wire(format!("bad log flag {f}"))),
+                    }
+                } else {
+                    None
+                };
                 DataMsg::Welcome {
                     token,
                     info: WelcomeInfo {
@@ -1210,6 +1393,7 @@ impl DataMsg {
                         arena,
                         endpoint_overrides,
                         payload_modes,
+                        log,
                     },
                 }
             }
@@ -1360,11 +1544,23 @@ impl DataMsg {
                     },
                 }
             }
+            9 => {
+                need(buf, 56)?;
+                DataMsg::LogInfo {
+                    consumer_id: buf.get_u64_le(),
+                    start_seq: buf.get_u64_le(),
+                    start_epoch: buf.get_u64_le(),
+                    start_index: buf.get_u64_le(),
+                    live_seq: buf.get_u64_le(),
+                    retained_min: buf.get_u64_le(),
+                    retained_max: buf.get_u64_le(),
+                }
+            }
             // Forward compatibility: a well-formed frame (tag + at least
             // 8 more bytes, the minimum any real data message carries)
             // whose tag we do not know is surfaced as `Unknown`, never a
-            // hard error — a v2 consumer must survive a v3 producer
-            // adding topics. Truncated frames are still rejected.
+            // hard error — an older consumer must survive a newer
+            // producer adding topics. Truncated frames are still rejected.
             t => {
                 need(buf, 8)?;
                 DataMsg::Unknown { tag: t }
@@ -1419,11 +1615,46 @@ mod tests {
                 seq: 5,
                 max: 64,
             },
+            CtrlMsg::Replay {
+                consumer_id: 7,
+                group: "hp-trial-3".to_string(),
+                from: ReplayFrom::Cursor,
+            },
+            CtrlMsg::Replay {
+                consumer_id: 7,
+                group: String::new(),
+                from: ReplayFrom::Oldest,
+            },
+            CtrlMsg::Replay {
+                consumer_id: 7,
+                group: "trial/юникод".to_string(),
+                from: ReplayFrom::Seq(123_456),
+            },
         ];
         for m in msgs {
             assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
             assert_eq!(m.consumer_id(), 7);
         }
+    }
+
+    #[test]
+    fn replay_rejects_truncation_and_bad_from_tags() {
+        let m = CtrlMsg::Replay {
+            consumer_id: 9,
+            group: "grp".to_string(),
+            from: ReplayFrom::Seq(77),
+        };
+        let good = m.encode();
+        for cut in 1..good.len() {
+            assert!(
+                CtrlMsg::decode(&good[..good.len() - cut]).is_err(),
+                "replay truncated by {cut} must be rejected"
+            );
+        }
+        // An unknown replay-from tag is rejected, not misread.
+        let mut bad = good[..good.len() - 9].to_vec();
+        bad.push(9);
+        assert!(CtrlMsg::decode(&bad).is_err());
     }
 
     #[test]
@@ -1490,7 +1721,7 @@ mod tests {
         // Forward compatibility: any well-formed frame with a tag from
         // the future decodes as `Unknown` so an older producer can
         // log-and-ignore it instead of failing.
-        for tag in [8u8, 99, 250, 255] {
+        for tag in [9u8, 99, 250, 255] {
             let mut frame = vec![tag];
             frame.extend_from_slice(&1234u64.to_le_bytes());
             frame.extend_from_slice(&[0xAB; 7]); // trailing future payload
@@ -1517,6 +1748,7 @@ mod tests {
                 arena: None,
                 endpoint_overrides: Vec::new(),
                 payload_modes: caps::SHM | caps::STREAM,
+                log: None,
             },
         };
         let with_arena = DataMsg::Welcome {
@@ -1537,6 +1769,10 @@ mod tests {
                     (3, "tcp://10.0.0.3:9000".to_string()),
                 ],
                 payload_modes: caps::SHM,
+                log: Some(LogAd {
+                    retained_min: 128,
+                    retained_max: 511,
+                }),
             },
         };
         // A welcome truncated at ANY byte is rejected with a wire error,
@@ -1571,6 +1807,7 @@ mod tests {
                 arena: None,
                 endpoint_overrides: Vec::new(),
                 payload_modes: caps::SHM,
+                log: None,
             },
         };
         let wire = v1_reply.encode();
@@ -1587,6 +1824,72 @@ mod tests {
         // semantics: no overrides, shm-only payload modes.
         let decoded = DataMsg::decode(&wire).unwrap();
         assert_eq!(decoded, v1_reply);
+    }
+
+    #[test]
+    fn v3_producer_answers_v2_hello_with_a_byte_identical_v2_welcome() {
+        // Encoding a WelcomeInfo whose version field says 2 must stop at
+        // the v2 tail — no log section — so a v2 consumer's decoder
+        // parses it to the last byte. (The log ad is dropped with the
+        // tail: a v2 consumer could not use it anyway.)
+        let v2_reply = DataMsg::Welcome {
+            token: 42,
+            info: WelcomeInfo {
+                version: 2,
+                shards: 2,
+                batch_size: 32,
+                flex_producer_batch: 0,
+                staging: 2,
+                arena: None,
+                endpoint_overrides: vec![(1, "tcp://10.0.0.2:9000".to_string())],
+                payload_modes: caps::SHM | caps::STREAM,
+                log: None,
+            },
+        };
+        let wire = v2_reply.encode();
+        let mut expected = vec![5u8];
+        expected.extend_from_slice(&42u64.to_le_bytes());
+        expected.extend_from_slice(&2u32.to_le_bytes());
+        expected.extend_from_slice(&2u32.to_le_bytes());
+        expected.extend_from_slice(&32u32.to_le_bytes());
+        expected.extend_from_slice(&0u32.to_le_bytes());
+        expected.push(2); // staging
+        expected.push(0); // no arena
+        expected.extend_from_slice(&1u32.to_le_bytes()); // one override
+        expected.extend_from_slice(&1u32.to_le_bytes());
+        let uri = b"tcp://10.0.0.2:9000";
+        expected.extend_from_slice(&(uri.len() as u32).to_le_bytes());
+        expected.extend_from_slice(uri);
+        expected.extend_from_slice(&(caps::SHM | caps::STREAM).to_le_bytes());
+        assert_eq!(&wire[..], &expected[..], "v2 WELCOME must be bit-exact");
+        // The v3 build decodes a v2 WELCOME back with "no durable log".
+        assert_eq!(DataMsg::decode(&wire).unwrap(), v2_reply);
+        // And a frame *claiming* v3 without the log section is truncated,
+        // not "a v2 welcome".
+        let mut claims_v3 = wire.to_vec();
+        claims_v3[9..13].copy_from_slice(&3u32.to_le_bytes());
+        assert!(DataMsg::decode(&claims_v3).is_err());
+    }
+
+    #[test]
+    fn log_info_round_trips_and_rejects_any_truncation() {
+        let m = DataMsg::LogInfo {
+            consumer_id: 7,
+            start_seq: 100,
+            start_epoch: 2,
+            start_index: 10,
+            live_seq: 145,
+            retained_min: 64,
+            retained_max: 144,
+        };
+        let good = m.encode();
+        assert_eq!(DataMsg::decode(&good).unwrap(), m);
+        for cut in 1..good.len() {
+            assert!(
+                DataMsg::decode(&good[..good.len() - cut]).is_err(),
+                "log info truncated by {cut} must be rejected"
+            );
+        }
     }
 
     #[test]

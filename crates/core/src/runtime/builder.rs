@@ -184,6 +184,27 @@ impl ProducerBuilder {
         self
     }
 
+    /// Keeps a durable batch log under `dir` (one subdirectory per
+    /// shard): every published batch is teed to disk by a background
+    /// spiller, the v3 WELCOME advertises the retained range, and
+    /// consumers attaching with [`ConsumerBuilder::group`] replay the
+    /// logged tail before splicing onto the live stream. The directory
+    /// must be empty (or fresh) — sequence numbers restart per run, so
+    /// spawning over an old log fails rather than serving stale bytes.
+    /// Incompatible with [`ProducerBuilder::flexible`].
+    pub fn log(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.log = Some(ts_log::LogConfig::new(dir.into()));
+        self
+    }
+
+    /// Durable batch log with explicit segment/retention geometry (see
+    /// [`ts_log::LogConfig`]); [`ProducerBuilder::log`] with defaults
+    /// otherwise.
+    pub fn log_config(mut self, cfg: ts_log::LogConfig) -> Self {
+        self.cfg.log = Some(cfg);
+        self
+    }
+
     /// Stop waiting for the first consumer after this long (`None` =
     /// forever).
     pub fn first_consumer_timeout(mut self, timeout: Option<Duration>) -> Self {
@@ -619,6 +640,18 @@ impl ConsumerBuilder {
         self
     }
 
+    /// Names this consumer's **group**: when the producer keeps a durable
+    /// log (v3 WELCOME advertises it), connect sends `Replay` per shard
+    /// and resumes from the group's persisted cursor — a consumer
+    /// restarted after a crash (`kill -9` included) replays the logged
+    /// range it never acked, then splices onto the live stream
+    /// byte-identically. Without a log (or on older producers) the name
+    /// is inert and the consumer joins live-only.
+    pub fn group(mut self, name: impl Into<String>) -> Self {
+        self.cfg.group = Some(name.into());
+        self
+    }
+
     /// Insists on a shard count instead of trusting the advertisement.
     /// Normally unnecessary — the handshake learns the topology — but a
     /// deployment that *knows* its shape can assert it; a mismatch fails
@@ -743,6 +776,7 @@ impl ConsumerBuilder {
             shards: advertised,
             mode,
             endpoint_overrides: welcome.endpoint_overrides.clone(),
+            log_available: welcome.log.is_some(),
             ..self.cfg
         };
         let inner = TensorConsumer::connect_impl(&ctx, cfg)?;

@@ -91,6 +91,15 @@ pub struct ProducerConfig {
     /// H2D-bound / ack-bound / consumer-straggler — surfaced in the stats
     /// snapshot and the `ts-top` header.
     pub watchdog_stall_multiple: f64,
+    /// Durable epoch batch log (`ts-log`): every published batch is teed
+    /// into an mmap'd segment log by a background spiller, off the
+    /// publish hot path. Enables replay-based late join ([`crate::Consumer`]
+    /// groups resume from their persisted cursor after a crash) and lets
+    /// rubberband pins be shed once their batch is durably logged. `None`
+    /// (the default) disables the subsystem entirely. Incompatible with
+    /// flexible sizing — per-consumer carved views have no streamed
+    /// serialization to store — which fails at spawn.
+    pub log: Option<ts_log::LogConfig>,
 }
 
 impl std::fmt::Debug for ProducerConfig {
@@ -105,6 +114,10 @@ impl std::fmt::Debug for ProducerConfig {
             .field("flexible", &self.flexible)
             .field("producer_map", &self.producer_map.as_ref().map(|_| "<fn>"))
             .field("pipeline_depth", &self.pipeline_depth)
+            .field(
+                "log",
+                &self.log.as_ref().map(|l| l.dir.display().to_string()),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -126,6 +139,7 @@ impl Default for ProducerConfig {
             pipeline_depth: None,
             shard_endpoints: Vec::new(),
             watchdog_stall_multiple: 4.0,
+            log: None,
         }
     }
 }
@@ -194,6 +208,18 @@ pub struct ConsumerConfig {
     /// producer's v2 WELCOME: shards listed here are attached at the given
     /// URI instead of the one derived from the base endpoint.
     pub endpoint_overrides: Vec<(u32, String)>,
+    /// Consumer-group name for durable-log replay. When set (and the
+    /// producer's v3 WELCOME advertises a log), connect sends
+    /// `CtrlMsg::Replay { group, from: Cursor }` per shard after
+    /// admission: the producer registers the group's persisted cursor,
+    /// streams retained records from its log and the consumer splices
+    /// them bit-identically in front of the live stream. `None` keeps the
+    /// log-less join behavior.
+    pub group: Option<String>,
+    /// Whether the producer advertised a durable log in its WELCOME
+    /// (filled by [`crate::Consumer`]'s attach negotiation; the legacy
+    /// connect path leaves it `false` and never requests replay).
+    pub log_available: bool,
 }
 
 impl Default for ConsumerConfig {
@@ -208,6 +234,8 @@ impl Default for ConsumerConfig {
             local_pipeline: None,
             mode: PayloadMode::Shm,
             endpoint_overrides: Vec::new(),
+            group: None,
+            log_available: false,
         }
     }
 }

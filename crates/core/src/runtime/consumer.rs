@@ -26,7 +26,7 @@
 //! every shard published `End`.
 
 use crate::protocol::messages::{
-    topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, PayloadMode,
+    topics, AnnounceContent, BatchAnnounce, CtrlMsg, DataMsg, JoinDecision, PayloadMode, ReplayFrom,
 };
 use crate::protocol::order::ShardInterleave;
 use crate::runtime::config::ConsumerConfig;
@@ -230,6 +230,30 @@ impl TensorConsumer {
             link.next_expected = *start_seq;
             cursors.push((*epoch, *replay_from));
         }
+        // Durable-log resume: a named group member attaching to a logging
+        // producer asks each shard to replay from the group's persisted
+        // cursor. The answered `LogInfo` moves the shard's delivery
+        // cursor BACK to the replay start — the logged range streams
+        // first and splices gaplessly onto the live stream admitted
+        // above (`start_seq` is exactly where the replay ends).
+        if let (Some(group), true) = (&cfg.group, cfg.log_available) {
+            for (shard, link) in links.iter_mut().enumerate() {
+                match Self::log_replay_handshake(link, &cfg, id, group, &data_unknown) {
+                    Ok(Some((start_seq, start_epoch, start_index)))
+                        if start_seq < link.next_expected =>
+                    {
+                        link.next_expected = start_seq;
+                        cursors[shard] = (start_epoch, start_index);
+                    }
+                    Ok(_) => {} // nothing retained behind our splice point
+                    Err(e) => {
+                        hb_stop.store(true, Ordering::Relaxed);
+                        let _ = hb_thread.join();
+                        return Err(e);
+                    }
+                }
+            }
+        }
         Ok(TensorConsumer {
             ctx: ctx.clone(),
             cfg,
@@ -365,6 +389,85 @@ impl TensorConsumer {
                     }
                 }
                 _ => {}
+            }
+        }
+    }
+
+    /// Sends `CtrlMsg::Replay { group, Cursor }` on one shard's control
+    /// channel and waits for the producer's `LogInfo` answer, resending
+    /// on the usual subscription-propagation races. Replayed batch frames
+    /// can overtake the answer (the producer streams them right after
+    /// it): they are stashed in the shard's reorder buffer, where normal
+    /// pumping picks them up once `next_expected` rewinds to the replay
+    /// start. A producer that never answers within `recv_timeout` (an
+    /// older build behind a proxy advertising v3, or a log that failed
+    /// after WELCOME) degrades to live-only attach, not an error.
+    fn log_replay_handshake(
+        link: &mut ShardLink,
+        cfg: &ConsumerConfig,
+        id: u64,
+        group: &str,
+        data_unknown: &ts_metrics::Counter,
+    ) -> Result<Option<(u64, u64, u64)>> {
+        let request = CtrlMsg::Replay {
+            consumer_id: id,
+            group: group.to_string(),
+            from: ReplayFrom::Cursor,
+        }
+        .encode();
+        let deadline = Instant::now() + cfg.recv_timeout;
+        loop {
+            link.ctrl
+                .send(Multipart::single(request.clone()))
+                .map_err(|e| TsError::Socket(format!("replay send: {e}")))?;
+            loop {
+                if Instant::now() > deadline {
+                    return Ok(None); // no answer: attach live-only
+                }
+                let msg = match link.sub.recv_timeout(std::time::Duration::from_millis(50)) {
+                    Ok((_, m)) => m,
+                    Err(RecvError::Timeout) => break, // resend the request
+                    Err(RecvError::Closed) => {
+                        return Err(TsError::Socket("producer disconnected".into()))
+                    }
+                };
+                let Some(frame) = msg.frames().first() else {
+                    continue;
+                };
+                let Ok(data) = DataMsg::decode(frame) else {
+                    continue;
+                };
+                match data {
+                    DataMsg::LogInfo {
+                        consumer_id,
+                        start_seq,
+                        start_epoch,
+                        start_index,
+                        ..
+                    } if consumer_id == id => {
+                        return Ok(Some((start_seq, start_epoch, start_index)));
+                    }
+                    DataMsg::Batch(a) => {
+                        // Same filter as `pump`: a stream-mode consumer
+                        // only buffers frames that carry bytes.
+                        if cfg.mode == PayloadMode::Stream
+                            && !matches!(a.content, AnnounceContent::Streamed { .. })
+                        {
+                            continue;
+                        }
+                        link.reorder.insert(a.seq, a);
+                    }
+                    DataMsg::Unknown { tag } => {
+                        let seen_before = data_unknown.fetch_inc();
+                        if seen_before == 0 {
+                            eprintln!(
+                                "tensorsocket: consumer ignoring unknown data tag {tag} \
+                                 (newer producer?)"
+                            );
+                        }
+                    }
+                    _ => {}
+                }
             }
         }
     }

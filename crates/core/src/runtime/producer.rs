@@ -33,8 +33,8 @@ use crate::protocol::flex::plan_flex;
 use crate::protocol::heartbeat::HeartbeatMonitor;
 use crate::protocol::messages::{
     caps, topics, AnnounceContent, ArenaAd, BatchAnnounce, CtrlMsg, DataMsg, FlexBatchPayload,
-    JoinDecision, PayloadMode, StatsPayload, StreamedTensor, TracePayload, WelcomeInfo,
-    HANDSHAKE_VERSION, TRACE_VERSION,
+    JoinDecision, LogAd, PayloadMode, ReplayFrom, StatsPayload, StreamedTensor, TracePayload,
+    WelcomeInfo, HANDSHAKE_VERSION, TRACE_VERSION,
 };
 use crate::protocol::rubberband::{JoinOutcome, RubberbandPolicy};
 use crate::runtime::config::{ProducerConfig, ProducerMap};
@@ -43,11 +43,13 @@ use crate::runtime::coordinator::{EpochCoordinator, GroupJoin};
 use crate::runtime::staging::{FeederMsg, Placement, PreparedItem, StagingEngine};
 use crate::{Result, TsError};
 use crossbeam::channel::{self, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use ts_data::{Batch, DataLoader};
+use ts_log::{BatchLog, CursorStore};
 use ts_metrics::{Counter, Gauge, Histogram, SpanKind, TraceRing};
 use ts_socket::{
     coalescing_cell, CoalescingReceiver, CoalescingSender, Multipart, PubSocket, PullSocket,
@@ -83,6 +85,9 @@ struct StageMetrics {
     /// Cursor offers displaced before any consumer-visible broadcast —
     /// the coalescing working as intended (latest-wins, no backlog).
     cursor_coalesced: Arc<Counter>,
+    /// Bytes the durable-log spiller appended (CRC-framed streamed
+    /// records, written off the publish hot path). 0 with no log bound.
+    log_append_bytes: Arc<Counter>,
 }
 
 impl StageMetrics {
@@ -101,7 +106,89 @@ impl StageMetrics {
             stream_tx_bytes: metrics.counter(&format!("{prefix}stream_tx_bytes")),
             publish_copy_bytes: metrics.counter(&format!("{prefix}publish_copy_bytes")),
             cursor_coalesced: metrics.counter(&format!("{prefix}cursor_coalesced")),
+            log_append_bytes: metrics.counter(&format!("{prefix}log_append_bytes")),
         }
+    }
+}
+
+/// One published batch handed to the durable-log spiller: cheap `Arc`
+/// clones of the live tensors plus the announce metadata. The spiller
+/// encodes the exact streamed wire frame
+/// ([`ProducerLoop::encode_streamed`]'s shape) and appends it, so a log
+/// replay later re-sends the bytes bit-identically to what a streamed
+/// subscriber would have received live.
+struct SpillMsg {
+    seq: u64,
+    epoch: u64,
+    index_in_epoch: u64,
+    last_in_epoch: bool,
+    fields: Vec<Tensor>,
+    labels: Tensor,
+}
+
+/// Producer-side durable-log state: the shared log handle (spiller
+/// appends, control path reads), the persisted consumer-group cursors,
+/// and the spiller thread's plumbing.
+struct LogRuntime {
+    log: Arc<Mutex<BatchLog>>,
+    cursors: CursorStore,
+    /// Dropped at drain to stop the spiller; `None` afterwards.
+    spill_tx: Option<Sender<SpillMsg>>,
+    spiller: Option<std::thread::JoinHandle<()>>,
+    /// `seq + 1` of the last record the spiller durably appended — the
+    /// release gate: a live batch's memory may only go once its bytes are
+    /// in the log (the spiller reads the arena slots while encoding).
+    logged_up_to: Arc<AtomicU64>,
+    /// Set by the spiller on an append failure: logging is disabled for
+    /// the rest of the run (releases proceed, replay stops being offered)
+    /// instead of wedging the pipeline on a bad disk.
+    failed: Arc<AtomicBool>,
+    /// Pre-resolved gauges (`log.` / `log.s<N>.` namespace).
+    lag: Arc<Gauge>,
+    retained_min: Arc<Gauge>,
+    retained_max: Arc<Gauge>,
+}
+
+/// The spiller loop: encode each published batch as its streamed wire
+/// frame and append it to the log, entirely off the publish hot path.
+/// `logged_up_to` advances even past a failed append (with `failed`
+/// latched) so the producer's release gating never wedges on disk errors.
+fn run_spiller(
+    rx: channel::Receiver<SpillMsg>,
+    log: Arc<Mutex<BatchLog>>,
+    logged_up_to: Arc<AtomicU64>,
+    failed: Arc<AtomicBool>,
+    append_bytes: Arc<Counter>,
+    append_errors: Arc<Counter>,
+) {
+    while let Ok(m) = rx.recv() {
+        if !failed.load(Ordering::Relaxed) {
+            let announce = BatchAnnounce {
+                seq: m.seq,
+                epoch: m.epoch,
+                index_in_epoch: m.index_in_epoch,
+                last_in_epoch: m.last_in_epoch,
+                content: AnnounceContent::Streamed {
+                    fields: m.fields.iter().map(StreamedTensor::from_tensor).collect(),
+                    labels: StreamedTensor::from_tensor(&m.labels),
+                },
+            };
+            let frame = DataMsg::Batch(announce).encode();
+            match log.lock().append(m.seq, m.epoch, m.index_in_epoch, &frame) {
+                Ok(()) => append_bytes.add(frame.len() as u64),
+                Err(e) => {
+                    if append_errors.fetch_inc() == 0 {
+                        eprintln!(
+                            "tensorsocket: log append failed at seq {} ({e}) — \
+                             disabling the durable log for this run",
+                            m.seq
+                        );
+                    }
+                    failed.store(true, Ordering::Release);
+                }
+            }
+        }
+        logged_up_to.store(m.seq + 1, Ordering::Release);
     }
 }
 
@@ -577,6 +664,13 @@ impl TensorProducer {
                 return Err(TsError::Config("producer_batch must be >= 1".into()));
             }
         }
+        if cfg.log.is_some() && cfg.flexible.is_some() {
+            return Err(TsError::Config(
+                "durable log and flexible sizing are incompatible: per-consumer carved \
+                 views have no streamed serialization to store"
+                    .into(),
+            ));
+        }
         let publisher = PubSocket::bind(&ctx.sockets, &cfg.data_endpoint())
             .map_err(|e| TsError::Socket(e.to_string()))?;
         let ctrl = PullSocket::bind(&ctx.sockets, &cfg.ctrl_endpoint())
@@ -584,6 +678,16 @@ impl TensorProducer {
         let stop = Arc::new(AtomicBool::new(false));
         let staging = StagingEngine::build(ctx, &cfg, coord.as_ref().map(|_| shard));
         let stage = StageMetrics::new(&ctx.metrics, coord.as_ref().map(|_| shard));
+        let logrt = match &cfg.log {
+            None => None,
+            Some(logcfg) => Some(Self::build_log_runtime(
+                ctx,
+                logcfg,
+                coord.as_ref().map(|_| shard),
+                shard,
+                &stage,
+            )?),
+        };
         let (cursor_tx, cursor_rx) = coalescing_cell();
         let state = ProducerLoop {
             ctx: ctx.clone(),
@@ -599,6 +703,11 @@ impl TensorProducer {
             last_cursor_flush: Instant::now(),
             replaying: false,
             deferred_replays: Vec::new(),
+            logrt,
+            groups: HashMap::new(),
+            log_infos: HashMap::new(),
+            deferred_log_replays: Vec::new(),
+            last_log_sweep: Instant::now(),
             window: BatchWindow::new(0), // re-created in run() with real capacity
             acks: AckTracker::new(),
             hb: HeartbeatMonitor::new(1),
@@ -639,6 +748,79 @@ impl TensorProducer {
         })
     }
 
+    /// Opens the shard's durable batch log and cursor store, spawns the
+    /// spiller thread and pre-resolves the `log.*` gauges.
+    ///
+    /// A non-empty existing log is refused: sequence numbers restart at 0
+    /// every producer run, so appending over a previous run's records
+    /// would serve stale bytes to replaying groups. The log directory is
+    /// per-producer-run; consumer restarts (the crash-resume contract)
+    /// happen within one producer run.
+    fn build_log_runtime(
+        ctx: &TsContext,
+        logcfg: &ts_log::LogConfig,
+        shard_ns: Option<u32>,
+        shard: u32,
+        stage: &StageMetrics,
+    ) -> Result<LogRuntime> {
+        let log =
+            BatchLog::open(logcfg, shard).map_err(|e| TsError::Config(format!("log open: {e}")))?;
+        if log.next_seq().is_some() {
+            return Err(TsError::Config(format!(
+                "log dir {} already holds records from a previous run; point \
+                 .log() at a fresh directory (sequence numbers restart per run)",
+                logcfg.dir.display()
+            )));
+        }
+        let cursors = CursorStore::open(&logcfg.dir)
+            .map_err(|e| TsError::Config(format!("cursor store open: {e}")))?;
+        let logged_up_to = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(Mutex::new(log));
+        let (spill_tx, spill_rx) = channel::unbounded::<SpillMsg>();
+        let spiller = {
+            let log = log.clone();
+            let logged_up_to = logged_up_to.clone();
+            let failed = failed.clone();
+            let append_bytes = stage.log_append_bytes.clone();
+            let append_errors = ctx.metrics.counter("log.append_errors");
+            std::thread::Builder::new()
+                .name(format!("ts-log-spiller-s{shard}"))
+                .spawn(move || {
+                    run_spiller(
+                        spill_rx,
+                        log,
+                        logged_up_to,
+                        failed,
+                        append_bytes,
+                        append_errors,
+                    )
+                })
+                .map_err(|e| TsError::Socket(format!("spawn spiller: {e}")))?
+        };
+        let prefix = match shard_ns {
+            Some(s) => format!("log.s{s}."),
+            None => "log.".to_string(),
+        };
+        let retained_min = ctx.metrics.gauge(&format!("{prefix}retained_min"));
+        let retained_max = ctx.metrics.gauge(&format!("{prefix}retained_max"));
+        // Same inverted-range convention as the WELCOME ad: min > max
+        // reads "log enabled, nothing retained yet" to scrapers.
+        retained_min.set(1.0);
+        retained_max.set(0.0);
+        Ok(LogRuntime {
+            log,
+            cursors,
+            spill_tx: Some(spill_tx),
+            spiller: Some(spiller),
+            logged_up_to,
+            failed,
+            lag: ctx.metrics.gauge(&format!("{prefix}lag")),
+            retained_min,
+            retained_max,
+        })
+    }
+
     /// Requests the producer to stop after the batch in flight.
     pub fn abort(&self) {
         self.stop.store(true, Ordering::Relaxed);
@@ -676,6 +858,9 @@ struct ConsumerInfo {
     /// length-prefixed streaming — negotiated at attach, fixed per
     /// subscription.
     mode: PayloadMode,
+    /// First live-stream sequence this consumer was admitted at: the
+    /// splice point a durable-log replay streams up to (exclusive).
+    start_seq: u64,
 }
 
 /// A published batch whose tensors are still registered.
@@ -714,12 +899,26 @@ struct ProducerLoop {
     cursor_tx: CoalescingSender<(u64, u64, u64)>,
     cursor_rx: CoalescingReceiver<(u64, u64, u64)>,
     last_cursor_flush: Instant,
-    /// True while `replay_to` streams a catch-up: control is drained
-    /// between replayed batches (to observe a mid-replay detach), and a
-    /// Ready landing there must defer its own replay instead of
-    /// recursing.
+    /// True while `replay_to` or `stream_log_replay` streams a catch-up:
+    /// control is drained between replayed batches (to observe a
+    /// mid-replay detach), and a Ready or Replay landing there must defer
+    /// its own replay instead of recursing.
     replaying: bool,
     deferred_replays: Vec<u64>,
+    /// Durable-log state when [`ProducerConfig::log`] is set: spiller,
+    /// cursor store and pre-resolved gauges.
+    logrt: Option<LogRuntime>,
+    /// Consumer id → registered group name, for the ack → cursor-advance
+    /// write-through.
+    groups: HashMap<u64, String>,
+    /// Cached encoded `LogInfo` reply per consumer: a re-sent `Replay`
+    /// request re-answers the cached frame, never a second replay stream.
+    log_infos: HashMap<u64, bytes::Bytes>,
+    /// Log replays `(consumer, from, to)` that landed while another
+    /// replay was streaming; drained in arrival order.
+    deferred_log_replays: Vec<(u64, u64, u64)>,
+    /// Last pin-shed / retention / gauge sweep of the log subsystem.
+    last_log_sweep: Instant,
     window: BatchWindow,
     acks: AckTracker,
     hb: HeartbeatMonitor,
@@ -817,6 +1016,10 @@ impl ProducerLoop {
             } else {
                 caps::SHM | caps::STREAM
             },
+            // The retained range moves with every append and retention
+            // sweep, so the ad is stamped per-HELLO (see the Hello arm),
+            // not baked into the template.
+            log: None,
         });
         if let Some(engine) = &self.staging {
             // Size the slab rotation before the first item is staged:
@@ -1238,12 +1441,25 @@ impl ProducerLoop {
             );
             self.trace.complete(b.epoch, self.shard, seq);
         }
-        if self.pinned.contains(&seq) {
+        if self.pinned.contains(&seq) || !self.durably_logged(seq) {
             if let Some(b) = self.live.get_mut(&seq) {
-                b.releasable = true; // defer: rubberband window still open
+                // Defer: the rubberband window is still open, or the
+                // spiller has not durably appended this batch yet (its
+                // encode reads the arena slots). The log sweep releases
+                // deferred batches — including shed pins — once logged.
+                b.releasable = true;
             }
         } else {
             self.release(seq);
+        }
+    }
+
+    /// True when batch `seq`'s bytes are safely out of the arena: either
+    /// no log is bound, or the spiller has appended past it.
+    fn durably_logged(&self, seq: u64) -> bool {
+        match &self.logrt {
+            None => true,
+            Some(rt) => seq < rt.logged_up_to.load(Ordering::Acquire),
         }
     }
 
@@ -1257,7 +1473,9 @@ impl ProducerLoop {
         self.stage.pin_depth.set(0.0);
         for seq in pinned {
             let releasable = self.live.get(&seq).map(|b| b.releasable).unwrap_or(false);
-            if releasable {
+            // An acked pin the spiller has not caught up with yet keeps
+            // its `releasable` flag; the log sweep frees it once logged.
+            if releasable && self.durably_logged(seq) {
                 self.release(seq);
             }
         }
@@ -1389,6 +1607,22 @@ impl ProducerLoop {
             announce_open,
             self.trace.now_ns(),
         );
+        // Tee the published batch into the durable log: a metadata-only
+        // hand-off (Arc clones) to the spiller thread, which encodes and
+        // appends off this hot path. Release of the batch's memory is
+        // gated on `logged_up_to`, so the spiller always reads live bytes.
+        if let Some(tx) = self.logrt.as_ref().and_then(|rt| rt.spill_tx.as_ref()) {
+            if let Some(live) = self.live.get(&seq) {
+                let _ = tx.send(SpillMsg {
+                    seq,
+                    epoch: self.epoch,
+                    index_in_epoch: live.index_in_epoch,
+                    last_in_epoch: live.last_in_epoch,
+                    fields: live.fields.clone(),
+                    labels: live.labels.clone(),
+                });
+            }
+        }
         self.last_publish = Instant::now();
         // In a group the pin predicate is global: this shard keeps pinning
         // while ANY shard could still admit a joiner (which would replay
@@ -1560,7 +1794,20 @@ impl ProducerLoop {
             if self.cfg.flexible.is_some() {
                 let _ = self.send_flex_to(id, seq);
             } else if mode == PayloadMode::Stream {
-                if let Some(encoded) = self.encode_streamed(seq) {
+                // A shed pin's live entry is gone; its stored log frame IS
+                // the streamed frame, bit-identical.
+                let (encoded, from_log) = match self.encode_streamed(seq) {
+                    Some(e) => (Some(e), false),
+                    None => (self.log_frame(seq), true),
+                };
+                if let Some(encoded) = encoded {
+                    if from_log {
+                        self.ctx.metrics.counter("replay.log_batches").inc();
+                        self.ctx
+                            .metrics
+                            .counter("replay.log_bytes")
+                            .add(encoded.len() as u64);
+                    }
                     self.stage.stream_tx_bytes.add(encoded.len() as u64);
                     let _ = self
                         .publisher
@@ -1585,10 +1832,49 @@ impl ProducerLoop {
                     &topics::consumer(id),
                     Multipart::single(DataMsg::Batch(announce).encode()),
                 );
+            } else if let Some(frame) = self.log_frame(seq) {
+                // Shed pin on the shm path: the live entry was released
+                // once durably logged. Replay the stored streamed frame —
+                // the consumer rebuilds from bytes in any payload mode.
+                self.ctx.metrics.counter("replay.log_batches").inc();
+                self.ctx
+                    .metrics
+                    .counter("replay.log_bytes")
+                    .add(frame.len() as u64);
+                let _ = self
+                    .publisher
+                    .send(&topics::consumer(id), Multipart::single(frame));
             }
             self.stats.batches_replayed += 1;
             self.ctx.metrics.counter("producer.replays").inc();
         }
+    }
+
+    /// The stored wire frame for logged batch `seq`, if the log holds it.
+    fn log_frame(&self, seq: u64) -> Option<bytes::Bytes> {
+        let rt = self.logrt.as_ref()?;
+        rt.log.lock().read(seq).map(bytes::Bytes::from)
+    }
+
+    /// The durable-log section of a WELCOME: `None` with no (healthy)
+    /// log; the inverted range `min > max` advertises a log that has not
+    /// retained anything yet, so group consumers still register replay
+    /// cursors from the very first batch.
+    fn log_ad(&self) -> Option<LogAd> {
+        let rt = self.logrt.as_ref()?;
+        if rt.failed.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(match rt.log.lock().retained_range() {
+            Some((min, max)) => LogAd {
+                retained_min: min,
+                retained_max: max,
+            },
+            None => LogAd {
+                retained_min: 1,
+                retained_max: 0,
+            },
+        })
     }
 
     /// Admits a consumer: reply, track, and (on `replay`) schedule catch-up.
@@ -1600,6 +1886,7 @@ impl ProducerLoop {
                 batch_size,
                 index,
                 mode,
+                start_seq: self.epoch_start_seq,
             },
         );
         self.stats.peak_consumers = self.stats.peak_consumers.max(self.consumers.len());
@@ -1654,6 +1941,7 @@ impl ProducerLoop {
                 batch_size,
                 index,
                 mode,
+                start_seq,
             },
         );
         self.stats.peak_consumers = self.stats.peak_consumers.max(self.consumers.len());
@@ -1684,6 +1972,9 @@ impl ProducerLoop {
         self.consumers.remove(&id);
         self.awaiting_ready.remove(&id);
         self.join_replies.remove(&id);
+        self.groups.remove(&id);
+        self.log_infos.remove(&id);
+        self.deferred_log_replays.retain(|(cid, ..)| *cid != id);
         self.window.remove_consumer(id);
         self.hb.remove(id);
         for seq in self.acks.remove_consumer(id) {
@@ -1728,11 +2019,18 @@ impl ProducerLoop {
                     .inc();
             }
             if let Some(mut info) = self.welcome.clone() {
-                // A v1 caller cannot decode the v2 tail: answer in its
-                // own dialect (the encoder drops the trailing bytes for
-                // version 1, producing the exact v1 frame).
-                if version < 2 {
-                    info.version = 1;
+                // An older caller cannot decode the newer trailing
+                // sections: answer in its own dialect (the encoder drops
+                // the trailing bytes beyond the encoded version, producing
+                // the exact older frame).
+                if version < HANDSHAKE_VERSION {
+                    info.version = version.clamp(1, HANDSHAKE_VERSION);
+                }
+                // Stamp the durable-log ad per HELLO — the retained range
+                // moves with appends and retention. Encoded only into v3+
+                // frames.
+                if info.version >= 3 {
+                    info.log = self.log_ad();
                 }
                 let reply = DataMsg::Welcome { token, info };
                 let _ = self
@@ -1830,7 +2128,22 @@ impl ProducerLoop {
                 if self.acks.on_ack(consumer_id, seq) {
                     self.on_fully_acked(seq);
                 }
+                // Exactly-once resume: advance the consumer's group cursor
+                // write-through on every ack (tmp+rename; a log-replayed
+                // old seq below the stored cursor is ignored as a
+                // regression).
+                let shard = self.shard;
+                if let Some(group) = self.groups.get(&consumer_id) {
+                    if let Some(rt) = &mut self.logrt {
+                        let _ = rt.cursors.advance(group, shard, seq + 1);
+                    }
+                }
             }
+            CtrlMsg::Replay {
+                consumer_id,
+                group,
+                from,
+            } => self.handle_replay(consumer_id, group, from),
             CtrlMsg::Heartbeat { .. } => {}
             CtrlMsg::Leave { consumer_id } => {
                 self.remove_consumer(consumer_id, false);
@@ -1885,6 +2198,14 @@ impl ProducerLoop {
             self.last_watchdog = Instant::now();
             self.watchdog_sweep();
         }
+        // Durable-log sweep: shed fully-acked pins whose bytes are on
+        // disk, apply group-cursor-floored retention, refresh gauges.
+        if self.logrt.is_some()
+            && self.last_log_sweep.elapsed() > std::time::Duration::from_millis(25)
+        {
+            self.last_log_sweep = Instant::now();
+            self.log_sweep();
+        }
         // Expire silent consumers.
         let now = self.now_ns();
         for dead in self.hb.expire(now) {
@@ -1894,6 +2215,48 @@ impl ProducerLoop {
                 self.ctx.metrics.counter("producer.detached").inc();
             }
             self.pending_join.retain(|(id, ..)| *id != dead);
+        }
+    }
+
+    /// One durable-log maintenance sweep (bounded cadence, off the hot
+    /// path): sheds rubberband pins that are fully acked AND durably on
+    /// disk — their live arena slots release while the seq stays pinned,
+    /// so a joiner's catch-up falls back to the stored log frame — then
+    /// applies segment retention floored at the slowest group cursor, and
+    /// refreshes the `log.*` gauges.
+    fn log_sweep(&mut self) {
+        let logged = match &self.logrt {
+            Some(rt) => rt.logged_up_to.load(Ordering::Acquire),
+            None => return,
+        };
+        let shed: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(&seq, b)| b.releasable && seq < logged)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in shed {
+            self.release(seq);
+        }
+        // Pin depth now counts memory-resident pins only: seqs pinned for
+        // replay but backed by the log no longer hold arena slots.
+        let resident = self
+            .pinned
+            .iter()
+            .filter(|s| self.live.contains_key(s))
+            .count();
+        self.stage.pin_depth.set(resident as f64);
+        let next_seq = self.window.next_seq();
+        let shard = self.shard;
+        if let Some(rt) = &mut self.logrt {
+            let floor = rt.cursors.min_cursor(shard);
+            let mut log = rt.log.lock();
+            log.apply_retention(floor);
+            rt.lag.set(next_seq.saturating_sub(logged) as f64);
+            if let Some((min, max)) = log.retained_range() {
+                rt.retained_min.set(min as f64);
+                rt.retained_max.set(max as f64);
+            }
         }
     }
 
@@ -2044,11 +2407,143 @@ impl ProducerLoop {
         }
         self.replaying = true;
         self.replay_to(id);
-        while !self.deferred_replays.is_empty() {
-            let next = self.deferred_replays.remove(0);
-            self.replay_to(next);
-        }
+        self.drain_deferred();
         self.replaying = false;
+    }
+
+    /// Drain queued catch-ups (rubberband pin replays and log-backed
+    /// range replays) in arrival order until both queues are empty.
+    /// Caller must hold `self.replaying = true`.
+    fn drain_deferred(&mut self) {
+        loop {
+            if !self.deferred_replays.is_empty() {
+                let next = self.deferred_replays.remove(0);
+                self.replay_to(next);
+            } else if !self.deferred_log_replays.is_empty() {
+                let (id, from, to) = self.deferred_log_replays.remove(0);
+                self.stream_log_replay(id, from, to);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Answer a `CtrlMsg::Replay` from a consumer group member: resolve
+    /// the replay start (cursor / oldest / explicit, clamped to what the
+    /// log retains and to the consumer's live splice point), register the
+    /// group cursor, send a `LogInfo` describing the plan, then stream
+    /// the logged range `[start, live_seq)` so it splices gaplessly onto
+    /// the live feed that begins at `live_seq`.
+    fn handle_replay(&mut self, id: u64, group: String, from: ReplayFrom) {
+        self.ctx.metrics.counter("producer.replay_requests").inc();
+        if !self.consumers.contains_key(&id) {
+            return; // must be admitted (Join/Welcome) before replaying
+        }
+        // Replay requests are resent until answered; the plan is computed
+        // once and the cached LogInfo frame re-sent byte-identically so a
+        // lost first answer cannot fork the stream.
+        if let Some(frame) = self.log_infos.get(&id) {
+            let frame = frame.clone();
+            let _ = self
+                .publisher
+                .send(&topics::consumer(id), Multipart::single(frame));
+            return;
+        }
+        let live_seq = self.consumers[&id].start_seq;
+        let retained = self
+            .logrt
+            .as_ref()
+            .filter(|rt| !rt.failed.load(Ordering::Acquire))
+            .and_then(|rt| rt.log.lock().retained_range());
+        let (start, start_epoch, start_index, rmin, rmax) = match retained {
+            Some((rmin, rmax)) => {
+                let want = match from {
+                    ReplayFrom::Cursor => self
+                        .logrt
+                        .as_ref()
+                        .and_then(|rt| rt.cursors.load(&group, self.shard))
+                        .unwrap_or(rmin),
+                    ReplayFrom::Oldest => rmin,
+                    ReplayFrom::Seq(n) => n,
+                };
+                let start = want.clamp(rmin, live_seq);
+                let (e, i) = self.replay_position(start, live_seq);
+                (start, e, i, rmin, rmax)
+            }
+            // No log (or spiller failed): nothing to replay, live-only.
+            None => (live_seq, self.pin_epoch, 0, 0, 0),
+        };
+        if let Some(rt) = &mut self.logrt {
+            let _ = rt.cursors.register(&group, self.shard, start);
+        }
+        self.groups.insert(id, group);
+        let info = DataMsg::LogInfo {
+            consumer_id: id,
+            start_seq: start,
+            start_epoch,
+            start_index,
+            live_seq,
+            retained_min: rmin,
+            retained_max: rmax,
+        };
+        let frame = info.encode();
+        self.log_infos.insert(id, frame.clone());
+        let _ = self
+            .publisher
+            .send(&topics::consumer(id), Multipart::single(frame));
+        if start < live_seq {
+            if self.replaying {
+                self.deferred_log_replays.push((id, start, live_seq));
+                return;
+            }
+            self.replaying = true;
+            self.stream_log_replay(id, start, live_seq);
+            self.drain_deferred();
+            self.replaying = false;
+        }
+    }
+
+    /// Epoch/index coordinates of the first replayed batch, so the
+    /// consumer can seed its shard-interleave cursor at the splice point.
+    fn replay_position(&self, start: u64, live_seq: u64) -> (u64, u64) {
+        if start >= live_seq {
+            return (self.pin_epoch, 0);
+        }
+        if let Some(rt) = &self.logrt {
+            if let Some(m) = rt.log.lock().meta(start) {
+                return (m.epoch, m.index_in_epoch);
+            }
+        }
+        if let Some(b) = self.live.get(&start) {
+            return (b.epoch, b.index_in_epoch);
+        }
+        (self.pin_epoch, 0)
+    }
+
+    /// Stream logged frames `[from, to)` to one consumer's topic. Frames
+    /// come straight off the log (already-encoded streamed batches); a
+    /// seq the retention sweep dropped between planning and streaming
+    /// falls back to re-encoding the still-live batch. Control is
+    /// drained between frames so a Leave (consumer dropped mid-replay)
+    /// stops the stream promptly instead of flooding a dead topic.
+    fn stream_log_replay(&mut self, id: u64, from: u64, to: u64) {
+        let replayed = self.ctx.metrics.counter("replay.log_batches");
+        let replayed_bytes = self.ctx.metrics.counter("replay.log_bytes");
+        for seq in from..to {
+            self.poll_ctrl_once();
+            if !self.consumers.contains_key(&id) {
+                break; // left mid-replay: release the stream
+            }
+            let Some(frame) = self.log_frame(seq).or_else(|| self.encode_streamed(seq)) else {
+                continue;
+            };
+            replayed.inc();
+            replayed_bytes.add(frame.len() as u64);
+            let _ = self
+                .publisher
+                .send(&topics::consumer(id), Multipart::single(frame));
+            self.stats.batches_replayed += 1;
+        }
     }
 
     fn handle_join(
@@ -2170,6 +2665,14 @@ impl ProducerLoop {
         while !self.acks.is_empty() && Instant::now() < deadline {
             if self.stop.load(Ordering::Relaxed) || self.consumers.is_empty() || !self.wait_ctrl() {
                 break;
+            }
+        }
+        // Stop the spiller BEFORE releasing slots: it reads arena memory
+        // while encoding queued appends, so every tee must hit disk first.
+        if let Some(rt) = &mut self.logrt {
+            rt.spill_tx = None; // closes the channel; spiller drains + exits
+            if let Some(handle) = rt.spiller.take() {
+                let _ = handle.join();
             }
         }
         let seqs: Vec<u64> = self.live.keys().copied().collect();

@@ -1681,6 +1681,7 @@ fn builder_consumer_surfaces_timeout_as_err_item() {
                         arena: None,
                         endpoint_overrides: Vec::new(),
                         payload_modes: caps::SHM,
+                        log: None,
                     },
                 };
                 publisher

@@ -1,0 +1,481 @@
+//! # ts-log — durable epoch batch log
+//!
+//! An mmap'd, offset-addressed log of published batches, giving the
+//! TensorSocket producer a durable replay source so late or restarted
+//! consumers can catch up at disk speed instead of pinning live arena
+//! slots (the rubberband path).
+//!
+//! ## Layout
+//!
+//! Each shard logs into its own directory of append-only segment files:
+//!
+//! ```text
+//! <dir>/shard-<N>/seg-<base_seq>.tslog    record payloads + index
+//! <dir>/cursors/<group>.s<N>.cursor       per-group resume cursors
+//! ```
+//!
+//! A segment is a fixed-geometry mmap'd file — 4 KiB header, fixed-width
+//! index block, data region — holding a dense range of sequence numbers
+//! starting at its `base_seq`. Records are CRC-framed; the commit
+//! protocol (data, then index entry, then committed count) means
+//! reopening after a crash truncates a torn tail back to the last
+//! complete record. Rotation seals a full segment and opens a successor
+//! at the next sequence number; retention deletes the oldest sealed
+//! segments, but never one that a registered consumer-group cursor still
+//! needs.
+//!
+//! ## Cursors
+//!
+//! A [`CursorStore`] persists, per `(group, shard)`, the next sequence
+//! number the group has not yet acknowledged. Cursor writes are
+//! write-through (tmp + rename per advance), so `kill -9` at any moment
+//! leaves a consistent resume point: restarting with the same group name
+//! replays exactly the unacknowledged suffix.
+//!
+//! The payload bytes stored here are the producer's encoded
+//! streamed-batch frames, written and read verbatim — replay sends the
+//! very bytes a live streamed subscriber would have seen, which is what
+//! makes log-replay-then-live-splice bit-identical.
+
+mod cursor;
+mod mmap;
+mod segment;
+
+pub use cursor::CursorStore;
+pub use segment::{RecordMeta, Segment};
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+/// Errors surfaced by the log.
+#[derive(Debug)]
+pub enum LogError {
+    /// Filesystem or mapping failure.
+    Io(String),
+    /// A file failed structural validation.
+    Corrupt(String),
+    /// Invalid configuration or API misuse.
+    Config(String),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(m) => write!(f, "log io error: {m}"),
+            LogError::Corrupt(m) => write!(f, "log corrupt: {m}"),
+            LogError::Config(m) => write!(f, "log config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Result alias for log operations.
+pub type Result<T> = std::result::Result<T, LogError>;
+
+/// Configuration for a [`BatchLog`].
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Root directory; shard subdirectories and the cursor store live
+    /// under it.
+    pub dir: PathBuf,
+    /// Records per segment before rotation.
+    pub segment_records: u64,
+    /// Data-region bytes per segment before rotation.
+    pub segment_bytes: u64,
+    /// Sealed segments to retain beyond the active one. Retention never
+    /// deletes a segment a registered group cursor still needs,
+    /// whatever this says.
+    pub retain_segments: usize,
+}
+
+impl LogConfig {
+    /// A log rooted at `dir` with default segment geometry (1024 records
+    /// or 64 MiB per segment, 8 sealed segments retained).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        LogConfig {
+            dir: dir.into(),
+            segment_records: 1024,
+            segment_bytes: 64 << 20,
+            retain_segments: 8,
+        }
+    }
+}
+
+/// The append/read half of the log for one shard: a chain of segments
+/// plus rotation and retention.
+///
+/// Single-writer: the producer's spiller thread appends; replay reads go
+/// through the same handle (callers serialize with a mutex). Sequence
+/// numbers are assigned by the caller's publish order and must be dense
+/// and monotonic — [`BatchLog::append`] enforces this.
+pub struct BatchLog {
+    cfg: LogConfig,
+    shard_dir: PathBuf,
+    shard: u32,
+    /// Oldest → newest; the last is the active (unsealed) segment.
+    segments: Vec<Segment>,
+    appended_bytes: u64,
+}
+
+impl BatchLog {
+    /// Opens shard `shard` of the log rooted at `cfg.dir`, creating the
+    /// directory tree on first use and recovering any existing segments
+    /// (each truncates its own torn tail; segments left empty by
+    /// recovery are deleted).
+    pub fn open(cfg: &LogConfig, shard: u32) -> Result<BatchLog> {
+        if cfg.segment_records == 0 || cfg.segment_bytes == 0 {
+            return Err(LogError::Config("segment geometry must be non-zero".into()));
+        }
+        let shard_dir = cfg.dir.join(format!("shard-{shard}"));
+        fs::create_dir_all(&shard_dir)
+            .map_err(|e| LogError::Io(format!("create {}: {e}", shard_dir.display())))?;
+        let mut bases: Vec<u64> = fs::read_dir(&shard_dir)
+            .map_err(|e| LogError::Io(format!("read {}: {e}", shard_dir.display())))?
+            .flatten()
+            .filter_map(|e| Segment::parse_file_name(e.file_name().to_str()?))
+            .collect();
+        bases.sort_unstable();
+        let mut segments = Vec::with_capacity(bases.len());
+        for base in bases {
+            let seg = Segment::open(&shard_dir.join(Segment::file_name(base)))?;
+            segments.push(seg);
+        }
+        // Recovery may leave trailing empty segments (rotation created the
+        // file, crash hit before the first commit): drop them so the next
+        // append re-creates the tail at the right sequence number.
+        while segments.last().is_some_and(|s| s.is_empty()) {
+            let seg = segments.pop().unwrap();
+            let _ = fs::remove_file(seg.path());
+        }
+        // Anything but the last segment is by definition no longer
+        // written; mark sealed so retention can reason uniformly.
+        let n = segments.len();
+        for seg in segments.iter_mut().take(n.saturating_sub(1)) {
+            if !seg.sealed() {
+                seg.seal();
+            }
+        }
+        Ok(BatchLog {
+            cfg: cfg.clone(),
+            shard_dir,
+            shard,
+            segments,
+            appended_bytes: 0,
+        })
+    }
+
+    /// The shard this log handle serves.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Appends the record for `seq` (an encoded streamed-batch frame).
+    /// `seq` must be exactly [`BatchLog::next_seq`] when the log is
+    /// non-empty; the first append fixes the log's origin.
+    pub fn append(
+        &mut self,
+        seq: u64,
+        epoch: u64,
+        index_in_epoch: u64,
+        payload: &[u8],
+    ) -> Result<()> {
+        if let Some(next) = self.next_seq() {
+            if seq != next {
+                return Err(LogError::Config(format!(
+                    "non-contiguous append: got seq {seq}, expected {next}"
+                )));
+            }
+        }
+        if self
+            .segments
+            .last()
+            .is_none_or(|s| !s.has_room(payload.len()))
+        {
+            self.rotate(seq, payload.len())?;
+        }
+        let seg = self.segments.last_mut().unwrap();
+        seg.append(epoch, index_in_epoch, payload)?;
+        self.appended_bytes += payload.len() as u64;
+        Ok(())
+    }
+
+    fn rotate(&mut self, base_seq: u64, min_data: usize) -> Result<()> {
+        if let Some(last) = self.segments.last_mut() {
+            last.seal();
+        }
+        // A payload larger than the configured segment size gets a
+        // segment grown to fit rather than an error.
+        let data_cap = self.cfg.segment_bytes.max(min_data as u64);
+        let seg = Segment::create(
+            &self.shard_dir,
+            self.shard,
+            base_seq,
+            self.cfg.segment_records,
+            data_cap,
+        )?;
+        self.segments.push(seg);
+        Ok(())
+    }
+
+    /// Reads the payload stored for `seq`, if retained.
+    pub fn read(&self, seq: u64) -> Option<Vec<u8>> {
+        self.find(seq)?.read(seq)
+    }
+
+    /// Reads the index metadata stored for `seq`, if retained.
+    pub fn meta(&self, seq: u64) -> Option<RecordMeta> {
+        self.find(seq)?.meta(seq)
+    }
+
+    fn find(&self, seq: u64) -> Option<&Segment> {
+        let i = self
+            .segments
+            .partition_point(|s| s.base_seq() <= seq)
+            .checked_sub(1)?;
+        Some(&self.segments[i])
+    }
+
+    /// The inclusive range of retained sequence numbers, oldest to
+    /// newest, or `None` while the log is empty.
+    pub fn retained_range(&self) -> Option<(u64, u64)> {
+        let first = self.segments.first()?.base_seq();
+        let last = self.segments.last()?.next_seq().checked_sub(1)?;
+        if last < first {
+            return None;
+        }
+        Some((first, last))
+    }
+
+    /// One past the newest logged sequence number.
+    pub fn next_seq(&self) -> Option<u64> {
+        self.segments.last().map(|s| s.next_seq())
+    }
+
+    /// Total payload bytes appended through this handle (not persisted;
+    /// resets on reopen).
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Number of live segment files.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Deletes the oldest sealed segments past the configured retention
+    /// budget. A segment survives regardless of the budget while
+    /// `cursor_floor` (the minimum registered group cursor) still points
+    /// at or below its newest record; the active segment is never
+    /// deleted. Returns how many segments were removed.
+    pub fn apply_retention(&mut self, cursor_floor: Option<u64>) -> usize {
+        let mut removed = 0;
+        while self.segments.len() > self.cfg.retain_segments + 1 {
+            let oldest = &self.segments[0];
+            if !oldest.sealed() {
+                break;
+            }
+            let end = oldest.next_seq(); // first seq the *next* segment holds
+            if cursor_floor.is_some_and(|floor| floor < end) {
+                break;
+            }
+            let seg = self.segments.remove(0);
+            let _ = fs::remove_file(seg.path());
+            removed += 1;
+        }
+        removed
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the frame check used by
+/// segment records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Nibble-wise table keeps the const table tiny; throughput is fine
+    // for the spiller (one pass per append, off the publish hot path).
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1db7_1064,
+        0x3b6e_20c8,
+        0x26d9_30ac,
+        0x76dc_4190,
+        0x6b6b_51f4,
+        0x4db2_6158,
+        0x5005_713c,
+        0xedb8_8320,
+        0xf00f_9344,
+        0xd6d6_a3e8,
+        0xcb61_b38c,
+        0x9b64_c2b0,
+        0x86d3_d2d4,
+        0xa00a_e278,
+        0xbdbd_f21c,
+    ];
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0x0f) as usize] ^ (crc >> 4);
+        crc = TABLE[((crc ^ (b as u32 >> 4)) & 0x0f) as usize] ^ (crc >> 4);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ts-log-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn payload(seq: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (seq as u8).wrapping_add(i as u8))
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values from the IEEE 802.3 polynomial.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn append_read_round_trip_across_rotation() {
+        let dir = tmp_dir("roundtrip");
+        let mut cfg = LogConfig::new(&dir);
+        cfg.segment_records = 4;
+        cfg.segment_bytes = 256;
+        let mut log = BatchLog::open(&cfg, 0).unwrap();
+        for seq in 10..30u64 {
+            log.append(seq, seq / 8, seq % 8, &payload(seq, 48))
+                .unwrap();
+        }
+        assert!(log.segment_count() > 1, "expected rotation");
+        assert_eq!(log.retained_range(), Some((10, 29)));
+        for seq in 10..30u64 {
+            assert_eq!(log.read(seq).unwrap(), payload(seq, 48));
+            let meta = log.meta(seq).unwrap();
+            assert_eq!((meta.epoch, meta.index_in_epoch), (seq / 8, seq % 8));
+        }
+        assert_eq!(log.read(9), None);
+        assert_eq!(log.read(30), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_preserves_contents_and_continues_sequence() {
+        let dir = tmp_dir("reopen");
+        let mut cfg = LogConfig::new(&dir);
+        cfg.segment_records = 4;
+        cfg.segment_bytes = 1024;
+        {
+            let mut log = BatchLog::open(&cfg, 2).unwrap();
+            for seq in 0..6u64 {
+                log.append(seq, 0, seq, &payload(seq, 32)).unwrap();
+            }
+        }
+        let mut log = BatchLog::open(&cfg, 2).unwrap();
+        assert_eq!(log.retained_range(), Some((0, 5)));
+        assert_eq!(log.next_seq(), Some(6));
+        for seq in 0..6u64 {
+            assert_eq!(log.read(seq).unwrap(), payload(seq, 32));
+        }
+        assert!(log.append(9, 1, 0, b"gap").is_err(), "gap must be rejected");
+        log.append(6, 1, 0, &payload(6, 32)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_complete_record() {
+        let dir = tmp_dir("torn");
+        let cfg = LogConfig::new(&dir);
+        {
+            let mut log = BatchLog::open(&cfg, 0).unwrap();
+            for seq in 0..5u64 {
+                log.append(seq, 0, seq, &payload(seq, 64)).unwrap();
+            }
+        }
+        // Corrupt one payload byte of record 3 on disk: recovery must keep
+        // 0..=2 and drop 3..=4 (the CRC no longer matches).
+        let seg_path = dir.join("shard-0").join(Segment::file_name(0));
+        let mut bytes = fs::read(&seg_path).unwrap();
+        let data_base = segment::HEADER_BYTES + 1024 * segment::ENTRY_BYTES;
+        bytes[data_base + 3 * 64 + 10] ^= 0xff;
+        fs::write(&seg_path, &bytes).unwrap();
+        let log = BatchLog::open(&cfg, 0).unwrap();
+        assert_eq!(log.retained_range(), Some((0, 2)));
+        assert_eq!(log.read(2).unwrap(), payload(2, 64));
+        assert_eq!(log.read(3), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_respects_cursor_floor() {
+        let dir = tmp_dir("retention");
+        let mut cfg = LogConfig::new(&dir);
+        cfg.segment_records = 2;
+        cfg.segment_bytes = 1024;
+        cfg.retain_segments = 1;
+        let mut log = BatchLog::open(&cfg, 0).unwrap();
+        for seq in 0..10u64 {
+            log.append(seq, 0, seq, &payload(seq, 16)).unwrap();
+        }
+        // 5 segments of 2 records. A cursor at 1 protects everything.
+        assert_eq!(log.apply_retention(Some(1)), 0);
+        assert_eq!(log.retained_range(), Some((0, 9)));
+        // A cursor at 5 lets segments [0,1] and [2,3] go.
+        assert_eq!(log.apply_retention(Some(5)), 2);
+        assert_eq!(log.retained_range(), Some((4, 9)));
+        // No registered cursors: trim to the retention budget.
+        assert_eq!(log.apply_retention(None), 1);
+        assert_eq!(log.retained_range(), Some((6, 9)));
+        // Active segment survives even with an absurd floor.
+        assert!(log.apply_retention(Some(u64::MAX)) <= 1);
+        assert!(log.retained_range().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_payload_gets_grown_segment() {
+        let dir = tmp_dir("grown");
+        let mut cfg = LogConfig::new(&dir);
+        cfg.segment_bytes = 64;
+        let mut log = BatchLog::open(&cfg, 0).unwrap();
+        let big = payload(0, 1000);
+        log.append(0, 0, 0, &big).unwrap();
+        assert_eq!(log.read(0).unwrap(), big);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cursor_store_round_trips_and_floors() {
+        let dir = tmp_dir("cursors");
+        {
+            let mut store = CursorStore::open(&dir).unwrap();
+            assert!(store.advance("trial-a", 0, 7).unwrap());
+            assert!(store.advance("trial-b", 0, 3).unwrap());
+            assert!(!store.advance("trial-a", 0, 5).unwrap(), "no regression");
+            store.register("trial-c", 1, 0).unwrap();
+        }
+        let store = CursorStore::open(&dir).unwrap();
+        assert_eq!(store.load("trial-a", 0), Some(7));
+        assert_eq!(store.load("trial-b", 0), Some(3));
+        assert_eq!(store.min_cursor(0), Some(3));
+        assert_eq!(store.min_cursor(1), Some(0));
+        assert_eq!(store.min_cursor(9), None);
+        assert_eq!(store.groups(), vec!["trial-a", "trial-b", "trial-c"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -215,6 +215,25 @@
 //! h2d-bound, ack-bound, or consumer-straggler with the offending
 //! consumer id) into `watchdog.stalls.*` and the stats-snapshot verdict.
 //! The sixth act below replays a batch's whole life from the recorder.
+//!
+//! # Crash-and-resume: the durable batch log
+//!
+//! Rubberband pins only reach back to the current epoch's start, and only
+//! while the producer keeps them pinned. `.log(dir)` adds the durable
+//! tier: a background spiller tees every published batch into an
+//! append-only, CRC-framed segment log (`ts-log`) keyed by `(epoch,
+//! shard, seq)` — off the hot path, so `stage.publish_copy_bytes` stays
+//! 0 — and once a batch is durably logged its rubberband pin becomes
+//! sheddable. A consumer that names a **group** (`.group("trainers")`)
+//! gets a persisted cursor that advances with its acks; when a group
+//! member dies — a clean drop here, `kill -9` in
+//! `tests/log_replay_multi_process.rs` — the next consumer to attach
+//! under the same group name replays everything from that cursor out of
+//! the log (as streamed frames, bit-identical to the live wire shape)
+//! and splices onto the live stream with no seam and no re-delivery of
+//! acked work. `examples/replay_smoke.rs` runs the same machinery for a
+//! *fresh* group attaching mid-run (full-from-offset replay). The
+//! seventh act below kills and resumes a trainer mid-epoch.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -646,4 +665,122 @@ fn main() {
         "ok: the flight recorder replayed a batch's whole life — run \
          `ts-top --trace out.json <endpoint>` for the Chrome-trace view"
     );
+
+    // ---- act seven: crash-and-resume through the durable batch log ----
+    // `.log(dir)` tees every published batch into the ts-log segments;
+    // `.group("trainers")` gives a consumer a persisted cursor. A trainer
+    // that dies mid-epoch is resumed by the next consumer attaching under
+    // the same group name: the producer replays the un-acked range out of
+    // the log and splices it onto the live stream, byte-identically.
+    let ctx = TsContext::host_only();
+    let log_dir = std::env::temp_dir().join(format!("ts-quickstart-{}.log", std::process::id()));
+    let _ = std::fs::remove_dir_all(&log_dir);
+    let dataset = Arc::new(SyntheticImageDataset::new(512, 32, 32, 7).with_encoded_len(2_048));
+    let loader = DataLoader::new(
+        dataset,
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 2,
+            shuffle: true,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    const ACT7_EPOCHS: u64 = 3;
+    const ACT7_PER_EPOCH: u64 = 512 / 32;
+    let producer = Producer::builder()
+        .context(&ctx)
+        .endpoint("inproc://tensorsocket-logged")
+        .epochs(ACT7_EPOCHS)
+        .rubberband_cutoff(1.0) // admit the resumer mid-epoch, not at the boundary
+        .log(&log_dir) // the durable tier
+        .spawn(loader)
+        .expect("spawn logged producer");
+
+    // A second trainer stands in for the rest of the fleet: it keeps the
+    // run alive across the crash, pausing just past the victim's exit so
+    // the producer cannot finish before the group resumes.
+    let successor_up = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let fleet = {
+        let ctx = ctx.clone();
+        let successor_up = successor_up.clone();
+        std::thread::spawn(move || {
+            let mut consumer = Consumer::builder()
+                .context(&ctx)
+                .connect("inproc://tensorsocket-logged")
+                .expect("connect fleet consumer");
+            let mut stream = Vec::new();
+            for batch in consumer.by_ref() {
+                let batch = batch.expect("clean stream");
+                stream.push((batch.seq, ops::checksum(&batch.fields[0])));
+                while stream.len() as u64 > ACT7_PER_EPOCH * 3 / 2
+                    && !successor_up.load(std::sync::atomic::Ordering::Acquire)
+                {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            stream
+        })
+    };
+
+    // The doomed trainer: consumes one and a half epochs, then "crashes"
+    // (drops mid-stream — see tests/log_replay_multi_process.rs for the
+    // real SIGKILL variant; the cursor machinery is identical).
+    let mut victim = Consumer::builder()
+        .context(&ctx)
+        .group("trainers")
+        .connect("inproc://tensorsocket-logged")
+        .expect("connect doomed trainer");
+    let mut victim_stream = Vec::new();
+    for batch in victim.by_ref() {
+        let batch = batch.expect("clean stream");
+        victim_stream.push((batch.seq, ops::checksum(&batch.fields[0])));
+        if victim_stream.len() as u64 >= ACT7_PER_EPOCH * 3 / 2 {
+            break;
+        }
+    }
+    drop(victim);
+    println!(
+        "[logged] trainer died after {} batches — resuming group \"trainers\"",
+        victim_stream.len()
+    );
+
+    // Same group, new consumer: picks up at the persisted cursor.
+    let mut successor = Consumer::builder()
+        .context(&ctx)
+        .group("trainers")
+        .connect("inproc://tensorsocket-logged")
+        .expect("connect resuming trainer");
+    successor_up.store(true, std::sync::atomic::Ordering::Release);
+    let mut resumed = Vec::new();
+    for batch in successor.by_ref() {
+        let batch = batch.expect("clean stream");
+        resumed.push((batch.seq, ops::checksum(&batch.fields[0])));
+    }
+    drop(successor);
+    let full = fleet.join().expect("fleet consumer");
+    producer.join().expect("logged producer");
+
+    // Victim prefix + successor tail, deduplicated on seq, is exactly the
+    // uninterrupted stream — no holes, identical payload bytes.
+    let mut merged: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for &(seq, sum) in victim_stream.iter().chain(resumed.iter()) {
+        let prev = merged.insert(seq, sum);
+        assert!(
+            prev.is_none_or(|p| p == sum),
+            "re-delivered batch diverged at seq {seq}"
+        );
+    }
+    assert_eq!(
+        merged,
+        full.into_iter().collect(),
+        "crash + resume must reproduce the uninterrupted stream exactly"
+    );
+    println!(
+        "[logged] resumed at seq {} — {} batches replayed from the log, group made whole",
+        resumed.first().map(|&(s, _)| s).unwrap_or(0),
+        ctx.metrics.counter("replay.log_batches").get(),
+    );
+    let _ = std::fs::remove_dir_all(&log_dir);
+    println!("ok: a dead trainer's group resumed from its durable cursor with zero lost batches");
 }

@@ -277,6 +277,69 @@ fn fmt_uptime(ns: u64) -> String {
     format!("{:02}:{:02}:{:02}", s / 3600, (s / 60) % 60, s % 60)
 }
 
+/// Metric families this build of ts-top knows about. Anything else came
+/// from a newer producer: warned once per family on stderr, and rendered
+/// (and exported in `--json`) like every other metric — pass-through,
+/// never dropped.
+const KNOWN_FAMILIES: &[&str] = &[
+    "stage", "staging", "consumer", "producer", "watchdog", "trace", "log", "replay",
+];
+
+fn warn_unknown_families(stats: &StatsPayload, warned: &mut std::collections::HashSet<String>) {
+    let gauges = stats.gauges();
+    let names = stats
+        .counters
+        .iter()
+        .map(|(n, _)| n.clone())
+        .chain(gauges.iter().map(|(n, _)| n.clone()))
+        .chain(stats.histograms.iter().map(|(n, _)| n.clone()));
+    for name in names {
+        let family = name.split('.').next().unwrap_or(&name).to_string();
+        if !KNOWN_FAMILIES.contains(&family.as_str()) && warned.insert(family.clone()) {
+            eprintln!(
+                "ts-top: unknown metric family \"{family}\" (newer producer?) — \
+                 passing it through unrendered-but-included"
+            );
+        }
+    }
+}
+
+/// The durable-log header line, when the scraped producer keeps one:
+/// per-shard retained offset range and append lag, read from the
+/// `log.[s<N>.]retained_min/retained_max/lag` gauges. The inverted range
+/// `min > max` is the producer's "enabled, nothing retained yet" ad.
+fn log_header(stats: &StatsPayload) -> Option<String> {
+    let gauges = stats.gauges();
+    let get = |name: &str| gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let mut prefixes: Vec<String> = gauges
+        .iter()
+        .filter_map(|(n, _)| n.strip_suffix("retained_max").map(str::to_string))
+        .filter(|p| p.starts_with("log."))
+        .collect();
+    if prefixes.is_empty() {
+        return None;
+    }
+    prefixes.sort();
+    let mut parts = Vec::new();
+    for p in prefixes {
+        let min = get(&format!("{p}retained_min")).unwrap_or(0.0);
+        let max = get(&format!("{p}retained_max")).unwrap_or(0.0);
+        let lag = get(&format!("{p}lag")).unwrap_or(0.0);
+        let shard = p.trim_start_matches("log.").trim_end_matches('.');
+        let label = if shard.is_empty() {
+            String::new()
+        } else {
+            format!("{shard} ")
+        };
+        if min > max {
+            parts.push(format!("{label}retained (empty) lag {lag:.0}"));
+        } else {
+            parts.push(format!("{label}retained [{min:.0}, {max:.0}] lag {lag:.0}"));
+        }
+    }
+    Some(format!("log: {}", parts.join(" | ")))
+}
+
 fn render_tables(endpoint: &str, stats: &StatsPayload, prev: Option<&StatsPayload>) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -287,6 +350,9 @@ fn render_tables(endpoint: &str, stats: &StatsPayload, prev: Option<&StatsPayloa
     );
     if !stats.verdict.is_empty() {
         let _ = writeln!(out, "watchdog: {}", stats.verdict);
+    }
+    if let Some(line) = log_header(stats) {
+        let _ = writeln!(out, "{line}");
     }
     out.push('\n');
     let mut lat = Table::new(
@@ -364,9 +430,13 @@ fn main() {
         }
         return;
     }
+    let mut warned_families = std::collections::HashSet::new();
     if args.json {
         match scrape_stats(&ctx, &args.endpoint, args.timeout) {
-            Ok(stats) => println!("{}", to_json(&stats)),
+            Ok(stats) => {
+                warn_unknown_families(&stats, &mut warned_families);
+                println!("{}", to_json(&stats));
+            }
             Err(e) => {
                 eprintln!("ts-top: scrape failed: {e}");
                 std::process::exit(1);
@@ -379,6 +449,7 @@ fn main() {
     loop {
         match scrape_stats(&ctx, &args.endpoint, args.timeout) {
             Ok(stats) => {
+                warn_unknown_families(&stats, &mut warned_families);
                 // Clear screen + home, like top(1).
                 print!(
                     "\x1b[2J\x1b[H{}",
