@@ -313,18 +313,34 @@
 //! * a consumer attaching with [`ConsumerBuilder::group`] sends
 //!   [`CtrlMsg::Replay`]`{ group, from }` per shard after admission;
 //! * the producer answers `LogInfo` naming the resolved replay start
-//!   (the group's persisted cursor, clamped to the retained range and
-//!   the consumer's live splice point) and streams the logged range —
-//!   the stored frames ARE streamed-payload wire frames, so both shm
-//!   and streamed consumers ingest them — which splices gaplessly onto
-//!   the live stream admitted at `start_seq`;
-//! * every ack advances the group's cursor, persisted write-through in
-//!   `ts-log`'s [`ts_log::CursorStore`] (tmp+rename atomic), so a
-//!   consumer killed mid-epoch (`kill -9` included) and restarted with
-//!   the same group name resumes **exactly once** from its last acked
-//!   batch, byte-identical to an uninterrupted run;
-//! * retention never outruns the slowest group: segment reclamation is
-//!   floored at the minimum persisted cursor.
+//!   (the group's persisted cursor, floored at the retained range and
+//!   capped at the consumer's live splice point) and streams the logged
+//!   range — the stored frames ARE streamed-payload wire frames, so
+//!   both shm and streamed consumers ingest them — which splices
+//!   gaplessly onto the live stream admitted at `start_seq`;
+//! * every ack advances the group's cursor in `ts-log`'s
+//!   [`ts_log::CursorStore`], persisted at a bounded ~25 ms cadence
+//!   (each write tmp+rename atomic), so a consumer killed mid-epoch
+//!   (`kill -9` included) and restarted with the same group name
+//!   resumes from its last *persisted* ack — at most one flush interval
+//!   of batches is re-delivered, and re-delivery is idempotent
+//!   (cursor regressions are ignored), so the merged stream stays
+//!   byte-identical to an uninterrupted run;
+//! * resume is cursor-exact when the rejoining member is the only
+//!   consumer (admitted at the current stream position, logged gap
+//!   replayed). Rejoining **alongside active consumers** admits on the
+//!   rubberband path at the epoch start, so the current epoch is
+//!   re-delivered from its first batch — epoch-coherent rather than
+//!   cursor-exact, with the already-acked prefix ignored as cursor
+//!   regressions;
+//! * retention never outruns a reader: segment reclamation is floored
+//!   at the minimum persisted cursor AND the oldest rubberband pin
+//!   (shed pins replay from their log frames, so those segments must
+//!   outlive the pin set);
+//! * durability is scoped to process crash: host power loss can reorder
+//!   page writeback against the log's commit protocol — see `ts-log`'s
+//!   crate-level *Durability* section ([`ts_log::BatchLog::sync`] is
+//!   the opt-in power-fail barrier).
 //!
 //! ```no_run
 //! # use tensorsocket::{Producer, Consumer};

@@ -645,8 +645,13 @@ impl ConsumerBuilder {
     /// and resumes from the group's persisted cursor — a consumer
     /// restarted after a crash (`kill -9` included) replays the logged
     /// range it never acked, then splices onto the live stream
-    /// byte-identically. Without a log (or on older producers) the name
-    /// is inert and the consumer joins live-only.
+    /// byte-identically. Resume is cursor-exact when this is the only
+    /// consumer; rejoining alongside active consumers re-delivers the
+    /// current epoch from its start (epoch-coherent — the rubberband
+    /// admission point caps the replay cursor; already-acked batches are
+    /// re-delivered identically and leave the cursor untouched). Without
+    /// a log (or on older producers) the name is inert and the consumer
+    /// joins live-only.
     pub fn group(mut self, name: impl Into<String>) -> Self {
         self.cfg.group = Some(name.into());
         self

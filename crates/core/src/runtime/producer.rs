@@ -192,6 +192,17 @@ fn run_spiller(
     }
 }
 
+/// Resolves where a log-backed replay starts: the requested position,
+/// floored at what the log retains and capped at the consumer's live
+/// splice point. Deliberately not `Ord::clamp` — `clamp` asserts
+/// `min <= max`, and `retained_min > live_seq` is reachable from remote
+/// input (an arbitrary `ReplayFrom::Seq`, or retention racing a join),
+/// which must degrade to "nothing replayable behind the splice point"
+/// (`start == live_seq`), never a panic on the producer control loop.
+pub(crate) fn replay_start(want: u64, retained_min: u64, live_seq: u64) -> u64 {
+    want.max(retained_min).min(live_seq)
+}
+
 /// Per-sample tensor geometry, the hint [`crate::Producer`]'s builder
 /// uses to auto-size the shared-memory arena and its recycling slot pool
 /// from the loader instead of user-computed depths.
@@ -1454,8 +1465,11 @@ impl ProducerLoop {
         }
     }
 
-    /// True when batch `seq`'s bytes are safely out of the arena: either
-    /// no log is bound, or the spiller has appended past it.
+    /// True when the spiller no longer needs batch `seq`'s arena bytes:
+    /// either no log is bound, or the spiller has moved past it. This is
+    /// the memory-release gate only — `logged_up_to` advances past failed
+    /// appends, so this is NOT proof the bytes are in the log; the log
+    /// sweep makes that distinction when shedding pins (replay sources).
     fn durably_logged(&self, seq: u64) -> bool {
         match &self.logrt {
             None => true,
@@ -2129,13 +2143,17 @@ impl ProducerLoop {
                     self.on_fully_acked(seq);
                 }
                 // Exactly-once resume: advance the consumer's group cursor
-                // write-through on every ack (tmp+rename; a log-replayed
-                // old seq below the stored cursor is ignored as a
-                // regression).
+                // in memory on every ack (a log-replayed old seq below the
+                // stored cursor is ignored as a regression); the log sweep
+                // persists the coalesced value at its ~25ms cadence, so a
+                // crash re-delivers at most one sweep interval of acked
+                // batches — which acks already tolerate as regressions —
+                // instead of paying tmp+rename syscalls per ack on the
+                // control path.
                 let shard = self.shard;
                 if let Some(group) = self.groups.get(&consumer_id) {
                     if let Some(rt) = &mut self.logrt {
-                        let _ = rt.cursors.advance(group, shard, seq + 1);
+                        rt.cursors.advance_mem(group, shard, seq + 1);
                     }
                 }
             }
@@ -2222,17 +2240,31 @@ impl ProducerLoop {
     /// path): sheds rubberband pins that are fully acked AND durably on
     /// disk — their live arena slots release while the seq stays pinned,
     /// so a joiner's catch-up falls back to the stored log frame — then
-    /// applies segment retention floored at the slowest group cursor, and
-    /// refreshes the `log.*` gauges.
+    /// flushes coalesced group-cursor advances and applies segment
+    /// retention floored at the slowest group cursor AND the oldest
+    /// rubberband pin, and refreshes the `log.*` gauges.
     fn log_sweep(&mut self) {
-        let logged = match &self.logrt {
-            Some(rt) => rt.logged_up_to.load(Ordering::Acquire),
+        let (logged, log_failed) = match &self.logrt {
+            Some(rt) => (
+                rt.logged_up_to.load(Ordering::Acquire),
+                rt.failed.load(Ordering::Acquire),
+            ),
             None => return,
         };
+        // `logged_up_to` advances past failed appends (so release gating
+        // never wedges on a bad disk), which makes `seq < logged` alone
+        // NOT proof the bytes are in the log. A pinned batch is the
+        // rubberband replay source — once the log has failed it must stay
+        // memory-resident or a joiner's catch-up would silently skip it.
+        // Non-pinned releasable batches only wait for the spiller to be
+        // past them (it reads arena memory while encoding); those still
+        // free normally after a failure.
         let shed: Vec<u64> = self
             .live
             .iter()
-            .filter(|(&seq, b)| b.releasable && seq < logged)
+            .filter(|(&seq, b)| {
+                b.releasable && seq < logged && !(log_failed && self.pinned.contains(&seq))
+            })
             .map(|(&seq, _)| seq)
             .collect();
         for seq in shed {
@@ -2248,10 +2280,28 @@ impl ProducerLoop {
         self.stage.pin_depth.set(resident as f64);
         let next_seq = self.window.next_seq();
         let shard = self.shard;
+        // A shed pin's log frame IS its replay source, so retention must
+        // not outrun the pin set any more than the group cursors: floor
+        // reclamation at the oldest pinned seq while the join window is
+        // open. (Without this, an epoch longer than the segment budget
+        // lets retention trim into the pinned range and a mid-epoch
+        // joiner's catch-up would find neither live bytes nor log frame.)
+        let pin_floor = self.pinned.iter().min().copied();
         if let Some(rt) = &mut self.logrt {
-            let floor = rt.cursors.min_cursor(shard);
+            // Acks advance cursors in memory only; persist the coalesced
+            // values here, BEFORE retention, so the on-disk resume point
+            // is never behind a reclamation decision. If a flush fails,
+            // skip retention this sweep rather than delete segments a
+            // stale on-disk cursor may still need after a crash.
+            let cursors_clean = rt.cursors.flush().is_ok();
+            let floor = match (rt.cursors.min_cursor(shard), pin_floor) {
+                (Some(c), Some(p)) => Some(c.min(p)),
+                (c, p) => c.or(p),
+            };
             let mut log = rt.log.lock();
-            log.apply_retention(floor);
+            if cursors_clean {
+                log.apply_retention(floor);
+            }
             rt.lag.set(next_seq.saturating_sub(logged) as f64);
             if let Some((min, max)) = log.retained_range() {
                 rt.retained_min.set(min as f64);
@@ -2429,11 +2479,22 @@ impl ProducerLoop {
     }
 
     /// Answer a `CtrlMsg::Replay` from a consumer group member: resolve
-    /// the replay start (cursor / oldest / explicit, clamped to what the
-    /// log retains and to the consumer's live splice point), register the
-    /// group cursor, send a `LogInfo` describing the plan, then stream
-    /// the logged range `[start, live_seq)` so it splices gaplessly onto
-    /// the live feed that begins at `live_seq`.
+    /// the replay start (cursor / oldest / explicit, floored at what the
+    /// log retains and capped at the consumer's live splice point),
+    /// register the group cursor, send a `LogInfo` describing the plan,
+    /// then stream the logged range `[start, live_seq)` so it splices
+    /// gaplessly onto the live feed that begins at `live_seq`.
+    ///
+    /// Resume semantics depend on the admission path. A sole consumer is
+    /// admitted at the current stream position (`admit_at_current`), so
+    /// `live_seq` is ahead of its cursor and the logged gap is replayed:
+    /// exactly-once from the last acked batch. A member rejoining while
+    /// other consumers are active is admitted on the rubberband path with
+    /// `live_seq = epoch_start_seq`; a cursor already past that point is
+    /// capped down to it, and the rubberband replay re-delivers the
+    /// current epoch from its start — **epoch-coherent** rather than
+    /// cursor-exact. Re-delivered seqs below the stored cursor are
+    /// ignored as cursor regressions, so the cursor never moves backward.
     fn handle_replay(&mut self, id: u64, group: String, from: ReplayFrom) {
         self.ctx.metrics.counter("producer.replay_requests").inc();
         if !self.consumers.contains_key(&id) {
@@ -2466,7 +2527,7 @@ impl ProducerLoop {
                     ReplayFrom::Oldest => rmin,
                     ReplayFrom::Seq(n) => n,
                 };
-                let start = want.clamp(rmin, live_seq);
+                let start = replay_start(want, rmin, live_seq);
                 let (e, i) = self.replay_position(start, live_seq);
                 (start, e, i, rmin, rmax)
             }
@@ -2674,6 +2735,9 @@ impl ProducerLoop {
             if let Some(handle) = rt.spiller.take() {
                 let _ = handle.join();
             }
+            // Persist any cursor advances the sweep has not flushed yet:
+            // the final acks of a run land between sweeps.
+            let _ = rt.cursors.flush();
         }
         let seqs: Vec<u64> = self.live.keys().copied().collect();
         for seq in seqs {

@@ -2232,3 +2232,20 @@ fn unknown_data_tag_is_counted_and_skipped_by_the_consumer() {
     drop(consumer);
     fake.join().unwrap();
 }
+
+#[test]
+fn replay_start_never_panics_when_retention_outruns_the_splice_point() {
+    use crate::runtime::producer::replay_start;
+    // The regression: `Ord::clamp(rmin, live_seq)` asserts min <= max and
+    // panicked the producer control loop when retention had trimmed past
+    // a rubberband joiner's splice point (rmin > live_seq). The resolver
+    // must degrade to "nothing replayable behind the splice point".
+    assert_eq!(replay_start(96, 96, 0), 0, "cursor-less want = rmin");
+    assert_eq!(replay_start(0, 96, 40), 40, "explicit seq behind retention");
+    assert_eq!(replay_start(u64::MAX, 96, 40), 40, "absurd remote seq");
+    // Ordinary resolutions are unchanged.
+    assert_eq!(replay_start(5, 2, 10), 5, "in-range want wins");
+    assert_eq!(replay_start(1, 2, 10), 2, "floored at retained_min");
+    assert_eq!(replay_start(50, 2, 10), 10, "capped at the splice point");
+    assert_eq!(replay_start(7, 7, 7), 7);
+}

@@ -3,12 +3,20 @@
 //! A cursor records, per `(group, shard)`, the next sequence number the
 //! group has *not yet acknowledged* — the resume point after a crash.
 //! Each cursor lives in its own small file under `<log dir>/cursors/`
-//! and is rewritten via tmp-file + rename on every advance, so a
-//! `kill -9` at any instant leaves either the old or the new value on
-//! disk, never a torn one.
+//! and is rewritten via tmp-file + rename, so a `kill -9` at any instant
+//! leaves either the old or the new value on disk, never a torn one.
+//!
+//! Writes come in two flavours: [`CursorStore::advance`] persists
+//! immediately (used for registration, which is rare), while
+//! [`CursorStore::advance_mem`] only updates memory and marks the entry
+//! dirty for a later [`CursorStore::flush`] — the per-ack path, where a
+//! caller batching acks at a bounded cadence trades two syscalls per ack
+//! for "a crash re-delivers at most one flush interval of acked
+//! batches", which cursor semantics already tolerate (advances below the
+//! stored value are ignored as regressions).
 
 use crate::{LogError, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -19,6 +27,8 @@ const CURSOR_SALT: u64 = u64::from_le_bytes(*b"TSCURS01");
 pub struct CursorStore {
     dir: PathBuf,
     cursors: BTreeMap<(String, u32), u64>,
+    /// Entries advanced in memory but not yet written to disk.
+    dirty: BTreeSet<(String, u32)>,
 }
 
 impl CursorStore {
@@ -52,7 +62,11 @@ impl CursorStore {
             }
             cursors.insert((group, shard), value);
         }
-        Ok(CursorStore { dir, cursors })
+        Ok(CursorStore {
+            dir,
+            cursors,
+            dirty: BTreeSet::new(),
+        })
     }
 
     /// The stored cursor for `(group, shard)`: the next sequence number
@@ -65,10 +79,60 @@ impl CursorStore {
     /// disk. Regressions are ignored — acks can arrive out of order but a
     /// cursor only moves forward. Returns whether the cursor moved.
     pub fn advance(&mut self, group: &str, shard: u32, next_seq: u64) -> Result<bool> {
-        let key = (group.to_string(), shard);
-        if self.cursors.get(&key).is_some_and(|&cur| next_seq <= cur) {
+        if !self.advance_mem(group, shard, next_seq) {
             return Ok(false);
         }
+        let key = (group.to_string(), shard);
+        self.write_through(group, shard, next_seq)?;
+        self.dirty.remove(&key);
+        Ok(true)
+    }
+
+    /// Advances `(group, shard)` in memory only, marking it dirty for the
+    /// next [`CursorStore::flush`]. Regressions are ignored, as in
+    /// [`CursorStore::advance`]. Returns whether the cursor moved.
+    pub fn advance_mem(&mut self, group: &str, shard: u32, next_seq: u64) -> bool {
+        let key = (group.to_string(), shard);
+        if self.cursors.get(&key).is_some_and(|&cur| next_seq <= cur) {
+            return false;
+        }
+        self.cursors.insert(key.clone(), next_seq);
+        self.dirty.insert(key);
+        true
+    }
+
+    /// Writes every dirty cursor through to disk (tmp + rename each).
+    /// Entries that fail to write stay dirty for the next flush; the
+    /// first error is returned after attempting the rest. Returns how
+    /// many cursors were persisted.
+    pub fn flush(&mut self) -> Result<usize> {
+        let dirty: Vec<(String, u32)> = self.dirty.iter().cloned().collect();
+        let mut flushed = 0;
+        let mut first_err = None;
+        for key in dirty {
+            let value = self.cursors[&key];
+            match self.write_through(&key.0, key.1, value) {
+                Ok(()) => {
+                    self.dirty.remove(&key);
+                    flushed += 1;
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(flushed),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Whether any advance is still waiting for a [`CursorStore::flush`].
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    fn write_through(&self, group: &str, shard: u32, next_seq: u64) -> Result<()> {
         let path = self.dir.join(Self::file_name(group, shard));
         let tmp = self
             .dir
@@ -80,8 +144,7 @@ impl CursorStore {
             .map_err(|e| LogError::Io(format!("write {}: {e}", tmp.display())))?;
         fs::rename(&tmp, &path)
             .map_err(|e| LogError::Io(format!("rename {}: {e}", path.display())))?;
-        self.cursors.insert(key, next_seq);
-        Ok(true)
+        Ok(())
     }
 
     /// Registers a group without moving its cursor (so retention starts

@@ -24,13 +24,30 @@
 //! segments, but never one that a registered consumer-group cursor still
 //! needs.
 //!
+//! ## Durability
+//!
+//! The commit protocol's write ordering lives in CPU stores, not on the
+//! platter: the log is durable against **process crash** (`kill -9`,
+//! panic, OOM-kill — the kernel retains every completed store and
+//! writes it back), but on **host power loss** page writeback may
+//! persist the committed count before the data/index it covers, and
+//! recovery would then trust a record whose payload bytes never hit
+//! disk (the per-record CRC catches nearly all such torn states, but
+//! only probabilistically). Deployments that need power-fail safety
+//! should call [`BatchLog::sync`] (or [`Segment::sync`]) at a
+//! checkpoint cadence — an explicit `msync(MS_SYNC)` barrier — and
+//! treat everything synced as power-fail durable.
+//!
 //! ## Cursors
 //!
 //! A [`CursorStore`] persists, per `(group, shard)`, the next sequence
-//! number the group has not yet acknowledged. Cursor writes are
-//! write-through (tmp + rename per advance), so `kill -9` at any moment
-//! leaves a consistent resume point: restarting with the same group name
-//! replays exactly the unacknowledged suffix.
+//! number the group has not yet acknowledged. Every persisted write is
+//! atomic (tmp + rename), so `kill -9` at any moment leaves a
+//! consistent resume point. Advances come write-through
+//! ([`CursorStore::advance`]) or coalesced ([`CursorStore::advance_mem`]
+//! then [`CursorStore::flush`]); a caller flushing at a bounded cadence
+//! accepts that a crash re-delivers at most one flush interval of acked
+//! batches — cursor regressions are ignored, so re-delivery is safe.
 //!
 //! The payload bytes stored here are the producer's encoded
 //! streamed-batch frames, written and read verbatim — replay sends the
@@ -264,6 +281,17 @@ impl BatchLog {
         self.segments.len()
     }
 
+    /// Flushes every segment's dirty pages to disk (`msync(MS_SYNC)`) —
+    /// the opt-in power-fail barrier; see the crate-level *Durability*
+    /// section. Not called on the append path: it is a full-mapping
+    /// synchronous flush, priced for an explicit checkpoint cadence.
+    pub fn sync(&self) -> Result<()> {
+        for seg in &self.segments {
+            seg.sync()?;
+        }
+        Ok(())
+    }
+
     /// Deletes the oldest sealed segments past the configured retention
     /// budget. A segment survives regardless of the budget while
     /// `cursor_floor` (the minimum registered group cursor) still points
@@ -456,6 +484,46 @@ mod tests {
         let big = payload(0, 1000);
         log.append(0, 0, 0, &big).unwrap();
         assert_eq!(log.read(0).unwrap(), big);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coalesced_cursor_advances_persist_on_flush() {
+        let dir = tmp_dir("cursors-coalesced");
+        {
+            let mut store = CursorStore::open(&dir).unwrap();
+            assert!(store.advance_mem("g", 0, 4));
+            assert!(store.advance_mem("g", 0, 9));
+            assert!(!store.advance_mem("g", 0, 7), "no regression");
+            assert!(store.has_dirty());
+            // Memory sees the coalesced value before any flush...
+            assert_eq!(store.load("g", 0), Some(9));
+            // ...but a reopen without a flush sees nothing.
+            assert_eq!(CursorStore::open(&dir).unwrap().load("g", 0), None);
+            assert_eq!(store.flush().unwrap(), 1, "one file per dirty key");
+            assert!(!store.has_dirty());
+            assert_eq!(store.flush().unwrap(), 0, "flush is idempotent");
+        }
+        let store = CursorStore::open(&dir).unwrap();
+        assert_eq!(store.load("g", 0), Some(9));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_flushes_and_preserves_contents() {
+        // Smoke for the opt-in power-fail barrier: msync must succeed on
+        // a live multi-segment log and change nothing readers see.
+        let dir = tmp_dir("sync");
+        let mut cfg = LogConfig::new(&dir);
+        cfg.segment_records = 4;
+        let mut log = BatchLog::open(&cfg, 0).unwrap();
+        for seq in 0..10u64 {
+            log.append(seq, 0, seq, &payload(seq, 32)).unwrap();
+        }
+        log.sync().unwrap();
+        for seq in 0..10u64 {
+            assert_eq!(log.read(seq).unwrap(), payload(seq, 32));
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

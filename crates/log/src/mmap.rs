@@ -19,6 +19,7 @@ mod sys {
     pub const PROT_READ: c_int = 1;
     pub const PROT_WRITE: c_int = 2;
     pub const MAP_SHARED: c_int = 1;
+    pub const MS_SYNC: c_int = 4;
 
     extern "C" {
         pub fn mmap(
@@ -30,6 +31,7 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn msync(addr: *mut c_void, len: usize, flags: c_int) -> c_int;
     }
 
     pub fn map_failed() -> *mut c_void {
@@ -111,6 +113,36 @@ impl SharedMapping {
     /// See [`SharedMapping::create`].
     #[cfg(not(unix))]
     pub fn open(_path: &Path) -> io::Result<Self> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "ts-log requires a unix platform",
+        ))
+    }
+
+    /// Synchronously flushes the whole mapping to its backing file
+    /// (`msync(MS_SYNC)`). The in-memory write ordering the segment
+    /// protocol relies on says nothing about writeback order on host
+    /// power loss — this is the opt-in barrier for power-fail safety.
+    #[cfg(unix)]
+    pub fn sync(&self) -> io::Result<()> {
+        // Safety: ptr/len come from a successful mmap and the mapping is
+        // alive for &self's lifetime.
+        let rc = unsafe {
+            sys::msync(
+                self.ptr as *mut std::os::raw::c_void,
+                self.len,
+                sys::MS_SYNC,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// See [`SharedMapping::sync`].
+    #[cfg(not(unix))]
+    pub fn sync(&self) -> io::Result<()> {
         Err(io::Error::new(
             io::ErrorKind::Unsupported,
             "ts-log requires a unix platform",

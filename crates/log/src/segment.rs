@@ -263,7 +263,13 @@ impl Segment {
         let offset = self.data_used;
         // Write order is the recovery contract: payload bytes, then the
         // index entry, then the committed count. Whatever prefix of that
-        // survives a crash, recovery lands on a complete record.
+        // survives a crash, recovery lands on a complete record. NOTE
+        // this ordering exists only in memory — after a process crash
+        // (`kill -9`) the kernel still holds every store, but on host
+        // power loss page writeback may persist the committed count
+        // before the data it covers; callers who need power-fail safety
+        // must interpose [`Segment::sync`] (recovery's CRC check catches
+        // most — not all — such reorderings after the fact).
         self.data_slice_mut(offset, payload.len())
             .copy_from_slice(payload);
         self.write_entry(
@@ -313,6 +319,16 @@ impl Segment {
     /// Payload bytes committed so far.
     pub fn data_used(&self) -> u64 {
         self.data_used
+    }
+
+    /// Synchronously flushes the segment's dirty pages to disk
+    /// (`msync(MS_SYNC)`): the opt-in barrier that upgrades the
+    /// process-crash durability of the commit protocol to power-fail
+    /// durability for everything committed so far.
+    pub fn sync(&self) -> Result<()> {
+        self.map
+            .sync()
+            .map_err(|e| LogError::Io(format!("msync {}: {e}", self.path.display())))
     }
 
     // -- raw accessors ----------------------------------------------------

@@ -339,6 +339,207 @@ fn group_cursor_resumes_after_clean_drop() {
     let _ = std::fs::remove_dir_all(&log_dir);
 }
 
+/// Regression: an epoch longer than the segment-retention budget, with a
+/// grouped consumer joining mid-epoch while another consumer is active
+/// (the rubberband `admit` path, splice point = the epoch start). With
+/// no group cursor registered yet, retention used to trim purely by
+/// budget, leaving `retained_min` past the joiner's splice point — its
+/// `CtrlMsg::Replay` then panicked the producer control loop
+/// (`Ord::clamp` with min > max), i.e. a remote message killed the
+/// producer; and the shed pins' log frames were gone, so even a
+/// surviving producer had nothing to replay. Retention is now floored
+/// at the oldest rubberband pin and the resolver never panics: the
+/// joiner's catch-up must be byte-identical to the witness stream.
+#[test]
+fn grouped_mid_epoch_join_survives_budget_trimmed_retention() {
+    const SAMPLES: usize = 2048;
+    const BATCH: usize = 4;
+    const PER_EPOCH: u64 = (SAMPLES / BATCH) as u64; // 512
+                                                     // Joiner arrives well past the retention budget (8-record segments,
+                                                     // 0 sealed retained → budget ≈ 16 records without a floor).
+    const JOIN_AT: u64 = 300;
+
+    let ctx = TsContext::host_only();
+    let ep = "inproc://log-trimmed-mid-epoch-join";
+    let log_dir = fresh_dir("trimmed-mid-epoch");
+    let mut log_cfg = ts_log::LogConfig::new(&log_dir);
+    log_cfg.segment_records = 8;
+    log_cfg.segment_bytes = 64 << 10;
+    log_cfg.retain_segments = 0;
+    let producer = Producer::builder()
+        .context(&ctx)
+        .config(ProducerConfig {
+            endpoint: ep.to_string(),
+            epochs: 1,
+            // The whole epoch stays pinned/joinable: the join window is
+            // still open when retention would otherwise have trimmed
+            // far past the epoch start.
+            rubberband_cutoff: 1.0,
+            poll_interval: Duration::from_micros(200),
+            ..Default::default()
+        })
+        .log_config(log_cfg)
+        .spawn(loader(SAMPLES, BATCH, 11))
+        .expect("spawn logging producer");
+
+    let mut witness = Consumer::builder()
+        .context(&ctx)
+        .recv_timeout(Duration::from_secs(20))
+        .connect(ep)
+        .expect("witness connect");
+
+    // Pace the witness so the epoch spans several 25ms log sweeps —
+    // retention and pin shedding must actually run before the joiner
+    // arrives for this to regress.
+    let mut full = Vec::new();
+    let mut late: Option<std::thread::JoinHandle<Vec<Seen>>> = None;
+    for batch in witness.by_ref() {
+        let batch = batch.expect("clean witness stream");
+        full.push(seen(&batch));
+        if full.len() % 8 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if full.len() as u64 == JOIN_AT {
+            let ctx_c = ctx.clone();
+            late = Some(std::thread::spawn(move || {
+                let mut joiner = Consumer::builder()
+                    .context(&ctx_c)
+                    .group("mid-epoch-group")
+                    .recv_timeout(Duration::from_secs(20))
+                    .connect(ep)
+                    .expect("grouped mid-epoch connect");
+                let mut got = Vec::new();
+                for batch in joiner.by_ref() {
+                    got.push(seen(&batch.expect("clean joiner stream")));
+                }
+                assert_eq!(joiner.stop_reason(), Some(StopReason::End));
+                got
+            }));
+        }
+    }
+    assert_eq!(witness.stop_reason(), Some(StopReason::End));
+    assert_eq!(full.len() as u64, PER_EPOCH);
+    let joined = late
+        .expect("joiner never spawned")
+        .join()
+        .expect("joiner thread");
+
+    // The producer must have survived the Replay (no control-loop
+    // panic) and finished its epoch.
+    let stats = producer.join().expect("producer join");
+    assert_eq!(stats.epochs_completed, 1);
+
+    // The joiner's rubberband catch-up covered the whole epoch — shed
+    // pins served from log frames retention was NOT allowed to delete.
+    assert_eq!(
+        joined, full,
+        "mid-epoch group join must reproduce the witness stream exactly"
+    );
+    assert!(
+        ctx.metrics.counter("replay.log_batches").get() > 0,
+        "some catch-up batches must have come from shed pins' log frames"
+    );
+    let _ = std::fs::remove_dir_all(&log_dir);
+}
+
+/// Regression: after a disk failure latches the spiller's `failed` flag,
+/// `logged_up_to` keeps advancing (the arena-release gate must not wedge
+/// on a bad disk) — but that makes `seq < logged_up_to` no proof the
+/// bytes are in the log. The log sweep used to shed rubberband pins on
+/// that test alone, releasing batches whose bytes were then neither live
+/// nor on disk; a later joiner's catch-up silently skipped them, a
+/// permanent stream gap. Pins must stay memory-resident once the log has
+/// failed, so the joiner still gets a byte-identical epoch.
+#[test]
+fn pins_survive_log_failure_for_rubberband_replay() {
+    const SAMPLES: usize = 192;
+    const BATCH: usize = 4;
+    const PER_EPOCH: u64 = (SAMPLES / BATCH) as u64; // 48
+    const JOIN_AT: u64 = 30;
+
+    let ctx = TsContext::host_only();
+    let ep = "inproc://log-failure-pins";
+    let log_dir = fresh_dir("failure-pins");
+    let mut log_cfg = ts_log::LogConfig::new(&log_dir);
+    log_cfg.segment_records = 4;
+    log_cfg.segment_bytes = 64 << 10;
+    let producer = Producer::builder()
+        .context(&ctx)
+        .config(ProducerConfig {
+            endpoint: ep.to_string(),
+            epochs: 1,
+            rubberband_cutoff: 1.0,
+            poll_interval: Duration::from_micros(200),
+            ..Default::default()
+        })
+        .log_config(log_cfg)
+        .spawn(loader(SAMPLES, BATCH, 17))
+        .expect("spawn logging producer");
+
+    // Inject a disk failure at the third segment: a directory squatting
+    // on the segment's path makes the spiller's rotation at seq 8 fail
+    // (EISDIR regardless of privileges), latching `failed` after two
+    // good segments. Publishing starts only once the witness joins, so
+    // the obstruction is in place before any append.
+    std::fs::create_dir_all(
+        log_dir
+            .join("shard-0")
+            .join("seg-00000000000000000008.tslog"),
+    )
+    .expect("plant segment obstruction");
+
+    let mut witness = Consumer::builder()
+        .context(&ctx)
+        .recv_timeout(Duration::from_secs(20))
+        .connect(ep)
+        .expect("witness connect");
+
+    // Pace the epoch across several 25ms log sweeps: the sweep must get
+    // the chance to (wrongly) shed pins before the joiner arrives.
+    let mut full = Vec::new();
+    let mut late: Option<std::thread::JoinHandle<Vec<Seen>>> = None;
+    for batch in witness.by_ref() {
+        let batch = batch.expect("clean witness stream");
+        full.push(seen(&batch));
+        std::thread::sleep(Duration::from_millis(1));
+        if full.len() as u64 == JOIN_AT {
+            let ctx_c = ctx.clone();
+            late = Some(std::thread::spawn(move || {
+                let mut joiner = Consumer::builder()
+                    .context(&ctx_c)
+                    .group("post-failure-group")
+                    .recv_timeout(Duration::from_secs(20))
+                    .connect(ep)
+                    .expect("post-failure connect");
+                let mut got = Vec::new();
+                for batch in joiner.by_ref() {
+                    got.push(seen(&batch.expect("clean joiner stream")));
+                }
+                assert_eq!(joiner.stop_reason(), Some(StopReason::End));
+                got
+            }));
+        }
+    }
+    assert_eq!(witness.stop_reason(), Some(StopReason::End));
+    assert_eq!(full.len() as u64, PER_EPOCH);
+    let joined = late
+        .expect("joiner never spawned")
+        .join()
+        .expect("joiner thread");
+    producer.join().expect("producer join must not wedge");
+
+    assert!(
+        ctx.metrics.counter("log.append_errors").get() > 0,
+        "the injected disk failure never latched — the test lost its teeth"
+    );
+    assert_eq!(
+        joined, full,
+        "catch-up after a log failure must be gapless and byte-identical \
+         (pins kept memory-resident)"
+    );
+    let _ = std::fs::remove_dir_all(&log_dir);
+}
+
 /// Regression: a consumer that drops mid-log-replay must release the
 /// replay stream promptly — the producer stops streaming the logged
 /// range at the dead topic (it drains control between frames) instead of
